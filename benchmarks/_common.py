@@ -1,0 +1,142 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every bench module regenerates one experiment from DESIGN.md's index,
+prints the series it produces next to the paper's reported
+numbers/shape, and writes the same table to ``benchmarks/results/``.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+- ``quick`` (default): paper-sized groups but fewer repetitions/sweep
+  points — the whole suite finishes in a few minutes;
+- ``full``: the paper's full sweeps (N up to 16384, 26-message
+  sequences, denser grids).
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to watch
+the tables stream by, or read them from ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.sim import LossParameters, MulticastTopology
+from repro.transport import FleetConfig, FleetSimulator
+from repro.transport.fleet import make_paper_workload
+from repro.util import RandomSource
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_BENCH_SCALE", "quick").lower() == "full"
+
+#: Paper-default group for the transport experiments.
+N_USERS = 4096
+DEGREE = 4
+K_DEFAULT = 10
+NUM_NACK_DEFAULT = 20
+
+#: Sequence lengths / trial counts by scale.
+N_MESSAGES = 26 if FULL else 12
+N_TRIALS = 10 if FULL else 3
+SKIP = 5 if FULL else 3  # warm-up messages excluded from steady-state means
+
+ALPHAS = (0.0, 0.2, 0.4, 1.0) if FULL else (0.0, 0.2, 1.0)
+N_SWEEP = (1024, 4096, 8192, 16384) if FULL else (1024, 4096)
+K_SWEEP = (1, 5, 10, 20, 30, 50) if FULL else (1, 5, 10, 30, 50)
+
+
+def record(experiment_id, title, lines):
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    header = "%s — %s" % (experiment_id.upper(), title)
+    body = [header, "=" * len(header)] + list(lines)
+    text = "\n".join(body) + "\n"
+    print("\n" + text)
+    path = RESULTS_DIR / ("%s.txt" % experiment_id.lower())
+    path.write_text(text)
+    return path
+
+
+def paper_workload(n_users=N_USERS, k=K_DEFAULT, n_joins=0, n_leaves=None, seed=0):
+    """The paper's default workload (J = 0, L = N/d unless overridden)."""
+    return make_paper_workload(
+        n_users=n_users,
+        degree=DEGREE,
+        n_joins=n_joins,
+        n_leaves=n_leaves,
+        k=k,
+        seed=seed,
+    )
+
+
+def topology_for(workload, alpha=0.20, seed=0, bursty=True, p_source=0.01):
+    params = LossParameters(alpha=alpha, bursty=bursty, p_source=p_source)
+    return MulticastTopology(
+        workload.n_users, params=params, random_source=RandomSource(seed)
+    )
+
+
+def simulator_for(workload, alpha=0.20, config=None, seed=0, **topo_kwargs):
+    topology = topology_for(workload, alpha=alpha, seed=seed, **topo_kwargs)
+    return FleetSimulator(topology, config or FleetConfig(), seed=seed + 1)
+
+
+def steady_sequence(
+    workload,
+    alpha=0.20,
+    rho=1.0,
+    num_nack=NUM_NACK_DEFAULT,
+    adapt_rho=True,
+    multicast_only=True,
+    n_messages=None,
+    seed=0,
+    **config_kwargs,
+):
+    """Run an adaptive sequence and return its SequenceStats."""
+    config = FleetConfig(
+        rho=rho,
+        num_nack=num_nack,
+        adapt_rho=adapt_rho,
+        multicast_only=multicast_only,
+        **config_kwargs,
+    )
+    simulator = simulator_for(workload, alpha=alpha, config=config, seed=seed)
+    return simulator.run_sequence(
+        lambda i: workload, n_messages or N_MESSAGES
+    )
+
+
+def mean_over_messages(workload, alpha, rho, n_messages=None, seed=0,
+                       multicast_only=True, **config_kwargs):
+    """Fixed-rho mean metrics over a few independent messages.
+
+    Returns dict with mean first-round NACKs, rounds-for-all, per-user
+    rounds, and bandwidth overhead.
+    """
+    config = FleetConfig(
+        rho=rho,
+        adapt_rho=False,
+        multicast_only=multicast_only,
+        **config_kwargs,
+    )
+    simulator = simulator_for(workload, alpha=alpha, config=config, seed=seed)
+    nacks, rounds_all, rounds_user, overhead = [], [], [], []
+    fractions = []
+    for index in range(n_messages or N_TRIALS):
+        stats, _ = simulator.run_message(
+            workload, rho=rho, message_index=index
+        )
+        nacks.append(stats.first_round_nacks)
+        rounds_all.append(stats.rounds_for_all_users)
+        rounds_user.append(stats.mean_rounds_per_user)
+        overhead.append(stats.bandwidth_overhead)
+        fractions.append(np.bincount(stats.user_rounds, minlength=10))
+    return {
+        "nacks": float(np.mean(nacks)),
+        "rounds_all": float(np.mean(rounds_all)),
+        "rounds_user": float(np.mean(rounds_user)),
+        "overhead": float(np.mean(overhead)),
+        "round_histogram": np.sum(fractions, axis=0),
+    }

@@ -1,0 +1,76 @@
+"""A03 (extension) — group/key/user-oriented rekeying strategies.
+
+The paper builds on Wong-Gouda-Lam key trees and adopts group-oriented
+rekeying (one shared message) with UKA repairing its per-user cost.
+This bench quantifies the choice on the paper's own workload: server
+encryption work, messages (= signatures), and the worst user's receive
+profile under each strategy.
+"""
+
+import numpy as np
+
+from repro.keytree import KeyTree, MarkingAlgorithm
+from repro.keytree.strategies import compare_strategies
+from repro.util import spawn_rng
+
+from _common import DEGREE, N_USERS, record
+
+
+def test_a03_rekeying_strategies(benchmark):
+    rng = spawn_rng(30)
+    users = ["u%d" % i for i in range(N_USERS)]
+    tree = KeyTree.full_balanced(users, DEGREE)
+    leave_idx = rng.choice(N_USERS, size=N_USERS // 4, replace=False)
+    batch = MarkingAlgorithm(renew_keys=False).apply(
+        tree, leaves=[users[i] for i in leave_idx]
+    )
+
+    costs = compare_strategies(batch)
+    by_name = {c.name: c for c in costs}
+
+    lines = [
+        "N=%d, d=%d, J=0, L=N/4:" % (N_USERS, DEGREE),
+        "",
+        "strategy        server-enc  messages(=signs)  "
+        "user-enc(max)  user-msgs(max)",
+    ]
+    for cost in costs:
+        lines.append(
+            "%-15s %10d %17d %14d %15d"
+            % (
+                cost.name,
+                cost.server_encryptions,
+                cost.server_messages,
+                cost.max_user_encryptions,
+                cost.max_user_messages,
+            )
+        )
+
+    group = by_name["group-oriented"]
+    key = by_name["key-oriented"]
+    user = by_name["user-oriented"]
+    # The WGL trade-off, on a batch workload:
+    assert group.server_encryptions == key.server_encryptions
+    assert user.server_encryptions > group.server_encryptions
+    assert group.server_messages == 1
+    assert key.server_messages == batch.subtree.n_updated_keys
+    assert user.max_user_messages == 1
+    assert key.max_user_messages > 1
+
+    lines += [
+        "",
+        "user-oriented pays %.1fx the encryption work; key-oriented "
+        "pays %d signatures and makes users gather %d messages."
+        % (
+            user.server_encryptions / group.server_encryptions,
+            key.server_messages,
+            key.max_user_messages,
+        ),
+        "group-oriented + UKA keeps server work minimal, one signature, "
+        "and one packet per user — the paper's choice.",
+    ]
+    record("a03", "rekeying strategies: group vs key vs user oriented", lines)
+
+    benchmark.pedantic(
+        lambda: compare_strategies(batch), rounds=1, iterations=1
+    )

@@ -1,0 +1,117 @@
+"""A04 (extension) — immediate feedback vs round-based delivery.
+
+Appendix A of the companion text sketches the asynchronous variant
+(NACK on loss detection, repair on NACK receipt, duplicate suppression
+by max-received sequence).  This bench plays both against the same
+workload and loss environment and compares wall-clock delivery latency
+and packets sent.
+
+Expected: similar packet budgets, but the immediate variant serves
+stragglers in ~an RTT instead of a full round, collapsing worst-case
+latency — the same motivation as the protocol's early unicast, achieved
+without leaving multicast.
+"""
+
+import numpy as np
+
+from repro.sim import LossParameters, MulticastTopology
+from repro.transport import FleetConfig, FleetSimulator
+from repro.transport.fleet import make_paper_workload
+from repro.transport.immediate import (
+    ImmediateConfig,
+    ImmediateFeedbackSession,
+)
+from repro.util import RandomSource
+
+from _common import FULL, record
+
+N_USERS = 1024 if FULL else 512
+TRIALS = 5 if FULL else 3
+ROUND_GAP_MS = 500.0
+
+
+def run_round_based(workload, seed):
+    topology = MulticastTopology(
+        workload.n_users,
+        params=LossParameters(),
+        random_source=RandomSource(seed),
+    )
+    simulator = FleetSimulator(
+        topology,
+        FleetConfig(
+            rho=1.0,
+            adapt_rho=False,
+            multicast_only=True,
+            round_gap_ms=ROUND_GAP_MS,
+        ),
+        seed=seed + 1,
+    )
+    worst, packets = [], []
+    round_seconds = workload.n_blocks * workload.k * 0.1 + ROUND_GAP_MS * 1e-3
+    for index in range(TRIALS):
+        stats, _ = simulator.run_message(workload, message_index=index)
+        # Wall-clock proxy: a user finishing in round r waited ~r rounds.
+        worst.append(stats.rounds_for_all_users * round_seconds)
+        packets.append(stats.total_multicast_packets)
+    return float(np.mean(worst)), float(np.mean(packets))
+
+
+def run_immediate(workload, seed):
+    worst, mean, packets = [], [], []
+    for index in range(TRIALS):
+        topology = MulticastTopology(
+            workload.n_users,
+            params=LossParameters(),
+            random_source=RandomSource(seed + index),
+        )
+        session = ImmediateFeedbackSession(
+            workload,
+            topology,
+            ImmediateConfig(rho=1.0),
+            rng=np.random.default_rng(seed + index),
+        )
+        stats = session.run()
+        worst.append(stats.worst_completion)
+        mean.append(stats.mean_completion)
+        packets.append(stats.packets_sent)
+    return float(np.mean(worst)), float(np.mean(mean)), float(np.mean(packets))
+
+
+def test_a04_immediate_vs_round_based(benchmark):
+    workload = make_paper_workload(n_users=N_USERS, k=10, seed=1)
+    rb_worst, rb_packets = run_round_based(workload, 4000)
+    im_worst, im_mean, im_packets = run_immediate(workload, 4100)
+
+    lines = [
+        "N=%d active users, rho=1, alpha=20%%, 100 ms sending interval:"
+        % workload.n_users,
+        "",
+        "                      worst-case latency   packets multicast",
+        "round-based           %12.2f s %17.0f" % (rb_worst, rb_packets),
+        "immediate feedback    %12.2f s %17.0f" % (im_worst, im_packets),
+        "",
+        "immediate mean completion: %.2f s" % im_mean,
+        "latency reduction: %.1fx" % (rb_worst / max(im_worst, 1e-9)),
+    ]
+
+    # Immediate feedback collapses the straggler tail...
+    assert im_worst < rb_worst
+    # ...at a bounded repair-traffic premium: reacting per-NACK loses
+    # the round boundary's max-aggregation, so some repairs duplicate.
+    assert im_packets < rb_packets * 3.0
+    lines.append(
+        "repair-traffic premium: %.2fx packets (aggregation lost)"
+        % (im_packets / rb_packets)
+    )
+
+    lines += [
+        "",
+        "paper (Appendix A): NACK-on-detection + repair-on-NACK with "
+        "max-seq duplicate suppression is a feasible alternative to "
+        "round-based operation.",
+    ]
+    record("a04", "immediate feedback vs round-based delivery", lines)
+
+    benchmark.pedantic(
+        lambda: run_immediate(workload, 99), rounds=1, iterations=1
+    )

@@ -1,0 +1,102 @@
+"""E01 — rekey message size: average # ENC packets (Fig. 6).
+
+Paper shape: for fixed L the packet count grows ~linearly with J; for
+fixed J it rises with L, peaks near L = N/d, then falls (pruning);
+for the three canonical (J, L) mixes it grows ~linearly with N.
+"""
+
+import numpy as np
+
+from repro.keytree import KeyTree, MarkingAlgorithm
+from repro.rekey.assignment import UserOrientedKeyAssignment
+from repro.util import spawn_rng
+
+from _common import DEGREE, FULL, N_SWEEP, N_TRIALS, N_USERS, record
+
+
+def mean_packets(n_users, n_joins, n_leaves, rng, trials=N_TRIALS):
+    assigner = UserOrientedKeyAssignment()
+    algorithm = MarkingAlgorithm(renew_keys=False)
+    users = ["u%d" % i for i in range(n_users)]
+    counts = []
+    for _ in range(trials):
+        tree = KeyTree.full_balanced(users, DEGREE)
+        leave_idx = rng.choice(n_users, size=n_leaves, replace=False)
+        batch = algorithm.apply(
+            tree,
+            joins=["j%d" % i for i in range(n_joins)],
+            leaves=[users[i] for i in leave_idx],
+        )
+        needs = batch.needs_by_user()
+        counts.append(assigner.assign(needs).n_packets if needs else 0)
+    return float(np.mean(counts))
+
+
+def sweep_jl(rng):
+    quarters = (0, N_USERS // 8, N_USERS // 4, N_USERS // 2)
+    # The full grid extends the quick one (assertions index into it).
+    grid = quarters if not FULL else quarters + (
+        3 * N_USERS // 4,
+        N_USERS,
+    )
+    lines = ["J \\ L " + "".join("%8d" % l for l in grid)]
+    surface = {}
+    for n_joins in grid:
+        row = []
+        for n_leaves in grid:
+            value = mean_packets(N_USERS, n_joins, n_leaves, rng)
+            surface[(n_joins, n_leaves)] = value
+            row.append(value)
+        lines.append("%6d" % n_joins + "".join("%8.1f" % v for v in row))
+    return lines, surface, grid
+
+
+def sweep_n(rng):
+    lines = ["     N   J=0,L=N/4   J=N/4,L=N/4   J=N/4,L=0"]
+    series = {}
+    for n in N_SWEEP:
+        a = mean_packets(n, 0, n // 4, rng)
+        b = mean_packets(n, n // 4, n // 4, rng)
+        c = mean_packets(n, n // 4, 0, rng)
+        series[n] = (a, b, c)
+        lines.append("%6d %11.1f %13.1f %11.1f" % (n, a, b, c))
+    return lines, series
+
+
+def test_e01_enc_packets(benchmark):
+    rng = spawn_rng(1)
+    jl_lines, surface, grid = sweep_jl(rng)
+    n_lines, series = sweep_n(rng)
+
+    # Paper-shape assertions.
+    quarter = N_USERS // 4
+    half = N_USERS // 2
+    # Rises to L = N/4 then falls toward L = N/2 (J = 0 column).
+    assert surface[(0, quarter)] > surface[(0, N_USERS // 8)]
+    assert surface[(0, quarter)] >= surface[(0, half)] * 0.9
+    # Grows with J at fixed L.
+    assert surface[(half, quarter)] > surface[(N_USERS // 8, quarter)]
+    # ~Linear in N for J=0, L=N/4: quadrupling N ~quadruples packets.
+    ratio = series[4096][0] / series[1024][0]
+    assert 3.0 < ratio < 5.0
+
+    lines = (
+        ["average # ENC packets vs (J, L), N=%d:" % N_USERS, ""]
+        + jl_lines
+        + ["", "average # ENC packets vs N:", ""]
+        + n_lines
+        + [
+            "",
+            "paper (Fig 6): grows ~linearly in J; peaks near L=N/d; "
+            "~linear in N.",
+            "measured: N-ratio (4096/1024, J=0 L=N/4) = %.2f "
+            "(paper shape: ~4)" % ratio,
+        ]
+    )
+    record("e01", "average # ENC packets per rekey message", lines)
+
+    benchmark.pedantic(
+        lambda: mean_packets(N_USERS, 0, N_USERS // 4, spawn_rng(2), trials=1),
+        rounds=1,
+        iterations=1,
+    )

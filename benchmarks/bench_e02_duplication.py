@@ -1,0 +1,90 @@
+"""E02 — UKA duplication overhead (Fig. 7).
+
+Paper shape: overhead ~0.05-0.16; for fixed L it falls as J grows; it
+rises ~linearly with log N and stays below (log_d(N) - 1)/46.
+"""
+
+import math
+
+import numpy as np
+
+from repro.keytree import KeyTree, MarkingAlgorithm
+from repro.rekey.assignment import UserOrientedKeyAssignment
+from repro.util import spawn_rng
+
+from _common import DEGREE, N_SWEEP, N_TRIALS, N_USERS, record
+
+
+def mean_overhead(n_users, n_joins, n_leaves, rng, trials=N_TRIALS):
+    assigner = UserOrientedKeyAssignment()
+    algorithm = MarkingAlgorithm(renew_keys=False)
+    users = ["u%d" % i for i in range(n_users)]
+    values = []
+    for _ in range(trials):
+        tree = KeyTree.full_balanced(users, DEGREE)
+        leave_idx = rng.choice(n_users, size=n_leaves, replace=False)
+        batch = algorithm.apply(
+            tree,
+            joins=["j%d" % i for i in range(n_joins)],
+            leaves=[users[i] for i in leave_idx],
+        )
+        needs = batch.needs_by_user()
+        if not needs:
+            values.append(0.0)
+            continue
+        values.append(assigner.assign(needs).duplication_overhead)
+    return float(np.mean(values))
+
+
+def test_e02_duplication_overhead(benchmark):
+    rng = spawn_rng(3)
+    quarter = N_USERS // 4
+
+    jl_points = {
+        (0, quarter): mean_overhead(N_USERS, 0, quarter, rng),
+        (quarter, quarter): mean_overhead(N_USERS, quarter, quarter, rng),
+        (N_USERS, quarter): mean_overhead(N_USERS, N_USERS, quarter, rng),
+        (quarter, 0): mean_overhead(N_USERS, quarter, 0, rng),
+    }
+    lines = ["duplication overhead at N=%d:" % N_USERS, ""]
+    for (j, l), value in jl_points.items():
+        lines.append("  J=%5d L=%5d : %.4f" % (j, l, value))
+
+    lines += ["", "duplication overhead vs N (J=0, L=N/4):", ""]
+    from repro.analysis.duplication import expected_duplication_overhead
+
+    n_series = {}
+    for n in N_SWEEP:
+        value = mean_overhead(n, 0, n // 4, rng)
+        bound = (math.log(n, DEGREE) - 1) / 46
+        model = expected_duplication_overhead(n, DEGREE, n // 4)
+        n_series[n] = (value, bound)
+        lines.append(
+            "  N=%6d : %.4f   (boundary model %.4f; paper bound "
+            "(log_d N - 1)/46 = %.4f)" % (n, value, model, bound)
+        )
+
+    # Shape assertions.
+    assert 0.01 < jl_points[(0, quarter)] < 0.20
+    # Larger J dilutes the duplication ratio (denominator grows faster).
+    assert jl_points[(N_USERS, quarter)] < jl_points[(0, quarter)]
+    # Bound from the paper holds (with slack for trial noise).
+    for n, (value, bound) in n_series.items():
+        assert value <= bound * 1.3 + 0.01
+    # Grows with log N.
+    if len(n_series) >= 2:
+        ns = sorted(n_series)
+        assert n_series[ns[-1]][0] >= n_series[ns[0]][0] * 0.9
+
+    lines += [
+        "",
+        "paper (Fig 7): overhead 0.05-0.16, decreasing in J, ~linear in "
+        "log N, below (log_d N - 1)/46.",
+    ]
+    record("e02", "UKA duplication overhead", lines)
+
+    benchmark.pedantic(
+        lambda: mean_overhead(N_USERS, 0, quarter, spawn_rng(4), trials=1),
+        rounds=1,
+        iterations=1,
+    )

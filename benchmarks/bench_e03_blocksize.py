@@ -1,0 +1,83 @@
+"""E03 — block size vs bandwidth overhead and FEC encoding time (Fig. 8).
+
+Paper shape (rho = 1): the server's bandwidth overhead is flat for
+k >= 5 (higher at k = 1 and bumped at k = 50 by last-block duplicates),
+while the overall FEC encoding time grows ~linearly with k — so a small
+k gives fast encoding for free.
+"""
+
+import numpy as np
+
+from repro.fec import encoding_cost_units
+
+from _common import (
+    ALPHAS,
+    K_SWEEP,
+    N_TRIALS,
+    mean_over_messages,
+    paper_workload,
+    record,
+)
+
+
+def run_sweep():
+    overheads = {}
+    encode_units = {}
+    for alpha in ALPHAS:
+        for k in K_SWEEP:
+            workload = paper_workload(k=k, seed=5)
+            metrics = mean_over_messages(
+                workload, alpha=alpha, rho=1.0, seed=17 + k
+            )
+            overheads[(alpha, k)] = metrics["overhead"]
+            # Total parity multicast = overhead*h - ENC slots.
+            total_packets = metrics["overhead"] * workload.n_enc_packets
+            parity = max(
+                0.0, total_packets - workload.n_blocks * workload.k
+            )
+            encode_units[(alpha, k)] = encoding_cost_units(k, int(parity))
+    return overheads, encode_units
+
+
+def test_e03_block_size(benchmark):
+    overheads, encode_units = run_sweep()
+
+    lines = ["average server bandwidth overhead (rho=1):", ""]
+    header = "alpha \\ k " + "".join("%9d" % k for k in K_SWEEP)
+    lines.append(header)
+    for alpha in ALPHAS:
+        lines.append(
+            "%9.2f " % alpha
+            + "".join("%9.2f" % overheads[(alpha, k)] for k in K_SWEEP)
+        )
+    lines += ["", "relative overall FEC encoding time (k units/parity):", ""]
+    lines.append(header)
+    for alpha in ALPHAS:
+        lines.append(
+            "%9.2f " % alpha
+            + "".join("%9d" % encode_units[(alpha, k)] for k in K_SWEEP)
+        )
+
+    # Shape assertions at the paper's alpha = 20 %.
+    mids = [overheads[(0.2, k)] for k in K_SWEEP if 5 <= k <= 30]
+    assert max(mids) - min(mids) < 0.8  # flat plateau for k in [5, 30]
+    # Encoding time ~linear in k on the plateau.
+    units_10 = encode_units[(0.2, 10)]
+    units_30 = encode_units[(0.2, 30)]
+    assert units_30 > units_10 * 1.5
+
+    lines += [
+        "",
+        "paper (Fig 8): overhead flat for k >= 5; encoding time ~linear "
+        "in k; pick a small k.",
+    ]
+    record("e03", "block size: bandwidth overhead & FEC encoding time", lines)
+
+    workload = paper_workload(k=10, seed=5)
+    benchmark.pedantic(
+        lambda: mean_over_messages(
+            workload, alpha=0.2, rho=1.0, n_messages=1, seed=3
+        ),
+        rounds=1,
+        iterations=1,
+    )

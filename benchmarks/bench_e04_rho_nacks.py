@@ -1,0 +1,86 @@
+"""E04 — impact of the proactivity factor (Fig. 9).
+
+Paper shape: the average number of first-round NACKs decays roughly
+exponentially in rho; the average number of rounds for all users to
+recover decreases ~linearly then levels off.  The analytic
+independent-loss model tracks the simulated NACK curve.
+"""
+
+import numpy as np
+
+from repro.analysis.fec_model import expected_first_round_nacks
+
+from _common import (
+    ALPHAS,
+    K_DEFAULT,
+    mean_over_messages,
+    paper_workload,
+    record,
+)
+
+RHOS = (1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.5, 3.0)
+
+
+def test_e04_rho_impact(benchmark):
+    workload = paper_workload(k=K_DEFAULT, seed=5)
+    nacks = {}
+    rounds = {}
+    for alpha in ALPHAS:
+        for rho in RHOS:
+            metrics = mean_over_messages(
+                workload, alpha=alpha, rho=rho, seed=int(rho * 100)
+            )
+            nacks[(alpha, rho)] = metrics["nacks"]
+            rounds[(alpha, rho)] = metrics["rounds_all"]
+
+    lines = ["average # first-round NACKs vs rho:", ""]
+    header = "alpha \\ rho " + "".join("%8.2f" % r for r in RHOS)
+    lines.append(header)
+    for alpha in ALPHAS:
+        lines.append(
+            "%11.2f " % alpha
+            + "".join("%8.1f" % nacks[(alpha, rho)] for rho in RHOS)
+        )
+    lines += ["", "average # rounds for all users vs rho:", ""]
+    lines.append(header)
+    for alpha in ALPHAS:
+        lines.append(
+            "%11.2f " % alpha
+            + "".join("%8.2f" % rounds[(alpha, rho)] for rho in RHOS)
+        )
+
+    model = [
+        expected_first_round_nacks(
+            workload.n_users, 0.2, 0.2, 0.02, 0.01, K_DEFAULT, rho
+        )
+        for rho in RHOS
+    ]
+    lines += ["", "analytic model (alpha=0.2, independent loss):", ""]
+    lines.append(
+        "            " + "".join("%8.1f" % v for v in model)
+    )
+
+    # Shape assertions (alpha = 20 %).
+    series = [nacks[(0.2, rho)] for rho in RHOS]
+    assert series[0] > 50  # implosion-scale at rho=1
+    assert series[3] < series[0] / 10  # collapsed by rho=1.6
+    assert series[-1] <= 2  # essentially zero at rho=3
+    # Rounds decrease then level off near 1-2.
+    r_series = [rounds[(0.2, rho)] for rho in RHOS]
+    assert r_series[0] > r_series[-1]
+    assert r_series[-1] <= 2.5
+
+    lines += [
+        "",
+        "paper (Fig 9): NACKs decay ~exponentially in rho (log-scale "
+        "straight line); rounds decay ~linearly then flatten.",
+    ]
+    record("e04", "proactivity factor: NACKs and delivery rounds", lines)
+
+    benchmark.pedantic(
+        lambda: mean_over_messages(
+            workload, alpha=0.2, rho=1.6, n_messages=1, seed=1
+        ),
+        rounds=1,
+        iterations=1,
+    )

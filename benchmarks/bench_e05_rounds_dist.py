@@ -1,0 +1,78 @@
+"""E05 — distribution of recovery rounds and overhead vs rho (Fig. 10).
+
+Paper numbers (alpha = 20 %, k = 10): at rho = 1, >= 94.4 % of users
+recover within one round; 99.89 % at rho = 1.6; 99.99 % at rho = 2.
+Server bandwidth overhead is ~flat in rho until the proactive parity
+dominates, then grows ~linearly.
+"""
+
+import numpy as np
+
+from _common import (
+    K_DEFAULT,
+    N_TRIALS,
+    mean_over_messages,
+    paper_workload,
+    record,
+)
+
+RHOS_DIST = (1.0, 1.6, 2.0)
+RHOS_BW = (1.0, 1.5, 2.0, 2.5, 3.0)
+PAPER_FRACTIONS = {1.0: 0.944, 1.6: 0.9989, 2.0: 0.9999}
+
+
+def test_e05_round_distribution(benchmark):
+    workload = paper_workload(k=K_DEFAULT, seed=5)
+    lines = [
+        "fraction of users recovering in round r (alpha=20%):",
+        "",
+        "rho    round1     round2     round3+   | paper round1",
+    ]
+    measured = {}
+    for rho in RHOS_DIST:
+        metrics = mean_over_messages(
+            workload, alpha=0.2, rho=rho, n_messages=max(N_TRIALS, 4),
+            seed=int(rho * 10),
+        )
+        histogram = metrics["round_histogram"].astype(float)
+        total = histogram.sum()
+        r1 = histogram[1] / total
+        r2 = histogram[2] / total if histogram.size > 2 else 0.0
+        rest = 1.0 - r1 - r2
+        measured[rho] = r1
+        lines.append(
+            "%.1f   %8.5f  %9.6f  %9.6f  | %.4f"
+            % (rho, r1, r2, max(rest, 0.0), PAPER_FRACTIONS[rho])
+        )
+
+    lines += ["", "server bandwidth overhead vs rho:", ""]
+    overheads = {}
+    for rho in RHOS_BW:
+        overheads[rho] = mean_over_messages(
+            workload, alpha=0.2, rho=rho, seed=int(rho * 100)
+        )["overhead"]
+        lines.append("rho=%.1f : %.2f" % (rho, overheads[rho]))
+
+    # Paper-number assertions.
+    assert measured[1.0] > 0.93
+    assert measured[1.6] > 0.995
+    assert measured[2.0] > 0.999
+    # Overhead eventually grows ~linearly with rho.
+    assert overheads[3.0] > overheads[1.5]
+    growth = overheads[3.0] - overheads[2.0]
+    assert 0.3 < growth < 1.8  # ~k parity packets per block per +1 rho
+
+    lines += [
+        "",
+        "paper (Fig 10): 94.4%% / 99.89%% / 99.99%% recover in round one "
+        "at rho = 1 / 1.6 / 2; overhead flat then linear in rho.",
+    ]
+    record("e05", "recovery-round distribution & overhead vs rho", lines)
+
+    benchmark.pedantic(
+        lambda: mean_over_messages(
+            workload, alpha=0.2, rho=1.0, n_messages=1, seed=2
+        ),
+        rounds=1,
+        iterations=1,
+    )

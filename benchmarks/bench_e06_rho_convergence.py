@@ -1,0 +1,75 @@
+"""E06 — convergence of the adaptive proactivity factor (Fig. 12).
+
+Paper shape: starting from rho = 1 the controller climbs and settles
+within a couple of rekey messages; starting from rho = 2 it decays to
+the *same* stable band — the stable values of the two runs match.
+"""
+
+import numpy as np
+
+from _common import (
+    ALPHAS,
+    N_MESSAGES,
+    SKIP,
+    paper_workload,
+    record,
+    steady_sequence,
+)
+
+
+def test_e06_rho_convergence(benchmark):
+    workload = paper_workload(seed=5)
+    lines = []
+    stable = {}
+    for initial_rho in (1.0, 2.0):
+        lines.append("initial rho = %.0f:" % initial_rho)
+        lines.append(
+            "  msg " + "".join("%6d" % i for i in range(N_MESSAGES))
+        )
+        for alpha in ALPHAS:
+            sequence = steady_sequence(
+                workload,
+                alpha=alpha,
+                rho=initial_rho,
+                seed=int(alpha * 100) + int(initial_rho),
+            )
+            trajectory = sequence.rho_trajectory
+            stable[(initial_rho, alpha)] = float(
+                np.mean(trajectory[SKIP:])
+            )
+            lines.append(
+                "  a=%.1f" % alpha
+                + "".join("%6.2f" % r for r in trajectory)
+            )
+        lines.append("")
+
+    lines.append("stable rho (mean after warm-up):")
+    for alpha in ALPHAS:
+        low = stable[(1.0, alpha)]
+        high = stable[(2.0, alpha)]
+        lines.append(
+            "  alpha=%.1f : from rho0=1 -> %.2f, from rho0=2 -> %.2f"
+            % (alpha, low, high)
+        )
+        # Paper: "the stable values of those two figures match".
+        assert abs(low - high) < 0.35
+
+    # Settles quickly from below: big first step, then small ones.
+    sequence = steady_sequence(workload, alpha=0.2, rho=1.0, seed=21)
+    steps = np.abs(np.diff(sequence.rho_trajectory))
+    assert steps[0] >= max(steps[3:]) - 1e-9
+
+    lines += [
+        "",
+        "paper (Fig 12): a couple of messages to settle from rho=1; "
+        "monotone decay from rho=2; matching stable values.",
+    ]
+    record("e06", "adaptive rho convergence", lines)
+
+    benchmark.pedantic(
+        lambda: steady_sequence(
+            workload, alpha=0.2, rho=1.0, n_messages=3, seed=9
+        ),
+        rounds=1,
+        iterations=1,
+    )

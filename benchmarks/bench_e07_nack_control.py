@@ -1,0 +1,84 @@
+"""E07 — NACK-implosion control (Fig. 13).
+
+Paper shape: with numNACK = 20 the first-round NACK count stabilises
+quickly; for alpha > 0 the stable values sit generally below ~1.5x the
+target; for alpha = 0 (all users at 2 % loss) the count fluctuates over
+a wide range because recovery is hypersensitive to rho at low loss.
+The rho0 = 1 and rho0 = 2 runs stabilise to matching levels.
+"""
+
+import numpy as np
+
+from _common import (
+    ALPHAS,
+    NUM_NACK_DEFAULT,
+    SKIP,
+    paper_workload,
+    record,
+    steady_sequence,
+)
+
+
+def test_e07_nack_control(benchmark):
+    workload = paper_workload(seed=5)
+    lines = []
+    steady = {}
+    spread = {}
+    for initial_rho in (1.0, 2.0):
+        lines.append("initial rho = %.0f:" % initial_rho)
+        for alpha in ALPHAS:
+            sequence = steady_sequence(
+                workload,
+                alpha=alpha,
+                rho=initial_rho,
+                num_nack=NUM_NACK_DEFAULT,
+                seed=7 + int(alpha * 10) + int(initial_rho),
+            )
+            nacks = sequence.first_round_nacks()
+            steady[(initial_rho, alpha)] = float(np.mean(nacks[SKIP:]))
+            spread[(initial_rho, alpha)] = float(np.std(nacks[SKIP:]))
+            lines.append(
+                "  alpha=%.1f : " % alpha
+                + " ".join("%4d" % n for n in nacks)
+            )
+        lines.append("")
+
+    lines.append(
+        "steady-state NACKs (target %d):" % NUM_NACK_DEFAULT
+    )
+    for alpha in ALPHAS:
+        lines.append(
+            "  alpha=%.1f : rho0=1 -> %.1f +- %.1f ; rho0=2 -> %.1f +- %.1f"
+            % (
+                alpha,
+                steady[(1.0, alpha)],
+                spread[(1.0, alpha)],
+                steady[(2.0, alpha)],
+                spread[(2.0, alpha)],
+            )
+        )
+
+    # Controlled around target for heterogeneous alphas.
+    for alpha in (a for a in ALPHAS if a > 0):
+        assert steady[(1.0, alpha)] < 2.5 * NUM_NACK_DEFAULT
+    # The two starting points agree.
+    for alpha in ALPHAS:
+        assert (
+            abs(steady[(1.0, alpha)] - steady[(2.0, alpha)])
+            < NUM_NACK_DEFAULT * 1.5 + 5
+        )
+
+    lines += [
+        "",
+        "paper (Fig 13): stabilises within a few messages; stable values "
+        "< 1.5x target for alpha > 0; alpha = 0 fluctuates widely.",
+    ]
+    record("e07", "controlling NACK implosion", lines)
+
+    benchmark.pedantic(
+        lambda: steady_sequence(
+            workload, alpha=0.2, rho=1.0, n_messages=3, seed=11
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,64 @@
+"""E08 — NACK control across target values (Fig. 14).
+
+Paper shape: the first-round NACK count tracks the target for
+numNACK in {0, 5, 10, 40, 100}, with fluctuations growing as the
+target grows.
+"""
+
+import numpy as np
+
+from _common import SKIP, paper_workload, record, steady_sequence
+
+TARGETS = (0, 5, 10, 40, 100)
+
+
+def test_e08_numnack_sweep(benchmark):
+    workload = paper_workload(seed=5)
+    lines = ["first-round NACKs per message (alpha=20%, rho0=1):", ""]
+    steady = {}
+    spread = {}
+    for target in TARGETS:
+        sequence = steady_sequence(
+            workload,
+            alpha=0.2,
+            rho=1.0,
+            num_nack=target,
+            seed=100 + target,
+        )
+        nacks = sequence.first_round_nacks()
+        steady[target] = float(np.mean(nacks[SKIP:]))
+        spread[target] = float(np.std(nacks[SKIP:]))
+        lines.append(
+            "numNACK=%3d : " % target
+            + " ".join("%4d" % n for n in nacks)
+        )
+
+    lines += ["", "steady state:"]
+    for target in TARGETS:
+        lines.append(
+            "  numNACK=%3d -> %.1f +- %.1f" % (target, steady[target], spread[target])
+        )
+
+    # Tracks the target: steady mean ordered with the target and within
+    # a sensible band around it.
+    assert steady[0] <= steady[40] <= steady[100] * 3
+    assert steady[100] > steady[5]
+    assert steady[5] < 30
+    assert 10 <= steady[100] <= 220
+    # Fluctuations grow with the target.
+    assert spread[100] > spread[5]
+
+    lines += [
+        "",
+        "paper (Fig 14): NACKs fluctuate around each target; larger "
+        "targets fluctuate more.",
+    ]
+    record("e08", "NACK control across numNACK targets", lines)
+
+    benchmark.pedantic(
+        lambda: steady_sequence(
+            workload, alpha=0.2, num_nack=20, n_messages=3, seed=4
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,65 @@
+"""E11 — delivery latency vs block size (Fig. 17).
+
+Paper shape: neither the rounds-for-all-users metric nor the average
+rounds per user moves much with k; the per-user average sits close to 1
+(the single-packet-per-user guarantee doing its work).
+"""
+
+import numpy as np
+
+from _common import (
+    ALPHAS,
+    K_SWEEP,
+    SKIP,
+    paper_workload,
+    record,
+    steady_sequence,
+)
+
+
+def test_e11_latency_vs_block_size(benchmark):
+    rounds_all = {}
+    rounds_user = {}
+    for alpha in ALPHAS:
+        for k in K_SWEEP:
+            workload = paper_workload(k=k, seed=5)
+            sequence = steady_sequence(
+                workload, alpha=alpha, rho=1.0, seed=500 + k
+            )
+            rounds_all[(alpha, k)] = sequence.mean_rounds_for_all(skip=SKIP)
+            rounds_user[(alpha, k)] = sequence.mean_rounds_per_user(
+                skip=SKIP
+            )
+
+    header = "alpha \\ k " + "".join("%8d" % k for k in K_SWEEP)
+    lines = ["average # rounds for all users (adaptive rho):", "", header]
+    for alpha in ALPHAS:
+        lines.append(
+            "%9.2f " % alpha
+            + "".join("%8.2f" % rounds_all[(alpha, k)] for k in K_SWEEP)
+        )
+    lines += ["", "average # rounds needed by a user:", "", header]
+    for alpha in ALPHAS:
+        lines.append(
+            "%9.2f " % alpha
+            + "".join("%8.3f" % rounds_user[(alpha, k)] for k in K_SWEEP)
+        )
+
+    # Per-user latency ~1 and flat in k at the paper's alpha.
+    user_series = [rounds_user[(0.2, k)] for k in K_SWEEP]
+    assert all(value < 1.2 for value in user_series)
+    assert max(user_series) - min(user_series) < 0.15
+
+    lines += [
+        "",
+        "paper (Fig 17): block size has no noticeable effect on delivery "
+        "latency; per-user average is close to 1 round.",
+    ]
+    record("e11", "delivery latency vs block size", lines)
+
+    workload = paper_workload(k=10, seed=5)
+    benchmark.pedantic(
+        lambda: steady_sequence(workload, alpha=0.2, n_messages=3, seed=10),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,75 @@
+"""E12 — the cost of the NACK target (Fig. 18).
+
+Paper shape: average rounds per user grows with numNACK but very slowly
+(most users finish in round one regardless); bandwidth overhead is
+highest at numNACK = 0 (can reach ~2.3 for alpha > 0) and flattens for
+numNACK >= 5 — so maxNACK should be at least 5.
+"""
+
+from _common import (
+    ALPHAS,
+    SKIP,
+    paper_workload,
+    record,
+    steady_sequence,
+)
+
+TARGETS = (0, 5, 10, 20, 40, 100)
+
+
+def test_e12_numnack_cost(benchmark):
+    workload = paper_workload(seed=5)
+    rounds_user = {}
+    overhead = {}
+    for alpha in ALPHAS:
+        for target in TARGETS:
+            sequence = steady_sequence(
+                workload,
+                alpha=alpha,
+                rho=1.0,
+                num_nack=target,
+                seed=600 + target + int(alpha * 10),
+            )
+            rounds_user[(alpha, target)] = sequence.mean_rounds_per_user(
+                skip=SKIP
+            )
+            overhead[(alpha, target)] = sequence.mean_bandwidth_overhead(
+                skip=SKIP
+            )
+
+    header = "alpha \\ nN " + "".join("%8d" % t for t in TARGETS)
+    lines = ["average # rounds needed by a user vs numNACK:", "", header]
+    for alpha in ALPHAS:
+        lines.append(
+            "%10.2f " % alpha
+            + "".join("%8.3f" % rounds_user[(alpha, t)] for t in TARGETS)
+        )
+    lines += ["", "average server bandwidth overhead vs numNACK:", "", header]
+    for alpha in ALPHAS:
+        lines.append(
+            "%10.2f " % alpha
+            + "".join("%8.2f" % overhead[(alpha, t)] for t in TARGETS)
+        )
+
+    # Latency creeps up slowly with the target.
+    assert rounds_user[(0.2, 100)] >= rounds_user[(0.2, 0)] - 0.01
+    assert rounds_user[(0.2, 100)] < 1.15
+    # Overhead: numNACK = 0 is the expensive corner; >= 5 flat-ish.
+    assert overhead[(0.2, 0)] >= overhead[(0.2, 20)] - 0.05
+    flat = [overhead[(0.2, t)] for t in TARGETS if t >= 5]
+    assert max(flat) - min(flat) < 0.6
+
+    lines += [
+        "",
+        "paper (Fig 18): per-user rounds grow ~linearly but very slowly "
+        "in numNACK; overhead can hit ~2.3 at numNACK=0, flat for >= 5.",
+    ]
+    record("e12", "latency / overhead vs the NACK target", lines)
+
+    benchmark.pedantic(
+        lambda: steady_sequence(
+            workload, alpha=0.2, num_nack=20, n_messages=3, seed=12
+        ),
+        rounds=1,
+        iterations=1,
+    )

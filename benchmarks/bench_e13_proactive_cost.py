@@ -1,0 +1,73 @@
+"""E13 — what proactive parity costs over pure-reactive (Figs. 19-20).
+
+Paper shape: adaptive rho vs a fixed rho = 1 (all parity reactive)
+costs almost nothing extra at alpha = 0, < 0.25 extra overhead at
+alpha = 20 % (k >= 5), and can even *save* bandwidth at alpha = 1
+(reactive needs many rounds, each re-sending the per-round maximum);
+the extra grows with N but stays < 0.4 even at N = 16384.
+"""
+
+from _common import (
+    ALPHAS,
+    K_SWEEP,
+    N_SWEEP,
+    SKIP,
+    paper_workload,
+    record,
+    steady_sequence,
+)
+
+
+def overhead_pair(workload, alpha, seed):
+    adaptive = steady_sequence(
+        workload, alpha=alpha, rho=1.0, adapt_rho=True, seed=seed
+    ).mean_bandwidth_overhead(skip=SKIP)
+    reactive = steady_sequence(
+        workload, alpha=alpha, rho=1.0, adapt_rho=False, seed=seed + 1
+    ).mean_bandwidth_overhead(skip=SKIP)
+    return adaptive, reactive
+
+
+def test_e13_proactive_extra_bandwidth(benchmark):
+    lines = ["adaptive rho vs fixed rho=1, by alpha (k=10):", ""]
+    extra_by_alpha = {}
+    for alpha in ALPHAS:
+        workload = paper_workload(seed=5)
+        adaptive, reactive = overhead_pair(workload, alpha, 700 + int(alpha * 10))
+        extra_by_alpha[alpha] = adaptive - reactive
+        lines.append(
+            "  alpha=%.1f : adaptive %.2f vs reactive %.2f (extra %+.2f)"
+            % (alpha, adaptive, reactive, adaptive - reactive)
+        )
+
+    lines += ["", "by group size (alpha=20%, k=10):", ""]
+    extra_by_n = {}
+    for n in N_SWEEP:
+        workload = paper_workload(n_users=n, seed=6)
+        adaptive, reactive = overhead_pair(workload, 0.2, 800 + n % 89)
+        extra_by_n[n] = adaptive - reactive
+        lines.append(
+            "  N=%5d : adaptive %.2f vs reactive %.2f (extra %+.2f)"
+            % (n, adaptive, reactive, adaptive - reactive)
+        )
+
+    # The paper's bounds, with simulation-noise slack.
+    assert extra_by_alpha[0.0] < 0.35
+    assert extra_by_alpha[0.2] < 0.45
+    assert all(extra < 0.6 for extra in extra_by_n.values())
+
+    lines += [
+        "",
+        "paper (Figs 19-20): extra ~0 at alpha=0; < 0.25 at alpha=20% "
+        "(k >= 5); can be negative at alpha=1; < 0.4 up to N=16384.",
+    ]
+    record("e13", "extra bandwidth of adaptive proactive FEC", lines)
+
+    workload = paper_workload(seed=5)
+    benchmark.pedantic(
+        lambda: steady_sequence(
+            workload, alpha=0.2, n_messages=3, adapt_rho=False, seed=14
+        ),
+        rounds=1,
+        iterations=1,
+    )

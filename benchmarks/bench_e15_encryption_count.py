@@ -1,0 +1,86 @@
+"""E15 — expected encryption count: closed form vs marking algorithm.
+
+[SIGCOMM] The target paper's batch-rekeying analysis: the expected
+number of encryptions in a rekey message as a function of the number of
+departures L, with the hypergeometric closed form validated against the
+real marking algorithm.  Shape: rises with L, peaks near L = N/d, falls
+to zero at L = N (everything pruned); scales ~linearly with N.
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    expected_encryptions_joins_equal_leaves,
+    expected_encryptions_leaves_only,
+    expected_updated_knodes_leaves_only,
+    simulate_batch,
+)
+from repro.util import spawn_rng
+
+from _common import DEGREE, FULL, N_TRIALS, record
+
+N_MAIN = 4096
+L_GRID = (
+    (64, 256, 1024, 2048, 3072, 4000)
+    if FULL
+    else (64, 1024, 2048, 4000)
+)
+
+
+def test_e15_encryption_count(benchmark):
+    rng = spawn_rng(15)
+    lines = [
+        "N = %d, d = %d, J = 0 (leaves only):" % (N_MAIN, DEGREE),
+        "",
+        "     L    analytic   simulated    updated-keys (analytic/sim)",
+    ]
+    errors = []
+    for n_leaves in L_GRID:
+        analytic = expected_encryptions_leaves_only(N_MAIN, DEGREE, n_leaves)
+        sim = simulate_batch(
+            N_MAIN, DEGREE, 0, n_leaves, n_trials=N_TRIALS, rng=rng
+        )
+        simulated = sim["encryptions"].mean()
+        upd_analytic = expected_updated_knodes_leaves_only(
+            N_MAIN, DEGREE, n_leaves
+        )
+        upd_sim = sim["updated_knodes"].mean()
+        errors.append(abs(analytic - simulated) / max(simulated, 1))
+        lines.append(
+            "%6d %11.1f %11.1f      %9.1f / %9.1f"
+            % (n_leaves, analytic, simulated, upd_analytic, upd_sim)
+        )
+
+    # J = L batches for the replacement case.
+    lines += ["", "J = L batches:", "", "     B    analytic   simulated"]
+    for batch_size in (256, 1024):
+        analytic = expected_encryptions_joins_equal_leaves(
+            N_MAIN, DEGREE, batch_size
+        )
+        simulated = simulate_batch(
+            N_MAIN, DEGREE, batch_size, batch_size, n_trials=N_TRIALS, rng=rng
+        )["encryptions"].mean()
+        errors.append(abs(analytic - simulated) / max(simulated, 1))
+        lines.append("%6d %11.1f %11.1f" % (batch_size, analytic, simulated))
+
+    # Closed form within a few percent of the real algorithm everywhere.
+    assert max(errors) < 0.05
+
+    # Peak near L = N/d.
+    peak_zone = expected_encryptions_leaves_only(N_MAIN, DEGREE, N_MAIN // 4)
+    assert peak_zone > expected_encryptions_leaves_only(N_MAIN, DEGREE, 64)
+    assert peak_zone > expected_encryptions_leaves_only(N_MAIN, DEGREE, 4000)
+
+    lines += [
+        "",
+        "max |analytic - simulated| / simulated = %.3f" % max(errors),
+        "shape: rises with L, peaks near N/d = %d, collapses as pruning "
+        "takes over." % (N_MAIN // DEGREE),
+    ]
+    record("e15", "rekey-subtree size: closed form vs simulation", lines)
+
+    benchmark.pedantic(
+        lambda: expected_encryptions_leaves_only(N_MAIN, DEGREE, 1024),
+        rounds=3,
+        iterations=10,
+    )

@@ -1,0 +1,73 @@
+"""E16 — batch vs individual rekeying (the SIGCOMM headline saving).
+
+Replays identical request streams (J = L = B on N = 4096) through the
+marking algorithm one request at a time vs one batch, charging 2001-era
+crypto costs.  Shape: the processing-time ratio grows with the batch
+size and is dominated by the signature count (J + L signings become 1);
+encryption work also shrinks because shared path keys change once.
+"""
+
+from repro.analysis import batch_cost, individual_cost, signature_savings
+from repro.crypto.cost import CostModel
+from repro.util import spawn_rng
+
+from _common import DEGREE, FULL, record
+
+N_MAIN = 4096
+BATCHES = (4, 16, 64, 256) if not FULL else (4, 16, 64, 256, 1024)
+
+
+def test_e16_batch_vs_individual(benchmark):
+    model = CostModel()
+    lines = [
+        "N = %d, d = %d, J = L = B, 2001 cost constants "
+        "(sign 30 ms, encrypt 7 us, keygen 4 us):" % (N_MAIN, DEGREE),
+        "",
+        "    B | batch enc / keygen / sec | indiv enc / keygen / sec | ratio",
+    ]
+    ratios = {}
+    for batch_size in BATCHES:
+        rng = spawn_rng(160 + batch_size)
+        batch = batch_cost(N_MAIN, DEGREE, batch_size, batch_size, rng=rng)
+        rng = spawn_rng(160 + batch_size)
+        individual = individual_cost(
+            N_MAIN, DEGREE, batch_size, batch_size, rng=rng
+        )
+        ratio = individual.seconds(model) / batch.seconds(model)
+        ratios[batch_size] = ratio
+        lines.append(
+            "%5d | %7d / %6d / %6.3f | %7d / %6d / %7.3f | %5.0fx"
+            % (
+                batch_size,
+                batch.encryptions,
+                batch.key_generations,
+                batch.seconds(model),
+                individual.encryptions,
+                individual.key_generations,
+                individual.seconds(model),
+                ratio,
+            )
+        )
+        assert individual.signatures == 2 * batch_size
+        assert batch.signatures == 1
+        assert batch.encryptions < individual.encryptions
+
+    # The saving grows with batch size and is large.
+    sizes = sorted(ratios)
+    assert ratios[sizes[-1]] > ratios[sizes[0]]
+    assert ratios[sizes[-1]] > 20
+
+    lines += [
+        "",
+        "signatures saved at B=%d: %d"
+        % (sizes[-1], signature_savings(sizes[-1], sizes[-1])),
+        "paper: batching turns J+L signings into one and removes "
+        "redundant key changes; the gain grows with the batch.",
+    ]
+    record("e16", "batch vs individual rekeying cost", lines)
+
+    benchmark.pedantic(
+        lambda: batch_cost(N_MAIN, DEGREE, 64, 64, rng=spawn_rng(7)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,94 @@
+"""E19 — the unicast switch-over (§7).
+
+Two claims: (1) USR packets are tiny — at most ~(4 + 22 h) bytes vs
+1027-byte multicast packets — so serving the post-round-2 stragglers by
+unicast is cheap; (2) capping multicast at two rounds and unicasting the
+tail cuts worst-case delivery latency vs multicast-until-done while the
+extra unicast bytes stay a trivial fraction of the message.
+"""
+
+import numpy as np
+
+from repro.sim import LossParameters, MulticastTopology
+from repro.transport import FleetConfig, FleetSimulator
+from repro.util import RandomSource
+
+from _common import N_TRIALS, paper_workload, record
+
+
+def run(workload, multicast_only, seed):
+    topology = MulticastTopology(
+        workload.n_users,
+        params=LossParameters(),
+        random_source=RandomSource(seed),
+    )
+    config = FleetConfig(
+        rho=1.0,
+        adapt_rho=False,
+        multicast_only=multicast_only,
+        max_multicast_rounds=2,
+    )
+    simulator = FleetSimulator(topology, config, seed=seed + 1)
+    results = []
+    for index in range(max(N_TRIALS, 4)):
+        stats, _ = simulator.run_message(workload, message_index=index)
+        results.append(stats)
+    return results
+
+
+def test_e19_unicast_switchover(benchmark):
+    workload = paper_workload(seed=5)
+    multicast_runs = run(workload, multicast_only=True, seed=1900)
+    hybrid_runs = run(workload, multicast_only=False, seed=1900)
+
+    mc_rounds = np.mean([s.rounds_for_all_users for s in multicast_runs])
+    hy_rounds = np.mean([s.rounds_for_all_users for s in hybrid_runs])
+    usr_users = np.mean([s.unicast.users_served for s in hybrid_runs])
+    usr_packets = np.mean([s.unicast.usr_packets_sent for s in hybrid_runs])
+    usr_bytes = np.mean([s.unicast.usr_bytes_sent for s in hybrid_runs])
+    multicast_bytes = np.mean(
+        [s.total_multicast_packets for s in hybrid_runs]
+    ) * 1027
+
+    lines = [
+        "multicast-until-done: rounds for all users = %.2f" % mc_rounds,
+        "unicast after 2 rounds: multicast rounds = %.2f, "
+        "stragglers unicast = %.1f users" % (hy_rounds, usr_users),
+        "",
+        "unicast cost: %.1f USR packets, %.0f bytes "
+        "(%.3f%% of the %.0f multicast bytes)"
+        % (
+            usr_packets,
+            usr_bytes,
+            100 * usr_bytes / multicast_bytes,
+            multicast_bytes,
+        ),
+        "max USR packet size: %d bytes vs %d-byte multicast packets"
+        % (int(workload.usr_packet_bytes.max()), 1027),
+    ]
+
+    # Claims.  (Unicast-recovered stragglers are accounted as "one round
+    # past the last multicast round", so the hybrid's rounds_for_all is
+    # at most 3 while its *multicast* phase is capped at 2.)
+    assert all(s.n_multicast_rounds <= 2 for s in hybrid_runs)
+    assert hy_rounds <= 3.0 + 1e-9
+    assert mc_rounds > hy_rounds  # pure multicast drags on longer
+    assert usr_bytes < 0.05 * multicast_bytes  # unicast is cheap
+    assert workload.usr_packet_bytes.max() < 1027 / 4
+    # Only a handful of users need it (paper: ~5 or less at numNACK=20
+    # after two rounds; allow headroom at rho = 1 fixed).
+    assert usr_users < 0.02 * workload.n_users
+
+    lines += [
+        "",
+        "paper (§7): switch after <= 2 multicast rounds; USR packets are "
+        "<= (3 + 20h) bytes; only a few users remain, so unicast trims "
+        "worst-case latency at negligible bandwidth cost.",
+    ]
+    record("e19", "unicast switch-over: latency vs bandwidth", lines)
+
+    benchmark.pedantic(
+        lambda: run(workload, multicast_only=False, seed=77),
+        rounds=1,
+        iterations=1,
+    )

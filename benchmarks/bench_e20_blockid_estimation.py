@@ -1,0 +1,115 @@
+"""E20 — block-ID estimation accuracy (Appendix D).
+
+Paper claim: a user that lost its specific ENC packet pins the exact
+block unless all packets in one of its two witness sets are also lost;
+under independent loss at rate p the failure probability is
+``p^(j+2) + p^(k-j+1) - p^(k+2)`` (~p^2 in the worst case j = 0 or
+k - 1), and even then the estimated *range* always contains the true
+block, so the NACK just covers a few blocks.
+"""
+
+import numpy as np
+
+from repro.rekey.estimate import (
+    BlockIdEstimator,
+    estimation_failure_probability,
+)
+from repro.util import spawn_rng
+
+from _common import FULL, record
+
+
+class _Packet:
+    __slots__ = (
+        "frm_id", "to_id", "block_id", "seq_in_block", "max_kid",
+        "is_duplicate",
+    )
+
+    def __init__(self, frm_id, to_id, block_id, seq_in_block):
+        self.frm_id = frm_id
+        self.to_id = to_id
+        self.block_id = block_id
+        self.seq_in_block = seq_in_block
+        self.max_kid = 40_000
+        self.is_duplicate = False
+
+
+def build_packets(n_packets, k, users_per_packet=40):
+    packets = []
+    user = 1000
+    for index in range(n_packets):
+        packets.append(
+            _Packet(user, user + users_per_packet - 1, index // k, index % k)
+        )
+        user += users_per_packet + 1
+    return packets
+
+
+def trial_failure_rate(p, k, j, n_trials, rng):
+    """Empirical probability of not pinning the exact block."""
+    n_packets = 10 * k
+    packets = build_packets(n_packets, k)
+    target_block = 5
+    lost_index = target_block * k + j
+    failures = 0
+    widths = []
+    for _ in range(n_trials):
+        estimator = BlockIdEstimator(
+            packets[lost_index].frm_id, k=k, degree=4
+        )
+        for index, packet in enumerate(packets):
+            if index == lost_index:
+                continue
+            if rng.random() < p:
+                continue
+            estimator.observe(packet)
+        blocks = estimator.blocks_to_request(n_packets // k)
+        assert target_block in blocks  # the range never loses the truth
+        if len(blocks) > 1:
+            failures += 1
+            widths.append(len(blocks))
+    return failures / n_trials, (np.mean(widths) if widths else 1.0)
+
+
+def test_e20_blockid_estimation(benchmark):
+    rng = spawn_rng(20)
+    n_trials = 40_000 if FULL else 8_000
+    k = 10
+    lines = [
+        "k = %d, independent loss, %d trials per point." % (k, n_trials),
+        "",
+        "The paper's formula is unconditional (it includes the factor p",
+        "for losing one's own packet); the trials condition on that loss,",
+        "so the comparison point is analytic / p.",
+        "",
+        "   p     j   analytic/p    empirical   mean-range-when-failed",
+    ]
+    for p in (0.2, 0.4):
+        for j in (0, 3, k - 1):
+            conditional = estimation_failure_probability(p, k, j) / p
+            empirical, width = trial_failure_rate(p, k, j, n_trials, rng)
+            lines.append(
+                "%5.2f %4d %12.5f %12.5f %10.2f"
+                % (p, j, conditional, empirical, width)
+            )
+            # Within sampling noise of the closed form.
+            tolerance = 4 * np.sqrt(conditional / n_trials) + 0.003
+            assert abs(empirical - conditional) < tolerance
+
+    # Worst case ~ p^2.
+    worst = estimation_failure_probability(0.2, k, 0)
+    assert abs(worst - 0.2**2) / 0.2**2 < 0.05
+
+    lines += [
+        "",
+        "paper (Appendix D): failure probability p^(j+2) + p^(k-j+1) - "
+        "p^(k+2), ~p^2 worst case; on failure the user NACKs the "
+        "(correct, small) block range.",
+    ]
+    record("e20", "block-ID estimation failure probability", lines)
+
+    benchmark.pedantic(
+        lambda: trial_failure_rate(0.2, 10, 0, 500, spawn_rng(21)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Provisioning a rekey deadline: models first, simulation to confirm.
+
+An operator question the paper's analysis enables: *"my rekey interval
+is short — what proactivity factor do I need so that effectively every
+user has its keys after one multicast round, and what does it cost?"*
+
+This example:
+
+1. inverts the analytic models (`repro.analysis.tuning`) for the
+   required rho at several deadline/assurance combinations;
+2. cross-checks the chosen operating point against the fleet simulator
+   (burst loss, heterogeneous users — everything the model idealises);
+3. prices the choice in server bandwidth overhead.
+
+Run:  python examples/deadline_provisioning.py
+"""
+
+import numpy as np
+
+from repro.analysis.rounds_model import expected_rounds_per_user
+from repro.analysis.tuning import rho_for_deadline, rho_for_target_nacks
+from repro.sim import build_paper_topology
+from repro.transport import FleetConfig, FleetSimulator
+from repro.transport.fleet import make_paper_workload
+
+
+def main():
+    k = 10
+    print("1) required rho by deadline and assurance (worst links:")
+    print("   p_receiver=20%%, p_source=1%%, k=%d)\n" % k)
+    print("   deadline   99%      99.9%    99.99%")
+    for rounds in (1, 2, 3):
+        row = [
+            rho_for_deadline(
+                0.2, 0.01, k=k, deadline_rounds=rounds,
+                success_probability=q,
+            )
+            for q in (0.99, 0.999, 0.9999)
+        ]
+        print(
+            "   %d round%s  %.2f     %.2f     %.2f"
+            % (rounds, "s" if rounds > 1 else " ", *row)
+        )
+
+    target_rho = rho_for_deadline(
+        0.2, 0.01, k=k, deadline_rounds=1, success_probability=0.999
+    )
+    nack_rho = rho_for_target_nacks(
+        3072, alpha=0.2, p_high=0.2, p_low=0.02, p_source=0.01,
+        k=k, target_nacks=20,
+    )
+    print(
+        "\n   -> one-round 99.9%% needs rho = %.2f "
+        "(the NACK-target controller would settle at %.2f)"
+        % (target_rho, nack_rho)
+    )
+    print(
+        "   model expected rounds/user at rho=%.2f: %.4f"
+        % (target_rho, expected_rounds_per_user(0.208, k, int((target_rho - 1) * k)))
+    )
+
+    print("\n2) simulator confirmation (N=4096, burst loss, alpha=20%):\n")
+    workload = make_paper_workload(n_users=4096, k=k, seed=1)
+    for rho in (1.0, nack_rho, target_rho):
+        simulator = FleetSimulator(
+            build_paper_topology(n_users=workload.n_users, seed=2),
+            FleetConfig(rho=rho, adapt_rho=False, multicast_only=True),
+            seed=3,
+        )
+        fractions, overheads = [], []
+        for index in range(4):
+            stats, _ = simulator.run_message(
+                workload, rho=rho, message_index=index
+            )
+            fractions.append((stats.user_rounds == 1).mean())
+            overheads.append(stats.bandwidth_overhead)
+        print(
+            "   rho=%.2f : %.4f of users done in round 1, "
+            "bandwidth overhead %.2f"
+            % (rho, np.mean(fractions), np.mean(overheads))
+        )
+
+    print(
+        "\n3) the price of assurance is the proactive parity: overhead "
+        "grows ~(rho-1) on top of the reactive floor — choose the "
+        "deadline, read off the bill."
+    )
+
+
+if __name__ == "__main__":
+    main()

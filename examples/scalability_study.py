@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""How large a group can one key server rekey? (the SIGCOMM analysis)
+
+Three views of the scalability question:
+
+1. **Batch vs individual rekeying** — replaying the same request stream
+   one request at a time vs one marking run, with 2001-era crypto cost
+   constants (30 ms RSA signature dominating).
+2. **Rekey-subtree growth** — the closed-form expected encryption count
+   against group size and batch size, validated by the real marking
+   algorithm.
+3. **Max supportable group size** — inverting the processing-time model
+   for a range of rekey intervals.
+
+Run:  python examples/scalability_study.py
+"""
+
+from repro.analysis import (
+    batch_cost,
+    expected_encryptions_leaves_only,
+    individual_cost,
+    max_supported_group_size,
+    processing_seconds_per_interval,
+    simulate_batch,
+)
+from repro.util import spawn_rng
+
+
+def section(title):
+    print("\n" + title)
+    print("-" * len(title))
+
+
+def main():
+    section("1. batch vs individual rekeying (N=4096, d=4, J=L=256)")
+    rng = spawn_rng(1)
+    batch = batch_cost(4096, 4, 256, 256, rng=rng)
+    rng = spawn_rng(1)
+    individual = individual_cost(4096, 4, 256, 256, rng=rng)
+    print(
+        "batch:      %6d encryptions %5d keygens %4d signatures -> %7.3f s"
+        % (
+            batch.encryptions,
+            batch.key_generations,
+            batch.signatures,
+            batch.seconds(),
+        )
+    )
+    print(
+        "individual: %6d encryptions %5d keygens %4d signatures -> %7.3f s"
+        % (
+            individual.encryptions,
+            individual.key_generations,
+            individual.signatures,
+            individual.seconds(),
+        )
+    )
+    print(
+        "batching is %.0fx cheaper (signatures dominate)"
+        % (individual.seconds() / batch.seconds())
+    )
+
+    section("2. expected encryptions: closed form vs marking algorithm")
+    print("   N      L    analytic   simulated")
+    rng = spawn_rng(2)
+    for n_users, n_leaves in [(1024, 256), (4096, 1024), (16384, 4096)]:
+        analytic = expected_encryptions_leaves_only(n_users, 4, n_leaves)
+        simulated = simulate_batch(
+            n_users, 4, 0, n_leaves, n_trials=5, rng=rng
+        )["encryptions"].mean()
+        print(
+            "%6d %6d %10.1f %11.1f" % (n_users, n_leaves, analytic, simulated)
+        )
+
+    section("3. processing time per interval (d=4, 25% churn, replaced)")
+    print("      N    seconds")
+    for height in range(4, 10):
+        n_users = 4**height
+        seconds = processing_seconds_per_interval(n_users, 4, 0.25)
+        print("%8d %9.3f" % (n_users, seconds))
+
+    section("4. max supportable group size vs rekey interval")
+    print("interval   max N (d=4, 25% churn/interval)")
+    for interval in (1, 10, 30, 60, 300, 600):
+        print(
+            "%7ds   %d" % (interval, max_supported_group_size(interval))
+        )
+
+
+if __name__ == "__main__":
+    main()

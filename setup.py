@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on offline machines where the ``wheel``
+package (required by PEP 660 editable builds) is unavailable — pip can
+fall back to the legacy ``setup.py develop`` path via
+``--no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""Analytic models from the performance analysis.
+
+- :mod:`repro.analysis.encryptions` — closed-form expected rekey-subtree
+  sizes (encryptions, updated keys) for batches on a full balanced key
+  tree, plus Monte-Carlo validators that run the real marking algorithm.
+- :mod:`repro.analysis.batching` — batch vs individual rekeying cost:
+  encryptions, key generations and (crucially) signatures saved.
+- :mod:`repro.analysis.scalability` — key-server processing time per
+  interval and the largest group a single server can sustain.
+- :mod:`repro.analysis.fec_model` — recovery/NACK probabilities for
+  proactive-FEC multicast under independent loss.
+"""
+
+from repro.analysis.encryptions import (
+    expected_encryptions_joins_equal_leaves,
+    expected_encryptions_leaves_only,
+    expected_updated_knodes_leaves_only,
+    simulate_batch,
+)
+from repro.analysis.batching import (
+    BatchCost,
+    batch_cost,
+    individual_cost,
+    individual_leave_encryptions,
+    signature_savings,
+)
+from repro.analysis.scalability import (
+    max_supported_group_size,
+    processing_seconds_per_interval,
+)
+from repro.analysis.fec_model import (
+    expected_first_round_nacks,
+    first_round_failure_probability,
+    round_one_recovery_fraction,
+)
+from repro.analysis.rounds_model import (
+    expected_bandwidth_overhead,
+    expected_block_amax,
+    expected_rounds_per_user,
+)
+from repro.analysis.duplication import (
+    expected_duplication_overhead,
+    expected_duplications_per_boundary,
+    paper_duplication_bound,
+)
+from repro.analysis.tuning import (
+    block_size_for_encoding_budget,
+    rho_for_deadline,
+    rho_for_target_nacks,
+)
+
+__all__ = [
+    "BatchCost",
+    "batch_cost",
+    "block_size_for_encoding_budget",
+    "expected_encryptions_joins_equal_leaves",
+    "expected_encryptions_leaves_only",
+    "expected_bandwidth_overhead",
+    "expected_block_amax",
+    "expected_duplication_overhead",
+    "expected_duplications_per_boundary",
+    "expected_first_round_nacks",
+    "expected_rounds_per_user",
+    "expected_updated_knodes_leaves_only",
+    "first_round_failure_probability",
+    "individual_cost",
+    "individual_leave_encryptions",
+    "max_supported_group_size",
+    "paper_duplication_bound",
+    "processing_seconds_per_interval",
+    "rho_for_deadline",
+    "rho_for_target_nacks",
+    "round_one_recovery_fraction",
+    "signature_savings",
+    "simulate_batch",
+]

@@ -1,0 +1,126 @@
+"""Batch vs individual rekeying cost (the paper's headline saving).
+
+Rekeying after every request costs one digital signature *per request*
+plus per-request encryptions; periodic batching pays one signature per
+interval and removes redundant key changes (a key on the path of two
+departures is changed once, not twice; a join filling a departure's slot
+cancels its structural work).
+
+``individual_leave_encryptions`` is exact for a full balanced tree: a
+single departure changes the ``h`` k-node keys on its path; the deepest
+is encrypted for ``d - 1`` remaining siblings, each higher one for ``d``
+children, giving ``d*h - 1``.
+
+``individual_cost`` / ``batch_cost`` return full
+:class:`BatchCost` records (encryptions, key generations, signatures,
+modelled seconds) — ``individual_cost`` by replaying requests one at a
+time through the real marking algorithm, ``batch_cost`` in one shot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.cost import CostModel
+from repro.errors import ConfigurationError
+from repro.keytree.marking import MarkingAlgorithm
+from repro.keytree.tree import KeyTree
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class BatchCost:
+    """Server-side work for processing one batch (or request stream)."""
+
+    encryptions: int
+    key_generations: int
+    signatures: int
+
+    def seconds(self, cost_model=None):
+        """Modelled processing time under ``cost_model``."""
+        model = cost_model or CostModel()
+        return model.batch_seconds(
+            self.key_generations, self.encryptions, self.signatures
+        )
+
+    def __add__(self, other):
+        return BatchCost(
+            encryptions=self.encryptions + other.encryptions,
+            key_generations=self.key_generations + other.key_generations,
+            signatures=self.signatures + other.signatures,
+        )
+
+
+def individual_leave_encryptions(degree, height):
+    """Encryptions to rekey one departure on a full tree: ``d*h - 1``."""
+    check_positive("degree", degree, integral=True)
+    check_positive("height", height, integral=True)
+    return degree * height - 1
+
+
+def signature_savings(n_joins, n_leaves):
+    """Signatures saved by batching: ``J + L`` signings become one."""
+    check_non_negative("n_joins", n_joins, integral=True)
+    check_non_negative("n_leaves", n_leaves, integral=True)
+    total = n_joins + n_leaves
+    if total == 0:
+        return 0
+    return total - 1
+
+
+def _cost_from_result(result):
+    subtree = result.subtree
+    # Key generations: every updated k-node plus every fresh individual
+    # key handed to a joined/replaced user.
+    return BatchCost(
+        encryptions=subtree.n_encryptions,
+        key_generations=subtree.n_updated_keys + len(result.joined_ids),
+        signatures=1 if subtree.n_encryptions else 0,
+    )
+
+
+def batch_cost(n_users, degree, n_joins, n_leaves, rng=None):
+    """Cost of processing the batch in one marking run (measured)."""
+    tree, users, leaves, joins = _setup(
+        n_users, degree, n_joins, n_leaves, rng
+    )
+    result = MarkingAlgorithm(renew_keys=False).apply(
+        tree, joins=joins, leaves=leaves
+    )
+    return _cost_from_result(result)
+
+
+def individual_cost(n_users, degree, n_joins, n_leaves, rng=None):
+    """Cost of processing the same requests one at a time.
+
+    Leaves are processed first, then joins (order barely matters for the
+    totals; this matches a server draining its queue).
+    """
+    tree, users, leaves, joins = _setup(
+        n_users, degree, n_joins, n_leaves, rng
+    )
+    algorithm = MarkingAlgorithm(renew_keys=False)
+    total = BatchCost(encryptions=0, key_generations=0, signatures=0)
+    for user in leaves:
+        total = total + _cost_from_result(algorithm.apply(tree, leaves=[user]))
+    for user in joins:
+        total = total + _cost_from_result(algorithm.apply(tree, joins=[user]))
+    return total
+
+
+def _setup(n_users, degree, n_joins, n_leaves, rng):
+    check_positive("n_users", n_users, integral=True)
+    check_non_negative("n_joins", n_joins, integral=True)
+    check_non_negative("n_leaves", n_leaves, integral=True)
+    if n_leaves > n_users:
+        raise ConfigurationError("more leaves than users")
+    if rng is None:
+        from repro.util.rng import spawn_rng
+
+        rng = spawn_rng()
+    users = ["u%d" % i for i in range(n_users)]
+    tree = KeyTree.full_balanced(users, degree)
+    leave_idx = rng.choice(n_users, size=n_leaves, replace=False)
+    leaves = [users[i] for i in leave_idx]
+    joins = ["j%d" % i for i in range(n_joins)]
+    return tree, users, leaves, joins

@@ -1,0 +1,165 @@
+"""Expected rekey-subtree size for batches on a full balanced tree.
+
+Setting: a full, balanced d-ary key tree with ``N = d^h`` users; a batch
+of ``L`` departures drawn uniformly without replacement (and, for the
+J = L case, the departures replaced in place by joins).  The rekey
+subtree's edge count — the number of encryptions in the rekey message —
+has a closed form by linearity of expectation over edges:
+
+An edge (parent ``p`` at level ``l``, child ``c`` at level ``l+1``)
+carries an encryption iff ``p``'s key changed and ``c`` still exists.
+
+- **Leaves only (J = 0).**  ``p`` changes iff at least one of its
+  ``s_l = d^(h-l)`` descendant users departed and not all of them did
+  (all-departed means ``p`` is pruned); ``c`` is removed iff all of its
+  ``s_(l+1)`` users departed.  With hypergeometric departure counts::
+
+      P(edge) = 1 - C(N - s_l, L)/C(N, L) - C(N - s_{l+1}, L - s_{l+1})/C(N, L)
+
+  (the second term doubles as ``P(p unaffected)``, the third as
+  ``P(c pruned)``; the events are disjoint).
+
+- **J = L (replacement batch).**  Departed u-nodes are immediately
+  refilled, so nothing is pruned: ``P(edge) = 1 - C(N - s_l, L)/C(N, L)``.
+
+Binomial ratios are evaluated with log-gamma so the formulas hold to
+N in the millions.  ``simulate_batch`` runs the *real* marking algorithm
+for Monte-Carlo validation (bench E15 plots both).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.errors import ConfigurationError
+from repro.keytree.marking import MarkingAlgorithm
+from repro.keytree.tree import KeyTree
+from repro.util.validation import check_non_negative, check_positive
+
+
+def _check_full_tree(n_users, degree):
+    check_positive("n_users", n_users, integral=True)
+    check_positive("degree", degree, integral=True)
+    if degree < 2:
+        raise ConfigurationError("degree must be >= 2")
+    height = 0
+    size = 1
+    while size < n_users:
+        size *= degree
+        height += 1
+    if size != n_users:
+        raise ConfigurationError(
+            "closed forms need N to be a power of d; got N=%d, d=%d"
+            % (n_users, degree)
+        )
+    return height
+
+
+def _log_choose(n, k):
+    """log C(n, k) via log-gamma (valid for 0 <= k <= n)."""
+    return gammaln(n + 1) - gammaln(k + 1) - gammaln(n - k + 1)
+
+
+def _choose_ratio(n_top, k_top, n_bottom, k_bottom):
+    """C(n_top, k_top) / C(n_bottom, k_bottom), safely in log space."""
+    if k_top < 0 or k_top > n_top:
+        return 0.0
+    return float(
+        np.exp(_log_choose(n_top, k_top) - _log_choose(n_bottom, k_bottom))
+    )
+
+
+def expected_encryptions_leaves_only(n_users, degree, n_leaves):
+    """E[#encryptions] for a batch of ``n_leaves`` departures (J = 0)."""
+    height = _check_full_tree(n_users, degree)
+    check_non_negative("n_leaves", n_leaves, integral=True)
+    if n_leaves > n_users:
+        raise ConfigurationError("more leaves than users")
+    if n_leaves == 0:
+        return 0.0
+    total = 0.0
+    for level in range(height):
+        s_parent = degree ** (height - level)
+        s_child = s_parent // degree
+        p_parent_unaffected = _choose_ratio(
+            n_users - s_parent, n_leaves, n_users, n_leaves
+        )
+        p_child_pruned = _choose_ratio(
+            n_users - s_child, n_leaves - s_child, n_users, n_leaves
+        )
+        p_edge = 1.0 - p_parent_unaffected - p_child_pruned
+        total += degree ** (level + 1) * p_edge
+    return total
+
+
+def expected_updated_knodes_leaves_only(n_users, degree, n_leaves):
+    """E[#k-nodes whose key changes] for ``n_leaves`` departures (J = 0).
+
+    A k-node at level ``l`` is rekeyed iff its subtree is affected but
+    not fully departed.
+    """
+    height = _check_full_tree(n_users, degree)
+    check_non_negative("n_leaves", n_leaves, integral=True)
+    if n_leaves > n_users:
+        raise ConfigurationError("more leaves than users")
+    if n_leaves == 0:
+        return 0.0
+    total = 0.0
+    for level in range(height):
+        size = degree ** (height - level)
+        p_unaffected = _choose_ratio(
+            n_users - size, n_leaves, n_users, n_leaves
+        )
+        p_all_departed = _choose_ratio(
+            n_users - size, n_leaves - size, n_users, n_leaves
+        )
+        total += degree**level * (1.0 - p_unaffected - p_all_departed)
+    return total
+
+
+def expected_encryptions_joins_equal_leaves(n_users, degree, batch_size):
+    """E[#encryptions] for J = L = ``batch_size`` (in-place replacement)."""
+    height = _check_full_tree(n_users, degree)
+    check_non_negative("batch_size", batch_size, integral=True)
+    if batch_size > n_users:
+        raise ConfigurationError("batch larger than the group")
+    if batch_size == 0:
+        return 0.0
+    total = 0.0
+    for level in range(height):
+        size = degree ** (height - level)
+        p_unaffected = _choose_ratio(
+            n_users - size, batch_size, n_users, batch_size
+        )
+        total += degree ** (level + 1) * (1.0 - p_unaffected)
+    return total
+
+
+def simulate_batch(
+    n_users, degree, n_joins, n_leaves, n_trials=10, rng=None
+):
+    """Monte-Carlo rekey-subtree sizes from the real marking algorithm.
+
+    Returns a dict of numpy arrays (one entry per trial):
+    ``encryptions``, ``updated_knodes``, ``enc_packets`` is left to the
+    caller (depends on packing).
+    """
+    check_positive("n_trials", n_trials, integral=True)
+    if rng is None:
+        from repro.util.rng import spawn_rng
+
+        rng = spawn_rng()
+    encryptions = np.zeros(n_trials)
+    updated = np.zeros(n_trials)
+    algorithm = MarkingAlgorithm(renew_keys=False)
+    users = ["u%d" % i for i in range(n_users)]
+    for trial in range(n_trials):
+        tree = KeyTree.full_balanced(users, degree)
+        leave_idx = rng.choice(n_users, size=n_leaves, replace=False)
+        leaves = [users[i] for i in leave_idx]
+        joins = ["j%d" % i for i in range(n_joins)]
+        result = algorithm.apply(tree, joins=joins, leaves=leaves)
+        encryptions[trial] = result.n_encryptions
+        updated[trial] = result.subtree.n_updated_keys
+    return {"encryptions": encryptions, "updated_knodes": updated}

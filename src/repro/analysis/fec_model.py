@@ -1,0 +1,73 @@
+"""Analytic model of proactive-FEC first-round recovery.
+
+Under *independent* per-packet loss at rate ``p`` (receiver and source
+combined), a user whose block carries ``k`` ENC + ``a`` proactive PARITY
+packets fails round one iff
+
+1. its specific ENC packet is lost (probability ``p``), **and**
+2. fewer than ``k`` of the block's other ``k + a - 1`` packets arrive.
+
+So ``P(fail) = p * P[Binomial(k + a - 1, 1 - p) < k]`` — the quantity
+behind Figure 9's exponential NACK decay in ``rho`` (each extra parity
+packet multiplies the binomial tail by roughly ``p``).
+
+The burst-loss simulation deviates from independence at 100 ms packet
+spacing only mildly; bench E04 plots model vs simulation.
+"""
+
+from __future__ import annotations
+
+from scipy.stats import binom
+
+from repro.transport.adaptive import proactive_parity_count
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+def combined_loss_rate(p_receiver, p_source):
+    """Effective per-packet loss across source + receiver links."""
+    check_probability("p_receiver", p_receiver)
+    check_probability("p_source", p_source)
+    return 1.0 - (1.0 - p_receiver) * (1.0 - p_source)
+
+
+def first_round_failure_probability(p, k, n_parity):
+    """P(a user cannot recover in round one), independent loss ``p``."""
+    check_probability("p", p)
+    check_positive("k", k, integral=True)
+    check_non_negative("n_parity", n_parity, integral=True)
+    if p == 0.0:
+        return 0.0
+    others = k + n_parity - 1
+    # Fewer than k of the others arrive: Binomial(others, 1-p) <= k-1.
+    tail = binom.cdf(k - 1, others, 1.0 - p)
+    return float(p * tail)
+
+
+def round_one_recovery_fraction(
+    alpha, p_high, p_low, p_source, k, rho
+):
+    """Expected fraction of users recovering in round one."""
+    check_probability("alpha", alpha)
+    n_parity = proactive_parity_count(rho, k)
+    fail_high = first_round_failure_probability(
+        combined_loss_rate(p_high, p_source), k, n_parity
+    )
+    fail_low = first_round_failure_probability(
+        combined_loss_rate(p_low, p_source), k, n_parity
+    )
+    return 1.0 - (alpha * fail_high + (1.0 - alpha) * fail_low)
+
+
+def expected_first_round_nacks(
+    n_users, alpha, p_high, p_low, p_source, k, rho
+):
+    """Expected NACK count after round one (one NACK per failing user)."""
+    check_positive("n_users", n_users, integral=True)
+    fraction_failing = 1.0 - round_one_recovery_fraction(
+        alpha, p_high, p_low, p_source, k, rho
+    )
+    return n_users * fraction_failing

@@ -1,0 +1,141 @@
+"""Multi-round recovery model for proactive-FEC multicast.
+
+Extends the single-round model of :mod:`repro.analysis.fec_model` to the
+full retransmission process, under independent per-packet loss:
+
+- A user that failed round one is short ``s = k - received`` codewords
+  of its block.  Each later round the server multicasts at least ``s``
+  fresh parity packets (it sends the per-block maximum request, so
+  ``s`` is a lower bound — making this model slightly pessimistic).
+- The shortfall therefore evolves as ``s' ~ Binomial(s, p)`` per round:
+  each of the ``s`` needed packets independently arrives (shrinking the
+  shortfall) or is lost.
+
+``expected_rounds_per_user`` computes the absorption time of that chain
+exactly by dynamic programming over shortfall states; bench/test
+comparisons against the fleet simulator show it tracks the simulated
+per-user round counts.
+
+``expected_block_amax`` gives the expected *maximum* first-round
+shortfall over the users of one block (the quantity the server
+retransmits), from binomial order statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import binom
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+_MAX_ROUNDS = 200
+
+
+def _shortfall_distribution(p, k, n_parity):
+    """P(first-round shortfall = s | user failed round one), s = 1..k.
+
+    Conditioned on the user's specific packet being lost, it received
+    ``r ~ Binomial(k + n_parity - 1, 1 - p)`` other codewords; the
+    shortfall is ``max(0, k - r)`` and failure means shortfall >= 1.
+    """
+    others = k + n_parity - 1
+    shortfalls = np.zeros(k + 1)
+    for received in range(0, others + 1):
+        shortfall = max(0, k - received)
+        shortfalls[shortfall] += binom.pmf(received, others, 1.0 - p)
+    return shortfalls
+
+
+def expected_rounds_per_user(p, k, n_parity=0):
+    """Expected multicast rounds for one user to recover its block.
+
+    Round one succeeds with probability ``1 - f1``; otherwise the user
+    enters the shortfall chain and needs one extra round per step until
+    absorption at shortfall 0.
+    """
+    check_probability("p", p)
+    check_positive("k", k, integral=True)
+    check_non_negative("n_parity", n_parity, integral=True)
+    if p == 0.0:
+        return 1.0
+    if p >= 1.0:
+        raise ConfigurationError("p = 1 never recovers")
+
+    shortfalls = _shortfall_distribution(p, k, n_parity)
+    failure = p * (1.0 - shortfalls[0])
+    if failure == 0.0:
+        return 1.0
+
+    # E[extra rounds | start shortfall s]: T(0) = 0,
+    # T(s) = 1 + sum_j P(Binom(s, p) = j) T(j); solve bottom-up with the
+    # self-transition (j = s) moved to the left-hand side.
+    extra = np.zeros(k + 1)
+    for s in range(1, k + 1):
+        stay = binom.pmf(s, s, p)
+        if stay >= 1.0:
+            raise ConfigurationError("absorbing chain requires p < 1")
+        total = 1.0
+        for j in range(0, s):
+            total += binom.pmf(j, s, p) * extra[j]
+        extra[s] = total / (1.0 - stay)
+
+    conditional = shortfalls[1:] / shortfalls[1:].sum()
+    mean_extra = float((conditional * extra[1:]).sum())
+    # Unconditional: 1 round always; failed users pay the chain, where
+    # the conditioning on "own packet lost" contributes factor p.
+    f1 = p * shortfalls[1:].sum()
+    return 1.0 + f1 * mean_extra
+
+
+def expected_block_amax(p, k, n_parity, n_users_in_block):
+    """E[max first-round shortfall] over one block's users.
+
+    Users' shortfalls are treated as independent (they share the source
+    link, so this is approximate); the maximum is computed from the CDF
+    product.  A user that received its specific packet requests 0.
+    """
+    check_probability("p", p)
+    check_positive("k", k, integral=True)
+    check_non_negative("n_parity", n_parity, integral=True)
+    check_positive("n_users_in_block", n_users_in_block, integral=True)
+    if p == 0.0:
+        return 0.0
+    shortfalls = _shortfall_distribution(p, k, n_parity)
+    # Per-user shortfall distribution including round-one success:
+    per_user = np.zeros(k + 1)
+    per_user[0] = (1.0 - p) + p * shortfalls[0]
+    per_user[1:] = p * shortfalls[1:]
+    cdf = np.cumsum(per_user)
+    cdf_max = cdf**n_users_in_block
+    pmf_max = np.diff(np.concatenate([[0.0], cdf_max]))
+    return float((np.arange(k + 1) * pmf_max).sum())
+
+
+def expected_bandwidth_overhead(p, k, n_parity, n_users_in_block,
+                                max_rounds=20):
+    """Approximate server bandwidth overhead ``h'/h`` for one block.
+
+    Round one costs ``k + n_parity`` packets per ``k`` ENC packets;
+    each later round costs the expected per-block ``amax`` while any of
+    the block's users remains short.  The shrinking-shortfall chain is
+    truncated at ``max_rounds``.
+    """
+    check_positive("max_rounds", max_rounds, integral=True)
+    if p == 0.0:
+        return (k + n_parity) / k
+    total = float(k + n_parity)
+    # Survival of "some user still short" round over round, with the
+    # per-round amax decaying geometrically (each needed packet arrives
+    # w.p. 1-p).
+    amax = expected_block_amax(p, k, n_parity, n_users_in_block)
+    for _ in range(max_rounds):
+        if amax < 1e-3:
+            break
+        total += amax
+        amax *= p
+    return total / k

@@ -1,0 +1,105 @@
+"""Key-server processing time and maximum supportable group size.
+
+The scalability question: with a rekey interval of ``T`` seconds and a
+churn model (a fraction of the group leaving, and as many joining, per
+interval), how large a group can one key server rekey in time?
+
+Processing per interval is modelled as cost accounting (the paper's
+method): key generations and encryptions scale with the rekey-subtree
+size (closed forms from :mod:`repro.analysis.encryptions`) plus one
+signature.  ``max_supported_group_size`` then inverts the model by
+scanning tree heights (group sizes are powers of ``d``, matching the
+closed forms' domain).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.encryptions import (
+    expected_encryptions_joins_equal_leaves,
+    expected_encryptions_leaves_only,
+    expected_updated_knodes_leaves_only,
+)
+from repro.crypto.cost import CostModel
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+)
+
+
+def processing_seconds_per_interval(
+    n_users,
+    degree,
+    leave_fraction,
+    join_equals_leave=True,
+    cost_model=None,
+):
+    """Expected server processing time for one rekey interval.
+
+    ``leave_fraction`` of the group departs per interval (uniformly);
+    with ``join_equals_leave`` the same number joins (the steady-state
+    assumption), doubling the key-generation work for individual keys.
+    """
+    check_positive("n_users", n_users, integral=True)
+    check_in_range("leave_fraction", leave_fraction, 0.0, 1.0)
+    model = cost_model or CostModel()
+    n_leaves = int(round(leave_fraction * n_users))
+    if n_leaves == 0:
+        return 0.0
+    if join_equals_leave:
+        encryptions = expected_encryptions_joins_equal_leaves(
+            n_users, degree, n_leaves
+        )
+        # Every changed k-node (no pruning with replacement) + L fresh
+        # individual keys.
+        updated = encryptions / degree
+        keygens = updated + n_leaves
+    else:
+        encryptions = expected_encryptions_leaves_only(
+            n_users, degree, n_leaves
+        )
+        keygens = expected_updated_knodes_leaves_only(
+            n_users, degree, n_leaves
+        )
+    return model.batch_seconds(
+        int(round(keygens)), int(round(encryptions)), signatures=1
+    )
+
+
+def max_supported_group_size(
+    rekey_interval_seconds,
+    degree=4,
+    leave_fraction=0.25,
+    join_equals_leave=True,
+    cost_model=None,
+    budget_fraction=1.0,
+    max_height=12,
+):
+    """Largest ``N = d^h`` the server can rekey within each interval.
+
+    ``budget_fraction`` is the share of the interval available for
+    rekey processing (the server also registers users, etc.).
+    Returns 0 when even a minimal group exceeds the budget.
+    """
+    check_positive("rekey_interval_seconds", rekey_interval_seconds)
+    check_in_range("budget_fraction", budget_fraction, 0.0, 1.0)
+    check_positive("max_height", max_height, integral=True)
+    if degree < 2:
+        raise ConfigurationError("degree must be >= 2")
+    budget = rekey_interval_seconds * budget_fraction
+    model = cost_model or CostModel()
+    best = 0
+    for height in range(1, max_height + 1):
+        n_users = degree**height
+        seconds = processing_seconds_per_interval(
+            n_users,
+            degree,
+            leave_fraction,
+            join_equals_leave=join_equals_leave,
+            cost_model=model,
+        )
+        if seconds <= budget:
+            best = n_users
+        else:
+            break
+    return best

@@ -1,0 +1,121 @@
+"""Provisioning helpers: choose protocol parameters for a target.
+
+The analytic models answer "what happens at these parameters"; these
+helpers invert them for the questions an operator actually asks:
+
+- :func:`rho_for_target_nacks` — the smallest proactivity factor whose
+  expected first-round NACK count is at or below a target (what
+  ``AdjustRho`` converges to, computed a priori);
+- :func:`rho_for_deadline` — the smallest rho such that a user on the
+  *worst* link recovers within ``deadline_rounds`` with the requested
+  probability;
+- :func:`block_size_for_encoding_budget` — the largest block size whose
+  per-message FEC encoding cost stays within a budget, given the
+  expected message size.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.fec_model import (
+    combined_loss_rate,
+    expected_first_round_nacks,
+    first_round_failure_probability,
+)
+from repro.errors import ConfigurationError
+from repro.transport.adaptive import proactive_parity_count
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+_RHO_STEP_LIMIT = 400
+
+
+def _rho_grid(k):
+    """Meaningful rho values: one per whole parity packet per block."""
+    for parity in range(_RHO_STEP_LIMIT):
+        yield 1.0 + parity / k, parity
+
+
+def rho_for_target_nacks(
+    n_users, alpha, p_high, p_low, p_source, k, target_nacks
+):
+    """Smallest rho with E[first-round NACKs] <= ``target_nacks``.
+
+    This is the fixed point the AdjustRho controller hunts for; bench
+    E06's stable values land on it.
+    """
+    check_positive("n_users", n_users, integral=True)
+    check_non_negative("target_nacks", target_nacks)
+    for rho, _ in _rho_grid(k):
+        expected = expected_first_round_nacks(
+            n_users, alpha, p_high, p_low, p_source, k, rho
+        )
+        if expected <= target_nacks:
+            return rho
+    raise ConfigurationError(
+        "no rho within the parity budget meets the NACK target"
+    )
+
+
+def rho_for_deadline(
+    p_receiver,
+    p_source,
+    k,
+    deadline_rounds=1,
+    success_probability=0.999,
+):
+    """Smallest rho giving per-user recovery within the deadline.
+
+    Round-one failure is the binomial model; each later round
+    multiplies the failure probability by at most the per-packet loss
+    (the shortfall chain's slowest mode), which keeps the bound
+    conservative.
+    """
+    check_probability("success_probability", success_probability)
+    check_positive("deadline_rounds", deadline_rounds, integral=True)
+    p = combined_loss_rate(p_receiver, p_source)
+    allowed_failure = 1.0 - success_probability
+    for rho, parity in _rho_grid(k):
+        failure = first_round_failure_probability(p, k, parity)
+        # Later rounds: shortfall shrinks geometrically; bound the
+        # residual failure by p per extra round.
+        residual = failure * (p ** (deadline_rounds - 1))
+        if residual <= allowed_failure:
+            return rho
+    raise ConfigurationError(
+        "no rho within the parity budget meets the deadline target"
+    )
+
+
+def block_size_for_encoding_budget(
+    expected_enc_packets,
+    encoding_budget_units,
+    overhead_factor=1.8,
+    k_min=5,
+    k_max=128,
+):
+    """Largest k whose expected FEC encoding cost fits the budget.
+
+    Encoding one parity packet costs ``k`` units (Rizzo); a message of
+    ``h`` ENC packets at server overhead ``c`` sends about
+    ``(c - 1) * h`` parity packets, costing ``k * (c - 1) * h`` units.
+    Since the overhead is ~flat for k >= 5 (bench E03), the cost is
+    ~linear in k and the inversion is a simple bound.
+    """
+    check_positive("expected_enc_packets", expected_enc_packets)
+    check_positive("encoding_budget_units", encoding_budget_units)
+    check_positive("overhead_factor", overhead_factor)
+    if overhead_factor <= 1.0:
+        return k_max
+    parity_packets = (overhead_factor - 1.0) * expected_enc_packets
+    best = math.floor(encoding_budget_units / parity_packets)
+    if best < k_min:
+        raise ConfigurationError(
+            "budget %.0f units cannot cover even k=%d"
+            % (encoding_budget_units, k_min)
+        )
+    return min(best, k_max)

@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands:
+
+- ``demo`` — run a small secure group through joins/leaves/rekeys and
+  print what happened (the quickest smoke test of an install);
+- ``simulate`` — run the fleet transport simulator with the paper's
+  workload and print the adaptive-control trajectories;
+- ``analyze`` — print the closed-form tables: expected rekey-message
+  sizes and the max supportable group size per rekey interval.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reliable group rekeying (SIGCOMM 2001) — reproduction CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a small secure group demo")
+    demo.add_argument("--members", type=int, default=16)
+    demo.add_argument("--intervals", type=int, default=3)
+    demo.add_argument("--lossy", action="store_true")
+
+    simulate = sub.add_parser(
+        "simulate", help="run the fleet transport simulator"
+    )
+    simulate.add_argument("--users", type=int, default=4096)
+    simulate.add_argument("--degree", type=int, default=4)
+    simulate.add_argument("--k", type=int, default=10)
+    simulate.add_argument("--alpha", type=float, default=0.20)
+    simulate.add_argument("--rho", type=float, default=1.0)
+    simulate.add_argument("--num-nack", type=int, default=20)
+    simulate.add_argument("--messages", type=int, default=10)
+    simulate.add_argument(
+        "--fixed-rho",
+        action="store_true",
+        help="disable the AdjustRho controller",
+    )
+    simulate.add_argument("--seed", type=int, default=1)
+
+    analyze = sub.add_parser("analyze", help="print the analytic tables")
+    analyze.add_argument("--users", type=int, default=4096)
+    analyze.add_argument("--degree", type=int, default=4)
+    return parser
+
+
+def _cmd_demo(args, out):
+    from repro import GroupConfig, SecureGroup
+    from repro.util import spawn_rng
+
+    rng = spawn_rng(7)
+    group = SecureGroup(
+        ["member-%d" % i for i in range(args.members)],
+        GroupConfig(block_size=5),
+    )
+    print("created %r" % group, file=out)
+    print("group key: %s" % group.server.group_key.fingerprint(), file=out)
+    for interval in range(args.intervals):
+        group.churn(
+            int(rng.integers(1, 4)),
+            int(rng.integers(1, 4)),
+            rng=rng,
+            lossy=args.lossy,
+        )
+        stats = group.last_delivery_stats
+        detail = ""
+        if stats is not None:
+            detail = " (rounds=%d, NACKs=%d, unicast=%d)" % (
+                stats.n_multicast_rounds,
+                stats.first_round_nacks,
+                stats.unicast.users_served,
+            )
+        print(
+            "interval %d: %d members, key %s%s"
+            % (
+                interval + 1,
+                group.n_members,
+                group.server.group_key.fingerprint(),
+                detail,
+            ),
+            file=out,
+        )
+    agree = all(
+        member.group_key == group.server.group_key
+        for member in group.members.values()
+    )
+    print("all members agree on the group key: %s" % agree, file=out)
+    locked = all(
+        member.group_key != group.server.group_key
+        for member in group.former_members.values()
+    )
+    print("all departed members locked out: %s" % locked, file=out)
+    return 0 if agree and locked else 1
+
+
+def _cmd_simulate(args, out):
+    from repro.sim import build_paper_topology
+    from repro.transport import FleetConfig, FleetSimulator
+    from repro.transport.fleet import make_paper_workload
+
+    workload = make_paper_workload(
+        n_users=args.users, degree=args.degree, k=args.k, seed=args.seed
+    )
+    print(
+        "workload: %d ENC packets, %d blocks (k=%d), %d active users"
+        % (
+            workload.n_enc_packets,
+            workload.n_blocks,
+            workload.k,
+            workload.n_users,
+        ),
+        file=out,
+    )
+    topology = build_paper_topology(
+        n_users=workload.n_users, alpha=args.alpha, seed=args.seed + 1
+    )
+    simulator = FleetSimulator(
+        topology,
+        FleetConfig(
+            rho=args.rho,
+            num_nack=args.num_nack,
+            adapt_rho=not args.fixed_rho,
+            multicast_only=True,
+        ),
+        seed=args.seed + 2,
+    )
+    sequence = simulator.run_sequence(lambda i: workload, args.messages)
+    print("msg |  rho  | NACKs | bw-overhead | rounds", file=out)
+    for index in range(sequence.n_messages):
+        message = sequence.messages[index]
+        print(
+            "%3d | %.2f  | %5d | %11.2f | %6d"
+            % (
+                index,
+                sequence.rho_trajectory[index],
+                message.first_round_nacks,
+                message.bandwidth_overhead,
+                message.n_multicast_rounds,
+            ),
+            file=out,
+        )
+    print(
+        "steady state: NACKs %.1f, overhead %.2f, rounds(all) %.2f"
+        % (
+            sequence.mean_first_round_nacks(skip=2),
+            sequence.mean_bandwidth_overhead(skip=2),
+            sequence.mean_rounds_for_all(skip=2),
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_analyze(args, out):
+    from repro.analysis import (
+        expected_encryptions_leaves_only,
+        max_supported_group_size,
+    )
+
+    n_users, degree = args.users, args.degree
+    print(
+        "expected encryptions per rekey message (N=%d, d=%d, J=0):"
+        % (n_users, degree),
+        file=out,
+    )
+    for fraction in (0.05, 0.25, 0.5, 0.75):
+        n_leaves = int(n_users * fraction)
+        value = expected_encryptions_leaves_only(n_users, degree, n_leaves)
+        print("  L = %6d : %10.1f" % (n_leaves, value), file=out)
+    print("", file=out)
+    print("max supportable group size (25%% churn, d=%d):" % degree, file=out)
+    for interval in (1, 10, 60, 300):
+        print(
+            "  interval %4ds : %d"
+            % (interval, max_supported_group_size(interval, degree=degree)),
+            file=out,
+        )
+    return 0
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "simulate": _cmd_simulate,
+        "analyze": _cmd_analyze,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Public high-level API.
+
+- :class:`GroupKeyServer` — owns the key tree, queues join/leave
+  requests, runs periodic batch rekeying, and emits signed rekey
+  messages.
+- :class:`GroupMember` — a user's key state: holds its leaf-to-root path
+  keys, re-derives its own ID after tree restructuring (Theorem 4.2),
+  and decrypts the new keys out of ENC/USR packets.
+- :class:`SecureGroup` — a facade wiring a server, its members, and
+  (optionally) the lossy transport simulation together; the quickest way
+  to run the whole system end to end.
+"""
+
+from repro.core.config import GroupConfig
+from repro.core.server import GroupKeyServer
+from repro.core.member import GroupMember
+from repro.core.group import SecureGroup
+from repro.core.policy import (
+    HybridBatching,
+    ImmediateRekeying,
+    PeriodicBatching,
+    ThresholdBatching,
+    simulate_policy,
+)
+from repro.core.registrar import Registrar, RequestValidator
+
+__all__ = [
+    "GroupConfig",
+    "GroupKeyServer",
+    "GroupMember",
+    "HybridBatching",
+    "ImmediateRekeying",
+    "PeriodicBatching",
+    "Registrar",
+    "RequestValidator",
+    "SecureGroup",
+    "ThresholdBatching",
+    "simulate_policy",
+]

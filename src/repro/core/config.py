@@ -1,0 +1,46 @@
+"""Top-level configuration with the paper's default parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.topology import LossParameters
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass
+class GroupConfig:
+    """Everything a :class:`~repro.core.group.SecureGroup` needs.
+
+    Defaults follow the paper's evaluation: tree degree 4, 1027-byte ENC
+    packets, FEC block size 10, proactivity factor 1, NACK target 20,
+    100 ms sending interval, and the heterogeneous burst-loss topology.
+    """
+
+    degree: int = 4
+    packet_size: int = 1027
+    block_size: int = 10
+    rho: float = 1.0
+    num_nack: int = 20
+    max_nack: int = 100
+    sending_interval_ms: float = 100.0
+    max_multicast_rounds: int = 2
+    deadline_rounds: int = 2
+    loss: LossParameters = field(default_factory=LossParameters)
+    crypto_seed: int = 0
+    seed: int = 20010827
+
+    def __post_init__(self):
+        check_positive("degree", self.degree, integral=True)
+        if self.degree < 2:
+            raise ValueError("degree must be >= 2")
+        check_positive("packet_size", self.packet_size, integral=True)
+        check_positive("block_size", self.block_size, integral=True)
+        check_non_negative("rho", self.rho)
+        check_non_negative("num_nack", self.num_nack, integral=True)
+        check_non_negative("max_nack", self.max_nack, integral=True)
+        check_positive("sending_interval_ms", self.sending_interval_ms)
+        check_positive(
+            "max_multicast_rounds", self.max_multicast_rounds, integral=True
+        )
+        check_positive("deadline_rounds", self.deadline_rounds, integral=True)

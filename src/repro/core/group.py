@@ -1,0 +1,157 @@
+"""`SecureGroup`: the whole system, wired together.
+
+The facade owns a :class:`~repro.core.server.GroupKeyServer` plus one
+:class:`~repro.core.member.GroupMember` per current user, and delivers
+each interval's rekey message either *directly* (loss-free, for
+functional use) or *over the simulated lossy network* (a full
+:class:`~repro.transport.session.RekeySession` with FEC, NACKs and the
+unicast tail), feeding whatever each user recovered into its member
+state.
+
+Invariant after every delivered rekey: every current member's group key
+equals the server's; departed members' keys no longer do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.member import GroupMember
+from repro.core.server import GroupKeyServer
+from repro.errors import TransportError
+from repro.sim.topology import MulticastTopology
+from repro.transport.session import RekeySession, SessionConfig
+from repro.util.rng import RandomSource
+
+
+class SecureGroup:
+    """A key server, its members, and a delivery path."""
+
+    def __init__(self, initial_users, config=None):
+        self.server = GroupKeyServer(initial_users, config=config)
+        self.config = self.server.config
+        self._random_source = RandomSource(self.config.seed)
+        self.members = {
+            name: GroupMember.register(self.server, name)
+            for name in initial_users
+        }
+        #: members who left; kept around to assert forward secrecy
+        self.former_members = {}
+        self.last_delivery_stats = None
+
+    # -- membership -----------------------------------------------------
+
+    @property
+    def n_members(self):
+        return len(self.members)
+
+    def join(self, name):
+        """Queue a join; the member object appears after the next rekey."""
+        self.server.request_join(name)
+
+    def leave(self, name):
+        """Queue a leave."""
+        self.server.request_leave(name)
+
+    # -- rekeying ----------------------------------------------------------
+
+    def rekey(self, lossy=False, session_config=None):
+        """Process the interval and deliver the rekey message.
+
+        With ``lossy=False`` every member processes its ENC packet
+        directly (an idealised reliable channel).  With ``lossy=True``
+        the message rides a full :class:`RekeySession` over the
+        configured burst-loss topology and members absorb whatever the
+        transport recovered (reliability guarantees it is everything).
+
+        Returns the rekey message (possibly empty).
+        """
+        joins, leaves = self.server.pending_requests
+        batch, message = self.server.rekey()
+        for name in leaves:
+            self.former_members[name] = self.members.pop(name)
+        for name in joins:
+            self.members[name] = GroupMember.register(self.server, name)
+        if message.is_empty:
+            self.last_delivery_stats = None
+            return message
+        if lossy:
+            self._deliver_lossy(message, session_config)
+        else:
+            self._deliver_directly(message)
+        self._check_group_key()
+        return message
+
+    def _deliver_directly(self, message):
+        packets = [
+            p for p in message.enc_packets() if not p.is_duplicate
+        ]
+        for member in self.members.values():
+            for packet in packets:
+                if member.process_enc_packet(packet):
+                    break
+
+    def _deliver_lossy(self, message, session_config):
+        topology = MulticastTopology(
+            len(message.needs_by_user),
+            params=self.config.loss,
+            random_source=self._random_source.child(),
+        )
+        session_config = session_config or SessionConfig(
+            rho=self.config.rho,
+            sending_interval_ms=self.config.sending_interval_ms,
+            max_multicast_rounds=self.config.max_multicast_rounds,
+        )
+        session = RekeySession(
+            message,
+            topology,
+            session_config,
+            rng=self._random_source.generator(),
+        )
+        self.last_delivery_stats = session.run()
+        # Members re-derive their (possibly moved) IDs from maxKID before
+        # we map transport results back — exactly what they would do on
+        # seeing any packet of this message.
+        for member in self.members.values():
+            member.absorb_encryptions([], max_kid=message.max_kid)
+        by_id = {
+            member.user_id: member for member in self.members.values()
+        }
+        for user_id, transport in session.users.items():
+            member = by_id.get(user_id)
+            if member is None:
+                raise TransportError(
+                    "transport served unknown user ID %d" % user_id
+                )
+            member.absorb_encryptions(
+                transport.recovered_encryptions, max_kid=message.max_kid
+            )
+
+    def _check_group_key(self):
+        expected = self.server.group_key
+        for name, member in self.members.items():
+            if member.group_key != expected:
+                raise TransportError(
+                    "member %r failed to obtain the new group key" % (name,)
+                )
+
+    # -- churn convenience ----------------------------------------------
+
+    def churn(self, n_joins, n_leaves, rng=None, lossy=False):
+        """One interval of random churn: helper for examples/benches."""
+        if rng is None:
+            rng = self._random_source.generator()
+        members = sorted(self.members)
+        n_leaves = min(n_leaves, len(members))
+        for name in rng.choice(members, size=n_leaves, replace=False):
+            self.leave(str(name))
+        stamp = self.server.intervals_processed
+        for index in range(n_joins):
+            self.join("member-%d-%d" % (stamp, index))
+        return self.rekey(lossy=lossy)
+
+    def __repr__(self):
+        return "SecureGroup(members=%d, intervals=%d)" % (
+            self.n_members,
+            self.server.intervals_processed,
+        )

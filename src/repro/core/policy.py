@@ -1,0 +1,172 @@
+"""Batching policies: when should the server end a rekey interval?
+
+The paper batches on a fixed period.  Its cited alternative (Setia et
+al.'s Kronos) and the obvious baseline span a design space:
+
+- :class:`ImmediateRekeying` — rekey on every request (what batching
+  replaces; maximal cost, minimal exposure);
+- :class:`PeriodicBatching` — the paper's choice: rekey every ``T``
+  seconds regardless of queue size;
+- :class:`ThresholdBatching` — rekey when the queue reaches ``R``
+  requests (bounds per-batch work, unbounded delay under low churn);
+- :class:`HybridBatching` — whichever fires first (bounds both).
+
+The security cost of batching is the **vulnerability window**: the time
+between a leave request and the rekey that enforces it, during which the
+departed user can still read traffic.  :func:`simulate_policy` replays a
+request trace against a policy and reports rekey count, batch sizes and
+the window distribution — the policy trade-off quantified in bench A05.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.validation import check_non_negative, check_positive
+
+
+class BatchingPolicy:
+    """Decides, after each request/tick, whether to rekey now."""
+
+    def should_rekey(self, n_pending, seconds_since_last):
+        raise NotImplementedError
+
+
+class ImmediateRekeying(BatchingPolicy):
+    """Rekey on every request (the pre-batching baseline)."""
+
+    def should_rekey(self, n_pending, seconds_since_last):
+        return n_pending >= 1
+
+
+class PeriodicBatching(BatchingPolicy):
+    """Rekey every ``interval_seconds`` (the paper's scheme)."""
+
+    def __init__(self, interval_seconds):
+        check_positive("interval_seconds", interval_seconds)
+        self.interval_seconds = float(interval_seconds)
+
+    def should_rekey(self, n_pending, seconds_since_last):
+        return seconds_since_last >= self.interval_seconds
+
+
+class ThresholdBatching(BatchingPolicy):
+    """Rekey when ``max_requests`` have queued."""
+
+    def __init__(self, max_requests):
+        check_positive("max_requests", max_requests, integral=True)
+        self.max_requests = int(max_requests)
+
+    def should_rekey(self, n_pending, seconds_since_last):
+        return n_pending >= self.max_requests
+
+
+class HybridBatching(BatchingPolicy):
+    """Rekey at the period or the request threshold, whichever first."""
+
+    def __init__(self, interval_seconds, max_requests):
+        self._periodic = PeriodicBatching(interval_seconds)
+        self._threshold = ThresholdBatching(max_requests)
+
+    def should_rekey(self, n_pending, seconds_since_last):
+        return self._periodic.should_rekey(
+            n_pending, seconds_since_last
+        ) or self._threshold.should_rekey(n_pending, seconds_since_last)
+
+
+@dataclass
+class PolicyOutcome:
+    """What a policy did to one request trace."""
+
+    n_rekeys: int = 0
+    batch_sizes: list = field(default_factory=list)
+    #: seconds each *leave* waited between request and enforcement
+    leave_windows: list = field(default_factory=list)
+
+    @property
+    def mean_batch(self):
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+    @property
+    def mean_vulnerability_window(self):
+        if not self.leave_windows:
+            return 0.0
+        return float(np.mean(self.leave_windows))
+
+    @property
+    def worst_vulnerability_window(self):
+        if not self.leave_windows:
+            return 0.0
+        return float(np.max(self.leave_windows))
+
+    def signatures(self):
+        """One signature per rekey."""
+        return self.n_rekeys
+
+
+def poisson_trace(rate_per_second, duration_seconds, leave_fraction=0.5,
+                  rng=None):
+    """A Poisson request trace: list of (time, is_leave) tuples."""
+    check_positive("rate_per_second", rate_per_second)
+    check_positive("duration_seconds", duration_seconds)
+    if rng is None:
+        from repro.util.rng import spawn_rng
+
+        rng = spawn_rng()
+    times = []
+    clock = 0.0
+    while True:
+        clock += rng.exponential(1.0 / rate_per_second)
+        if clock > duration_seconds:
+            break
+        times.append((clock, bool(rng.random() < leave_fraction)))
+    return times
+
+
+def simulate_policy(policy, trace, tick_seconds=1.0):
+    """Replay ``trace`` (time-ordered (time, is_leave)) under ``policy``.
+
+    The policy is consulted on every request arrival and on a periodic
+    tick (so time-based policies fire during quiet spells).  Returns a
+    :class:`PolicyOutcome`.
+    """
+    if not isinstance(policy, BatchingPolicy):
+        raise ConfigurationError("policy must be a BatchingPolicy")
+    check_positive("tick_seconds", tick_seconds)
+    outcome = PolicyOutcome()
+    pending = []  # (request time, is_leave)
+    last_rekey = 0.0
+
+    def rekey(now):
+        nonlocal pending, last_rekey
+        if not pending:
+            last_rekey = now
+            return
+        outcome.n_rekeys += 1
+        outcome.batch_sizes.append(len(pending))
+        for when, is_leave in pending:
+            if is_leave:
+                outcome.leave_windows.append(now - when)
+        pending = []
+        last_rekey = now
+
+    events = [(when, "request", is_leave) for when, is_leave in trace]
+    if events:
+        horizon = events[-1][0]
+        tick = tick_seconds
+        while tick <= horizon + tick_seconds:
+            events.append((tick, "tick", None))
+            tick += tick_seconds
+    events.sort(key=lambda e: (e[0], e[1] == "tick"))
+
+    for when, kind, is_leave in events:
+        if kind == "request":
+            pending.append((when, is_leave))
+        if policy.should_rekey(len(pending), when - last_rekey):
+            rekey(when)
+    if pending:
+        rekey(events[-1][0] + tick_seconds)
+    return outcome

@@ -1,0 +1,182 @@
+"""The registration component (§1 of the papers).
+
+A group key management system has three functional components:
+*registration*, *key management*, and *rekey transport*.  This module
+supplies the first: a trusted registrar that mutually authenticates
+prospective members (the papers use SSL; we use a toy shared-credential
+handshake with the same message flow) and issues registration grants,
+plus the request-validation step the key server performs — "validates
+the requests by checking whether they are encrypted by individual
+keys".
+
+Flow:
+
+1. ``Registrar.register(name, credential)`` — authenticates the user
+   and returns a :class:`RegistrationGrant` (a MAC-sealed admission
+   token).  Registrars can be replicated; they share only the
+   ``registrar_secret`` with the key server, which offloads the
+   per-user authentication work from it.
+2. ``make_join_request(grant)`` / ``make_leave_request(name,
+   individual_key)`` — client-side construction of authenticated
+   requests; a leave is authenticated under the member's *individual
+   key* (only its holder can evict the member).
+3. ``RequestValidator`` — server-side: verifies grants against the
+   shared secret and leave MACs against the key tree's individual keys,
+   and rejects replays by request nonce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import CryptoError, ReproError
+from repro.util.validation import check_non_negative
+
+_MAC_SIZE = 16
+
+
+class RegistrationError(ReproError):
+    """Authentication or validation failure in the registration layer."""
+
+
+def _mac(key_bytes, *parts):
+    payload = b"\x00".join(
+        part.encode() if isinstance(part, str) else bytes(part)
+        for part in parts
+    )
+    return hashlib.blake2b(
+        payload, key=key_bytes, digest_size=_MAC_SIZE
+    ).digest()
+
+
+@dataclass(frozen=True)
+class RegistrationGrant:
+    """A registrar-issued admission token for one user."""
+
+    user: str
+    nonce: int
+    seal: bytes
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """An authenticated join: carries the registrar's grant."""
+
+    grant: RegistrationGrant
+
+
+@dataclass(frozen=True)
+class LeaveRequest:
+    """An authenticated leave: MAC'd under the member's individual key."""
+
+    user: str
+    nonce: int
+    mac: bytes
+
+
+class Registrar:
+    """A trusted registrar sharing one secret with the key server."""
+
+    def __init__(self, registrar_secret, credentials=None):
+        check_non_negative("registrar_secret", registrar_secret,
+                           integral=True)
+        self._secret = hashlib.blake2b(
+            b"registrar" + int(registrar_secret).to_bytes(8, "big"),
+            digest_size=32,
+        ).digest()
+        #: user -> credential; None accepts anyone (open enrolment)
+        self._credentials = dict(credentials) if credentials else None
+        self._nonce = 0
+
+    def register(self, user, credential=None):
+        """Mutually authenticate ``user``; return a grant or raise."""
+        if self._credentials is not None:
+            expected = self._credentials.get(user)
+            if expected is None or expected != credential:
+                raise RegistrationError(
+                    "authentication failed for %r" % (user,)
+                )
+        self._nonce += 1
+        seal = _mac(self._secret, "grant", user, str(self._nonce))
+        return RegistrationGrant(user=user, nonce=self._nonce, seal=seal)
+
+    @property
+    def shared_secret(self):
+        """The secret the key server uses to verify grants."""
+        return self._secret
+
+
+def make_join_request(grant):
+    """Client side: wrap a grant as a join request."""
+    if not isinstance(grant, RegistrationGrant):
+        raise RegistrationError("a join request needs a RegistrationGrant")
+    return JoinRequest(grant=grant)
+
+
+def make_leave_request(user, individual_key, nonce):
+    """Client side: authenticate a leave under the individual key."""
+    check_non_negative("nonce", nonce, integral=True)
+    mac = _mac(individual_key.material, "leave", user, str(nonce))
+    return LeaveRequest(user=user, nonce=nonce, mac=mac)
+
+
+class RequestValidator:
+    """Server-side validation of join/leave requests."""
+
+    def __init__(self, registrar_secret_bytes, tree):
+        self._secret = bytes(registrar_secret_bytes)
+        self._tree = tree
+        self._seen_grants = set()
+        self._seen_leaves = set()
+
+    def validate_join(self, request):
+        """Check the grant's seal and freshness; return the user name."""
+        if not isinstance(request, JoinRequest):
+            raise RegistrationError("not a join request")
+        grant = request.grant
+        expected = _mac(
+            self._secret, "grant", grant.user, str(grant.nonce)
+        )
+        if expected != grant.seal:
+            raise RegistrationError(
+                "forged or corrupted grant for %r" % (grant.user,)
+            )
+        key = (grant.user, grant.nonce)
+        if key in self._seen_grants:
+            raise RegistrationError(
+                "replayed grant for %r" % (grant.user,)
+            )
+        self._seen_grants.add(key)
+        return grant.user
+
+    def validate_leave(self, request):
+        """Check the MAC against the member's current individual key."""
+        if not isinstance(request, LeaveRequest):
+            raise RegistrationError("not a leave request")
+        try:
+            node_id = self._tree.user_node_id(request.user)
+        except Exception as exc:
+            raise RegistrationError(
+                "leave for unknown member %r" % (request.user,)
+            ) from exc
+        individual = self._tree.key_of(node_id)
+        if individual is None:
+            raise RegistrationError(
+                "server tree is keyless; cannot authenticate leaves"
+            )
+        expected = _mac(
+            individual.material, "leave", request.user, str(request.nonce)
+        )
+        if expected != request.mac:
+            raise RegistrationError(
+                "leave for %r not signed by its individual key"
+                % (request.user,)
+            )
+        key = (request.user, request.nonce)
+        if key in self._seen_leaves:
+            raise RegistrationError(
+                "replayed leave for %r" % (request.user,)
+            )
+        self._seen_leaves.add(key)
+        return request.user

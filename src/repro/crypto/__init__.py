@@ -1,0 +1,40 @@
+"""Toy-but-real cryptographic substrate and server cost accounting.
+
+The paper's key server performs three classes of cryptographic work per
+rekey interval: symmetric key generation, symmetric encryption of new keys
+under old keys, and one digital signature over the rekey message.  Its
+performance analysis treats these as per-operation costs; the absolute
+numbers come from 2001-era measurements (DES/MD5-class symmetric speeds,
+RSA-class signing).
+
+This package provides:
+
+- :class:`SymmetricKey` — an opaque 16-byte key with an identity.
+- :class:`KeyFactory` — deterministic key generation from a seed.
+- :class:`XorStreamCipher` — a *real* (round-tripping, key-dependent)
+  toy cipher: a BLAKE2b-keyed stream XOR.  It is **not secure** and is
+  clearly labelled as such; it exists so that the end-to-end system moves
+  actual ciphertext bytes and a wrong key genuinely fails to decrypt.
+- :class:`SignatureScheme` — a keyed-MAC stand-in for the RSA signature,
+  with verify.
+- :class:`CostModel` / :class:`CostMeter` — per-operation timing constants
+  and an accumulator, used by the processing-time and scalability
+  analyses (benches E16/E17).
+"""
+
+from repro.crypto.keys import KeyFactory, SymmetricKey
+from repro.crypto.cipher import EncryptedKey, XorStreamCipher
+from repro.crypto.signer import Signature, SignatureScheme
+from repro.crypto.cost import CostMeter, CostModel, CryptoOp
+
+__all__ = [
+    "CostMeter",
+    "CostModel",
+    "CryptoOp",
+    "EncryptedKey",
+    "KeyFactory",
+    "Signature",
+    "SignatureScheme",
+    "SymmetricKey",
+    "XorStreamCipher",
+]

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications embedding the library can catch a single base class.  The
+subclasses mirror the subsystems: key-tree manipulation, rekey-message
+construction, FEC coding, packet codecs, and the transport simulator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter value or inconsistent parameter combination."""
+
+
+class KeyTreeError(ReproError):
+    """Structural violation or invalid operation on a key tree."""
+
+
+class UnknownUserError(KeyTreeError, KeyError):
+    """An operation referenced a user ID that is not in the group."""
+
+
+class DuplicateUserError(KeyTreeError, ValueError):
+    """An attempt to add a user that is already a group member."""
+
+
+class MarkingError(KeyTreeError):
+    """The marking algorithm was driven with an inconsistent batch."""
+
+
+class KeyAssignmentError(ReproError):
+    """The key-assignment algorithm could not pack encryptions legally."""
+
+
+class PacketError(ReproError):
+    """Malformed packet bytes, or a field out of its encodable range."""
+
+
+class PacketDecodeError(PacketError, ValueError):
+    """Raised while parsing packet bytes that violate the wire format."""
+
+
+class FECError(ReproError):
+    """Reed-Solomon erasure coding failure."""
+
+
+class NotEnoughPacketsError(FECError):
+    """Fewer than ``k`` packets of a block survived; decoding impossible."""
+
+
+class TransportError(ReproError):
+    """Protocol-state violation inside the rekey transport simulation."""
+
+
+class SimulationError(ReproError):
+    """Invalid simulator state (event loop, loss process, topology)."""
+
+
+class CryptoError(ReproError):
+    """Failure inside the toy crypto provider (bad key, bad ciphertext)."""

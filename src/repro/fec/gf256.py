@@ -1,0 +1,162 @@
+"""Arithmetic over the finite field GF(2^8).
+
+The field is realised as GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1)
+(polynomial 0x11D, the one used by Rizzo's erasure coder and by most
+RS implementations), with generator element 2.  Multiplication uses
+exp/log tables; addition is XOR.
+
+``gf_mul_bytes`` is the hot path of encoding/decoding: it multiplies an
+entire packet (a numpy ``uint8`` array) by one field coefficient using a
+single table lookup, which keeps pure-Python RSE fast enough for the
+transport simulations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FECError
+
+FIELD_SIZE = 256
+_PRIMITIVE_POLY = 0x11D
+_GENERATOR = 2
+
+
+def _build_tables():
+    exp = np.zeros(512, dtype=np.uint8)
+    log = np.zeros(256, dtype=np.int16)
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= _PRIMITIVE_POLY
+    # Duplicate so exp[log[a] + log[b]] never needs a modulo.
+    exp[255:510] = exp[0:255]
+    return exp, log
+
+
+GF_EXP, GF_LOG = _build_tables()
+
+
+def gf_add(a, b):
+    """Addition in GF(2^8): XOR (also subtraction)."""
+    return a ^ b
+
+
+def gf_mul(a, b):
+    """Multiplication of two field elements."""
+    if a == 0 or b == 0:
+        return 0
+    return int(GF_EXP[int(GF_LOG[a]) + int(GF_LOG[b])])
+
+
+def gf_inv(a):
+    """Multiplicative inverse; raises on zero."""
+    if a == 0:
+        raise FECError("zero has no multiplicative inverse in GF(256)")
+    return int(GF_EXP[255 - int(GF_LOG[a])])
+
+
+def gf_div(a, b):
+    """Division a / b; raises on division by zero."""
+    if b == 0:
+        raise FECError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return int(GF_EXP[int(GF_LOG[a]) - int(GF_LOG[b]) + 255])
+
+
+def gf_pow(a, exponent):
+    """``a`` raised to a non-negative integer power."""
+    if exponent < 0:
+        raise FECError("negative exponents are not supported")
+    if exponent == 0:
+        return 1
+    if a == 0:
+        return 0
+    return int(GF_EXP[(int(GF_LOG[a]) * exponent) % 255])
+
+
+# Precomputed 256x256 multiplication table rows on demand: row[c] maps
+# every byte b -> c*b.  Used to multiply whole packets by a coefficient.
+_MUL_ROWS = {}
+
+
+def _mul_row(coefficient):
+    row = _MUL_ROWS.get(coefficient)
+    if row is None:
+        if coefficient == 0:
+            row = np.zeros(256, dtype=np.uint8)
+        else:
+            log_c = int(GF_LOG[coefficient])
+            row = np.zeros(256, dtype=np.uint8)
+            row[1:] = GF_EXP[log_c + GF_LOG[1:256]]
+        _MUL_ROWS[coefficient] = row
+    return row
+
+
+def gf_mul_bytes(coefficient, data):
+    """Multiply every byte of ``data`` (uint8 array) by ``coefficient``."""
+    if not 0 <= coefficient < 256:
+        raise FECError("coefficient must be a byte, got %r" % (coefficient,))
+    data = np.asarray(data, dtype=np.uint8)
+    return _mul_row(int(coefficient))[data]
+
+
+def gf_matmul(matrix, data):
+    """Matrix-vector-of-packets product over GF(2^8).
+
+    ``matrix`` is (r x c) of field elements; ``data`` is (c x length)
+    uint8.  Returns (r x length) uint8: each output packet is the
+    GF-linear combination of input packets given by one matrix row.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    data = np.asarray(data, dtype=np.uint8)
+    if matrix.ndim != 2 or data.ndim != 2:
+        raise FECError("gf_matmul expects 2-D inputs")
+    if matrix.shape[1] != data.shape[0]:
+        raise FECError(
+            "shape mismatch: matrix is %r, data is %r"
+            % (matrix.shape, data.shape)
+        )
+    out = np.zeros((matrix.shape[0], data.shape[1]), dtype=np.uint8)
+    for row_index in range(matrix.shape[0]):
+        accumulator = out[row_index]
+        for col_index in range(matrix.shape[1]):
+            coefficient = int(matrix[row_index, col_index])
+            if coefficient:
+                accumulator ^= gf_mul_bytes(coefficient, data[col_index])
+    return out
+
+
+def gf_matrix_invert(matrix):
+    """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination."""
+    matrix = np.array(matrix, dtype=np.uint8)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise FECError("can only invert square matrices")
+    size = matrix.shape[0]
+    work = matrix.astype(np.int32)
+    identity = np.eye(size, dtype=np.int32)
+    augmented = np.concatenate([work, identity], axis=1)
+    for col in range(size):
+        pivot_row = None
+        for row in range(col, size):
+            if augmented[row, col] != 0:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            raise FECError("matrix is singular over GF(256)")
+        if pivot_row != col:
+            augmented[[col, pivot_row]] = augmented[[pivot_row, col]]
+        pivot_inv = gf_inv(int(augmented[col, col]))
+        for j in range(2 * size):
+            augmented[col, j] = gf_mul(int(augmented[col, j]), pivot_inv)
+        for row in range(size):
+            if row == col or augmented[row, col] == 0:
+                continue
+            factor = int(augmented[row, col])
+            for j in range(2 * size):
+                augmented[row, j] ^= gf_mul(factor, int(augmented[col, j]))
+    return augmented[:, size:].astype(np.uint8)

@@ -1,0 +1,217 @@
+"""Systematic Reed-Solomon erasure coder (Rizzo-style).
+
+Codewords are indexed 0..254: indices ``0..k-1`` are the original data
+packets (the code is systematic), indices ``k..254`` are parity packets.
+Any ``k`` received codeword packets — data or parity, in any mix —
+recover the ``k`` originals.
+
+Construction: let ``V`` be the 255 x k Vandermonde matrix with
+``V[i, j] = x_i^j`` where ``x_i = g^i`` for the field generator ``g``
+(all ``x_i`` distinct and non-zero).  The systematic generator is
+``G = V @ inv(V[:k])``: its top k x k block is the identity, and every
+k x k row-selection of ``G`` stays invertible because the corresponding
+rows of ``V`` form a (generalised) Vandermonde system.
+
+The coder supports *incremental* parity: the protocol's later multicast
+rounds send ``amax[i]`` **new** parity packets per block, which are just
+further rows of ``G`` (indices continuing where the first round
+stopped).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FECError, NotEnoughPacketsError
+from repro.fec.gf256 import gf_matmul, gf_matrix_invert, gf_pow
+from repro.util.validation import check_non_negative, check_positive
+
+#: Maximum codeword index + 1.  With distinct non-zero evaluation points
+#: in GF(256) there are 255 usable rows.
+MAX_CODEWORDS = 255
+
+_GENERATOR_CACHE = {}
+
+
+def _generator_matrix(k):
+    """Full 255 x k systematic generator for block size ``k`` (cached)."""
+    matrix = _GENERATOR_CACHE.get(k)
+    if matrix is None:
+        points = [gf_pow(2, i) for i in range(MAX_CODEWORDS)]
+        vandermonde = np.zeros((MAX_CODEWORDS, k), dtype=np.uint8)
+        for i, x in enumerate(points):
+            value = 1
+            for j in range(k):
+                vandermonde[i, j] = value
+                value = _gf_mul_scalar(value, x)
+        top_inverse = gf_matrix_invert(vandermonde[:k])
+        matrix = _gf_matmul_small(vandermonde, top_inverse)
+        _GENERATOR_CACHE[k] = matrix
+    return matrix
+
+
+def _gf_mul_scalar(a, b):
+    from repro.fec.gf256 import gf_mul
+
+    return gf_mul(a, b)
+
+
+def _gf_matmul_small(a, b):
+    """Dense GF matrix product for generator construction."""
+    from repro.fec.gf256 import gf_mul
+
+    rows, inner = a.shape
+    cols = b.shape[1]
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            acc = 0
+            for t in range(inner):
+                acc ^= gf_mul(int(a[i, t]), int(b[t, j]))
+            out[i, j] = acc
+    return out
+
+
+def encoding_cost_units(k, n_parity):
+    """Modelled FEC encoding cost: ``k`` units per parity packet.
+
+    Rizzo's coder encodes one parity packet in time linear in the block
+    size, so a rekey message costs ``k * (total parity packets)`` units
+    — the quantity plotted in the paper's "relative FEC encoding time"
+    figure (E03).
+    """
+    check_positive("k", k, integral=True)
+    check_non_negative("n_parity", n_parity, integral=True)
+    return k * n_parity
+
+
+class RSECoder:
+    """Encoder/decoder for one block size ``k``.
+
+    All packets in a block must share one length (ENC packets are padded
+    to a fixed size for exactly this reason).
+    """
+
+    def __init__(self, k):
+        check_positive("block size k", k, integral=True)
+        if k >= MAX_CODEWORDS:
+            raise FECError(
+                "block size %d exceeds the GF(256) limit of %d"
+                % (k, MAX_CODEWORDS - 1)
+            )
+        self._k = int(k)
+        self._generator = _generator_matrix(self._k)
+
+    @property
+    def k(self):
+        """Block size: number of data packets per block."""
+        return self._k
+
+    def max_parity(self):
+        """How many distinct parity packets this block size supports."""
+        return MAX_CODEWORDS - self._k
+
+    # -- encoding -------------------------------------------------------
+
+    def _as_matrix(self, data_packets):
+        if len(data_packets) != self._k:
+            raise FECError(
+                "expected %d data packets, got %d"
+                % (self._k, len(data_packets))
+            )
+        lengths = {len(p) for p in data_packets}
+        if len(lengths) != 1:
+            raise FECError(
+                "all packets in a block must have equal length, got %s"
+                % sorted(lengths)
+            )
+        return np.stack(
+            [np.frombuffer(bytes(p), dtype=np.uint8) for p in data_packets]
+        )
+
+    def parity(self, data_packets, n_parity, first_parity_index=0):
+        """Generate ``n_parity`` parity packets for the block.
+
+        ``first_parity_index`` selects where in the parity row space to
+        start (0 for the proactive round; subsequent rounds continue
+        from where the previous round stopped so every parity packet
+        ever sent for a block is distinct and equally useful).
+        """
+        check_non_negative("n_parity", n_parity, integral=True)
+        check_non_negative(
+            "first_parity_index", first_parity_index, integral=True
+        )
+        if n_parity == 0:
+            return []
+        first_row = self._k + first_parity_index
+        last_row = first_row + n_parity
+        if last_row > MAX_CODEWORDS:
+            raise FECError(
+                "parity rows %d..%d exceed the GF(256) limit of %d"
+                % (first_row, last_row - 1, MAX_CODEWORDS - 1)
+            )
+        data = self._as_matrix(data_packets)
+        rows = self._generator[first_row:last_row]
+        return [bytes(p) for p in gf_matmul(rows, data)]
+
+    def encode(self, data_packets, n_parity):
+        """Return the full codeword prefix: data then ``n_parity`` parity."""
+        return [bytes(p) for p in data_packets] + self.parity(
+            data_packets, n_parity
+        )
+
+    # -- decoding -------------------------------------------------------
+
+    def decode(self, received):
+        """Recover the ``k`` data packets from any ``k`` codeword packets.
+
+        ``received`` maps codeword index -> packet bytes.  Extra packets
+        beyond ``k`` are ignored (the first ``k`` lowest indices are
+        used).  Raises :class:`NotEnoughPacketsError` with the shortfall
+        recorded when fewer than ``k`` packets are present.
+        """
+        if not isinstance(received, dict):
+            raise FECError("received must map codeword index -> bytes")
+        if len(received) < self._k:
+            missing = self._k - len(received)
+            raise NotEnoughPacketsError(
+                "need %d packets, have %d (%d more required)"
+                % (self._k, len(received), missing)
+            )
+        for index in received:
+            if not 0 <= index < MAX_CODEWORDS:
+                raise FECError("codeword index %r out of range" % (index,))
+
+        indices = sorted(received)[: self._k]
+        if indices == list(range(self._k)):
+            # All data packets arrived; no algebra needed.
+            return [bytes(received[i]) for i in indices]
+
+        lengths = {len(received[i]) for i in indices}
+        if len(lengths) != 1:
+            raise FECError(
+                "received packets have differing lengths: %s"
+                % sorted(lengths)
+            )
+        submatrix = self._generator[indices].copy()
+        inverse = gf_matrix_invert(submatrix)
+        stacked = np.stack(
+            [
+                np.frombuffer(bytes(received[i]), dtype=np.uint8)
+                for i in indices
+            ]
+        )
+        recovered = gf_matmul(inverse, stacked)
+        return [bytes(p) for p in recovered]
+
+    def parity_needed(self, n_received):
+        """How many more packets a user must request (the NACK ``a``).
+
+        By the property of Reed-Solomon encoding this is simply
+        ``k - received`` (never negative).
+        """
+        check_non_negative("n_received", n_received, integral=True)
+        return max(0, self._k - n_received)
+
+    def __repr__(self):
+        return "RSECoder(k=%d)" % self._k

@@ -1,0 +1,168 @@
+"""Integer node-ID arithmetic over the expanded d-ary key tree.
+
+The key server expands the key tree to a full, balanced d-ary tree by
+padding with null nodes (*n-nodes*) and assigns IDs breadth-first:
+the root is 0, the children of node ``m`` are ``d*m+1 .. d*m+d``, and the
+parent of node ``m`` is ``(m-1)//d``.  All structural relations are thus
+pure arithmetic — no pointers travel on the wire.
+
+The functions here are used by both the server (tree maintenance, key
+assignment) and users (deciding which received encryptions lie on their
+leaf-to-root path, and re-deriving their own ID after the tree was
+restructured — Theorem 4.2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import KeyTreeError
+from repro.util.validation import check_non_negative, check_positive
+
+ROOT_ID = 0
+
+
+def _check_degree(d):
+    check_positive("tree degree d", d, integral=True)
+    if d < 2:
+        raise KeyTreeError("tree degree d must be >= 2, got %d" % d)
+    return d
+
+
+def parent_id(node_id, d):
+    """ID of the parent of ``node_id``; the root has no parent."""
+    _check_degree(d)
+    check_non_negative("node_id", node_id, integral=True)
+    if node_id == ROOT_ID:
+        raise KeyTreeError("the root (ID 0) has no parent")
+    return (node_id - 1) // d
+
+
+def children_ids(node_id, d):
+    """IDs of the ``d`` children of ``node_id``, leftmost first."""
+    _check_degree(d)
+    check_non_negative("node_id", node_id, integral=True)
+    first = d * node_id + 1
+    return list(range(first, first + d))
+
+
+def child_index(node_id, d):
+    """Position (0-based) of ``node_id`` among its parent's children."""
+    _check_degree(d)
+    if node_id == ROOT_ID:
+        raise KeyTreeError("the root (ID 0) has no sibling position")
+    return (node_id - 1) % d
+
+
+def level_of(node_id, d):
+    """Depth of ``node_id`` (root is level 0).
+
+    Level ``l`` spans IDs ``[(d^l - 1)/(d-1), (d^(l+1) - 1)/(d-1) - 1]``.
+    """
+    _check_degree(d)
+    check_non_negative("node_id", node_id, integral=True)
+    level = 0
+    first_of_level = 0
+    width = 1
+    while node_id > first_of_level + width - 1:
+        first_of_level += width
+        width *= d
+        level += 1
+    return level
+
+
+def first_id_of_level(level, d):
+    """Smallest node ID on ``level`` (root is level 0)."""
+    _check_degree(d)
+    check_non_negative("level", level, integral=True)
+    return (d**level - 1) // (d - 1)
+
+
+def ids_of_level(level, d):
+    """``range`` of all node IDs on ``level``."""
+    first = first_id_of_level(level, d)
+    return range(first, first + d**level)
+
+
+def path_to_root(node_id, d):
+    """IDs from ``node_id`` up to and including the root, bottom-up."""
+    _check_degree(d)
+    check_non_negative("node_id", node_id, integral=True)
+    path = [node_id]
+    while path[-1] != ROOT_ID:
+        path.append((path[-1] - 1) // d)
+    return path
+
+
+def is_ancestor(ancestor_id, node_id, d):
+    """True iff ``ancestor_id`` lies on ``node_id``'s path to the root.
+
+    A node counts as its own ancestor (matching the paper's "path from
+    the u-node to the tree root" which includes both endpoints).
+    """
+    _check_degree(d)
+    check_non_negative("ancestor_id", ancestor_id, integral=True)
+    check_non_negative("node_id", node_id, integral=True)
+    current = node_id
+    while current > ancestor_id:
+        current = (current - 1) // d
+    return current == ancestor_id
+
+
+def leftmost_descendant(node_id, generations, d):
+    """The paper's ``f(x)``: leftmost descendant ``generations`` down.
+
+    ``f(x) = d^x * m + (1 - d^x) / (1 - d) = d^x * m + (d^x - 1)/(d - 1)``.
+    ``f(0)`` is the node itself; ``f(1)`` its leftmost child; splitting a
+    u-node ``x`` times in place moves its user to ``f(x)``.
+    """
+    _check_degree(d)
+    check_non_negative("node_id", node_id, integral=True)
+    check_non_negative("generations", generations, integral=True)
+    power = d**generations
+    return power * node_id + (power - 1) // (d - 1)
+
+
+def derive_new_user_id(old_id, max_knode_id, d):
+    """Theorem 4.2: a user's current ID from its old ID and ``maxKID``.
+
+    After the marking algorithm runs, a u-node may have been pushed down
+    by node splits; its new ID is the unique ``f(x)``, ``x >= 0``, with
+    ``max_knode_id < f(x) <= d * max_knode_id + d``.  Users compute this
+    locally from the ``maxKID`` field of any received ENC packet — no
+    per-user notification is ever sent.
+
+    Raises :class:`KeyTreeError` if no ``x`` satisfies the bound (which
+    Theorem 4.2 proves cannot happen for IDs produced by the marking
+    algorithm, so hitting it means the inputs are inconsistent).
+    """
+    _check_degree(d)
+    check_non_negative("old_id", old_id, integral=True)
+    check_non_negative("max_knode_id", max_knode_id, integral=True)
+    upper = d * max_knode_id + d
+    x = 0
+    while True:
+        candidate = leftmost_descendant(old_id, x, d)
+        if candidate > upper:
+            raise KeyTreeError(
+                "no f(x) in (%d, %d] for old_id=%d, d=%d: inconsistent "
+                "maxKID" % (max_knode_id, upper, old_id, d)
+            )
+        if candidate > max_knode_id:
+            return candidate
+        x += 1
+
+
+def subtree_capacity(height, d):
+    """Number of leaves of a full d-ary tree of the given ``height``."""
+    _check_degree(d)
+    check_non_negative("height", height, integral=True)
+    return d**height
+
+
+def min_height_for(n_users, d):
+    """Smallest height whose full d-ary tree holds ``n_users`` leaves."""
+    _check_degree(d)
+    check_positive("n_users", n_users, integral=True)
+    height = 0
+    while d**height < n_users:
+        height += 1
+    return height

@@ -1,0 +1,93 @@
+"""Node kinds, rekey-subtree labels, and per-node state.
+
+A key tree contains three kinds of nodes (after expansion to a full,
+balanced d-ary tree):
+
+- **k-nodes** hold the group key (root) and auxiliary keys;
+- **u-nodes** hold users' individual keys (one user per u-node);
+- **n-nodes** are null padding (no key, no user).
+
+During batch processing the marking algorithm labels every node of the
+copied tree with one of four labels (Appendix B of the companion text):
+``UNCHANGED``, ``JOIN``, ``LEAVE``, ``REPLACE``.  A k-node's key must be
+changed iff its label is ``JOIN`` or ``REPLACE``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import KeyTreeError
+
+
+class NodeKind(enum.Enum):
+    """Structural kind of a key-tree node."""
+
+    K_NODE = "k"
+    U_NODE = "u"
+    N_NODE = "n"
+
+
+class NodeLabel(enum.Enum):
+    """Marking-algorithm label of a node in the rekey subtree."""
+
+    UNCHANGED = "unchanged"
+    JOIN = "join"
+    LEAVE = "leave"
+    REPLACE = "replace"
+
+    @property
+    def key_changed(self):
+        """Whether a k-node with this label receives new key material."""
+        return self in (NodeLabel.JOIN, NodeLabel.REPLACE)
+
+
+class TreeNode:
+    """Mutable state of one node in a :class:`~repro.keytree.tree.KeyTree`.
+
+    ``key`` is the node's current :class:`~repro.crypto.keys.SymmetricKey`
+    (``None`` for n-nodes); ``user`` is the attached user name for
+    u-nodes; ``version`` counts how many times the node's key material
+    has been replaced.
+    """
+
+    __slots__ = ("node_id", "kind", "key", "user", "version")
+
+    def __init__(self, node_id, kind, key=None, user=None, version=0):
+        if node_id < 0:
+            raise KeyTreeError("node_id must be >= 0, got %r" % (node_id,))
+        kind = NodeKind(kind)
+        if kind is NodeKind.N_NODE and (key is not None or user is not None):
+            raise KeyTreeError("n-nodes carry no key and no user")
+        if kind is NodeKind.K_NODE and user is not None:
+            raise KeyTreeError("k-nodes carry no user")
+        if kind is NodeKind.U_NODE and user is None:
+            raise KeyTreeError("u-nodes must carry a user")
+        self.node_id = int(node_id)
+        self.kind = kind
+        self.key = key
+        self.user = user
+        self.version = int(version)
+
+    @property
+    def is_k_node(self):
+        return self.kind is NodeKind.K_NODE
+
+    @property
+    def is_u_node(self):
+        return self.kind is NodeKind.U_NODE
+
+    @property
+    def is_n_node(self):
+        return self.kind is NodeKind.N_NODE
+
+    def __repr__(self):
+        if self.is_u_node:
+            return "TreeNode(%d, u, user=%r, v%d)" % (
+                self.node_id,
+                self.user,
+                self.version,
+            )
+        if self.is_k_node:
+            return "TreeNode(%d, k, v%d)" % (self.node_id, self.version)
+        return "TreeNode(%d, n)" % self.node_id

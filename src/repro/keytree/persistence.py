@@ -1,0 +1,93 @@
+"""Key-tree snapshots: serialise server state across restarts.
+
+A key server that crashes mid-deployment must come back with the exact
+tree — same structure, same key material, same version counters — or
+every user's path keys stop matching.  ``tree_to_dict`` captures all of
+that in a JSON-safe dict; ``tree_from_dict`` restores it (optionally
+re-attaching a :class:`~repro.crypto.keys.KeyFactory` for *future*
+rekeying).
+
+Only the key tree is snapshotted; pending join/leave queues are
+intentionally excluded (a restarting server re-collects requests — the
+protocol's periodic batching makes that loss-free for members).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.crypto.keys import SymmetricKey
+from repro.errors import KeyTreeError
+from repro.keytree.nodes import NodeKind, TreeNode
+from repro.keytree.tree import KeyTree
+
+_FORMAT_VERSION = 1
+
+
+def tree_to_dict(tree):
+    """Serialise a :class:`KeyTree` to a JSON-safe dict."""
+    nodes = []
+    for node_id in tree.node_ids():
+        node = tree.node(node_id)
+        nodes.append(
+            {
+                "id": node_id,
+                "kind": node.kind.value,
+                "user": node.user,
+                "version": node.version,
+                "key": node.key.material.hex() if node.key else None,
+            }
+        )
+    return {
+        "format": _FORMAT_VERSION,
+        "degree": tree.degree,
+        "nodes": nodes,
+        "versions": {str(k): v for k, v in tree._versions.items()},
+    }
+
+
+def tree_from_dict(data, key_factory=None):
+    """Rebuild a :class:`KeyTree` from :func:`tree_to_dict` output.
+
+    ``key_factory`` becomes the tree's generator for *future* key
+    renewals; existing material is restored verbatim from the snapshot.
+    """
+    if data.get("format") != _FORMAT_VERSION:
+        raise KeyTreeError(
+            "unsupported snapshot format %r" % data.get("format")
+        )
+    tree = KeyTree(data["degree"], key_factory=key_factory)
+    for record in data["nodes"]:
+        kind = NodeKind(record["kind"])
+        key = None
+        if record["key"] is not None:
+            key = SymmetricKey(
+                bytes.fromhex(record["key"]),
+                node_id=record["id"],
+                version=record["version"],
+            )
+        node = TreeNode(
+            record["id"],
+            kind,
+            key=key,
+            user=record["user"],
+            version=record["version"],
+        )
+        tree._nodes[record["id"]] = node
+        if node.is_u_node:
+            tree._users[node.user] = record["id"]
+    tree._versions = {int(k): v for k, v in data["versions"].items()}
+    tree.validate()
+    return tree
+
+
+def save_tree(tree, path):
+    """Write a snapshot to ``path`` (JSON)."""
+    with open(path, "w") as handle:
+        json.dump(tree_to_dict(tree), handle)
+
+
+def load_tree(path, key_factory=None):
+    """Read a snapshot written by :func:`save_tree`."""
+    with open(path) as handle:
+        return tree_from_dict(json.load(handle), key_factory=key_factory)

@@ -1,0 +1,128 @@
+"""Rekeying-strategy cost comparison (Wong-Gouda-Lam, SIGCOMM '98).
+
+The key-tree literature offers three ways to package one batch's new
+keys; the paper adopts *group-oriented* rekeying (one big shared
+message) and then fixes its user-side cost with UKA.  This module
+computes the server/user cost profile of all three from a
+:class:`~repro.keytree.marking.BatchResult`, so the choice can be
+quantified (bench A03):
+
+- **group-oriented** — one message carrying every encryption
+  ``{new parent key}_(current child key)``; encryption work is minimal
+  (shared keys encrypted once per child edge) and one signature covers
+  everything, but every user receives the whole message — unless a key
+  assignment like UKA narrows it to one packet.
+
+- **key-oriented** — one small message per updated k-node (per child
+  edge group); the server's encryption count is the same as
+  group-oriented, but a user must collect one message per updated
+  ancestor (h of them), and each message needs its own authentication.
+
+- **user-oriented** — one message per *need class* (users that need
+  exactly the same new keys, i.e. one class per deepest updated-node
+  child); each class's message holds that class's whole path suffix of
+  new keys, encrypted under the class's common key.  Users receive one
+  tiny message, but the server re-encrypts shared ancestors once per
+  class, multiplying its encryption work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KeyTreeError
+from repro.keytree import ids as idmath
+
+
+@dataclass(frozen=True)
+class StrategyCost:
+    """Cost profile of one rekeying strategy for one batch."""
+
+    name: str
+    #: symmetric encryptions the server performs
+    server_encryptions: int
+    #: distinct messages (each needing its own signature/digest)
+    server_messages: int
+    #: encryptions the worst-off user must receive
+    max_user_encryptions: int
+    #: messages the worst-off user must receive
+    max_user_messages: int
+
+    def signatures(self):
+        """Signature operations: one per message."""
+        return self.server_messages
+
+
+def _updated_set(batch):
+    return set(batch.subtree.updated_knode_ids)
+
+
+def group_oriented_cost(batch):
+    """One shared message; per-user slice measured via needs."""
+    needs = batch.needs_by_user()
+    max_need = max((len(v) for v in needs.values()), default=0)
+    return StrategyCost(
+        name="group-oriented",
+        server_encryptions=batch.subtree.n_encryptions,
+        server_messages=1 if batch.subtree.n_encryptions else 0,
+        max_user_encryptions=max_need,
+        max_user_messages=1 if max_need else 0,
+    )
+
+
+def key_oriented_cost(batch):
+    """One message per updated k-node; same total encryption work."""
+    needs = batch.needs_by_user()
+    max_need = max((len(v) for v in needs.values()), default=0)
+    return StrategyCost(
+        name="key-oriented",
+        server_encryptions=batch.subtree.n_encryptions,
+        server_messages=batch.subtree.n_updated_keys,
+        max_user_encryptions=max_need,
+        # One message per updated ancestor.
+        max_user_messages=max_need,
+    )
+
+
+def user_oriented_cost(batch):
+    """One message per need class; ancestors re-encrypted per class.
+
+    A need class is identified by the deepest node on its users' shared
+    path whose parent was updated — every user below that node needs
+    exactly the new keys of the node's updated ancestors.
+    """
+    updated = _updated_set(batch)
+    needs = batch.needs_by_user()
+    if not needs:
+        return StrategyCost("user-oriented", 0, 0, 0, 0)
+    degree = batch.tree.degree
+    classes = {}
+    for u_id, wanted in needs.items():
+        # wanted is deepest-first path children of updated ancestors;
+        # its first element is the class anchor for this user.
+        anchor = wanted[0]
+        size = len(wanted)
+        previous = classes.get(anchor)
+        if previous is not None and previous != size:
+            raise KeyTreeError(
+                "inconsistent need class at node %d" % anchor
+            )
+        classes[anchor] = size
+    server_encryptions = sum(classes.values())
+    max_need = max(classes.values())
+    return StrategyCost(
+        name="user-oriented",
+        server_encryptions=server_encryptions,
+        server_messages=len(classes),
+        max_user_encryptions=max_need,
+        max_user_messages=1,
+    )
+
+
+def compare_strategies(batch):
+    """All three cost profiles for one batch, as a list."""
+    return [
+        group_oriented_cost(batch),
+        key_oriented_cost(batch),
+        user_oriented_cost(batch),
+    ]

@@ -1,0 +1,84 @@
+"""ASCII rendering of key trees and rekey subtrees.
+
+Debug/teaching aid: ``render_tree`` draws the tree with node kinds, IDs
+and key versions; ``render_rekey`` overlays a batch's labels
+(Unchanged / Join / Leave / Replace) so a marking run can be inspected
+at a glance.  Used by the wire walkthrough and handy in a REPL::
+
+    >>> print(render_tree(tree))          # doctest: +SKIP
+    k0 v1
+    ├── k1 v0
+    │   ├── u4 'alice' v0
+    ...
+"""
+
+from __future__ import annotations
+
+from repro.keytree.nodes import NodeLabel
+from repro.keytree.tree import KeyTree
+
+_LABEL_MARKS = {
+    NodeLabel.UNCHANGED: "",
+    NodeLabel.JOIN: "  [JOIN]",
+    NodeLabel.LEAVE: "  [LEAVE]",
+    NodeLabel.REPLACE: "  [REPLACE]",
+}
+
+
+def _node_line(tree, node_id, labels=None):
+    node = tree.node(node_id)
+    if node.is_u_node:
+        text = "u%d %r v%d" % (node_id, node.user, node.version)
+    else:
+        text = "k%d v%d" % (node_id, node.version)
+    if labels is not None:
+        text += _LABEL_MARKS.get(
+            labels.get(node_id, NodeLabel.UNCHANGED), ""
+        )
+    return text
+
+
+def _render(tree, node_id, prefix, is_last, is_root, labels, lines,
+            max_nodes):
+    if len(lines) >= max_nodes:
+        return False
+    connector = "" if is_root else ("└── " if is_last else "├── ")
+    lines.append(prefix + connector + _node_line(tree, node_id, labels))
+    children = tree.children_of(node_id)
+    child_prefix = prefix if is_root else prefix + (
+        "    " if is_last else "│   "
+    )
+    for index, child in enumerate(children):
+        if not _render(
+            tree,
+            child,
+            child_prefix,
+            index == len(children) - 1,
+            False,
+            labels,
+            lines,
+            max_nodes,
+        ):
+            lines.append(child_prefix + "…")
+            return True
+    return True
+
+
+def render_tree(tree, labels=None, max_nodes=200):
+    """Render a :class:`KeyTree` (optionally with marking labels)."""
+    if not isinstance(tree, KeyTree):
+        raise TypeError("render_tree expects a KeyTree")
+    if tree.n_users == 0:
+        return "(empty tree)"
+    lines = []
+    _render(tree, 0, "", True, True, labels, lines, max_nodes)
+    return "\n".join(lines)
+
+
+def render_rekey(batch_result, max_nodes=200):
+    """Render a batch's tree with its rekey-subtree labels overlaid."""
+    return render_tree(
+        batch_result.tree,
+        labels=batch_result.subtree.labels,
+        max_nodes=max_nodes,
+    )

@@ -1,0 +1,22 @@
+"""Real-network endpoints: the protocol over UDP sockets.
+
+Everything else in the repository moves packets through the simulated
+topology; this package moves the *same bytes* through actual UDP
+sockets (loopback or LAN), using the same
+:class:`~repro.transport.server.ServerTransport` /
+:class:`~repro.transport.user.UserTransport` state machines.  It exists
+to demonstrate that the wire formats and protocol logic are genuinely
+deployable, and it powers ``examples/localhost_udp_demo.py``.
+
+IP multicast is emulated by iterating unicast sends to every registered
+member (single-host demos rarely have multicast routing); loss is
+injected receiver-side since loopback never drops.
+"""
+
+from repro.net.endpoints import (
+    MemberEndpoint,
+    ServerEndpoint,
+    run_udp_rekey,
+)
+
+__all__ = ["MemberEndpoint", "ServerEndpoint", "run_udp_rekey"]

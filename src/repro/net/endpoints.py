@@ -1,0 +1,278 @@
+"""UDP endpoints wrapping the transport state machines.
+
+One :class:`ServerEndpoint` and N :class:`MemberEndpoint` objects, each
+owning a bound UDP socket.  The server runs the round-based protocol:
+multicast (emulated: per-member unicast of identical bytes) the round's
+ENC/PARITY packets, wait out the round, read NACKs off its socket,
+retransmit or unicast USR packets.  Members run a receive loop in a
+daemon thread feeding a :class:`~repro.transport.user.UserTransport`
+and, optionally, a :class:`~repro.core.member.GroupMember` for actual
+key decryption.
+
+Designed for loopback demos and integration tests: small groups, large
+timeouts, deterministic receiver-side loss injection.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.errors import TransportError
+from repro.rekey.packets import (
+    FEC_PAYLOAD_OFFSET,
+    NackPacket,
+    PacketType,
+    decode_packet,
+)
+from repro.transport.server import ServerTransport, UnicastPolicy
+from repro.transport.user import UserTransport
+from repro.util.rng import spawn_rng
+from repro.util.validation import check_non_negative, check_probability
+
+_BUFFER = 4096
+
+
+def _bind_udp():
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.bind(("127.0.0.1", 0))
+    return sock
+
+
+class MemberEndpoint:
+    """A member's socket + receiver state machine (+ optional keys)."""
+
+    def __init__(
+        self,
+        user_id,
+        message,
+        member=None,
+        drop_probability=0.0,
+        rng=None,
+    ):
+        check_non_negative("user_id", user_id, integral=True)
+        check_probability("drop_probability", drop_probability)
+        self.user_id = int(user_id)
+        self.message = message
+        self.member = member
+        self.drop_probability = float(drop_probability)
+        self._rng = rng if rng is not None else spawn_rng()
+        self.transport = UserTransport(
+            user_id,
+            k=message.k,
+            degree=4,
+            n_blocks=message.n_blocks,
+            message_id=message.message_id,
+        )
+        self.socket = _bind_udp()
+        self.socket.settimeout(0.05)
+        self.address = self.socket.getsockname()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._receive_loop,
+                                        daemon=True)
+        self.packets_received = 0
+        self.packets_dropped = 0
+
+    def start(self):
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self.socket.close()
+
+    @property
+    def done(self):
+        return self.transport.done
+
+    def _receive_loop(self):
+        while not self._stop.is_set():
+            try:
+                data, _ = self.socket.recvfrom(_BUFFER)
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            if self._rng.random() < self.drop_probability:
+                self.packets_dropped += 1
+                continue
+            self.packets_received += 1
+            self._dispatch(data)
+
+    def _dispatch(self, data):
+        packet = decode_packet(data)
+        if packet.packet_type is PacketType.ENC:
+            self.transport.on_enc(packet, data[FEC_PAYLOAD_OFFSET:])
+        elif packet.packet_type is PacketType.PARITY:
+            self.transport.on_parity(packet)
+        elif packet.packet_type is PacketType.USR:
+            self.transport.on_usr(packet)
+        if self.member is not None and self.transport.done:
+            self.member.absorb_encryptions(
+                self.transport.recovered_encryptions,
+                max_kid=self.message.max_kid,
+            )
+
+    def end_of_round(self, server_address):
+        """Round timeout: decode/NACK exactly like the simulated user."""
+        nack = self.transport.end_of_round()
+        if nack is not None:
+            self.socket.sendto(nack.encode(), server_address)
+        if self.member is not None and self.transport.done:
+            self.member.absorb_encryptions(
+                self.transport.recovered_encryptions,
+                max_kid=self.message.max_kid,
+            )
+        return nack
+
+
+class ServerEndpoint:
+    """The key server's socket + sender state machine."""
+
+    def __init__(self, message, rho=1.0, max_multicast_rounds=2):
+        self.message = message
+        self.transport = ServerTransport(
+            message,
+            rho=rho,
+            unicast_policy=UnicastPolicy(
+                max_multicast_rounds=max_multicast_rounds,
+                compare_usr_bytes=False,
+            ),
+        )
+        self.socket = _bind_udp()
+        self.socket.settimeout(0.05)
+        self.address = self.socket.getsockname()
+        self.members = {}  # user_id -> address
+        self.packets_sent = 0
+
+    def register(self, endpoint):
+        self.members[endpoint.user_id] = endpoint.address
+
+    def _emulated_multicast(self, wire):
+        for address in self.members.values():
+            self.socket.sendto(wire, address)
+            self.packets_sent += 1
+
+    def run_round(self, pace_seconds=0.0):
+        """Send one multicast round's packets (paced, optionally)."""
+        planned = self.transport.plan_round()
+        for scheduled in planned:
+            packet = scheduled.packet
+            if packet.packet_type is PacketType.ENC:
+                wire = packet.encode(self.message.packet_size)
+            else:
+                wire = packet.encode()
+            self._emulated_multicast(wire)
+            if pace_seconds:
+                time.sleep(pace_seconds)
+        return len(planned)
+
+    def collect_nacks(self, window_seconds=0.3):
+        """Drain NACKs from the socket for one round window."""
+        nacks = []
+        deadline = time.monotonic() + window_seconds
+        while time.monotonic() < deadline:
+            try:
+                data, _ = self.socket.recvfrom(_BUFFER)
+            except socket.timeout:
+                continue
+            packet = decode_packet(data)
+            if isinstance(packet, NackPacket):
+                nacks.append(packet)
+        self.transport.finish_round(nacks)
+        return nacks
+
+    def unicast_usr(self, pending_user_ids, duplicates=2):
+        """Send USR packets to the stragglers."""
+        for user_id in pending_user_ids:
+            address = self.members.get(user_id)
+            if address is None:
+                raise TransportError("no address for user %d" % user_id)
+            wire = self.transport.usr_packet_for(user_id).encode()
+            for _ in range(duplicates):
+                self.socket.sendto(wire, address)
+                self.packets_sent += 1
+
+    def close(self):
+        self.socket.close()
+
+
+def run_udp_rekey(
+    message,
+    members_by_user_id=None,
+    rho=1.0,
+    drop_probability=0.15,
+    max_multicast_rounds=2,
+    nack_window_seconds=0.3,
+    settle_seconds=0.2,
+    seed=0,
+):
+    """Deliver one rekey message over loopback UDP; returns a report.
+
+    ``members_by_user_id`` optionally maps user IDs to
+    :class:`~repro.core.member.GroupMember` objects so the delivery also
+    performs real key decryption.  Loss is injected receiver-side at
+    ``drop_probability`` (loopback never drops on its own).
+    """
+    rng = spawn_rng(seed)
+    server = ServerEndpoint(
+        message, rho=rho, max_multicast_rounds=max_multicast_rounds
+    )
+    endpoints = []
+    try:
+        for user_id in sorted(message.needs_by_user):
+            member = (
+                members_by_user_id.get(user_id)
+                if members_by_user_id
+                else None
+            )
+            endpoint = MemberEndpoint(
+                user_id,
+                message,
+                member=member,
+                drop_probability=drop_probability,
+                rng=spawn_rng(int(rng.integers(0, 2**31))),
+            ).start()
+            server.register(endpoint)
+            endpoints.append(endpoint)
+
+        rounds = 0
+        while True:
+            rounds += 1
+            server.run_round()
+            time.sleep(settle_seconds)
+            for endpoint in endpoints:
+                endpoint.end_of_round(server.address)
+            server.collect_nacks(window_seconds=nack_window_seconds)
+            pending = [e.user_id for e in endpoints if not e.done]
+            if not pending:
+                break
+            if rounds >= max_multicast_rounds:
+                server.unicast_usr(pending, duplicates=3)
+                time.sleep(settle_seconds)
+                # One more settle pass for slow receivers.
+                still = [e.user_id for e in endpoints if not e.done]
+                retries = 0
+                while still and retries < 10:
+                    server.unicast_usr(still, duplicates=3)
+                    time.sleep(settle_seconds)
+                    still = [e.user_id for e in endpoints if not e.done]
+                    retries += 1
+                if still:
+                    raise TransportError(
+                        "UDP delivery incomplete: %r" % (still,)
+                    )
+                break
+        return {
+            "rounds": rounds,
+            "packets_sent": server.packets_sent,
+            "packets_received": sum(e.packets_received for e in endpoints),
+            "packets_dropped": sum(e.packets_dropped for e in endpoints),
+            "all_done": all(e.done for e in endpoints),
+        }
+    finally:
+        for endpoint in endpoints:
+            endpoint.stop()
+        server.close()

@@ -1,0 +1,58 @@
+"""Rekey-message construction: packets, key assignment, blocks.
+
+This package turns the marking algorithm's encryption edges into the
+wire-level artifacts of the protocol:
+
+- :mod:`repro.rekey.packets` — ENC / PARITY / USR / NACK wire formats
+  (Appendix A of the companion text), sized so that a 1027-byte ENC
+  packet carries the paper's 46 encryptions.
+- :mod:`repro.rekey.assignment` — the User-oriented Key Assignment
+  (UKA) algorithm: every user's encryptions land in a single ENC packet.
+- :mod:`repro.rekey.blocks` — partitioning ENC packets into FEC blocks
+  of size ``k``, last-block duplication, and block-interleaved send
+  order.
+- :mod:`repro.rekey.estimate` — Appendix D: a user that lost its ENC
+  packet bounds the block ID it must NACK for.
+- :mod:`repro.rekey.message` — the end-to-end builder: batch result ->
+  packed, partitioned, FEC-protected rekey message.
+"""
+
+from repro.rekey.packets import (
+    DEFAULT_ENC_PACKET_SIZE,
+    EncPacket,
+    NackPacket,
+    NackRequest,
+    PacketType,
+    ParityPacket,
+    UsrPacket,
+    decode_packet,
+    enc_packet_capacity,
+)
+from repro.rekey.assignment import (
+    EncPacketPlan,
+    SequentialKeyAssignment,
+    UserOrientedKeyAssignment,
+)
+from repro.rekey.blocks import BlockPartition, interleaved_order
+from repro.rekey.estimate import BlockIdEstimator
+from repro.rekey.message import RekeyMessage, RekeyMessageBuilder
+
+__all__ = [
+    "BlockIdEstimator",
+    "BlockPartition",
+    "DEFAULT_ENC_PACKET_SIZE",
+    "EncPacket",
+    "EncPacketPlan",
+    "NackPacket",
+    "NackRequest",
+    "PacketType",
+    "ParityPacket",
+    "RekeyMessage",
+    "RekeyMessageBuilder",
+    "SequentialKeyAssignment",
+    "UserOrientedKeyAssignment",
+    "UsrPacket",
+    "decode_packet",
+    "enc_packet_capacity",
+    "interleaved_order",
+]

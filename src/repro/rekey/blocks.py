@@ -1,0 +1,122 @@
+"""Block partitioning of ENC packets for FEC (§5.1).
+
+The key server sorts ENC packets in generation order and cuts them into
+blocks of size ``k``; the last block is topped up by *duplicating* its
+own packets (flagged, so receivers use them for FEC decoding but not for
+block-ID estimation).  Packets are multicast in a block-interleaved
+order so consecutive packets of one block are separated in time and are
+less likely to fall into the same burst-loss period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BlockSlot:
+    """Position of one ENC packet copy: block, sequence, source index.
+
+    ``plan_index`` points at the underlying ENC packet (several slots may
+    share it when the last block was padded by duplication).
+    """
+
+    block_id: int
+    seq_in_block: int
+    plan_index: int
+    is_duplicate: bool = False
+
+
+class BlockPartition:
+    """Partition of ``n_packets`` ENC packets into blocks of size ``k``."""
+
+    def __init__(self, n_packets, k):
+        check_positive("n_packets", n_packets, integral=True)
+        check_positive("block size k", k, integral=True)
+        self.n_packets = int(n_packets)
+        self.k = int(k)
+        self.n_blocks = -(-self.n_packets // self.k)
+        self._slots = self._build()
+
+    def _build(self):
+        slots = []
+        for block_id in range(self.n_blocks):
+            first = block_id * self.k
+            for seq in range(self.k):
+                source = first + seq
+                if source < self.n_packets:
+                    slots.append(
+                        BlockSlot(
+                            block_id=block_id,
+                            seq_in_block=seq,
+                            plan_index=source,
+                        )
+                    )
+                else:
+                    # Last block: duplicate its own packets cyclically.
+                    remainder = self.n_packets - first
+                    slots.append(
+                        BlockSlot(
+                            block_id=block_id,
+                            seq_in_block=seq,
+                            plan_index=first + (source - first) % remainder,
+                            is_duplicate=True,
+                        )
+                    )
+        return slots
+
+    @property
+    def slots(self):
+        """All ENC slots, block-major order (block 0 seq 0, 1, ...)."""
+        return list(self._slots)
+
+    @property
+    def n_duplicates(self):
+        """ENC packet copies added to pad the last block."""
+        return sum(1 for slot in self._slots if slot.is_duplicate)
+
+    @property
+    def n_enc_slots(self):
+        """Total ENC slots actually multicast: ``n_blocks * k``."""
+        return self.n_blocks * self.k
+
+    def block_of_packet(self, plan_index):
+        """Block ID holding the *original* copy of ``plan_index``."""
+        if not 0 <= plan_index < self.n_packets:
+            raise ConfigurationError(
+                "plan_index %d out of range" % plan_index
+            )
+        return plan_index // self.k
+
+    def seq_of_packet(self, plan_index):
+        """Sequence number of the original copy of ``plan_index``."""
+        if not 0 <= plan_index < self.n_packets:
+            raise ConfigurationError(
+                "plan_index %d out of range" % plan_index
+            )
+        return plan_index % self.k
+
+    def packets_in_block(self, block_id):
+        """Slots belonging to ``block_id``."""
+        if not 0 <= block_id < self.n_blocks:
+            raise ConfigurationError("block_id %d out of range" % block_id)
+        return [s for s in self._slots if s.block_id == block_id]
+
+
+def interleaved_order(n_blocks, per_block):
+    """Send order interleaving blocks: (b0,s0), (b1,s0), ..., (b0,s1), ...
+
+    ``per_block`` is the number of packets each block contributes this
+    round (``k`` ENC + proactive parity in round 1; ``amax[i]`` may vary
+    per block in later rounds, in which case pass the maximum and filter).
+    Yields ``(block_id, slot_index)`` pairs.
+    """
+    check_positive("n_blocks", n_blocks, integral=True)
+    if per_block < 0:
+        raise ConfigurationError("per_block must be >= 0")
+    for slot_index in range(per_block):
+        for block_id in range(n_blocks):
+            yield (block_id, slot_index)

@@ -1,0 +1,37 @@
+"""Network-simulation substrate.
+
+The paper evaluates rekey transport on the topology of Nonnenmacher et
+al.: the key server reaches a loss-free backbone through one *source
+link*, and every user hangs off the backbone through its own *receiver
+link*.  Losses are bursty: each link runs an independent two-state
+continuous-time Markov chain whose mean loss-burst duration is
+``100 * p`` ms and mean loss-free duration ``100 * (1 - p)`` ms, giving
+a stationary loss rate of exactly ``p``.
+
+A fraction ``alpha`` of users are *high-loss* (``p_h``, default 20 %);
+the rest are low-loss (``p_l``, default 2 %); the source link runs at
+``p_s`` (default 1 %).
+
+- :mod:`repro.sim.events` — a small deterministic event loop.
+- :mod:`repro.sim.loss` — Bernoulli and two-state Markov loss processes,
+  with both stepwise and vectorised sampling.
+- :mod:`repro.sim.topology` — the source/receiver-link topology and the
+  paper's default parameterisation.
+"""
+
+from repro.sim.events import EventLoop
+from repro.sim.loss import BernoulliLoss, TwoStateMarkovLoss
+from repro.sim.topology import (
+    LossParameters,
+    MulticastTopology,
+    build_paper_topology,
+)
+
+__all__ = [
+    "BernoulliLoss",
+    "EventLoop",
+    "LossParameters",
+    "MulticastTopology",
+    "TwoStateMarkovLoss",
+    "build_paper_topology",
+]

@@ -1,0 +1,82 @@
+"""A small deterministic discrete-event loop.
+
+Events fire in (time, sequence) order, so simultaneous events run in
+scheduling order and runs are exactly reproducible.  The transport
+session uses it for packet departures, arrivals, and round timeouts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.errors import SimulationError
+from repro.util.validation import check_non_negative
+
+
+class EventLoop:
+    """Priority-queue event loop with a monotone clock."""
+
+    def __init__(self):
+        self._queue = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self):
+        """Current simulation time (seconds)."""
+        return self._now
+
+    def schedule(self, delay, callback, *args):
+        """Run ``callback(*args)`` ``delay`` seconds from now."""
+        check_non_negative("delay", delay)
+        self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, when, callback, *args):
+        """Run ``callback(*args)`` at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                "cannot schedule into the past (%r < %r)" % (when, self._now)
+            )
+        heapq.heappush(
+            self._queue, (float(when), next(self._counter), callback, args)
+        )
+
+    @property
+    def pending(self):
+        """Number of events not yet dispatched."""
+        return len(self._queue)
+
+    def run(self, until=None):
+        """Dispatch events in order; stop when empty or past ``until``.
+
+        Returns the number of events dispatched.
+        """
+        if self._running:
+            raise SimulationError("event loop is already running")
+        self._running = True
+        dispatched = 0
+        try:
+            while self._queue:
+                when, _, callback, args = self._queue[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = when
+                callback(*args)
+                dispatched += 1
+            if until is not None and self._now < until:
+                self._now = float(until)
+        finally:
+            self._running = False
+        return dispatched
+
+    def step(self):
+        """Dispatch exactly one event; returns False when none remain."""
+        if not self._queue:
+            return False
+        when, _, callback, args = heapq.heappop(self._queue)
+        self._now = when
+        callback(*args)
+        return True

@@ -1,0 +1,167 @@
+"""The paper's simulation topology and default loss parameters.
+
+One source link (key server -> backbone, loss rate ``p_s``), a loss-free
+backbone, and one receiver link per user.  A fraction ``alpha`` of the
+users are high-loss (``p_h``); the rest are low-loss (``p_l``).  Every
+link runs an independent :class:`~repro.sim.loss.TwoStateMarkovLoss`
+chain (or Bernoulli, for analytic cross-checks).
+
+Paper defaults: N = 4096, d = 4, J = 0, L = N/d, alpha = 20 %,
+p_h = 20 %, p_l = 2 %, p_s = 1 %, sending rate 10 packets/second
+(100 ms interval), ENC packet length 1027 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.loss import BernoulliLoss, TwoStateMarkovLoss
+from repro.util.rng import RandomSource
+from repro.util.validation import (
+    check_positive,
+    check_probability,
+)
+
+
+@dataclass(frozen=True)
+class LossParameters:
+    """Loss-environment knobs, with the paper's defaults."""
+
+    alpha: float = 0.20  # fraction of high-loss users
+    p_high: float = 0.20
+    p_low: float = 0.02
+    p_source: float = 0.01
+    burst_scale_ms: float = 100.0
+    bursty: bool = True  # False -> independent (Bernoulli) loss
+
+    def __post_init__(self):
+        check_probability("alpha", self.alpha)
+        check_probability("p_high", self.p_high)
+        check_probability("p_low", self.p_low)
+        check_probability("p_source", self.p_source)
+        check_positive("burst_scale_ms", self.burst_scale_ms)
+
+    def make_process(self, p):
+        """A loss process at rate ``p`` under these settings."""
+        if self.bursty:
+            return TwoStateMarkovLoss(p, burst_scale_ms=self.burst_scale_ms)
+        return BernoulliLoss(p)
+
+
+class MulticastTopology:
+    """Source link + backbone + per-user receiver links.
+
+    The high-loss subset is the first ``round(alpha * n_users)`` user
+    indices; callers that need a random subset should shuffle their own
+    user ordering (the protocol is symmetric in user index, so metrics
+    are unaffected).
+    """
+
+    def __init__(self, n_users, params=None, random_source=None):
+        check_positive("n_users", n_users, integral=True)
+        self.n_users = int(n_users)
+        self.params = params or LossParameters()
+        self._random_source = random_source or RandomSource()
+        self.n_high = int(round(self.params.alpha * self.n_users))
+        self._source_process = self.params.make_process(self.params.p_source)
+        self._high_process = self.params.make_process(self.params.p_high)
+        self._low_process = self.params.make_process(self.params.p_low)
+
+    def is_high_loss(self, user_index):
+        """Whether ``user_index`` sits on a high-loss receiver link."""
+        if not 0 <= user_index < self.n_users:
+            raise SimulationError("user index %r out of range" % user_index)
+        return user_index < self.n_high
+
+    def user_loss_rate(self, user_index):
+        """The receiver-link loss rate of ``user_index``."""
+        return (
+            self.params.p_high
+            if self.is_high_loss(user_index)
+            else self.params.p_low
+        )
+
+    def multicast_reception(self, times, rng=None):
+        """Simulate one multicast burst of packets sent at ``times``.
+
+        Returns a boolean (n_users, n_packets) matrix: True where the
+        user *received* the packet.  A packet lost on the source link is
+        lost for every user; receiver links drop independently.
+        """
+        times = np.asarray(times, dtype=float)
+        if rng is None:
+            rng = self._random_source.generator()
+        source_lost = self._sample_one(self._source_process, times, rng)
+        received = np.empty((self.n_users, times.size), dtype=bool)
+        if self.n_high:
+            received[: self.n_high] = ~self._sample_block(
+                self._high_process, times, self.n_high, rng
+            )
+        if self.n_high < self.n_users:
+            received[self.n_high :] = ~self._sample_block(
+                self._low_process, times, self.n_users - self.n_high, rng
+            )
+        received[:, source_lost] = False
+        return received
+
+    def unicast_reception(self, user_index, times, rng=None):
+        """Loss for unicast packets to one user (source + receiver link)."""
+        times = np.asarray(times, dtype=float)
+        if rng is None:
+            rng = self._random_source.generator()
+        process = (
+            self._high_process
+            if self.is_high_loss(user_index)
+            else self._low_process
+        )
+        source_lost = self._sample_one(self._source_process, times, rng)
+        receiver_lost = self._sample_one(process, times, rng)
+        return ~(source_lost | receiver_lost)
+
+    @staticmethod
+    def _sample_one(process, times, rng):
+        return process.sample_at(times, rng)
+
+    @staticmethod
+    def _sample_block(process, times, n_chains, rng):
+        if hasattr(process, "sample_matrix"):
+            return process.sample_matrix(times, n_chains, rng)
+        return np.stack(
+            [process.sample_at(times, rng) for _ in range(n_chains)]
+        )
+
+    def __repr__(self):
+        return (
+            "MulticastTopology(n_users=%d, alpha=%g, p_h=%g, p_l=%g, p_s=%g)"
+            % (
+                self.n_users,
+                self.params.alpha,
+                self.params.p_high,
+                self.params.p_low,
+                self.params.p_source,
+            )
+        )
+
+
+def build_paper_topology(
+    n_users=4096,
+    alpha=0.20,
+    p_high=0.20,
+    p_low=0.02,
+    p_source=0.01,
+    bursty=True,
+    seed=None,
+):
+    """The default experimental topology, one call."""
+    params = LossParameters(
+        alpha=alpha,
+        p_high=p_high,
+        p_low=p_low,
+        p_source=p_source,
+        bursty=bursty,
+    )
+    source = RandomSource(seed) if seed is not None else RandomSource()
+    return MulticastTopology(n_users, params=params, random_source=source)

@@ -1,0 +1,129 @@
+"""Adaptive control of the proactivity factor and NACK target (§6).
+
+Two controllers:
+
+- :class:`ProactivityController` — the ``AdjustRho`` algorithm (Fig. 11):
+  after the first round of each rekey message, compare the number of
+  NACKs received with the target ``numNACK``; overshoot raises ``rho``
+  just enough that (based on this message's feedback) only ``numNACK``
+  users would have NACKed; undershoot decays ``rho`` by one parity
+  packet, probabilistically.
+
+- :class:`NumNackController` — the heuristic that adapts the target
+  itself: every deadline-clean message nudges ``numNACK`` up (cheaper),
+  every missed deadline pulls it down by the number of missing users
+  (faster delivery).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+)
+
+
+def proactive_parity_count(rho, k):
+    """Proactive PARITY packets per block: ``ceil((rho - 1) * k)``.
+
+    A small epsilon absorbs binary floating-point noise so that e.g.
+    ``rho = 1.6, k = 10`` yields 6 parity packets, not 7.
+    """
+    check_positive("k", k, integral=True)
+    check_non_negative("rho", rho)
+    return max(0, math.ceil((rho - 1.0) * k - 1e-9))
+
+
+class ProactivityController:
+    """The ``AdjustRho`` algorithm, one instance per key server.
+
+    ``update`` is called once per rekey message with the first-round
+    NACK report list ``A`` (each entry: the *largest* per-block parity
+    count that user requested).  The adjusted ``rho`` applies to the
+    *next* rekey message's proactive round.
+    """
+
+    def __init__(self, k, rho=1.0, num_nack=20, rng=None):
+        check_positive("k", k, integral=True)
+        check_non_negative("rho", rho)
+        check_non_negative("num_nack", num_nack, integral=True)
+        self.k = int(k)
+        self.rho = float(rho)
+        self.num_nack = int(num_nack)
+        self._rng = rng
+
+    def _random(self):
+        if self._rng is None:
+            from repro.util.rng import spawn_rng
+
+            self._rng = spawn_rng()
+        return float(self._rng.random())
+
+    def update(self, first_round_requests):
+        """Apply AdjustRho given the first round's NACK list ``A``.
+
+        ``first_round_requests``: one integer per NACKing user — the
+        maximum number of PARITY packets that user requested across
+        blocks.  Returns the new ``rho``.
+        """
+        requests = sorted(
+            (int(a) for a in first_round_requests), reverse=True
+        )
+        n_nacks = len(requests)
+        if n_nacks > self.num_nack:
+            # Raise rho so the (numNACK+1)-th neediest user would have
+            # recovered within round one.
+            extra = requests[self.num_nack]
+            self.rho = (extra + math.ceil(self.k * self.rho)) / self.k
+        elif n_nacks < self.num_nack:
+            # Possibly decay by one parity packet.
+            probability = max(
+                0.0, (self.num_nack - n_nacks * 2) / self.num_nack
+            )
+            if probability > 0.0 and self._random() < probability:
+                self.rho = max(0.0, math.ceil(self.k * self.rho - 1) / self.k)
+        return self.rho
+
+    @property
+    def parity_per_block(self):
+        """Proactive parity packets the next message sends per block."""
+        return proactive_parity_count(self.rho, self.k)
+
+    def __repr__(self):
+        return "ProactivityController(k=%d, rho=%.3f, num_nack=%d)" % (
+            self.k,
+            self.rho,
+            self.num_nack,
+        )
+
+
+class NumNackController:
+    """Adapts the NACK target ``numNACK`` from deadline outcomes."""
+
+    def __init__(self, num_nack=20, max_nack=100):
+        check_non_negative("num_nack", num_nack, integral=True)
+        check_non_negative("max_nack", max_nack, integral=True)
+        self.num_nack = int(num_nack)
+        self.max_nack = int(max_nack)
+
+    def update(self, users_missing_deadline):
+        """One rekey message completed; adapt the target.
+
+        Returns the new ``numNACK``.
+        """
+        check_non_negative(
+            "users_missing_deadline", users_missing_deadline, integral=True
+        )
+        if users_missing_deadline == 0:
+            self.num_nack = min(self.num_nack + 1, self.max_nack)
+        else:
+            self.num_nack = max(self.num_nack - users_missing_deadline, 0)
+        return self.num_nack
+
+    def __repr__(self):
+        return "NumNackController(num_nack=%d, max_nack=%d)" % (
+            self.num_nack,
+            self.max_nack,
+        )

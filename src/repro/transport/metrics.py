@@ -1,0 +1,175 @@
+"""Metric containers shared by the session and fleet simulators.
+
+The paper's evaluation metrics, with their exact definitions:
+
+- **server bandwidth overhead** ``h'/h``: total packets *multicast* (ENC
+  slots including last-block duplicates, plus every PARITY packet in
+  every round) divided by the number of distinct ENC packets in the
+  rekey message (§5.2);
+- **NACKs of first round**: NACK packets arriving after round 1 (§6.1);
+- **rounds for all users** / **rounds needed by a user**: multicast
+  rounds until the last / each user recovered (§6.1);
+- **users missing deadline**: users not recovered within the deadline
+  (in rounds) by multicast (§7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RoundStats:
+    """One multicast round of one rekey message."""
+
+    round_index: int
+    enc_packets_sent: int
+    parity_packets_sent: int
+    nacks_received: int
+    users_recovered_total: int
+
+    @property
+    def packets_sent(self):
+        return self.enc_packets_sent + self.parity_packets_sent
+
+
+@dataclass
+class UnicastStats:
+    """The unicast mop-up phase of one rekey message."""
+
+    users_served: int = 0
+    usr_packets_sent: int = 0
+    usr_bytes_sent: int = 0
+    attempts: int = 0
+
+
+@dataclass
+class MessageStats:
+    """Everything measured while delivering one rekey message."""
+
+    message_index: int
+    n_enc_packets: int
+    n_blocks: int
+    k: int
+    rho: float
+    rounds: list = field(default_factory=list)
+    unicast: UnicastStats = field(default_factory=UnicastStats)
+    #: per-user multicast round of recovery (1-based); 0 = recovered by
+    #: unicast only
+    user_rounds: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=int)
+    )
+    n_users: int = 0
+    #: users who recovered by receiving their specific ENC packet
+    #: directly (no FEC decoding work at all)
+    n_recovered_direct: int = 0
+    #: users who needed to FEC-decode their block
+    n_recovered_decode: int = 0
+
+    @property
+    def total_multicast_packets(self):
+        return sum(r.packets_sent for r in self.rounds)
+
+    @property
+    def bandwidth_overhead(self):
+        """The paper's ``h'/h`` server bandwidth overhead."""
+        if self.n_enc_packets == 0:
+            return 0.0
+        return self.total_multicast_packets / self.n_enc_packets
+
+    @property
+    def first_round_nacks(self):
+        return self.rounds[0].nacks_received if self.rounds else 0
+
+    @property
+    def n_multicast_rounds(self):
+        return len(self.rounds)
+
+    @property
+    def rounds_for_all_users(self):
+        """Multicast rounds until every user recovered.
+
+        Users finished only by unicast count as needing one round more
+        than the last multicast round (they were still waiting when
+        multicast stopped).
+        """
+        if self.n_users == 0:
+            return 0
+        if np.any(self.user_rounds == 0):
+            return self.n_multicast_rounds + 1
+        return int(self.user_rounds.max())
+
+    @property
+    def mean_rounds_per_user(self):
+        """Average multicast rounds a user needed (unicast-recovered
+        users count as ``n_multicast_rounds + 1``)."""
+        if self.n_users == 0:
+            return 0.0
+        rounds = np.where(
+            self.user_rounds == 0,
+            self.n_multicast_rounds + 1,
+            self.user_rounds,
+        )
+        return float(rounds.mean())
+
+    @property
+    def decode_fraction(self):
+        """Fraction of users that had to run the RSE decoder (§5.2's
+        'vast majority ... do not have any decoding overhead')."""
+        recovered = self.n_recovered_direct + self.n_recovered_decode
+        if recovered == 0:
+            return 0.0
+        return self.n_recovered_decode / recovered
+
+    def users_missing_deadline(self, deadline_rounds):
+        """Users not recovered by multicast within the deadline."""
+        if self.n_users == 0:
+            return 0
+        recovered_in_time = (self.user_rounds > 0) & (
+            self.user_rounds <= deadline_rounds
+        )
+        return int(self.n_users - recovered_in_time.sum())
+
+
+@dataclass
+class SequenceStats:
+    """A sequence of rekey messages under adaptive control."""
+
+    messages: list = field(default_factory=list)
+    rho_trajectory: list = field(default_factory=list)
+    num_nack_trajectory: list = field(default_factory=list)
+    deadline_misses: list = field(default_factory=list)
+
+    def append(self, message_stats, rho, num_nack, misses):
+        self.messages.append(message_stats)
+        self.rho_trajectory.append(rho)
+        self.num_nack_trajectory.append(num_nack)
+        self.deadline_misses.append(misses)
+
+    @property
+    def n_messages(self):
+        return len(self.messages)
+
+    def first_round_nacks(self):
+        return [m.first_round_nacks for m in self.messages]
+
+    def bandwidth_overheads(self):
+        return [m.bandwidth_overhead for m in self.messages]
+
+    def mean_bandwidth_overhead(self, skip=0):
+        values = self.bandwidth_overheads()[skip:]
+        return float(np.mean(values)) if values else 0.0
+
+    def mean_first_round_nacks(self, skip=0):
+        values = self.first_round_nacks()[skip:]
+        return float(np.mean(values)) if values else 0.0
+
+    def mean_rounds_for_all(self, skip=0):
+        values = [m.rounds_for_all_users for m in self.messages[skip:]]
+        return float(np.mean(values)) if values else 0.0
+
+    def mean_rounds_per_user(self, skip=0):
+        values = [m.mean_rounds_per_user for m in self.messages[skip:]]
+        return float(np.mean(values)) if values else 0.0

@@ -1,0 +1,77 @@
+"""Structured tracing for transport sessions.
+
+A :class:`SessionTrace` collects timestamped protocol events —
+round boundaries, NACK aggregates, unicast attempts, completion — so a
+delivery can be inspected or asserted on after the fact without
+sprinkling print statements through the protocol code.  The
+:class:`~repro.transport.session.RekeySession` emits into a trace when
+given one; rendering is plain text, one event per line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One protocol event: simulation time, kind, and details."""
+
+    time: float
+    kind: str
+    detail: dict
+
+    def render(self):
+        parts = " ".join(
+            "%s=%s" % (key, value)
+            for key, value in sorted(self.detail.items())
+        )
+        return "%10.3fs  %-18s %s" % (self.time, self.kind, parts)
+
+
+KNOWN_KINDS = frozenset(
+    {
+        "session_start",
+        "round_planned",
+        "round_complete",
+        "unicast_start",
+        "unicast_attempt",
+        "session_complete",
+    }
+)
+
+
+@dataclass
+class SessionTrace:
+    """An append-only event log for one delivery session."""
+
+    events: list = field(default_factory=list)
+    strict: bool = True
+
+    def emit(self, kind, time, **detail):
+        """Record one event."""
+        if self.strict and kind not in KNOWN_KINDS:
+            raise ConfigurationError("unknown trace kind %r" % kind)
+        self.events.append(TraceEvent(time=float(time), kind=kind,
+                                      detail=detail))
+
+    def of_kind(self, kind):
+        """All events of one kind, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def summary(self):
+        """Event counts by kind."""
+        counts = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def render(self, limit=None):
+        """Multi-line text rendering (most recent last)."""
+        events = self.events if limit is None else self.events[-limit:]
+        return "\n".join(event.render() for event in events)
+
+    def __len__(self):
+        return len(self.events)

@@ -1,0 +1,20 @@
+"""Shared small utilities: argument validation and deterministic RNG."""
+
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+from repro.util.rng import RandomSource, spawn_rng
+
+__all__ = [
+    "RandomSource",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+    "spawn_rng",
+]

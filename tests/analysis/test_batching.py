@@ -1,0 +1,78 @@
+"""Tests for repro.analysis.batching."""
+
+import pytest
+
+from repro.analysis.batching import (
+    BatchCost,
+    batch_cost,
+    individual_cost,
+    individual_leave_encryptions,
+    signature_savings,
+)
+from repro.crypto.cost import CostModel
+from repro.util import spawn_rng
+
+
+class TestBatchCost:
+    def test_seconds_uses_model(self):
+        cost = BatchCost(encryptions=10, key_generations=5, signatures=1)
+        model = CostModel(
+            keygen_seconds=1.0, encrypt_seconds=2.0, sign_seconds=100.0
+        )
+        assert cost.seconds(model) == pytest.approx(5 + 20 + 100)
+
+    def test_addition(self):
+        total = BatchCost(1, 2, 3) + BatchCost(10, 20, 30)
+        assert total == BatchCost(11, 22, 33)
+
+
+class TestFormulas:
+    def test_individual_leave_formula(self):
+        assert individual_leave_encryptions(4, 6) == 23
+        assert individual_leave_encryptions(2, 3) == 5
+
+    def test_signature_savings(self):
+        assert signature_savings(10, 10) == 19
+        assert signature_savings(0, 1) == 0
+        assert signature_savings(0, 0) == 0
+
+
+class TestMeasuredCosts:
+    def test_individual_leave_matches_formula(self):
+        rng = spawn_rng(1)
+        cost = individual_cost(256, 4, 0, 1, rng=rng)
+        assert cost.encryptions == individual_leave_encryptions(4, 4)
+        assert cost.signatures == 1
+
+    def test_batch_cheaper_than_individual(self):
+        rng = spawn_rng(2)
+        batch = batch_cost(256, 4, 32, 32, rng=rng)
+        rng = spawn_rng(2)  # same request set
+        individual = individual_cost(256, 4, 32, 32, rng=rng)
+        assert batch.encryptions < individual.encryptions
+        assert batch.signatures == 1
+        assert individual.signatures == 64
+        assert batch.seconds() < individual.seconds() / 10
+
+    def test_batch_of_one_equals_individual(self):
+        rng = spawn_rng(3)
+        batch = batch_cost(256, 4, 0, 1, rng=rng)
+        rng = spawn_rng(3)
+        individual = individual_cost(256, 4, 0, 1, rng=rng)
+        assert batch == individual
+
+    def test_empty_batch_is_free(self):
+        cost = batch_cost(64, 4, 0, 0)
+        assert cost.encryptions == 0
+        assert cost.signatures == 0
+        assert cost.seconds() == 0.0
+
+    def test_signature_dominates_batch_gain(self):
+        """With RSA-scale signing, batching wins even at tiny batches."""
+        rng = spawn_rng(4)
+        batch = batch_cost(256, 4, 4, 4, rng=rng)
+        rng = spawn_rng(4)
+        individual = individual_cost(256, 4, 4, 4, rng=rng)
+        model = CostModel()
+        ratio = individual.seconds(model) / batch.seconds(model)
+        assert ratio > 5

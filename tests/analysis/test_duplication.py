@@ -1,0 +1,82 @@
+"""Tests for repro.analysis.duplication — UKA duplication model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.duplication import (
+    expected_duplication_overhead,
+    expected_duplications_per_boundary,
+    paper_duplication_bound,
+)
+from repro.keytree import KeyTree, MarkingAlgorithm
+from repro.rekey.assignment import UserOrientedKeyAssignment
+from repro.util import spawn_rng
+
+
+def measured_overhead(n_users, degree, n_leaves, trials=4, seed=0):
+    rng = spawn_rng(seed)
+    users = ["u%d" % i for i in range(n_users)]
+    values = []
+    for _ in range(trials):
+        tree = KeyTree.full_balanced(users, degree)
+        leavers = rng.choice(n_users, n_leaves, replace=False)
+        batch = MarkingAlgorithm(renew_keys=False).apply(
+            tree, leaves=[users[i] for i in leavers]
+        )
+        result = UserOrientedKeyAssignment().assign(batch.needs_by_user())
+        values.append(result.duplication_overhead)
+    return float(np.mean(values))
+
+
+class TestPerBoundary:
+    def test_geometric_weighting(self):
+        # d=4, h=6: 0.75*5 + 0.1875*4 + ... ~ 4.66
+        value = expected_duplications_per_boundary(4, 6)
+        assert 4.0 < value < 5.0
+
+    def test_grows_with_height(self):
+        assert expected_duplications_per_boundary(
+            4, 7
+        ) > expected_duplications_per_boundary(4, 6)
+
+    def test_binary_tree(self):
+        # d=2: sum (1/2^j)(h-j); h=3: 0.5*2 + 0.25*1 = 1.25
+        assert expected_duplications_per_boundary(2, 3) == pytest.approx(1.25)
+
+
+class TestOverheadModel:
+    def test_within_band_of_real_packer(self):
+        model = expected_duplication_overhead(4096, 4, 1024)
+        measured = measured_overhead(4096, 4, 1024)
+        assert measured / 2.5 < model < measured * 2.5
+
+    def test_respects_paper_bound_direction(self):
+        """The paper's bound dominates the observed overhead."""
+        bound = paper_duplication_bound(4096, 4)
+        measured = measured_overhead(4096, 4, 1024)
+        assert measured <= bound * 1.25  # bound, with trial noise slack
+
+    def test_overhead_grows_with_log_n(self):
+        small = expected_duplication_overhead(256, 4, 64)
+        large = expected_duplication_overhead(16384, 4, 4096)
+        assert large > small
+
+    def test_zero_leaves(self):
+        assert expected_duplication_overhead(256, 4, 0) == 0.0
+
+    def test_tiny_message_no_boundaries(self):
+        # A message that fits one packet duplicates nothing.
+        assert expected_duplication_overhead(16, 4, 1) == 0.0
+
+
+class TestBound:
+    def test_paper_values(self):
+        assert paper_duplication_bound(4096, 4) == pytest.approx(
+            (6 - 1) / 46, rel=1e-6
+        )
+
+    def test_invalid_degree(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            paper_duplication_bound(16, 1)

@@ -1,0 +1,138 @@
+"""Tests for repro.analysis.encryptions — closed forms vs marking."""
+
+import pytest
+
+from repro.analysis.encryptions import (
+    expected_encryptions_joins_equal_leaves,
+    expected_encryptions_leaves_only,
+    expected_updated_knodes_leaves_only,
+    simulate_batch,
+)
+from repro.errors import ConfigurationError
+from repro.util import spawn_rng
+
+
+class TestClosedFormsSmall:
+    """Exact values checked by exhaustive reasoning on tiny trees."""
+
+    def test_single_leave_d2_h2(self):
+        # N=4, d=2: one departure updates both path k-nodes.
+        # Edges: root->2 children, but one child subtree has the leaver;
+        # deepest k-node keeps 1 sibling: E = (2-1) + 2 = 3 = d*h - 1.
+        assert expected_encryptions_leaves_only(4, 2, 1) == pytest.approx(3.0)
+
+    def test_single_leave_matches_dh_minus_1(self):
+        for degree, height in [(2, 3), (3, 2), (4, 6)]:
+            n_users = degree**height
+            assert expected_encryptions_leaves_only(
+                n_users, degree, 1
+            ) == pytest.approx(degree * height - 1)
+
+    def test_all_leave_is_zero(self):
+        assert expected_encryptions_leaves_only(16, 4, 16) == pytest.approx(
+            0.0
+        )
+
+    def test_zero_leaves_zero(self):
+        assert expected_encryptions_leaves_only(16, 4, 0) == 0.0
+        assert expected_encryptions_joins_equal_leaves(16, 4, 0) == 0.0
+
+    def test_single_replace_d2(self):
+        # J=L=1 on N=4, d=2: both path k-nodes change, no pruning:
+        # deepest encrypts to 2 children, root to 2: E = 4 = d*h.
+        assert expected_encryptions_joins_equal_leaves(
+            4, 2, 1
+        ) == pytest.approx(4.0)
+
+    def test_full_replace_rekeys_everything(self):
+        # J=L=N: every k-node changes; E = total edges = d + d^2.
+        assert expected_encryptions_joins_equal_leaves(
+            16, 4, 16
+        ) == pytest.approx(4 + 16)
+
+    def test_updated_knodes_single_leave(self):
+        # One departure updates exactly h k-nodes.
+        assert expected_updated_knodes_leaves_only(64, 4, 1) == pytest.approx(
+            3.0
+        )
+
+    def test_updated_knodes_all_leave(self):
+        assert expected_updated_knodes_leaves_only(
+            64, 4, 64
+        ) == pytest.approx(0.0)
+
+
+class TestClosedFormsVsSimulation:
+    @pytest.mark.parametrize(
+        "n_users,degree,n_leaves",
+        [(256, 4, 64), (256, 4, 16), (512, 2, 128), (729, 3, 243)],
+    )
+    def test_leaves_only(self, n_users, degree, n_leaves):
+        rng = spawn_rng(1)
+        sim = simulate_batch(
+            n_users, degree, 0, n_leaves, n_trials=30, rng=rng
+        )
+        analytic = expected_encryptions_leaves_only(n_users, degree, n_leaves)
+        mean = sim["encryptions"].mean()
+        assert analytic == pytest.approx(mean, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "n_users,degree,batch", [(256, 4, 64), (512, 2, 64)]
+    )
+    def test_joins_equal_leaves(self, n_users, degree, batch):
+        rng = spawn_rng(2)
+        sim = simulate_batch(n_users, degree, batch, batch, n_trials=30, rng=rng)
+        analytic = expected_encryptions_joins_equal_leaves(
+            n_users, degree, batch
+        )
+        assert analytic == pytest.approx(sim["encryptions"].mean(), rel=0.05)
+
+    def test_updated_knodes_vs_simulation(self):
+        rng = spawn_rng(3)
+        sim = simulate_batch(256, 4, 0, 64, n_trials=30, rng=rng)
+        analytic = expected_updated_knodes_leaves_only(256, 4, 64)
+        assert analytic == pytest.approx(
+            sim["updated_knodes"].mean(), rel=0.05
+        )
+
+
+class TestShape:
+    def test_peak_near_n_over_d(self):
+        """E[#encryptions] peaks around L = N/d then declines (Fig 6)."""
+        n_users, degree = 1024, 4
+        values = {
+            n_leaves: expected_encryptions_leaves_only(
+                n_users, degree, n_leaves
+            )
+            for n_leaves in (64, 256, 512, 896, 1000)
+        }
+        assert values[256] > values[64]
+        assert values[256] > values[896]
+        assert values[896] > values[1000]
+
+    def test_monotone_in_batch_for_replacement(self):
+        previous = 0.0
+        for batch in (1, 16, 64, 256):
+            value = expected_encryptions_joins_equal_leaves(1024, 4, batch)
+            assert value > previous
+            previous = value
+
+    def test_grows_linearly_with_n(self):
+        """At L = N/4 the expected size is ~linear in N (Fig 6 right)."""
+        small = expected_encryptions_leaves_only(1024, 4, 256)
+        large = expected_encryptions_leaves_only(4096, 4, 1024)
+        assert large / small == pytest.approx(4.0, rel=0.05)
+
+
+class TestValidation:
+    def test_non_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_encryptions_leaves_only(1000, 4, 10)
+
+    def test_too_many_leaves(self):
+        with pytest.raises(ConfigurationError):
+            expected_encryptions_leaves_only(16, 4, 17)
+
+    def test_degree_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_encryptions_leaves_only(16, 1, 2)

@@ -1,0 +1,111 @@
+"""Tests for repro.analysis.fec_model — model vs fleet simulation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fec_model import (
+    combined_loss_rate,
+    expected_first_round_nacks,
+    first_round_failure_probability,
+    round_one_recovery_fraction,
+)
+from repro.sim import LossParameters, MulticastTopology
+from repro.transport import FleetConfig, FleetSimulator
+from repro.transport.fleet import make_paper_workload
+from repro.util import RandomSource
+
+
+class TestCombinedLoss:
+    def test_independent_composition(self):
+        assert combined_loss_rate(0.2, 0.01) == pytest.approx(
+            1 - 0.8 * 0.99
+        )
+
+    def test_zero(self):
+        assert combined_loss_rate(0.0, 0.0) == 0.0
+
+
+class TestFailureProbability:
+    def test_zero_loss(self):
+        assert first_round_failure_probability(0.0, 10, 0) == 0.0
+
+    def test_no_parity_closed_form(self):
+        """a = 0: losing your own packet is unrecoverable (at most k-1 of
+        the k codewords remain), so P(fail) = p exactly."""
+        p, k = 0.2, 10
+        assert first_round_failure_probability(p, k, 0) == pytest.approx(p)
+
+    def test_one_parity_closed_form(self):
+        """a = 1: fail iff own packet lost and >= 1 of the other k lost."""
+        p, k = 0.2, 10
+        expected = p * (1 - (1 - p) ** k)
+        assert first_round_failure_probability(p, k, 1) == pytest.approx(
+            expected
+        )
+
+    def test_k_one_no_parity(self):
+        # Single-packet block: failure = losing the packet.
+        assert first_round_failure_probability(0.3, 1, 0) == pytest.approx(0.3)
+
+    def test_monotone_decreasing_in_parity(self):
+        values = [
+            first_round_failure_probability(0.2, 10, a) for a in range(8)
+        ]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_roughly_exponential_decay_in_parity(self):
+        """Each extra parity packet multiplies failure by ~p (Fig 9)."""
+        p = 0.2
+        values = [
+            first_round_failure_probability(p, 10, a) for a in range(2, 9)
+        ]
+        ratios = [b / a for a, b in zip(values, values[1:])]
+        # Successive ratios shrink toward ~p: log-linear decay.
+        assert all(r < 0.8 for r in ratios)
+        assert all(b <= a + 1e-12 for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] < 0.5
+
+
+class TestRecoveryFraction:
+    def test_paper_operating_point(self):
+        """rho=1, alpha=20 %: the model predicts ~93-95 % single-round
+        recovery (the paper reports 94.4 % under burst loss)."""
+        fraction = round_one_recovery_fraction(
+            0.2, 0.2, 0.02, 0.01, 10, 1.0
+        )
+        assert 0.92 < fraction < 0.96
+
+    def test_high_rho_near_one(self):
+        fraction = round_one_recovery_fraction(0.2, 0.2, 0.02, 0.01, 10, 2.0)
+        assert fraction > 0.999
+
+    def test_alpha_interpolates(self):
+        lo = round_one_recovery_fraction(0.0, 0.2, 0.02, 0.01, 10, 1.0)
+        hi = round_one_recovery_fraction(1.0, 0.2, 0.02, 0.01, 10, 1.0)
+        mid = round_one_recovery_fraction(0.5, 0.2, 0.02, 0.01, 10, 1.0)
+        assert lo > mid > hi
+        assert mid == pytest.approx((lo + hi) / 2)
+
+
+class TestModelVsSimulation:
+    def test_nack_prediction_matches_fleet(self):
+        """Independent-loss fleet run vs the analytic NACK count."""
+        workload = make_paper_workload(n_users=1024, k=10, seed=3)
+        params = LossParameters(bursty=False)
+        topology = MulticastTopology(
+            workload.n_users, params=params, random_source=RandomSource(4)
+        )
+        sim = FleetSimulator(
+            topology, FleetConfig(multicast_only=True), seed=5
+        )
+        counts = []
+        for index in range(6):
+            stats, _ = sim.run_message(workload, rho=1.0, message_index=index)
+            counts.append(stats.first_round_nacks)
+        simulated = np.mean(counts)
+        predicted = expected_first_round_nacks(
+            workload.n_users, 0.2, 0.2, 0.02, 0.01, 10, 1.0
+        )
+        # The model ignores source-loss correlation across users; allow
+        # a generous band.
+        assert simulated == pytest.approx(predicted, rel=0.4)

@@ -1,0 +1,98 @@
+"""Tests for repro.analysis.rounds_model — multi-round recovery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fec_model import combined_loss_rate
+from repro.analysis.rounds_model import (
+    expected_bandwidth_overhead,
+    expected_block_amax,
+    expected_rounds_per_user,
+)
+from repro.errors import ConfigurationError
+
+
+class TestExpectedRounds:
+    def test_lossless_is_one_round(self):
+        assert expected_rounds_per_user(0.0, 10, 0) == 1.0
+
+    def test_p_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_rounds_per_user(1.0, 10, 0)
+
+    def test_monotone_in_loss(self):
+        values = [
+            expected_rounds_per_user(p, 10, 0)
+            for p in (0.02, 0.1, 0.2, 0.4)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_parity_reduces_rounds(self):
+        base = expected_rounds_per_user(0.2, 10, 0)
+        helped = expected_rounds_per_user(0.2, 10, 6)
+        assert helped < base
+        assert helped >= 1.0
+
+    def test_close_to_one_at_low_loss(self):
+        assert expected_rounds_per_user(0.02, 10, 0) < 1.05
+
+    def test_matches_fleet_simulation(self):
+        """Mixed-population model vs the paper-default fleet run."""
+        from repro.sim import build_paper_topology
+        from repro.transport import FleetConfig, FleetSimulator
+        from repro.transport.fleet import make_paper_workload
+
+        workload = make_paper_workload(n_users=1024, k=10, seed=1)
+        simulator = FleetSimulator(
+            build_paper_topology(n_users=workload.n_users, seed=2),
+            FleetConfig(rho=1.0, adapt_rho=False, multicast_only=True),
+            seed=3,
+        )
+        measured = np.mean(
+            [
+                simulator.run_message(workload, message_index=i)[0]
+                .mean_rounds_per_user
+                for i in range(4)
+            ]
+        )
+        p_high = combined_loss_rate(0.2, 0.01)
+        p_low = combined_loss_rate(0.02, 0.01)
+        model = 0.2 * expected_rounds_per_user(
+            p_high, 10, 0
+        ) + 0.8 * expected_rounds_per_user(p_low, 10, 0)
+        assert measured == pytest.approx(model, rel=0.15)
+
+
+class TestBlockAmax:
+    def test_zero_loss(self):
+        assert expected_block_amax(0.0, 10, 0, 50) == 0.0
+
+    def test_grows_with_population(self):
+        small = expected_block_amax(0.2, 10, 0, 5)
+        large = expected_block_amax(0.2, 10, 0, 500)
+        assert large > small
+
+    def test_bounded_by_k(self):
+        assert expected_block_amax(0.5, 10, 0, 10_000) <= 10
+
+    def test_parity_shrinks_amax(self):
+        assert expected_block_amax(0.2, 10, 6, 100) < expected_block_amax(
+            0.2, 10, 0, 100
+        )
+
+
+class TestBandwidthOverhead:
+    def test_lossless_floor(self):
+        assert expected_bandwidth_overhead(0.0, 10, 0, 50) == 1.0
+        assert expected_bandwidth_overhead(0.0, 10, 5, 50) == 1.5
+
+    def test_monotone_in_loss(self):
+        low = expected_bandwidth_overhead(0.05, 10, 0, 90)
+        high = expected_bandwidth_overhead(0.3, 10, 0, 90)
+        assert high > low
+
+    def test_reasonable_at_paper_point(self):
+        """alpha=1 (all high loss): simulated overhead ~2; model close."""
+        p = combined_loss_rate(0.2, 0.01)
+        value = expected_bandwidth_overhead(p, 10, 0, 380)
+        assert 1.5 < value < 2.6

@@ -1,0 +1,75 @@
+"""Tests for repro.analysis.scalability."""
+
+import pytest
+
+from repro.analysis.scalability import (
+    max_supported_group_size,
+    processing_seconds_per_interval,
+)
+from repro.crypto.cost import CostModel
+from repro.errors import ConfigurationError
+
+
+class TestProcessingSeconds:
+    def test_zero_churn_is_free(self):
+        assert processing_seconds_per_interval(1024, 4, 0.0) == 0.0
+
+    def test_grows_with_group_size(self):
+        small = processing_seconds_per_interval(1024, 4, 0.25)
+        large = processing_seconds_per_interval(16384, 4, 0.25)
+        assert large > 4 * small
+
+    def test_grows_with_churn(self):
+        low = processing_seconds_per_interval(4096, 4, 0.05)
+        high = processing_seconds_per_interval(4096, 4, 0.25)
+        assert high > low
+
+    def test_leaves_only_cheaper_than_replacement(self):
+        leaves = processing_seconds_per_interval(
+            4096, 4, 0.25, join_equals_leave=False
+        )
+        replaced = processing_seconds_per_interval(
+            4096, 4, 0.25, join_equals_leave=True
+        )
+        assert leaves < replaced
+
+    def test_includes_one_signature(self):
+        model = CostModel(
+            keygen_seconds=0.0, encrypt_seconds=0.0, sign_seconds=7.0
+        )
+        seconds = processing_seconds_per_interval(
+            1024, 4, 0.25, cost_model=model
+        )
+        assert seconds == pytest.approx(7.0)
+
+
+class TestMaxGroupSize:
+    def test_longer_interval_supports_more_users(self):
+        short = max_supported_group_size(1.0)
+        long = max_supported_group_size(600.0)
+        assert long > short
+
+    def test_returns_power_of_degree(self):
+        size = max_supported_group_size(30.0, degree=4)
+        assert size > 0
+        while size % 4 == 0:
+            size //= 4
+        assert size == 1
+
+    def test_impossible_budget_returns_zero(self):
+        model = CostModel(sign_seconds=1e6)
+        assert max_supported_group_size(1.0, cost_model=model) == 0
+
+    def test_budget_fraction_shrinks_capacity(self):
+        full = max_supported_group_size(60.0, budget_fraction=1.0)
+        half = max_supported_group_size(60.0, budget_fraction=0.01)
+        assert half <= full
+
+    def test_single_server_scales_to_large_groups(self):
+        """The paper's conclusion: minute-scale intervals support groups
+        far beyond 10^5 users."""
+        assert max_supported_group_size(60.0, degree=4) >= 4**9
+
+    def test_degree_validated(self):
+        with pytest.raises(ConfigurationError):
+            max_supported_group_size(10.0, degree=1)

@@ -1,0 +1,108 @@
+"""Tests for repro.analysis.tuning — parameter provisioning."""
+
+import pytest
+
+from repro.analysis.fec_model import expected_first_round_nacks
+from repro.analysis.tuning import (
+    block_size_for_encoding_budget,
+    rho_for_deadline,
+    rho_for_target_nacks,
+)
+from repro.errors import ConfigurationError
+
+PAPER = dict(alpha=0.2, p_high=0.2, p_low=0.02, p_source=0.01)
+
+
+class TestRhoForTargetNacks:
+    def test_meets_the_target(self):
+        rho = rho_for_target_nacks(
+            3072, k=10, target_nacks=20, **PAPER
+        )
+        expected = expected_first_round_nacks(3072, 0.2, 0.2, 0.02, 0.01, 10, rho)
+        assert expected <= 20
+
+    def test_is_minimal(self):
+        rho = rho_for_target_nacks(3072, k=10, target_nacks=20, **PAPER)
+        one_less = rho - 1 / 10
+        if one_less >= 1.0:
+            assert (
+                expected_first_round_nacks(
+                    3072, 0.2, 0.2, 0.02, 0.01, 10, one_less
+                )
+                > 20
+            )
+
+    def test_matches_adaptive_stable_band(self):
+        """The a-priori fixed point sits in the AdjustRho stable band
+        observed in bench E06 (1.5-1.6 at the paper's defaults)."""
+        rho = rho_for_target_nacks(3072, k=10, target_nacks=20, **PAPER)
+        assert 1.3 <= rho <= 1.8
+
+    def test_looser_target_smaller_rho(self):
+        tight = rho_for_target_nacks(3072, k=10, target_nacks=5, **PAPER)
+        loose = rho_for_target_nacks(3072, k=10, target_nacks=100, **PAPER)
+        assert loose <= tight
+
+    def test_zero_loss_needs_no_parity(self):
+        rho = rho_for_target_nacks(
+            1000,
+            alpha=0.0,
+            p_high=0.0,
+            p_low=0.0,
+            p_source=0.0,
+            k=10,
+            target_nacks=0,
+        )
+        assert rho == 1.0
+
+
+class TestRhoForDeadline:
+    def test_high_loss_single_round(self):
+        rho = rho_for_deadline(0.2, 0.01, k=10, deadline_rounds=1,
+                               success_probability=0.999)
+        assert rho > 1.5
+
+    def test_two_rounds_cheaper_than_one(self):
+        one = rho_for_deadline(0.2, 0.01, k=10, deadline_rounds=1)
+        two = rho_for_deadline(0.2, 0.01, k=10, deadline_rounds=2)
+        assert two <= one
+
+    def test_low_loss_is_cheap(self):
+        rho = rho_for_deadline(0.02, 0.01, k=10, deadline_rounds=2,
+                               success_probability=0.999)
+        assert rho <= 1.3
+
+    def test_lossless(self):
+        assert rho_for_deadline(0.0, 0.0, k=10) == 1.0
+
+
+class TestBlockSizeBudget:
+    def test_budget_inversion(self):
+        k = block_size_for_encoding_budget(
+            expected_enc_packets=100,
+            encoding_budget_units=8000,
+            overhead_factor=1.8,
+        )
+        # cost = k * 0.8 * 100 <= 8000 -> k <= 100 (capped at 128)
+        assert k == 100
+
+    def test_tiny_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            block_size_for_encoding_budget(
+                expected_enc_packets=1000,
+                encoding_budget_units=100,
+                overhead_factor=2.0,
+            )
+
+    def test_capped_at_k_max(self):
+        k = block_size_for_encoding_budget(
+            expected_enc_packets=10,
+            encoding_budget_units=10**9,
+        )
+        assert k == 128
+
+    def test_no_overhead_returns_max(self):
+        assert (
+            block_size_for_encoding_budget(100, 10, overhead_factor=1.0)
+            == 128
+        )

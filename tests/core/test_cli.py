@@ -1,0 +1,70 @@
+"""Tests for repro.cli — the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestDemo:
+    def test_demo_runs_clean(self):
+        code, text = run_cli("demo", "--members", "8", "--intervals", "2")
+        assert code == 0
+        assert "all members agree on the group key: True" in text
+        assert "all departed members locked out: True" in text
+
+    def test_demo_lossy(self):
+        code, text = run_cli(
+            "demo", "--members", "16", "--intervals", "1", "--lossy"
+        )
+        assert code == 0
+        assert "rounds=" in text
+
+
+class TestSimulate:
+    def test_simulate_small(self):
+        code, text = run_cli(
+            "simulate",
+            "--users", "256",
+            "--messages", "3",
+            "--seed", "2",
+        )
+        assert code == 0
+        assert "workload:" in text
+        assert "steady state:" in text
+        assert text.count("\n") >= 6
+
+    def test_simulate_fixed_rho(self):
+        code, text = run_cli(
+            "simulate",
+            "--users", "256",
+            "--messages", "2",
+            "--fixed-rho",
+        )
+        assert code == 0
+        # rho stays at its initial value in every row.
+        rows = [l for l in text.splitlines() if l.strip().startswith(("0 |", "1 |"))]
+        assert all("1.00" in row for row in rows)
+
+
+class TestAnalyze:
+    def test_analyze_tables(self):
+        code, text = run_cli("analyze", "--users", "1024")
+        assert code == 0
+        assert "expected encryptions" in text
+        assert "max supportable group size" in text
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("frobnicate")
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli()

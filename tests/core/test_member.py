@@ -1,0 +1,132 @@
+"""Tests for repro.core.member — client-side key state."""
+
+import pytest
+
+from repro.core import GroupConfig, GroupKeyServer, GroupMember
+from repro.errors import TransportError
+
+
+def make_pair(n=16, degree=4):
+    server = GroupKeyServer(
+        ["u%d" % i for i in range(n)],
+        config=GroupConfig(degree=degree, block_size=5),
+    )
+    members = {
+        name: GroupMember.register(server, name) for name in server.users
+    }
+    return server, members
+
+
+def deliver(message, member):
+    for packet in message.enc_packets():
+        if packet.is_duplicate:
+            continue
+        if member.process_enc_packet(packet):
+            return True
+    return False
+
+
+class TestRegistration:
+    def test_member_holds_path(self):
+        server, members = make_pair()
+        member = members["u3"]
+        assert member.group_key == server.group_key
+        assert member.individual_key == server.tree.key_of(member.user_id)
+
+    def test_missing_individual_key_rejected(self):
+        with pytest.raises(TransportError):
+            GroupMember("x", 5, {0: None}, 4)
+
+
+class TestRekeyProcessing:
+    def test_member_tracks_group_key_across_leaves(self):
+        server, members = make_pair()
+        server.request_leave("u0")
+        _, message = server.rekey()
+        for name, member in members.items():
+            if name == "u0":
+                continue
+            assert deliver(message, member)
+            assert member.group_key == server.group_key
+
+    def test_departed_member_cannot_obtain_new_key(self):
+        """Forward secrecy at the client: u0's keys open nothing."""
+        server, members = make_pair()
+        departed = members["u0"]
+        old_key = departed.group_key
+        server.request_leave("u0")
+        _, message = server.rekey()
+        for packet in message.enc_packets():
+            departed.process_enc_packet(packet)  # absorbs nothing useful
+        assert departed.group_key == old_key
+        assert departed.group_key != server.group_key
+
+    def test_member_relocates_after_split(self):
+        server, members = make_pair(n=16, degree=4)
+        for i in range(4):
+            server.request_join("n%d" % i)
+        _, message = server.rekey()
+        moved = members["u0"]
+        old_id = moved.user_id
+        assert deliver(message, moved)
+        assert moved.user_id == server.tree.user_node_id("u0")
+        assert moved.user_id != old_id
+        assert moved.group_key == server.group_key
+
+    def test_usr_packet_processing(self):
+        server, members = make_pair()
+        server.request_leave("u0")
+        _, message = server.rekey()
+        member = members["u5"]
+        member.absorb_encryptions([], max_kid=message.max_kid)
+        usr = message.usr_packet(member.user_id)
+        member.process_usr_packet(usr)
+        assert member.group_key == server.group_key
+
+    def test_usr_packet_for_wrong_user_rejected(self):
+        server, members = make_pair()
+        server.request_leave("u0")
+        _, message = server.rekey()
+        u5, u6 = members["u5"], members["u6"]
+        with pytest.raises(TransportError):
+            u6.process_usr_packet(message.usr_packet(u5.user_id))
+
+    def test_absorb_encryptions_direct(self):
+        server, members = make_pair()
+        server.request_leave("u0")
+        batch, message = server.rekey()
+        member = members["u9"]
+        wanted = message.needs_by_user[member.user_id]
+        member.absorb_encryptions(
+            [message.encryption_map[e] for e in wanted],
+            max_kid=message.max_kid,
+        )
+        assert member.group_key == server.group_key
+
+    def test_multi_interval_chaining(self):
+        """Keys from interval t decrypt interval t+1's message."""
+        server, members = make_pair()
+        survivors = [n for n in members if n not in ("u0", "u1")]
+        for victim in ("u0", "u1"):
+            server.request_leave(victim)
+            _, message = server.rekey()
+            for name in survivors:
+                assert deliver(message, members[name])
+        for name in survivors:
+            assert members[name].group_key == server.group_key
+
+    def test_signature_verification(self):
+        server, members = make_pair()
+        server.request_leave("u0")
+        _, message = server.rekey()
+        member = members["u5"]
+        payload = b"".join(
+            message.encryption_map[e].ciphertext
+            for e in sorted(message.encryption_map)
+        )
+        assert member.verify_signature(payload, message.signature)
+        assert not member.verify_signature(payload + b"x", message.signature)
+
+    def test_repr(self):
+        server, members = make_pair()
+        assert "u3" in repr(members["u3"])

@@ -1,0 +1,108 @@
+"""Tests for repro.core.policy — batching policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import (
+    HybridBatching,
+    ImmediateRekeying,
+    PeriodicBatching,
+    PolicyOutcome,
+    ThresholdBatching,
+    poisson_trace,
+    simulate_policy,
+)
+from repro.errors import ConfigurationError
+from repro.util import spawn_rng
+
+
+def fixed_trace():
+    # Requests at 1..10 s, alternating join/leave.
+    return [(float(t), t % 2 == 0) for t in range(1, 11)]
+
+
+class TestPolicies:
+    def test_immediate_rekeys_every_request(self):
+        outcome = simulate_policy(ImmediateRekeying(), fixed_trace())
+        assert outcome.n_rekeys == 10
+        assert outcome.mean_batch == 1.0
+        assert outcome.mean_vulnerability_window == 0.0
+
+    def test_periodic_groups_by_interval(self):
+        outcome = simulate_policy(PeriodicBatching(5.0), fixed_trace())
+        assert outcome.n_rekeys <= 3
+        assert outcome.mean_batch > 2
+        assert outcome.worst_vulnerability_window <= 5.0 + 1.0
+
+    def test_threshold_groups_by_count(self):
+        outcome = simulate_policy(ThresholdBatching(5), fixed_trace())
+        assert outcome.n_rekeys == 2
+        assert outcome.batch_sizes == [5, 5]
+
+    def test_hybrid_fires_on_either(self):
+        # Low churn: the period fires; high churn: the threshold fires.
+        sparse = [(float(t * 30), True) for t in range(1, 4)]
+        outcome = simulate_policy(HybridBatching(10.0, 100), sparse)
+        assert outcome.worst_vulnerability_window <= 10.0 + 1.0
+        dense = fixed_trace()
+        outcome = simulate_policy(HybridBatching(1000.0, 3), dense)
+        assert outcome.batch_sizes[0] == 3
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicBatching(0)
+        with pytest.raises(ConfigurationError):
+            ThresholdBatching(0)
+        with pytest.raises(ConfigurationError):
+            simulate_policy("not a policy", fixed_trace())
+
+
+class TestTradeoffs:
+    def test_batching_cuts_signatures_but_widens_window(self):
+        rng = spawn_rng(1)
+        trace = poisson_trace(2.0, 300.0, rng=rng)
+        immediate = simulate_policy(ImmediateRekeying(), trace)
+        periodic = simulate_policy(PeriodicBatching(30.0), trace)
+        assert periodic.signatures() < immediate.signatures() / 10
+        assert (
+            periodic.mean_vulnerability_window
+            > immediate.mean_vulnerability_window
+        )
+
+    def test_periodic_window_bounded_by_interval(self):
+        rng = spawn_rng(2)
+        trace = poisson_trace(1.0, 200.0, rng=rng)
+        outcome = simulate_policy(PeriodicBatching(10.0), trace, tick_seconds=1.0)
+        assert outcome.worst_vulnerability_window <= 11.0
+
+    def test_threshold_window_unbounded_under_low_churn(self):
+        """The failure mode periodic batching avoids."""
+        sparse = [(0.0, True), (500.0, True)]
+        outcome = simulate_policy(ThresholdBatching(10), sparse)
+        assert outcome.worst_vulnerability_window > 100.0
+
+    def test_hybrid_bounds_both(self):
+        rng = spawn_rng(3)
+        trace = poisson_trace(5.0, 120.0, rng=rng)
+        outcome = simulate_policy(HybridBatching(10.0, 50), trace)
+        assert outcome.worst_vulnerability_window <= 11.0
+        assert max(outcome.batch_sizes) <= 50
+
+
+class TestTrace:
+    def test_poisson_rate(self):
+        rng = spawn_rng(4)
+        trace = poisson_trace(10.0, 1000.0, rng=rng)
+        assert len(trace) == pytest.approx(10_000, rel=0.1)
+        assert all(t1 < t2 for (t1, _), (t2, _) in zip(trace, trace[1:]))
+
+    def test_leave_fraction(self):
+        rng = spawn_rng(5)
+        trace = poisson_trace(10.0, 500.0, leave_fraction=0.25, rng=rng)
+        fraction = np.mean([is_leave for _, is_leave in trace])
+        assert fraction == pytest.approx(0.25, abs=0.05)
+
+    def test_outcome_defaults(self):
+        outcome = PolicyOutcome()
+        assert outcome.mean_batch == 0.0
+        assert outcome.mean_vulnerability_window == 0.0

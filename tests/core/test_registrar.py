@@ -1,0 +1,164 @@
+"""Tests for repro.core.registrar — the registration component."""
+
+import pytest
+
+from repro.core import GroupConfig, GroupKeyServer, GroupMember
+from repro.core.registrar import (
+    JoinRequest,
+    RegistrationError,
+    RegistrationGrant,
+    Registrar,
+    RequestValidator,
+    make_join_request,
+    make_leave_request,
+)
+
+
+@pytest.fixture
+def world():
+    server = GroupKeyServer(
+        ["u%d" % i for i in range(16)],
+        config=GroupConfig(block_size=5, crypto_seed=3),
+    )
+    registrar = Registrar(
+        registrar_secret=11,
+        credentials={"newbie": "hunter2", "u0": "pw0"},
+    )
+    validator = RequestValidator(registrar.shared_secret, server.tree)
+    return server, registrar, validator
+
+
+class TestRegistrar:
+    def test_register_with_good_credential(self, world):
+        _, registrar, _ = world
+        grant = registrar.register("newbie", "hunter2")
+        assert grant.user == "newbie"
+        assert len(grant.seal) == 16
+
+    def test_register_with_bad_credential(self, world):
+        _, registrar, _ = world
+        with pytest.raises(RegistrationError):
+            registrar.register("newbie", "wrong")
+
+    def test_register_unknown_user(self, world):
+        _, registrar, _ = world
+        with pytest.raises(RegistrationError):
+            registrar.register("stranger", "hunter2")
+
+    def test_open_enrolment(self):
+        registrar = Registrar(registrar_secret=1)
+        assert registrar.register("anyone").user == "anyone"
+
+    def test_grants_have_fresh_nonces(self, world):
+        _, registrar, _ = world
+        a = registrar.register("newbie", "hunter2")
+        b = registrar.register("newbie", "hunter2")
+        assert a.nonce != b.nonce
+        assert a.seal != b.seal
+
+
+class TestJoinValidation:
+    def test_valid_grant_accepted(self, world):
+        server, registrar, validator = world
+        grant = registrar.register("newbie", "hunter2")
+        user = validator.validate_join(make_join_request(grant))
+        server.request_join(user)
+        server.rekey()
+        assert "newbie" in server.users
+
+    def test_forged_grant_rejected(self, world):
+        _, _, validator = world
+        forged = RegistrationGrant(user="evil", nonce=1, seal=b"\x00" * 16)
+        with pytest.raises(RegistrationError, match="forged"):
+            validator.validate_join(JoinRequest(grant=forged))
+
+    def test_other_registrars_grants_rejected(self, world):
+        _, _, validator = world
+        other = Registrar(registrar_secret=99)
+        grant = other.register("newbie")
+        with pytest.raises(RegistrationError):
+            validator.validate_join(make_join_request(grant))
+
+    def test_replayed_grant_rejected(self, world):
+        _, registrar, validator = world
+        grant = registrar.register("newbie", "hunter2")
+        request = make_join_request(grant)
+        validator.validate_join(request)
+        with pytest.raises(RegistrationError, match="replayed"):
+            validator.validate_join(request)
+
+    def test_non_request_rejected(self, world):
+        _, _, validator = world
+        with pytest.raises(RegistrationError):
+            validator.validate_join("just let me in")
+
+
+class TestLeaveValidation:
+    def test_member_can_authenticate_its_leave(self, world):
+        server, _, validator = world
+        member = GroupMember.register(server, "u3")
+        request = make_leave_request("u3", member.individual_key, nonce=1)
+        assert validator.validate_leave(request) == "u3"
+
+    def test_wrong_key_rejected(self, world):
+        server, _, validator = world
+        other = GroupMember.register(server, "u4")
+        request = make_leave_request("u3", other.individual_key, nonce=1)
+        with pytest.raises(RegistrationError, match="individual key"):
+            validator.validate_leave(request)
+
+    def test_unknown_member_rejected(self, world):
+        server, _, validator = world
+        member = GroupMember.register(server, "u3")
+        request = make_leave_request("ghost", member.individual_key, nonce=1)
+        with pytest.raises(RegistrationError, match="unknown member"):
+            validator.validate_leave(request)
+
+    def test_replay_rejected(self, world):
+        server, _, validator = world
+        member = GroupMember.register(server, "u3")
+        request = make_leave_request("u3", member.individual_key, nonce=7)
+        validator.validate_leave(request)
+        with pytest.raises(RegistrationError, match="replayed"):
+            validator.validate_leave(request)
+
+    def test_fresh_nonce_accepted_after_first(self, world):
+        server, _, validator = world
+        member = GroupMember.register(server, "u3")
+        validator.validate_leave(
+            make_leave_request("u3", member.individual_key, nonce=1)
+        )
+        validator.validate_leave(
+            make_leave_request("u3", member.individual_key, nonce=2)
+        )
+
+    def test_stale_key_after_rekey_rejected(self, world):
+        """After the member's slot is rekeyed (its user replaced), the
+        old individual key no longer authenticates leaves for the slot's
+        new occupant."""
+        server, _, _ = world
+        old_member = GroupMember.register(server, "u3")
+        server.request_leave("u3")
+        server.request_join("taker")
+        server.rekey()
+        validator = RequestValidator(b"\x00" * 32, server.tree)
+        request = make_leave_request(
+            "taker", old_member.individual_key, nonce=1
+        )
+        with pytest.raises(RegistrationError):
+            validator.validate_leave(request)
+
+
+class TestEndToEnd:
+    def test_full_admission_flow(self, world):
+        """register -> validate -> join -> rekey -> member keyed."""
+        server, registrar, validator = world
+        grant = registrar.register("newbie", "hunter2")
+        user = validator.validate_join(make_join_request(grant))
+        server.request_join(user)
+        server.rekey()
+        member = GroupMember.register(server, "newbie")
+        assert member.group_key == server.group_key
+        # ... and the member can later authenticate its own departure.
+        leave = make_leave_request("newbie", member.individual_key, nonce=1)
+        assert validator.validate_leave(leave) == "newbie"

@@ -1,0 +1,140 @@
+"""Tests for repro.core.server — the GroupKeyServer."""
+
+import pytest
+
+from repro.core import GroupConfig, GroupKeyServer
+from repro.errors import (
+    ConfigurationError,
+    DuplicateUserError,
+    UnknownUserError,
+)
+
+
+def make_server(n=16, **config_overrides):
+    config = GroupConfig(**config_overrides)
+    return GroupKeyServer(["u%d" % i for i in range(n)], config=config)
+
+
+class TestConstruction:
+    def test_initial_group(self):
+        server = make_server(16)
+        assert server.n_users == 16
+        assert server.group_key is not None
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GroupKeyServer([])
+
+    def test_config_defaults_match_paper(self):
+        config = GroupConfig()
+        assert config.degree == 4
+        assert config.block_size == 10
+        assert config.packet_size == 1027
+        assert config.num_nack == 20
+
+
+class TestRequestQueue:
+    def test_join_then_rekey(self):
+        server = make_server()
+        server.request_join("newbie")
+        batch, message = server.rekey()
+        assert "newbie" in server.users
+        assert not message.is_empty
+
+    def test_leave_then_rekey(self):
+        server = make_server()
+        old_key = server.group_key
+        server.request_leave("u3")
+        server.rekey()
+        assert "u3" not in server.users
+        assert server.group_key != old_key
+
+    def test_duplicate_join_rejected(self):
+        server = make_server()
+        server.request_join("x")
+        with pytest.raises(DuplicateUserError):
+            server.request_join("x")
+        with pytest.raises(DuplicateUserError):
+            server.request_join("u1")
+
+    def test_leave_of_unknown_rejected(self):
+        with pytest.raises(UnknownUserError):
+            make_server().request_leave("ghost")
+
+    def test_double_leave_rejected(self):
+        server = make_server()
+        server.request_leave("u1")
+        with pytest.raises(ConfigurationError):
+            server.request_leave("u1")
+
+    def test_join_then_leave_same_interval_cancels(self):
+        server = make_server()
+        server.request_join("flash")
+        server.request_leave("flash")
+        assert server.pending_requests == ([], [])
+        batch, message = server.rekey()
+        assert message.is_empty
+
+    def test_leave_of_pending_join_then_rejoin(self):
+        server = make_server()
+        server.request_join("flash")
+        server.request_leave("flash")
+        server.request_join("flash")
+        server.rekey()
+        assert "flash" in server.users
+
+    def test_queue_drains_on_rekey(self):
+        server = make_server()
+        server.request_join("a")
+        server.rekey()
+        assert server.pending_requests == ([], [])
+
+
+class TestRekeyMessages:
+    def test_message_ids_cycle_mod_64(self):
+        server = make_server(64)
+        for i in range(65):
+            server.request_leave(sorted(server.users)[0])
+            server.request_join("gen%d" % i)
+            _, message = server.rekey()
+            assert message.message_id == i % 64
+
+    def test_empty_interval_is_empty_message(self):
+        _, message = make_server().rekey()
+        assert message.is_empty
+
+    def test_message_is_signed(self):
+        server = make_server()
+        server.request_leave("u0")
+        _, message = server.rekey()
+        assert message.signature is not None
+
+    def test_meter_accumulates(self):
+        server = make_server()
+        baseline = server.meter.seconds
+        server.request_leave("u0")
+        server.rekey()
+        assert server.meter.seconds > baseline
+        assert server.meter.count("sign") >= 1
+
+    def test_forward_secrecy_key_rotation(self):
+        server = make_server()
+        keys = set()
+        for user in ["u0", "u1", "u2"]:
+            server.request_leave(user)
+            server.rekey()
+            keys.add(server.group_key)
+        assert len(keys) == 3
+
+
+class TestRegistrationState:
+    def test_registration_state_contents(self):
+        server = make_server()
+        user_id, path_keys = server.registration_state("u5")
+        assert user_id == server.tree.user_node_id("u5")
+        assert set(path_keys) == set(server.tree.path_ids("u5"))
+        assert path_keys[0] == server.group_key
+
+    def test_registration_of_unknown_user(self):
+        with pytest.raises(UnknownUserError):
+            make_server().registration_state("ghost")

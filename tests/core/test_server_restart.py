@@ -1,0 +1,93 @@
+"""Tests for GroupKeyServer.snapshot()/restore() — the restart story."""
+
+import json
+
+import pytest
+
+from repro.core import GroupConfig, GroupKeyServer, GroupMember
+from repro.errors import ConfigurationError
+
+
+def make_server():
+    server = GroupKeyServer(
+        ["u%d" % i for i in range(16)],
+        config=GroupConfig(block_size=5, crypto_seed=7),
+    )
+    server.request_leave("u3")
+    server.request_join("n1")
+    server.rekey()
+    return server
+
+
+class TestSnapshotRestore:
+    def test_round_trip_preserves_state(self):
+        server = make_server()
+        restored = GroupKeyServer.restore(
+            server.snapshot(), config=server.config
+        )
+        assert restored.users == server.users
+        assert restored.group_key == server.group_key
+        assert restored.intervals_processed == server.intervals_processed
+
+    def test_snapshot_is_json_safe(self):
+        json.dumps(make_server().snapshot())
+
+    def test_message_ids_continue(self):
+        server = make_server()
+        restored = GroupKeyServer.restore(
+            server.snapshot(), config=server.config
+        )
+        restored.request_leave("u5")
+        _, message = restored.rekey()
+        assert message.message_id == 1  # continues after the pre-crash 0
+
+    def test_pending_queues_dropped(self):
+        server = make_server()
+        server.request_leave("u7")  # queued but not snapshot
+        restored = GroupKeyServer.restore(
+            server.snapshot(), config=server.config
+        )
+        assert restored.pending_requests == ([], [])
+        assert "u7" in restored.users
+
+    def test_members_survive_restart(self):
+        """Members keyed before the crash can follow post-restart rekeys."""
+        server = make_server()
+        member = GroupMember.register(server, "u5")
+        restored = GroupKeyServer.restore(
+            server.snapshot(), config=server.config
+        )
+        restored.request_leave("u9")
+        _, message = restored.rekey()
+        for packet in message.enc_packets():
+            if packet.is_duplicate:
+                continue
+            if member.process_enc_packet(packet):
+                break
+        assert member.group_key == restored.group_key
+
+    def test_key_material_continues_without_reuse(self):
+        server = make_server()
+        old_keys = {server.group_key}
+        restored = GroupKeyServer.restore(
+            server.snapshot(), config=server.config
+        )
+        for victim in ("u1", "u2"):
+            restored.request_leave(victim)
+            restored.rekey()
+            assert restored.group_key not in old_keys
+            old_keys.add(restored.group_key)
+
+    def test_degree_mismatch_rejected(self):
+        server = make_server()
+        bad_config = GroupConfig(degree=3, crypto_seed=7)
+        with pytest.raises(ConfigurationError):
+            GroupKeyServer.restore(server.snapshot(), config=bad_config)
+
+    def test_crypto_seed_adopted_from_snapshot(self):
+        server = make_server()
+        restored = GroupKeyServer.restore(
+            server.snapshot(), config=GroupConfig(crypto_seed=999)
+        )
+        assert restored.config.crypto_seed == 7
+        assert restored.group_key == server.group_key

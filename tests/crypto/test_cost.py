@@ -1,0 +1,98 @@
+"""Tests for repro.crypto.cost."""
+
+import pytest
+
+from repro.crypto.cost import CostMeter, CostModel, CryptoOp
+from repro.errors import ConfigurationError
+
+
+class TestCostModel:
+    def test_defaults_ordering(self):
+        """Signing dominates symmetric operations (2001 cost structure)."""
+        model = CostModel()
+        assert model.sign_seconds > 100 * model.encrypt_seconds
+        assert model.verify_seconds > model.encrypt_seconds
+
+    def test_seconds_for_each_op(self):
+        model = CostModel()
+        for op in CryptoOp:
+            assert model.seconds_for(op) >= 0
+
+    def test_batch_seconds(self):
+        model = CostModel(
+            keygen_seconds=1.0, encrypt_seconds=2.0, sign_seconds=10.0
+        )
+        assert model.batch_seconds(3, 4) == 3 * 1.0 + 4 * 2.0 + 10.0
+
+    def test_batch_seconds_multiple_signatures(self):
+        model = CostModel(
+            keygen_seconds=0.0, encrypt_seconds=0.0, sign_seconds=1.0
+        )
+        assert model.batch_seconds(0, 0, signatures=7) == 7.0
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(keygen_seconds=-1.0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ConfigurationError):
+            CostModel().batch_seconds(-1, 0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CostModel().sign_seconds = 1.0
+
+
+class TestCostMeter:
+    def test_accumulates_counts(self):
+        meter = CostMeter()
+        meter.record_keygen()
+        meter.record_keygen()
+        meter.record_encrypt()
+        meter.record_sign()
+        assert meter.count(CryptoOp.KEYGEN) == 2
+        assert meter.count(CryptoOp.ENCRYPT) == 1
+        assert meter.count(CryptoOp.SIGN) == 1
+        assert meter.count(CryptoOp.VERIFY) == 0
+
+    def test_accumulates_seconds(self):
+        model = CostModel(
+            keygen_seconds=1.0,
+            encrypt_seconds=10.0,
+            decrypt_seconds=0.0,
+            sign_seconds=100.0,
+            verify_seconds=0.0,
+        )
+        meter = CostMeter(model=model)
+        meter.record_keygen()
+        meter.record_encrypt()
+        meter.record_sign()
+        assert meter.seconds == pytest.approx(111.0)
+
+    def test_charge_bulk(self):
+        meter = CostMeter()
+        meter.charge(CryptoOp.ENCRYPT, 50)
+        assert meter.count(CryptoOp.ENCRYPT) == 50
+
+    def test_charge_accepts_string_op(self):
+        meter = CostMeter()
+        meter.charge("encrypt", 2)
+        assert meter.count("encrypt") == 2
+
+    def test_reset(self):
+        meter = CostMeter()
+        meter.record_sign()
+        meter.reset()
+        assert meter.seconds == 0.0
+        assert meter.count(CryptoOp.SIGN) == 0
+
+    def test_snapshot(self):
+        meter = CostMeter()
+        meter.record_verify()
+        counts, seconds = meter.snapshot()
+        assert counts == {"verify": 1}
+        assert seconds == pytest.approx(CostModel().verify_seconds)
+
+    def test_charge_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            CostMeter().charge(CryptoOp.SIGN, -1)

@@ -1,0 +1,113 @@
+"""Tests for repro.crypto.keys."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.keys import KEY_LENGTH, KeyFactory, SymmetricKey
+from repro.errors import CryptoError
+
+
+class TestSymmetricKey:
+    def test_holds_material(self):
+        key = SymmetricKey(b"\x01" * 16, node_id=3, version=2)
+        assert key.material == b"\x01" * 16
+        assert key.node_id == 3
+        assert key.version == 2
+
+    def test_rejects_short_material(self):
+        with pytest.raises(CryptoError):
+            SymmetricKey(b"\x01" * 15)
+
+    def test_rejects_long_material(self):
+        with pytest.raises(CryptoError):
+            SymmetricKey(b"\x01" * 17)
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(CryptoError):
+            SymmetricKey("x" * 16)
+
+    def test_equality_is_material_only(self):
+        a = SymmetricKey(b"\x02" * 16, node_id=1, version=0)
+        b = SymmetricKey(b"\x02" * 16, node_id=9, version=5)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        a = SymmetricKey(b"\x02" * 16)
+        b = SymmetricKey(b"\x03" * 16)
+        assert a != b
+
+    def test_not_equal_to_bytes(self):
+        assert SymmetricKey(b"\x02" * 16) != b"\x02" * 16
+
+    def test_fingerprint_is_stable_hex(self):
+        key = SymmetricKey(b"\x04" * 16)
+        assert key.fingerprint() == SymmetricKey(b"\x04" * 16).fingerprint()
+        int(key.fingerprint(), 16)  # valid hex
+
+    def test_repr_mentions_identity(self):
+        assert "node_id=7" in repr(SymmetricKey(b"\x05" * 16, node_id=7))
+
+    def test_accepts_bytearray(self):
+        assert SymmetricKey(bytearray(16)).material == bytes(16)
+
+
+class TestKeyFactory:
+    def test_deterministic_per_seed(self):
+        assert (
+            KeyFactory(seed=1).new_key(5, 0)
+            == KeyFactory(seed=1).new_key(5, 0)
+        )
+
+    def test_distinct_across_seeds(self):
+        assert (
+            KeyFactory(seed=1).new_key(5, 0)
+            != KeyFactory(seed=2).new_key(5, 0)
+        )
+
+    def test_distinct_across_node_ids(self):
+        factory = KeyFactory(seed=1)
+        assert factory.new_key(1, 0) != factory.new_key(2, 0)
+
+    def test_distinct_across_versions(self):
+        factory = KeyFactory(seed=1)
+        assert factory.new_key(1, 0) != factory.new_key(1, 1)
+
+    def test_counts_generated_keys(self):
+        factory = KeyFactory()
+        for i in range(5):
+            factory.new_key(i, 0)
+        assert factory.generated_count == 5
+
+    def test_key_length(self):
+        assert len(KeyFactory().new_key(0, 0).material) == KEY_LENGTH
+
+    def test_identity_recorded(self):
+        key = KeyFactory().new_key(12, 3)
+        assert key.node_id == 12
+        assert key.version == 3
+
+    def test_charges_meter(self):
+        from repro.crypto.cost import CostMeter, CryptoOp
+
+        meter = CostMeter()
+        factory = KeyFactory(seed=0, meter=meter)
+        factory.new_key(0, 0)
+        factory.new_key(1, 0)
+        assert meter.count(CryptoOp.KEYGEN) == 2
+
+    @given(
+        node_a=st.integers(0, 10_000),
+        node_b=st.integers(0, 10_000),
+        version_a=st.integers(0, 100),
+        version_b=st.integers(0, 100),
+    )
+    def test_injective_over_identity(self, node_a, node_b, version_a, version_b):
+        """Distinct (node, version) pairs always yield distinct material."""
+        factory = KeyFactory(seed=99)
+        key_a = factory.new_key(node_a, version_a)
+        key_b = factory.new_key(node_b, version_b)
+        if (node_a, version_a) != (node_b, version_b):
+            assert key_a != key_b
+        else:
+            assert key_a == key_b

@@ -1,0 +1,60 @@
+"""Tests for repro.crypto.signer."""
+
+import pytest
+
+from repro.crypto.signer import Signature, SignatureScheme
+from repro.errors import CryptoError
+
+
+class TestSignatureScheme:
+    def test_sign_verify_round_trip(self):
+        scheme = SignatureScheme(secret_seed=1)
+        signature = scheme.sign(b"rekey message")
+        assert scheme.verify(b"rekey message", signature)
+
+    def test_tampered_message_fails(self):
+        scheme = SignatureScheme(secret_seed=1)
+        signature = scheme.sign(b"rekey message")
+        assert not scheme.verify(b"rekey messagX", signature)
+
+    def test_different_secret_fails(self):
+        signature = SignatureScheme(secret_seed=1).sign(b"m")
+        assert not SignatureScheme(secret_seed=2).verify(b"m", signature)
+
+    def test_same_seed_same_signature(self):
+        assert SignatureScheme(secret_seed=5).sign(b"m") == SignatureScheme(
+            secret_seed=5
+        ).sign(b"m")
+
+    def test_verify_requires_signature_type(self):
+        scheme = SignatureScheme()
+        with pytest.raises(CryptoError):
+            scheme.verify(b"m", b"raw bytes")
+
+    def test_meter_charged(self):
+        from repro.crypto.cost import CostMeter, CryptoOp
+
+        meter = CostMeter()
+        scheme = SignatureScheme(meter=meter)
+        signature = scheme.sign(b"m")
+        scheme.verify(b"m", signature)
+        assert meter.count(CryptoOp.SIGN) == 1
+        assert meter.count(CryptoOp.VERIFY) == 1
+
+
+class TestSignature:
+    def test_fixed_length(self):
+        assert len(SignatureScheme().sign(b"x")) == 64
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(CryptoError):
+            Signature(b"\x00" * 10)
+
+    def test_equality_and_hash(self):
+        a = SignatureScheme(secret_seed=3).sign(b"x")
+        b = SignatureScheme(secret_seed=3).sign(b"x")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr(self):
+        assert "Signature" in repr(SignatureScheme().sign(b"x"))

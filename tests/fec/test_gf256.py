@@ -1,0 +1,137 @@
+"""Tests for repro.fec.gf256 — field axioms and vectorised operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FECError
+from repro.fec import gf256
+
+elements = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+class TestFieldAxioms:
+    @given(a=elements, b=elements)
+    def test_mul_commutative(self, a, b):
+        assert gf256.gf_mul(a, b) == gf256.gf_mul(b, a)
+
+    @given(a=elements, b=elements, c=elements)
+    def test_mul_associative(self, a, b, c):
+        assert gf256.gf_mul(gf256.gf_mul(a, b), c) == gf256.gf_mul(
+            a, gf256.gf_mul(b, c)
+        )
+
+    @given(a=elements, b=elements, c=elements)
+    def test_distributive(self, a, b, c):
+        left = gf256.gf_mul(a, b ^ c)
+        right = gf256.gf_mul(a, b) ^ gf256.gf_mul(a, c)
+        assert left == right
+
+    @given(a=elements)
+    def test_one_is_identity(self, a):
+        assert gf256.gf_mul(a, 1) == a
+
+    @given(a=elements)
+    def test_zero_annihilates(self, a):
+        assert gf256.gf_mul(a, 0) == 0
+
+    @given(a=nonzero)
+    def test_inverse(self, a):
+        assert gf256.gf_mul(a, gf256.gf_inv(a)) == 1
+
+    @given(a=elements, b=nonzero)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert gf256.gf_div(a, b) == gf256.gf_mul(a, gf256.gf_inv(b))
+
+    def test_inv_of_zero_raises(self):
+        with pytest.raises(FECError):
+            gf256.gf_inv(0)
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(FECError):
+            gf256.gf_div(3, 0)
+
+    @given(a=elements)
+    def test_add_is_self_inverse(self, a):
+        assert gf256.gf_add(a, a) == 0
+
+    @given(a=nonzero, e=st.integers(0, 520))
+    def test_pow_matches_repeated_mul(self, a, e):
+        expected = 1
+        for _ in range(e):
+            expected = gf256.gf_mul(expected, a)
+        assert gf256.gf_pow(a, e) == expected
+
+    def test_pow_negative_raises(self):
+        with pytest.raises(FECError):
+            gf256.gf_pow(2, -1)
+
+    def test_pow_of_zero(self):
+        assert gf256.gf_pow(0, 0) == 1
+        assert gf256.gf_pow(0, 5) == 0
+
+    def test_generator_has_full_order(self):
+        """Powers of 2 hit all 255 non-zero elements."""
+        seen = {gf256.gf_pow(2, i) for i in range(255)}
+        assert len(seen) == 255
+        assert 0 not in seen
+
+
+class TestVectorisedOps:
+    @given(coefficient=elements, data=st.binary(min_size=1, max_size=64))
+    def test_mul_bytes_matches_scalar(self, coefficient, data):
+        array = np.frombuffer(data, dtype=np.uint8)
+        out = gf256.gf_mul_bytes(coefficient, array)
+        for value, result in zip(array, out):
+            assert gf256.gf_mul(coefficient, int(value)) == int(result)
+
+    def test_mul_bytes_rejects_bad_coefficient(self):
+        with pytest.raises(FECError):
+            gf256.gf_mul_bytes(256, np.zeros(4, dtype=np.uint8))
+
+    def test_matmul_identity(self):
+        data = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        identity = np.eye(3, dtype=np.uint8)
+        assert np.array_equal(gf256.gf_matmul(identity, data), data)
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(FECError):
+            gf256.gf_matmul(
+                np.zeros((2, 3), dtype=np.uint8),
+                np.zeros((4, 5), dtype=np.uint8),
+            )
+
+    def test_matmul_linear_combination(self):
+        data = np.array([[1, 0], [0, 1]], dtype=np.uint8)
+        matrix = np.array([[3, 7]], dtype=np.uint8)
+        out = gf256.gf_matmul(matrix, data)
+        assert out.tolist() == [[3, 7]]
+
+
+class TestMatrixInverse:
+    def test_identity_inverse(self):
+        identity = np.eye(4, dtype=np.uint8)
+        assert np.array_equal(gf256.gf_matrix_invert(identity), identity)
+
+    @given(seed=st.integers(0, 1000), size=st.integers(1, 8))
+    def test_random_vandermonde_inverts(self, seed, size):
+        """Vandermonde matrices over distinct points are invertible."""
+        rng = np.random.default_rng(seed)
+        points = rng.choice(np.arange(1, 256), size=size, replace=False)
+        matrix = np.zeros((size, size), dtype=np.uint8)
+        for i, x in enumerate(points):
+            for j in range(size):
+                matrix[i, j] = gf256.gf_pow(int(x), j)
+        inverse = gf256.gf_matrix_invert(matrix)
+        product = gf256.gf_matmul(matrix, inverse)
+        assert np.array_equal(product, np.eye(size, dtype=np.uint8))
+
+    def test_singular_matrix_raises(self):
+        singular = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        with pytest.raises(FECError, match="singular"):
+            gf256.gf_matrix_invert(singular)
+
+    def test_non_square_raises(self):
+        with pytest.raises(FECError):
+            gf256.gf_matrix_invert(np.zeros((2, 3), dtype=np.uint8))

@@ -1,0 +1,189 @@
+"""Tests for repro.fec.rse — the any-k-of-n erasure property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FECError, NotEnoughPacketsError
+from repro.fec import MAX_CODEWORDS, RSECoder, encoding_cost_units
+
+
+def make_block(k, length=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        bytes(rng.integers(0, 256, length, dtype=np.uint8)) for _ in range(k)
+    ]
+
+
+class TestEncode:
+    def test_systematic_prefix(self):
+        coder = RSECoder(4)
+        data = make_block(4)
+        codeword = coder.encode(data, 3)
+        assert codeword[:4] == data
+        assert len(codeword) == 7
+
+    def test_parity_lengths_match_data(self):
+        coder = RSECoder(4)
+        parity = coder.parity(make_block(4, length=100), 2)
+        assert all(len(p) == 100 for p in parity)
+
+    def test_zero_parity(self):
+        assert RSECoder(4).parity(make_block(4), 0) == []
+
+    def test_parity_deterministic(self):
+        coder = RSECoder(5)
+        data = make_block(5)
+        assert coder.parity(data, 3) == coder.parity(data, 3)
+
+    def test_distinct_parity_rows_differ(self):
+        coder = RSECoder(5)
+        data = make_block(5)
+        parity = coder.parity(data, 4)
+        assert len(set(parity)) == 4
+
+    def test_wrong_packet_count_rejected(self):
+        with pytest.raises(FECError):
+            RSECoder(4).parity(make_block(3), 1)
+
+    def test_unequal_lengths_rejected(self):
+        data = make_block(3) + [b"short"]
+        with pytest.raises(FECError):
+            RSECoder(4).parity(data, 1)
+
+    def test_block_size_limit(self):
+        with pytest.raises(FECError):
+            RSECoder(255)
+
+    def test_parity_row_limit(self):
+        coder = RSECoder(250)
+        data = make_block(250, length=8)
+        with pytest.raises(FECError):
+            coder.parity(data, 6)
+
+    def test_max_parity(self):
+        assert RSECoder(10).max_parity() == MAX_CODEWORDS - 10
+
+
+class TestDecode:
+    def test_all_data_received_fast_path(self):
+        coder = RSECoder(4)
+        data = make_block(4)
+        received = dict(enumerate(data))
+        assert coder.decode(received) == data
+
+    def test_parity_only(self):
+        coder = RSECoder(4)
+        data = make_block(4)
+        parity = coder.parity(data, 4)
+        received = {4 + j: parity[j] for j in range(4)}
+        assert coder.decode(received) == data
+
+    def test_mixed_recovery(self):
+        coder = RSECoder(5)
+        data = make_block(5)
+        parity = coder.parity(data, 3)
+        received = {0: data[0], 2: data[2], 5: parity[0], 6: parity[1], 7: parity[2]}
+        assert coder.decode(received) == data
+
+    def test_extra_packets_ignored(self):
+        coder = RSECoder(3)
+        data = make_block(3)
+        parity = coder.parity(data, 3)
+        received = dict(enumerate(data))
+        received.update({3 + j: parity[j] for j in range(3)})
+        assert coder.decode(received) == data
+
+    def test_not_enough_packets(self):
+        coder = RSECoder(4)
+        data = make_block(4)
+        with pytest.raises(NotEnoughPacketsError):
+            coder.decode({0: data[0], 1: data[1]})
+
+    def test_bad_index_rejected(self):
+        coder = RSECoder(2)
+        data = make_block(2)
+        with pytest.raises(FECError):
+            coder.decode({0: data[0], 300: data[1]})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(FECError):
+            RSECoder(2).decode([b"a", b"b"])
+
+    def test_differing_lengths_rejected(self):
+        coder = RSECoder(2)
+        parity = coder.parity(make_block(2), 1)
+        with pytest.raises(FECError):
+            coder.decode({1: b"x" * 64, 2: parity[0][:10]})
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        k=st.integers(1, 12),
+        n_parity=st.integers(0, 12),
+        seed=st.integers(0, 10_000),
+    )
+    def test_any_k_of_n_property(self, k, n_parity, seed):
+        """THE erasure-code contract: any k of the n codewords suffice."""
+        rng = np.random.default_rng(seed)
+        coder = RSECoder(k)
+        data = make_block(k, length=32, seed=seed)
+        codeword = coder.encode(data, n_parity)
+        n = len(codeword)
+        if n < k:
+            return
+        chosen = rng.choice(n, size=k, replace=False)
+        received = {int(i): codeword[int(i)] for i in chosen}
+        assert coder.decode(received) == data
+
+
+class TestIncrementalParity:
+    def test_later_round_parity_is_new_rows(self):
+        coder = RSECoder(6)
+        data = make_block(6)
+        first = coder.parity(data, 3)
+        second = coder.parity(data, 3, first_parity_index=3)
+        assert set(first).isdisjoint(second)
+
+    def test_later_round_parity_decodes(self):
+        coder = RSECoder(6)
+        data = make_block(6)
+        second = coder.parity(data, 6, first_parity_index=3)
+        received = {6 + 3 + j: second[j] for j in range(6)}
+        assert coder.decode(received) == data
+
+    def test_mixed_rounds_decode(self):
+        coder = RSECoder(4)
+        data = make_block(4)
+        round1 = coder.parity(data, 2)
+        round2 = coder.parity(data, 2, first_parity_index=2)
+        received = {
+            0: data[0],
+            4: round1[0],
+            6: round2[0],
+            7: round2[1],
+        }
+        assert coder.decode(received) == data
+
+
+class TestHelpers:
+    def test_parity_needed(self):
+        coder = RSECoder(10)
+        assert coder.parity_needed(7) == 3
+        assert coder.parity_needed(10) == 0
+        assert coder.parity_needed(15) == 0
+
+    def test_encoding_cost_linear_in_k(self):
+        assert encoding_cost_units(10, 5) == 50
+        assert encoding_cost_units(20, 5) == 2 * encoding_cost_units(10, 5)
+
+    def test_k_property(self):
+        assert RSECoder(7).k == 7
+
+    def test_repr(self):
+        assert "k=7" in repr(RSECoder(7))
+
+    def test_invalid_k(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            RSECoder(0)

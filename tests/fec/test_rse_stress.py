@@ -1,0 +1,102 @@
+"""Stress and boundary tests for the RSE coder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FECError
+from repro.fec import MAX_CODEWORDS, RSECoder
+
+
+def block(k, length=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        bytes(rng.integers(0, 256, length, dtype=np.uint8))
+        for _ in range(k)
+    ]
+
+
+class TestBoundaries:
+    def test_largest_block_size(self):
+        k = MAX_CODEWORDS - 1  # 254: exactly one parity row possible
+        coder = RSECoder(k)
+        data = block(k, length=4)
+        (parity,) = coder.parity(data, 1)
+        received = dict(enumerate(data))
+        del received[100]
+        received[k] = parity
+        assert coder.decode(received) == data
+
+    def test_one_past_limit(self):
+        with pytest.raises(FECError):
+            RSECoder(MAX_CODEWORDS)
+
+    def test_k_one_parity_flood(self):
+        """k=1: every parity packet is an independent copy-equivalent."""
+        coder = RSECoder(1)
+        data = block(1)
+        parity = coder.parity(data, 50)
+        for row, packet in enumerate(parity):
+            assert coder.decode({1 + row: packet}) == data
+
+    def test_full_parity_space(self):
+        coder = RSECoder(10)
+        data = block(10, length=8)
+        parity = coder.parity(data, coder.max_parity())
+        assert len(parity) == MAX_CODEWORDS - 10
+        # The last k rows alone still decode.
+        received = {
+            MAX_CODEWORDS - 1 - j: parity[-1 - j] for j in range(10)
+        }
+        assert coder.decode(received) == data
+
+    def test_single_byte_packets(self):
+        coder = RSECoder(5)
+        data = [bytes([i]) for i in range(5)]
+        parity = coder.parity(data, 5)
+        received = {5 + j: parity[j] for j in range(5)}
+        assert coder.decode(received) == data
+
+    def test_large_packets(self):
+        coder = RSECoder(4)
+        data = block(4, length=8192, seed=3)
+        parity = coder.parity(data, 4)
+        received = {4 + j: parity[j] for j in range(4)}
+        assert coder.decode(received) == data
+
+
+class TestAdversarialSubsets:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_k_subsets_of_large_codeword(self, seed):
+        rng = np.random.default_rng(seed)
+        k = 20
+        coder = RSECoder(k)
+        data = block(k, length=64, seed=seed)
+        n_parity = 60
+        codeword = coder.encode(data, n_parity)
+        chosen = rng.choice(k + n_parity, size=k, replace=False)
+        received = {int(i): codeword[int(i)] for i in chosen}
+        assert coder.decode(received) == data
+
+    def test_interleaved_round_rows(self):
+        """Rows drawn from many 'rounds' (disjoint parity ranges) mix."""
+        coder = RSECoder(6)
+        data = block(6, seed=9)
+        rounds = [
+            coder.parity(data, 2, first_parity_index=2 * r)
+            for r in range(3)
+        ]
+        received = {}
+        for round_index, packets in enumerate(rounds):
+            for j, packet in enumerate(packets):
+                received[6 + 2 * round_index + j] = packet
+        assert coder.decode(received) == data
+
+    def test_decode_is_pure(self):
+        """Decoding doesn't disturb the coder: repeatable results."""
+        coder = RSECoder(8)
+        data = block(8, seed=11)
+        parity = coder.parity(data, 8)
+        received = {8 + j: parity[j] for j in range(8)}
+        first = coder.decode(dict(received))
+        second = coder.decode(dict(received))
+        assert first == second == data

@@ -1,0 +1,324 @@
+"""Tests for repro.keytree.marking — the batch-rekeying marking algorithm."""
+
+import pytest
+
+from repro.crypto import KeyFactory
+from repro.errors import DuplicateUserError, UnknownUserError
+from repro.keytree import (
+    KeyTree,
+    MarkingAlgorithm,
+    NodeKind,
+    NodeLabel,
+)
+from repro.keytree import ids as idmath
+
+
+def make_tree(n=9, d=3, keyed=False):
+    users = ["u%d" % i for i in range(1, n + 1)]
+    factory = KeyFactory(seed=1) if keyed else None
+    return KeyTree.full_balanced(users, d, key_factory=factory)
+
+
+@pytest.fixture
+def alg():
+    return MarkingAlgorithm()
+
+
+class TestPaperExample:
+    """The §2.1 example: 9 users, d = 3, u9 leaves."""
+
+    def test_rekey_message_edges(self, alg):
+        tree = make_tree()
+        result = alg.apply(tree, leaves=["u9"])
+        assert [(e.parent_id, e.child_id) for e in result.subtree.edges] == [
+            (3, 10),
+            (3, 11),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+        ]
+
+    def test_updated_knodes(self, alg):
+        result = alg.apply(make_tree(), leaves=["u9"])
+        assert result.subtree.updated_knode_ids == [0, 3]
+
+    def test_u7_needs_two_encryptions(self, alg):
+        result = alg.apply(make_tree(), leaves=["u9"])
+        # u7 sits at node 10; it needs {k78}k7 (id 10) then {k1-8}k78 (id 3).
+        assert result.needs_for_user(10) == [10, 3]
+
+    def test_u1_needs_one_encryption(self, alg):
+        result = alg.apply(make_tree(), leaves=["u9"])
+        assert result.needs_for_user(4) == [1]
+
+    def test_departed_slot_becomes_nnode(self, alg):
+        tree = make_tree()
+        alg.apply(tree, leaves=["u9"])
+        assert tree.kind_of(12) is NodeKind.N_NODE
+
+    def test_keys_renewed(self):
+        tree = make_tree(keyed=True)
+        old_root, old_aux = tree.key_of(0), tree.key_of(3)
+        MarkingAlgorithm().apply(tree, leaves=["u9"])
+        assert tree.key_of(0) != old_root
+        assert tree.key_of(3) != old_aux
+
+    def test_departed_user_cannot_decrypt_new_group_key(self):
+        """Forward secrecy: no edge is encrypted under a key u9 holds."""
+        tree = make_tree(keyed=True)
+        departed_path = set(tree.path_ids("u9"))  # {12, 3, 0} pre-rekey keys
+        result = MarkingAlgorithm().apply(tree, leaves=["u9"])
+        # Edges encrypt under *current* child keys; keys at 3 and 0 were
+        # renewed, so encrypting-key IDs on u9's old path are fine only
+        # if their material changed.  Check by ID: no edge uses node 12.
+        used_ids = {e.child_id for e in result.subtree.edges}
+        assert 12 not in used_ids
+        # And node 3's key used for {k1-8}k78 is the *new* k78.
+        assert tree.version_of(3) == 1
+
+
+class TestBatchEqualJoinLeave:
+    def test_replaces_in_place(self, alg):
+        tree = make_tree()
+        result = alg.apply(tree, joins=["n1", "n2"], leaves=["u2", "u5"])
+        assert tree.user_node_id("n1") == 5  # u2 sat at node 5
+        assert tree.user_node_id("n2") == 8  # u5 sat at node 8
+        assert tree.n_users == 9
+        tree.validate()
+        # Replaced slots get REPLACE labels.
+        assert result.subtree.label_of(5) is NodeLabel.REPLACE
+        assert result.subtree.label_of(8) is NodeLabel.REPLACE
+
+    def test_replaced_user_key_changes(self):
+        tree = make_tree(keyed=True)
+        old = tree.key_of(5)
+        MarkingAlgorithm().apply(tree, joins=["n1"], leaves=["u2"])
+        assert tree.key_of(5) != old
+
+    def test_smallest_departed_ids_replaced_first(self, alg):
+        tree = make_tree()
+        # u1 at 4, u9 at 12 leave; one join must take node 4 (smallest).
+        alg.apply(tree, joins=["n1"], leaves=["u9", "u1"])
+        assert tree.user_node_id("n1") == 4
+        assert tree.kind_of(12) is NodeKind.N_NODE
+
+
+class TestMoreLeavesThanJoins:
+    def test_subtree_pruned_when_all_children_leave(self, alg):
+        tree = make_tree()
+        result = alg.apply(tree, leaves=["u1", "u2", "u3"])
+        # Entire subtree under k-node 1 departed: node 1 pruned.
+        assert tree.kind_of(1) is NodeKind.N_NODE
+        tree.validate()
+        # Only the root key changes; children 2 and 3 receive it.
+        assert result.subtree.updated_knode_ids == [0]
+        assert [(e.parent_id, e.child_id) for e in result.subtree.edges] == [
+            (0, 2),
+            (0, 3),
+        ]
+
+    def test_all_users_leave_empties_tree(self, alg):
+        tree = make_tree(3, 3)
+        result = alg.apply(tree, leaves=["u1", "u2", "u3"])
+        assert tree.n_users == 0
+        assert tree.max_knode_id == -1
+        assert result.subtree.n_encryptions == 0
+        tree.validate()
+
+    def test_partial_replace_and_prune(self, alg):
+        tree = make_tree()
+        result = alg.apply(tree, joins=["n1"], leaves=["u1", "u2", "u3"])
+        # n1 replaces u1 at node 4; 5 and 6 vacated; k-node 1 survives.
+        assert tree.user_node_id("n1") == 4
+        assert tree.kind_of(5) is NodeKind.N_NODE
+        assert tree.kind_of(1) is NodeKind.K_NODE
+        assert result.subtree.label_of(1) is NodeLabel.REPLACE
+        tree.validate()
+
+
+class TestMoreJoinsThanLeaves:
+    def test_fills_nnode_holes_first(self, alg):
+        tree = make_tree()
+        alg.apply(tree, leaves=["u9"])  # node 12 becomes an n-node hole
+        result = alg.apply(tree, joins=["n1"])
+        assert tree.user_node_id("n1") == 12
+        assert result.subtree.label_of(12) is NodeLabel.JOIN
+        tree.validate()
+
+    def test_split_when_full(self, alg):
+        tree = make_tree()  # full: 9 users, d=3
+        result = alg.apply(tree, joins=["n1"])
+        # Node 4 splits: u1 moves to 13, n1 joins at 14.
+        assert tree.kind_of(4) is NodeKind.K_NODE
+        assert tree.user_node_id("u1") == 13
+        assert tree.user_node_id("n1") == 14
+        assert result.moved == {4: 13}
+        assert tree.max_knode_id == 4
+        tree.validate()
+
+    def test_moved_user_id_derivable_via_theorem42(self, alg):
+        tree = make_tree()
+        result = alg.apply(tree, joins=["n1"])
+        nk = result.max_knode_id
+        # Every pre-existing user can re-derive its new ID from nk alone.
+        assert idmath.derive_new_user_id(4, nk, 3) == 13
+        for old_id in range(5, 13):
+            assert idmath.derive_new_user_id(old_id, nk, 3) == old_id
+
+    def test_moved_user_keeps_individual_key(self):
+        tree = make_tree(keyed=True)
+        individual = tree.key_of(4)
+        MarkingAlgorithm().apply(tree, joins=["n1"])
+        assert tree.key_of(13) == individual
+
+    def test_many_splits(self, alg):
+        tree = make_tree(9, 3)
+        joins = ["n%d" % i for i in range(20)]
+        result = alg.apply(tree, joins=joins)
+        assert tree.n_users == 29
+        tree.validate()
+        # All joined users present and labelled JOIN.
+        for user in joins:
+            node_id = tree.user_node_id(user)
+            assert result.subtree.label_of(node_id) is NodeLabel.JOIN
+
+    def test_join_into_empty_tree_bootstraps(self, alg):
+        tree = KeyTree(3)
+        result = alg.apply(tree, joins=["a", "b", "c", "d"])
+        assert tree.n_users == 4
+        tree.validate()
+        # Everyone needs their full path: encryptions exist.
+        assert result.subtree.n_encryptions > 0
+
+    def test_doubling_group(self, alg):
+        tree = make_tree(16, 4)
+        alg.apply(tree, joins=["n%d" % i for i in range(16)])
+        assert tree.n_users == 32
+        tree.validate()
+
+
+class TestLabels:
+    def test_unchanged_subtree_not_rekeyed(self, alg):
+        tree = make_tree()
+        result = alg.apply(tree, leaves=["u9"])
+        assert result.subtree.label_of(1) is NodeLabel.UNCHANGED
+        assert result.subtree.label_of(2) is NodeLabel.UNCHANGED
+        assert 1 not in result.subtree.updated_knode_ids
+
+    def test_join_label_propagates_as_join(self, alg):
+        tree = make_tree()
+        alg.apply(tree, leaves=["u9"])  # open hole at 12
+        result = alg.apply(tree, joins=["n1"])
+        # Path of node 12: 3, 0 — both should be JOIN (no leave involved).
+        assert result.subtree.label_of(3) is NodeLabel.JOIN
+        assert result.subtree.label_of(0) is NodeLabel.JOIN
+
+    def test_leave_dominates_join(self, alg):
+        tree = make_tree()
+        result = alg.apply(tree, joins=["n1"], leaves=["u1", "u9"])
+        # n1 replaces u1 at node 4 (REPLACE); node 12 vacated (LEAVE).
+        # Root has a REPLACE child and a LEAVE-descendant child.
+        assert result.subtree.label_of(0) is NodeLabel.REPLACE
+
+    def test_empty_batch_no_changes(self, alg):
+        tree = make_tree(keyed=True)
+        old_root = tree.key_of(0)
+        result = alg.apply(tree)
+        assert result.subtree.n_encryptions == 0
+        assert result.subtree.n_updated_keys == 0
+        assert tree.key_of(0) == old_root
+
+    def test_label_of_unknown_node_is_unchanged(self, alg):
+        result = alg.apply(make_tree(), leaves=["u9"])
+        assert result.subtree.label_of(999) is NodeLabel.UNCHANGED
+
+
+class TestValidation:
+    def test_leave_of_unknown_user(self, alg):
+        with pytest.raises(UnknownUserError):
+            alg.apply(make_tree(), leaves=["ghost"])
+
+    def test_join_of_existing_member(self, alg):
+        with pytest.raises(DuplicateUserError):
+            alg.apply(make_tree(), joins=["u1"])
+
+    def test_duplicate_joins(self, alg):
+        with pytest.raises(DuplicateUserError):
+            alg.apply(make_tree(), joins=["x", "x"])
+
+    def test_tree_type_checked(self, alg):
+        from repro.errors import MarkingError
+
+        with pytest.raises(MarkingError):
+            alg.apply("not a tree")
+
+
+class TestNeeds:
+    def test_every_member_covered_when_root_changes(self, alg):
+        tree = make_tree()
+        result = alg.apply(tree, leaves=["u9"])
+        needs = result.needs_by_user()
+        assert set(needs) == set(tree.u_node_ids())
+
+    def test_needs_empty_when_no_change(self, alg):
+        result = alg.apply(make_tree())
+        assert result.needs_by_user() == {}
+
+    def test_needs_are_decryptable_in_order(self):
+        """Each needed encryption is decryptable with the individual key
+        or with a key recovered earlier in the user's list."""
+        tree = make_tree(27, 3, keyed=True)
+        result = MarkingAlgorithm().apply(
+            tree, leaves=["u1", "u14", "u27"], joins=["n1"]
+        )
+        from repro.keytree import ids as idmath
+
+        updated = set(result.subtree.updated_knode_ids)
+        for u_id, wanted in result.needs_by_user().items():
+            path = idmath.path_to_root(u_id, 3)
+            # Keys the user holds before processing: its individual key
+            # plus every path key that was not renewed this batch.
+            held = {u_id} | {n for n in path if n not in updated}
+            for child_id in wanted:
+                assert child_id in held
+                held.add((child_id - 1) // 3)  # now holds parent's new key
+            # After processing, the user holds its entire path again.
+            assert set(path) <= held
+
+    def test_needs_bounded_by_tree_height(self, alg):
+        tree = make_tree(81, 3)
+        result = alg.apply(
+            tree, leaves=["u%d" % i for i in range(1, 30, 3)]
+        )
+        height = tree.height
+        for wanted in result.needs_by_user().values():
+            assert len(wanted) <= height
+
+
+class TestMultiBatchInvariants:
+    def test_long_churn_sequence_keeps_invariants(self, alg):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        tree = make_tree(27, 3, keyed=True)
+        next_id = 100
+        for _ in range(30):
+            members = sorted(tree.users)
+            n_leave = int(rng.integers(0, min(8, len(members)) + 1))
+            leaves = list(
+                rng.choice(members, size=n_leave, replace=False)
+            )
+            n_join = int(rng.integers(0, 9))
+            joins = ["m%d" % (next_id + i) for i in range(n_join)]
+            next_id += n_join
+            result = alg.apply(tree, joins=joins, leaves=leaves)
+            tree.validate()
+            # Every join is a member; every leaver is gone.
+            for user in joins:
+                assert user in tree.users
+            for user in leaves:
+                assert user not in tree.users
+            # Rekey subtree is internally consistent.
+            for edge in result.subtree.edges:
+                assert tree.has_node(edge.child_id)
+                assert edge.parent_id in result.subtree.updated_knode_ids

@@ -1,0 +1,129 @@
+"""Oracle tests: the marking algorithm vs first-principles definitions.
+
+The labelling rules of Appendix B are an efficient *implementation* of
+a simple specification: after the structural update,
+
+- a k-node's key must change iff its subtree contains a changed u-node
+  (joined, replaced, or vacated this batch) — unless the k-node itself
+  was pruned;
+- the rekey message must carry, for every updated k-node, one
+  encryption per present child;
+- every remaining user must be able to reach the new root key through
+  the encryption edges, starting from keys it already holds.
+
+This module recomputes those predicates directly from recorded batch
+inputs (an independent oracle) and checks the algorithm against them
+over randomized churn, including the join-overflow (split) path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.keytree import KeyTree, MarkingAlgorithm
+from repro.keytree import ids as idmath
+
+
+def oracle_updated_knodes(tree, changed_u_ids, vacated_ids):
+    """Updated k-nodes from the spec: ancestors of changed u-nodes."""
+    updated = set()
+    for u_id in changed_u_ids:
+        for ancestor in idmath.path_to_root(u_id, tree.degree)[1:]:
+            if tree.has_node(ancestor) and tree.node(ancestor).is_k_node:
+                updated.add(ancestor)
+    # Vacated positions also force their surviving ancestors to rekey.
+    for v_id in vacated_ids:
+        for ancestor in idmath.path_to_root(v_id, tree.degree)[1:]:
+            if tree.has_node(ancestor) and tree.node(ancestor).is_k_node:
+                updated.add(ancestor)
+    return updated
+
+
+def run_batch(seed, n_users=64, degree=4, max_leave=24, max_join=24):
+    rng = np.random.default_rng(seed)
+    users = ["u%d" % i for i in range(n_users)]
+    tree = KeyTree.full_balanced(users, degree)
+    n_leave = int(rng.integers(0, max_leave + 1))
+    leaves = list(rng.choice(users, size=n_leave, replace=False))
+    joins = ["j%d" % i for i in range(int(rng.integers(0, max_join + 1)))]
+    result = MarkingAlgorithm(renew_keys=False).apply(
+        tree, joins=joins, leaves=leaves
+    )
+    return tree, result, joins, leaves
+
+
+class TestUpdatedSetMatchesOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_updated_knodes(self, seed):
+        tree, result, joins, leaves = run_batch(seed)
+        changed = set()
+        for user in joins:
+            changed.add(tree.user_node_id(user))
+        # Replaced slots are joined slots; vacated ones no longer exist.
+        vacated = {
+            node_id
+            for node_id in result.departed_ids
+            if not tree.has_node(node_id)
+            or tree.node(node_id).is_k_node  # converted by a later split
+        }
+        # Moved users' old and new positions both changed.
+        for old_id, new_id in result.moved.items():
+            changed.add(new_id)
+        expected = oracle_updated_knodes(tree, changed, vacated)
+        assert set(result.subtree.updated_knode_ids) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_edges_cover_updated_children(self, seed):
+        tree, result, _, _ = run_batch(seed)
+        expected_edges = {
+            (k_id, child)
+            for k_id in result.subtree.updated_knode_ids
+            for child in tree.children_of(k_id)
+        }
+        actual = {
+            (e.parent_id, e.child_id) for e in result.subtree.edges
+        }
+        assert actual == expected_edges
+
+
+class TestReachability:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_every_user_reaches_the_root(self, seed):
+        """Walking the edges with initially-held keys reaches node 0."""
+        tree, result, _, _ = run_batch(seed)
+        if not result.subtree.edges:
+            return
+        updated = set(result.subtree.updated_knode_ids)
+        assert 0 in updated  # any change reaches the root
+        by_child = {e.child_id: e.parent_id for e in result.subtree.edges}
+        for user in tree.users:
+            u_id = tree.user_node_id(user)
+            path = idmath.path_to_root(u_id, tree.degree)
+            held = {u_id} | {n for n in path if n not in updated}
+            # Iteratively decrypt anything decryptable.
+            changed = True
+            while changed:
+                changed = False
+                for child, parent in by_child.items():
+                    if child in held and parent not in held:
+                        held.add(parent)
+                        changed = True
+            assert 0 in held, "user %s cannot reach the new root" % user
+
+
+class TestDepartedExclusion:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_no_edge_encrypts_under_departed_keys(self, seed):
+        """Forward secrecy at the edge level: no encryption uses a key
+        held only by a departed user (its old individual key slot)."""
+        tree, result, joins, leaves = run_batch(seed)
+        for edge in result.subtree.edges:
+            child = tree.node(edge.child_id)
+            if child.is_u_node:
+                # The encrypting individual key belongs to a current
+                # member, never a departed one.
+                assert child.user in tree.users

@@ -1,0 +1,119 @@
+"""Tests for repro.keytree.persistence — server-restart snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import KeyFactory
+from repro.errors import KeyTreeError
+from repro.keytree import KeyTree, MarkingAlgorithm
+from repro.keytree.persistence import (
+    load_tree,
+    save_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+
+def make_tree(keyed=True):
+    users = ["u%d" % i for i in range(27)]
+    factory = KeyFactory(seed=5) if keyed else None
+    tree = KeyTree.full_balanced(users, 3, key_factory=factory)
+    MarkingAlgorithm().apply(
+        tree, leaves=["u3", "u7"], joins=["n1", "n2", "n3"]
+    )
+    return tree
+
+
+def trees_equal(a, b):
+    if a.degree != b.degree or a.node_ids() != b.node_ids():
+        return False
+    for node_id in a.node_ids():
+        na, nb = a.node(node_id), b.node(node_id)
+        if (na.kind, na.user, na.version, na.key) != (
+            nb.kind,
+            nb.user,
+            nb.version,
+            nb.key,
+        ):
+            return False
+    return True
+
+
+class TestRoundTrip:
+    def test_keyed_round_trip(self):
+        tree = make_tree(keyed=True)
+        restored = tree_from_dict(tree_to_dict(tree))
+        assert trees_equal(tree, restored)
+        assert restored.group_key == tree.group_key
+
+    def test_keyless_round_trip(self):
+        tree = make_tree(keyed=False)
+        restored = tree_from_dict(tree_to_dict(tree))
+        assert trees_equal(tree, restored)
+        assert restored.keyless
+
+    def test_file_round_trip(self, tmp_path):
+        tree = make_tree()
+        path = tmp_path / "snapshot.json"
+        save_tree(tree, path)
+        restored = load_tree(path, key_factory=KeyFactory(seed=5))
+        assert trees_equal(tree, restored)
+
+    def test_json_safe(self):
+        import json
+
+        json.dumps(tree_to_dict(make_tree()))  # must not raise
+
+    def test_unsupported_format_rejected(self):
+        data = tree_to_dict(make_tree())
+        data["format"] = 99
+        with pytest.raises(KeyTreeError):
+            tree_from_dict(data)
+
+
+class TestContinuity:
+    def test_rekeying_continues_after_restore(self):
+        """A restored server rekeys correctly: versions keep advancing
+        and members keyed before the restart can still follow."""
+        tree = make_tree()
+        snapshot = tree_to_dict(tree)
+        version_before = tree.version_of(0)
+
+        restored = tree_from_dict(snapshot, key_factory=KeyFactory(seed=5))
+        result = MarkingAlgorithm().apply(restored, leaves=["u10"])
+        restored.validate()
+        assert restored.version_of(0) == version_before + 1
+        assert restored.key_of(0) != tree.key_of(0)
+        assert result.n_encryptions > 0
+
+    def test_restored_versions_never_regress(self):
+        """Key material never repeats across a restore boundary."""
+        tree = make_tree()
+        old_root_keys = {tree.key_of(0)}
+        snapshot = tree_to_dict(tree)
+        restored = tree_from_dict(snapshot, key_factory=KeyFactory(seed=5))
+        for victim in ("u1", "u2", "u5"):
+            MarkingAlgorithm().apply(restored, leaves=[victim])
+            key = restored.key_of(0)
+            assert key not in old_root_keys
+            old_root_keys.add(key)
+
+    def test_restore_after_heavy_churn(self):
+        rng = np.random.default_rng(1)
+        users = ["u%d" % i for i in range(64)]
+        tree = KeyTree.full_balanced(users, 4, key_factory=KeyFactory(seed=9))
+        alg = MarkingAlgorithm()
+        next_id = 0
+        for _ in range(10):
+            members = sorted(tree.users)
+            leaves = list(
+                rng.choice(members, size=int(rng.integers(0, 8)), replace=False)
+            )
+            joins = ["m%d" % (next_id + i) for i in range(int(rng.integers(0, 8)))]
+            next_id += len(joins)
+            alg.apply(tree, joins=joins, leaves=leaves)
+        restored = tree_from_dict(
+            tree_to_dict(tree), key_factory=KeyFactory(seed=9)
+        )
+        assert trees_equal(tree, restored)
+        restored.validate()

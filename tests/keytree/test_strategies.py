@@ -1,0 +1,103 @@
+"""Tests for repro.keytree.strategies — WGL rekeying-strategy costs."""
+
+import numpy as np
+import pytest
+
+from repro.keytree import KeyTree, MarkingAlgorithm
+from repro.keytree.strategies import (
+    compare_strategies,
+    group_oriented_cost,
+    key_oriented_cost,
+    user_oriented_cost,
+)
+
+
+def batch_for(n=27, d=3, leaves=("u9",), joins=()):
+    users = ["u%d" % i for i in range(1, n + 1)]
+    tree = KeyTree.full_balanced(users, d)
+    return MarkingAlgorithm(renew_keys=False).apply(
+        tree, joins=list(joins), leaves=list(leaves)
+    )
+
+
+class TestSingleLeave:
+    """The classical d=3, 9-user, one-leave example (§2.1 workload)."""
+
+    def setup_method(self):
+        users = ["u%d" % i for i in range(1, 10)]
+        tree = KeyTree.full_balanced(users, 3)
+        self.batch = MarkingAlgorithm(renew_keys=False).apply(
+            tree, leaves=["u9"]
+        )
+
+    def test_group_oriented(self):
+        cost = group_oriented_cost(self.batch)
+        assert cost.server_encryptions == 5  # the paper's message
+        assert cost.server_messages == 1
+        assert cost.max_user_encryptions == 2  # u7/u8 need k78 and k1-8
+        assert cost.max_user_messages == 1
+
+    def test_key_oriented(self):
+        cost = key_oriented_cost(self.batch)
+        assert cost.server_encryptions == 5  # same total work
+        assert cost.server_messages == 2  # k78 and k1-8
+        assert cost.max_user_messages == 2
+
+    def test_user_oriented(self):
+        cost = user_oriented_cost(self.batch)
+        # Classes: u7 (needs k78,k1-8), u8 (same but own class via its
+        # individual key), subtree-123 (needs k1-8), subtree-456.
+        # Anchors: nodes 10, 11 (size 2 each) and 1, 2 (size 1 each).
+        assert cost.server_messages == 4
+        assert cost.server_encryptions == 2 + 2 + 1 + 1
+        assert cost.max_user_encryptions == 2
+        assert cost.max_user_messages == 1
+
+    def test_signatures_follow_messages(self):
+        for cost in compare_strategies(self.batch):
+            assert cost.signatures() == cost.server_messages
+
+
+class TestTradeoffs:
+    def test_user_oriented_costs_more_server_encryptions(self):
+        rng = np.random.default_rng(0)
+        users = ["u%d" % i for i in range(256)]
+        tree = KeyTree.full_balanced(users, 4)
+        batch = MarkingAlgorithm(renew_keys=False).apply(
+            tree, leaves=list(rng.choice(users, 64, replace=False))
+        )
+        group = group_oriented_cost(batch)
+        user = user_oriented_cost(batch)
+        assert user.server_encryptions > group.server_encryptions
+        # But the user side receives exactly its needs in one message.
+        assert user.max_user_messages == 1
+
+    def test_key_oriented_splits_messages(self):
+        batch = batch_for(n=81, d=3, leaves=("u5", "u50"))
+        key = key_oriented_cost(batch)
+        group = group_oriented_cost(batch)
+        assert key.server_encryptions == group.server_encryptions
+        assert key.server_messages > group.server_messages
+        assert key.max_user_messages > 1
+
+    def test_empty_batch(self):
+        batch = batch_for(leaves=())
+        for cost in compare_strategies(batch):
+            assert cost.server_encryptions == 0
+            assert cost.server_messages == 0
+
+    def test_user_oriented_classes_cover_all_users(self):
+        batch = batch_for(n=81, d=3, leaves=("u5", "u50", "u77"))
+        needs = batch.needs_by_user()
+        cost = user_oriented_cost(batch)
+        # Each class message carries at least the longest need.
+        assert cost.max_user_encryptions == max(
+            len(v) for v in needs.values()
+        )
+
+    def test_batch_with_joins(self):
+        batch = batch_for(n=27, d=3, leaves=("u1",), joins=("n1", "n2"))
+        group = group_oriented_cost(batch)
+        user = user_oriented_cost(batch)
+        assert group.server_encryptions > 0
+        assert user.server_encryptions >= group.server_encryptions

@@ -1,0 +1,220 @@
+"""Tests for repro.keytree.tree — the KeyTree container."""
+
+import pytest
+
+from repro.crypto import KeyFactory
+from repro.errors import (
+    DuplicateUserError,
+    KeyTreeError,
+    UnknownUserError,
+)
+from repro.keytree import KeyTree, NodeKind
+
+
+def make_tree(n=9, d=3, keyed=False, prefix="u"):
+    users = ["%s%d" % (prefix, i) for i in range(1, n + 1)]
+    factory = KeyFactory(seed=1) if keyed else None
+    return KeyTree.full_balanced(users, d, key_factory=factory)
+
+
+class TestConstruction:
+    def test_full_balanced_shape(self):
+        tree = make_tree(9, 3)
+        assert tree.n_users == 9
+        assert tree.u_node_ids() == list(range(4, 13))
+        assert tree.k_node_ids() == [0, 1, 2, 3]
+        assert tree.height == 2
+        tree.validate()
+
+    def test_non_power_of_d(self):
+        tree = make_tree(6, 3)
+        assert tree.u_node_ids() == list(range(4, 10))
+        # Only ancestors of present users exist.
+        assert tree.k_node_ids() == [0, 1, 2]
+        tree.validate()
+
+    def test_single_user_gets_knode_root(self):
+        tree = make_tree(1, 3)
+        assert tree.kind_of(0) is NodeKind.K_NODE
+        assert tree.u_node_ids() == [1]
+        tree.validate()
+
+    def test_empty_users_rejected(self):
+        with pytest.raises(KeyTreeError):
+            KeyTree.full_balanced([], 3)
+
+    def test_duplicate_users_rejected(self):
+        with pytest.raises(DuplicateUserError):
+            KeyTree.full_balanced(["a", "a"], 3)
+
+    def test_degree_one_rejected(self):
+        with pytest.raises(KeyTreeError):
+            KeyTree(1)
+
+    def test_keyed_tree_has_material(self):
+        tree = make_tree(9, 3, keyed=True)
+        assert tree.group_key is not None
+        assert not tree.keyless
+
+    def test_keyless_tree(self):
+        tree = make_tree(9, 3)
+        assert tree.keyless
+        assert tree.group_key is None
+
+
+class TestIntrospection:
+    def test_user_node_id(self):
+        tree = make_tree(9, 3)
+        assert tree.user_node_id("u1") == 4
+        assert tree.user_node_id("u9") == 12
+
+    def test_unknown_user(self):
+        with pytest.raises(UnknownUserError):
+            make_tree().user_node_id("nobody")
+
+    def test_user_at(self):
+        tree = make_tree(9, 3)
+        assert tree.user_at(4) == "u1"
+
+    def test_user_at_knode_raises(self):
+        with pytest.raises(KeyTreeError):
+            make_tree().user_at(0)
+
+    def test_kind_of_absent_is_nnode(self):
+        assert make_tree().kind_of(999) is NodeKind.N_NODE
+
+    def test_node_absent_raises(self):
+        with pytest.raises(KeyTreeError):
+            make_tree().node(999)
+
+    def test_max_knode_id(self):
+        assert make_tree(9, 3).max_knode_id == 3
+
+    def test_max_knode_id_empty(self):
+        assert KeyTree(3).max_knode_id == -1
+
+    def test_path_ids(self):
+        tree = make_tree(9, 3)
+        assert tree.path_ids("u9") == [12, 3, 0]
+
+    def test_path_keys_keyed(self):
+        tree = make_tree(9, 3, keyed=True)
+        keys = tree.path_keys("u9")
+        assert len(keys) == 3
+        assert keys[-1] == tree.group_key
+        assert keys[0] == tree.key_of(12)
+
+    def test_children_of(self):
+        tree = make_tree(9, 3)
+        assert tree.children_of(0) == [1, 2, 3]
+        assert tree.children_of(1) == [4, 5, 6]
+
+    def test_children_of_partial(self):
+        tree = make_tree(5, 3)
+        assert tree.children_of(2) == [7, 8]
+        assert tree.children_of(2, present_only=False) == [7, 8, 9]
+
+    def test_users_property(self):
+        assert make_tree(3, 3).users == {"u1", "u2", "u3"}
+
+    def test_repr(self):
+        assert "users=9" in repr(make_tree(9, 3))
+
+
+class TestMutation:
+    def test_replace_user_renews_key(self):
+        tree = make_tree(9, 3, keyed=True)
+        old_key = tree.key_of(4)
+        tree.replace_user(4, "newbie")
+        assert tree.user_at(4) == "newbie"
+        assert tree.key_of(4) != old_key
+        assert "u1" not in tree.users
+        tree.validate()
+
+    def test_replace_user_rejects_existing_member(self):
+        tree = make_tree(9, 3)
+        with pytest.raises(DuplicateUserError):
+            tree.replace_user(4, "u2")
+
+    def test_remove_node(self):
+        tree = make_tree(9, 3)
+        tree.remove_node(4)
+        assert not tree.has_node(4)
+        assert "u1" not in tree.users
+
+    def test_move_u_node_preserves_key(self):
+        tree = make_tree(9, 3, keyed=True)
+        key = tree.key_of(12)
+        tree.move_u_node(12, 39)  # 3*12+3: an absent slot
+        assert tree.user_node_id("u9") == 39
+        assert tree.key_of(39) == key
+        assert not tree.has_node(12)
+
+    def test_move_to_occupied_slot_rejected(self):
+        tree = make_tree(9, 3)
+        with pytest.raises(KeyTreeError):
+            tree.move_u_node(12, 11)
+
+    def test_convert_u_to_k(self):
+        tree = make_tree(9, 3, keyed=True)
+        tree.convert_u_to_k(12)
+        assert tree.kind_of(12) is NodeKind.K_NODE
+        assert "u9" not in tree.users
+        assert tree.key_of(12) is not None
+
+    def test_convert_absent_node_rejected(self):
+        tree = make_tree(9, 3)
+        tree.move_u_node(4, 13)
+        with pytest.raises(KeyTreeError):
+            tree.convert_u_to_k(4)
+
+    def test_renew_key_bumps_version(self):
+        tree = make_tree(9, 3, keyed=True)
+        v0 = tree.version_of(0)
+        old = tree.key_of(0)
+        tree.renew_key(0)
+        assert tree.version_of(0) == v0 + 1
+        assert tree.key_of(0) != old
+
+    def test_create_duplicate_node_rejected(self):
+        tree = make_tree(9, 3)
+        with pytest.raises(KeyTreeError):
+            tree.create_k_node(0)
+
+    def test_recreated_node_gets_fresh_version(self):
+        tree = make_tree(9, 3, keyed=True)
+        first_key = tree.key_of(4)
+        tree.remove_node(4)
+        tree.create_u_node(4, "again")
+        assert tree.key_of(4) != first_key
+
+
+class TestValidate:
+    def test_valid_tree_passes(self):
+        make_tree(9, 3).validate()
+
+    def test_lemma_41_violation_detected(self):
+        tree = make_tree(9, 3)
+        # Force a u-node below every k-node ID by abusing internals.
+        tree.remove_node(4)
+        tree._nodes[2].kind = NodeKind.U_NODE
+        tree._nodes[2].user = "bad"
+        tree._users["bad"] = 2
+        with pytest.raises(KeyTreeError):
+            tree.validate()
+
+    def test_childless_knode_detected(self):
+        tree = make_tree(9, 3)
+        for node_id in (4, 5, 6):
+            tree.remove_node(node_id)
+        with pytest.raises(KeyTreeError, match="no present descendants"):
+            tree.validate()
+
+    def test_empty_tree_valid(self):
+        KeyTree(3).validate()
+
+    def test_membership_index_out_of_sync_detected(self):
+        tree = make_tree(9, 3)
+        tree._users["ghost"] = 4
+        with pytest.raises(KeyTreeError):
+            tree.validate()

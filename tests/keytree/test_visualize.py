@@ -1,0 +1,73 @@
+"""Tests for repro.keytree.visualize."""
+
+import pytest
+
+from repro.keytree import KeyTree, MarkingAlgorithm
+from repro.keytree.visualize import render_rekey, render_tree
+
+
+def make_tree(n=9, d=3):
+    return KeyTree.full_balanced(["u%d" % i for i in range(1, n + 1)], d)
+
+
+class TestRenderTree:
+    def test_contains_every_node(self):
+        tree = make_tree()
+        text = render_tree(tree)
+        for node_id in tree.node_ids():
+            prefix = "u" if tree.node(node_id).is_u_node else "k"
+            assert "%s%d" % (prefix, node_id) in text
+
+    def test_root_first(self):
+        text = render_tree(make_tree())
+        assert text.splitlines()[0].startswith("k0")
+
+    def test_users_named(self):
+        text = render_tree(make_tree())
+        assert "'u1'" in text
+        assert "'u9'" in text
+
+    def test_structure_glyphs(self):
+        text = render_tree(make_tree())
+        assert "├── " in text
+        assert "└── " in text
+
+    def test_truncation(self):
+        tree = make_tree(81, 3)
+        text = render_tree(tree, max_nodes=10)
+        assert "…" in text
+        # At most one ellipsis line per ancestor level beyond the cap.
+        assert len(text.splitlines()) <= 10 + tree.height + 1
+
+    def test_empty_tree(self):
+        assert render_tree(KeyTree(3)) == "(empty tree)"
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            render_tree("not a tree")
+
+
+class TestRenderRekey:
+    def test_labels_overlaid(self):
+        tree = make_tree()
+        batch = MarkingAlgorithm().apply(
+            tree, leaves=["u9"], joins=["n1"]
+        )
+        text = render_rekey(batch)
+        assert "[REPLACE]" in text
+        # n1 replaced u9's slot, so the u-node is REPLACE, not JOIN.
+        assert "'n1'" in text
+
+    def test_join_label_appears_on_growth(self):
+        tree = make_tree()
+        batch = MarkingAlgorithm().apply(tree, joins=["n1"])
+        text = render_rekey(batch)
+        assert "[JOIN]" in text
+
+    def test_versions_visible_after_rekey(self):
+        tree = KeyTree.full_balanced(
+            ["a", "b", "c"], 3,
+        )
+        batch = MarkingAlgorithm().apply(tree, leaves=["c"])
+        text = render_rekey(batch)
+        assert "k0 v1" in text  # root rekeyed once

@@ -1,0 +1,120 @@
+"""Tests for repro.net — the protocol over real loopback UDP."""
+
+import numpy as np
+import pytest
+
+from repro.core import GroupConfig, GroupKeyServer, GroupMember
+from repro.net import MemberEndpoint, ServerEndpoint, run_udp_rekey
+
+
+def make_world(n=32, n_leave=2, block_size=5, seed=0):
+    server = GroupKeyServer(
+        ["u%d" % i for i in range(n)],
+        config=GroupConfig(block_size=block_size, crypto_seed=seed),
+    )
+    members = {
+        name: GroupMember.register(server, name) for name in server.users
+    }
+    leavers = sorted(server.users)[:n_leave]
+    for name in leavers:
+        server.request_leave(name)
+    batch, message = server.rekey()
+    by_id = {}
+    for name, member in members.items():
+        if name in leavers:
+            continue
+        member.absorb_encryptions([], max_kid=message.max_kid)
+        by_id[member.user_id] = member
+    return server, message, by_id
+
+
+class TestLossFreeUdp:
+    def test_single_round_delivery(self):
+        server, message, by_id = make_world()
+        report = run_udp_rekey(
+            message,
+            members_by_user_id=by_id,
+            drop_probability=0.0,
+            nack_window_seconds=0.15,
+            settle_seconds=0.1,
+            seed=1,
+        )
+        assert report["all_done"]
+        assert report["rounds"] == 1
+        assert report["packets_dropped"] == 0
+        assert all(
+            member.group_key == server.group_key
+            for member in by_id.values()
+        )
+
+    def test_packet_accounting(self):
+        _, message, by_id = make_world()
+        report = run_udp_rekey(
+            message,
+            members_by_user_id=by_id,
+            drop_probability=0.0,
+            nack_window_seconds=0.15,
+            settle_seconds=0.1,
+            seed=2,
+        )
+        # Emulated multicast: every member receives every packet.
+        n_members = len(by_id)
+        per_member = report["packets_sent"] // n_members
+        assert report["packets_received"] == per_member * n_members
+
+
+class TestLossyUdp:
+    def test_injected_loss_recovered(self):
+        server, message, by_id = make_world(n=32, seed=3)
+        report = run_udp_rekey(
+            message,
+            members_by_user_id=by_id,
+            drop_probability=0.2,
+            nack_window_seconds=0.2,
+            settle_seconds=0.1,
+            seed=3,
+        )
+        assert report["all_done"]
+        assert report["packets_dropped"] > 0
+        assert all(
+            member.group_key == server.group_key
+            for member in by_id.values()
+        )
+
+    def test_heavy_loss_falls_back_to_unicast(self):
+        server, message, by_id = make_world(n=16, seed=4)
+        report = run_udp_rekey(
+            message,
+            members_by_user_id=by_id,
+            drop_probability=0.5,
+            max_multicast_rounds=1,
+            nack_window_seconds=0.2,
+            settle_seconds=0.1,
+            seed=4,
+        )
+        assert report["all_done"]
+        assert all(
+            member.group_key == server.group_key
+            for member in by_id.values()
+        )
+
+
+class TestEndpoints:
+    def test_member_endpoint_lifecycle(self):
+        _, message, _ = make_world()
+        user_id = sorted(message.needs_by_user)[0]
+        endpoint = MemberEndpoint(user_id, message).start()
+        assert endpoint.address[0] == "127.0.0.1"
+        assert endpoint.address[1] > 0
+        endpoint.stop()
+
+    def test_server_requires_registered_address(self):
+        from repro.errors import TransportError
+
+        _, message, _ = make_world()
+        server = ServerEndpoint(message)
+        try:
+            with pytest.raises(TransportError):
+                server.unicast_usr([sorted(message.needs_by_user)[0]])
+        finally:
+            server.close()

@@ -1,0 +1,136 @@
+"""Tests for repro.rekey.assignment — the UKA algorithm (§4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KeyAssignmentError
+from repro.keytree import KeyTree, MarkingAlgorithm
+from repro.rekey.assignment import UserOrientedKeyAssignment
+
+
+def assign(needs, capacity=5):
+    return UserOrientedKeyAssignment(capacity=capacity).assign(needs)
+
+
+class TestBasicPacking:
+    def test_single_user(self):
+        result = assign({10: [3, 1]})
+        assert result.n_packets == 1
+        assert result.plans[0].frm_id == 10
+        assert result.plans[0].to_id == 10
+        assert result.plans[0].encryption_ids == [3, 1]
+
+    def test_shared_encryptions_stored_once(self):
+        result = assign({10: [3, 1], 11: [3, 1]})
+        assert result.n_packets == 1
+        assert result.plans[0].n_encryptions == 2
+        assert result.n_duplicates == 0
+
+    def test_split_on_capacity(self):
+        needs = {10: [1, 2, 3], 11: [4, 5, 6]}
+        result = assign(needs, capacity=5)
+        assert result.n_packets == 2
+        assert result.plans[0].user_ids == [10]
+        assert result.plans[1].user_ids == [11]
+
+    def test_duplication_across_packets(self):
+        # Users share encryption 9 but cannot fit together.
+        needs = {10: [1, 2, 3, 9], 11: [4, 5, 6, 9]}
+        result = assign(needs, capacity=5)
+        assert result.n_packets == 2
+        assert result.n_stored_encryptions == 8
+        assert result.n_unique_encryptions == 7
+        assert result.n_duplicates == 1
+        assert result.duplication_overhead == pytest.approx(1 / 7)
+
+    def test_intervals_disjoint_and_increasing(self):
+        needs = {u: [u * 10, u * 10 + 1, u * 10 + 2] for u in range(20, 40)}
+        result = assign(needs, capacity=7)
+        plans = result.plans
+        for previous, following in zip(plans, plans[1:]):
+            assert previous.to_id < following.frm_id
+
+    def test_users_sorted_within_packets(self):
+        needs = {30: [1], 10: [2], 20: [3]}
+        result = assign(needs, capacity=46)
+        assert result.plans[0].user_ids == [10, 20, 30]
+
+    def test_longest_prefix_greedy(self):
+        # Three users of 2 encryptions each; capacity 4 -> 2 + 1 split.
+        needs = {1: [10, 11], 2: [12, 13], 3: [14, 15]}
+        result = assign(needs, capacity=4)
+        assert [p.user_ids for p in result.plans] == [[1, 2], [3]]
+
+    def test_empty_needs_rejected(self):
+        with pytest.raises(KeyAssignmentError):
+            assign({10: []})
+
+    def test_over_capacity_user_rejected(self):
+        with pytest.raises(KeyAssignmentError):
+            assign({10: [1, 2, 3, 4, 5, 6]}, capacity=5)
+
+    def test_plan_for_user(self):
+        needs = {10: [1], 20: [2], 30: [3]}
+        result = assign(needs, capacity=2)
+        assert result.plan_for_user(10).index == 0
+        assert result.plan_for_user(30).index == 1
+        assert result.plan_for_user(99) is None
+
+    def test_default_capacity_from_paper_packet(self):
+        assigner = UserOrientedKeyAssignment()
+        assert assigner.capacity == 46
+
+
+class TestSinglePacketGuarantee:
+    """UKA's defining property on real marking workloads."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_every_user_needs_exactly_one_packet(self, seed):
+        rng = np.random.default_rng(seed)
+        users = ["u%d" % i for i in range(64)]
+        tree = KeyTree.full_balanced(users, 4)
+        n_leave = int(rng.integers(1, 20))
+        leaves = list(rng.choice(users, size=n_leave, replace=False))
+        joins = ["j%d" % i for i in range(int(rng.integers(0, 20)))]
+        batch = MarkingAlgorithm().apply(tree, joins=joins, leaves=leaves)
+        needs = batch.needs_by_user()
+        if not needs:
+            return
+        result = UserOrientedKeyAssignment(capacity=10).assign(needs)
+        for user_id, wanted in needs.items():
+            covering = [
+                plan
+                for plan in result.plans
+                if plan.frm_id <= user_id <= plan.to_id
+            ]
+            assert len(covering) == 1
+            assert set(wanted) <= set(covering[0].encryption_ids)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_union_of_plans_covers_all_edges(self, seed):
+        rng = np.random.default_rng(seed)
+        users = ["u%d" % i for i in range(64)]
+        tree = KeyTree.full_balanced(users, 4)
+        leaves = list(rng.choice(users, size=16, replace=False))
+        batch = MarkingAlgorithm().apply(tree, leaves=leaves)
+        needs = batch.needs_by_user()
+        result = UserOrientedKeyAssignment(capacity=12).assign(needs)
+        packed = set()
+        for plan in result.plans:
+            packed.update(plan.encryption_ids)
+        assert packed == {e.child_id for e in batch.subtree.edges}
+
+    def test_capacity_never_exceeded(self):
+        rng = np.random.default_rng(5)
+        needs = {}
+        uid = 100
+        for _ in range(200):
+            uid += int(rng.integers(1, 4))
+            needs[uid] = list(
+                rng.choice(np.arange(1, 500), size=int(rng.integers(1, 7)), replace=False)
+            )
+        result = assign(needs, capacity=9)
+        assert all(p.n_encryptions <= 9 for p in result.plans)

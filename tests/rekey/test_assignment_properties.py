@@ -1,0 +1,99 @@
+"""Property-based tests of UKA over arbitrary (synthetic) need maps.
+
+The marking-driven tests exercise realistic workloads; these drive UKA
+with adversarial ones — arbitrary user IDs, arbitrary encryption sets,
+heavy sharing, no tree structure at all — and assert the packing
+contract holds regardless:
+
+1. every user is covered by exactly one packet interval;
+2. that packet contains all of the user's encryptions;
+3. no packet exceeds capacity;
+4. intervals are disjoint and strictly increasing;
+5. the duplication accounting identities hold.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rekey.assignment import UserOrientedKeyAssignment
+
+
+@st.composite
+def need_maps(draw):
+    capacity = draw(st.integers(2, 12))
+    n_users = draw(st.integers(1, 40))
+    user_ids = draw(
+        st.lists(
+            st.integers(1, 10_000),
+            min_size=n_users,
+            max_size=n_users,
+            unique=True,
+        )
+    )
+    pool = draw(
+        st.lists(
+            st.integers(1, 200), min_size=1, max_size=60, unique=True
+        )
+    )
+    needs = {}
+    for user_id in user_ids:
+        size = draw(st.integers(1, min(capacity, len(pool))))
+        subset = draw(
+            st.lists(
+                st.sampled_from(pool),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        needs[user_id] = subset
+    return capacity, needs
+
+
+class TestUkaContract:
+    @settings(max_examples=120, deadline=None)
+    @given(data=need_maps())
+    def test_all_invariants(self, data):
+        capacity, needs = data
+        result = UserOrientedKeyAssignment(capacity=capacity).assign(needs)
+        plans = result.plans
+
+        # (3) capacity respected
+        assert all(plan.n_encryptions <= capacity for plan in plans)
+
+        # (4) intervals disjoint and increasing
+        for previous, following in zip(plans, plans[1:]):
+            assert previous.to_id < following.frm_id
+
+        # (1) + (2) single covering packet with all the encryptions
+        for user_id, wanted in needs.items():
+            covering = [
+                p for p in plans if p.frm_id <= user_id <= p.to_id
+            ]
+            assert len(covering) == 1
+            assert set(wanted) <= set(covering[0].encryption_ids)
+
+        # (5) accounting identities
+        stored = sum(plan.n_encryptions for plan in plans)
+        unique = len({e for wanted in needs.values() for e in wanted})
+        assert result.n_stored_encryptions == stored
+        assert result.n_unique_encryptions == unique
+        assert result.n_duplicates == stored - unique
+        assert result.n_duplicates >= 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=need_maps())
+    def test_within_packet_no_duplicates(self, data):
+        capacity, needs = data
+        result = UserOrientedKeyAssignment(capacity=capacity).assign(needs)
+        for plan in result.plans:
+            assert len(plan.encryption_ids) == len(set(plan.encryption_ids))
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=need_maps())
+    def test_user_lists_sorted_and_within_interval(self, data):
+        capacity, needs = data
+        result = UserOrientedKeyAssignment(capacity=capacity).assign(needs)
+        for plan in result.plans:
+            assert plan.user_ids == sorted(plan.user_ids)
+            assert plan.user_ids[0] == plan.frm_id
+            assert plan.user_ids[-1] == plan.to_id

@@ -1,0 +1,102 @@
+"""Tests for repro.rekey.blocks — block partitioning (§5.1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rekey.blocks import BlockPartition, interleaved_order
+
+
+class TestBlockPartition:
+    def test_exact_division(self):
+        partition = BlockPartition(20, 5)
+        assert partition.n_blocks == 4
+        assert partition.n_duplicates == 0
+        assert partition.n_enc_slots == 20
+
+    def test_last_block_duplicated(self):
+        partition = BlockPartition(7, 5)
+        assert partition.n_blocks == 2
+        assert partition.n_duplicates == 3
+        last = partition.packets_in_block(1)
+        assert [s.plan_index for s in last] == [5, 6, 5, 6, 5]
+        assert [s.is_duplicate for s in last] == [False, False, True, True, True]
+
+    def test_single_packet_block_of_one(self):
+        partition = BlockPartition(1, 1)
+        assert partition.n_blocks == 1
+        assert partition.n_duplicates == 0
+
+    def test_single_packet_large_k(self):
+        partition = BlockPartition(1, 10)
+        assert partition.n_blocks == 1
+        assert partition.n_duplicates == 9
+        assert all(
+            s.plan_index == 0 for s in partition.packets_in_block(0)
+        )
+
+    def test_slot_sequence_numbers(self):
+        partition = BlockPartition(6, 3)
+        for block_id in range(2):
+            seqs = [
+                s.seq_in_block for s in partition.packets_in_block(block_id)
+            ]
+            assert seqs == [0, 1, 2]
+
+    def test_block_of_packet(self):
+        partition = BlockPartition(25, 10)
+        assert partition.block_of_packet(0) == 0
+        assert partition.block_of_packet(9) == 0
+        assert partition.block_of_packet(10) == 1
+        assert partition.block_of_packet(24) == 2
+
+    def test_seq_of_packet(self):
+        partition = BlockPartition(25, 10)
+        assert partition.seq_of_packet(13) == 3
+
+    def test_out_of_range_rejected(self):
+        partition = BlockPartition(5, 2)
+        with pytest.raises(ConfigurationError):
+            partition.block_of_packet(5)
+        with pytest.raises(ConfigurationError):
+            partition.packets_in_block(3)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            BlockPartition(0, 5)
+        with pytest.raises(ConfigurationError):
+            BlockPartition(5, 0)
+
+    def test_slots_are_block_major(self):
+        partition = BlockPartition(9, 3)
+        order = [(s.block_id, s.seq_in_block) for s in partition.slots]
+        assert order == sorted(order)
+
+    def test_duplicates_never_in_full_blocks(self):
+        partition = BlockPartition(23, 5)
+        for block_id in range(partition.n_blocks - 1):
+            assert not any(
+                s.is_duplicate for s in partition.packets_in_block(block_id)
+            )
+
+
+class TestInterleavedOrder:
+    def test_round_robin_across_blocks(self):
+        order = list(interleaved_order(3, 2))
+        assert order == [(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]
+
+    def test_consecutive_same_block_packets_are_spread(self):
+        """Two packets of one block are n_blocks apart in send order."""
+        n_blocks = 7
+        order = list(interleaved_order(n_blocks, 4))
+        positions = [
+            i for i, (block, _) in enumerate(order) if block == 3
+        ]
+        gaps = {b - a for a, b in zip(positions, positions[1:])}
+        assert gaps == {n_blocks}
+
+    def test_zero_per_block(self):
+        assert list(interleaved_order(3, 0)) == []
+
+    def test_invalid_blocks(self):
+        with pytest.raises(ConfigurationError):
+            list(interleaved_order(0, 2))

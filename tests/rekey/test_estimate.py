@@ -1,0 +1,167 @@
+"""Tests for repro.rekey.estimate — block-ID estimation (Appendix D)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.rekey.estimate import (
+    BlockIdEstimator,
+    estimation_failure_probability,
+)
+
+
+class FakeEnc:
+    """Plan-level stand-in carrying just the fields the estimator reads."""
+
+    def __init__(self, frm_id, to_id, block_id, seq, max_kid=500, dup=False):
+        self.frm_id = frm_id
+        self.to_id = to_id
+        self.block_id = block_id
+        self.seq_in_block = seq
+        self.max_kid = max_kid
+        self.is_duplicate = dup
+
+
+def make_message(n_packets, k, users_per_packet=3, first_user=100):
+    """Simulate UKA output: packet p covers users [frm_p, to_p]."""
+    packets = []
+    user = first_user
+    for index in range(n_packets):
+        frm = user
+        to = user + users_per_packet - 1
+        user = to + 2  # leave gaps: intervals are disjoint and increasing
+        packets.append(
+            FakeEnc(
+                frm_id=frm,
+                to_id=to,
+                block_id=index // k,
+                seq=index % k,
+            )
+        )
+    return packets
+
+
+class TestExactMatch:
+    def test_own_packet_pins_block(self):
+        packets = make_message(10, 5)
+        estimator = BlockIdEstimator(user_id=packets[7].frm_id, k=5, degree=4)
+        estimator.observe(packets[7])
+        assert estimator.determined
+        assert estimator.low == estimator.high == 1
+
+    def test_exact_wins_over_later_observations(self):
+        packets = make_message(10, 5)
+        estimator = BlockIdEstimator(user_id=packets[7].frm_id, k=5, degree=4)
+        estimator.observe(packets[7])
+        estimator.observe(packets[2])
+        assert estimator.low == estimator.high == 1
+
+
+class TestBoundTightening:
+    def test_witness_sets_pin_lost_block(self):
+        """Receiving a packet just before and just after pins block i."""
+        k = 5
+        packets = make_message(15, k)
+        lost = packets[7]  # block 1, seq 2
+        estimator = BlockIdEstimator(user_id=lost.frm_id, k=k, degree=4)
+        estimator.observe(packets[6])  # block 1, seq 1: m > to -> low = 1
+        estimator.observe(packets[8])  # block 1, seq 3: m < frm -> high = 1
+        assert estimator.determined
+        assert estimator.low == 1
+
+    def test_last_seq_of_previous_block(self):
+        k = 5
+        packets = make_message(15, k)
+        lost = packets[5]  # block 1, seq 0
+        estimator = BlockIdEstimator(user_id=lost.frm_id, k=k, degree=4)
+        estimator.observe(packets[4])  # block 0, seq k-1 -> low = 1
+        assert estimator.low == 1
+
+    def test_seq0_of_next_block(self):
+        k = 5
+        packets = make_message(15, k)
+        lost = packets[9]  # block 1, seq 4
+        estimator = BlockIdEstimator(user_id=lost.frm_id, k=k, degree=4)
+        estimator.observe(packets[10])  # block 2, seq 0 -> high = 1
+        assert estimator.high == 1
+
+    def test_maxkid_bounds_high(self):
+        estimator = BlockIdEstimator(user_id=10_000, k=5, degree=4)
+        estimator.observe(FakeEnc(100, 110, block_id=0, seq=2, max_kid=500))
+        # d*(maxKID+1) = 2004 user IDs at most; bounded, not infinite.
+        assert estimator.high != math.inf
+
+    def test_duplicates_ignored(self):
+        estimator = BlockIdEstimator(user_id=50, k=5, degree=4)
+        estimator.observe(
+            FakeEnc(100, 110, block_id=3, seq=0, dup=True)
+        )
+        assert estimator.low == 0
+        assert estimator.high == math.inf
+
+    def test_range_request_when_undetermined(self):
+        k = 5
+        packets = make_message(15, k)
+        lost = packets[7]
+        estimator = BlockIdEstimator(user_id=lost.frm_id, k=k, degree=4)
+        estimator.observe(packets[2])  # block 0 mid -> low stays 0
+        estimator.observe(packets[13])  # block 2 mid -> high = 2
+        blocks = estimator.blocks_to_request()
+        assert 1 in blocks  # the true block is always inside the range
+        assert blocks == list(range(estimator.low, estimator.high + 1))
+
+    def test_blocks_to_request_needs_clip_when_unbounded(self):
+        estimator = BlockIdEstimator(user_id=5, k=5, degree=4)
+        with pytest.raises(ConfigurationError):
+            estimator.blocks_to_request()
+        assert estimator.blocks_to_request(n_blocks=3) == [0, 1, 2]
+
+
+class TestNeverExcludesTrueBlock:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(0, 100_000),
+        k=st.integers(2, 8),
+        n_packets=st.integers(2, 40),
+        loss=st.floats(0.05, 0.9),
+    )
+    def test_true_block_always_in_range(self, seed, k, n_packets, loss):
+        """Whatever subset of packets arrives, the lost packet's true
+        block is inside [low, high]."""
+        rng = np.random.default_rng(seed)
+        packets = make_message(n_packets, k)
+        lost_index = int(rng.integers(0, n_packets))
+        lost = packets[lost_index]
+        estimator = BlockIdEstimator(user_id=lost.frm_id, k=k, degree=4)
+        for index, packet in enumerate(packets):
+            if index == lost_index:
+                continue  # the user's own packet was lost
+            if rng.random() < loss:
+                continue
+            estimator.observe(packet)
+        n_blocks = packets[-1].block_id + 1
+        assert lost.block_id in estimator.blocks_to_request(n_blocks)
+
+
+class TestFailureProbability:
+    def test_matches_paper_formula(self):
+        p, k, j = 0.2, 10, 3
+        expected = p ** (j + 2) + p ** (k - j + 1) - p ** (k + 2)
+        assert estimation_failure_probability(p, k, j) == pytest.approx(expected)
+
+    def test_worst_case_is_p_squared(self):
+        """At j = 0 (or k-1) the failure probability is ~ p^2."""
+        p = 0.1
+        assert estimation_failure_probability(p, 10, 0) == pytest.approx(
+            p**2, rel=0.02
+        )
+
+    def test_zero_loss(self):
+        assert estimation_failure_probability(0.0, 10, 3) == 0.0
+
+    def test_invalid_j(self):
+        with pytest.raises(ConfigurationError):
+            estimation_failure_probability(0.1, 5, 5)

@@ -1,0 +1,166 @@
+"""Tests for repro.rekey.message — end-to-end rekey-message building."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import KeyFactory, SignatureScheme, XorStreamCipher
+from repro.errors import ConfigurationError, TransportError
+from repro.fec import RSECoder
+from repro.keytree import KeyTree, MarkingAlgorithm
+from repro.rekey import RekeyMessageBuilder
+from repro.rekey.packets import FEC_PAYLOAD_OFFSET
+
+
+def build_message(
+    n=64, d=4, n_leave=16, keyed=True, block_size=4, message_id=1, seed=0
+):
+    rng = np.random.default_rng(seed)
+    users = ["u%d" % i for i in range(n)]
+    factory = KeyFactory(seed=3) if keyed else None
+    tree = KeyTree.full_balanced(users, d, key_factory=factory)
+    leaves = list(rng.choice(users, size=n_leave, replace=False))
+    batch = MarkingAlgorithm().apply(tree, leaves=leaves)
+    builder = RekeyMessageBuilder(block_size=block_size)
+    return tree, batch, builder.build(batch, message_id=message_id)
+
+
+class TestPlanMode:
+    def test_keyless_tree_builds_plan_only(self):
+        _, _, message = build_message(keyed=False)
+        assert not message.materialized
+        assert message.n_enc_packets > 0
+        with pytest.raises(TransportError):
+            message.enc_packets()
+
+    def test_counts_consistent(self):
+        _, batch, message = build_message(keyed=False)
+        assert message.n_blocks == -(-message.n_enc_packets // message.k)
+        assert set(message.needs_by_user) == set(batch.needs_by_user())
+
+    def test_block_of_user(self):
+        _, _, message = build_message(keyed=False)
+        for user_id in message.needs_by_user:
+            block = message.block_of_user(user_id)
+            assert 0 <= block < message.n_blocks
+
+    def test_block_of_unneeding_user_is_none(self):
+        _, _, message = build_message(keyed=False)
+        assert message.block_of_user(65_000) is None
+
+
+class TestEmptyMessage:
+    def test_empty_batch_builds_empty_message(self):
+        tree = KeyTree.full_balanced(["a", "b", "c", "d"], 4)
+        batch = MarkingAlgorithm().apply(tree)
+        message = RekeyMessageBuilder().build(batch, message_id=0)
+        assert message.is_empty
+        assert message.n_enc_packets == 0
+        assert message.n_blocks == 0
+        assert message.plans == []
+        assert message.plan_for_user(4) is None
+
+
+class TestWireMode:
+    def test_enc_packets_cover_all_slots(self):
+        _, _, message = build_message()
+        packets = message.enc_packets()
+        assert len(packets) == message.partition.n_enc_slots
+        assert sum(not p.is_duplicate for p in packets) == message.n_enc_packets
+
+    def test_max_kid_stamped(self):
+        tree, batch, message = build_message()
+        assert all(
+            p.max_kid == max(batch.max_knode_id, 0)
+            for p in message.enc_packets()
+        )
+
+    def test_parity_round_trip(self):
+        _, _, message = build_message()
+        payloads = message.block_payloads(0)
+        parity = message.parity_packets(0, message.k)
+        coder = RSECoder(message.k)
+        received = {p.seq_in_block: p.payload for p in parity}
+        assert coder.decode(received) == payloads
+
+    def test_incremental_parity_has_increasing_seq(self):
+        _, _, message = build_message()
+        first = message.parity_packets(0, 2)
+        second = message.parity_packets(0, 2, first_parity_index=2)
+        seqs = [p.seq_in_block for p in first + second]
+        assert seqs == [message.k, message.k + 1, message.k + 2, message.k + 3]
+
+    def test_rebuild_enc_packet(self):
+        _, _, message = build_message()
+        packets = message.enc_packets()
+        wire = packets[3].encode(message.packet_size)
+        rebuilt = message.rebuild_enc_packet(
+            message.message_id,
+            packets[3].block_id,
+            packets[3].seq_in_block,
+            wire[FEC_PAYLOAD_OFFSET:],
+        )
+        assert rebuilt == packets[3]
+
+    def test_usr_packet_contains_exact_needs(self):
+        _, batch, message = build_message()
+        user_id = next(iter(message.needs_by_user))
+        usr = message.usr_packet(user_id)
+        assert [e.encryption_id for e in usr.encryptions] == list(
+            message.needs_by_user[user_id]
+        )
+
+    def test_usr_packet_for_unneeding_user_rejected(self):
+        _, _, message = build_message()
+        with pytest.raises(TransportError):
+            message.usr_packet(65_000)
+
+    def test_user_can_decrypt_full_path(self):
+        """End-to-end: a user recovers every renewed key on its path."""
+        tree, batch, message = build_message()
+        cipher = XorStreamCipher()
+        updated = set(batch.subtree.updated_knode_ids)
+        for user_id, wanted in message.needs_by_user.items():
+            held = {user_id: tree.key_of(user_id)}
+            path = [user_id]
+            while path[-1] != 0:
+                path.append((path[-1] - 1) // tree.degree)
+            for node in path[1:]:
+                if node not in updated:
+                    held[node] = tree.key_of(node)
+            for encryption_id in wanted:
+                encrypted = message.encryption_map[encryption_id]
+                parent = (encryption_id - 1) // tree.degree
+                recovered = cipher.decrypt_key(
+                    encrypted, held[encryption_id], node_id=parent
+                )
+                held[parent] = recovered
+            assert held[0] == tree.group_key
+
+    def test_signature_present_when_signer_given(self):
+        rng = np.random.default_rng(0)
+        users = ["u%d" % i for i in range(16)]
+        tree = KeyTree.full_balanced(users, 4, key_factory=KeyFactory(seed=1))
+        batch = MarkingAlgorithm().apply(tree, leaves=["u3"])
+        signer = SignatureScheme(secret_seed=9)
+        message = RekeyMessageBuilder(signer=signer).build(batch, message_id=2)
+        assert message.signature is not None
+
+    def test_message_id_bounds(self):
+        tree = KeyTree.full_balanced(["a", "b"], 2)
+        batch = MarkingAlgorithm().apply(tree, leaves=["a"])
+        with pytest.raises(ConfigurationError):
+            RekeyMessageBuilder().build(batch, message_id=64)
+
+    def test_duplicate_slots_share_plan_content(self):
+        _, _, message = build_message(n=16, n_leave=4, block_size=10)
+        packets = message.enc_packets()
+        by_plan = {}
+        for slot, packet in zip(message.partition.slots, packets):
+            by_plan.setdefault(slot.plan_index, []).append(packet)
+        for copies in by_plan.values():
+            frm = {p.frm_id for p in copies}
+            assert len(frm) == 1
+
+    def test_repr(self):
+        _, _, message = build_message()
+        assert "wire" in repr(message)

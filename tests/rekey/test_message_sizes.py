@@ -1,0 +1,83 @@
+"""Packet-size and block-count edge cases of the message builder."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import KeyFactory
+from repro.errors import PacketError
+from repro.keytree import KeyTree, MarkingAlgorithm
+from repro.rekey import RekeyMessageBuilder, enc_packet_capacity
+from repro.rekey.packets import ENC_HEADER_SIZE, ENCRYPTION_ENTRY_SIZE
+
+
+def build(n=256, n_leave=64, packet_size=1027, block_size=10, seed=0):
+    rng = np.random.default_rng(seed)
+    users = ["u%d" % i for i in range(n)]
+    tree = KeyTree.full_balanced(users, 4, key_factory=KeyFactory(seed=2))
+    batch = MarkingAlgorithm().apply(
+        tree, leaves=list(rng.choice(users, n_leave, replace=False))
+    )
+    builder = RekeyMessageBuilder(
+        packet_size=packet_size, block_size=block_size
+    )
+    return builder.build(batch, message_id=1)
+
+
+class TestPacketSizes:
+    def test_small_packets_make_more_of_them(self):
+        big = build(packet_size=1027)
+        small = build(packet_size=ENC_HEADER_SIZE + 8 * ENCRYPTION_ENTRY_SIZE)
+        assert small.n_enc_packets > big.n_enc_packets
+        # Capacity bound honoured in every packet.
+        for packet in small.enc_packets():
+            assert len(packet.encryptions) <= 8
+
+    def test_wire_length_matches_configured_size(self):
+        size = ENC_HEADER_SIZE + 12 * ENCRYPTION_ENTRY_SIZE
+        message = build(packet_size=size)
+        for packet in message.enc_packets():
+            assert len(packet.encode(size)) == size
+
+    def test_capacity_helper_consistent_with_builder(self):
+        size = 500
+        message = build(packet_size=size)
+        capacity = enc_packet_capacity(size)
+        assert all(
+            len(p.encryptions) <= capacity for p in message.enc_packets()
+        )
+
+    def test_tiny_packet_rejected(self):
+        with pytest.raises(PacketError):
+            build(packet_size=ENC_HEADER_SIZE)
+
+
+class TestBlockCounts:
+    def test_single_block_message(self):
+        message = build(n=64, n_leave=4, block_size=50)
+        assert message.n_blocks == 1
+        # Slots padded with duplicates up to k.
+        assert len(message.enc_packets()) == 50
+
+    def test_many_blocks(self):
+        message = build(block_size=1)
+        assert message.n_blocks == message.n_enc_packets
+        assert message.partition.n_duplicates == 0
+
+    def test_parity_per_block_independent(self):
+        message = build(block_size=4)
+        for block_id in range(message.n_blocks):
+            parity = message.parity_packets(block_id, 2)
+            assert all(p.block_id == block_id for p in parity)
+            assert [p.seq_in_block for p in parity] == [4, 5]
+
+    def test_block_id_wire_limit_enforced(self):
+        """More than 256 blocks cannot be expressed on the wire."""
+        # Capacity 5 (= tree height, so single users still fit) packs
+        # this workload into > 256 packets of one block each.
+        small = ENC_HEADER_SIZE + 5 * ENCRYPTION_ENTRY_SIZE
+        message = build(
+            n=1024, n_leave=256, packet_size=small, block_size=1
+        )
+        assert message.n_blocks > 256
+        with pytest.raises(PacketError):
+            message.enc_packets()

@@ -1,0 +1,123 @@
+"""Failure injection: packet decoders must never crash unexpectedly.
+
+Whatever bytes arrive off the (simulated) wire — truncated, corrupted,
+or adversarial — ``decode_packet`` either returns a well-formed packet
+or raises :class:`PacketError`/`PacketDecodeError`.  Any other exception
+is a robustness bug.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.cipher import EncryptedKey
+from repro.errors import PacketError
+from repro.rekey.packets import (
+    EncPacket,
+    NackPacket,
+    NackRequest,
+    ParityPacket,
+    UsrPacket,
+    decode_packet,
+)
+
+
+def make_valid_wires():
+    enc = EncPacket(
+        rekey_message_id=5,
+        block_id=2,
+        seq_in_block=1,
+        max_kid=340,
+        frm_id=341,
+        to_id=360,
+        encryptions=tuple(
+            EncryptedKey(i + 1, bytes([i]) * 20) for i in range(5)
+        ),
+    ).encode()
+    parity = ParityPacket(
+        rekey_message_id=5, block_id=2, seq_in_block=12, payload=b"x" * 64
+    ).encode()
+    usr = UsrPacket(
+        rekey_message_id=5,
+        user_id=341,
+        encryptions=(EncryptedKey(3, b"y" * 20),),
+    ).encode()
+    nack = NackPacket(
+        rekey_message_id=5,
+        user_id=341,
+        requests=(NackRequest(block_id=2, n_parity=3),),
+    ).encode()
+    return [enc, parity, usr, nack]
+
+
+class TestRandomBytes:
+    @given(data=st.binary(min_size=0, max_size=200))
+    @settings(max_examples=300)
+    def test_arbitrary_bytes_never_crash(self, data):
+        try:
+            packet = decode_packet(data)
+        except PacketError:
+            return
+        # If it decoded, it must re-encode to something decodable.
+        assert packet.packet_type is not None
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("wire_index", range(4))
+    def test_every_truncation_point(self, wire_index):
+        wire = make_valid_wires()[wire_index]
+        for cut in range(len(wire)):
+            try:
+                decode_packet(wire[:cut])
+            except PacketError:
+                continue
+            # Some prefixes of ENC packets are themselves valid (zero
+            # padding shortens gracefully); that is fine.
+
+
+class TestBitFlips:
+    @given(
+        wire_index=st.integers(0, 3),
+        position=st.integers(0, 2000),
+        flip=st.integers(1, 255),
+    )
+    @settings(max_examples=300)
+    def test_single_byte_corruption(self, wire_index, position, flip):
+        wire = bytearray(make_valid_wires()[wire_index])
+        position %= len(wire)
+        wire[position] ^= flip
+        try:
+            packet = decode_packet(bytes(wire))
+        except PacketError:
+            return
+        assert packet.packet_type is not None
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=100)
+    def test_heavy_corruption(self, seed):
+        rng = np.random.default_rng(seed)
+        wire = bytearray(make_valid_wires()[seed % 4])
+        n_flips = int(rng.integers(1, 20))
+        for _ in range(n_flips):
+            wire[int(rng.integers(0, len(wire)))] ^= int(
+                rng.integers(1, 256)
+            )
+        try:
+            decode_packet(bytes(wire))
+        except PacketError:
+            pass
+
+
+class TestCrossTypeConfusion:
+    def test_type_field_rewrite_is_contained(self):
+        """Rewriting the 2-bit type routes to another decoder, which
+        must handle the mismatched body gracefully."""
+        wires = make_valid_wires()
+        for wire in wires:
+            for new_type in range(4):
+                mutated = bytearray(wire)
+                mutated[0] = (new_type << 6) | (mutated[0] & 0x3F)
+                try:
+                    decode_packet(bytes(mutated))
+                except PacketError:
+                    pass

@@ -1,0 +1,251 @@
+"""Tests for repro.rekey.packets — wire formats of Appendix A."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.cipher import EncryptedKey
+from repro.errors import PacketDecodeError, PacketError
+from repro.rekey.packets import (
+    DEFAULT_ENC_PACKET_SIZE,
+    ENC_HEADER_SIZE,
+    ENCRYPTION_ENTRY_SIZE,
+    EncPacket,
+    NackPacket,
+    NackRequest,
+    PacketType,
+    ParityPacket,
+    UsrPacket,
+    decode_packet,
+    enc_packet_capacity,
+)
+
+
+def enc_entry(encryption_id, fill=0xAB):
+    return EncryptedKey(encryption_id, bytes([fill]) * 20)
+
+
+def make_enc(n_encryptions=2, **overrides):
+    fields = dict(
+        rekey_message_id=5,
+        block_id=2,
+        seq_in_block=1,
+        max_kid=340,
+        frm_id=341,
+        to_id=360,
+        encryptions=tuple(enc_entry(i + 1) for i in range(n_encryptions)),
+    )
+    fields.update(overrides)
+    return EncPacket(**fields)
+
+
+class TestCapacity:
+    def test_paper_capacity_is_46(self):
+        """The paper's 1027-byte ENC packet carries 46 encryptions."""
+        assert enc_packet_capacity(DEFAULT_ENC_PACKET_SIZE) == 46
+
+    def test_capacity_formula(self):
+        assert enc_packet_capacity(ENC_HEADER_SIZE + 3 * ENCRYPTION_ENTRY_SIZE) == 3
+
+    def test_too_small_packet_rejected(self):
+        with pytest.raises(PacketError):
+            enc_packet_capacity(ENC_HEADER_SIZE)
+
+
+class TestEncPacket:
+    def test_round_trip(self):
+        packet = make_enc()
+        assert EncPacket.decode(packet.encode()) == packet
+
+    def test_encoded_size_is_fixed(self):
+        assert len(make_enc(1).encode()) == DEFAULT_ENC_PACKET_SIZE
+        assert len(make_enc(40).encode()) == DEFAULT_ENC_PACKET_SIZE
+
+    def test_duplicate_flag_round_trips(self):
+        packet = make_enc(is_duplicate=True)
+        assert EncPacket.decode(packet.encode()).is_duplicate
+
+    def test_covers_user(self):
+        packet = make_enc()
+        assert packet.covers_user(341)
+        assert packet.covers_user(360)
+        assert not packet.covers_user(340)
+        assert not packet.covers_user(361)
+
+    def test_encryptions_for(self):
+        packet = make_enc(5)
+        got = packet.encryptions_for([2, 4, 99])
+        assert [e.encryption_id for e in got] == [2, 4]
+
+    def test_rejects_overfull(self):
+        packet = make_enc(47)
+        with pytest.raises(PacketError):
+            packet.encode()
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(PacketError):
+            make_enc(frm_id=10, to_id=5)
+
+    def test_rejects_encryption_id_zero(self):
+        with pytest.raises(PacketError, match="reserved"):
+            make_enc(encryptions=(enc_entry(0),))
+
+    def test_rejects_wide_fields(self):
+        with pytest.raises(PacketError):
+            make_enc(max_kid=70_000)
+        with pytest.raises(PacketError):
+            make_enc(block_id=256)
+
+    def test_rejects_message_id_beyond_6_bits(self):
+        with pytest.raises(PacketError):
+            make_enc(rekey_message_id=64).encode()
+
+    def test_decode_rejects_truncated(self):
+        with pytest.raises(PacketDecodeError):
+            EncPacket.decode(make_enc(3).encode()[: ENC_HEADER_SIZE + 10])
+
+    def test_decode_rejects_wrong_type(self):
+        wire = bytearray(make_enc().encode())
+        wire[0] = (int(PacketType.NACK) << 6) | 5
+        with pytest.raises(PacketDecodeError):
+            EncPacket.decode(bytes(wire))
+
+    def test_rejects_short_ciphertext(self):
+        with pytest.raises(PacketError):
+            make_enc(encryptions=(EncryptedKey(1, b"abc"),))
+
+    @given(
+        message_id=st.integers(0, 63),
+        block_id=st.integers(0, 255),
+        seq=st.integers(0, 255),
+        max_kid=st.integers(0, 65535),
+        n=st.integers(0, 46),
+    )
+    def test_round_trip_property(self, message_id, block_id, seq, max_kid, n):
+        packet = EncPacket(
+            rekey_message_id=message_id,
+            block_id=block_id,
+            seq_in_block=seq,
+            max_kid=max_kid,
+            frm_id=100,
+            to_id=200,
+            encryptions=tuple(enc_entry(i + 1, fill=i % 256) for i in range(n)),
+        )
+        assert EncPacket.decode(packet.encode()) == packet
+
+
+class TestParityPacket:
+    def test_round_trip(self):
+        packet = ParityPacket(
+            rekey_message_id=3, block_id=1, seq_in_block=12, payload=b"xyz" * 10
+        )
+        assert ParityPacket.decode(packet.encode()) == packet
+
+    def test_header_is_three_bytes(self):
+        packet = ParityPacket(
+            rekey_message_id=3, block_id=1, seq_in_block=12, payload=b"abc"
+        )
+        assert len(packet.encode()) == 3 + 3
+
+    def test_decode_rejects_short(self):
+        with pytest.raises(PacketDecodeError):
+            ParityPacket.decode(b"\x40")
+
+    def test_type(self):
+        packet = ParityPacket(
+            rekey_message_id=0, block_id=0, seq_in_block=0, payload=b""
+        )
+        assert packet.packet_type is PacketType.PARITY
+
+
+class TestUsrPacket:
+    def test_round_trip(self):
+        packet = UsrPacket(
+            rekey_message_id=9,
+            user_id=341,
+            encryptions=(enc_entry(3), enc_entry(1)),
+        )
+        assert UsrPacket.decode(packet.encode()) == packet
+
+    def test_size_bound(self):
+        """USR packets stay small: 4 + 22h bytes for h encryptions."""
+        height = 7
+        packet = UsrPacket(
+            rekey_message_id=0,
+            user_id=1,
+            encryptions=tuple(enc_entry(i + 1) for i in range(height)),
+        )
+        assert len(packet.encode()) == 4 + 22 * height
+        assert len(packet.encode()) < DEFAULT_ENC_PACKET_SIZE / 6
+
+    def test_truncated_rejected(self):
+        wire = UsrPacket(
+            rekey_message_id=9, user_id=1, encryptions=(enc_entry(3),)
+        ).encode()
+        with pytest.raises(PacketDecodeError):
+            UsrPacket.decode(wire[:-1])
+
+    def test_empty_encryptions_allowed(self):
+        packet = UsrPacket(rekey_message_id=0, user_id=0, encryptions=())
+        assert UsrPacket.decode(packet.encode()) == packet
+
+
+class TestNackPacket:
+    def test_round_trip(self):
+        packet = NackPacket(
+            rekey_message_id=1,
+            user_id=77,
+            requests=(
+                NackRequest(block_id=0, n_parity=2),
+                NackRequest(block_id=3, n_parity=4),
+            ),
+        )
+        assert NackPacket.decode(packet.encode()) == packet
+
+    def test_max_requested(self):
+        packet = NackPacket(
+            rekey_message_id=1,
+            user_id=77,
+            requests=(
+                NackRequest(block_id=0, n_parity=2),
+                NackRequest(block_id=3, n_parity=4),
+            ),
+        )
+        assert packet.max_requested == 4
+
+    def test_empty_requests_rejected(self):
+        with pytest.raises(PacketError):
+            NackPacket(rekey_message_id=1, user_id=7, requests=())
+
+    def test_zero_parity_request_rejected(self):
+        with pytest.raises(PacketError):
+            NackRequest(block_id=0, n_parity=0)
+
+    def test_wire_is_compact(self):
+        packet = NackPacket(
+            rekey_message_id=1,
+            user_id=7,
+            requests=(NackRequest(block_id=0, n_parity=1),),
+        )
+        assert len(packet.encode()) == 4 + 2
+
+
+class TestDecodeDispatch:
+    def test_dispatches_each_type(self):
+        packets = [
+            make_enc(),
+            ParityPacket(
+                rekey_message_id=1, block_id=0, seq_in_block=5, payload=b"p"
+            ),
+            UsrPacket(rekey_message_id=1, user_id=3, encryptions=(enc_entry(2),)),
+            NackPacket(
+                rekey_message_id=1,
+                user_id=3,
+                requests=(NackRequest(block_id=0, n_parity=1),),
+            ),
+        ]
+        for packet in packets:
+            assert decode_packet(packet.encode()) == packet
+
+    def test_empty_rejected(self):
+        with pytest.raises(PacketDecodeError):
+            decode_packet(b"")

@@ -1,0 +1,62 @@
+"""Tests for the SequentialKeyAssignment ablation baseline."""
+
+import pytest
+
+from repro.errors import KeyAssignmentError
+from repro.rekey.assignment import SequentialKeyAssignment
+
+
+class TestSequentialPacking:
+    def test_fills_packets_in_order(self):
+        assignment = SequentialKeyAssignment(capacity=3).assign(
+            [10, 11, 12, 13, 14]
+        )
+        assert assignment.n_packets == 2
+        assert assignment.packets == [[10, 11, 12], [13, 14]]
+
+    def test_zero_duplication(self):
+        assignment = SequentialKeyAssignment(capacity=4).assign(range(1, 10))
+        assert assignment.n_stored_encryptions == 9
+
+    def test_packet_of_encryption(self):
+        assignment = SequentialKeyAssignment(capacity=2).assign([5, 6, 7])
+        assert assignment.packet_of_encryption == {5: 0, 6: 0, 7: 1}
+
+    def test_packets_for_user(self):
+        assignment = SequentialKeyAssignment(capacity=2).assign([5, 6, 7, 8])
+        assert assignment.packets_for_user([5, 8]) == [0, 1]
+        assert assignment.packets_for_user([5, 6]) == [0]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(KeyAssignmentError):
+            SequentialKeyAssignment(capacity=4).assign([1, 2, 1])
+
+    def test_empty_message(self):
+        assignment = SequentialKeyAssignment(capacity=4).assign([])
+        assert assignment.n_packets == 0
+
+    def test_default_capacity_matches_paper(self):
+        assert SequentialKeyAssignment().capacity == 46
+
+    def test_boundary_users_span_packets(self):
+        """The structural reason UKA exists: path needs straddle
+        boundaries under sequential packing."""
+        import numpy as np
+
+        from repro.keytree import KeyTree, MarkingAlgorithm
+
+        rng = np.random.default_rng(0)
+        users = ["u%d" % i for i in range(256)]
+        tree = KeyTree.full_balanced(users, 4)
+        batch = MarkingAlgorithm(renew_keys=False).apply(
+            tree, leaves=list(rng.choice(users, 64, replace=False))
+        )
+        needs = batch.needs_by_user()
+        assignment = SequentialKeyAssignment(capacity=10).assign(
+            [e.child_id for e in batch.subtree.edges]
+        )
+        spans = [
+            len(assignment.packets_for_user(wanted))
+            for wanted in needs.values()
+        ]
+        assert max(spans) > 1

@@ -1,0 +1,84 @@
+"""Tests for repro.sim.events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventLoop
+
+
+class TestEventLoop:
+    def test_runs_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(2.0, order.append, "b")
+        loop.schedule(1.0, order.append, "a")
+        loop.schedule(3.0, order.append, "c")
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_schedule_order(self):
+        loop = EventLoop()
+        order = []
+        for tag in "xyz":
+            loop.schedule(1.0, order.append, tag)
+        loop.run()
+        assert order == ["x", "y", "z"]
+
+    def test_clock_advances(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(0.5, lambda: seen.append(loop.now))
+        loop.schedule(1.5, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [0.5, 1.5]
+
+    def test_run_until_stops_early(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, order.append, "a")
+        loop.schedule(5.0, order.append, "b")
+        dispatched = loop.run(until=2.0)
+        assert dispatched == 1
+        assert order == ["a"]
+        assert loop.now == 2.0
+        assert loop.pending == 1
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        order = []
+
+        def first():
+            order.append("first")
+            loop.schedule(1.0, order.append, "second")
+
+        loop.schedule(1.0, first)
+        loop.run()
+        assert order == ["first", "second"]
+        assert loop.now == 2.0
+
+    def test_cannot_schedule_into_past(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            EventLoop().schedule(-1.0, lambda: None)
+
+    def test_step(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, order.append, "a")
+        assert loop.step()
+        assert not loop.step()
+        assert order == ["a"]
+
+    def test_counts_dispatched(self):
+        loop = EventLoop()
+        for delay in (1, 2, 3):
+            loop.schedule(delay, lambda: None)
+        assert loop.run() == 3

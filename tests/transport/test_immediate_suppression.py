@@ -1,0 +1,73 @@
+"""Regression tests for immediate-mode duplicate-repair suppression.
+
+Two failure modes were found (and fixed) during full-scale runs:
+
+1. counting only *transmitted* packets as in flight let a burst of
+   concurrent NACKs each trigger fresh parity while earlier repairs sat
+   in the send queue (runaway traffic, parity-row exhaustion);
+2. Rubenstein's literal ``seq > max_seq`` rule starves users that
+   received nothing and misfires for erasure codewords (any unseen row
+   helps).
+
+These tests pin the fixed behaviour: repair traffic stays within a
+small multiple of the actual shortfall even with hundreds of users
+sharing few blocks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import LossParameters, MulticastTopology
+from repro.transport.fleet import make_paper_workload
+from repro.transport.immediate import (
+    ImmediateConfig,
+    ImmediateFeedbackSession,
+)
+from repro.util import RandomSource
+
+
+def run(n_users, alpha, seed, **config_kwargs):
+    workload = make_paper_workload(n_users=n_users, k=10, seed=1)
+    topology = MulticastTopology(
+        workload.n_users,
+        params=LossParameters(alpha=alpha),
+        random_source=RandomSource(seed),
+    )
+    session = ImmediateFeedbackSession(
+        workload,
+        topology,
+        ImmediateConfig(**config_kwargs),
+        rng=np.random.default_rng(seed),
+    )
+    return workload, session.run()
+
+
+class TestNoRunaway:
+    def test_many_users_per_block_stay_bounded(self):
+        """The full-scale failure case: ~380 users per block."""
+        workload, stats = run(1024, alpha=0.2, seed=4100)
+        round_one = workload.n_blocks * workload.k
+        # Repair traffic stays within ~3x round one (was 20x pre-fix).
+        assert stats.packets_sent < 4 * round_one
+
+    def test_repeat_across_seeds(self):
+        for seed in (11, 22, 33):
+            workload, stats = run(512, alpha=0.2, seed=seed)
+            assert stats.packets_sent < 4 * workload.n_blocks * workload.k
+
+    def test_parity_budget_never_exhausted_at_paper_loss(self):
+        # Would raise TransportError pre-fix.
+        run(1024, alpha=1.0, seed=77, max_parity_rows=200)
+
+    def test_most_concurrent_nacks_suppressed(self):
+        workload, stats = run(1024, alpha=0.2, seed=4100)
+        if stats.nacks_sent > 10:
+            assert (
+                stats.duplicate_nacks_suppressed > stats.nacks_sent * 0.4
+            )
+
+    def test_zero_reception_user_not_starved(self):
+        """A user that heard nothing (max_seq = -1) must still be
+        served — the literal max-seq rule suppressed it forever."""
+        workload, stats = run(256, alpha=1.0, seed=5, deadline_s=90.0)
+        assert (stats.completion_times > 0).all()

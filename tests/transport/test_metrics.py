@@ -1,0 +1,94 @@
+"""Tests for repro.transport.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.transport.metrics import (
+    MessageStats,
+    RoundStats,
+    SequenceStats,
+    UnicastStats,
+)
+
+
+def make_stats(user_rounds, rounds=None, n_enc=10):
+    user_rounds = np.asarray(user_rounds, dtype=int)
+    stats = MessageStats(
+        message_index=0,
+        n_enc_packets=n_enc,
+        n_blocks=2,
+        k=5,
+        rho=1.0,
+        n_users=user_rounds.size,
+    )
+    stats.user_rounds = user_rounds
+    for spec in rounds or []:
+        stats.rounds.append(RoundStats(*spec))
+    return stats
+
+
+class TestMessageStats:
+    def test_bandwidth_overhead(self):
+        stats = make_stats(
+            [1, 1],
+            rounds=[(1, 10, 4, 3, 1), (2, 0, 2, 0, 2)],
+            n_enc=8,
+        )
+        assert stats.total_multicast_packets == 16
+        assert stats.bandwidth_overhead == pytest.approx(2.0)
+
+    def test_first_round_nacks(self):
+        stats = make_stats([1], rounds=[(1, 10, 0, 7, 0)])
+        assert stats.first_round_nacks == 7
+
+    def test_rounds_for_all_users(self):
+        assert make_stats([1, 2, 3]).rounds_for_all_users == 3
+
+    def test_rounds_for_all_with_unicast_tail(self):
+        stats = make_stats([1, 0], rounds=[(1, 5, 0, 1, 1), (2, 0, 2, 1, 1)])
+        # The unicast-only user waited past the last multicast round.
+        assert stats.rounds_for_all_users == 3
+
+    def test_mean_rounds_per_user(self):
+        stats = make_stats([1, 1, 3], rounds=[(1, 5, 0, 1, 2), (2, 0, 1, 1, 2), (3, 0, 1, 0, 3)])
+        assert stats.mean_rounds_per_user == pytest.approx((1 + 1 + 3) / 3)
+
+    def test_users_missing_deadline(self):
+        stats = make_stats([1, 2, 3, 0])
+        assert stats.users_missing_deadline(2) == 2  # round-3 and unicast
+        assert stats.users_missing_deadline(3) == 1  # only the unicast one
+
+    def test_empty_message(self):
+        stats = MessageStats(
+            message_index=0, n_enc_packets=0, n_blocks=0, k=5, rho=1.0
+        )
+        assert stats.bandwidth_overhead == 0.0
+        assert stats.rounds_for_all_users == 0
+        assert stats.mean_rounds_per_user == 0.0
+        assert stats.users_missing_deadline(2) == 0
+
+
+class TestSequenceStats:
+    def test_append_and_aggregates(self):
+        sequence = SequenceStats()
+        for i, nacks in enumerate([30, 20, 10]):
+            stats = make_stats([1], rounds=[(1, 10, 0, nacks, 1)])
+            sequence.append(stats, rho=1.0 + i, num_nack=20, misses=i)
+        assert sequence.n_messages == 3
+        assert sequence.first_round_nacks() == [30, 20, 10]
+        assert sequence.mean_first_round_nacks() == pytest.approx(20)
+        assert sequence.mean_first_round_nacks(skip=1) == pytest.approx(15)
+        assert sequence.rho_trajectory == [1.0, 2.0, 3.0]
+        assert sequence.deadline_misses == [0, 1, 2]
+
+    def test_empty_aggregates(self):
+        sequence = SequenceStats()
+        assert sequence.mean_bandwidth_overhead() == 0.0
+        assert sequence.mean_rounds_for_all() == 0.0
+
+
+class TestUnicastStats:
+    def test_defaults(self):
+        unicast = UnicastStats()
+        assert unicast.users_served == 0
+        assert unicast.usr_packets_sent == 0

@@ -1,0 +1,106 @@
+"""Tests for repro.transport.trace and its session integration."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import KeyFactory
+from repro.errors import ConfigurationError
+from repro.keytree import KeyTree, MarkingAlgorithm
+from repro.rekey import RekeyMessageBuilder
+from repro.sim import LossParameters, MulticastTopology
+from repro.transport import RekeySession, SessionConfig
+from repro.transport.trace import SessionTrace, TraceEvent
+from repro.util import RandomSource
+
+
+class TestSessionTrace:
+    def test_emit_and_filter(self):
+        trace = SessionTrace()
+        trace.emit("session_start", 0.0, users=10)
+        trace.emit("round_planned", 0.0, round=1, packets=20)
+        trace.emit("round_complete", 2.0, round=1, nacks=3, recovered=9)
+        assert len(trace) == 3
+        assert len(trace.of_kind("round_planned")) == 1
+        assert trace.of_kind("round_complete")[0].detail["nacks"] == 3
+
+    def test_unknown_kind_rejected_when_strict(self):
+        with pytest.raises(ConfigurationError):
+            SessionTrace().emit("made_up", 0.0)
+
+    def test_lenient_mode(self):
+        trace = SessionTrace(strict=False)
+        trace.emit("custom", 1.0, foo="bar")
+        assert trace.summary() == {"custom": 1}
+
+    def test_render(self):
+        trace = SessionTrace()
+        trace.emit("session_start", 0.5, users=4)
+        text = trace.render()
+        assert "session_start" in text
+        assert "users=4" in text
+        assert "0.500s" in text
+
+    def test_render_limit(self):
+        trace = SessionTrace()
+        for i in range(5):
+            trace.emit("round_planned", float(i), round=i, packets=1)
+        assert trace.render(limit=2).count("\n") == 1
+
+    def test_event_is_frozen(self):
+        event = TraceEvent(time=0.0, kind="session_start", detail={})
+        with pytest.raises(AttributeError):
+            event.time = 1.0
+
+
+class TestSessionIntegration:
+    def _run(self, trace):
+        rng = np.random.default_rng(0)
+        users = ["u%d" % i for i in range(128)]
+        tree = KeyTree.full_balanced(users, 4, key_factory=KeyFactory(seed=1))
+        batch = MarkingAlgorithm().apply(
+            tree, leaves=list(rng.choice(users, 32, replace=False))
+        )
+        message = RekeyMessageBuilder(block_size=8).build(batch, message_id=1)
+        topology = MulticastTopology(
+            len(message.needs_by_user),
+            params=LossParameters(),
+            random_source=RandomSource(3),
+        )
+        session = RekeySession(
+            message,
+            topology,
+            SessionConfig(rho=1.0),
+            rng=np.random.default_rng(4),
+            trace=trace,
+        )
+        return session.run()
+
+    def test_session_emits_lifecycle(self):
+        trace = SessionTrace()
+        stats = self._run(trace)
+        summary = trace.summary()
+        assert summary["session_start"] == 1
+        assert summary["session_complete"] == 1
+        assert summary["round_planned"] == stats.n_multicast_rounds
+        assert summary["round_complete"] == stats.n_multicast_rounds
+
+    def test_round_events_match_stats(self):
+        trace = SessionTrace()
+        stats = self._run(trace)
+        completes = trace.of_kind("round_complete")
+        for event, round_stats in zip(completes, stats.rounds):
+            assert event.detail["nacks"] == round_stats.nacks_received
+            assert (
+                event.detail["recovered"]
+                == round_stats.users_recovered_total
+            )
+
+    def test_no_trace_is_fine(self):
+        stats = self._run(None)
+        assert stats.n_multicast_rounds >= 1
+
+    def test_times_monotone(self):
+        trace = SessionTrace()
+        self._run(trace)
+        times = [event.time for event in trace.events]
+        assert times == sorted(times)

@@ -1,0 +1,63 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.rng import RandomSource, spawn_rng
+
+
+class TestSpawnRng:
+    def test_default_seed_is_reproducible(self):
+        a = spawn_rng().random(5)
+        b = spawn_rng().random(5)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed_is_reproducible(self):
+        assert np.array_equal(spawn_rng(42).random(5), spawn_rng(42).random(5))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            spawn_rng(1).random(5), spawn_rng(2).random(5)
+        )
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ConfigurationError):
+            spawn_rng(-1)
+
+
+class TestRandomSource:
+    def test_same_seed_same_streams(self):
+        s1, s2 = RandomSource(9), RandomSource(9)
+        assert np.array_equal(
+            s1.generator().random(8), s2.generator().random(8)
+        )
+
+    def test_children_are_independent(self):
+        source = RandomSource(5)
+        g1, g2 = source.generators(2)
+        assert not np.array_equal(g1.random(16), g2.random(16))
+
+    def test_sequential_generators_differ(self):
+        source = RandomSource(5)
+        assert not np.array_equal(
+            source.generator().random(8), source.generator().random(8)
+        )
+
+    def test_generators_count(self):
+        assert len(RandomSource(1).generators(7)) == 7
+
+    def test_child_source_reproducible(self):
+        c1 = RandomSource(3).child().generator().random(4)
+        c2 = RandomSource(3).child().generator().random(4)
+        assert np.array_equal(c1, c2)
+
+    def test_seed_property(self):
+        assert RandomSource(11).seed == 11
+
+    def test_repr(self):
+        assert "11" in repr(RandomSource(11))
+
+    def test_rejects_bad_seed(self):
+        with pytest.raises(ConfigurationError):
+            RandomSource(-3)

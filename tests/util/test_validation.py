@@ -1,0 +1,108 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching_type(self):
+        assert check_type("x", 5, int) == 5
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ConfigurationError, match="x must be int"):
+            check_type("x", "5", int)
+
+    def test_rejects_bool_where_int_expected(self):
+        with pytest.raises(ConfigurationError, match="got bool"):
+            check_type("flag", True, int)
+
+    def test_accepts_subclass(self):
+        class MyInt(int):
+            pass
+
+        assert check_type("x", MyInt(3), int) == 3
+
+    def test_message_contains_value(self):
+        with pytest.raises(ConfigurationError, match="'oops'"):
+            check_type("x", "oops", int)
+
+
+class TestCheckPositive:
+    def test_accepts_positive_int(self):
+        assert check_positive("n", 3) == 3
+
+    def test_accepts_positive_float(self):
+        assert check_positive("rho", 1.5) == 1.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("n", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("n", -1)
+
+    def test_integral_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("n", 1.5, integral=True)
+
+    def test_integral_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("n", True, integral=True)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("n", 0) == 0
+
+    def test_accepts_positive(self):
+        assert check_non_negative("n", 10) == 10
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("n", -0.1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0, 0, 1])
+    def test_accepts_valid(self, p):
+        assert check_probability("p", p) == float(p)
+
+    @pytest.mark.parametrize("p", [-0.01, 1.01, 2, -1])
+    def test_rejects_out_of_range(self, p):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", p)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", "0.5")
+
+    def test_returns_float(self):
+        assert isinstance(check_probability("p", 1), float)
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        assert check_in_range("x", 1, 1, 3) == 1
+        assert check_in_range("x", 3, 1, 3) == 3
+
+    def test_rejects_below(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 0, 1, 3)
+
+    def test_rejects_above(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 4, 1, 3)
+
+    def test_integral_mode(self):
+        assert check_in_range("x", 2, 1, 3, integral=True) == 2
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 2.5, 1, 3, integral=True)
