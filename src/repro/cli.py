@@ -1,13 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands:
+Four commands:
 
 - ``demo`` — run a small secure group through joins/leaves/rekeys and
   print what happened (the quickest smoke test of an install);
 - ``simulate`` — run the fleet transport simulator with the paper's
   workload and print the adaptive-control trajectories;
 - ``analyze`` — print the closed-form tables: expected rekey-message
-  sizes and the max supportable group size per rekey interval.
+  sizes and the max supportable group size per rekey interval;
+- ``serve`` — run the long-lived rekey daemon: churn-driven intervals,
+  WAL+snapshot durability (``--state-dir``), crash injection
+  (``--crash-at``) and recovery (``--resume``), per-interval metrics.
 """
 
 from __future__ import annotations
@@ -50,6 +53,62 @@ def _build_parser():
     analyze = sub.add_parser("analyze", help="print the analytic tables")
     analyze.add_argument("--users", type=int, default=4096)
     analyze.add_argument("--degree", type=int, default=4)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-running rekey daemon"
+    )
+    serve.add_argument("--members", type=int, default=64)
+    serve.add_argument("--intervals", type=int, default=20)
+    serve.add_argument(
+        "--churn",
+        choices=["poisson", "flash", "trace", "none"],
+        default="poisson",
+    )
+    serve.add_argument("--alpha", type=float, default=0.20)
+    serve.add_argument("--trace-file", default=None)
+    serve.add_argument(
+        "--transport", choices=["direct", "sim", "udp"], default="sim"
+    )
+    serve.add_argument(
+        "--interval-seconds",
+        type=float,
+        default=0.0,
+        help="real-time pacing per interval (0 = as fast as possible)",
+    )
+    serve.add_argument("--deadline-rounds", type=int, default=2)
+    serve.add_argument(
+        "--deadline-policy", choices=["unicast", "carry"], default="unicast"
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        help="directory for the WAL + snapshots (enables durability)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover from --state-dir instead of booting a fresh group",
+    )
+    serve.add_argument(
+        "--crash-at",
+        type=int,
+        default=None,
+        metavar="INTERVAL",
+        help="inject a SIGKILL-style crash mid-interval N "
+        "(then restart with --resume to exercise recovery)",
+    )
+    serve.add_argument(
+        "--crash-point",
+        choices=["mid-requests", "pre-rekey", "post-rekey",
+                 "post-delivery", "post-snapshot"],
+        default="post-rekey",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full metrics ledger as JSON at the end",
+    )
+    serve.add_argument("--seed", type=int, default=1)
     return parser
 
 
@@ -187,6 +246,123 @@ def _cmd_analyze(args, out):
     return 0
 
 
+def _cmd_serve(args, out):
+    from repro.core.config import GroupConfig
+    from repro.errors import ServiceError
+    from repro.service import (
+        CrashPlan,
+        DaemonConfig,
+        DaemonCrash,
+        RekeyDaemon,
+        ServiceMetrics,
+        make_backend,
+        make_driver,
+    )
+
+    config = GroupConfig(block_size=5, seed=args.seed)
+    service = DaemonConfig(
+        state_dir=args.state_dir,
+        interval_seconds=args.interval_seconds,
+        deadline_rounds=args.deadline_rounds,
+        deadline_policy=args.deadline_policy,
+        crash_plan=(
+            CrashPlan(args.crash_at, args.crash_point)
+            if args.crash_at is not None
+            else None
+        ),
+    )
+    try:
+        backend = make_backend(args.transport, config, seed=args.seed + 1)
+        churn = make_driver(
+            args.churn, alpha=args.alpha, trace_path=args.trace_file
+        )
+    except ServiceError as error:
+        print("error: %s" % error, file=out)
+        return 2
+    if args.resume:
+        if not args.state_dir:
+            print("--resume needs --state-dir", file=out)
+            return 2
+        try:
+            daemon = RekeyDaemon.recover(
+                args.state_dir,
+                config=config,
+                backend=backend,
+                churn=churn,
+                service=service,
+                seed=args.seed,
+            )
+        except ServiceError as error:
+            print("error: %s" % error, file=out)
+            return 2
+        print(
+            "recovered: %d members at interval %d, %d request(s) replayed"
+            % (
+                daemon.server.n_users,
+                daemon.server.intervals_processed,
+                daemon.metrics.counters["requests_replayed"],
+            ),
+            file=out,
+        )
+    else:
+        daemon = RekeyDaemon.start_new(
+            ["member-%03d" % i for i in range(args.members)],
+            config=config,
+            backend=backend,
+            churn=churn,
+            service=service,
+            seed=args.seed,
+        )
+        print(
+            "serving a %d-member group (%s transport, %s churn%s)"
+            % (
+                daemon.server.n_users,
+                args.transport,
+                args.churn,
+                ", durable" if args.state_dir else "",
+            ),
+            file=out,
+        )
+    print(ServiceMetrics.TABLE_HEADER, file=out)
+
+    def _print_row(record):
+        print(ServiceMetrics.format_row(record), file=out)
+
+    exit_code = 0
+    try:
+        daemon.run(args.intervals, on_interval=_print_row)
+    except DaemonCrash as crash:
+        print("daemon crashed: %s" % crash, file=out)
+        if args.state_dir:
+            print(
+                "state survives in %s; rerun with --resume to recover"
+                % args.state_dir,
+                file=out,
+            )
+        else:
+            print(
+                "no --state-dir was set: nothing survives this crash",
+                file=out,
+            )
+        exit_code = 0 if args.crash_at is not None else 1
+    finally:
+        daemon.close()
+    health = daemon.health()
+    print(
+        "health: %s (%d members, %d intervals, %d deadline miss(es))"
+        % (
+            health["status"],
+            health["members"],
+            health["intervals_processed"],
+            health["deadline_misses"],
+        ),
+        file=out,
+    )
+    if args.json:
+        print(daemon.metrics.to_json(indent=2), file=out)
+    return exit_code
+
+
 def main(argv=None, out=None):
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -195,6 +371,7 @@ def main(argv=None, out=None):
         "demo": _cmd_demo,
         "simulate": _cmd_simulate,
         "analyze": _cmd_analyze,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args, out)
 

@@ -63,3 +63,11 @@ class SimulationError(ReproError):
 
 class CryptoError(ReproError):
     """Failure inside the toy crypto provider (bad key, bad ciphertext)."""
+
+
+class ServiceError(ReproError):
+    """Invalid state or broken invariant in the long-running rekey daemon."""
+
+
+class WalError(ServiceError):
+    """The write-ahead log is corrupt beyond the tolerated torn tail."""

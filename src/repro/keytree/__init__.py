@@ -33,7 +33,9 @@ from repro.keytree.marking import (
     RekeySubtree,
 )
 from repro.keytree.persistence import (
+    load_server,
     load_tree,
+    save_server,
     save_tree,
     tree_from_dict,
     tree_to_dict,
@@ -64,11 +66,13 @@ __all__ = [
     "key_oriented_cost",
     "leftmost_descendant",
     "level_of",
+    "load_server",
     "load_tree",
     "parent_id",
     "path_to_root",
     "render_rekey",
     "render_tree",
+    "save_server",
     "save_tree",
     "subtree_capacity",
     "tree_from_dict",

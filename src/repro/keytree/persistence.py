@@ -1,4 +1,4 @@
-"""Key-tree snapshots: serialise server state across restarts.
+"""Key-tree and key-server snapshots: serialise state across restarts.
 
 A key server that crashes mid-deployment must come back with the exact
 tree — same structure, same key material, same version counters — or
@@ -7,21 +7,37 @@ that in a JSON-safe dict; ``tree_from_dict`` restores it (optionally
 re-attaching a :class:`~repro.crypto.keys.KeyFactory` for *future*
 rekeying).
 
-Only the key tree is snapshotted; pending join/leave queues are
-intentionally excluded (a restarting server re-collects requests — the
-protocol's periodic batching makes that loss-free for members).
+Trees are not the whole restart story, though: the server also carries
+the 6-bit rekey-message ID counter, the interval number, and its crypto
+seed.  ``save_server``/``load_server`` persist the full
+:meth:`~repro.core.server.GroupKeyServer.snapshot` so a restore
+continues the message-ID sequence instead of silently resetting it
+(members use the ID to detect gaps).
+
+All file writes are **crash-safe**: the snapshot is written to a
+temporary file in the same directory, fsynced, and atomically
+``os.replace``-d into place, so a crash at any instant leaves either
+the old snapshot or the new one — never a torn file.
+
+Only durable protocol state is snapshotted; pending join/leave queues
+are intentionally excluded (the service layer's write-ahead log —
+:mod:`repro.service.wal` — covers those, and a bare server restart
+simply re-collects requests).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 
 from repro.crypto.keys import SymmetricKey
 from repro.errors import KeyTreeError
-from repro.keytree.nodes import NodeKind, TreeNode
+from repro.keytree.nodes import NodeKind
 from repro.keytree.tree import KeyTree
 
 _FORMAT_VERSION = 1
+_SERVER_FORMAT_VERSION = 1
 
 
 def tree_to_dict(tree):
@@ -56,9 +72,8 @@ def tree_from_dict(data, key_factory=None):
         raise KeyTreeError(
             "unsupported snapshot format %r" % data.get("format")
         )
-    tree = KeyTree(data["degree"], key_factory=key_factory)
+    records = []
     for record in data["nodes"]:
-        kind = NodeKind(record["kind"])
         key = None
         if record["key"] is not None:
             key = SymmetricKey(
@@ -66,28 +81,97 @@ def tree_from_dict(data, key_factory=None):
                 node_id=record["id"],
                 version=record["version"],
             )
-        node = TreeNode(
-            record["id"],
-            kind,
-            key=key,
-            user=record["user"],
-            version=record["version"],
+        records.append(
+            {
+                "id": record["id"],
+                "kind": NodeKind(record["kind"]),
+                "user": record["user"],
+                "version": record["version"],
+                "key": key,
+            }
         )
-        tree._nodes[record["id"]] = node
-        if node.is_u_node:
-            tree._users[node.user] = record["id"]
-    tree._versions = {int(k): v for k, v in data["versions"].items()}
-    tree.validate()
-    return tree
+    versions = {int(k): v for k, v in data["versions"].items()}
+    return KeyTree.from_records(
+        data["degree"], records, versions=versions, key_factory=key_factory
+    )
+
+
+def _atomic_write_json(path, payload):
+    """Write ``payload`` as JSON to ``path`` without torn intermediates.
+
+    temp file in the target directory → flush → fsync → ``os.replace``;
+    the directory entry is fsynced afterwards where the platform allows,
+    so the rename itself is durable, not just the bytes.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def save_tree(tree, path):
-    """Write a snapshot to ``path`` (JSON)."""
-    with open(path, "w") as handle:
-        json.dump(tree_to_dict(tree), handle)
+    """Write a snapshot to ``path`` (JSON, atomically replaced)."""
+    _atomic_write_json(path, tree_to_dict(tree))
 
 
 def load_tree(path, key_factory=None):
     """Read a snapshot written by :func:`save_tree`."""
     with open(path) as handle:
         return tree_from_dict(json.load(handle), key_factory=key_factory)
+
+
+def save_server(server, path):
+    """Persist full :class:`GroupKeyServer` state to ``path``, atomically.
+
+    Unlike :func:`save_tree` this captures the server-level counters —
+    the 6-bit rekey-message ID, ``intervals_processed``, and the crypto
+    seed — alongside the tree, so :func:`load_server` resumes the exact
+    protocol sequence.
+    """
+    _atomic_write_json(
+        path,
+        {
+            "format": _SERVER_FORMAT_VERSION,
+            "kind": "server",
+            "server": server.snapshot(),
+        },
+    )
+
+
+def load_server(path, config=None):
+    """Restore a :class:`GroupKeyServer` written by :func:`save_server`."""
+    from repro.core.server import GroupKeyServer
+
+    with open(path) as handle:
+        data = json.load(handle)
+    if data.get("kind") != "server" or (
+        data.get("format") != _SERVER_FORMAT_VERSION
+    ):
+        raise KeyTreeError(
+            "not a server snapshot (kind=%r, format=%r)"
+            % (data.get("kind"), data.get("format"))
+        )
+    return GroupKeyServer.restore(data["server"], config=config)

@@ -77,6 +77,56 @@ class KeyTree:
         )
         return tree
 
+    @classmethod
+    def from_records(cls, degree, records, versions=None, key_factory=None):
+        """Rebuild a tree from explicit node records (the restore path).
+
+        ``records`` is an iterable of dicts with keys ``id``, ``kind``
+        (a :class:`NodeKind` or its value), ``version``, and optionally
+        ``user`` (u-nodes) and ``key`` (a :class:`SymmetricKey` or
+        ``None`` for keyless trees).  ``versions`` maps node IDs to the
+        renewal counters so future rekeys continue the version sequence;
+        IDs absent from it default to the record's own version.  The
+        rebuilt tree is :meth:`validate`-checked before it is returned.
+
+        This is the supported way to restore persisted state —
+        :mod:`repro.keytree.persistence` goes through it — so external
+        snapshot formats never need to reach into tree internals.
+        """
+        tree = cls(degree, key_factory=key_factory)
+        for record in records:
+            node_id = int(record["id"])
+            if node_id in tree._nodes:
+                raise KeyTreeError("duplicate record for node %d" % node_id)
+            kind = NodeKind(record["kind"])
+            if kind is NodeKind.N_NODE:
+                raise KeyTreeError(
+                    "node %d: n-nodes are implicit and cannot be restored"
+                    % node_id
+                )
+            node = TreeNode(
+                node_id,
+                kind,
+                key=record.get("key"),
+                user=record.get("user"),
+                version=int(record.get("version", 0)),
+            )
+            if node.is_u_node:
+                if node.user is None:
+                    raise KeyTreeError("u-node %d has no user" % node_id)
+                if node.user in tree._users:
+                    raise DuplicateUserError(
+                        "user %r appears twice in records" % (node.user,)
+                    )
+                tree._users[node.user] = node_id
+            tree._nodes[node_id] = node
+            tree._versions[node_id] = node.version
+        if versions is not None:
+            for node_id, version in versions.items():
+                tree._versions[int(node_id)] = int(version)
+        tree.validate()
+        return tree
+
     def ensure_ancestors(self, leaf_ids):
         """Create k-nodes for every missing ancestor of ``leaf_ids``."""
         pending = set()

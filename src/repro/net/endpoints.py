@@ -239,6 +239,7 @@ def run_udp_rekey(
             endpoints.append(endpoint)
 
         rounds = 0
+        unicast_users = 0
         while True:
             rounds += 1
             server.run_round()
@@ -250,6 +251,7 @@ def run_udp_rekey(
             if not pending:
                 break
             if rounds >= max_multicast_rounds:
+                unicast_users = len(pending)
                 server.unicast_usr(pending, duplicates=3)
                 time.sleep(settle_seconds)
                 # One more settle pass for slow receivers.
@@ -271,6 +273,7 @@ def run_udp_rekey(
             "packets_received": sum(e.packets_received for e in endpoints),
             "packets_dropped": sum(e.packets_dropped for e in endpoints),
             "all_done": all(e.done for e in endpoints),
+            "unicast_users": unicast_users,
         }
     finally:
         for endpoint in endpoints:

@@ -1,0 +1,228 @@
+"""Churn workload drivers: sustained membership dynamics for the daemon.
+
+The paper evaluates one rekey interval at a time with J joins and L
+leaves drawn as fractions of N (α = J/N = L/N, 20–25 % in the headline
+figures).  A *service* faces churn as a process, not a sample: interval
+after interval of arrivals and departures, occasionally punctuated by a
+flash crowd.  Each driver here produces one
+:class:`ChurnEvents` batch per interval:
+
+- :class:`PoissonChurn` — the paper's stationary regime: joins and
+  leaves are independent Poisson counts with mean ``alpha * N``
+  (defaults to the ISSUE's α = 20 %), leavers drawn uniformly from the
+  current membership;
+- :class:`FlashCrowdChurn` — background Poisson churn plus periodic
+  join bursts (a popular broadcast starting) and an optional mass
+  departure (it ending);
+- :class:`TraceChurn` — replays a recorded trace file, one line per
+  event (``<interval> join|leave <user>``), for reproducible workloads
+  and cross-run comparisons;
+- :class:`NoChurn` — quiet intervals (scheduler/recovery testing).
+
+Drivers are deliberately *not* crash-durable: they model the outside
+world, which does not rewind when the server restarts.  The WAL is what
+preserves the requests the daemon already accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass
+class ChurnEvents:
+    """One interval's membership requests, in acceptance order."""
+
+    joins: list = field(default_factory=list)
+    leaves: list = field(default_factory=list)
+
+    @property
+    def n_events(self):
+        return len(self.joins) + len(self.leaves)
+
+
+class ChurnDriver:
+    """Base driver: produce the events to submit during one interval."""
+
+    def events(self, interval, members, rng):
+        """Return :class:`ChurnEvents` for ``interval``.
+
+        ``members`` is the current membership (a set of names) and
+        ``rng`` a ``numpy.random.Generator`` owned by the daemon.
+        """
+        raise NotImplementedError
+
+    def _fresh_names(self, count, interval):
+        names = [
+            "%s%d-%d" % (self._join_prefix, interval, index)
+            for index in range(count)
+        ]
+        return names
+
+    _join_prefix = "join-"
+
+
+class NoChurn(ChurnDriver):
+    """No membership changes: every interval's rekey message is empty."""
+
+    def events(self, interval, members, rng):
+        return ChurnEvents()
+
+
+class PoissonChurn(ChurnDriver):
+    """Stationary Poisson join/leave at rate ``alpha`` per interval.
+
+    ``J ~ Poisson(alpha_join * N)`` and ``L ~ Poisson(alpha_leave * N)``
+    with N the current group size; leavers are sampled uniformly without
+    replacement and capped at ``N - min_members`` so the group never
+    drains below a floor (a key server with zero members has no group
+    key to protect).
+    """
+
+    def __init__(self, alpha=0.20, alpha_join=None, min_members=2):
+        check_non_negative("alpha", alpha)
+        check_positive("min_members", min_members, integral=True)
+        self.alpha_leave = float(alpha)
+        self.alpha_join = float(
+            alpha if alpha_join is None else alpha_join
+        )
+        self.min_members = int(min_members)
+
+    def events(self, interval, members, rng):
+        n_users = len(members)
+        n_joins = int(rng.poisson(self.alpha_join * n_users))
+        n_leaves = int(rng.poisson(self.alpha_leave * n_users))
+        n_leaves = min(n_leaves, max(0, n_users - self.min_members))
+        leavers = []
+        if n_leaves:
+            pool = sorted(members)
+            picks = rng.choice(len(pool), size=n_leaves, replace=False)
+            leavers = [pool[int(i)] for i in picks]
+        return ChurnEvents(
+            joins=self._fresh_names(n_joins, interval), leaves=leavers
+        )
+
+
+class FlashCrowdChurn(PoissonChurn):
+    """Poisson background churn with periodic flash-crowd join bursts.
+
+    Every ``burst_every`` intervals, ``burst_size`` extra users join at
+    once; if ``depart_after`` is set, the same cohort leaves that many
+    intervals later (the broadcast ended and the crowd drains).
+    """
+
+    _join_prefix = "flash-"
+
+    def __init__(
+        self,
+        alpha=0.05,
+        burst_every=5,
+        burst_size=64,
+        depart_after=None,
+        min_members=2,
+    ):
+        super().__init__(alpha=alpha, min_members=min_members)
+        check_positive("burst_every", burst_every, integral=True)
+        check_non_negative("burst_size", burst_size, integral=True)
+        self.burst_every = int(burst_every)
+        self.burst_size = int(burst_size)
+        self.depart_after = depart_after
+        self._cohorts = {}  # departure interval -> names
+
+    def events(self, interval, members, rng):
+        events = super().events(interval, members, rng)
+        if self.burst_every and (interval + 1) % self.burst_every == 0:
+            crowd = [
+                "crowd-%d-%d" % (interval, index)
+                for index in range(self.burst_size)
+            ]
+            events.joins.extend(crowd)
+            if self.depart_after is not None:
+                self._cohorts.setdefault(
+                    interval + int(self.depart_after), []
+                ).extend(crowd)
+        for name in self._cohorts.pop(interval, []):
+            if name in members and name not in events.leaves:
+                events.leaves.append(name)
+        return events
+
+
+class TraceChurn(ChurnDriver):
+    """Replay a membership trace file.
+
+    Format: one event per line, ``<interval> <join|leave> <user>``;
+    blank lines and ``#`` comments are ignored.  Events past the last
+    traced interval yield empty batches (the trace simply ends).
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._by_interval = {}
+        with open(path) as handle:
+            for line_no, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) != 3 or parts[1] not in ("join", "leave"):
+                    raise ServiceError(
+                        "bad trace line %d in %s: %r"
+                        % (line_no, path, line)
+                    )
+                interval, op, user = int(parts[0]), parts[1], parts[2]
+                events = self._by_interval.setdefault(
+                    interval, ChurnEvents()
+                )
+                (events.joins if op == "join" else events.leaves).append(
+                    user
+                )
+
+    @property
+    def n_intervals(self):
+        """Number of intervals the trace covers (last index + 1)."""
+        if not self._by_interval:
+            return 0
+        return max(self._by_interval) + 1
+
+    def events(self, interval, members, rng):
+        recorded = self._by_interval.get(interval)
+        if recorded is None:
+            return ChurnEvents()
+        # Copies: the daemon may mutate the lists it receives.
+        return ChurnEvents(
+            joins=list(recorded.joins), leaves=list(recorded.leaves)
+        )
+
+
+def save_trace(path, events_by_interval):
+    """Write a :class:`TraceChurn`-readable trace file.
+
+    ``events_by_interval`` maps interval index to :class:`ChurnEvents`
+    (or any object with ``joins``/``leaves``).
+    """
+    with open(path, "w") as handle:
+        handle.write("# interval op user\n")
+        for interval in sorted(events_by_interval):
+            events = events_by_interval[interval]
+            for user in events.joins:
+                handle.write("%d join %s\n" % (interval, user))
+            for user in events.leaves:
+                handle.write("%d leave %s\n" % (interval, user))
+
+
+def make_driver(kind, alpha=0.20, trace_path=None, **kwargs):
+    """CLI-facing factory: ``poisson`` / ``flash`` / ``trace`` / ``none``."""
+    if kind == "poisson":
+        return PoissonChurn(alpha=alpha, **kwargs)
+    if kind == "flash":
+        return FlashCrowdChurn(**kwargs)
+    if kind == "trace":
+        if not trace_path:
+            raise ServiceError("trace churn needs a --trace-file path")
+        return TraceChurn(trace_path)
+    if kind == "none":
+        return NoChurn()
+    raise ServiceError("unknown churn driver %r" % (kind,))

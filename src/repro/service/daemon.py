@@ -1,0 +1,510 @@
+"""The long-running rekey daemon: scheduler, WAL, recovery, degradation.
+
+:class:`RekeyDaemon` runs a :class:`~repro.core.server.GroupKeyServer`
+*as a server*: membership requests arrive concurrently (from a churn
+driver and/or :meth:`submit_join`/:meth:`submit_leave` callers on other
+threads), the paper's periodic rekey fires at each interval end, and the
+interval's message travels over a pluggable delivery backend
+(:mod:`repro.service.transports`).
+
+**Durability.**  With a ``state_dir`` configured, every acknowledged
+request is fsynced to the write-ahead log (:mod:`repro.service.wal`)
+and every committed interval atomically replaces the server snapshot
+(:func:`repro.keytree.persistence.save_server`).  The discipline:
+
+1. apply the request in memory, *then* append to the WAL, *then*
+   acknowledge — nothing is acknowledged before it is durable;
+2. at interval end: rekey → deliver → snapshot (atomic replace) →
+   ``commit`` marker.  Replay filters on the snapshot's interval
+   number, so a crash between snapshot and marker changes nothing.
+
+:meth:`recover` inverts that: load the snapshot, replay the WAL suffix
+(re-queueing every request the snapshot has not consumed), and — since
+key derivation is deterministic in ``(seed, node id, version)`` — the
+re-run rekey regenerates byte-identical key material, making redelivery
+after a crash idempotent for members who already absorbed part of the
+lost interval.  Forward/backward secrecy survives because evictions are
+either in the snapshot (already rekeyed) or in the WAL (re-queued and
+rekeyed on the next interval).
+
+**Crash injection.**  A :class:`CrashPlan` raises :class:`DaemonCrash`
+(a stand-in for ``SIGKILL`` — no cleanup runs, fsynced state is all
+that survives) at a chosen interval and :data:`CRASH_POINTS` site; the
+recovery property tests drive this at every point.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.server import GroupKeyServer
+from repro.errors import ReproError, ServiceError
+from repro.service.churn import ChurnEvents, NoChurn
+from repro.service.health import IntervalMetrics, ServiceMetrics
+from repro.service.members import MemberFleet
+from repro.service.transports import DirectDelivery
+from repro.util.rng import RandomSource
+
+#: where an injected crash can fire inside one interval, in order
+CRASH_POINTS = (
+    "mid-requests",   # half the interval's churn accepted (and logged)
+    "pre-rekey",      # all requests logged; marking not yet run
+    "post-rekey",     # new keys exist in memory; nothing delivered
+    "post-delivery",  # members updated; snapshot not yet written
+    "post-snapshot",  # snapshot durable; commit marker not yet appended
+)
+
+
+class DaemonCrash(ServiceError):
+    """The injected SIGKILL stand-in: abandon the process state."""
+
+
+@dataclass
+class CrashPlan:
+    """Fire :class:`DaemonCrash` at (``interval``, ``point``)."""
+
+    interval: int
+    point: str
+
+    def __post_init__(self):
+        if self.point not in CRASH_POINTS:
+            raise ServiceError(
+                "unknown crash point %r (valid: %s)"
+                % (self.point, ", ".join(CRASH_POINTS))
+            )
+
+    def should_fire(self, interval, point):
+        return interval == self.interval and point == self.point
+
+
+@dataclass
+class DaemonConfig:
+    """Service-level knobs (the protocol knobs live in GroupConfig)."""
+
+    state_dir: object = None  # str | Path | None (None = not durable)
+    interval_seconds: float = 0.0  # 0 → intervals run back to back
+    deadline_rounds: int = 2
+    deadline_policy: str = "unicast"  # or "carry"
+    wal_compact_every: int = 32  # intervals between WAL compactions
+    verify_invariants: bool = True
+    crash_plan: object = None  # CrashPlan | None
+
+    def __post_init__(self):
+        if self.deadline_policy not in ("unicast", "carry"):
+            raise ServiceError(
+                "deadline_policy must be 'unicast' or 'carry', got %r"
+                % (self.deadline_policy,)
+            )
+
+
+class RekeyDaemon:
+    """One key server, run as a service across many rekey intervals."""
+
+    def __init__(
+        self,
+        server,
+        backend=None,
+        fleet=None,
+        churn=None,
+        service=None,
+        seed=None,
+    ):
+        self.server = server
+        self.backend = backend or DirectDelivery()
+        self.fleet = (
+            fleet if fleet is not None else MemberFleet.register_all(server)
+        )
+        self.churn = churn or NoChurn()
+        self.service = service or DaemonConfig()
+        self.metrics = ServiceMetrics()
+        self._rng = RandomSource(
+            server.config.seed if seed is None else seed
+        ).generator()
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._thread = None
+        #: (message, [names]) batches deferred by the carry policy
+        self._carry = []
+        #: recovery sets this: the next interval replays the WAL's
+        #: requests *only* (no fresh churn), so its rekey reproduces the
+        #: crashed interval byte for byte — see :meth:`recover`
+        self._replay_interval = False
+        self.crashed = None  # DaemonCrash captured by the background loop
+        self.wal = None
+        self.snapshot_path = None
+        if self.service.state_dir is not None:
+            import os
+
+            from repro.service.wal import WriteAheadLog
+
+            state_dir = os.fspath(self.service.state_dir)
+            os.makedirs(state_dir, exist_ok=True)
+            self.wal = WriteAheadLog(os.path.join(state_dir, "wal.jsonl"))
+            self.snapshot_path = os.path.join(state_dir, "server.json")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def start_new(
+        cls,
+        initial_users,
+        config=None,
+        backend=None,
+        churn=None,
+        service=None,
+        seed=None,
+    ):
+        """Boot a fresh group and (if durable) write the initial snapshot."""
+        server = GroupKeyServer(initial_users, config=config)
+        daemon = cls(
+            server,
+            backend=backend,
+            churn=churn,
+            service=service,
+            seed=seed,
+        )
+        if daemon.snapshot_path is not None:
+            daemon._save_snapshot()
+        return daemon
+
+    @classmethod
+    def recover(
+        cls,
+        state_dir,
+        config=None,
+        backend=None,
+        fleet=None,
+        churn=None,
+        service=None,
+        seed=None,
+        resync_members=True,
+    ):
+        """Restart from ``state_dir``: snapshot load + WAL replay.
+
+        ``fleet`` is the surviving member population (in-process tests
+        pass the pre-crash fleet — members are remote in reality and do
+        not die with the server); omit it to re-register every current
+        user (the fresh-process path).  With ``resync_members`` set,
+        members whose group key does not match the restored server's
+        are re-registered over the stand-in SSL channel — the paper's
+        story for a member that missed rekey messages; recovery is
+        correct without it for any crash point, because the replay
+        interval regenerates identical keys, but carried-over users
+        whose serve was lost with the crash need the resync.
+
+        When requests were replayed, the next interval is a *replay
+        interval*: it processes exactly those requests (churn holds off
+        one interval) so the re-run rekey matches what a pre-crash
+        delivery may already have handed out.  With ``resync_members``
+        off, callers must likewise not submit new requests before that
+        interval has run.
+        """
+        import os
+
+        from repro.keytree.persistence import load_server
+
+        service = service or DaemonConfig()
+        service.state_dir = state_dir
+        snapshot_path = os.path.join(os.fspath(state_dir), "server.json")
+        try:
+            server = load_server(snapshot_path, config=config)
+        except FileNotFoundError:
+            raise ServiceError(
+                "no snapshot at %s; nothing to recover" % snapshot_path
+            )
+        daemon = cls(
+            server,
+            backend=backend,
+            fleet=fleet,
+            churn=churn,
+            service=service,
+            seed=seed,
+        )
+        daemon.metrics.bump("recoveries")
+        replayed = rejected = 0
+        for record in daemon.wal.pending_requests(server.intervals_processed):
+            try:
+                if record["op"] == "join":
+                    server.request_join(record["user"])
+                else:
+                    server.request_leave(record["user"])
+                replayed += 1
+            except ReproError:
+                # e.g. a leave whose join it cancels was itself replayed
+                # into a cancellation — the pair nets out; or a duplicate
+                # from an overlapping trace.  Never fatal on replay.
+                rejected += 1
+        daemon.metrics.bump("requests_replayed", replayed)
+        daemon.metrics.bump("requests_rejected", rejected)
+        # The crashed interval may already have *delivered* before dying
+        # (post-delivery crash): members then hold the keys of a rekey
+        # the snapshot never saw.  Key derivation is deterministic in
+        # (seed, node id, version) but NOT in the request set — mixing
+        # fresh churn into the re-run would mint the *same* key bytes
+        # for a different eviction set, handing the current group key to
+        # users the crashed delivery already served.  So the next
+        # interval replays the logged requests only; churn resumes after.
+        daemon._replay_interval = any(server.pending_requests)
+        if resync_members:
+            # A joiner registered just before the crash is in the fleet
+            # but not yet in the recovered tree (its join was replayed
+            # and is pending again) — it re-registers when that join is
+            # processed, so drop its stale state now.
+            for name in sorted(set(daemon.fleet.members) - server.users):
+                daemon.fleet.members.pop(name)
+            for name in sorted(server.users - set(daemon.fleet.members)):
+                daemon.fleet.register(server, name)
+                daemon.metrics.bump("members_resynced")
+            for name in daemon.fleet.out_of_sync(server):
+                daemon.fleet.register(server, name)
+                daemon.metrics.bump("members_resynced")
+        return daemon
+
+    # -- request intake ----------------------------------------------------
+
+    def submit_join(self, name):
+        """Accept (apply + durably log) a join for the next rekey."""
+        self._submit("join", name)
+
+    def submit_leave(self, name):
+        """Accept (apply + durably log) a leave for the next rekey."""
+        self._submit("leave", name)
+
+    def _submit(self, op, name):
+        with self._lock:
+            interval = self.server.intervals_processed
+            if op == "join":
+                self.server.request_join(name)
+            else:
+                self.server.request_leave(name)
+            if self.wal is not None:
+                self.wal.append_request(op, name, interval)
+            self.metrics.bump(
+                "joins_accepted" if op == "join" else "leaves_accepted"
+            )
+
+    def _accept_churn(self, events):
+        """Apply a churn driver's batch, tolerating invalid requests."""
+        rejected = 0
+        for op, name in [("join", u) for u in events.joins] + [
+            ("leave", u) for u in events.leaves
+        ]:
+            try:
+                self._submit(op, name)
+            except ReproError:
+                rejected += 1
+                self.metrics.bump("requests_rejected")
+        return rejected
+
+    # -- crash injection ---------------------------------------------------
+
+    def _maybe_crash(self, interval, point):
+        plan = self.service.crash_plan
+        if plan is not None and plan.should_fire(interval, point):
+            raise DaemonCrash(
+                "injected crash at interval %d, point %r" % (interval, point)
+            )
+
+    # -- the interval ------------------------------------------------------
+
+    def run_interval(self):
+        """Run one complete rekey interval; returns its metrics record."""
+        with self._lock:
+            t_start = time.perf_counter()
+            interval = self.server.intervals_processed
+            carry_served = self._serve_carry()
+            if self._replay_interval:
+                events = ChurnEvents()
+                self._replay_interval = False
+            else:
+                events = self.churn.events(
+                    interval, self.server.users, self._rng
+                )
+            rejected = self._split_accept(events, interval)
+            self._maybe_crash(interval, "pre-rekey")
+
+            joins, leaves = self.server.pending_requests
+            t_mark = time.perf_counter()
+            batch, message = self.server.rekey()
+            marking_ms = (time.perf_counter() - t_mark) * 1e3
+            self._maybe_crash(interval, "post-rekey")
+
+            for name in leaves:
+                self.fleet.evict(name)
+            for name in joins:
+                self.fleet.register(self.server, name)
+
+            report = None
+            if not message.is_empty:
+                report = self.backend.deliver(
+                    message,
+                    self.fleet,
+                    deadline_rounds=self.service.deadline_rounds,
+                    policy=self.service.deadline_policy,
+                )
+                if report.carried:
+                    self._carry.append((message, list(report.carried)))
+            self._maybe_crash(interval, "post-delivery")
+
+            if self.service.verify_invariants:
+                self.fleet.check_agreement(
+                    self.server, exclude=self.pending_carry_names()
+                )
+            if self.snapshot_path is not None:
+                self._save_snapshot()
+                self._maybe_crash(interval, "post-snapshot")
+                self.wal.append_commit(interval)
+                every = self.service.wal_compact_every
+                if every and (interval + 1) % every == 0:
+                    self.wal.compact(self.server.intervals_processed)
+
+            record = IntervalMetrics.from_parts(
+                interval=interval,
+                n_members=self.server.n_users,
+                n_joins=len(joins),
+                n_leaves=len(leaves),
+                rejected_requests=rejected,
+                message=None if message.is_empty else message,
+                batch=batch,
+                marking_ms=marking_ms,
+                duration_ms=(time.perf_counter() - t_start) * 1e3,
+                report=report,
+                carry_served=carry_served,
+                group_key_fp=self.server.group_key.fingerprint(),
+                wal_seq=self.wal.next_seq - 1 if self.wal else -1,
+            )
+            self.metrics.record(record)
+            return record
+
+    def _split_accept(self, events, interval):
+        """Accept the driver's events with the mid-requests crash point
+        firing after the first half has been logged."""
+        half_joins = len(events.joins) // 2
+        half_leaves = len(events.leaves) // 2
+        first = type(events)(
+            joins=events.joins[:half_joins],
+            leaves=events.leaves[:half_leaves],
+        )
+        second = type(events)(
+            joins=events.joins[half_joins:],
+            leaves=events.leaves[half_leaves:],
+        )
+        rejected = self._accept_churn(first)
+        self._maybe_crash(interval, "mid-requests")
+        rejected += self._accept_churn(second)
+        return rejected
+
+    def _serve_carry(self):
+        """Serve last interval's carried users by unicast from the
+        stored message, before this interval's work begins."""
+        served = 0
+        for message, names in self._carry:
+            for name in names:
+                member = self.fleet.members.get(name)
+                if member is None:  # evicted while stale; stays out
+                    continue
+                wanted = message.needs_by_user.get(member.user_id, ())
+                member.absorb_encryptions(
+                    [message.encryption_map[e] for e in wanted],
+                    max_kid=message.max_kid,
+                )
+                served += 1
+        self._carry = []
+        return served
+
+    def pending_carry_names(self):
+        """Names whose key updates are still deferred."""
+        names = set()
+        for _, batch_names in self._carry:
+            names.update(batch_names)
+        return names
+
+    def _save_snapshot(self):
+        from repro.keytree.persistence import save_server
+
+        save_server(self.server, self.snapshot_path)
+
+    # -- scheduling --------------------------------------------------------
+
+    def run(self, n_intervals, on_interval=None):
+        """Run ``n_intervals`` back to back (paced if configured)."""
+        records = []
+        for _ in range(int(n_intervals)):
+            t0 = time.monotonic()
+            record = self.run_interval()
+            records.append(record)
+            if on_interval is not None:
+                on_interval(record)
+            pace = self.service.interval_seconds
+            if pace > 0:
+                remaining = pace - (time.monotonic() - t0)
+                if remaining > 0:
+                    time.sleep(remaining)
+        return records
+
+    def start(self, n_intervals=None, on_interval=None):
+        """Run intervals on a background thread (stop with :meth:`stop`).
+
+        Requests submitted from other threads interleave safely with
+        interval processing.  A :class:`DaemonCrash` fired by the crash
+        plan is captured in :attr:`crashed` and terminates the loop —
+        exactly like the process dying.
+        """
+        if self._thread is not None and self._thread.is_alive():
+            raise ServiceError("daemon already running")
+        self._stop.clear()
+
+        def _loop():
+            done = 0
+            while not self._stop.is_set():
+                if n_intervals is not None and done >= n_intervals:
+                    break
+                t0 = time.monotonic()
+                try:
+                    record = self.run_interval()
+                except DaemonCrash as crash:
+                    self.crashed = crash
+                    return
+                done += 1
+                if on_interval is not None:
+                    on_interval(record)
+                pace = self.service.interval_seconds
+                if pace > 0:
+                    self._stop.wait(
+                        max(0.0, pace - (time.monotonic() - t0))
+                    )
+
+        self._thread = threading.Thread(target=_loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout=30.0):
+        """Signal the background loop to finish and wait for it."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    # -- introspection -----------------------------------------------------
+
+    def health(self):
+        return self.metrics.health(n_members=self.server.n_users)
+
+    def close(self):
+        if self.wal is not None:
+            self.wal.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def __repr__(self):
+        return "RekeyDaemon(members=%d, intervals=%d, durable=%s)" % (
+            self.server.n_users,
+            self.server.intervals_processed,
+            self.wal is not None,
+        )

@@ -1,0 +1,105 @@
+"""In-process stand-ins for the daemon's remote member population.
+
+A real deployment has members on remote hosts; their key state lives
+with *them* and survives any key-server crash.  :class:`MemberFleet`
+models exactly that: it owns the :class:`~repro.core.member.GroupMember`
+objects, persists across daemon restarts in tests and soaks, and is the
+oracle for the system's two security invariants —
+
+- **agreement**: after a delivered rekey, every current member's group
+  key equals the server's;
+- **lockout**: every evicted member's group key differs from the
+  server's (forward secrecy), forever after its eviction interval.
+"""
+
+from __future__ import annotations
+
+from repro.core.member import GroupMember
+from repro.errors import ServiceError
+
+
+class MemberFleet:
+    """The population of live (and former) member key states."""
+
+    def __init__(self):
+        self.members = {}  # name -> GroupMember
+        self.former_members = {}  # name -> GroupMember at eviction time
+
+    @classmethod
+    def register_all(cls, server):
+        """A fleet freshly registered for every current user of ``server``
+        (the CLI-resume path: a new process has no surviving members, so
+        they re-register over the SSL channel)."""
+        fleet = cls()
+        for name in sorted(server.users):
+            fleet.register(server, name)
+        return fleet
+
+    @property
+    def n_members(self):
+        return len(self.members)
+
+    def register(self, server, name):
+        """(Re-)register ``name``: fetch fresh path keys from the server.
+
+        Idempotent — re-registration after a crash replay simply
+        replaces the member's key state with the server's current view,
+        which is what the SSL registration channel would do.
+        """
+        self.members[name] = GroupMember.register(server, name)
+        self.former_members.pop(name, None)
+        return self.members[name]
+
+    def evict(self, name):
+        """Move ``name`` to the former-member ledger (idempotent)."""
+        member = self.members.pop(name, None)
+        if member is not None:
+            self.former_members[name] = member
+
+    def by_user_id(self):
+        """Map current u-node IDs to members (after relocation)."""
+        return {member.user_id: member for member in self.members.values()}
+
+    def relocate_all(self, max_kid):
+        """Have every member re-derive its ID for a new ``maxKID``
+        (Theorem 4.2) — what each would do on seeing any packet of the
+        message."""
+        for member in self.members.values():
+            member.absorb_encryptions([], max_kid=max_kid)
+
+    # -- invariant checks --------------------------------------------------
+
+    def out_of_sync(self, server):
+        """Names of current members whose group key != the server's."""
+        expected = server.group_key
+        return sorted(
+            name
+            for name, member in self.members.items()
+            if member.group_key != expected
+        )
+
+    def check_agreement(self, server, exclude=()):
+        """Raise :class:`ServiceError` unless all (non-excluded) members
+        hold the server's group key and all former members do not."""
+        excluded = set(exclude)
+        stale = [n for n in self.out_of_sync(server) if n not in excluded]
+        if stale:
+            raise ServiceError(
+                "members lack the current group key: %r" % (stale,)
+            )
+        expected = server.group_key
+        leaked = sorted(
+            name
+            for name, member in self.former_members.items()
+            if member.group_key == expected
+        )
+        if leaked:
+            raise ServiceError(
+                "evicted members hold the current group key: %r" % (leaked,)
+            )
+
+    def __repr__(self):
+        return "MemberFleet(members=%d, former=%d)" % (
+            len(self.members),
+            len(self.former_members),
+        )

@@ -1,0 +1,178 @@
+"""The daemon's write-ahead log of accepted membership requests.
+
+Durability contract: a join/leave the daemon *acknowledged* must survive
+a crash at any instant.  The snapshot
+(:func:`repro.keytree.persistence.save_server`) only captures state as
+of the last committed interval, so every accepted request is appended
+here — JSON line, flushed and fsynced — *before* it is applied to the
+in-memory server.  Recovery then replays the suffix of the log that the
+snapshot has not folded in yet.
+
+Record format (one JSON object per line)::
+
+    {"seq": 17, "op": "join",   "user": "u-9",  "interval": 4}
+    {"seq": 18, "op": "leave",  "user": "u-2",  "interval": 4}
+    {"seq": 19, "op": "commit", "interval": 4}
+
+``interval`` is the server's ``intervals_processed`` at acceptance time,
+i.e. the interval whose end-of-interval rekey will consume the request.
+``commit`` marks that interval's rekey as durably snapshotted (it is
+observability/compaction metadata — replay filters on the *snapshot's*
+interval number, so a crash between snapshot write and commit append is
+harmless).
+
+A torn tail — a final line cut short by the crash — is expected and
+dropped; torn or out-of-sequence records anywhere *else* mean real
+corruption and raise :class:`~repro.errors.WalError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import WalError
+
+REQUEST_OPS = ("join", "leave")
+_ALL_OPS = REQUEST_OPS + ("commit",)
+
+
+class WriteAheadLog:
+    """Append-only, fsynced JSONL log with torn-tail-tolerant replay."""
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._handle = None
+        self._next_seq = self._scan_next_seq()
+
+    def _scan_next_seq(self):
+        records = read_records(self.path)
+        return records[-1]["seq"] + 1 if records else 0
+
+    def _ensure_handle(self):
+        if self._handle is None or self._handle.closed:
+            self._handle = open(self.path, "a")
+        return self._handle
+
+    @property
+    def next_seq(self):
+        return self._next_seq
+
+    def append(self, op, interval, user=None):
+        """Durably append one record; returns its sequence number.
+
+        The call only returns once the bytes are fsynced — the caller
+        may then acknowledge the request to the client.
+        """
+        if op not in _ALL_OPS:
+            raise WalError("unknown WAL op %r" % (op,))
+        record = {"seq": self._next_seq, "op": op, "interval": int(interval)}
+        if user is not None:
+            record["user"] = user
+        handle = self._ensure_handle()
+        handle.write(json.dumps(record) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+        self._next_seq += 1
+        return record["seq"]
+
+    def append_request(self, op, user, interval):
+        """Log an accepted membership request (``join`` or ``leave``)."""
+        if op not in REQUEST_OPS:
+            raise WalError("not a membership op: %r" % (op,))
+        return self.append(op, interval, user=user)
+
+    def append_commit(self, interval):
+        """Mark ``interval``'s rekey as durably snapshotted."""
+        return self.append("commit", interval)
+
+    def records(self):
+        """All intact records, oldest first (torn tail dropped)."""
+        return read_records(self.path)
+
+    def pending_requests(self, since_interval):
+        """Replayable requests: those the snapshot has not consumed.
+
+        Returns the ``join``/``leave`` records whose ``interval`` is at
+        least ``since_interval`` (the restored server's
+        ``intervals_processed``), in acceptance order.
+        """
+        return [
+            record
+            for record in self.records()
+            if record["op"] in REQUEST_OPS
+            and record["interval"] >= since_interval
+        ]
+
+    def compact(self, before_interval):
+        """Atomically drop records older than ``before_interval``.
+
+        Safe at any time: only records a snapshot at ``before_interval``
+        has already folded in are removed, so replay semantics are
+        unchanged.  Returns the number of records dropped.
+        """
+        records = self.records()
+        keep = [r for r in records if r["interval"] >= before_interval]
+        if len(keep) == len(records):
+            return 0
+        self.close()
+        temp_path = self.path + ".compact"
+        with open(temp_path, "w") as handle:
+            for record in keep:
+                handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self.path)
+        return len(records) - len(keep)
+
+    def close(self):
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def __repr__(self):
+        return "WriteAheadLog(%r, next_seq=%d)" % (self.path, self._next_seq)
+
+
+def read_records(path):
+    """Parse a WAL file into records, tolerating only a torn last line.
+
+    Raises :class:`WalError` for corruption anywhere but the tail:
+    unparseable non-final lines, unknown ops, or a non-contiguous
+    ``seq`` run (evidence of interleaved writers or lost middles).
+    """
+    try:
+        with open(path) as handle:
+            lines = handle.read().split("\n")
+    except FileNotFoundError:
+        return []
+    if lines and lines[-1] == "":
+        lines.pop()
+    records = []
+    for index, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+            if record["op"] not in _ALL_OPS:
+                raise ValueError("unknown op %r" % (record["op"],))
+            seq = int(record["seq"])
+            int(record["interval"])
+        except (ValueError, KeyError, TypeError) as exc:
+            if index == len(lines) - 1:
+                break  # torn tail: the crash interrupted this append
+            raise WalError(
+                "corrupt WAL record at line %d of %s: %s"
+                % (index + 1, path, exc)
+            )
+        if records and seq != records[-1]["seq"] + 1:
+            raise WalError(
+                "WAL sequence gap at line %d of %s (seq %d after %d)"
+                % (index + 1, path, seq, records[-1]["seq"])
+            )
+        records.append(record)
+    return records

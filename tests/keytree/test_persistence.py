@@ -4,10 +4,13 @@ import numpy as np
 import pytest
 
 from repro.crypto import KeyFactory
-from repro.errors import KeyTreeError
+from repro.errors import DuplicateUserError, KeyTreeError
 from repro.keytree import KeyTree, MarkingAlgorithm
+from repro.keytree.nodes import NodeKind
 from repro.keytree.persistence import (
+    load_server,
     load_tree,
+    save_server,
     save_tree,
     tree_from_dict,
     tree_to_dict,
@@ -117,3 +120,143 @@ class TestContinuity:
         )
         assert trees_equal(tree, restored)
         restored.validate()
+
+class TestAtomicWrites:
+    def test_save_leaves_no_temp_litter(self, tmp_path):
+        tree = make_tree()
+        path = tmp_path / "snapshot.json"
+        save_tree(tree, path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "snapshot.json"
+        ]
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        """Re-saving replaces the file content atomically (the restore
+        of either version must parse — no torn mixture)."""
+        path = tmp_path / "snapshot.json"
+        tree = make_tree()
+        save_tree(tree, path)
+        MarkingAlgorithm().apply(tree, leaves=["u20"])
+        save_tree(tree, path)
+        restored = load_tree(path, key_factory=KeyFactory(seed=5))
+        assert trees_equal(tree, restored)
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "snapshot.json"
+        ]
+
+    def test_failed_write_cleans_temp_and_keeps_old(self, tmp_path):
+        path = tmp_path / "snapshot.json"
+        save_tree(make_tree(), path)
+        before = path.read_bytes()
+        with pytest.raises(TypeError):
+            from repro.keytree.persistence import _atomic_write_json
+
+            _atomic_write_json(path, {"bad": object()})
+        assert path.read_bytes() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "snapshot.json"
+        ]
+
+
+class TestServerSnapshots:
+    @staticmethod
+    def make_server():
+        from repro.core import GroupConfig
+        from repro.core.server import GroupKeyServer
+
+        server = GroupKeyServer(
+            ["u%d" % i for i in range(16)],
+            config=GroupConfig(block_size=5, crypto_seed=3),
+        )
+        for victim, joiner in (("u3", "j1"), ("u5", "j2"), ("u7", "j3")):
+            server.request_leave(victim)
+            server.request_join(joiner)
+            server.rekey()
+        return server
+
+    def test_round_trip_preserves_counters(self, tmp_path):
+        server = self.make_server()
+        path = tmp_path / "server.json"
+        save_server(server, path)
+        restored = load_server(path)
+        assert restored.intervals_processed == server.intervals_processed
+        assert restored.group_key == server.group_key
+        assert restored.users == server.users
+        # Message IDs continue the 6-bit sequence instead of resetting.
+        restored.request_leave("u9")
+        _, message = restored.rekey()
+        server.request_leave("u9")
+        _, expected = server.rekey()
+        assert message.message_id == expected.message_id
+
+    def test_restored_server_rekeys_identically(self, tmp_path):
+        """Determinism across the snapshot boundary: the same requests
+        produce the same key material (what makes post-crash redelivery
+        idempotent)."""
+        server = self.make_server()
+        path = tmp_path / "server.json"
+        save_server(server, path)
+        restored = load_server(path)
+        for s in (server, restored):
+            s.request_leave("u11")
+            s.request_join("j9")
+            s.rekey()
+        assert restored.group_key == server.group_key
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        tree_path = tmp_path / "tree.json"
+        save_tree(make_tree(), tree_path)
+        with pytest.raises(KeyTreeError):
+            load_server(tree_path)
+
+
+class TestFromRecords:
+    def test_public_restore_path(self):
+        tree = make_tree()
+        data = tree_to_dict(tree)
+        restored = tree_from_dict(data, key_factory=KeyFactory(seed=5))
+        assert trees_equal(tree, restored)
+
+    def test_duplicate_node_rejected(self):
+        record = {"id": 0, "kind": NodeKind.K_NODE, "version": 0, "key": None}
+        with pytest.raises(KeyTreeError):
+            KeyTree.from_records(3, [record, dict(record)])
+
+    def test_explicit_n_node_rejected(self):
+        with pytest.raises(KeyTreeError):
+            KeyTree.from_records(
+                3,
+                [{"id": 0, "kind": NodeKind.N_NODE, "version": 0}],
+            )
+
+    def test_userless_u_node_rejected(self):
+        with pytest.raises(KeyTreeError):
+            KeyTree.from_records(
+                3,
+                [
+                    {"id": 0, "kind": NodeKind.K_NODE, "version": 0},
+                    {"id": 1, "kind": NodeKind.U_NODE, "version": 0},
+                ],
+            )
+
+    def test_duplicate_user_rejected(self):
+        records = [
+            {"id": 0, "kind": NodeKind.K_NODE, "version": 0},
+            {"id": 1, "kind": NodeKind.U_NODE, "user": "a", "version": 0},
+            {"id": 2, "kind": NodeKind.U_NODE, "user": "a", "version": 0},
+        ]
+        with pytest.raises(DuplicateUserError):
+            KeyTree.from_records(3, records)
+
+    def test_versions_override_wins(self):
+        records = [
+            {"id": 0, "kind": NodeKind.K_NODE, "version": 1},
+            {"id": 1, "kind": NodeKind.U_NODE, "user": "a", "version": 0},
+            {"id": 2, "kind": NodeKind.U_NODE, "user": "b", "version": 0},
+            {"id": 3, "kind": NodeKind.U_NODE, "user": "c", "version": 0},
+        ]
+        tree = KeyTree.from_records(3, records, versions={0: 7})
+        # The override feeds the renewal counter: the next root renewal
+        # continues from 7, not from the record's own version.
+        MarkingAlgorithm().apply(tree, leaves=["a"])
+        assert tree.version_of(0) == 8

@@ -1,0 +1,128 @@
+"""Tests for repro.service.churn — the workload drivers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.churn import (
+    ChurnEvents,
+    FlashCrowdChurn,
+    NoChurn,
+    PoissonChurn,
+    TraceChurn,
+    make_driver,
+    save_trace,
+)
+
+
+MEMBERS = {"m%d" % i for i in range(100)}
+
+
+class TestPoisson:
+    def test_rates_match_alpha(self):
+        rng = np.random.default_rng(3)
+        driver = PoissonChurn(alpha=0.20)
+        joins = leaves = 0
+        n_intervals = 300
+        for interval in range(n_intervals):
+            events = driver.events(interval, MEMBERS, rng)
+            joins += len(events.joins)
+            leaves += len(events.leaves)
+        expected = 0.20 * len(MEMBERS) * n_intervals
+        assert 0.85 * expected < joins < 1.15 * expected
+        assert 0.85 * expected < leaves < 1.15 * expected
+
+    def test_leavers_are_current_members_no_repeats(self):
+        rng = np.random.default_rng(4)
+        events = PoissonChurn(alpha=0.5).events(0, MEMBERS, rng)
+        assert set(events.leaves) <= MEMBERS
+        assert len(set(events.leaves)) == len(events.leaves)
+
+    def test_min_members_floor(self):
+        rng = np.random.default_rng(5)
+        driver = PoissonChurn(alpha=10.0, min_members=2)
+        events = driver.events(0, {"a", "b", "c"}, rng)
+        assert len(events.leaves) <= 1
+
+    def test_join_names_unique_across_intervals(self):
+        rng = np.random.default_rng(6)
+        driver = PoissonChurn(alpha=0.3)
+        seen = set()
+        for interval in range(20):
+            for name in driver.events(interval, MEMBERS, rng).joins:
+                assert name not in seen
+                seen.add(name)
+
+
+class TestFlashCrowd:
+    def test_burst_fires_on_schedule(self):
+        rng = np.random.default_rng(7)
+        driver = FlashCrowdChurn(
+            alpha=0.0, burst_every=3, burst_size=10
+        )
+        sizes = [
+            len(driver.events(i, MEMBERS, rng).joins) for i in range(6)
+        ]
+        assert sizes == [0, 0, 10, 0, 0, 10]
+
+    def test_cohort_departs_later(self):
+        rng = np.random.default_rng(8)
+        driver = FlashCrowdChurn(
+            alpha=0.0, burst_every=2, burst_size=4, depart_after=2
+        )
+        members = set(MEMBERS)
+        crowd = driver.events(1, members, rng).joins
+        assert len(crowd) == 4
+        members |= set(crowd)
+        assert driver.events(2, members, rng).leaves == []
+        leaves = driver.events(3, members, rng).leaves
+        assert sorted(leaves) == sorted(crowd)
+
+
+class TestTrace:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(
+            path,
+            {
+                0: ChurnEvents(joins=["x"], leaves=["m1"]),
+                2: ChurnEvents(joins=[], leaves=["m2", "m3"]),
+            },
+        )
+        driver = TraceChurn(path)
+        assert driver.n_intervals == 3
+        rng = np.random.default_rng(0)
+        assert driver.events(0, MEMBERS, rng).joins == ["x"]
+        assert driver.events(1, MEMBERS, rng).n_events == 0
+        assert driver.events(2, MEMBERS, rng).leaves == ["m2", "m3"]
+        assert driver.events(99, MEMBERS, rng).n_events == 0
+
+    def test_returned_lists_are_copies(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(path, {0: ChurnEvents(joins=["x"])})
+        driver = TraceChurn(path)
+        rng = np.random.default_rng(0)
+        driver.events(0, MEMBERS, rng).joins.append("mutated")
+        assert driver.events(0, MEMBERS, rng).joins == ["x"]
+
+    def test_bad_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 evict m1\n")
+        with pytest.raises(ServiceError):
+            TraceChurn(path)
+
+
+class TestFactory:
+    def test_kinds(self, tmp_path):
+        trace = tmp_path / "t.txt"
+        save_trace(trace, {})
+        assert isinstance(make_driver("poisson"), PoissonChurn)
+        assert isinstance(make_driver("flash"), FlashCrowdChurn)
+        assert isinstance(make_driver("none"), NoChurn)
+        assert isinstance(
+            make_driver("trace", trace_path=trace), TraceChurn
+        )
+        with pytest.raises(ServiceError):
+            make_driver("trace")
+        with pytest.raises(ServiceError):
+            make_driver("bursty")

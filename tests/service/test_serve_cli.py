@@ -1,0 +1,88 @@
+"""End-to-end tests of ``python -m repro serve``."""
+
+import io
+import json
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestSoakCommand:
+    def test_poisson_soak(self):
+        code, output = run_cli(
+            "serve", "--members", "24", "--intervals", "5",
+            "--churn", "poisson", "--transport", "direct",
+        )
+        assert code == 0
+        assert "serving a 24-member group" in output
+        assert "decision" in output  # table header
+        assert output.count("\n") >= 7  # banner + header + 5 rows + health
+        assert "health: ok" in output
+
+    def test_sim_transport_reports_rho(self):
+        code, output = run_cli(
+            "serve", "--members", "16", "--intervals", "3",
+            "--transport", "sim",
+        )
+        assert code == 0
+        assert "rho" in output
+
+    def test_json_ledger(self):
+        code, output = run_cli(
+            "serve", "--members", "16", "--intervals", "2",
+            "--transport", "direct", "--json",
+        )
+        assert code == 0
+        payload = json.loads(output[output.index("{"):])
+        assert payload["schema"] == 1
+        assert len(payload["intervals"]) == 2
+
+    def test_flash_churn(self):
+        code, output = run_cli(
+            "serve", "--members", "16", "--intervals", "4",
+            "--churn", "flash", "--transport", "direct",
+        )
+        assert code == 0
+
+
+class TestCrashResumeCycle:
+    def test_crash_then_resume(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        code, output = run_cli(
+            "serve", "--members", "24", "--intervals", "8",
+            "--transport", "direct", "--state-dir", state_dir,
+            "--crash-at", "3", "--crash-point", "post-rekey",
+        )
+        assert code == 0  # an *injected* crash is the expected outcome
+        assert "daemon crashed" in output
+        assert "--resume" in output
+
+        code, output = run_cli(
+            "serve", "--intervals", "4", "--transport", "direct",
+            "--state-dir", state_dir, "--resume",
+        )
+        assert code == 0
+        assert "recovered:" in output
+        assert "request(s) replayed" in output
+        assert "health: ok" in output
+
+    def test_resume_requires_state_dir(self):
+        code, output = run_cli("serve", "--resume")
+        assert code == 2
+        assert "--resume needs --state-dir" in output
+
+    def test_uninjected_crash_would_fail(self, tmp_path):
+        """A clean run with a state dir exits 0 and leaves a snapshot."""
+        state_dir = tmp_path / "state"
+        code, _ = run_cli(
+            "serve", "--members", "8", "--intervals", "2",
+            "--transport", "direct", "--state-dir", str(state_dir),
+        )
+        assert code == 0
+        assert (state_dir / "server.json").exists()
+        assert (state_dir / "wal.jsonl").exists()
