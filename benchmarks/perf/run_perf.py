@@ -1,0 +1,64 @@
+"""Run the hot-path perf suite and write ``BENCH_perf.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py [--scale quick|full]
+        [--output PATH]
+
+The committed ``BENCH_perf.json`` and ``baseline.json`` are refreshed at
+``--scale full`` (the paper's N=4096 defaults); CI runs ``--scale
+quick`` and gates against ``baseline_quick.json`` via
+``compare_bench.py``.  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - direct invocation convenience
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..", "src"),
+    )
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def main(argv=None):
+    from repro.perf import format_table, run_suite
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default=os.environ.get("REPRO_BENCH_SCALE", "quick"),
+        help="quick: CI-sized (N=512); full: paper defaults (N=4096)",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(HERE, "BENCH_perf.json"),
+        help="where to write the results document",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_suite(
+        args.scale,
+        progress=lambda name: print("running %s ..." % name, flush=True),
+    )
+    with open(args.output, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print()
+    for line in format_table(document):
+        print(line)
+    print("\nwrote %s (scale=%s)" % (args.output, args.scale))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

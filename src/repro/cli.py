@@ -10,7 +10,9 @@ Four commands:
   sizes and the max supportable group size per rekey interval;
 - ``serve`` — run the long-lived rekey daemon: churn-driven intervals,
   WAL+snapshot durability (``--state-dir``), crash injection
-  (``--crash-at``) and recovery (``--resume``), per-interval metrics.
+  (``--crash-at``) and recovery (``--resume``), per-interval metrics;
+- ``bench-perf`` — run the hot-path micro-benchmarks and write a
+  ``BENCH_perf.json`` document (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -109,6 +111,22 @@ def _build_parser():
         help="emit the full metrics ledger as JSON at the end",
     )
     serve.add_argument("--seed", type=int, default=1)
+
+    bench = sub.add_parser(
+        "bench-perf", help="run the hot-path perf benchmarks"
+    )
+    bench.add_argument(
+        "--scale",
+        choices=["quick", "full"],
+        default="quick",
+        help="quick: CI-sized (N=512); full: paper defaults (N=4096)",
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the BENCH_perf.json document here",
+    )
     return parser
 
 
@@ -363,6 +381,25 @@ def _cmd_serve(args, out):
     return exit_code
 
 
+def _cmd_bench_perf(args, out):
+    import json
+
+    from repro.perf import format_table, run_suite
+
+    document = run_suite(
+        args.scale,
+        progress=lambda name: print("running %s ..." % name, file=out),
+    )
+    for line in format_table(document):
+        print(line, file=out)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % args.output, file=out)
+    return 0
+
+
 def main(argv=None, out=None):
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -372,6 +409,7 @@ def main(argv=None, out=None):
         "simulate": _cmd_simulate,
         "analyze": _cmd_analyze,
         "serve": _cmd_serve,
+        "bench-perf": _cmd_bench_perf,
     }
     return handlers[args.command](args, out)
 

@@ -15,6 +15,14 @@ class GroupConfig:
     Defaults follow the paper's evaluation: tree degree 4, 1027-byte ENC
     packets, FEC block size 10, proactivity factor 1, NACK target 20,
     100 ms sending interval, and the heterogeneous burst-loss topology.
+
+    Two hot-path knobs select implementations, not behaviour — every
+    combination produces bit-identical protocol output:
+
+    - ``incremental_marking``: re-mark only paths touched by the batch
+      (default) instead of scanning the whole tree each interval;
+    - ``fec_coder``: ``"matrix"`` (translation-table RSE, default) or
+      ``"reference"`` (the scalar oracle coder).
     """
 
     degree: int = 4
@@ -29,8 +37,12 @@ class GroupConfig:
     loss: LossParameters = field(default_factory=LossParameters)
     crypto_seed: int = 0
     seed: int = 20010827
+    incremental_marking: bool = True
+    fec_coder: str = "matrix"
 
     def __post_init__(self):
+        from repro.fec.rse import CODER_KINDS
+
         check_positive("degree", self.degree, integral=True)
         if self.degree < 2:
             raise ValueError("degree must be >= 2")
@@ -44,3 +56,8 @@ class GroupConfig:
             "max_multicast_rounds", self.max_multicast_rounds, integral=True
         )
         check_positive("deadline_rounds", self.deadline_rounds, integral=True)
+        if self.fec_coder not in CODER_KINDS:
+            raise ValueError(
+                "fec_coder must be one of %s, got %r"
+                % (", ".join(CODER_KINDS), self.fec_coder)
+            )

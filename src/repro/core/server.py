@@ -18,7 +18,7 @@ from repro.errors import (
     DuplicateUserError,
     UnknownUserError,
 )
-from repro.keytree.marking import MarkingAlgorithm
+from repro.keytree.marking import make_marking
 from repro.keytree.tree import KeyTree
 from repro.rekey.message import RekeyMessageBuilder
 
@@ -48,12 +48,13 @@ class GroupKeyServer:
         self.tree = KeyTree.full_balanced(
             initial_users, self.config.degree, key_factory=self._factory
         )
-        self._marking = MarkingAlgorithm()
+        self._marking = make_marking(self.config.incremental_marking)
         self._builder = RekeyMessageBuilder(
             packet_size=self.config.packet_size,
             block_size=self.config.block_size,
             cipher=self._cipher,
             signer=self.signer,
+            coder_kind=self.config.fec_coder,
         )
         self._pending_joins = []
         self._pending_leaves = []
@@ -190,12 +191,13 @@ class GroupKeyServer:
                 "snapshot degree %d != config degree %d"
                 % (server.tree.degree, config.degree)
             )
-        server._marking = MarkingAlgorithm()
+        server._marking = make_marking(config.incremental_marking)
         server._builder = RekeyMessageBuilder(
             packet_size=config.packet_size,
             block_size=config.block_size,
             cipher=server._cipher,
             signer=server.signer,
+            coder_kind=config.fec_coder,
         )
         server._pending_joins = []
         server._pending_leaves = []

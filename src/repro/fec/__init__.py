@@ -6,10 +6,14 @@ L. Rizzo's classic implementation: a systematic code over GF(2^8) built
 from a Vandermonde matrix, so that *any* ``k`` of the ``n`` codeword
 packets recover the ``k`` originals.
 
-- :mod:`repro.fec.gf256` — arithmetic over GF(2^8).
+- :mod:`repro.fec.gf256` — arithmetic over GF(2^8), scalar and
+  vectorised (translation-table compilation, dense matmul, fast
+  Gauss-Jordan inversion).
 - :mod:`repro.fec.rse` — the coder, with support for generating extra
   parity packets incrementally (the protocol sends ``amax[i]`` *new*
-  parity packets per block each round).
+  parity packets per block each round).  :class:`RSECoder` is the
+  matrix-form fast path; :class:`ReferenceRSECoder` is the original
+  scalar implementation kept as the differential-testing oracle.
 """
 
 from repro.fec.gf256 import (
@@ -21,12 +25,23 @@ from repro.fec.gf256 import (
     gf_mul_bytes,
     gf_pow,
 )
-from repro.fec.rse import MAX_CODEWORDS, RSECoder, encoding_cost_units
+from repro.fec.rse import (
+    CODER_KINDS,
+    MAX_CODEWORDS,
+    MatrixRSECoder,
+    ReferenceRSECoder,
+    RSECoder,
+    encoding_cost_units,
+    make_coder,
+)
 
 __all__ = [
+    "CODER_KINDS",
     "FIELD_SIZE",
     "MAX_CODEWORDS",
+    "MatrixRSECoder",
     "RSECoder",
+    "ReferenceRSECoder",
     "encoding_cost_units",
     "gf_add",
     "gf_div",
@@ -34,4 +49,5 @@ __all__ = [
     "gf_mul",
     "gf_mul_bytes",
     "gf_pow",
+    "make_coder",
 ]

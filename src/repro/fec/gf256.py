@@ -40,6 +40,27 @@ def _build_tables():
 GF_EXP, GF_LOG = _build_tables()
 
 
+def _build_extended_tables():
+    # "Extended" log/exp tables let vectorised code multiply whole
+    # matrices without masking out zeros: log(0) is mapped to a sentinel
+    # large enough that any sentinel-tainted index lands in a zero region
+    # of the extended exp table, so 0 * x = 0 falls out of the same
+    # gather as every other product.
+    log_ext = GF_LOG.astype(np.int64)
+    log_ext[0] = _ZERO_LOG_SENTINEL
+    exp_ext = np.zeros(2 * _ZERO_LOG_SENTINEL + 1, dtype=np.uint8)
+    exp_ext[:512] = GF_EXP
+    exp_ext[510:] = 0
+    return exp_ext, log_ext
+
+
+#: Sentinel standing in for log(0).  Two real logs sum to at most 508,
+#: so any index >= 510 can only come from a zero operand.
+_ZERO_LOG_SENTINEL = 1024
+
+GF_EXP_EXT, GF_LOG_EXT = _build_extended_tables()
+
+
 def gf_add(a, b):
     """Addition in GF(2^8): XOR (also subtraction)."""
     return a ^ b
@@ -129,6 +150,93 @@ def gf_matmul(matrix, data):
             if coefficient:
                 accumulator ^= gf_mul_bytes(coefficient, data[col_index])
     return out
+
+
+def gf_mul_table_rows(coefficients):
+    """Per-coefficient 256-entry multiplication tables, built in one shot.
+
+    ``coefficients`` is a 1-D uint8 array of ``n`` field elements; the
+    result is an ``(n, 256)`` uint8 array whose row ``i`` maps every
+    byte ``b`` to ``coefficients[i] * b``.  Each row, via ``.tobytes()``,
+    is directly usable with :meth:`bytes.translate` — the fastest way in
+    pure Python to multiply a whole packet by one coefficient.
+    """
+    coefficients = np.asarray(coefficients, dtype=np.uint8)
+    if coefficients.ndim != 1:
+        raise FECError("gf_mul_table_rows expects a 1-D coefficient array")
+    log_c = GF_LOG_EXT[coefficients]
+    log_b = GF_LOG_EXT[np.arange(256)]
+    return GF_EXP_EXT[log_c[:, None] + log_b[None, :]]
+
+
+def gf_matmul_dense(a, b):
+    """Dense field-matrix product ``a @ b`` over GF(2^8), vectorised.
+
+    Unlike :func:`gf_matmul` (which treats ``b`` as a stack of packets
+    and loops per coefficient), both operands here are small matrices of
+    field elements; the whole product is computed with two table gathers
+    and an XOR reduction.  Row-chunked so the intermediate
+    ``(rows, inner, cols)`` tensor stays small even for k=254.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.ndim != 2 or b.ndim != 2:
+        raise FECError("gf_matmul_dense expects 2-D inputs")
+    if a.shape[1] != b.shape[0]:
+        raise FECError(
+            "shape mismatch: a is %r, b is %r" % (a.shape, b.shape)
+        )
+    rows, inner = a.shape
+    cols = b.shape[1]
+    out = np.zeros((rows, cols), dtype=np.uint8)
+    if inner == 0:
+        return out
+    log_b = GF_LOG_EXT[b]
+    chunk = max(1, (1 << 20) // max(1, inner * cols))
+    for start in range(0, rows, chunk):
+        stop = min(start + chunk, rows)
+        log_a = GF_LOG_EXT[a[start:stop]]
+        products = GF_EXP_EXT[log_a[:, :, None] + log_b[None, :, :]]
+        out[start:stop] = np.bitwise_xor.reduce(products, axis=1)
+    return out
+
+
+def gf_matrix_invert_fast(matrix):
+    """Vectorised Gauss-Jordan inversion over GF(2^8).
+
+    Same contract as :func:`gf_matrix_invert`, but each elimination step
+    updates all rows at once with table gathers instead of per-element
+    Python loops, so inverting the k x k systems that decoding needs is
+    cheap even at k=254.
+    """
+    matrix = np.array(matrix, dtype=np.uint8)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise FECError("can only invert square matrices")
+    size = matrix.shape[0]
+    augmented = np.concatenate(
+        [matrix, np.eye(size, dtype=np.uint8)], axis=1
+    )
+    for col in range(size):
+        pivots = np.nonzero(augmented[col:, col])[0]
+        if pivots.size == 0:
+            raise FECError("matrix is singular over GF(256)")
+        pivot_row = col + int(pivots[0])
+        if pivot_row != col:
+            augmented[[col, pivot_row]] = augmented[[pivot_row, col]]
+        log_pivot_inv = (255 - int(GF_LOG[augmented[col, col]])) % 255
+        augmented[col] = GF_EXP_EXT[
+            GF_LOG_EXT[augmented[col]] + log_pivot_inv
+        ]
+        factors = augmented[:, col].copy()
+        factors[col] = 0
+        eliminate = np.nonzero(factors)[0]
+        if eliminate.size:
+            products = GF_EXP_EXT[
+                GF_LOG_EXT[factors[eliminate]][:, None]
+                + GF_LOG_EXT[augmented[col]][None, :]
+            ]
+            augmented[eliminate] ^= products
+    return np.ascontiguousarray(augmented[:, size:])
 
 
 def gf_matrix_invert(matrix):

@@ -16,14 +16,38 @@ The coder supports *incremental* parity: the protocol's later multicast
 rounds send ``amax[i]`` **new** parity packets per block, which are just
 further rows of ``G`` (indices continuing where the first round
 stopped).
+
+Two interchangeable implementations share the generator matrix:
+
+- :class:`RSECoder` (alias :data:`MatrixRSECoder`) — the default fast
+  path.  Generator rows are compiled once into per-coefficient 256-byte
+  multiplication tables; applying a row to a packet is a single
+  :meth:`bytes.translate`, and the XOR accumulation across the block is
+  one vectorised reduction over all rows at once.
+- :class:`ReferenceRSECoder` — the original scalar path (per-coefficient
+  ``gf_matmul`` loops and per-element Gauss-Jordan inversion), retained
+  as the differential-testing oracle and for golden-vector generation.
+
+Both produce bit-identical codewords; ``tests/fec`` enforces this with
+exact equality, never statistical tolerance.
 """
 
 from __future__ import annotations
 
+from itertools import cycle
+
 import numpy as np
 
 from repro.errors import FECError, NotEnoughPacketsError
-from repro.fec.gf256 import gf_matmul, gf_matrix_invert, gf_pow
+from repro.fec.gf256 import (
+    GF_EXP,
+    gf_matmul,
+    gf_matmul_dense,
+    gf_matrix_invert,
+    gf_matrix_invert_fast,
+    gf_mul_table_rows,
+    gf_pow,
+)
 from repro.util.validation import check_non_negative, check_positive
 
 #: Maximum codeword index + 1.  With distinct non-zero evaluation points
@@ -32,42 +56,57 @@ MAX_CODEWORDS = 255
 
 _GENERATOR_CACHE = {}
 
+#: Decode inversions are cached per erasure pattern; NACK-driven repair
+#: rounds hit the same few patterns over and over, so this is a large
+#: win for the fleet simulations.  Bounded so adversarial pattern churn
+#: cannot grow memory without limit.
+_DECODE_CACHE_LIMIT = 512
+
 
 def _generator_matrix(k):
-    """Full 255 x k systematic generator for block size ``k`` (cached)."""
+    """Full 255 x k systematic generator for block size ``k`` (cached).
+
+    Vectorised construction: with ``x_i = 2^i`` the Vandermonde entry is
+    ``V[i, j] = 2^(i*j mod 255)``, one exp-table gather for the whole
+    matrix.  Byte-identical to :func:`_reference_generator_matrix` (the
+    original scalar construction), which ``tests/fec`` verifies.
+    """
     matrix = _GENERATOR_CACHE.get(k)
     if matrix is None:
-        points = [gf_pow(2, i) for i in range(MAX_CODEWORDS)]
-        vandermonde = np.zeros((MAX_CODEWORDS, k), dtype=np.uint8)
-        for i, x in enumerate(points):
-            value = 1
-            for j in range(k):
-                vandermonde[i, j] = value
-                value = _gf_mul_scalar(value, x)
-        top_inverse = gf_matrix_invert(vandermonde[:k])
-        matrix = _gf_matmul_small(vandermonde, top_inverse)
+        i = np.arange(MAX_CODEWORDS, dtype=np.int64)[:, None]
+        j = np.arange(k, dtype=np.int64)[None, :]
+        vandermonde = GF_EXP[(i * j) % 255]
+        top_inverse = gf_matrix_invert_fast(vandermonde[:k])
+        matrix = gf_matmul_dense(vandermonde, top_inverse)
+        matrix.setflags(write=False)
         _GENERATOR_CACHE[k] = matrix
     return matrix
 
 
-def _gf_mul_scalar(a, b):
+def _reference_generator_matrix(k):
+    """The original loop-based generator construction (uncached).
+
+    Kept as the oracle for the vectorised builder; only tests call it.
+    """
     from repro.fec.gf256 import gf_mul
 
-    return gf_mul(a, b)
-
-
-def _gf_matmul_small(a, b):
-    """Dense GF matrix product for generator construction."""
-    from repro.fec.gf256 import gf_mul
-
-    rows, inner = a.shape
-    cols = b.shape[1]
-    out = np.zeros((rows, cols), dtype=np.uint8)
+    points = [gf_pow(2, i) for i in range(MAX_CODEWORDS)]
+    vandermonde = np.zeros((MAX_CODEWORDS, k), dtype=np.uint8)
+    for i, x in enumerate(points):
+        value = 1
+        for j in range(k):
+            vandermonde[i, j] = value
+            value = gf_mul(value, x)
+    top_inverse = gf_matrix_invert(vandermonde[:k])
+    rows, inner = vandermonde.shape
+    out = np.zeros((rows, k), dtype=np.uint8)
     for i in range(rows):
-        for j in range(cols):
+        for j in range(k):
             acc = 0
             for t in range(inner):
-                acc ^= gf_mul(int(a[i, t]), int(b[t, j]))
+                acc ^= gf_mul(
+                    int(vandermonde[i, t]), int(top_inverse[t, j])
+                )
             out[i, j] = acc
     return out
 
@@ -85,12 +124,10 @@ def encoding_cost_units(k, n_parity):
     return k * n_parity
 
 
-class RSECoder:
-    """Encoder/decoder for one block size ``k``.
-
-    All packets in a block must share one length (ENC packets are padded
-    to a fixed size for exactly this reason).
-    """
+class _RSECoderBase:
+    """Shared contract: validation, parity-row bookkeeping, decoding
+    plumbing.  Subclasses supply ``_apply`` (rows x packets product) and
+    ``_invert`` (k x k inversion)."""
 
     def __init__(self, k):
         check_positive("block size k", k, integral=True)
@@ -113,7 +150,7 @@ class RSECoder:
 
     # -- encoding -------------------------------------------------------
 
-    def _as_matrix(self, data_packets):
+    def _check_block(self, data_packets):
         if len(data_packets) != self._k:
             raise FECError(
                 "expected %d data packets, got %d"
@@ -125,9 +162,6 @@ class RSECoder:
                 "all packets in a block must have equal length, got %s"
                 % sorted(lengths)
             )
-        return np.stack(
-            [np.frombuffer(bytes(p), dtype=np.uint8) for p in data_packets]
-        )
 
     def parity(self, data_packets, n_parity, first_parity_index=0):
         """Generate ``n_parity`` parity packets for the block.
@@ -150,9 +184,13 @@ class RSECoder:
                 "parity rows %d..%d exceed the GF(256) limit of %d"
                 % (first_row, last_row - 1, MAX_CODEWORDS - 1)
             )
-        data = self._as_matrix(data_packets)
-        rows = self._generator[first_row:last_row]
-        return [bytes(p) for p in gf_matmul(rows, data)]
+        self._check_block(data_packets)
+        return self._apply_generator_rows(first_row, last_row, data_packets)
+
+    def _apply_generator_rows(self, first_row, last_row, data_packets):
+        return self._apply(
+            self._generator[first_row:last_row], data_packets
+        )
 
     def encode(self, data_packets, n_parity):
         """Return the full codeword prefix: data then ``n_parity`` parity."""
@@ -193,16 +231,12 @@ class RSECoder:
                 "received packets have differing lengths: %s"
                 % sorted(lengths)
             )
+        return self._decode_packets(indices, [received[i] for i in indices])
+
+    def _decode_packets(self, indices, packets):
         submatrix = self._generator[indices].copy()
-        inverse = gf_matrix_invert(submatrix)
-        stacked = np.stack(
-            [
-                np.frombuffer(bytes(received[i]), dtype=np.uint8)
-                for i in indices
-            ]
-        )
-        recovered = gf_matmul(inverse, stacked)
-        return [bytes(p) for p in recovered]
+        inverse = self._invert(submatrix)
+        return self._apply(inverse, packets)
 
     def parity_needed(self, n_received):
         """How many more packets a user must request (the NACK ``a``).
@@ -214,4 +248,140 @@ class RSECoder:
         return max(0, self._k - n_received)
 
     def __repr__(self):
-        return "RSECoder(k=%d)" % self._k
+        return "%s(k=%d)" % (type(self).__name__, self._k)
+
+
+class ReferenceRSECoder(_RSECoderBase):
+    """The original scalar encoder/decoder, kept as the oracle.
+
+    Applies generator rows with :func:`gf_matmul` (a per-coefficient
+    Python loop over packet arrays) and inverts decode systems with the
+    per-element :func:`gf_matrix_invert`.  Slow but transparently
+    correct; :class:`RSECoder` must match it byte for byte.
+    """
+
+    def _apply(self, rows, packets):
+        stacked = np.stack(
+            [np.frombuffer(bytes(p), dtype=np.uint8) for p in packets]
+        )
+        return [bytes(p) for p in gf_matmul(rows, stacked)]
+
+    def _invert(self, submatrix):
+        return gf_matrix_invert(submatrix)
+
+
+class RSECoder(_RSECoderBase):
+    """Matrix-form encoder/decoder for one block size ``k`` (default).
+
+    All packets in a block must share one length (ENC packets are padded
+    to a fixed size for exactly this reason).
+
+    Fast path: each generator coefficient is compiled once into a
+    256-byte translation table (:func:`gf_mul_table_rows`); applying
+    ``h`` rows to a ``k``-packet block is then ``h*k`` calls to
+    :meth:`bytes.translate` fused into a single buffer, followed by one
+    vectorised XOR reduction — no per-coefficient numpy round trips.
+    Parity-row tables are cached per coder, and decode inversions are
+    memoised per erasure pattern.
+    """
+
+    def __init__(self, k):
+        super().__init__(k)
+        self._row_tables = {}
+        self._decode_cache = {}
+
+    # -- table compilation ---------------------------------------------
+
+    def _tables_for_rows(self, first_row, last_row):
+        """Translation tables for generator rows [first_row, last_row),
+        flattened row-major: k tables per row."""
+        missing = [
+            row for row in range(first_row, last_row)
+            if row not in self._row_tables
+        ]
+        if missing:
+            coefficients = self._generator[missing].reshape(-1)
+            compiled = gf_mul_table_rows(coefficients)
+            for position, row in enumerate(missing):
+                base = position * self._k
+                self._row_tables[row] = tuple(
+                    compiled[base + column].tobytes()
+                    for column in range(self._k)
+                )
+        tables = []
+        for row in range(first_row, last_row):
+            tables.extend(self._row_tables[row])
+        return tables
+
+    @staticmethod
+    def _compile_matrix(matrix):
+        compiled = gf_mul_table_rows(np.asarray(matrix).reshape(-1))
+        return [compiled[i].tobytes() for i in range(compiled.shape[0])]
+
+    def _translate_apply(self, tables, packets, n_rows):
+        """XOR-accumulate translated packets: the fused hot loop.
+
+        ``tables`` holds ``n_rows * k`` translation tables row-major.
+        Every (row, column) term is translated into one contiguous
+        buffer; a single reshape + XOR reduction collapses the block
+        dimension.
+        """
+        data = [bytes(p) for p in packets]
+        length = len(data[0])
+        joined = b"".join(
+            packet.translate(table)
+            for table, packet in zip(tables, cycle(data))
+        )
+        combined = np.frombuffer(joined, dtype=np.uint8)
+        out = np.bitwise_xor.reduce(
+            combined.reshape(n_rows, self._k, length), axis=1
+        )
+        return [row.tobytes() for row in out]
+
+    # -- hot-path overrides --------------------------------------------
+
+    def _apply_generator_rows(self, first_row, last_row, data_packets):
+        tables = self._tables_for_rows(first_row, last_row)
+        return self._translate_apply(
+            tables, data_packets, last_row - first_row
+        )
+
+    def _apply(self, rows, packets):
+        rows = np.asarray(rows, dtype=np.uint8)
+        return self._translate_apply(
+            self._compile_matrix(rows), packets, rows.shape[0]
+        )
+
+    def _invert(self, submatrix):
+        return gf_matrix_invert_fast(submatrix)
+
+    def _decode_packets(self, indices, packets):
+        pattern = tuple(indices)
+        tables = self._decode_cache.get(pattern)
+        if tables is None:
+            inverse = gf_matrix_invert_fast(self._generator[indices].copy())
+            tables = self._compile_matrix(inverse)
+            if len(self._decode_cache) >= _DECODE_CACHE_LIMIT:
+                self._decode_cache.clear()
+            self._decode_cache[pattern] = tables
+        return self._translate_apply(tables, packets, self._k)
+
+
+#: Explicit name for the fast implementation; ``RSECoder`` remains the
+#: default everywhere.
+MatrixRSECoder = RSECoder
+
+#: Recognised coder kinds for :func:`make_coder` / ``GroupConfig``.
+CODER_KINDS = ("matrix", "reference")
+
+
+def make_coder(kind, k):
+    """Instantiate an RSE coder by kind: ``"matrix"`` or ``"reference"``."""
+    if kind == "matrix":
+        return RSECoder(k)
+    if kind == "reference":
+        return ReferenceRSECoder(k)
+    raise FECError(
+        "unknown RSE coder kind %r (expected one of %s)"
+        % (kind, ", ".join(CODER_KINDS))
+    )

@@ -29,8 +29,10 @@ from repro.keytree.tree import KeyTree
 from repro.keytree.marking import (
     BatchResult,
     EncryptionEdge,
+    IncrementalMarkingAlgorithm,
     MarkingAlgorithm,
     RekeySubtree,
+    make_marking,
 )
 from repro.keytree.persistence import (
     load_server,
@@ -52,6 +54,7 @@ from repro.keytree.strategies import (
 __all__ = [
     "BatchResult",
     "EncryptionEdge",
+    "IncrementalMarkingAlgorithm",
     "KeyTree",
     "MarkingAlgorithm",
     "NodeKind",
@@ -68,6 +71,7 @@ __all__ = [
     "level_of",
     "load_server",
     "load_tree",
+    "make_marking",
     "parent_id",
     "path_to_root",
     "render_rekey",

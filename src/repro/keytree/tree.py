@@ -22,6 +22,8 @@ Structural invariants maintained (checked by :meth:`KeyTree.validate`):
 
 from __future__ import annotations
 
+import heapq
+
 from repro.crypto.keys import KeyFactory
 from repro.errors import (
     DuplicateUserError,
@@ -45,6 +47,10 @@ class KeyTree:
         self._nodes = {}
         self._users = {}
         self._versions = {}
+        # Lazy max-heap over k-node IDs (stored negated) backing the
+        # O(1)-amortised ``max_knode_id``; stale entries (removed or
+        # re-kinded IDs) are discarded on read.
+        self._knode_heap = []
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -121,6 +127,8 @@ class KeyTree:
                 tree._users[node.user] = node_id
             tree._nodes[node_id] = node
             tree._versions[node_id] = node.version
+            if node.kind is NodeKind.K_NODE:
+                heapq.heappush(tree._knode_heap, -node_id)
         if versions is not None:
             for node_id, version in versions.items():
                 tree._versions[int(node_id)] = int(version)
@@ -184,9 +192,20 @@ class KeyTree:
 
     @property
     def max_knode_id(self):
-        """``nk``: the largest k-node ID (−1 for an empty tree)."""
-        k_ids = self.k_node_ids()
-        return k_ids[-1] if k_ids else -1
+        """``nk``: the largest k-node ID (−1 for an empty tree).
+
+        Amortised O(1): reads the top of a lazy heap instead of sorting
+        every node, which matters because the marking algorithm consults
+        ``nk`` on every batch.
+        """
+        heap = self._knode_heap
+        while heap:
+            candidate = -heap[0]
+            node = self._nodes.get(candidate)
+            if node is not None and node.kind is NodeKind.K_NODE:
+                return candidate
+            heapq.heappop(heap)
+        return -1
 
     @property
     def height(self):
@@ -280,6 +299,7 @@ class KeyTree:
             key=self._make_key(node_id, version),
             version=version,
         )
+        heapq.heappush(self._knode_heap, -node_id)
         return self._nodes[node_id]
 
     def create_u_node(self, node_id, user):

@@ -1,0 +1,17 @@
+"""Performance measurement library for the key-server hot paths."""
+
+from repro.perf.bench import (
+    BENCHMARKS,
+    SCALES,
+    SCALE_PARAMS,
+    format_table,
+    run_suite,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "SCALES",
+    "SCALE_PARAMS",
+    "format_table",
+    "run_suite",
+]

@@ -20,7 +20,7 @@ import struct
 
 from repro.crypto.cipher import XorStreamCipher
 from repro.errors import ConfigurationError, TransportError
-from repro.fec.rse import RSECoder
+from repro.fec.rse import make_coder
 from repro.rekey.assignment import UserOrientedKeyAssignment
 from repro.rekey.blocks import BlockPartition
 from repro.rekey.packets import (
@@ -47,6 +47,7 @@ class RekeyMessage:
         packet_size,
         encryption_map=None,
         signature=None,
+        coder_kind="matrix",
     ):
         self.message_id = message_id
         self.assignment = assignment
@@ -58,6 +59,7 @@ class RekeyMessage:
         #: encryption ID -> EncryptedKey (wire mode only)
         self.encryption_map = encryption_map
         self.signature = signature
+        self.coder_kind = coder_kind
         self._enc_packets = None
         self._slot_wires = None
         self._coders = {}
@@ -152,7 +154,7 @@ class RekeyMessage:
     def _coder(self):
         coder = self._coders.get(self.k)
         if coder is None:
-            coder = RSECoder(self.k)
+            coder = make_coder(self.coder_kind, self.k)
             self._coders[self.k] = coder
         return coder
 
@@ -234,6 +236,7 @@ class RekeyMessageBuilder:
         block_size=10,
         cipher=None,
         signer=None,
+        coder_kind="matrix",
     ):
         check_positive("packet_size", packet_size, integral=True)
         check_positive("block_size", block_size, integral=True)
@@ -241,6 +244,7 @@ class RekeyMessageBuilder:
         self.block_size = block_size
         self.cipher = cipher or XorStreamCipher()
         self.signer = signer
+        self.coder_kind = coder_kind
         self._assigner = UserOrientedKeyAssignment(packet_size=packet_size)
 
     def build(self, batch_result, message_id):
@@ -264,6 +268,7 @@ class RekeyMessageBuilder:
                 max_kid=max_kid,
                 k=self.block_size,
                 packet_size=self.packet_size,
+                coder_kind=self.coder_kind,
             )
         assignment = self._assigner.assign(needs)
         partition = BlockPartition(assignment.n_packets, self.block_size)
@@ -294,4 +299,5 @@ class RekeyMessageBuilder:
             packet_size=self.packet_size,
             encryption_map=encryption_map,
             signature=signature,
+            coder_kind=self.coder_kind,
         )

@@ -490,7 +490,17 @@ class RekeyDaemon:
     # -- introspection -----------------------------------------------------
 
     def health(self):
-        return self.metrics.health(n_members=self.server.n_users)
+        report = self.metrics.health(n_members=self.server.n_users)
+        # Surface which hot-path implementations this daemon runs with,
+        # so an operator can tell a reference-mode deployment apart from
+        # the (default) fast configuration at a glance.
+        report["marking"] = (
+            "incremental"
+            if self.server.config.incremental_marking
+            else "from-scratch"
+        )
+        report["fec_coder"] = self.server.config.fec_coder
+        return report
 
     def close(self):
         if self.wal is not None:

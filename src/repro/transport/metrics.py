@@ -173,3 +173,58 @@ class SequenceStats:
     def mean_rounds_per_user(self, skip=0):
         values = [m.mean_rounds_per_user for m in self.messages[skip:]]
         return float(np.mean(values)) if values else 0.0
+
+    def digest(self):
+        """SHA-256 over a canonical rendering of every recorded number.
+
+        Two runs produce the same digest iff every per-round counter,
+        per-user recovery round and adaptive-control step matched
+        exactly — the regression anchor for simulator determinism.
+        Floats are rendered with ``%.12g`` so the digest is stable
+        across platforms that agree to within representation noise.
+        """
+        import hashlib
+        import json
+
+        def f(value):
+            return "%.12g" % float(value)
+
+        payload = {
+            "rho": [f(r) for r in self.rho_trajectory],
+            "num_nack": [int(n) for n in self.num_nack_trajectory],
+            "deadline_misses": [int(m) for m in self.deadline_misses],
+            "messages": [
+                {
+                    "index": int(m.message_index),
+                    "enc": int(m.n_enc_packets),
+                    "blocks": int(m.n_blocks),
+                    "k": int(m.k),
+                    "rho": f(m.rho),
+                    "users": int(m.n_users),
+                    "direct": int(m.n_recovered_direct),
+                    "decode": int(m.n_recovered_decode),
+                    "rounds": [
+                        [
+                            int(r.round_index),
+                            int(r.enc_packets_sent),
+                            int(r.parity_packets_sent),
+                            int(r.nacks_received),
+                            int(r.users_recovered_total),
+                        ]
+                        for r in m.rounds
+                    ],
+                    "unicast": [
+                        int(m.unicast.users_served),
+                        int(m.unicast.usr_packets_sent),
+                        int(m.unicast.usr_bytes_sent),
+                        int(m.unicast.attempts),
+                    ],
+                    "user_rounds": [int(r) for r in m.user_rounds],
+                }
+                for m in self.messages
+            ],
+        }
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("ascii")).hexdigest()

@@ -52,9 +52,19 @@ class SessionConfig:
 
 
 class RekeySession:
-    """Delivers one (wire-mode) rekey message to all users who need it."""
+    """Delivers one (wire-mode) rekey message to all users who need it.
 
-    def __init__(self, message, topology, config=None, rng=None, trace=None):
+    ``coder`` optionally overrides the RSE decoder shared by every
+    user-side state machine (decoding is stateless, so one instance is
+    safe to share); tests use it to run the same session under the
+    matrix and reference coders.  By default users decode with the
+    message's own coder kind.
+    """
+
+    def __init__(
+        self, message, topology, config=None, rng=None, trace=None,
+        coder=None,
+    ):
         if not message.materialized:
             raise TransportError(
                 "RekeySession needs a wire-mode message (keyed tree)"
@@ -83,6 +93,13 @@ class RekeySession:
             sending_interval_ms=self.config.sending_interval_ms,
             unicast_policy=self.config.make_policy(),
         )
+        if coder is None:
+            from repro.fec.rse import make_coder
+
+            coder = make_coder(
+                getattr(message, "coder_kind", "matrix"), message.k
+            )
+        self.coder = coder
         self.users = {
             user_id: UserTransport(
                 user_id,
@@ -90,6 +107,7 @@ class RekeySession:
                 degree=self._degree_hint(),
                 n_blocks=message.n_blocks,
                 message_id=message.message_id,
+                coder=coder,
             )
             for user_id in self.user_ids
         }
@@ -209,19 +227,29 @@ class RekeySession:
         received = self.topology.multicast_reception(
             times, rng=self._rng
         )
+        # Classify each scheduled packet once per round, not once per
+        # (user, packet) pair — with thousands of users this loop is the
+        # session's hot path, so per-user work must touch only the
+        # packets that user actually received.
+        items = [
+            (p.packet, p.payload, p.packet.packet_type is PacketType.ENC)
+            for p in planned
+        ]
         for position, user_id in enumerate(self.user_ids):
             user = self.users[user_id]
             if user.done:
                 continue
             row = received[self._rows[position]]
-            for index, scheduled in enumerate(planned):
-                if not row[index]:
-                    continue
-                packet = scheduled.packet
-                if packet.packet_type is PacketType.ENC:
-                    user.on_enc(packet, scheduled.payload)
+            on_enc = user.on_enc
+            on_parity = user.on_parity
+            for index in np.flatnonzero(row).tolist():
+                packet, payload, is_enc = items[index]
+                if is_enc:
+                    on_enc(packet, payload)
+                    if user.done:
+                        break
                 else:
-                    user.on_parity(packet)
+                    on_parity(packet)
         return float(times[-1]) if len(times) else clock
 
     def _run_unicast(self, pending, clock, unicast_stats):

@@ -1,0 +1,236 @@
+"""Unit tests for the perf library and the regression gate.
+
+These never run the timed suite at measurement fidelity — they verify
+the *machinery*: summary statistics, the pairwise-ratio speedup, the
+document schema, and the compare_bench gate logic (loaded straight from
+``benchmarks/perf/compare_bench.py``, which is deliberately
+stdlib-only).
+"""
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.perf import SCALE_PARAMS, SCALES, format_table, run_suite
+from repro.perf.bench import _interleaved, _paired, _summary
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+COMPARE_PATH = os.path.abspath(
+    os.path.join(REPO_ROOT, "benchmarks", "perf", "compare_bench.py")
+)
+PERF_DIR = os.path.dirname(COMPARE_PATH)
+
+
+def load_compare_bench():
+    spec = importlib.util.spec_from_file_location(
+        "compare_bench", COMPARE_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSummaryStatistics:
+    def test_summary_fields(self):
+        summary = _summary([0.2, 0.1, 0.4, 0.3, 0.5])
+        assert summary["reps"] == 5
+        assert summary["median_s"] == 0.3
+        assert summary["p90_s"] == 0.5
+        assert summary["ops_per_s"] == pytest.approx(1 / 0.3)
+
+    def test_paired_uses_pairwise_ratios(self):
+        # One corrupted pair (load spike hit the fast side): the median
+        # pairwise ratio shrugs it off where a ratio of medians drifts.
+        fast = [1.0, 1.0, 9.0, 1.0, 1.0]
+        slow = [5.0, 5.0, 9.0, 5.0, 5.0]
+        entry = _paired(fast, slow, params={})
+        assert entry["speedup"] == 5.0
+
+    def test_paired_falls_back_to_median_ratio(self):
+        entry = _paired([1.0, 1.0, 1.0], [4.0, 4.0], params={})
+        assert entry["speedup"] == pytest.approx(4.0)
+
+    def test_interleaved_alternates_and_divides_inner(self):
+        calls = []
+        fast, slow = _interleaved(
+            lambda: calls.append("f"),
+            lambda: calls.append("s"),
+            pairs=2,
+            warmup=1,
+            inner=3,
+        )
+        # warmup: f s; pair 0: fff sss; pair 1 (swapped): sss fff
+        assert "".join(calls) == "fs" + "fffsss" + "sssfff"
+        assert len(fast) == len(slow) == 2
+
+
+class TestSuiteDocument:
+    def test_scales_are_declared(self):
+        assert set(SCALES) == set(SCALE_PARAMS)
+        for params in SCALE_PARAMS.values():
+            assert params["n_users"] > 0
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_suite("enormous")
+
+    def test_format_table_handles_both_entry_kinds(self):
+        document = {
+            "benchmarks": {
+                "paired": {
+                    "fast": {"median_s": 0.001, "p90_s": 0.002},
+                    "speedup": 5.0,
+                },
+                "single": {
+                    "fast": {"median_s": 0.003, "p90_s": 0.004},
+                },
+            }
+        }
+        lines = format_table(document)
+        assert len(lines) == 3
+        assert "5.00x" in lines[1]
+        assert lines[2].rstrip().endswith("-")
+
+
+def make_document(**speedups):
+    return {
+        "schema": 1,
+        "meta": {"scale": "quick"},
+        "benchmarks": {
+            name: {
+                "params": {},
+                "fast": {"median_s": 0.001, "p90_s": 0.001},
+                "reference": {"median_s": 0.001 * s, "p90_s": 0.001 * s},
+                "speedup": s,
+            }
+            for name, s in speedups.items()
+        },
+    }
+
+
+class TestCompareGate:
+    def test_no_regression(self):
+        compare_bench = load_compare_bench()
+        results = list(
+            compare_bench.compare(
+                make_document(rse=5.0),
+                make_document(rse=5.0),
+                tolerance=0.20,
+                absolute=False,
+            )
+        )
+        assert all(ok for _, ok, _ in results)
+
+    def test_regression_beyond_tolerance_fails(self):
+        compare_bench = load_compare_bench()
+        results = dict(
+            (name, ok)
+            for name, ok, _ in compare_bench.compare(
+                make_document(rse=3.9, marking=4.5),
+                make_document(rse=5.0, marking=4.5),
+                tolerance=0.20,
+                absolute=False,
+            )
+        )
+        assert results["rse"] is False  # 3.9 < 5.0 * 0.8
+        assert results["marking"] is True
+
+    def test_regression_within_tolerance_passes(self):
+        compare_bench = load_compare_bench()
+        results = list(
+            compare_bench.compare(
+                make_document(rse=4.1),
+                make_document(rse=5.0),
+                tolerance=0.20,
+                absolute=False,
+            )
+        )
+        assert all(ok for _, ok, _ in results)
+
+    def test_new_and_removed_benchmarks_never_fail(self):
+        compare_bench = load_compare_bench()
+        results = list(
+            compare_bench.compare(
+                make_document(added=1.0),
+                make_document(removed=9.0),
+                tolerance=0.20,
+                absolute=False,
+            )
+        )
+        assert all(ok for _, ok, _ in results)
+
+    def test_absolute_gate_catches_walltime_regression(self):
+        compare_bench = load_compare_bench()
+        current = make_document(rse=5.0)
+        current["benchmarks"]["rse"]["fast"]["median_s"] = 0.005
+        results = [
+            ok
+            for _, ok, _ in compare_bench.compare(
+                current,
+                make_document(rse=5.0),
+                tolerance=0.20,
+                absolute=True,
+            )
+        ]
+        assert False in results  # 5ms vs 1ms baseline
+
+    def test_cli_exit_codes(self, tmp_path):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(make_document(rse=5.0)))
+        for speedup, expected in ((5.0, 0), (1.0, 1)):
+            current.write_text(json.dumps(make_document(rse=speedup)))
+            proc = subprocess.run(
+                [sys.executable, COMPARE_PATH, str(current), str(baseline)],
+                capture_output=True,
+                text=True,
+            )
+            assert proc.returncode == expected, proc.stdout
+
+
+class TestCommittedArtifacts:
+    """The repo ships measured documents; keep them loadable and sane."""
+
+    @pytest.mark.parametrize(
+        "filename,scale",
+        [
+            ("BENCH_perf.json", "full"),
+            ("baseline.json", "full"),
+            ("baseline_quick.json", "quick"),
+        ],
+    )
+    def test_committed_documents(self, filename, scale):
+        with open(os.path.join(PERF_DIR, filename)) as handle:
+            document = json.load(handle)
+        assert document["schema"] == 1
+        assert document["meta"]["scale"] == scale
+        for name in (
+            "rse_encode",
+            "rse_decode",
+            "marking",
+            "assignment",
+            "fleet_interval",
+            "daemon_interval",
+        ):
+            assert name in document["benchmarks"]
+
+    def test_committed_full_run_meets_acceptance(self):
+        """The tentpole's acceptance numbers, pinned to the committed
+        full-scale run: matrix encode at least 5x the scalar reference
+        at k=10, h=10, 1 KB; the end-to-end daemon interval at N=4096
+        measurably faster than the pre-PR configuration."""
+        with open(os.path.join(PERF_DIR, "BENCH_perf.json")) as handle:
+            document = json.load(handle)
+        benchmarks = document["benchmarks"]
+        assert benchmarks["rse_encode"]["params"] == {
+            "k": 10,
+            "h": 10,
+            "packet_bytes": 1024,
+        }
+        assert benchmarks["rse_encode"]["speedup"] >= 5.0
+        assert benchmarks["daemon_interval"]["params"]["n_users"] == 4096
+        assert benchmarks["daemon_interval"]["speedup"] > 1.0
