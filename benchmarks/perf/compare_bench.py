@@ -18,6 +18,13 @@ against the baseline's with the same tolerance — only meaningful when
 current and baseline come from the same machine (e.g. a local
 before/after check).
 
+``--overhead NAME`` (repeatable) marks a benchmark as an *overhead
+pair*: its "fast" side runs with a feature off and its "reference" side
+with the feature on, so the ratio is a cost multiplier that must stay
+*below* ``1 + tolerance`` — a ceiling, not a floor.  Overhead gates
+need no baseline entry (the ceiling is absolute), so the gate holds
+from the commit that introduces the benchmark.
+
 Exit status: 0 when no benchmark regresses, 1 otherwise.  Benchmarks
 present in only one document are reported but never fail the gate (so
 adding a benchmark does not require regenerating baselines in the same
@@ -39,13 +46,24 @@ def load(path):
     return document
 
 
-def compare(current, baseline, tolerance, absolute):
+def compare(current, baseline, tolerance, absolute, overhead=()):
     """Yields (benchmark, ok, message) triples."""
     current_benchmarks = current["benchmarks"]
     baseline_benchmarks = baseline["benchmarks"]
+    overhead = set(overhead)
     for name in sorted(set(current_benchmarks) | set(baseline_benchmarks)):
         if name not in current_benchmarks:
             yield name, True, "only in baseline (skipped)"
+            continue
+        if name in overhead:
+            speedup = current_benchmarks[name].get("speedup")
+            if speedup is None:
+                yield name, False, "overhead gate needs a paired benchmark"
+                continue
+            ceiling = 1.0 + tolerance
+            yield name, speedup <= ceiling, (
+                "overhead %.2fx (ceiling %.2fx)" % (speedup, ceiling)
+            )
             continue
         if name not in baseline_benchmarks:
             yield name, True, "new benchmark (no baseline, skipped)"
@@ -91,6 +109,14 @@ def main(argv=None):
         action="store_true",
         help="also gate absolute wall times (same-machine comparisons only)",
     )
+    parser.add_argument(
+        "--overhead",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="gate NAME as an overhead pair: its fast/reference ratio "
+        "must stay below 1 + tolerance (repeatable)",
+    )
     args = parser.parse_args(argv)
 
     current = load(args.current)
@@ -104,7 +130,8 @@ def main(argv=None):
 
     failures = 0
     for name, ok, message in compare(
-        current, baseline, args.tolerance, args.absolute
+        current, baseline, args.tolerance, args.absolute,
+        overhead=args.overhead,
     ):
         status = "ok  " if ok else "FAIL"
         print("%s %-16s %s" % (status, name, message))

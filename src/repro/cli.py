@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands:
+The commands:
 
 - ``demo`` — run a small secure group through joins/leaves/rekeys and
   print what happened (the quickest smoke test of an install);
@@ -10,7 +10,12 @@ Four commands:
   sizes and the max supportable group size per rekey interval;
 - ``serve`` — run the long-lived rekey daemon: churn-driven intervals,
   WAL+snapshot durability (``--state-dir``), crash injection
-  (``--crash-at``) and recovery (``--resume``), per-interval metrics;
+  (``--crash-at``) and recovery (``--resume``), per-interval metrics,
+  and the observability surface (``--metrics-port`` serves
+  ``/healthz`` + ``/metrics``; ``--obs-file`` writes the structured
+  event stream as JSONL — see ``docs/observability.md``);
+- ``obs-report`` — analyse an ``--obs-file``: headline paper metrics
+  and a per-interval time breakdown, from the event stream alone;
 - ``bench-perf`` — run the hot-path micro-benchmarks and write a
   ``BENCH_perf.json`` document (see ``docs/performance.md``).
 """
@@ -110,7 +115,28 @@ def _build_parser():
         action="store_true",
         help="emit the full metrics ledger as JSON at the end",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /healthz and /metrics on this port while running "
+        "(0 = pick an ephemeral port; enables observability)",
+    )
+    serve.add_argument(
+        "--obs-file",
+        default=None,
+        metavar="PATH",
+        help="write the structured event stream as JSONL here "
+        "(enables observability; analyse with `repro obs-report`)",
+    )
     serve.add_argument("--seed", type=int, default=1)
+
+    obs_report = sub.add_parser(
+        "obs-report",
+        help="analyse an --obs-file event stream (JSONL)",
+    )
+    obs_report.add_argument("path", help="the JSONL file to analyse")
 
     bench = sub.add_parser(
         "bench-perf", help="run the hot-path perf benchmarks"
@@ -297,6 +323,12 @@ def _cmd_serve(args, out):
     except ServiceError as error:
         print("error: %s" % error, file=out)
         return 2
+    obs = bus = None
+    if args.obs_file is not None or args.metrics_port is not None:
+        from repro.obs import EventBus, Recorder
+
+        bus = EventBus(path=args.obs_file)
+        obs = Recorder(bus=bus)
     if args.resume:
         if not args.state_dir:
             print("--resume needs --state-dir", file=out)
@@ -309,6 +341,7 @@ def _cmd_serve(args, out):
                 churn=churn,
                 service=service,
                 seed=args.seed,
+                obs=obs,
             )
         except ServiceError as error:
             print("error: %s" % error, file=out)
@@ -330,6 +363,7 @@ def _cmd_serve(args, out):
             churn=churn,
             service=service,
             seed=args.seed,
+            obs=obs,
         )
         print(
             "serving a %d-member group (%s transport, %s churn%s)"
@@ -341,6 +375,15 @@ def _cmd_serve(args, out):
             ),
             file=out,
         )
+    scrape = None
+    if args.metrics_port is not None:
+        from repro.obs.httpd import MetricsServer
+
+        scrape = MetricsServer.for_daemon(
+            daemon, port=args.metrics_port
+        ).start()
+        print("metrics: %s/metrics  health: %s/healthz"
+              % (scrape.url, scrape.url), file=out)
     print(ServiceMetrics.TABLE_HEADER, file=out)
 
     def _print_row(record):
@@ -364,7 +407,11 @@ def _cmd_serve(args, out):
             )
         exit_code = 0 if args.crash_at is not None else 1
     finally:
+        if scrape is not None:
+            scrape.stop()
         daemon.close()
+        if bus is not None:
+            bus.close()
     health = daemon.health()
     print(
         "health: %s (%d members, %d intervals, %d deadline miss(es))"
@@ -378,7 +425,23 @@ def _cmd_serve(args, out):
     )
     if args.json:
         print(daemon.metrics.to_json(indent=2), file=out)
+    if args.obs_file:
+        print("wrote obs events to %s" % args.obs_file, file=out)
     return exit_code
+
+
+def _cmd_obs_report(args, out):
+    from repro.errors import ObsError
+    from repro.obs.report import render_report
+
+    try:
+        lines = render_report(args.path)
+    except (OSError, ObsError) as error:
+        print("error: %s" % error, file=out)
+        return 2
+    for line in lines:
+        print(line, file=out)
+    return 0
 
 
 def _cmd_bench_perf(args, out):
@@ -409,6 +472,7 @@ def main(argv=None, out=None):
         "simulate": _cmd_simulate,
         "analyze": _cmd_analyze,
         "serve": _cmd_serve,
+        "obs-report": _cmd_obs_report,
         "bench-perf": _cmd_bench_perf,
     }
     return handlers[args.command](args, out)

@@ -60,6 +60,21 @@ class GroupKeyServer:
         self._pending_leaves = []
         self._next_message_id = 0
         self.intervals_processed = 0
+        from repro.obs.recorder import NULL
+
+        self.obs = NULL
+
+    def set_observer(self, obs):
+        """Attach an observability recorder to the whole pipeline.
+
+        Propagates to the marking algorithm and the message builder
+        (which hands it on to messages and their FEC coders), so one
+        call instruments marking, encryption, signing, and encoding.
+        """
+        self.obs = obs
+        self._marking.obs = obs
+        self._builder.obs = obs
+        return self
 
     # -- membership requests -------------------------------------------------
 

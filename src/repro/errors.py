@@ -71,3 +71,7 @@ class ServiceError(ReproError):
 
 class WalError(ServiceError):
     """The write-ahead log is corrupt beyond the tolerated torn tail."""
+
+
+class ObsError(ReproError):
+    """Invalid observability state: bad event schema, malformed JSONL."""

@@ -48,6 +48,7 @@ from repro.fec.gf256 import (
     gf_mul_table_rows,
     gf_pow,
 )
+from repro.obs.recorder import NULL
 from repro.util.validation import check_non_negative, check_positive
 
 #: Maximum codeword index + 1.  With distinct non-zero evaluation points
@@ -138,6 +139,10 @@ class _RSECoderBase:
             )
         self._k = int(k)
         self._generator = _generator_matrix(self._k)
+        #: observability recorder (repro.obs); spans are emitted only
+        #: when a real recorder is attached — the ``enabled`` guard
+        #: keeps the per-block cost at one attribute load otherwise
+        self.obs = NULL
 
     @property
     def k(self):
@@ -185,6 +190,14 @@ class _RSECoderBase:
                 % (first_row, last_row - 1, MAX_CODEWORDS - 1)
             )
         self._check_block(data_packets)
+        obs = self.obs
+        if obs.enabled:
+            with obs.span(
+                "fec.encode", k=self._k, n_parity=int(n_parity)
+            ):
+                return self._apply_generator_rows(
+                    first_row, last_row, data_packets
+                )
         return self._apply_generator_rows(first_row, last_row, data_packets)
 
     def _apply_generator_rows(self, first_row, last_row, data_packets):
@@ -231,7 +244,16 @@ class _RSECoderBase:
                 "received packets have differing lengths: %s"
                 % sorted(lengths)
             )
-        return self._decode_packets(indices, [received[i] for i in indices])
+        packets = [received[i] for i in indices]
+        obs = self.obs
+        if obs.enabled:
+            with obs.span(
+                "fec.decode", k=self._k, erased=self._k - sum(
+                    1 for i in indices if i < self._k
+                ),
+            ):
+                return self._decode_packets(indices, packets)
+        return self._decode_packets(indices, packets)
 
     def _decode_packets(self, indices, packets):
         submatrix = self._generator[indices].copy()
@@ -375,12 +397,18 @@ MatrixRSECoder = RSECoder
 CODER_KINDS = ("matrix", "reference")
 
 
-def make_coder(kind, k):
+def make_coder(kind, k, obs=None):
     """Instantiate an RSE coder by kind: ``"matrix"`` or ``"reference"``."""
     if kind == "matrix":
-        return RSECoder(k)
-    if kind == "reference":
-        return ReferenceRSECoder(k)
+        coder = RSECoder(k)
+    elif kind == "reference":
+        coder = ReferenceRSECoder(k)
+    else:
+        coder = None
+    if coder is not None:
+        if obs is not None:
+            coder.obs = obs
+        return coder
     raise FECError(
         "unknown RSE coder kind %r (expected one of %s)"
         % (kind, ", ".join(CODER_KINDS))

@@ -33,6 +33,7 @@ from repro.errors import DuplicateUserError, MarkingError, UnknownUserError
 from repro.keytree import ids as idmath
 from repro.keytree.nodes import NodeKind, NodeLabel
 from repro.keytree.tree import KeyTree
+from repro.obs.recorder import NULL
 
 
 @dataclass(frozen=True)
@@ -153,6 +154,8 @@ class MarkingAlgorithm:
         #: When False, updated k-nodes are identified but key material is
         #: not regenerated — slightly faster for workload-only studies.
         self.renew_keys = renew_keys
+        #: observability recorder (repro.obs); NULL is a strict no-op
+        self.obs = NULL
 
     # -- public entry ---------------------------------------------------
 
@@ -162,6 +165,14 @@ class MarkingAlgorithm:
         ``joins`` is an iterable of new user names, ``leaves`` of current
         member names.  The tree is mutated in place.
         """
+        joins = list(joins)
+        leaves = list(leaves)
+        with self.obs.span(
+            "marking.apply", joins=len(joins), leaves=len(leaves)
+        ):
+            return self._apply_batch(tree, joins, leaves)
+
+    def _apply_batch(self, tree, joins, leaves):
         if not isinstance(tree, KeyTree):
             raise MarkingError("tree must be a KeyTree")
         joins = list(joins)
@@ -454,8 +465,7 @@ class IncrementalMarkingAlgorithm(MarkingAlgorithm):
         super().__init__(renew_keys=renew_keys)
         self._moved_from = {}
 
-    def apply(self, tree, joins=(), leaves=()):
-        """Apply ``joins`` and ``leaves``; see ``MarkingAlgorithm.apply``."""
+    def _apply_batch(self, tree, joins, leaves):
         if not isinstance(tree, KeyTree):
             raise MarkingError("tree must be a KeyTree")
         joins = list(joins)
@@ -563,8 +573,12 @@ class IncrementalMarkingAlgorithm(MarkingAlgorithm):
         return k_labels
 
 
-def make_marking(incremental=True, renew_keys=True):
+def make_marking(incremental=True, renew_keys=True, obs=None):
     """Instantiate a marking algorithm; incremental is the default."""
     if incremental:
-        return IncrementalMarkingAlgorithm(renew_keys=renew_keys)
-    return MarkingAlgorithm(renew_keys=renew_keys)
+        algorithm = IncrementalMarkingAlgorithm(renew_keys=renew_keys)
+    else:
+        algorithm = MarkingAlgorithm(renew_keys=renew_keys)
+    if obs is not None:
+        algorithm.obs = obs
+    return algorithm

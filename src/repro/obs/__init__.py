@@ -1,0 +1,55 @@
+"""Unified observability: spans, structured events, exposition.
+
+One layer replaces three fragmented surfaces (session-only traces, the
+in-memory health ledger, out-of-band ``perf_counter`` timing):
+
+- :mod:`repro.obs.recorder` — the span/timer/counter API.  Everything
+  instrumentable defaults to :data:`NULL` (a shared no-op recorder), so
+  production hot paths pay nothing until a real :class:`Recorder` is
+  injected;
+- :mod:`repro.obs.events` — the versioned structured event bus
+  (:class:`EventBus`), JSONL export and validation; subsumes the session
+  trace kinds and adds marking/FEC/WAL/degradation/recovery events;
+- :mod:`repro.obs.metrics` — counter/gauge/histogram instruments;
+- :mod:`repro.obs.prometheus` — text-format exposition + parser;
+- :mod:`repro.obs.httpd` — the ``/healthz`` + ``/metrics`` endpoint
+  (``repro serve --metrics-port``);
+- :mod:`repro.obs.report` — the ``repro obs-report`` analysis of an
+  ``--obs-file`` JSONL (time breakdown + headline paper metrics).
+
+See ``docs/observability.md`` for the span taxonomy and event schema.
+"""
+
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    EventBus,
+    is_registered,
+    read_events,
+    register_event_kind,
+    registered_kinds,
+    validate_jsonl,
+    validate_record,
+)
+from repro.obs.metrics import (
+    DEFAULT_MS_BUCKETS,
+    ROUNDS_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.recorder import NULL, NullRecorder, Recorder
+
+__all__ = [
+    "DEFAULT_MS_BUCKETS",
+    "EventBus",
+    "MetricsRegistry",
+    "NULL",
+    "NullRecorder",
+    "ROUNDS_BUCKETS",
+    "Recorder",
+    "SCHEMA_VERSION",
+    "is_registered",
+    "read_events",
+    "register_event_kind",
+    "registered_kinds",
+    "validate_jsonl",
+    "validate_record",
+]

@@ -1,0 +1,216 @@
+"""The structured event bus: versioned schema, kind registry, JSONL.
+
+Every observability event is one JSON object::
+
+    {"v": 1, "t": <wall-clock seconds>, "kind": "<registered kind>",
+     "detail": {...}}
+
+``v`` is :data:`SCHEMA_VERSION` (additive evolution only: new kinds and
+new detail keys never bump it; renaming or removing either does).  The
+kind registry subsumes the session-protocol kinds that
+:class:`repro.transport.trace.SessionTrace` historically owned and adds
+the service-level kinds (marking, FEC, WAL, degradation, recovery) the
+daemon emits.  The registry is *extensible* — embedders call
+:func:`register_event_kind` instead of patching a frozen set, so a new
+event kind is one line, not a ``ConfigurationError``.
+
+An :class:`EventBus` collects events in memory and, when given a path,
+appends them as JSONL (the daemon's ``--obs-file``).
+:func:`validate_record` / :func:`validate_jsonl` check conformance; the
+CI smoke job runs the latter over a real daemon run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.errors import ObsError
+
+#: Version of the event envelope. Additive changes keep it.
+SCHEMA_VERSION = 1
+
+#: Session-protocol kinds (historically SessionTrace.KNOWN_KINDS).
+SESSION_EVENT_KINDS = frozenset(
+    {
+        "session_start",
+        "round_planned",
+        "round_complete",
+        "unicast_start",
+        "unicast_attempt",
+        "session_complete",
+    }
+)
+
+#: Service- and pipeline-level kinds added by the obs layer.
+SERVICE_EVENT_KINDS = frozenset(
+    {
+        "span",               # a closed span: name, ms, inherited fields
+        "interval_start",     # daemon interval began
+        "interval_complete",  # detail = the IntervalMetrics record
+        "marking_complete",   # marking output summary for one batch
+        "fec_encode",         # parity generated for one block
+        "wal_append",         # a request record became durable
+        "wal_compact",        # WAL compaction ran
+        "snapshot",           # server snapshot atomically replaced
+        "degradation",        # deadline missed: unicast-cutover/carry-over
+        "carry_served",       # carried users served at interval start
+        "recovery",           # daemon recovered from snapshot + WAL
+        "crash",              # injected crash fired
+    }
+)
+
+_REGISTRY = set(SESSION_EVENT_KINDS | SERVICE_EVENT_KINDS)
+
+
+def register_event_kind(kind):
+    """Add ``kind`` to the registry (idempotent); returns the kind."""
+    if not isinstance(kind, str) or not kind:
+        raise ObsError("event kind must be a non-empty string")
+    _REGISTRY.add(kind)
+    return kind
+
+
+def is_registered(kind):
+    return kind in _REGISTRY
+
+
+def registered_kinds():
+    """Snapshot of every registered kind (sorted)."""
+    return sorted(_REGISTRY)
+
+
+class EventBus:
+    """Append-only event sink with optional JSONL persistence.
+
+    ``context`` keys (set via :meth:`set_context`) are merged into every
+    record's detail — the daemon stamps the current interval there so
+    events emitted deep in the pipeline (session rounds, FEC encodes)
+    carry it without plumbing.
+    """
+
+    def __init__(self, path=None, clock=time.time, keep=10000):
+        self.path = path
+        self.clock = clock
+        self.events = []
+        self._keep = int(keep)
+        self._context = {}
+        self._handle = open(path, "w") if path else None
+
+    def set_context(self, **fields):
+        """Merge ``fields`` into the ambient context (None deletes)."""
+        for key, value in fields.items():
+            if value is None:
+                self._context.pop(key, None)
+            else:
+                self._context[key] = value
+
+    def emit(self, kind, **detail):
+        """Record one event; returns the envelope dict."""
+        if kind not in _REGISTRY:
+            raise ObsError(
+                "unregistered event kind %r (register_event_kind first)"
+                % (kind,)
+            )
+        merged = dict(self._context)
+        merged.update(detail)
+        record = {
+            "v": SCHEMA_VERSION,
+            "t": float(self.clock()),
+            "kind": kind,
+            "detail": merged,
+        }
+        self.events.append(record)
+        if len(self.events) > self._keep:
+            del self.events[: len(self.events) - self._keep]
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return record
+
+    def of_kind(self, kind):
+        return [e for e in self.events if e["kind"] == kind]
+
+    def flush(self):
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def __len__(self):
+        return len(self.events)
+
+
+def validate_record(record, strict_kinds=False):
+    """Check one event envelope; raises :class:`ObsError` when invalid.
+
+    With ``strict_kinds`` the kind must be in the registry; without, any
+    non-empty string passes (a reader must tolerate kinds newer than
+    itself — that is what makes the schema additive).
+    """
+    if not isinstance(record, dict):
+        raise ObsError("event must be a JSON object, got %r" % type(record))
+    if record.get("v") != SCHEMA_VERSION:
+        raise ObsError(
+            "unsupported event schema version %r (expected %d)"
+            % (record.get("v"), SCHEMA_VERSION)
+        )
+    kind = record.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise ObsError("event kind must be a non-empty string")
+    if strict_kinds and kind not in _REGISTRY:
+        raise ObsError("unregistered event kind %r" % (kind,))
+    if not isinstance(record.get("t"), (int, float)):
+        raise ObsError("event time %r is not a number" % (record.get("t"),))
+    if not isinstance(record.get("detail"), dict):
+        raise ObsError("event detail must be an object")
+    return record
+
+
+def validate_jsonl(path, strict_kinds=False):
+    """Validate every line of a JSONL file; returns the record count."""
+    count = 0
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as error:
+                raise ObsError(
+                    "%s:%d: not JSON (%s)" % (path, lineno, error)
+                )
+            try:
+                validate_record(record, strict_kinds=strict_kinds)
+            except ObsError as error:
+                raise ObsError("%s:%d: %s" % (path, lineno, error))
+            count += 1
+    return count
+
+
+def read_events(path):
+    """Load and validate a JSONL event file into a list of records."""
+    out = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as error:
+                raise ObsError(
+                    "%s:%d: not JSON (%s)" % (path, lineno, error)
+                )
+            out.append(validate_record(record))
+    return out

@@ -1,0 +1,122 @@
+"""The daemon's scrape surface: ``/healthz`` + ``/metrics`` over stdlib.
+
+:class:`MetricsServer` wraps a :class:`http.server.ThreadingHTTPServer`
+bound to localhost, serving:
+
+- ``GET /healthz`` — the daemon's probe summary as JSON; HTTP 200 while
+  the status is ``ok``, 503 once it degrades (so a liveness probe needs
+  no JSON parsing);
+- ``GET /metrics`` — the Prometheus text exposition from
+  :func:`repro.obs.prometheus.render`;
+- anything else — 404.
+
+The server runs on a daemon thread; request handling happens off the
+rekey loop, reading the shared ledger/registry without locks (all
+updates are GIL-atomic — see :mod:`repro.obs.metrics`).  Port 0 binds an
+ephemeral port, exposed as :attr:`MetricsServer.port` — tests and the CI
+smoke job rely on that.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.prometheus import CONTENT_TYPE, render
+
+
+class MetricsServer:
+    """Serve scrape endpoints for callables producing the documents."""
+
+    def __init__(self, metrics_text, health_dict, port=0, host="127.0.0.1"):
+        """``metrics_text()`` returns the exposition text;
+        ``health_dict()`` returns the probe dict (``status`` key)."""
+        self._metrics_text = metrics_text
+        self._health_dict = health_dict
+        self._thread = None
+
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args):  # keep scrapes off stderr
+                pass
+
+            def _send(self, status, content_type, body):
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        body = server._metrics_text().encode("utf-8")
+                        self._send(200, CONTENT_TYPE, body)
+                    elif path == "/healthz":
+                        health = server._health_dict()
+                        status = (
+                            200 if health.get("status") == "ok" else 503
+                        )
+                        body = json.dumps(health, sort_keys=True).encode(
+                            "utf-8"
+                        )
+                        self._send(status, "application/json", body)
+                    else:
+                        self._send(
+                            404, "text/plain; charset=utf-8",
+                            b"not found; try /healthz or /metrics\n",
+                        )
+                except Exception as error:  # scrape must never kill us
+                    self._send(
+                        500, "text/plain; charset=utf-8",
+                        ("error: %s\n" % error).encode("utf-8"),
+                    )
+
+        self.httpd = ThreadingHTTPServer((host, int(port)), Handler)
+        self.httpd.daemon_threads = True
+        self.host = host
+        self.port = self.httpd.server_address[1]
+
+    @classmethod
+    def for_daemon(cls, daemon, port=0, host="127.0.0.1"):
+        """Scrape surface for a :class:`~repro.service.daemon.RekeyDaemon`."""
+        registry = daemon.obs.metrics if daemon.obs.enabled else None
+        return cls(
+            metrics_text=lambda: render(
+                ledger=daemon.metrics,
+                registry=registry,
+                health=daemon.health(),
+            ),
+            health_dict=daemon.health,
+            port=port,
+            host=host,
+        )
+
+    @property
+    def url(self):
+        return "http://%s:%d" % (self.host, self.port)
+
+    def start(self):
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self):
+        if self._thread is not None:
+            self.httpd.shutdown()
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.httpd.server_close()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc_info):
+        self.stop()

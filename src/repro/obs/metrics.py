@@ -1,0 +1,158 @@
+"""In-process metric instruments: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` holds every instrument the recorder touches,
+keyed by ``(name, sorted label items)``.  Instruments are plain Python
+objects updated under the GIL (single attribute/list-slot writes), so
+they are safe to update from the daemon thread while the HTTP exposition
+thread renders them — exactly the concurrency the ``/metrics`` endpoint
+needs, with no locks on the hot path.
+
+Rendering to the Prometheus text format lives in
+:mod:`repro.obs.prometheus`; this module is pure bookkeeping.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Default histogram buckets for millisecond durations (span timings).
+DEFAULT_MS_BUCKETS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+#: Buckets for recovery latencies measured in multicast rounds.
+ROUNDS_BUCKETS = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 12.0)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, by=1):
+        if by < 0:
+            raise ValueError("counters only go up (got %r)" % (by,))
+        self.value += by
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds; the implicit ``+Inf`` bucket is always
+    present.  Per-bucket counts are stored non-cumulatively and summed
+    at render time, so ``observe`` is one bisect and one increment.
+    """
+
+    kind = "histogram"
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets=DEFAULT_MS_BUCKETS):
+        self.buckets = tuple(float(b) for b in sorted(buckets))
+        if not self.buckets:
+            raise ValueError("a histogram needs at least one bucket")
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value):
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self):
+        """(upper_bound, cumulative_count) pairs, ``+Inf`` last."""
+        total = 0
+        out = []
+        for bound, count in zip(self.buckets, self.counts):
+            total += count
+            out.append((bound, total))
+        out.append((float("inf"), total + self.counts[-1]))
+        return out
+
+
+class MetricsRegistry:
+    """Name- and label-addressed instrument store."""
+
+    def __init__(self):
+        #: name -> {"kind": str, "help": str, "samples": {labels: obj}}
+        self._families = {}
+
+    @staticmethod
+    def _label_key(labels):
+        return tuple(sorted(labels.items()))
+
+    def _family(self, name, kind, help_text):
+        family = self._families.get(name)
+        if family is None:
+            family = {"kind": kind, "help": help_text or "", "samples": {}}
+            self._families[name] = family
+        elif family["kind"] != kind:
+            raise ValueError(
+                "metric %r is a %s, not a %s"
+                % (name, family["kind"], kind)
+            )
+        if help_text and not family["help"]:
+            family["help"] = help_text
+        return family
+
+    def counter(self, name, help="", **labels):
+        family = self._family(name, "counter", help)
+        key = self._label_key(labels)
+        sample = family["samples"].get(key)
+        if sample is None:
+            sample = family["samples"][key] = Counter()
+        return sample
+
+    def gauge(self, name, help="", **labels):
+        family = self._family(name, "gauge", help)
+        key = self._label_key(labels)
+        sample = family["samples"].get(key)
+        if sample is None:
+            sample = family["samples"][key] = Gauge()
+        return sample
+
+    def histogram(self, name, buckets=None, help="", **labels):
+        family = self._family(name, "histogram", help)
+        key = self._label_key(labels)
+        sample = family["samples"].get(key)
+        if sample is None:
+            sample = family["samples"][key] = Histogram(
+                buckets if buckets is not None else DEFAULT_MS_BUCKETS
+            )
+        return sample
+
+    def families(self):
+        """Snapshot iterable of (name, kind, help, samples) tuples.
+
+        ``samples`` is a list of (labels dict, instrument) pairs, label
+        sets in insertion order.
+        """
+        for name in sorted(self._families):
+            family = self._families[name]
+            samples = [
+                (dict(key), sample)
+                for key, sample in list(family["samples"].items())
+            ]
+            yield name, family["kind"], family["help"], samples
+
+    def __len__(self):
+        return len(self._families)

@@ -1,0 +1,226 @@
+"""Prometheus text-format exposition (and a parser for round-trips).
+
+:func:`render` turns the daemon's :class:`~repro.service.health.ServiceMetrics`
+ledger — counters, the last interval's gauges — plus an optional
+:class:`~repro.obs.metrics.MetricsRegistry` (span/latency histograms)
+into the ``text/plain; version=0.0.4`` format Prometheus scrapes.  All
+metric names carry the ``repro_`` prefix; ledger counters gain the
+conventional ``_total`` suffix.
+
+:func:`parse` is a deliberately small reader of the same format — enough
+for the exposition tests to assert a lossless render → parse round-trip
+(names, label sets, HELP/TYPE lines, histogram invariants) and for the
+CI smoke job to check a live scrape.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: HELP text for the ledger-derived metrics.
+_LEDGER_HELP = {
+    "joins_accepted": "Join requests accepted (applied and logged).",
+    "leaves_accepted": "Leave requests accepted (applied and logged).",
+    "requests_rejected": "Membership requests rejected as invalid.",
+    "requests_replayed": "WAL request records replayed during recovery.",
+    "members_resynced": "Members re-registered after recovery.",
+    "recoveries": "Daemon recoveries from snapshot + WAL.",
+    "empty_intervals": "Intervals with no membership change.",
+    "deadline_misses": "Intervals that missed the delivery deadline.",
+}
+
+
+def _escape_help(text):
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value):
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value):
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return "%d" % int(value)
+    return repr(float(value))
+
+
+def _sample_line(name, labels, value):
+    if labels:
+        body = ",".join(
+            '%s="%s"' % (key, _escape_label(labels[key]))
+            for key in sorted(labels)
+        )
+        return "%s{%s} %s" % (name, body, _format_value(value))
+    return "%s %s" % (name, _format_value(value))
+
+
+def _header(lines, name, kind, help_text):
+    lines.append("# HELP %s %s" % (name, _escape_help(help_text or name)))
+    lines.append("# TYPE %s %s" % (name, kind))
+
+
+def _render_histogram(lines, name, labels, histogram):
+    for bound, cumulative in histogram.cumulative():
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = (
+            "+Inf" if math.isinf(bound) else _format_value(bound)
+        )
+        lines.append(
+            _sample_line(name + "_bucket", bucket_labels, cumulative)
+        )
+    lines.append(_sample_line(name + "_sum", labels, histogram.sum))
+    lines.append(_sample_line(name + "_count", labels, histogram.count))
+
+
+def render(ledger=None, registry=None, health=None):
+    """Render the exposition document; returns the text (trailing \\n).
+
+    ``ledger`` is a :class:`~repro.service.health.ServiceMetrics` (or
+    None), ``registry`` a :class:`~repro.obs.metrics.MetricsRegistry`
+    (or None), ``health`` an optional health dict whose ``status``
+    becomes the ``repro_up`` gauge (1 ok / 0 degraded).
+    """
+    lines = []
+    if ledger is not None:
+        for counter in sorted(ledger.counters):
+            name = "repro_%s_total" % counter
+            _header(
+                lines, name, "counter",
+                _LEDGER_HELP.get(counter, counter.replace("_", " ")),
+            )
+            lines.append(_sample_line(name, {}, ledger.counters[counter]))
+        name = "repro_intervals_processed_total"
+        _header(
+            lines, name, "counter", "Rekey intervals completed."
+        )
+        lines.append(_sample_line(name, {}, ledger.n_intervals))
+        last = ledger.intervals[-1] if ledger.intervals else None
+        gauges = (
+            ("repro_members", "Current group size.",
+             last.n_members if last else 0),
+            ("repro_rho", "Proactivity factor of the last interval.",
+             last.rho if last else 0.0),
+            ("repro_last_interval_duration_ms",
+             "Wall time of the last rekey interval.",
+             last.duration_ms if last else 0.0),
+            ("repro_last_first_round_nacks",
+             "First-round NACK count of the last interval.",
+             last.first_round_nacks if last else 0),
+        )
+        for name, help_text, value in gauges:
+            _header(lines, name, "gauge", help_text)
+            lines.append(_sample_line(name, {}, value))
+    if health is not None:
+        _header(
+            lines, "repro_up", "gauge",
+            "1 when the daemon reports ok, 0 when degraded.",
+        )
+        lines.append(
+            _sample_line(
+                "repro_up", {}, 1 if health.get("status") == "ok" else 0
+            )
+        )
+    if registry is not None:
+        for name, kind, help_text, samples in registry.families():
+            full = "repro_" + name
+            _header(lines, full, kind, help_text)
+            for labels, instrument in samples:
+                if kind == "histogram":
+                    _render_histogram(lines, full, labels, instrument)
+                else:
+                    lines.append(
+                        _sample_line(full, labels, instrument.value)
+                    )
+    return "\n".join(lines) + "\n"
+
+
+# -- parsing (for round-trip tests and the CI smoke scrape) -------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"'
+)
+
+
+def _unescape_label(value):
+    return (
+        value.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+    )
+
+
+def _parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse(text):
+    """Parse exposition text into ``{family: {...}}``.
+
+    Each family maps to ``{"help": str, "type": str, "samples": [...]}``
+    where a sample is ``(sample_name, labels_dict, value)``.  A sample
+    whose family was never declared lands under its own name with type
+    ``"untyped"``.
+    """
+    families = {}
+
+    def family_for(name):
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                break
+        if base not in families:
+            families[base] = {"help": "", "type": "untyped", "samples": []}
+        return families[base]
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(
+                name, {"help": "", "type": "untyped", "samples": []}
+            )["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            families.setdefault(
+                name, {"help": "", "type": "untyped", "samples": []}
+            )["type"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError("line %d: unparseable sample %r" % (lineno, line))
+        labels = {}
+        if match.group("labels"):
+            for label in _LABEL_RE.finditer(match.group("labels")):
+                labels[label.group("key")] = _unescape_label(
+                    label.group("value")
+                )
+        family_for(match.group("name"))["samples"].append(
+            (match.group("name"), labels, _parse_value(match.group("value")))
+        )
+    return families

@@ -1,0 +1,167 @@
+"""Spans, timers, and the recorder every subsystem writes into.
+
+Two recorders share one duck-typed surface:
+
+- :data:`NULL` (a :class:`NullRecorder`) — the default everywhere.  Its
+  ``span()`` hands back one shared no-op context manager and every other
+  method is a ``pass``; with observability off, instrumented code pays
+  one attribute load and (on guarded hot paths) one truthiness test.
+- :class:`Recorder` — the real thing: nestable spans on a thread-local
+  stack, span durations folded into a :class:`~repro.obs.metrics`
+  histogram per span name, counters/gauges/ad-hoc histograms, and
+  (optionally) every span and event forwarded to an
+  :class:`~repro.obs.events.EventBus`.
+
+Spans use the monotonic :func:`time.perf_counter` clock — wall-clock
+steps never corrupt a duration.  A child span inherits its parent's
+fields, so ``span("daemon.interval", interval=7)`` stamps ``interval=7``
+on every ``marking.apply`` / ``fec.encode`` span that closes inside it;
+the ``obs-report`` CLI leans on exactly that to attribute time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class _NullSpan:
+    """The shared do-nothing span (one instance, reused)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def note(self, **fields):
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Zero-overhead recorder used when observability is disabled."""
+
+    enabled = False
+    bus = None
+    metrics = None
+
+    def span(self, name, **fields):
+        return _NULL_SPAN
+
+    def count(self, name, by=1, **labels):
+        pass
+
+    def gauge(self, name, value, **labels):
+        pass
+
+    def observe(self, name, value, buckets=None, **labels):
+        pass
+
+    def emit(self, kind, **detail):
+        pass
+
+
+#: The module-wide disabled recorder every instrumented default points at.
+NULL = NullRecorder()
+
+
+class Span:
+    """One timed section; created by :meth:`Recorder.span`."""
+
+    __slots__ = ("_recorder", "name", "fields", "_start")
+
+    def __init__(self, recorder, name, fields):
+        self._recorder = recorder
+        self.name = name
+        self.fields = fields
+        self._start = None
+
+    def note(self, **fields):
+        """Attach fields to a live span (they reach the span event)."""
+        self.fields.update(fields)
+
+    def __enter__(self):
+        stack = self._recorder._stack()
+        parent = stack[-1] if stack else None
+        if parent is not None and parent.fields:
+            merged = dict(parent.fields)
+            merged.update(self.fields)
+            self.fields = merged
+        stack.append(self)
+        self._start = self._recorder.clock()
+        return self
+
+    def __exit__(self, *exc_info):
+        elapsed = self._recorder.clock() - self._start
+        stack = self._recorder._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._recorder._finish_span(self, elapsed)
+        return False
+
+
+class Recorder:
+    """The enabled recorder: metrics registry + optional event bus."""
+
+    enabled = True
+
+    def __init__(self, bus=None, clock=time.perf_counter):
+        self.bus = bus
+        self.clock = clock
+        self.metrics = MetricsRegistry()
+        self._local = threading.local()
+
+    def _stack(self):
+        try:
+            return self._local.spans
+        except AttributeError:
+            self._local.spans = []
+            return self._local.spans
+
+    def current_span(self):
+        """The innermost open span on this thread, or None."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def span(self, name, **fields):
+        """A context manager timing one named section."""
+        return Span(self, name, fields)
+
+    def _finish_span(self, span, elapsed):
+        ms = elapsed * 1e3
+        self.metrics.histogram(
+            "span_ms",
+            help="Duration of instrumented spans by name.",
+            span=span.name,
+        ).observe(ms)
+        if self.bus is not None:
+            self.bus.emit(
+                "span", name=span.name, ms=round(ms, 4), **span.fields
+            )
+
+    # -- instruments ----------------------------------------------------
+
+    def count(self, name, by=1, **labels):
+        self.metrics.counter(name, **labels).inc(by)
+
+    def gauge(self, name, value, **labels):
+        self.metrics.gauge(name, **labels).set(value)
+
+    def observe(self, name, value, buckets=None, **labels):
+        self.metrics.histogram(name, buckets=buckets, **labels).observe(
+            value
+        )
+
+    # -- events ---------------------------------------------------------
+
+    def emit(self, kind, **detail):
+        """Forward an event to the bus (a no-op without one)."""
+        if self.bus is not None:
+            self.bus.emit(kind, **detail)

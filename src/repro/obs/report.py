@@ -1,0 +1,188 @@
+"""``python -m repro obs-report`` — analyse one ``--obs-file`` JSONL.
+
+The report answers two questions from the event stream alone (no ledger,
+no daemon):
+
+1. **Headline paper metrics** — the ρ trajectory, total first-round
+   NACKs, and the worst per-interval recovery p99 — reproduced from the
+   ``interval_complete`` events, which embed the full
+   :class:`~repro.service.health.IntervalMetrics` record.
+2. **Where does the time go** — per interval, wall milliseconds split by
+   pipeline stage (marking vs. message build/encrypt vs. delivery vs.
+   snapshot), reconstructed from ``span`` events via the interval field
+   child spans inherit from the ``daemon.interval`` root span.
+
+``fec`` time (encode + decode spans) is reported as a nested column: it
+overlaps ``build``/``deliver``, so it is shown for attribution, not
+summed into the total.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.events import read_events
+
+#: Top-level children of daemon.interval: disjoint, so they sum.
+_TOP_SPANS = {
+    "daemon.carry": "carry",
+    "daemon.intake": "intake",
+    "daemon.rekey": "rekey",
+    "daemon.deliver": "deliver",
+    "daemon.snapshot": "snapshot",
+}
+
+#: Nested spans shown as attribution detail (they overlap the top level).
+_NESTED_SPANS = {
+    "marking.apply": "marking",
+    "message.build": "build",
+    "fec.encode": "fec",
+    "fec.decode": "fec",
+}
+
+
+def summarize(events):
+    """Reduce a validated event list to the report's numbers."""
+    intervals = [
+        e["detail"] for e in events if e["kind"] == "interval_complete"
+    ]
+    intervals.sort(key=lambda d: d.get("interval", 0))
+    spans = [e["detail"] for e in events if e["kind"] == "span"]
+
+    rho_trajectory = [d.get("rho", 0.0) for d in intervals]
+    active = [d for d in intervals if d.get("decision") != "empty"]
+    p99s = [
+        d["recovery_p99"]
+        for d in intervals
+        if isinstance(d.get("recovery_p99"), (int, float))
+        and not math.isnan(d["recovery_p99"])
+    ]
+    decisions = {}
+    for d in intervals:
+        decision = d.get("decision", "?")
+        decisions[decision] = decisions.get(decision, 0) + 1
+
+    breakdown = {}
+    span_totals = {}
+    for span in spans:
+        name = span.get("name", "?")
+        ms = float(span.get("ms", 0.0))
+        entry = span_totals.setdefault(name, {"count": 0, "total_ms": 0.0})
+        entry["count"] += 1
+        entry["total_ms"] += ms
+        interval = span.get("interval")
+        if interval is None:
+            continue
+        row = breakdown.setdefault(
+            interval, {"total": 0.0, "fec": 0.0}
+        )
+        if name == "daemon.interval":
+            row["total"] += ms
+        elif name in _TOP_SPANS:
+            row[_TOP_SPANS[name]] = row.get(_TOP_SPANS[name], 0.0) + ms
+        if name in _NESTED_SPANS:
+            key = _NESTED_SPANS[name]
+            row[key] = row.get(key, 0.0) + ms
+    for row in breakdown.values():
+        accounted = sum(
+            row.get(column, 0.0) for column in _TOP_SPANS.values()
+        )
+        row["other"] = max(0.0, row["total"] - accounted)
+
+    return {
+        "n_events": len(events),
+        "n_intervals": len(intervals),
+        "intervals": intervals,
+        "final_members": (
+            intervals[-1].get("n_members", 0) if intervals else 0
+        ),
+        "rho_trajectory": rho_trajectory,
+        "mean_rho": (
+            sum(d.get("rho", 0.0) for d in active) / len(active)
+            if active else 0.0
+        ),
+        "first_round_nacks_total": sum(
+            d.get("first_round_nacks", 0) for d in intervals
+        ),
+        "recovery_p99_max": max(p99s) if p99s else None,
+        "decisions": decisions,
+        "time_breakdown": breakdown,
+        "span_totals": span_totals,
+    }
+
+
+def _fmt_ms(value):
+    return "%8.2f" % value
+
+
+def render_report(path):
+    """Report lines for one JSONL file (validated while loading)."""
+    events = read_events(path)
+    summary = summarize(events)
+    lines = [
+        "obs-report: %d event(s), %d interval(s) — %s"
+        % (summary["n_events"], summary["n_intervals"], path),
+        "",
+        "headline (from interval_complete events alone):",
+        "  final members       %d" % summary["final_members"],
+        "  rho trajectory      %s"
+        % " ".join("%.2f" % rho for rho in summary["rho_trajectory"]),
+        "  mean rho            %.3f (non-empty intervals)"
+        % summary["mean_rho"],
+        "  first-round NACKs   %d (total)"
+        % summary["first_round_nacks_total"],
+        "  recovery p99        %s"
+        % (
+            "%.1f rounds (worst interval)" % summary["recovery_p99_max"]
+            if summary["recovery_p99_max"] is not None
+            else "n/a (aggregate-only backend)"
+        ),
+        "  decisions           %s"
+        % " ".join(
+            "%s=%d" % (key, summary["decisions"][key])
+            for key in sorted(summary["decisions"])
+        ),
+    ]
+    breakdown = summary["time_breakdown"]
+    if breakdown:
+        lines += [
+            "",
+            "where the time goes (ms; fec is nested inside build/deliver):",
+            " int |    total |  marking |    build |  deliver | snapshot |"
+            "      fec |    other",
+        ]
+        for interval in sorted(breakdown):
+            row = breakdown[interval]
+            lines.append(
+                "%4s | %s | %s | %s | %s | %s | %s | %s"
+                % (
+                    interval,
+                    _fmt_ms(row.get("total", 0.0)),
+                    _fmt_ms(row.get("marking", 0.0)),
+                    _fmt_ms(row.get("build", 0.0)),
+                    _fmt_ms(row.get("deliver", 0.0)),
+                    _fmt_ms(row.get("snapshot", 0.0)),
+                    _fmt_ms(row.get("fec", 0.0)),
+                    _fmt_ms(row.get("other", 0.0)),
+                )
+            )
+    totals = summary["span_totals"]
+    if totals:
+        lines += ["", "span totals across the run:"]
+        lines.append(
+            "  %-24s %8s %12s %10s" % ("span", "count", "total ms", "mean ms")
+        )
+        ranked = sorted(
+            totals.items(), key=lambda item: -item[1]["total_ms"]
+        )
+        for name, entry in ranked:
+            lines.append(
+                "  %-24s %8d %12.2f %10.3f"
+                % (
+                    name,
+                    entry["count"],
+                    entry["total_ms"],
+                    entry["total_ms"] / max(1, entry["count"]),
+                )
+            )
+    return lines

@@ -289,7 +289,7 @@ def bench_fleet_interval(p):
     )
 
 
-def _make_daemon(n_users, alpha, incremental, coder, seed=11):
+def _make_daemon(n_users, alpha, incremental, coder, seed=11, obs=None):
     from repro.core.config import GroupConfig
     from repro.service import (
         DaemonConfig,
@@ -310,6 +310,7 @@ def _make_daemon(n_users, alpha, incremental, coder, seed=11):
         churn=churn,
         service=DaemonConfig(verify_invariants=False),
         seed=seed,
+        obs=obs,
     )
 
 
@@ -338,6 +339,39 @@ def bench_daemon_interval(p):
     )
 
 
+def bench_daemon_obs(p):
+    """Observability overhead: disabled (NULL) vs enabled recorder.
+
+    The roles are inverted relative to the other paired benchmarks:
+    "fast" is the daemon with observability *off* (the NULL recorder the
+    instrumented hot paths default to — also the fast side of
+    ``daemon_interval``, so the disabled path stays gated against the
+    committed baseline) and "reference" runs a live
+    :class:`~repro.obs.Recorder` with an in-memory
+    :class:`~repro.obs.EventBus`.  The resulting "speedup" is the
+    enabled-path cost ratio and should sit near 1.0x; the gate is an
+    *overhead ceiling* (``compare_bench.py --overhead daemon_obs``),
+    not a speedup floor.  Both daemons consume identically seeded churn
+    and run interleaved.
+    """
+    from repro.obs import EventBus, Recorder
+
+    plain = _make_daemon(p["n_users"], p["alpha"], True, "matrix")
+    observed = _make_daemon(
+        p["n_users"], p["alpha"], True, "matrix",
+        obs=Recorder(bus=EventBus()),
+    )
+    fast, slow = _interleaved(
+        plain.run_interval,
+        observed.run_interval,
+        p["daemon_pairs"],
+        warmup=0,  # intervals advance group state; don't burn churn
+    )
+    return _paired(
+        fast, slow, {"n_users": p["n_users"], "alpha": p["alpha"]}
+    )
+
+
 # -- suite --------------------------------------------------------------
 
 BENCHMARKS = (
@@ -347,6 +381,7 @@ BENCHMARKS = (
     ("assignment", bench_assignment),
     ("fleet_interval", bench_fleet_interval),
     ("daemon_interval", bench_daemon_interval),
+    ("daemon_obs", bench_daemon_obs),
 )
 
 

@@ -21,6 +21,7 @@ import struct
 from repro.crypto.cipher import XorStreamCipher
 from repro.errors import ConfigurationError, TransportError
 from repro.fec.rse import make_coder
+from repro.obs.recorder import NULL
 from repro.rekey.assignment import UserOrientedKeyAssignment
 from repro.rekey.blocks import BlockPartition
 from repro.rekey.packets import (
@@ -48,8 +49,11 @@ class RekeyMessage:
         encryption_map=None,
         signature=None,
         coder_kind="matrix",
+        obs=None,
     ):
         self.message_id = message_id
+        #: observability recorder, propagated to the FEC coder
+        self.obs = obs if obs is not None else NULL
         self.assignment = assignment
         self.partition = partition
         self.needs_by_user = needs_by_user
@@ -154,7 +158,7 @@ class RekeyMessage:
     def _coder(self):
         coder = self._coders.get(self.k)
         if coder is None:
-            coder = make_coder(self.coder_kind, self.k)
+            coder = make_coder(self.coder_kind, self.k, obs=self.obs)
             self._coders[self.k] = coder
         return coder
 
@@ -182,6 +186,14 @@ class RekeyMessage:
         parity = self._coder().parity(
             payloads, n_parity, first_parity_index=first_parity_index
         )
+        if self.obs.enabled:
+            self.obs.emit(
+                "fec_encode",
+                message_id=self.message_id,
+                block_id=block_id,
+                n_parity=int(n_parity),
+                first_parity_index=int(first_parity_index),
+            )
         return [
             ParityPacket(
                 rekey_message_id=self.message_id,
@@ -237,6 +249,7 @@ class RekeyMessageBuilder:
         cipher=None,
         signer=None,
         coder_kind="matrix",
+        obs=None,
     ):
         check_positive("packet_size", packet_size, integral=True)
         check_positive("block_size", block_size, integral=True)
@@ -245,6 +258,7 @@ class RekeyMessageBuilder:
         self.cipher = cipher or XorStreamCipher()
         self.signer = signer
         self.coder_kind = coder_kind
+        self.obs = obs if obs is not None else NULL
         self._assigner = UserOrientedKeyAssignment(packet_size=packet_size)
 
     def build(self, batch_result, message_id):
@@ -257,6 +271,10 @@ class RekeyMessageBuilder:
             raise ConfigurationError(
                 "message_id must fit the 6-bit field, got %r" % message_id
             )
+        with self.obs.span("message.build", message_id=message_id):
+            return self._build(batch_result, message_id)
+
+    def _build(self, batch_result, message_id):
         needs = batch_result.needs_by_user()
         max_kid = max(batch_result.max_knode_id, 0)
         if not needs:
@@ -269,26 +287,33 @@ class RekeyMessageBuilder:
                 k=self.block_size,
                 packet_size=self.packet_size,
                 coder_kind=self.coder_kind,
+                obs=self.obs,
             )
-        assignment = self._assigner.assign(needs)
+        with self.obs.span("message.assign"):
+            assignment = self._assigner.assign(needs)
         partition = BlockPartition(assignment.n_packets, self.block_size)
         encryption_map = None
         signature = None
         tree = batch_result.tree
         if not tree.keyless:
             encryption_map = {}
-            for edge in batch_result.subtree.edges:
-                encryption_map[edge.child_id] = self.cipher.encrypt_key(
-                    tree.key_of(edge.parent_id),
-                    tree.key_of(edge.child_id),
-                    encryption_id=edge.child_id,
-                )
+            with self.obs.span(
+                "message.encrypt",
+                n_encryptions=len(batch_result.subtree.edges),
+            ):
+                for edge in batch_result.subtree.edges:
+                    encryption_map[edge.child_id] = self.cipher.encrypt_key(
+                        tree.key_of(edge.parent_id),
+                        tree.key_of(edge.child_id),
+                        encryption_id=edge.child_id,
+                    )
             if self.signer is not None:
                 digest_input = b"".join(
                     encryption_map[e].ciphertext
                     for e in sorted(encryption_map)
                 )
-                signature = self.signer.sign(digest_input)
+                with self.obs.span("message.sign"):
+                    signature = self.signer.sign(digest_input)
         return RekeyMessage(
             message_id=message_id,
             assignment=assignment,
@@ -300,4 +325,5 @@ class RekeyMessageBuilder:
             encryption_map=encryption_map,
             signature=signature,
             coder_kind=self.coder_kind,
+            obs=self.obs,
         )

@@ -41,8 +41,10 @@ from dataclasses import dataclass
 
 from repro.core.server import GroupKeyServer
 from repro.errors import ReproError, ServiceError
+from repro.obs.metrics import ROUNDS_BUCKETS
+from repro.obs.recorder import NULL
 from repro.service.churn import ChurnEvents, NoChurn
-from repro.service.health import IntervalMetrics, ServiceMetrics
+from repro.service.health import IN_DEADLINE, IntervalMetrics, ServiceMetrics
 from repro.service.members import MemberFleet
 from repro.service.transports import DirectDelivery
 from repro.util.rng import RandomSource
@@ -110,9 +112,14 @@ class RekeyDaemon:
         churn=None,
         service=None,
         seed=None,
+        obs=None,
     ):
         self.server = server
+        #: observability recorder (NULL = disabled, zero-overhead)
+        self.obs = obs if obs is not None else NULL
         self.backend = backend or DirectDelivery()
+        self.server.set_observer(self.obs)
+        self.backend.set_observer(self.obs)
         self.fleet = (
             fleet if fleet is not None else MemberFleet.register_all(server)
         )
@@ -155,6 +162,7 @@ class RekeyDaemon:
         churn=None,
         service=None,
         seed=None,
+        obs=None,
     ):
         """Boot a fresh group and (if durable) write the initial snapshot."""
         server = GroupKeyServer(initial_users, config=config)
@@ -164,6 +172,7 @@ class RekeyDaemon:
             churn=churn,
             service=service,
             seed=seed,
+            obs=obs,
         )
         if daemon.snapshot_path is not None:
             daemon._save_snapshot()
@@ -180,6 +189,7 @@ class RekeyDaemon:
         service=None,
         seed=None,
         resync_members=True,
+        obs=None,
     ):
         """Restart from ``state_dir``: snapshot load + WAL replay.
 
@@ -221,6 +231,7 @@ class RekeyDaemon:
             churn=churn,
             service=service,
             seed=seed,
+            obs=obs,
         )
         daemon.metrics.bump("recoveries")
         replayed = rejected = 0
@@ -260,6 +271,13 @@ class RekeyDaemon:
             for name in daemon.fleet.out_of_sync(server):
                 daemon.fleet.register(server, name)
                 daemon.metrics.bump("members_resynced")
+        daemon.obs.emit(
+            "recovery",
+            interval=server.intervals_processed,
+            replayed=replayed,
+            rejected=rejected,
+            replay_interval=daemon._replay_interval,
+        )
         return daemon
 
     # -- request intake ----------------------------------------------------
@@ -281,6 +299,10 @@ class RekeyDaemon:
                 self.server.request_leave(name)
             if self.wal is not None:
                 self.wal.append_request(op, name, interval)
+                if self.obs.enabled:
+                    self.obs.emit(
+                        "wal_append", op=op, user=name, interval=interval
+                    )
             self.metrics.bump(
                 "joins_accepted" if op == "join" else "leaves_accepted"
             )
@@ -303,6 +325,10 @@ class RekeyDaemon:
     def _maybe_crash(self, interval, point):
         plan = self.service.crash_plan
         if plan is not None and plan.should_fire(interval, point):
+            if self.obs.enabled:
+                self.obs.emit("crash", interval=interval, point=point)
+                if self.obs.bus is not None:
+                    self.obs.bus.flush()
             raise DaemonCrash(
                 "injected crash at interval %d, point %r" % (interval, point)
             )
@@ -312,71 +338,137 @@ class RekeyDaemon:
     def run_interval(self):
         """Run one complete rekey interval; returns its metrics record."""
         with self._lock:
-            t_start = time.perf_counter()
+            obs = self.obs
             interval = self.server.intervals_processed
+            if obs.enabled:
+                if obs.bus is not None:
+                    # Stamp every event emitted while this interval runs
+                    # (spans, FEC, WAL, protocol rounds) with its number.
+                    obs.bus.set_context(interval=interval)
+                obs.emit("interval_start", members=self.server.n_users)
+            with obs.span("daemon.interval", interval=interval):
+                record, report = self._interval_body(interval)
+            if obs.enabled:
+                self._record_obs(record, report)
+            return record
+
+    def _interval_body(self, interval):
+        """The interval pipeline; the caller holds the lock and the
+        ``daemon.interval`` root span."""
+        obs = self.obs
+        t_start = time.perf_counter()
+        with obs.span("daemon.carry"):
             carry_served = self._serve_carry()
-            if self._replay_interval:
-                events = ChurnEvents()
-                self._replay_interval = False
-            else:
-                events = self.churn.events(
-                    interval, self.server.users, self._rng
-                )
+        if carry_served and obs.enabled:
+            obs.emit("carry_served", served=carry_served)
+        if self._replay_interval:
+            events = ChurnEvents()
+            self._replay_interval = False
+        else:
+            events = self.churn.events(
+                interval, self.server.users, self._rng
+            )
+        with obs.span("daemon.intake"):
             rejected = self._split_accept(events, interval)
-            self._maybe_crash(interval, "pre-rekey")
+        self._maybe_crash(interval, "pre-rekey")
 
-            joins, leaves = self.server.pending_requests
-            t_mark = time.perf_counter()
+        joins, leaves = self.server.pending_requests
+        t_mark = time.perf_counter()
+        with obs.span("daemon.rekey"):
             batch, message = self.server.rekey()
-            marking_ms = (time.perf_counter() - t_mark) * 1e3
-            self._maybe_crash(interval, "post-rekey")
+        marking_ms = (time.perf_counter() - t_mark) * 1e3
+        if obs.enabled:
+            obs.emit(
+                "marking_complete",
+                joins=len(joins),
+                leaves=len(leaves),
+                n_encryptions=batch.n_encryptions if batch else 0,
+                marking_ms=round(marking_ms, 3),
+            )
+        self._maybe_crash(interval, "post-rekey")
 
-            for name in leaves:
-                self.fleet.evict(name)
-            for name in joins:
-                self.fleet.register(self.server, name)
+        for name in leaves:
+            self.fleet.evict(name)
+        for name in joins:
+            self.fleet.register(self.server, name)
 
-            report = None
-            if not message.is_empty:
+        report = None
+        if not message.is_empty:
+            with obs.span("daemon.deliver"):
                 report = self.backend.deliver(
                     message,
                     self.fleet,
                     deadline_rounds=self.service.deadline_rounds,
                     policy=self.service.deadline_policy,
                 )
-                if report.carried:
-                    self._carry.append((message, list(report.carried)))
-            self._maybe_crash(interval, "post-delivery")
+            if report.carried:
+                self._carry.append((message, list(report.carried)))
+        self._maybe_crash(interval, "post-delivery")
 
-            if self.service.verify_invariants:
-                self.fleet.check_agreement(
-                    self.server, exclude=self.pending_carry_names()
-                )
-            if self.snapshot_path is not None:
-                self._save_snapshot()
-                self._maybe_crash(interval, "post-snapshot")
-                self.wal.append_commit(interval)
-                every = self.service.wal_compact_every
-                if every and (interval + 1) % every == 0:
-                    self.wal.compact(self.server.intervals_processed)
-
-            record = IntervalMetrics.from_parts(
-                interval=interval,
-                n_members=self.server.n_users,
-                n_joins=len(joins),
-                n_leaves=len(leaves),
-                rejected_requests=rejected,
-                message=None if message.is_empty else message,
-                batch=batch,
-                marking_ms=marking_ms,
-                duration_ms=(time.perf_counter() - t_start) * 1e3,
-                report=report,
-                carry_served=carry_served,
-                group_key_fp=self.server.group_key.fingerprint(),
-                wal_seq=self.wal.next_seq - 1 if self.wal else -1,
+        if self.service.verify_invariants:
+            self.fleet.check_agreement(
+                self.server, exclude=self.pending_carry_names()
             )
-            self.metrics.record(record)
-            return record
+        if self.snapshot_path is not None:
+            with obs.span("daemon.snapshot"):
+                self._save_snapshot()
+            if obs.enabled:
+                obs.emit("snapshot", path=self.snapshot_path)
+            self._maybe_crash(interval, "post-snapshot")
+            self.wal.append_commit(interval)
+            every = self.service.wal_compact_every
+            if every and (interval + 1) % every == 0:
+                self.wal.compact(self.server.intervals_processed)
+                if obs.enabled:
+                    obs.emit(
+                        "wal_compact",
+                        through_interval=self.server.intervals_processed,
+                    )
+
+        record = IntervalMetrics.from_parts(
+            interval=interval,
+            n_members=self.server.n_users,
+            n_joins=len(joins),
+            n_leaves=len(leaves),
+            rejected_requests=rejected,
+            message=None if message.is_empty else message,
+            batch=batch,
+            marking_ms=marking_ms,
+            duration_ms=(time.perf_counter() - t_start) * 1e3,
+            report=report,
+            carry_served=carry_served,
+            group_key_fp=self.server.group_key.fingerprint(),
+            wal_seq=self.wal.next_seq - 1 if self.wal else -1,
+        )
+        self.metrics.record(record)
+        return record, report
+
+    def _record_obs(self, record, report):
+        """Mirror one interval's record onto the obs surfaces: Prometheus
+        histograms/gauges and the ``interval_complete`` event."""
+        obs = self.obs
+        obs.observe("marking_ms", record.marking_ms)
+        obs.observe("interval_ms", record.duration_ms)
+        obs.gauge("members", record.n_members)
+        obs.gauge("rho", record.rho)
+        latencies = IntervalMetrics.recovery_latencies(report)
+        if latencies is not None:
+            for latency in latencies:
+                obs.observe(
+                    "recovery_latency_rounds",
+                    latency,
+                    buckets=ROUNDS_BUCKETS,
+                )
+        if record.decision not in (IN_DEADLINE, "empty"):
+            obs.emit(
+                "degradation",
+                decision=record.decision,
+                unicast_served=record.unicast_served,
+                carried_users=record.carried_users,
+            )
+        obs.emit("interval_complete", **record.to_dict())
+        if obs.bus is not None:
+            obs.bus.flush()
 
     def _split_accept(self, events, interval):
         """Accept the driver's events with the mid-requests crash point

@@ -18,6 +18,7 @@ Two export surfaces:
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
@@ -56,7 +57,8 @@ class IntervalMetrics:
     carry_served: int
     #: recovery latency percentiles, in multicast rounds (unicast- or
     #: carry-recovered users count as one round past the last multicast
-    #: round — they were still waiting when multicast stopped)
+    #: round — they were still waiting when multicast stopped); NaN when
+    #: the backend observes only aggregates (UDP), exported as ``null``
     recovery_p50: float
     recovery_p90: float
     recovery_p99: float
@@ -64,7 +66,28 @@ class IntervalMetrics:
     wal_seq: int
 
     def to_dict(self):
-        return asdict(self)
+        data = asdict(self)
+        for key in ("recovery_p50", "recovery_p90", "recovery_p99"):
+            value = data[key]
+            if isinstance(value, float) and math.isnan(value):
+                data[key] = None  # JSON has no NaN; null = unobserved
+        return data
+
+    @staticmethod
+    def recovery_latencies(report):
+        """Per-user recovery latencies in rounds from a delivery report.
+
+        ``None`` when nothing per-user was observed: an empty interval
+        (``report`` is ``None``) or a backend that only sees aggregates
+        (UDP — ``recovery_rounds`` is ``None``).  Users multicast never
+        recovered (round 0) count as one round past the last one.
+        """
+        if report is None or report.recovery_rounds is None:
+            return None
+        rounds = report.multicast_rounds
+        return [
+            r if r > 0 else rounds + 1 for r in report.recovery_rounds
+        ]
 
     @classmethod
     def from_parts(
@@ -90,13 +113,16 @@ class IntervalMetrics:
         message was empty and nothing was sent).
         """
         rounds = report.multicast_rounds if report else 0
-        latencies = None
-        if report is not None and report.recovery_rounds is not None:
-            latencies = [
-                r if r > 0 else rounds + 1 for r in report.recovery_rounds
-            ]
-        elif report is not None:
-            latencies = [rounds]  # UDP: only the aggregate is observable
+        latencies = cls.recovery_latencies(report)
+        if report is not None and latencies is None:
+            # Aggregate-only backend (UDP): a synthetic single-sample
+            # distribution would masquerade as a real percentile, so the
+            # percentiles are marked unobserved instead.
+            p50 = p90 = p99 = float("nan")
+        else:
+            p50 = round(_percentile(latencies, 50), 3)
+            p90 = round(_percentile(latencies, 90), 3)
+            p99 = round(_percentile(latencies, 99), 3)
         return cls(
             interval=interval,
             n_members=n_members,
@@ -117,9 +143,9 @@ class IntervalMetrics:
             unicast_served=report.unicast_served if report else 0,
             carried_users=len(report.carried) if report else 0,
             carry_served=carry_served,
-            recovery_p50=round(_percentile(latencies, 50), 3),
-            recovery_p90=round(_percentile(latencies, 90), 3),
-            recovery_p99=round(_percentile(latencies, 99), 3),
+            recovery_p50=p50,
+            recovery_p90=p90,
+            recovery_p99=p99,
             group_key_fp=group_key_fp,
             wal_seq=wal_seq,
         )
@@ -208,9 +234,15 @@ class ServiceMetrics:
 
     @staticmethod
     def format_row(m):
+        p99 = m.recovery_p99
+        p99_cell = (
+            "      -"
+            if isinstance(p99, float) and math.isnan(p99)
+            else "%7.1f" % p99
+        )
         return (
             "%4d | %7d | %2d/%-2d | %4d | %.2f | %6d | %5d | %3d |"
-            " %7.1f | %7.2f | %s"
+            " %s | %7.2f | %s"
             % (
                 m.interval,
                 m.n_members,
@@ -221,7 +253,7 @@ class ServiceMetrics:
                 m.multicast_rounds,
                 m.first_round_nacks,
                 m.unicast_served,
-                m.recovery_p99,
+                p99_cell,
                 m.marking_ms,
                 m.decision,
             )

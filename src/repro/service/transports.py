@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ServiceError
+from repro.obs.recorder import NULL
 from repro.sim.topology import MulticastTopology
 from repro.transport.adaptive import ProactivityController
 from repro.transport.session import RekeySession, SessionConfig
@@ -70,6 +71,14 @@ class DeliveryReport:
 
 class DeliveryBackend:
     """Interface: deliver ``message`` to ``fleet``, honouring a deadline."""
+
+    #: observability recorder; the daemon injects its own via
+    #: :meth:`set_observer` so deliveries share the interval context
+    obs = NULL
+
+    def set_observer(self, obs):
+        self.obs = obs
+        return self
 
     def deliver(self, message, fleet, deadline_rounds=2, policy="unicast"):
         raise NotImplementedError
@@ -133,6 +142,7 @@ class SessionDelivery(DeliveryBackend):
                 max_multicast_rounds=deadline_rounds,
             ),
             rng=self._random_source.generator(),
+            obs=self.obs,
         )
         stats = session.run()
         if self.adapt_rho:

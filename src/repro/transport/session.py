@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import TransportError
+from repro.obs.recorder import NULL
 from repro.rekey.packets import PacketType
 from repro.transport.metrics import MessageStats, RoundStats, UnicastStats
 from repro.transport.server import ServerTransport, UnicastPolicy
@@ -63,7 +64,7 @@ class RekeySession:
 
     def __init__(
         self, message, topology, config=None, rng=None, trace=None,
-        coder=None,
+        coder=None, obs=None,
     ):
         if not message.materialized:
             raise TransportError(
@@ -76,6 +77,9 @@ class RekeySession:
         self.config = config or SessionConfig()
         #: optional repro.transport.trace.SessionTrace event sink
         self.trace = trace
+        #: observability recorder: spans per round/unicast phase, plus
+        #: the protocol events (mirroring the trace) onto the event bus
+        self.obs = obs if obs is not None else NULL
         self._rng = rng if rng is not None else spawn_rng()
         self.user_ids = sorted(message.needs_by_user)
         if topology.n_users != len(self.user_ids):
@@ -99,6 +103,8 @@ class RekeySession:
             coder = make_coder(
                 getattr(message, "coder_kind", "matrix"), message.k
             )
+        if self.obs.enabled:
+            coder.obs = self.obs
         self.coder = coder
         self.users = {
             user_id: UserTransport(
@@ -139,49 +145,51 @@ class RekeySession:
             rho=self.config.rho,
         )
         while True:
-            planned = self.server.plan_round()
-            round_index = self.server.rounds_completed
-            if round_index > self.config.max_rounds_safety:
-                raise TransportError(
-                    "round cap exceeded: protocol is not converging"
+            with self.obs.span("session.round") as round_span:
+                planned = self.server.plan_round()
+                round_index = self.server.rounds_completed
+                round_span.note(round=round_index, packets=len(planned))
+                if round_index > self.config.max_rounds_safety:
+                    raise TransportError(
+                        "round cap exceeded: protocol is not converging"
+                    )
+                self._emit(
+                    "round_planned",
+                    clock,
+                    round=round_index,
+                    packets=len(planned),
                 )
-            self._emit(
-                "round_planned",
-                clock,
-                round=round_index,
-                packets=len(planned),
-            )
-            clock = self._deliver_round(planned, clock)
-            nacks = []
-            for user_id in self.user_ids:
-                nack = self.users[user_id].end_of_round()
-                if nack is not None:
-                    nacks.append(nack)
-            self.server.finish_round(nacks)
-            stats.rounds.append(
-                RoundStats(
-                    round_index=round_index,
-                    enc_packets_sent=sum(
-                        1
-                        for p in planned
-                        if p.packet.packet_type is PacketType.ENC
-                    ),
-                    parity_packets_sent=sum(
-                        1
-                        for p in planned
-                        if p.packet.packet_type is PacketType.PARITY
-                    ),
-                    nacks_received=len(nacks),
-                    users_recovered_total=self._n_done(),
+                clock = self._deliver_round(planned, clock)
+                nacks = []
+                for user_id in self.user_ids:
+                    nack = self.users[user_id].end_of_round()
+                    if nack is not None:
+                        nacks.append(nack)
+                self.server.finish_round(nacks)
+                stats.rounds.append(
+                    RoundStats(
+                        round_index=round_index,
+                        enc_packets_sent=sum(
+                            1
+                            for p in planned
+                            if p.packet.packet_type is PacketType.ENC
+                        ),
+                        parity_packets_sent=sum(
+                            1
+                            for p in planned
+                            if p.packet.packet_type is PacketType.PARITY
+                        ),
+                        nacks_received=len(nacks),
+                        users_recovered_total=self._n_done(),
+                    )
                 )
-            )
-            self._emit(
-                "round_complete",
-                clock,
-                round=round_index,
-                nacks=len(nacks),
-                recovered=self._n_done(),
-            )
+                self._emit(
+                    "round_complete",
+                    clock,
+                    round=round_index,
+                    nacks=len(nacks),
+                    recovered=self._n_done(),
+                )
             pending = self._pending_users()
             if not pending:
                 break
@@ -190,7 +198,10 @@ class RekeySession:
                     self._emit(
                         "unicast_start", clock, pending=len(pending)
                     )
-                    self._run_unicast(pending, clock, stats.unicast)
+                    with self.obs.span(
+                        "session.unicast", pending=len(pending)
+                    ):
+                        self._run_unicast(pending, clock, stats.unicast)
                     break
             clock += self.config.round_gap_ms * 1e-3
         stats.user_rounds = np.array(
@@ -211,6 +222,11 @@ class RekeySession:
     def _emit(self, kind, time, **detail):
         if self.trace is not None:
             self.trace.emit(kind, time, **detail)
+        if self.obs.enabled:
+            # Mirror the protocol event onto the structured bus (unless
+            # the trace already forwards there — avoid double emission).
+            if self.trace is None or self.trace.bus is None:
+                self.obs.emit(kind, sim_time=float(time), **detail)
 
     # -- internals -------------------------------------------------------------
 

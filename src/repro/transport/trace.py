@@ -1,11 +1,18 @@
-"""Structured tracing for transport sessions.
+"""Structured tracing for transport sessions (obs-schema shim).
 
 A :class:`SessionTrace` collects timestamped protocol events —
 round boundaries, NACK aggregates, unicast attempts, completion — so a
 delivery can be inspected or asserted on after the fact without
-sprinkling print statements through the protocol code.  The
-:class:`~repro.transport.session.RekeySession` emits into a trace when
-given one; rendering is plain text, one event per line.
+sprinkling print statements through the protocol code.
+
+Historically this module owned its own frozen set of event kinds and
+strict mode rejected anything else; it is now a thin compatibility shim
+over :mod:`repro.obs.events`: strict mode validates against the
+*extensible* obs registry (so adding an event kind is a
+:func:`repro.obs.events.register_event_kind` call, never a
+:class:`ConfigurationError` in shipped code), and a trace can forward
+every event into an :class:`~repro.obs.events.EventBus` for JSONL
+export alongside the rest of the observability stream.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.obs.events import SESSION_EVENT_KINDS, is_registered
 
 
 @dataclass(frozen=True)
@@ -31,31 +39,33 @@ class TraceEvent:
         return "%10.3fs  %-18s %s" % (self.time, self.kind, parts)
 
 
-KNOWN_KINDS = frozenset(
-    {
-        "session_start",
-        "round_planned",
-        "round_complete",
-        "unicast_start",
-        "unicast_attempt",
-        "session_complete",
-    }
-)
+#: The session-protocol kinds (kept for compatibility; the authoritative
+#: registry — a superset — lives in :mod:`repro.obs.events`).
+KNOWN_KINDS = SESSION_EVENT_KINDS
 
 
 @dataclass
 class SessionTrace:
-    """An append-only event log for one delivery session."""
+    """An append-only event log for one delivery session.
+
+    ``strict`` validates kinds against the obs event registry; ``bus``
+    optionally forwards every event to an
+    :class:`~repro.obs.events.EventBus` (the simulation time travels as
+    the ``sim_time`` detail key — the bus stamps wall-clock ``t``).
+    """
 
     events: list = field(default_factory=list)
     strict: bool = True
+    bus: object = None
 
     def emit(self, kind, time, **detail):
         """Record one event."""
-        if self.strict and kind not in KNOWN_KINDS:
+        if self.strict and not is_registered(kind):
             raise ConfigurationError("unknown trace kind %r" % kind)
         self.events.append(TraceEvent(time=float(time), kind=kind,
                                       detail=detail))
+        if self.bus is not None:
+            self.bus.emit(kind, sim_time=float(time), **detail)
 
     def of_kind(self, kind):
         """All events of one kind, in order."""

@@ -1,0 +1,137 @@
+"""Tests for repro.obs.prometheus — render → parse round-trips."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.prometheus import CONTENT_TYPE, parse, render
+from repro.service.health import ServiceMetrics
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    registry.counter(
+        "fec_encodes", help="Parity generation calls.", coder="matrix"
+    ).inc(5)
+    registry.gauge("members", help="Current group size.").set(48)
+    histogram = registry.histogram(
+        "span_ms", buckets=(1.0, 10.0, 100.0), span="daemon.rekey"
+    )
+    for value in (0.5, 3.0, 30.0, 300.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestRender:
+    def test_content_type_is_prometheus_text(self):
+        assert CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+    def test_every_family_has_help_and_type(self):
+        text = render(
+            ledger=ServiceMetrics(), registry=make_registry(),
+            health={"status": "ok"},
+        )
+        families = parse(text)
+        assert families
+        for name, family in families.items():
+            assert family["type"] != "untyped", name
+            assert family["help"], name
+
+    def test_all_names_prefixed(self):
+        families = parse(render(ledger=ServiceMetrics()))
+        assert all(name.startswith("repro_") for name in families)
+
+    def test_ledger_counters_get_total_suffix(self):
+        ledger = ServiceMetrics()
+        ledger.bump("recoveries", 2)
+        families = parse(render(ledger=ledger))
+        family = families["repro_recoveries_total"]
+        assert family["type"] == "counter"
+        assert family["samples"] == [("repro_recoveries_total", {}, 2.0)]
+
+    def test_up_gauge_tracks_health(self):
+        up = lambda status: parse(render(health={"status": status}))[
+            "repro_up"
+        ]["samples"][0][2]
+        assert up("ok") == 1.0
+        assert up("degraded") == 0.0
+
+    def test_registry_labels_round_trip(self):
+        families = parse(render(registry=make_registry()))
+        name, labels, value = families["repro_fec_encodes"]["samples"][0]
+        assert labels == {"coder": "matrix"}
+        assert value == 5.0
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("odd", help="h", label='quo"te').inc()
+        samples = parse(render(registry=registry))["repro_odd"]["samples"]
+        assert samples[0][1] == {"label": 'quo"te'}
+
+
+class TestHistogramExposition:
+    def families(self):
+        return parse(render(registry=make_registry()))
+
+    def buckets(self):
+        family = self.families()["repro_span_ms"]
+        return [
+            (labels["le"], value)
+            for name, labels, value in family["samples"]
+            if name.endswith("_bucket")
+        ]
+
+    def test_bucket_counts_are_cumulative(self):
+        values = [count for _, count in self.buckets()]
+        assert values == sorted(values)
+        assert values == [1.0, 2.0, 3.0, 4.0]
+
+    def test_inf_bucket_matches_count(self):
+        family = self.families()["repro_span_ms"]
+        inf = [
+            value
+            for name, labels, value in family["samples"]
+            if labels.get("le") == "+Inf"
+        ]
+        count = [
+            value
+            for name, labels, value in family["samples"]
+            if name.endswith("_count")
+        ]
+        assert inf == count == [4.0]
+
+    def test_sum_round_trips(self):
+        family = self.families()["repro_span_ms"]
+        total = [
+            value
+            for name, labels, value in family["samples"]
+            if name.endswith("_sum")
+        ]
+        assert total[0] == pytest.approx(333.5)
+
+    def test_bucket_samples_keep_instrument_labels(self):
+        family = self.families()["repro_span_ms"]
+        bucket_labels = [
+            labels
+            for name, labels, value in family["samples"]
+            if name.endswith("_bucket")
+        ]
+        assert all(
+            labels["span"] == "daemon.rekey" for labels in bucket_labels
+        )
+
+
+class TestParse:
+    def test_inf_and_nan_values(self):
+        text = 'x_bucket{le="+Inf"} 3\ny NaN\n'
+        families = parse(text)
+        assert families["x_bucket"]["samples"][0][2] == 3.0
+        assert math.isnan(families["y"]["samples"][0][2])
+
+    def test_unparseable_sample_raises(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse("!!! not a sample\n")
+
+    def test_empty_render_arguments(self):
+        assert parse(render()) == {}

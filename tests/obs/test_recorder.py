@@ -1,0 +1,163 @@
+"""Tests for repro.obs.recorder — spans, the NULL recorder, instruments."""
+
+import threading
+
+import pytest
+
+from repro.obs import NULL, EventBus, Recorder
+from repro.obs.recorder import NullRecorder, _NULL_SPAN
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestNullRecorder:
+    def test_disabled(self):
+        assert NULL.enabled is False
+        assert NULL.bus is None
+        assert NULL.metrics is None
+
+    def test_span_is_shared_noop(self):
+        span = NULL.span("anything", field=1)
+        assert span is _NULL_SPAN
+        with span as entered:
+            entered.note(extra=2)  # must not raise or allocate state
+        assert NULL.span("other") is span
+
+    def test_all_methods_are_noops(self):
+        NULL.count("c")
+        NULL.gauge("g", 3.0)
+        NULL.observe("h", 1.5)
+        NULL.emit("span", name="x")
+
+    def test_fresh_instance_matches_singleton(self):
+        assert NullRecorder().enabled is False
+
+
+class TestSpans:
+    def test_span_times_with_injected_clock(self):
+        clock = FakeClock()
+        recorder = Recorder(clock=clock)
+        with recorder.span("work"):
+            clock.advance(0.25)
+        histogram = recorder.metrics.histogram("span_ms", span="work")
+        assert histogram.count == 1
+        assert histogram.sum == pytest.approx(250.0)
+
+    def test_nested_spans_each_record(self):
+        clock = FakeClock()
+        recorder = Recorder(clock=clock)
+        with recorder.span("outer"):
+            clock.advance(0.1)
+            with recorder.span("inner"):
+                clock.advance(0.02)
+        outer = recorder.metrics.histogram("span_ms", span="outer")
+        inner = recorder.metrics.histogram("span_ms", span="inner")
+        assert outer.sum == pytest.approx(120.0)
+        assert inner.sum == pytest.approx(20.0)
+
+    def test_child_inherits_parent_fields(self):
+        bus = EventBus()
+        recorder = Recorder(bus=bus)
+        with recorder.span("daemon.interval", interval=7):
+            with recorder.span("marking.apply", joins=3):
+                pass
+        child, parent = bus.of_kind("span")
+        assert child["detail"]["name"] == "marking.apply"
+        assert child["detail"]["interval"] == 7  # inherited
+        assert child["detail"]["joins"] == 3
+        assert parent["detail"]["name"] == "daemon.interval"
+        assert "joins" not in parent["detail"]
+
+    def test_child_fields_override_parent(self):
+        bus = EventBus()
+        recorder = Recorder(bus=bus)
+        with recorder.span("outer", depth=1):
+            with recorder.span("inner", depth=2):
+                pass
+        inner = bus.of_kind("span")[0]
+        assert inner["detail"]["depth"] == 2
+
+    def test_note_reaches_span_event(self):
+        bus = EventBus()
+        recorder = Recorder(bus=bus)
+        with recorder.span("session.round") as span:
+            span.note(round=3, packets=17)
+        event = bus.of_kind("span")[0]
+        assert event["detail"]["round"] == 3
+        assert event["detail"]["packets"] == 17
+
+    def test_current_span(self):
+        recorder = Recorder()
+        assert recorder.current_span() is None
+        with recorder.span("a") as span:
+            assert recorder.current_span() is span
+        assert recorder.current_span() is None
+
+    def test_span_stack_is_thread_local(self):
+        recorder = Recorder()
+        seen = {}
+
+        def worker():
+            seen["other"] = recorder.current_span()
+
+        with recorder.span("main-only"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["other"] is None
+
+    def test_span_pops_on_exception(self):
+        recorder = Recorder()
+        with pytest.raises(RuntimeError):
+            with recorder.span("failing"):
+                raise RuntimeError("boom")
+        assert recorder.current_span() is None
+        # the failed span still recorded its duration
+        assert recorder.metrics.histogram("span_ms", span="failing").count == 1
+
+    def test_span_without_bus_only_records_metrics(self):
+        recorder = Recorder()
+        with recorder.span("quiet"):
+            pass
+        assert recorder.bus is None
+        assert recorder.metrics.histogram("span_ms", span="quiet").count == 1
+
+
+class TestInstruments:
+    def test_count(self):
+        recorder = Recorder()
+        recorder.count("ticks")
+        recorder.count("ticks", by=4)
+        assert recorder.metrics.counter("ticks").value == 5
+
+    def test_gauge_last_write_wins(self):
+        recorder = Recorder()
+        recorder.gauge("members", 10)
+        recorder.gauge("members", 7)
+        assert recorder.metrics.gauge("members").value == 7.0
+
+    def test_observe_with_custom_buckets(self):
+        recorder = Recorder()
+        recorder.observe("rounds", 2, buckets=(1.0, 2.0, 4.0))
+        histogram = recorder.metrics.histogram("rounds")
+        assert histogram.buckets == (1.0, 2.0, 4.0)
+        assert histogram.count == 1
+
+    def test_emit_without_bus_is_noop(self):
+        Recorder().emit("span", name="x")
+
+    def test_emit_forwards_to_bus(self):
+        bus = EventBus()
+        Recorder(bus=bus).emit("degradation", decision="carry-over")
+        assert bus.of_kind("degradation")[0]["detail"] == {
+            "decision": "carry-over"
+        }

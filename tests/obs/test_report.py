@@ -1,0 +1,112 @@
+"""Tests for repro.obs.report — obs-report must reproduce the ledger's
+headline metrics from the JSONL event stream alone."""
+
+import math
+
+import pytest
+
+from repro.core import GroupConfig
+from repro.obs import EventBus, Recorder, read_events
+from repro.obs.report import render_report, summarize
+from repro.service import PoissonChurn, RekeyDaemon, SessionDelivery
+
+
+@pytest.fixture(scope="module")
+def run(tmp_path_factory):
+    """One observed daemon run: (ledger, events, jsonl path)."""
+    path = tmp_path_factory.mktemp("obs") / "events.jsonl"
+    config = GroupConfig(block_size=5, crypto_seed=11, seed=42)
+    bus = EventBus(path=str(path))
+    daemon = RekeyDaemon.start_new(
+        ["m%02d" % i for i in range(24)],
+        config=config,
+        backend=SessionDelivery(config),
+        churn=PoissonChurn(alpha=0.3),
+        obs=Recorder(bus=bus),
+    )
+    daemon.run(6)
+    bus.close()
+    return daemon.metrics, read_events(str(path)), str(path)
+
+
+class TestHeadlineReproduction:
+    def test_rho_trajectory_matches_ledger(self, run):
+        ledger, events, _ = run
+        summary = summarize(events)
+        assert summary["rho_trajectory"] == ledger.rho_trajectory()
+
+    def test_interval_count_and_members(self, run):
+        ledger, events, _ = run
+        summary = summarize(events)
+        assert summary["n_intervals"] == ledger.n_intervals
+        assert summary["final_members"] == ledger.intervals[-1].n_members
+
+    def test_first_round_nacks_total_matches(self, run):
+        ledger, events, _ = run
+        summary = summarize(events)
+        assert summary["first_round_nacks_total"] == sum(
+            m.first_round_nacks for m in ledger.intervals
+        )
+
+    def test_recovery_p99_matches(self, run):
+        ledger, events, _ = run
+        summary = summarize(events)
+        expected = [
+            m.recovery_p99
+            for m in ledger.intervals
+            if not math.isnan(m.recovery_p99)
+        ]
+        assert summary["recovery_p99_max"] == max(expected)
+
+    def test_decisions_match(self, run):
+        ledger, events, _ = run
+        summary = summarize(events)
+        assert sum(summary["decisions"].values()) == ledger.n_intervals
+        for m in ledger.intervals:
+            assert summary["decisions"][m.decision] >= 1
+
+
+class TestTimeBreakdown:
+    def test_every_interval_has_a_row(self, run):
+        ledger, events, _ = run
+        breakdown = summarize(events)["time_breakdown"]
+        assert sorted(breakdown) == [m.interval for m in ledger.intervals]
+
+    def test_stage_columns_do_not_exceed_total(self, run):
+        _, events, _ = run
+        for row in summarize(events)["time_breakdown"].values():
+            accounted = sum(
+                row.get(column, 0.0)
+                for column in ("carry", "intake", "rekey",
+                               "deliver", "snapshot")
+            )
+            assert accounted <= row["total"] * 1.05
+            assert row["other"] >= 0.0
+
+    def test_span_totals_counted(self, run):
+        ledger, events, _ = run
+        totals = summarize(events)["span_totals"]
+        assert totals["daemon.interval"]["count"] == ledger.n_intervals
+        assert totals["daemon.rekey"]["count"] == ledger.n_intervals
+        assert totals["marking.apply"]["total_ms"] > 0.0
+
+
+class TestRenderReport:
+    def test_report_lines(self, run):
+        ledger, _, path = run
+        lines = render_report(path)
+        text = "\n".join(lines)
+        assert "headline" in text
+        assert "rho trajectory" in text
+        assert "where the time goes" in text
+        assert "daemon.interval" in text
+        assert "%d interval(s)" % ledger.n_intervals in lines[0]
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        summary = summarize([])
+        assert summary["n_intervals"] == 0
+        assert summary["recovery_p99_max"] is None
+        lines = render_report(str(path))
+        assert any("0 interval(s)" in line for line in lines)

@@ -178,6 +178,82 @@ class TestCompareGate:
         ]
         assert False in results  # 5ms vs 1ms baseline
 
+    def test_overhead_gate_passes_near_unity(self):
+        compare_bench = load_compare_bench()
+        results = dict(
+            (name, ok)
+            for name, ok, _ in compare_bench.compare(
+                make_document(daemon_obs=1.1),
+                make_document(),  # overhead gates need no baseline entry
+                tolerance=0.25,
+                absolute=False,
+                overhead=["daemon_obs"],
+            )
+        )
+        assert results["daemon_obs"] is True
+
+    def test_overhead_gate_fails_above_ceiling(self):
+        compare_bench = load_compare_bench()
+        results = dict(
+            (name, ok)
+            for name, ok, _ in compare_bench.compare(
+                make_document(daemon_obs=1.6),
+                make_document(),
+                tolerance=0.25,
+                absolute=False,
+                overhead=["daemon_obs"],
+            )
+        )
+        assert results["daemon_obs"] is False
+
+    def test_overhead_gate_is_a_ceiling_not_a_floor(self):
+        # A high baseline ratio must not raise the ceiling: the gate is
+        # absolute (1 + tolerance), independent of the baseline entry.
+        compare_bench = load_compare_bench()
+        results = dict(
+            (name, ok)
+            for name, ok, _ in compare_bench.compare(
+                make_document(daemon_obs=1.4),
+                make_document(daemon_obs=2.0),
+                tolerance=0.25,
+                absolute=False,
+                overhead=["daemon_obs"],
+            )
+        )
+        assert results["daemon_obs"] is False
+
+    def test_overhead_gate_requires_paired_benchmark(self):
+        compare_bench = load_compare_bench()
+        document = make_document(daemon_obs=1.0)
+        del document["benchmarks"]["daemon_obs"]["speedup"]
+        results = dict(
+            (name, ok)
+            for name, ok, _ in compare_bench.compare(
+                document,
+                make_document(),
+                tolerance=0.25,
+                absolute=False,
+                overhead=["daemon_obs"],
+            )
+        )
+        assert results["daemon_obs"] is False
+
+    def test_cli_overhead_flag(self, tmp_path):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(make_document()))
+        for ratio, expected in ((1.05, 0), (1.9, 1)):
+            current.write_text(json.dumps(make_document(daemon_obs=ratio)))
+            proc = subprocess.run(
+                [
+                    sys.executable, COMPARE_PATH, str(current),
+                    str(baseline), "--overhead", "daemon_obs",
+                ],
+                capture_output=True,
+                text=True,
+            )
+            assert proc.returncode == expected, proc.stdout
+
     def test_cli_exit_codes(self, tmp_path):
         current = tmp_path / "current.json"
         baseline = tmp_path / "baseline.json"

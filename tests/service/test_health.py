@@ -1,0 +1,117 @@
+"""Tests for repro.service.health — IntervalMetrics assembly and export.
+
+The aggregate-only (UDP) percentile semantics matter: a backend that
+cannot observe per-user recovery rounds must NOT fabricate a one-sample
+latency distribution — the percentiles are NaN in memory and ``null`` in
+JSON, and the table prints a dash.
+"""
+
+import json
+import math
+
+from repro.service.health import IntervalMetrics, ServiceMetrics
+from repro.service.transports import DeliveryReport
+
+
+def make_record(report, **overrides):
+    kwargs = dict(
+        interval=0,
+        n_members=16,
+        n_joins=1,
+        n_leaves=2,
+        rejected_requests=0,
+        message=None,
+        batch=None,
+        marking_ms=1.5,
+        duration_ms=10.0,
+        report=report,
+        carry_served=0,
+        group_key_fp="abcd1234",
+        wal_seq=-1,
+    )
+    kwargs.update(overrides)
+    return IntervalMetrics.from_parts(**kwargs)
+
+
+def session_report(recovery_rounds=(1, 1, 2, 0), rounds=2):
+    return DeliveryReport(
+        mode="session",
+        rho=1.0,
+        multicast_rounds=rounds,
+        recovery_rounds=list(recovery_rounds),
+    )
+
+
+def udp_report(rounds=3):
+    return DeliveryReport(
+        mode="udp", rho=1.0, multicast_rounds=rounds, recovery_rounds=None
+    )
+
+
+class TestRecoveryLatencies:
+    def test_per_user_rounds_observed(self):
+        latencies = IntervalMetrics.recovery_latencies(session_report())
+        # round-0 (never recovered by multicast) counts as rounds + 1
+        assert latencies == [1, 1, 2, 3]
+
+    def test_none_for_empty_interval(self):
+        assert IntervalMetrics.recovery_latencies(None) is None
+
+    def test_none_for_aggregate_only_backend(self):
+        assert IntervalMetrics.recovery_latencies(udp_report()) is None
+
+
+class TestPercentileSemantics:
+    def test_observed_distribution_has_real_percentiles(self):
+        record = make_record(session_report())
+        assert record.recovery_p50 == 1.5
+        assert record.recovery_p99 > record.recovery_p50
+
+    def test_aggregate_only_is_nan_not_fake_sample(self):
+        record = make_record(udp_report(rounds=3))
+        # the old behaviour synthesized latencies=[3] and reported
+        # p50 = p99 = 3.0 — a fabricated distribution
+        assert math.isnan(record.recovery_p50)
+        assert math.isnan(record.recovery_p90)
+        assert math.isnan(record.recovery_p99)
+
+    def test_empty_interval_stays_zero(self):
+        record = make_record(None)
+        assert record.recovery_p50 == 0.0
+        assert record.recovery_p99 == 0.0
+
+
+class TestExport:
+    def test_to_dict_maps_nan_to_none(self):
+        data = make_record(udp_report()).to_dict()
+        assert data["recovery_p50"] is None
+        assert data["recovery_p99"] is None
+        json.dumps(data)  # the record must stay JSON-clean
+
+    def test_to_dict_keeps_observed_values(self):
+        data = make_record(session_report()).to_dict()
+        assert data["recovery_p50"] == 1.5
+
+    def test_ledger_json_round_trips_with_udp_intervals(self):
+        metrics = ServiceMetrics()
+        metrics.record(make_record(udp_report()))
+        metrics.record(make_record(session_report(), interval=1))
+        parsed = json.loads(metrics.to_json())
+        assert parsed["intervals"][0]["recovery_p99"] is None
+        assert parsed["intervals"][1]["recovery_p99"] is not None
+
+    def test_format_row_prints_dash_for_nan(self):
+        row = ServiceMetrics.format_row(make_record(udp_report()))
+        assert "-" in row.split("|")[8]
+        assert "nan" not in row.lower()
+
+    def test_format_row_prints_value_when_observed(self):
+        row = ServiceMetrics.format_row(make_record(session_report()))
+        assert "nan" not in row.lower()
+
+    def test_health_tolerates_nan_last_interval(self):
+        metrics = ServiceMetrics()
+        metrics.record(make_record(udp_report()))
+        health = metrics.health()
+        assert health["status"] == "ok"
+        json.dumps(health)

@@ -52,6 +52,70 @@ class TestSessionTrace:
             event.time = 1.0
 
 
+class TestObsRegistryIntegration:
+    def test_strict_accepts_service_level_kinds(self):
+        # Pre-shim, any kind outside the session set raised even in
+        # strict mode; the obs registry is the authority now.
+        trace = SessionTrace()
+        trace.emit("degradation", 1.0, decision="carry-over")
+        trace.emit("fec_encode", 2.0, block_id=0)
+        assert len(trace) == 2
+
+    def test_strict_accepts_registered_custom_kind(self):
+        from repro.obs import register_event_kind
+
+        register_event_kind("trace_test_custom")
+        trace = SessionTrace()
+        trace.emit("trace_test_custom", 0.0, payload=1)
+        assert trace.summary() == {"trace_test_custom": 1}
+
+    def test_known_kinds_alias_preserved(self):
+        from repro.obs.events import SESSION_EVENT_KINDS
+        from repro.transport.trace import KNOWN_KINDS
+
+        assert KNOWN_KINDS == SESSION_EVENT_KINDS
+
+    def test_bus_forwarding(self):
+        from repro.obs import EventBus
+
+        bus = EventBus()
+        trace = SessionTrace(bus=bus)
+        trace.emit("round_complete", 2.5, round=1, nacks=3)
+        assert len(trace) == 1  # local log still filled
+        record = bus.of_kind("round_complete")[0]
+        assert record["detail"]["sim_time"] == 2.5
+        assert record["detail"]["nacks"] == 3
+
+    def test_session_with_trace_and_obs_does_not_double_emit(self):
+        from repro.obs import EventBus, Recorder
+
+        bus = EventBus()
+        trace = SessionTrace(bus=bus)
+        obs = Recorder(bus=bus)
+        rng = np.random.default_rng(0)
+        users = ["u%d" % i for i in range(64)]
+        tree = KeyTree.full_balanced(users, 4, key_factory=KeyFactory(seed=1))
+        batch = MarkingAlgorithm().apply(
+            tree, leaves=list(rng.choice(users, 16, replace=False))
+        )
+        message = RekeyMessageBuilder(block_size=8).build(batch, message_id=1)
+        topology = MulticastTopology(
+            len(message.needs_by_user),
+            params=LossParameters(),
+            random_source=RandomSource(3),
+        )
+        RekeySession(
+            message,
+            topology,
+            SessionConfig(rho=1.0),
+            rng=np.random.default_rng(4),
+            trace=trace,
+            obs=obs,
+        ).run()
+        starts = bus.of_kind("session_start")
+        assert len(starts) == 1  # trace forwards; obs must not re-emit
+
+
 class TestSessionIntegration:
     def _run(self, trace):
         rng = np.random.default_rng(0)
