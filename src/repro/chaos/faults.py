@@ -1,0 +1,304 @@
+"""The fault vocabulary and the seed-driven :class:`FaultPlan`.
+
+Four fault families, matching where a production key server actually
+breaks:
+
+- :class:`IoFault` — a scheduled ``OSError`` out of one durability
+  operation (``wal-write``, ``wal-fsync``, ``snapshot-write``,
+  ``snapshot-fsync``, ``wal-replace``, ``snapshot-replace``), addressed
+  by *occurrence*: "fail the 3rd snapshot fsync, twice".  Raised by the
+  :class:`~repro.chaos.seams.FaultyFilesystem` seam.
+- :class:`StorageFault` — bytes damaged at rest *between* intervals
+  (a WAL record bit-flip, a mid-record truncation, a snapshot
+  bit-flip), applied by the soak harness, which then restarts the
+  daemon through the recovery ladder.  Byte offsets and XOR masks come
+  from the plan's own RNG, so the same seed damages the same byte.
+- :class:`ClockJump` — the wall clock steps forward or backward at an
+  interval boundary (NTP slew, VM migration).
+- :class:`FeedbackFault` — first-round NACK feedback is duplicated,
+  reordered, or replaced by a storm of maximal requests
+  (:class:`FeedbackChaos` hooks the transport session's feedback path).
+
+Every injection is emitted as a ``fault_injected`` event on the plan's
+bound observability recorder, which is what makes a chaos run's fault
+timeline reproducible and digestible.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ChaosError
+from repro.obs.recorder import NULL
+
+#: operation families an IoFault can target
+IO_OPS = (
+    "wal-write",
+    "wal-fsync",
+    "wal-replace",
+    "snapshot-write",
+    "snapshot-fsync",
+    "snapshot-replace",
+)
+
+#: storage mutations applied at rest between intervals
+STORAGE_KINDS = (
+    "wal-flip",        # XOR one WAL byte
+    "wal-truncate",    # cut the WAL mid-record
+    "snapshot-flip",   # XOR one snapshot byte
+    "snapshot-flip-all",  # XOR a byte in *every* snapshot generation
+)
+
+#: first-round feedback mutations
+FEEDBACK_KINDS = ("duplicate", "reorder", "storm")
+
+
+@dataclass(frozen=True)
+class IoFault:
+    """Fail occurrences ``at .. at+times-1`` (0-based) of one I/O op."""
+
+    op: str
+    at: int = 0
+    times: int = 1
+
+    def __post_init__(self):
+        if self.op not in IO_OPS:
+            raise ChaosError(
+                "unknown I/O op %r (valid: %s)" % (self.op, ", ".join(IO_OPS))
+            )
+        if self.at < 0 or self.times < 1:
+            raise ChaosError("IoFault needs at >= 0 and times >= 1")
+
+
+@dataclass(frozen=True)
+class StorageFault:
+    """Damage durable bytes after interval ``after_interval`` commits."""
+
+    kind: str
+    after_interval: int
+
+    def __post_init__(self):
+        if self.kind not in STORAGE_KINDS:
+            raise ChaosError(
+                "unknown storage fault %r (valid: %s)"
+                % (self.kind, ", ".join(STORAGE_KINDS))
+            )
+
+
+@dataclass(frozen=True)
+class ClockJump:
+    """Step the wall clock by ``delta`` seconds before an interval."""
+
+    at_interval: int
+    delta: float
+
+
+@dataclass(frozen=True)
+class FeedbackFault:
+    """Mutate round-``rounds`` NACK feedback during one interval."""
+
+    kind: str
+    at_interval: int
+    rounds: tuple = (1,)
+
+    def __post_init__(self):
+        if self.kind not in FEEDBACK_KINDS:
+            raise ChaosError(
+                "unknown feedback fault %r (valid: %s)"
+                % (self.kind, ", ".join(FEEDBACK_KINDS))
+            )
+
+
+@dataclass
+class FaultPlan:
+    """Every fault one chaos run will inject, derived from one seed.
+
+    The plan is *the* source of nondeterminism-free chaos: occurrence
+    counters schedule the I/O faults, the plan RNG picks damage offsets,
+    and the soak harness advances :attr:`current_interval` so interval-
+    scoped faults fire exactly once.  ``expect_recoverable`` marks plans
+    whose end state must satisfy every invariant (the ``unrecoverable``
+    plan intentionally does not).
+    """
+
+    name: str
+    seed: int
+    io_faults: tuple = ()
+    storage_faults: tuple = ()
+    clock_jumps: tuple = ()
+    feedback_faults: tuple = ()
+    expect_recoverable: bool = True
+    daemon_overrides: dict = field(default_factory=dict)
+    #: GroupConfig kwargs the soak applies (e.g. a low ``rho_max`` so a
+    #: feedback storm demonstrably saturates the clamp)
+    group_overrides: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.io_faults = tuple(self.io_faults)
+        self.storage_faults = tuple(self.storage_faults)
+        self.clock_jumps = tuple(self.clock_jumps)
+        self.feedback_faults = tuple(self.feedback_faults)
+        self._rng = np.random.default_rng(int(self.seed))
+        self._io_counts = {}
+        self.current_interval = -1
+        self.injected = 0
+        self.obs = NULL
+
+    def bind(self, obs):
+        """Attach the observability recorder injections emit through."""
+        self.obs = obs
+        return self
+
+    def set_interval(self, interval):
+        self.current_interval = int(interval)
+
+    def _emit(self, fault, **detail):
+        self.injected += 1
+        self.obs.emit(
+            "fault_injected",
+            fault=fault,
+            interval=self.current_interval,
+            **detail,
+        )
+
+    # -- I/O faults (consulted by FaultyFilesystem) ---------------------
+
+    def check_io(self, op, path):
+        """Raise the scheduled ``OSError`` for this occurrence of ``op``."""
+        occurrence = self._io_counts.get(op, 0)
+        self._io_counts[op] = occurrence + 1
+        for fault in self.io_faults:
+            if fault.op == op and fault.at <= occurrence < fault.at + fault.times:
+                self._emit("io-error", op=op, occurrence=occurrence)
+                raise OSError(
+                    errno.EIO,
+                    "injected %s failure (occurrence %d)" % (op, occurrence),
+                )
+
+    # -- interval-scoped lookups ----------------------------------------
+
+    def storage_faults_after(self, interval):
+        return [
+            f for f in self.storage_faults if f.after_interval == interval
+        ]
+
+    def clock_jump_at(self, interval):
+        for jump in self.clock_jumps:
+            if jump.at_interval == interval:
+                return jump
+        return None
+
+    def feedback_fault_at(self, interval):
+        for fault in self.feedback_faults:
+            if fault.at_interval == interval:
+                return fault
+        return None
+
+    def apply_clock_jump(self, clock, interval):
+        """Apply the jump scheduled at ``interval`` (if any) to ``clock``
+        and emit it; returns the :class:`ClockJump` or ``None``."""
+        jump = self.clock_jump_at(interval)
+        if jump is None:
+            return None
+        clock.jump(jump.delta)
+        self._emit("clock-jump", delta=jump.delta)
+        return jump
+
+    # -- storage damage (applied by the soak harness) -------------------
+
+    def flip_byte(self, path):
+        """XOR one plan-chosen byte of ``path``; returns (offset, mask).
+
+        The offset and mask come from the plan RNG, so the same seed
+        always damages the same byte of the same file contents.
+        Whitespace bytes are skipped: a space flipped to another
+        whitespace char can survive JSON re-parsing unchanged, and a
+        flipped record separator merges lines — both would make the
+        damage *kind* (not just location) seed-dependent.  Every
+        non-whitespace single-byte change is CRC32-detectable.
+        """
+        with open(path, "rb") as handle:
+            data = bytearray(handle.read())
+        candidates = [
+            index
+            for index, byte in enumerate(data)
+            if byte not in (0x20, 0x09, 0x0A, 0x0D)
+        ]
+        if not candidates:
+            raise ChaosError("cannot corrupt empty file %s" % path)
+        offset = candidates[int(self._rng.integers(0, len(candidates)))]
+        mask = int(self._rng.integers(1, 256))
+        data[offset] ^= mask
+        with open(path, "wb") as handle:
+            handle.write(data)
+        self._emit(
+            "byte-flip",
+            target=os.path.basename(path),
+            offset=offset,
+            mask=mask,
+        )
+        return offset, mask
+
+    def truncate_tail(self, path):
+        """Cut a plan-chosen number of bytes off the end of ``path``."""
+        size = os.path.getsize(path)
+        if size < 2:
+            raise ChaosError("cannot truncate %s (too small)" % path)
+        cut = int(self._rng.integers(1, min(size, 24)))
+        with open(path, "r+b") as handle:
+            handle.truncate(size - cut)
+        self._emit(
+            "truncate",
+            target=os.path.basename(path),
+            cut=cut,
+            size=size - cut,
+        )
+        return cut
+
+
+class FeedbackChaos:
+    """The transport-session hook that mutates first-round feedback.
+
+    :class:`~repro.transport.session.RekeySession` calls
+    :meth:`mangle_nacks` after collecting each round's NACKs and before
+    handing them to the server transport; the returned list is what the
+    server *actually sees*.  ``duplicate`` doubles every report,
+    ``reorder`` reverses arrival order, and ``storm`` fabricates a
+    maximal (255-parity) request from every user — the adversarial input
+    the ``rho_max`` clamp and request validation exist for.
+    """
+
+    def __init__(self, plan):
+        self.plan = plan
+
+    def mangle_nacks(self, session, round_index, nacks):
+        fault = self.plan.feedback_fault_at(self.plan.current_interval)
+        if fault is None or round_index not in fault.rounds:
+            return nacks
+        if fault.kind == "duplicate":
+            mangled = list(nacks) + list(nacks)
+        elif fault.kind == "reorder":
+            mangled = list(reversed(nacks))
+        else:  # storm
+            from repro.rekey.packets import NackPacket, NackRequest
+
+            request = (NackRequest(block_id=0, n_parity=255),)
+            mangled = [
+                NackPacket(
+                    rekey_message_id=session.message.message_id,
+                    user_id=user_id,
+                    requests=request,
+                )
+                for user_id in session.user_ids
+            ]
+        self.plan._emit(
+            "feedback-" + fault.kind,
+            round=round_index,
+            before=len(nacks),
+            after=len(mangled),
+        )
+        return mangled

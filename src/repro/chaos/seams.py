@@ -1,0 +1,163 @@
+"""The narrow I/O seams the storage and daemon layers write through.
+
+Durable state is only ever touched via a :class:`Filesystem` and time is
+only ever read via a :class:`Clock`, so a fault plan can fail an fsync,
+break an ``os.replace``, or jump the wall clock *without* monkeypatching
+— the production code path and the chaos code path are the same code.
+
+The real implementations are deliberately thin: each method is one
+stdlib call (plus the flush that makes ``fsync`` meaningful).  The
+faulty subclasses consult a :class:`~repro.chaos.faults.FaultPlan`
+before delegating, so every injection is scheduled, counted, and
+emitted as an observability event by the plan itself.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+class Filesystem:
+    """Real file I/O, factored behind the seam the chaos layer needs.
+
+    Callers hold ordinary file handles; the facade only wraps the
+    *operations* whose failure modes matter for durability: writes,
+    fsyncs, atomic replaces, and directory fsyncs.
+    """
+
+    def open(self, path, mode="r"):
+        return open(path, mode)
+
+    def read_bytes(self, path):
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def write(self, handle, data):
+        handle.write(data)
+
+    def fsync(self, handle):
+        """Flush and fsync: the bytes are durable when this returns."""
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def replace(self, source, destination):
+        os.replace(source, destination)
+
+    def fsync_dir(self, directory):
+        """Fsync a directory entry so a rename survives a crash.
+
+        Best-effort: platforms without directory fsync simply skip it
+        (the rename is still atomic, just not yet durable).
+        """
+        try:
+            dir_fd = os.open(directory or ".", os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir open
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:  # pragma: no cover - platform without dir fsync
+            pass
+        finally:
+            os.close(dir_fd)
+
+    def exists(self, path):
+        return os.path.exists(path)
+
+    def getsize(self, path):
+        return os.path.getsize(path)
+
+    def truncate(self, path, size):
+        with open(path, "r+b") as handle:
+            handle.truncate(size)
+
+    def remove(self, path):
+        os.remove(path)
+
+
+class Clock:
+    """Real time: wall clock, monotonic clock, and sleep."""
+
+    def time(self):
+        return time.time()
+
+    def monotonic(self):
+        return time.monotonic()
+
+    def sleep(self, seconds):
+        time.sleep(seconds)
+
+
+#: Shared default instances — the zero-cost path everywhere.
+REAL_FILESYSTEM = Filesystem()
+SYSTEM_CLOCK = Clock()
+
+
+def _classify(path):
+    """Fault-family of a path: the WAL or the snapshot store."""
+    name = os.path.basename(os.fspath(path))
+    return "wal" if "wal" in name else "snapshot"
+
+
+class FaultyFilesystem(Filesystem):
+    """A :class:`Filesystem` that fails operations a plan scheduled.
+
+    Each instrumented call asks the plan first
+    (``plan.check_io("wal-fsync", path)``); the plan raises an injected
+    ``OSError`` when that occurrence is scheduled to fail, and emits the
+    ``fault_injected`` event.  Handles returned by :meth:`open` are real
+    — only the durability-critical operations are interceptable.
+    """
+
+    def __init__(self, plan):
+        self.plan = plan
+
+    def write(self, handle, data):
+        self.plan.check_io(_classify(handle.name) + "-write", handle.name)
+        super().write(handle, data)
+
+    def fsync(self, handle):
+        self.plan.check_io(_classify(handle.name) + "-fsync", handle.name)
+        super().fsync(handle)
+
+    def replace(self, source, destination):
+        self.plan.check_io(
+            _classify(destination) + "-replace", destination
+        )
+        super().replace(source, destination)
+
+
+class FaultyClock(Clock):
+    """A :class:`Clock` whose wall time can jump and whose sleeps are
+    virtual.
+
+    - :meth:`jump` shifts :meth:`time` by a delta (forward or backward)
+      — the clock-jump fault.  :meth:`monotonic` never jumps backwards,
+      matching the OS guarantee the daemon's pacing relies on.
+    - :meth:`sleep` advances virtual time instead of blocking, so a
+      chaos run's retry backoffs are deterministic and instant.
+    """
+
+    def __init__(self):
+        self._offset = 0.0
+        self._slept = 0.0
+
+    def jump(self, delta):
+        """Shift the wall clock by ``delta`` seconds; returns the total
+        offset now applied."""
+        self._offset += float(delta)
+        return self._offset
+
+    @property
+    def slept(self):
+        """Total virtual seconds spent in :meth:`sleep`."""
+        return self._slept
+
+    def time(self):
+        return time.time() + self._offset + self._slept
+
+    def monotonic(self):
+        return time.monotonic() + self._slept
+
+    def sleep(self, seconds):
+        self._slept += max(0.0, float(seconds))

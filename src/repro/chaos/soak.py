@@ -1,0 +1,333 @@
+"""The chaos-soak harness: a daemon run under a fault plan, verified.
+
+``run_soak`` drives a durable :class:`~repro.service.daemon.RekeyDaemon`
+(simulated lossy transport, Poisson churn) for a fixed number of
+intervals while a :class:`~repro.chaos.plans` fault plan injects I/O
+errors through the seams, damages the WAL/snapshot at rest (restarting
+the daemon through recovery after each), jumps the clock, and mangles
+NACK feedback.  At the end it asserts the **invariants**:
+
+- ``completed`` — every planned interval ran (recovery never wedged);
+- ``key-agreement`` — no member's key state disagrees with the server
+  (also checked *every* interval by the daemon itself);
+- ``recovery-bounded`` — each restart resumed at most one interval
+  behind where the damage struck (the ``.prev`` fallback's worst case);
+- ``wal-roundtrip`` — the final WAL replays cleanly end to end;
+- ``snapshot-roundtrip`` — a fresh snapshot written at the end loads
+  back byte-equivalent (same interval count, same group key).
+
+Everything the run injected or survived is on the event bus, and the
+chaos-relevant subsequence canonicalises to a **digest**: the same
+``(plan, seed)`` must produce the same digest, which is what the CI
+smoke job and the determinism test pin.
+
+A plan with ``expect_recoverable=False`` is *supposed* to end in
+:class:`~repro.errors.RecoveryError`; the result records the diagnostic
+instead of raising, and the CLI turns it into a non-zero exit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.chaos.faults import FaultPlan, FeedbackChaos
+from repro.chaos.plans import PLAN_INTERVALS, make_plan
+from repro.chaos.seams import FaultyClock, FaultyFilesystem
+from repro.errors import ChaosError, RecoveryError, ReproError
+from repro.obs.events import CHAOS_EVENT_KINDS, EventBus
+from repro.obs.recorder import Recorder
+
+#: event kinds that define a run's reproducible fault/recovery timeline
+TIMELINE_KINDS = frozenset(CHAOS_EVENT_KINDS | {"recovery", "degradation"})
+
+#: detail keys dropped from the digest: human-facing strings that embed
+#: absolute paths or OS error text (everything else must be stable)
+_VOLATILE_KEYS = ("error",)
+
+
+def canonical_timeline(events):
+    """The digest-stable projection of a run's chaos-relevant events.
+
+    Wall-clock times are dropped (the envelope ``t``), error strings are
+    dropped, and any path-valued detail is reduced to its basename, so
+    two runs in different temp dirs at different times still compare
+    equal byte for byte.
+    """
+    timeline = []
+    for event in events:
+        if event["kind"] not in TIMELINE_KINDS:
+            continue
+        detail = {}
+        for key, value in event["detail"].items():
+            if key in _VOLATILE_KEYS:
+                continue
+            if isinstance(value, str) and os.sep in value:
+                value = os.path.basename(value)
+            detail[key] = value
+        timeline.append({"kind": event["kind"], "detail": detail})
+    return timeline
+
+
+def timeline_digest(timeline):
+    """SHA-256 over the canonical timeline (the determinism pin)."""
+    data = json.dumps(timeline, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class SoakResult:
+    """Everything one chaos-soak run observed and concluded."""
+
+    plan: str
+    seed: int
+    intervals_target: int
+    intervals_completed: int = 0
+    restarts: int = 0
+    faults_injected: int = 0
+    expect_recoverable: bool = True
+    #: invariant name -> bool (empty when the run failed before the end)
+    invariants: dict = field(default_factory=dict)
+    #: canonical chaos/recovery event sequence (see canonical_timeline)
+    timeline: list = field(default_factory=list)
+    digest: str = ""
+    #: the terminal diagnostic, when the run could not finish
+    failure: object = None
+
+    @property
+    def ok(self):
+        """Did the run match the plan's expectation?"""
+        if not self.expect_recoverable:
+            return self.failure is not None
+        return self.failure is None and bool(self.invariants) and all(
+            self.invariants.values()
+        )
+
+    def to_dict(self):
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "intervals_target": self.intervals_target,
+            "intervals_completed": self.intervals_completed,
+            "restarts": self.restarts,
+            "faults_injected": self.faults_injected,
+            "expect_recoverable": self.expect_recoverable,
+            "invariants": dict(self.invariants),
+            "digest": self.digest,
+            "failure": None if self.failure is None else str(self.failure),
+            "ok": self.ok,
+        }
+
+
+def _apply_storage_fault(plan, fault, wal_path, snapshot_path):
+    """Damage the durable files per one :class:`StorageFault`."""
+    if fault.kind == "wal-flip":
+        plan.flip_byte(wal_path)
+    elif fault.kind == "wal-truncate":
+        plan.truncate_tail(wal_path)
+    elif fault.kind == "snapshot-flip":
+        plan.flip_byte(snapshot_path)
+    elif fault.kind == "snapshot-flip-all":
+        plan.flip_byte(snapshot_path)
+        previous = snapshot_path + ".prev"
+        if os.path.exists(previous):
+            plan.flip_byte(previous)
+    else:  # pragma: no cover - STORAGE_KINDS is validated at plan build
+        raise ChaosError("unhandled storage fault %r" % (fault.kind,))
+
+
+def run_soak(
+    plan="standard",
+    seed=7,
+    intervals=None,
+    members=24,
+    state_dir=None,
+    obs_path=None,
+    log=None,
+):
+    """Run one chaos soak; returns a :class:`SoakResult` (never raises
+    for plan-induced failures — those land in ``result.failure``).
+
+    ``plan`` is a name from :data:`~repro.chaos.plans.PLAN_NAMES` or a
+    ready :class:`FaultPlan`; ``seed`` feeds the plan RNG, the daemon,
+    and the transport, so the whole run — fault bytes included — is a
+    pure function of ``(plan, seed)``.  ``log`` is an optional callable
+    for progress lines (the CLI passes ``print``).
+    """
+    from repro.core.config import GroupConfig
+    from repro.keytree.persistence import load_server
+    from repro.service.churn import PoissonChurn
+    from repro.service.daemon import DaemonConfig, RekeyDaemon
+    from repro.service.transports import SessionDelivery
+    from repro.service.wal import scan_records
+
+    if isinstance(plan, FaultPlan):
+        fault_plan = plan
+    else:
+        fault_plan = make_plan(plan, seed=seed)
+    if intervals is None:
+        intervals = PLAN_INTERVALS.get(fault_plan.name, 10)
+    say = log if log is not None else (lambda line: None)
+
+    bus = EventBus(path=obs_path)
+    obs = Recorder(bus=bus)
+    fault_plan.bind(obs)
+    fs = FaultyFilesystem(fault_plan)
+    clock = FaultyClock()
+
+    if state_dir is None:
+        state_dir = tempfile.mkdtemp(prefix="chaos-soak-")
+    wal_path = os.path.join(state_dir, "wal.jsonl")
+    snapshot_path = os.path.join(state_dir, "server.json")
+
+    config = GroupConfig(
+        block_size=5, seed=seed, **fault_plan.group_overrides
+    )
+    service_kwargs = {
+        "state_dir": state_dir,
+        "wal_compact_every": 4,
+        "verify_invariants": True,
+    }
+    service_kwargs.update(fault_plan.daemon_overrides)
+    service = DaemonConfig(**service_kwargs)
+    backend = SessionDelivery(
+        config, seed=seed + 1, chaos=FeedbackChaos(fault_plan)
+    )
+
+    result = SoakResult(
+        plan=fault_plan.name,
+        seed=int(seed),
+        intervals_target=int(intervals),
+        expect_recoverable=fault_plan.expect_recoverable,
+    )
+    daemon = None
+    recovery_bounded = True
+    try:
+        daemon = RekeyDaemon.start_new(
+            ["member-%03d" % index for index in range(members)],
+            config=config,
+            backend=backend,
+            churn=PoissonChurn(alpha=0.15),
+            service=service,
+            seed=seed,
+            obs=obs,
+            fs=fs,
+            clock=clock,
+        )
+        say(
+            "chaos-soak: plan %r, seed %d, %d members, %d intervals"
+            % (fault_plan.name, seed, members, intervals)
+        )
+        fired_jumps = set()
+        fired_storage = set()
+        steps = 0
+        # Replays and fallbacks can revisit an interval, so the loop is
+        # bounded by work done, not a range over interval numbers.
+        max_steps = intervals * 3 + 8
+        while daemon.server.intervals_processed < intervals:
+            steps += 1
+            if steps > max_steps:
+                raise ChaosError(
+                    "soak wedged: %d steps but only %d/%d intervals done"
+                    % (steps, daemon.server.intervals_processed, intervals)
+                )
+            current = daemon.server.intervals_processed
+            fault_plan.set_interval(current)
+            if current not in fired_jumps:
+                if fault_plan.apply_clock_jump(clock, current) is not None:
+                    fired_jumps.add(current)
+            daemon.run_interval()
+            due = [
+                f
+                for f in fault_plan.storage_faults_after(current)
+                if (f.kind, f.after_interval) not in fired_storage
+            ]
+            if due:
+                processed_before = daemon.server.intervals_processed
+                daemon.close()
+                for storage_fault in due:
+                    fired_storage.add(
+                        (storage_fault.kind, storage_fault.after_interval)
+                    )
+                    _apply_storage_fault(
+                        fault_plan, storage_fault, wal_path, snapshot_path
+                    )
+                obs.emit(
+                    "soak_restart",
+                    interval=current,
+                    faults=[f.kind for f in due],
+                )
+                say(
+                    "  interval %d: %s -> restarting through recovery"
+                    % (current, ", ".join(f.kind for f in due))
+                )
+                daemon = RekeyDaemon.recover(
+                    state_dir,
+                    config=config,
+                    backend=backend,
+                    fleet=daemon.fleet,
+                    churn=daemon.churn,
+                    service=service,
+                    seed=seed,
+                    obs=obs,
+                    fs=fs,
+                    clock=clock,
+                )
+                result.restarts += 1
+                if daemon.server.intervals_processed < processed_before - 1:
+                    recovery_bounded = False
+        result.intervals_completed = daemon.server.intervals_processed
+
+        # -- end-of-run invariants --------------------------------------
+        invariants = result.invariants
+        invariants["completed"] = (
+            daemon.server.intervals_processed >= intervals
+        )
+        try:
+            daemon.fleet.check_agreement(
+                daemon.server, exclude=daemon.pending_carry_names()
+            )
+            invariants["key-agreement"] = True
+        except ReproError:
+            invariants["key-agreement"] = False
+        invariants["recovery-bounded"] = recovery_bounded
+        _, wal_error = scan_records(wal_path)
+        invariants["wal-roundtrip"] = wal_error is None
+        snapshot_ok = daemon._save_snapshot()
+        if snapshot_ok:
+            try:
+                reloaded = load_server(snapshot_path, config=config)
+                invariants["snapshot-roundtrip"] = (
+                    reloaded.intervals_processed
+                    == daemon.server.intervals_processed
+                    and reloaded.group_key.fingerprint()
+                    == daemon.server.group_key.fingerprint()
+                )
+            except ReproError:
+                invariants["snapshot-roundtrip"] = False
+        else:
+            invariants["snapshot-roundtrip"] = False
+        for name, passed in sorted(invariants.items()):
+            obs.emit("soak_invariant", invariant=name, passed=bool(passed))
+            say("  invariant %-20s %s" % (name, "ok" if passed else "FAIL"))
+    except RecoveryError as error:
+        # The escalation ladder was exhausted.  For an ``unrecoverable``
+        # plan this is the *expected* terminal state; either way it is a
+        # diagnostic, not a traceback.
+        result.failure = error
+        say("  recovery failed: %s" % error)
+    except ReproError as error:
+        result.failure = error
+        say("  soak aborted: %s" % error)
+    finally:
+        if daemon is not None:
+            daemon.close()
+            result.intervals_completed = daemon.server.intervals_processed
+        result.faults_injected = fault_plan.injected
+        result.timeline = canonical_timeline(bus.events)
+        result.digest = timeline_digest(result.timeline)
+        bus.close()
+    return result

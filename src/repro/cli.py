@@ -16,6 +16,8 @@ The commands:
   event stream as JSONL — see ``docs/observability.md``);
 - ``obs-report`` — analyse an ``--obs-file``: headline paper metrics
   and a per-interval time breakdown, from the event stream alone;
+- ``chaos-soak`` — run the daemon under a named deterministic fault
+  plan and assert the recovery invariants (see ``docs/robustness.md``);
 - ``bench-perf`` — run the hot-path micro-benchmarks and write a
   ``BENCH_perf.json`` document (see ``docs/performance.md``).
 """
@@ -137,6 +139,48 @@ def _build_parser():
         help="analyse an --obs-file event stream (JSONL)",
     )
     obs_report.add_argument("path", help="the JSONL file to analyse")
+
+    chaos = sub.add_parser(
+        "chaos-soak",
+        help="run the daemon under a deterministic fault plan",
+    )
+    chaos.add_argument(
+        "--plan",
+        choices=["standard", "io-storm", "storage-corruptor",
+                 "feedback-abuse", "unrecoverable"],
+        default="standard",
+        help="named fault plan (see docs/robustness.md)",
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--intervals",
+        type=int,
+        default=None,
+        help="override the plan's designed interval count",
+    )
+    chaos.add_argument("--members", type=int, default=24)
+    chaos.add_argument(
+        "--state-dir",
+        default=None,
+        help="WAL/snapshot directory (default: a fresh temp dir)",
+    )
+    chaos.add_argument(
+        "--obs-file",
+        default=None,
+        metavar="PATH",
+        help="also write the event stream as JSONL (for obs-report)",
+    )
+    chaos.add_argument(
+        "--expect-digest",
+        default=None,
+        metavar="SHA256",
+        help="fail unless the run's fault-timeline digest matches",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the soak result as JSON at the end",
+    )
 
     bench = sub.add_parser(
         "bench-perf", help="run the hot-path perf benchmarks"
@@ -444,6 +488,69 @@ def _cmd_obs_report(args, out):
     return 0
 
 
+def _cmd_chaos_soak(args, out):
+    import json
+
+    from repro.chaos import run_soak
+    from repro.errors import ChaosError
+
+    try:
+        result = run_soak(
+            plan=args.plan,
+            seed=args.seed,
+            intervals=args.intervals,
+            members=args.members,
+            state_dir=args.state_dir,
+            obs_path=args.obs_file,
+            log=lambda line: print(line, file=out),
+        )
+    except ChaosError as error:
+        print("error: %s" % error, file=out)
+        return 2
+    print(
+        "chaos-soak: %d fault(s) injected, %d restart(s), "
+        "%d/%d interval(s)"
+        % (
+            result.faults_injected,
+            result.restarts,
+            result.intervals_completed,
+            result.intervals_target,
+        ),
+        file=out,
+    )
+    print("fault-timeline digest: %s" % result.digest, file=out)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True),
+              file=out)
+    if args.obs_file:
+        print("wrote obs events to %s" % args.obs_file, file=out)
+    if args.expect_digest and args.expect_digest != result.digest:
+        print(
+            "digest mismatch: expected %s" % args.expect_digest, file=out
+        )
+        return 3
+    if result.failure is not None:
+        print("chaos-soak: FAILED: %s" % result.failure, file=out)
+        if not result.expect_recoverable:
+            print(
+                "(plan %r is deliberately unrecoverable; the diagnostic "
+                "above is its expected outcome)" % result.plan,
+                file=out,
+            )
+        return 1
+    if not result.ok:
+        failed = sorted(
+            name for name, passed in result.invariants.items() if not passed
+        )
+        print(
+            "chaos-soak: invariant(s) violated: %s" % ", ".join(failed),
+            file=out,
+        )
+        return 1
+    print("chaos-soak: all invariants green", file=out)
+    return 0
+
+
 def _cmd_bench_perf(args, out):
     import json
 
@@ -473,6 +580,7 @@ def main(argv=None, out=None):
         "analyze": _cmd_analyze,
         "serve": _cmd_serve,
         "obs-report": _cmd_obs_report,
+        "chaos-soak": _cmd_chaos_soak,
         "bench-perf": _cmd_bench_perf,
     }
     return handlers[args.command](args, out)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
 from repro.sim.topology import LossParameters
 from repro.util.validation import check_non_negative, check_positive
 
@@ -29,6 +30,9 @@ class GroupConfig:
     packet_size: int = 1027
     block_size: int = 10
     rho: float = 1.0
+    #: hard ceiling on the adaptive proactivity factor — hostile NACK
+    #: feedback saturates ρ here instead of growing parity unbounded
+    rho_max: float = 8.0
     num_nack: int = 20
     max_nack: int = 100
     sending_interval_ms: float = 100.0
@@ -49,6 +53,11 @@ class GroupConfig:
         check_positive("packet_size", self.packet_size, integral=True)
         check_positive("block_size", self.block_size, integral=True)
         check_non_negative("rho", self.rho)
+        check_positive("rho_max", self.rho_max)
+        if self.rho > self.rho_max:
+            raise ConfigurationError(
+                "rho %.3f exceeds rho_max %.3f" % (self.rho, self.rho_max)
+            )
         check_non_negative("num_nack", self.num_nack, integral=True)
         check_non_negative("max_nack", self.max_nack, integral=True)
         check_positive("sending_interval_ms", self.sending_interval_ms)

@@ -73,5 +73,14 @@ class WalError(ServiceError):
     """The write-ahead log is corrupt beyond the tolerated torn tail."""
 
 
+class RecoveryError(ServiceError):
+    """Startup recovery failed even after the escalation ladder
+    (quarantine, last good snapshot, previous snapshot generation)."""
+
+
+class ChaosError(ReproError):
+    """Invalid fault plan or chaos-harness configuration."""
+
+
 class ObsError(ReproError):
     """Invalid observability state: bad event schema, malformed JSONL."""

@@ -15,9 +15,20 @@ continues the message-ID sequence instead of silently resetting it
 (members use the ID to detect gaps).
 
 All file writes are **crash-safe**: the snapshot is written to a
-temporary file in the same directory, fsynced, and atomically
-``os.replace``-d into place, so a crash at any instant leaves either
-the old snapshot or the new one — never a torn file.
+temporary file in the same directory, fsynced, atomically
+``os.replace``-d into place, and the directory entry is fsynced — so a
+crash at any instant leaves either the old snapshot or the new one,
+never a torn file or a lost rename.  All of it goes through the
+:class:`~repro.chaos.seams.Filesystem` seam, so the chaos layer can
+fail any of those steps.
+
+Server snapshots are **integrity-checked** (format v2): the envelope
+carries a CRC32 of the canonical server payload, so a bit flipped at
+rest — even one that still parses as JSON, e.g. inside hex key
+material — is detected at load instead of silently desyncing every
+member.  v1 snapshots (no CRC) still load.  ``save_server`` can also
+``rotate`` the previous snapshot to ``<path>.prev``, giving recovery a
+second generation to fall back to (see ``docs/robustness.md``).
 
 Only durable protocol state is snapshotted; pending join/leave queues
 are intentionally excluded (the service layer's write-ahead log —
@@ -30,14 +41,20 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zlib
 
+from repro.chaos.seams import REAL_FILESYSTEM
 from repro.crypto.keys import SymmetricKey
 from repro.errors import KeyTreeError
 from repro.keytree.nodes import NodeKind
 from repro.keytree.tree import KeyTree
 
 _FORMAT_VERSION = 1
-_SERVER_FORMAT_VERSION = 1
+_SERVER_FORMAT_VERSION = 2
+#: server formats load_server accepts (1 = pre-CRC)
+_SERVER_READABLE_FORMATS = (1, 2)
+#: suffix of the rotated previous snapshot generation
+PREVIOUS_SUFFIX = ".prev"
 
 
 def tree_to_dict(tree):
@@ -96,45 +113,46 @@ def tree_from_dict(data, key_factory=None):
     )
 
 
-def _atomic_write_json(path, payload):
+def payload_crc(payload):
+    """CRC32 (8 hex chars) of a payload's canonical JSON."""
+    data = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return "%08x" % (zlib.crc32(data) & 0xFFFFFFFF)
+
+
+def _atomic_write_json(path, payload, fs=None):
     """Write ``payload`` as JSON to ``path`` without torn intermediates.
 
-    temp file in the target directory → flush → fsync → ``os.replace``;
-    the directory entry is fsynced afterwards where the platform allows,
+    temp file in the target directory → write → fsync → ``os.replace``
+    → directory fsync, every step through the :class:`Filesystem` seam,
     so the rename itself is durable, not just the bytes.
     """
+    fs = fs or REAL_FILESYSTEM
     path = os.fspath(path)
     directory = os.path.dirname(path) or "."
     fd, temp_path = tempfile.mkstemp(
         dir=directory, prefix=".tmp-", suffix=".json"
     )
+    os.close(fd)
     try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp_path, path)
+        handle = fs.open(temp_path, "w")
+        try:
+            fs.write(handle, json.dumps(payload))
+            fs.fsync(handle)
+        finally:
+            handle.close()
+        fs.replace(temp_path, path)
     except BaseException:
         try:
             os.unlink(temp_path)
         except OSError:
             pass
         raise
-    try:
-        dir_fd = os.open(directory, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform without dir fsync
-        return
-    try:
-        os.fsync(dir_fd)
-    except OSError:  # pragma: no cover
-        pass
-    finally:
-        os.close(dir_fd)
+    fs.fsync_dir(directory)
 
 
-def save_tree(tree, path):
+def save_tree(tree, path, fs=None):
     """Write a snapshot to ``path`` (JSON, atomically replaced)."""
-    _atomic_write_json(path, tree_to_dict(tree))
+    _atomic_write_json(path, tree_to_dict(tree), fs=fs)
 
 
 def load_tree(path, key_factory=None):
@@ -143,35 +161,79 @@ def load_tree(path, key_factory=None):
         return tree_from_dict(json.load(handle), key_factory=key_factory)
 
 
-def save_server(server, path):
+def save_server(server, path, fs=None, rotate=False):
     """Persist full :class:`GroupKeyServer` state to ``path``, atomically.
 
     Unlike :func:`save_tree` this captures the server-level counters —
     the 6-bit rekey-message ID, ``intervals_processed``, and the crypto
     seed — alongside the tree, so :func:`load_server` resumes the exact
-    protocol sequence.
+    protocol sequence.  The envelope carries a CRC32 of the payload so
+    at-rest damage is detected at load time.
+
+    With ``rotate``, an existing snapshot at ``path`` is first renamed
+    to ``path + ".prev"`` — the previous generation the recovery ladder
+    falls back to when the current snapshot is damaged.
     """
+    fs = fs or REAL_FILESYSTEM
+    path = os.fspath(path)
+    payload = server.snapshot()
+    if rotate and fs.exists(path):
+        fs.replace(path, path + PREVIOUS_SUFFIX)
+        fs.fsync_dir(os.path.dirname(path) or ".")
     _atomic_write_json(
         path,
         {
             "format": _SERVER_FORMAT_VERSION,
             "kind": "server",
-            "server": server.snapshot(),
+            "crc": payload_crc(payload),
+            "server": payload,
         },
+        fs=fs,
     )
 
 
 def load_server(path, config=None):
-    """Restore a :class:`GroupKeyServer` written by :func:`save_server`."""
+    """Restore a :class:`GroupKeyServer` written by :func:`save_server`.
+
+    Raises :class:`KeyTreeError` for a wrong document kind, an unknown
+    format, or (v2) a CRC mismatch — the integrity failure the recovery
+    ladder treats as "this generation is damaged, try the previous one".
+    """
     from repro.core.server import GroupKeyServer
 
-    with open(path) as handle:
-        data = json.load(handle)
+    try:
+        with open(path, "rb") as handle:
+            data = json.loads(handle.read().decode("utf-8"))
+    except FileNotFoundError:
+        raise
+    except (ValueError, OSError) as exc:
+        # Unparseable bytes (flipped high bit, torn JSON) are corruption,
+        # not a programming error — same KeyTreeError the CRC path uses.
+        raise KeyTreeError("unreadable server snapshot %s: %s" % (path, exc))
+    if not isinstance(data, dict):
+        raise KeyTreeError(
+            "not a server snapshot (top-level %s)" % type(data).__name__
+        )
     if data.get("kind") != "server" or (
-        data.get("format") != _SERVER_FORMAT_VERSION
+        data.get("format") not in _SERVER_READABLE_FORMATS
     ):
         raise KeyTreeError(
             "not a server snapshot (kind=%r, format=%r)"
             % (data.get("kind"), data.get("format"))
         )
-    return GroupKeyServer.restore(data["server"], config=config)
+    if data.get("format") >= 2:
+        stored = data.get("crc")
+        actual = payload_crc(data.get("server"))
+        if stored != actual:
+            raise KeyTreeError(
+                "server snapshot integrity check failed "
+                "(CRC stored %r, computed %r)" % (stored, actual)
+            )
+    try:
+        return GroupKeyServer.restore(data["server"], config=config)
+    except KeyTreeError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        # v1 snapshots have no CRC, so structural damage can surface
+        # here; keep the ladder's contract of one exception type.
+        raise KeyTreeError("malformed server snapshot %s: %s" % (path, exc))

@@ -60,7 +60,29 @@ SERVICE_EVENT_KINDS = frozenset(
     }
 )
 
-_REGISTRY = set(SESSION_EVENT_KINDS | SERVICE_EVENT_KINDS)
+#: Fault-injection and hardening kinds (see docs/robustness.md).
+CHAOS_EVENT_KINDS = frozenset(
+    {
+        "fault_injected",          # the chaos plan fired one fault
+        "io_retry",                # transient I/O error, retrying
+        "io_giveup",               # retry budget exhausted
+        "wal_quarantine",          # corrupt WAL moved aside, prefix salvaged
+        "snapshot_fallback",       # damaged snapshot generation skipped
+        "snapshot_recovered_from", # recovery used a non-primary generation
+        "snapshot_skipped",        # snapshot save failed; interval uncommitted
+        "circuit_open",            # degradation circuit breaker opened
+        "circuit_half_open",       # cooldown elapsed; trial interval next
+        "circuit_close",           # trial succeeded; breaker closed
+        "feedback_chaos",          # NACK feedback was mangled in flight
+        "rho_clamped",             # AdjustRho hit the rho_max ceiling
+        "soak_restart",            # chaos soak restarted the daemon
+        "soak_invariant",          # one soak invariant checked
+    }
+)
+
+_REGISTRY = set(
+    SESSION_EVENT_KINDS | SERVICE_EVENT_KINDS | CHAOS_EVENT_KINDS
+)
 
 
 def register_event_kind(kind):

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 
-from repro.obs.events import read_events
+from repro.obs.events import CHAOS_EVENT_KINDS, read_events
 
 #: Top-level children of daemon.interval: disjoint, so they sum.
 _TOP_SPANS = {
@@ -61,6 +61,17 @@ def summarize(events):
     for d in intervals:
         decision = d.get("decision", "?")
         decisions[decision] = decisions.get(decision, 0) + 1
+
+    fault_counts = {}
+    fault_timeline = []
+    for event in events:
+        kind = event["kind"]
+        if kind not in CHAOS_EVENT_KINDS:
+            continue
+        fault_counts[kind] = fault_counts.get(kind, 0) + 1
+        fault_timeline.append(
+            {"kind": kind, "detail": dict(event["detail"])}
+        )
 
     breakdown = {}
     span_totals = {}
@@ -106,6 +117,8 @@ def summarize(events):
         ),
         "recovery_p99_max": max(p99s) if p99s else None,
         "decisions": decisions,
+        "fault_counts": fault_counts,
+        "fault_timeline": fault_timeline,
         "time_breakdown": breakdown,
         "span_totals": span_totals,
     }
@@ -143,6 +156,22 @@ def render_report(path):
             for key in sorted(summary["decisions"])
         ),
     ]
+    if summary["fault_counts"]:
+        lines += [
+            "",
+            "faults and recoveries (chaos events, in order):",
+            "  %s"
+            % " ".join(
+                "%s=%d" % (kind, summary["fault_counts"][kind])
+                for kind in sorted(summary["fault_counts"])
+            ),
+        ]
+        for entry in summary["fault_timeline"]:
+            detail = entry["detail"]
+            rendered = " ".join(
+                "%s=%s" % (key, detail[key]) for key in sorted(detail)
+            )
+            lines.append("  %-22s %s" % (entry["kind"], rendered))
     breakdown = summary["time_breakdown"]
     if breakdown:
         lines += [

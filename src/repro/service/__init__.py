@@ -31,6 +31,7 @@ from repro.service.churn import (
 )
 from repro.service.daemon import (
     CRASH_POINTS,
+    CircuitBreaker,
     CrashPlan,
     DaemonConfig,
     DaemonCrash,
@@ -45,11 +46,17 @@ from repro.service.transports import (
     UdpDelivery,
     make_backend,
 )
-from repro.service.wal import WriteAheadLog, read_records
+from repro.service.wal import (
+    WriteAheadLog,
+    quarantine_path,
+    read_records,
+    scan_records,
+)
 
 __all__ = [
     "CRASH_POINTS",
     "ChurnEvents",
+    "CircuitBreaker",
     "CrashPlan",
     "DaemonConfig",
     "DaemonCrash",
@@ -68,6 +75,8 @@ __all__ = [
     "WriteAheadLog",
     "make_backend",
     "make_driver",
+    "quarantine_path",
     "read_records",
     "save_trace",
+    "scan_records",
 ]

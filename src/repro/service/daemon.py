@@ -31,23 +31,37 @@ rekeyed on the next interval).
 (a stand-in for ``SIGKILL`` — no cleanup runs, fsynced state is all
 that survives) at a chosen interval and :data:`CRASH_POINTS` site; the
 recovery property tests drive this at every point.
+
+**Fault tolerance.**  Storage I/O (WAL appends, snapshot writes) runs
+through the :class:`~repro.chaos.seams.Filesystem`/``Clock`` seams with
+bounded-retry backoff; a WAL found corrupt at startup is quarantined
+instead of aborting; :meth:`recover` walks a snapshot *ladder*
+(``server.json`` → ``server.json.prev``) before giving up with
+:class:`~repro.errors.RecoveryError`; and a :class:`CircuitBreaker`
+caps consecutive unicast-cutover degradations by forcing the cheaper
+``carry`` policy for a cooldown.  See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass
 
+from repro.chaos.seams import REAL_FILESYSTEM, SYSTEM_CLOCK
 from repro.core.server import GroupKeyServer
-from repro.errors import ReproError, ServiceError
+from repro.errors import RecoveryError, ReproError, ServiceError
 from repro.obs.metrics import ROUNDS_BUCKETS
 from repro.obs.recorder import NULL
 from repro.service.churn import ChurnEvents, NoChurn
 from repro.service.health import IN_DEADLINE, IntervalMetrics, ServiceMetrics
 from repro.service.members import MemberFleet
-from repro.service.transports import DirectDelivery
+from repro.service.transports import UNICAST_CUTOVER, DirectDelivery
+from repro.util.retry import RetryPolicy
 from repro.util.rng import RandomSource
+
+logger = logging.getLogger(__name__)
 
 #: where an injected crash can fire inside one interval, in order
 CRASH_POINTS = (
@@ -81,6 +95,87 @@ class CrashPlan:
         return interval == self.interval and point == self.point
 
 
+class CircuitBreaker:
+    """Caps consecutive unicast-cutover degradations (see docs/robustness.md).
+
+    Unicast cutover serves every straggler point-to-point inside the
+    interval — correct, but the most expensive failure mode the daemon
+    has, and under sustained feedback abuse or loss it can recur every
+    interval.  The breaker watches delivery decisions: ``threshold``
+    consecutive cutovers **open** it, which forces the cheaper ``carry``
+    policy (stale users are served from the stored message next
+    interval) for ``cooldown`` intervals; then a **half-open** trial
+    interval runs the configured policy again — a clean result closes
+    the breaker, another cutover re-opens it.  ``threshold=0`` disables.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, threshold=5, cooldown=3):
+        if threshold < 0 or cooldown < 1:
+            raise ServiceError(
+                "circuit breaker needs threshold >= 0 and cooldown >= 1"
+            )
+        self.threshold = int(threshold)
+        self.cooldown = int(cooldown)
+        self.state = self.CLOSED
+        self.consecutive = 0
+        self.opened_total = 0
+        self._open_left = 0
+
+    @property
+    def enabled(self):
+        return self.threshold > 0
+
+    @property
+    def forcing_carry(self):
+        """Whether this interval's delivery must use the carry policy."""
+        return self.enabled and self.state == self.OPEN
+
+    def _trip(self):
+        self.state = self.OPEN
+        self._open_left = self.cooldown
+        self.opened_total += 1
+        self.consecutive = 0
+        return "circuit_open"
+
+    def record(self, decision):
+        """Feed one interval's delivery decision; returns the transition
+        event kind (``circuit_open`` / ``circuit_half_open`` /
+        ``circuit_close``) or ``None`` when the state did not change."""
+        if not self.enabled:
+            return None
+        if self.state == self.OPEN:
+            self._open_left -= 1
+            if self._open_left <= 0:
+                self.state = self.HALF_OPEN
+                return "circuit_half_open"
+            return None
+        if decision == UNICAST_CUTOVER:
+            if self.state == self.HALF_OPEN:
+                return self._trip()  # trial failed: straight back open
+            self.consecutive += 1
+            if self.consecutive >= self.threshold:
+                return self._trip()
+            return None
+        if self.state == self.HALF_OPEN:
+            self.state = self.CLOSED
+            self.consecutive = 0
+            return "circuit_close"
+        self.consecutive = 0
+        return None
+
+    def snapshot(self):
+        """Health-surface view of the breaker."""
+        return {
+            "state": self.state if self.enabled else "disabled",
+            "consecutive_cutovers": self.consecutive,
+            "opened_total": self.opened_total,
+        }
+
+
 @dataclass
 class DaemonConfig:
     """Service-level knobs (the protocol knobs live in GroupConfig)."""
@@ -92,6 +187,11 @@ class DaemonConfig:
     wal_compact_every: int = 32  # intervals between WAL compactions
     verify_invariants: bool = True
     crash_plan: object = None  # CrashPlan | None
+    #: consecutive unicast-cutover intervals before the circuit breaker
+    #: opens and forces the carry policy (0 disables the breaker)
+    circuit_threshold: int = 5
+    #: intervals the breaker stays open before a half-open trial
+    circuit_cooldown: int = 3
 
     def __post_init__(self):
         if self.deadline_policy not in ("unicast", "carry"):
@@ -113,10 +213,17 @@ class RekeyDaemon:
         service=None,
         seed=None,
         obs=None,
+        fs=None,
+        clock=None,
+        retry=None,
     ):
         self.server = server
         #: observability recorder (NULL = disabled, zero-overhead)
         self.obs = obs if obs is not None else NULL
+        #: storage/time seams — the chaos layer swaps in faulty doubles
+        self.fs = fs if fs is not None else REAL_FILESYSTEM
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.retry = retry if retry is not None else RetryPolicy()
         self.backend = backend or DirectDelivery()
         self.server.set_observer(self.obs)
         self.backend.set_observer(self.obs)
@@ -126,6 +233,10 @@ class RekeyDaemon:
         self.churn = churn or NoChurn()
         self.service = service or DaemonConfig()
         self.metrics = ServiceMetrics()
+        self.circuit = CircuitBreaker(
+            threshold=self.service.circuit_threshold,
+            cooldown=self.service.circuit_cooldown,
+        )
         self._rng = RandomSource(
             server.config.seed if seed is None else seed
         ).generator()
@@ -148,7 +259,16 @@ class RekeyDaemon:
 
             state_dir = os.fspath(self.service.state_dir)
             os.makedirs(state_dir, exist_ok=True)
-            self.wal = WriteAheadLog(os.path.join(state_dir, "wal.jsonl"))
+            # Quarantine (not abort) on a corrupt log: startup always
+            # gets *a* WAL; what was salvaged/lost is an emitted event.
+            self.wal = WriteAheadLog(
+                os.path.join(state_dir, "wal.jsonl"),
+                fs=self.fs,
+                clock=self.clock,
+                retry=self.retry,
+                on_corruption="quarantine",
+                obs=self.obs,
+            )
             self.snapshot_path = os.path.join(state_dir, "server.json")
 
     # -- construction ------------------------------------------------------
@@ -163,6 +283,9 @@ class RekeyDaemon:
         service=None,
         seed=None,
         obs=None,
+        fs=None,
+        clock=None,
+        retry=None,
     ):
         """Boot a fresh group and (if durable) write the initial snapshot."""
         server = GroupKeyServer(initial_users, config=config)
@@ -173,9 +296,18 @@ class RekeyDaemon:
             service=service,
             seed=seed,
             obs=obs,
+            fs=fs,
+            clock=clock,
+            retry=retry,
         )
         if daemon.snapshot_path is not None:
-            daemon._save_snapshot()
+            if not daemon._save_snapshot():
+                # Without a baseline snapshot there is nothing to
+                # recover into — refuse to pretend we are durable.
+                raise ServiceError(
+                    "could not write the initial snapshot to %s"
+                    % daemon.snapshot_path
+                )
         return daemon
 
     @classmethod
@@ -190,6 +322,9 @@ class RekeyDaemon:
         seed=None,
         resync_members=True,
         obs=None,
+        fs=None,
+        clock=None,
+        retry=None,
     ):
         """Restart from ``state_dir``: snapshot load + WAL replay.
 
@@ -213,17 +348,18 @@ class RekeyDaemon:
         """
         import os
 
-        from repro.keytree.persistence import load_server
+        from repro.keytree.persistence import PREVIOUS_SUFFIX
 
         service = service or DaemonConfig()
         service.state_dir = state_dir
         snapshot_path = os.path.join(os.fspath(state_dir), "server.json")
-        try:
-            server = load_server(snapshot_path, config=config)
-        except FileNotFoundError:
-            raise ServiceError(
-                "no snapshot at %s; nothing to recover" % snapshot_path
-            )
+        server, snapshot_fallbacks = cls._load_snapshot_ladder(
+            snapshot_path,
+            [snapshot_path, snapshot_path + PREVIOUS_SUFFIX],
+            config=config,
+            obs=obs if obs is not None else NULL,
+            fs=fs if fs is not None else REAL_FILESYSTEM,
+        )
         daemon = cls(
             server,
             backend=backend,
@@ -232,8 +368,12 @@ class RekeyDaemon:
             service=service,
             seed=seed,
             obs=obs,
+            fs=fs,
+            clock=clock,
+            retry=retry,
         )
         daemon.metrics.bump("recoveries")
+        daemon.metrics.bump("snapshot_fallbacks", snapshot_fallbacks)
         replayed = rejected = 0
         for record in daemon.wal.pending_requests(server.intervals_processed):
             try:
@@ -280,6 +420,71 @@ class RekeyDaemon:
         )
         return daemon
 
+    @classmethod
+    def _load_snapshot_ladder(cls, primary, candidates, config, obs, fs):
+        """Walk the snapshot escalation ladder, newest generation first.
+
+        Returns ``(server, n_fallbacks)`` — the first generation that
+        loads and verifies, plus how many damaged ones were passed over.
+        A damaged generation (CRC mismatch, unparseable JSON, wrong
+        kind) is quarantined to ``<path>.corrupt-<n>`` and a
+        ``snapshot_fallback`` event emitted; the ladder then tries the
+        next one.  Missing generations are skipped silently.  When the
+        *current* generation was damaged, falling back to ``.prev``
+        composes with WAL replay because compaction always keeps the
+        last committed interval's records (see ``_interval_body``).
+
+        Raises :class:`~repro.errors.RecoveryError` when every rung is
+        exhausted, or :class:`ServiceError` when none ever existed.
+        """
+        from repro.errors import KeyTreeError
+        from repro.keytree.persistence import load_server
+        from repro.service.wal import quarantine_path
+
+        import os
+
+        found_any = False
+        failures = []
+        for candidate in candidates:
+            try:
+                server = load_server(candidate, config=config)
+            except FileNotFoundError:
+                continue
+            except KeyTreeError as exc:
+                found_any = True
+                failures.append("%s: %s" % (os.path.basename(candidate), exc))
+                destination = quarantine_path(candidate, fs)
+                fs.replace(candidate, destination)
+                fs.fsync_dir(os.path.dirname(candidate) or ".")
+                obs.emit(
+                    "snapshot_fallback",
+                    snapshot=os.path.basename(candidate),
+                    quarantined=os.path.basename(destination),
+                    error=str(exc),
+                )
+                logger.warning(
+                    "snapshot %s is damaged (%s); quarantined to %s",
+                    candidate,
+                    exc,
+                    destination,
+                )
+                continue
+            if candidate != primary:
+                obs.emit(
+                    "snapshot_recovered_from",
+                    snapshot=os.path.basename(candidate),
+                    interval=server.intervals_processed,
+                )
+            return server, len(failures)
+        if not found_any:
+            raise ServiceError(
+                "no snapshot at %s; nothing to recover" % primary
+            )
+        raise RecoveryError(
+            "every snapshot generation is damaged (%s); quarantined copies "
+            "are alongside the state dir for forensics" % "; ".join(failures)
+        )
+
     # -- request intake ----------------------------------------------------
 
     def submit_join(self, name):
@@ -298,7 +503,20 @@ class RekeyDaemon:
             else:
                 self.server.request_leave(name)
             if self.wal is not None:
-                self.wal.append_request(op, name, interval)
+                try:
+                    self.wal.append_request(op, name, interval)
+                except OSError as exc:
+                    # Retries are exhausted (``io_giveup`` was emitted).
+                    # The request is applied in memory but NOT durable,
+                    # so it must not be acknowledged: surface the
+                    # failure as a WalError — churn drivers count it
+                    # rejected; direct submitters see the refusal.
+                    from repro.errors import WalError
+
+                    raise WalError(
+                        "accepted %s(%r) could not be durably logged: %s"
+                        % (op, name, exc)
+                    )
                 if self.obs.enabled:
                     self.obs.emit(
                         "wal_append", op=op, user=name, interval=interval
@@ -393,16 +611,30 @@ class RekeyDaemon:
             self.fleet.register(self.server, name)
 
         report = None
+        policy = self.service.deadline_policy
+        if self.circuit.forcing_carry:
+            policy = "carry"
         if not message.is_empty:
             with obs.span("daemon.deliver"):
                 report = self.backend.deliver(
                     message,
                     self.fleet,
                     deadline_rounds=self.service.deadline_rounds,
-                    policy=self.service.deadline_policy,
+                    policy=policy,
                 )
             if report.carried:
                 self._carry.append((message, list(report.carried)))
+            transition = self.circuit.record(report.decision)
+            if transition is not None:
+                if transition == "circuit_open":
+                    self.metrics.bump("circuit_opens")
+                if obs.enabled:
+                    obs.emit(
+                        transition,
+                        interval=interval,
+                        consecutive=self.circuit.consecutive,
+                        cooldown=self.circuit.cooldown,
+                    )
         self._maybe_crash(interval, "post-delivery")
 
         if self.service.verify_invariants:
@@ -411,18 +643,49 @@ class RekeyDaemon:
             )
         if self.snapshot_path is not None:
             with obs.span("daemon.snapshot"):
-                self._save_snapshot()
-            if obs.enabled:
-                obs.emit("snapshot", path=self.snapshot_path)
-            self._maybe_crash(interval, "post-snapshot")
-            self.wal.append_commit(interval)
-            every = self.service.wal_compact_every
-            if every and (interval + 1) % every == 0:
-                self.wal.compact(self.server.intervals_processed)
+                snapshot_ok = self._save_snapshot()
+            if snapshot_ok:
+                if obs.enabled:
+                    obs.emit("snapshot", path=self.snapshot_path)
+                self._maybe_crash(interval, "post-snapshot")
+                self.wal.append_commit(interval)
+                every = self.service.wal_compact_every
+                if every and (interval + 1) % every == 0:
+                    # Keep the last committed interval's records too:
+                    # recovery may fall back to the ``.prev`` snapshot
+                    # generation, which replays from one interval back.
+                    try:
+                        self.wal.compact(
+                            max(0, self.server.intervals_processed - 1)
+                        )
+                    except OSError as exc:
+                        # Compaction only reclaims space; a failed one
+                        # leaves the full (valid) log in place.
+                        if obs.enabled:
+                            obs.emit(
+                                "io_giveup",
+                                op="wal-compact",
+                                attempts=1,
+                                error=str(exc),
+                            )
+                    else:
+                        if obs.enabled:
+                            obs.emit(
+                                "wal_compact",
+                                through_interval=(
+                                    self.server.intervals_processed - 1
+                                ),
+                            )
+            else:
+                # The interval's state is only in memory + WAL: skip the
+                # commit marker and compaction so a crash now recovers
+                # from the previous snapshot and replays this interval.
+                self.metrics.bump("snapshot_failures")
                 if obs.enabled:
                     obs.emit(
-                        "wal_compact",
-                        through_interval=self.server.intervals_processed,
+                        "snapshot_skipped",
+                        interval=interval,
+                        path=self.snapshot_path,
                     )
 
         record = IntervalMetrics.from_parts(
@@ -514,9 +777,39 @@ class RekeyDaemon:
         return names
 
     def _save_snapshot(self):
+        """Write the server snapshot (rotating the previous generation),
+        retrying transient I/O errors; returns whether it succeeded.
+
+        On persistent failure the caller must treat the interval as
+        uncommitted — the WAL still covers it, so nothing is lost, only
+        not yet folded into a snapshot.
+        """
         from repro.keytree.persistence import save_server
 
-        save_server(self.server, self.snapshot_path)
+        def attempt():
+            save_server(
+                self.server, self.snapshot_path, fs=self.fs, rotate=True
+            )
+
+        try:
+            self.retry.run(
+                attempt,
+                clock=self.clock,
+                on_retry=lambda n, err: self.obs.emit(
+                    "io_retry", op="snapshot-save", attempt=n, error=str(err)
+                ),
+                on_giveup=lambda n, err: self.obs.emit(
+                    "io_giveup", op="snapshot-save", attempts=n, error=str(err)
+                ),
+            )
+        except OSError as exc:
+            logger.warning(
+                "snapshot save to %s failed after retries: %s",
+                self.snapshot_path,
+                exc,
+            )
+            return False
+        return True
 
     # -- scheduling --------------------------------------------------------
 
@@ -524,16 +817,16 @@ class RekeyDaemon:
         """Run ``n_intervals`` back to back (paced if configured)."""
         records = []
         for _ in range(int(n_intervals)):
-            t0 = time.monotonic()
+            t0 = self.clock.monotonic()
             record = self.run_interval()
             records.append(record)
             if on_interval is not None:
                 on_interval(record)
             pace = self.service.interval_seconds
             if pace > 0:
-                remaining = pace - (time.monotonic() - t0)
+                remaining = pace - (self.clock.monotonic() - t0)
                 if remaining > 0:
-                    time.sleep(remaining)
+                    self.clock.sleep(remaining)
         return records
 
     def start(self, n_intervals=None, on_interval=None):
@@ -573,11 +866,27 @@ class RekeyDaemon:
         return self
 
     def stop(self, timeout=30.0):
-        """Signal the background loop to finish and wait for it."""
+        """Signal the background loop to finish and wait for it.
+
+        Returns ``True`` when the loop exited within ``timeout`` (or no
+        loop was running); ``False`` — with a logged warning — when the
+        thread is still alive, so operators see a hung shutdown instead
+        of silently abandoning a daemon thread mid-interval.
+        """
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=timeout)
-            self._thread = None
+        thread = self._thread
+        if thread is None:
+            return True
+        thread.join(timeout=timeout)
+        if thread.is_alive():
+            logger.warning(
+                "daemon loop did not stop within %.1fs "
+                "(interval still running); thread left joined-to-daemon",
+                timeout,
+            )
+            return False
+        self._thread = None
+        return True
 
     # -- introspection -----------------------------------------------------
 
@@ -592,6 +901,7 @@ class RekeyDaemon:
             else "from-scratch"
         )
         report["fec_coder"] = self.server.config.fec_coder
+        report["circuit"] = self.circuit.snapshot()
         return report
 
     def close(self):

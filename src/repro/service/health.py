@@ -170,6 +170,10 @@ class ServiceMetrics:
             "recoveries": 0,
             "empty_intervals": 0,
             "deadline_misses": 0,
+            # robustness surface (see docs/robustness.md)
+            "snapshot_failures": 0,
+            "snapshot_fallbacks": 0,
+            "circuit_opens": 0,
         }
 
     def record(self, interval_metrics):

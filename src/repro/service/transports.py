@@ -106,19 +106,23 @@ class DirectDelivery(DeliveryBackend):
 class SessionDelivery(DeliveryBackend):
     """The simulated lossy transport, with cross-interval ρ adaptation."""
 
-    def __init__(self, config, seed=None, adapt_rho=True):
+    def __init__(self, config, seed=None, adapt_rho=True, chaos=None):
         """``config`` is the group's :class:`~repro.core.config.GroupConfig`
-        (loss topology, ρ/numNACK starting points, pacing)."""
+        (loss topology, ρ/numNACK starting points, pacing).  ``chaos``
+        is an optional feedback-fault hook handed to every session (see
+        :class:`repro.chaos.faults.FeedbackChaos`)."""
         self.config = config
         self._random_source = RandomSource(
             config.seed if seed is None else seed
         )
         self.adapt_rho = bool(adapt_rho)
+        self.chaos = chaos
         self.controller = ProactivityController(
             k=config.block_size,
             rho=config.rho,
             num_nack=config.num_nack,
             rng=self._random_source.generator(),
+            rho_max=getattr(config, "rho_max", None),
         )
 
     @property
@@ -143,11 +147,18 @@ class SessionDelivery(DeliveryBackend):
             ),
             rng=self._random_source.generator(),
             obs=self.obs,
+            chaos=self.chaos,
         )
         stats = session.run()
         if self.adapt_rho:
             # Shortfall magnitudes are not surfaced; see module docstring.
             self.controller.update([1] * stats.first_round_nacks)
+            if self.controller.last_rho_clamped and self.obs.enabled:
+                self.obs.emit(
+                    "rho_clamped",
+                    rho=self.controller.rho,
+                    rho_max=self.controller.rho_max,
+                )
 
         fleet.relocate_all(message.max_kid)
         by_id = fleet.by_user_id()

@@ -45,14 +45,26 @@ class ProactivityController:
     *next* rekey message's proactive round.
     """
 
-    def __init__(self, k, rho=1.0, num_nack=20, rng=None):
+    #: default ceiling on ρ — generous (the paper's trajectories stay
+    #: under 2) but finite, so hostile feedback cannot run it away
+    DEFAULT_RHO_MAX = 8.0
+
+    def __init__(self, k, rho=1.0, num_nack=20, rng=None, rho_max=None):
         check_positive("k", k, integral=True)
         check_non_negative("rho", rho)
         check_non_negative("num_nack", num_nack, integral=True)
+        if rho_max is None:
+            rho_max = self.DEFAULT_RHO_MAX
+        check_positive("rho_max", rho_max)
         self.k = int(k)
-        self.rho = float(rho)
+        self.rho_max = float(rho_max)
+        self.rho = min(float(rho), self.rho_max)
         self.num_nack = int(num_nack)
         self._rng = rng
+        #: diagnostics of the last :meth:`update` call — how many NACK
+        #: requests were out of range, and whether ρ hit the ceiling
+        self.last_requests_clamped = 0
+        self.last_rho_clamped = False
 
     def _random(self):
         if self._rng is None:
@@ -67,16 +79,35 @@ class ProactivityController:
         ``first_round_requests``: one integer per NACKing user — the
         maximum number of PARITY packets that user requested across
         blocks.  Returns the new ``rho``.
+
+        The entries come from *untrusted* per-user NACK reports, so each
+        is validated before it can steer the controller: negatives are
+        treated as zero and anything above ``k`` is clamped to ``k`` —
+        no user can legitimately need more parity packets than a block
+        has data packets.  The adjusted ρ is additionally capped at
+        :attr:`rho_max`, so a NACK storm saturates the proactivity
+        factor instead of driving the next round's parity unbounded.
         """
-        requests = sorted(
-            (int(a) for a in first_round_requests), reverse=True
-        )
+        sanitized = []
+        clamped = 0
+        for raw in first_round_requests:
+            value = int(raw)
+            bounded = max(0, min(value, self.k))
+            if bounded != value:
+                clamped += 1
+            sanitized.append(bounded)
+        self.last_requests_clamped = clamped
+        self.last_rho_clamped = False
+        requests = sorted(sanitized, reverse=True)
         n_nacks = len(requests)
         if n_nacks > self.num_nack:
             # Raise rho so the (numNACK+1)-th neediest user would have
             # recovered within round one.
             extra = requests[self.num_nack]
-            self.rho = (extra + math.ceil(self.k * self.rho)) / self.k
+            wanted = (extra + math.ceil(self.k * self.rho)) / self.k
+            if wanted > self.rho_max:
+                self.last_rho_clamped = True
+            self.rho = min(wanted, self.rho_max)
         elif n_nacks < self.num_nack:
             # Possibly decay by one parity packet.
             probability = max(

@@ -160,7 +160,13 @@ class ServerTransport:
         return planned
 
     def accept_nack(self, nack):
-        """Register one user's NACK (Fig. 26 step 8)."""
+        """Register one user's NACK (Fig. 26 step 8).
+
+        Requests are untrusted: a user missing ``m`` of a block's ``k``
+        ENC packets needs exactly ``m`` parity packets, so any request
+        above ``k`` is hostile or corrupt and is clamped to ``k`` —
+        a NACK storm cannot schedule an unbounded parity round.
+        """
         if nack.rekey_message_id != self.message.message_id:
             raise TransportError("NACK for a different rekey message")
         self._nack_users.add(nack.user_id)
@@ -170,7 +176,8 @@ class ServerTransport:
                     "NACK names unknown block %d" % request.block_id
                 )
             self._amax[request.block_id] = max(
-                self._amax[request.block_id], request.n_parity
+                self._amax[request.block_id],
+                min(request.n_parity, self.k),
             )
 
     def finish_round(self, nacks):

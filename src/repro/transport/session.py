@@ -64,7 +64,7 @@ class RekeySession:
 
     def __init__(
         self, message, topology, config=None, rng=None, trace=None,
-        coder=None, obs=None,
+        coder=None, obs=None, chaos=None,
     ):
         if not message.materialized:
             raise TransportError(
@@ -80,6 +80,11 @@ class RekeySession:
         #: observability recorder: spans per round/unicast phase, plus
         #: the protocol events (mirroring the trace) onto the event bus
         self.obs = obs if obs is not None else NULL
+        #: optional feedback-fault hook (``mangle_nacks(session, round,
+        #: nacks)``): what it returns is what the server transport sees
+        #: — the chaos layer's seam for duplicated, reordered, or
+        #: fabricated first-round feedback
+        self.chaos = chaos
         self._rng = rng if rng is not None else spawn_rng()
         self.user_ids = sorted(message.needs_by_user)
         if topology.n_users != len(self.user_ids):
@@ -165,6 +170,19 @@ class RekeySession:
                     nack = self.users[user_id].end_of_round()
                     if nack is not None:
                         nacks.append(nack)
+                if self.chaos is not None:
+                    mangled = self.chaos.mangle_nacks(
+                        self, round_index, nacks
+                    )
+                    if mangled is not None and mangled is not nacks:
+                        if self.obs.enabled:
+                            self.obs.emit(
+                                "feedback_chaos",
+                                round=round_index,
+                                before=len(nacks),
+                                after=len(mangled),
+                            )
+                        nacks = mangled
                 self.server.finish_round(nacks)
                 stats.rounds.append(
                     RoundStats(

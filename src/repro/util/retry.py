@@ -1,0 +1,64 @@
+"""Bounded retry with exponential backoff for transient I/O errors.
+
+The storage layer treats an ``OSError`` out of a write/fsync/replace as
+*possibly transient* (EIO under memory pressure, a full-but-draining
+disk, NFS hiccups): it retries a bounded number of times with
+exponential backoff before letting the error escape.  Sleeps go through
+the :class:`~repro.chaos.seams.Clock` seam, so chaos runs back off in
+virtual time — deterministic and instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chaos.seams import SYSTEM_CLOCK
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """``max_attempts`` tries; sleep ``base_delay * multiplier**n``
+    (capped at ``max_delay``) between them."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.002
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.multiplier < 1:
+            raise ConfigurationError("invalid backoff parameters")
+
+    def delay(self, attempt):
+        """Backoff before retry number ``attempt`` (0-based)."""
+        return min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+
+    def run(
+        self,
+        fn,
+        clock=None,
+        retry_on=(OSError,),
+        on_retry=None,
+        on_giveup=None,
+    ):
+        """Call ``fn`` until it succeeds or attempts are exhausted.
+
+        ``on_retry(attempt, error)`` fires before each backoff;
+        ``on_giveup(attempts, error)`` fires once when the final attempt
+        fails, after which the error propagates unchanged.
+        """
+        clock = clock or SYSTEM_CLOCK
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except retry_on as error:
+                if attempt + 1 >= self.max_attempts:
+                    if on_giveup is not None:
+                        on_giveup(attempt + 1, error)
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt + 1, error)
+                clock.sleep(self.delay(attempt))

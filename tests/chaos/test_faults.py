@@ -1,0 +1,163 @@
+"""Tests for repro.chaos.faults — fault vocabulary and the FaultPlan."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.chaos.faults import (
+    ClockJump,
+    FaultPlan,
+    FeedbackChaos,
+    FeedbackFault,
+    IoFault,
+    StorageFault,
+)
+from repro.chaos.seams import FaultyClock
+from repro.errors import ChaosError
+from repro.obs.events import EventBus
+from repro.obs.recorder import Recorder
+
+_WHITESPACE = (0x20, 0x09, 0x0A, 0x0D)
+
+
+class TestValidation:
+    def test_unknown_io_op(self):
+        with pytest.raises(ChaosError):
+            IoFault("wal-explode")
+
+    def test_bad_io_schedule(self):
+        with pytest.raises(ChaosError):
+            IoFault("wal-fsync", at=-1)
+        with pytest.raises(ChaosError):
+            IoFault("wal-fsync", times=0)
+
+    def test_unknown_storage_kind(self):
+        with pytest.raises(ChaosError):
+            StorageFault("wal-shred", after_interval=0)
+
+    def test_unknown_feedback_kind(self):
+        with pytest.raises(ChaosError):
+            FeedbackFault("whisper", at_interval=0)
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_damage(self, tmp_path):
+        payload = b'{"a": 1, "b": "payload-bytes-here"}\n' * 5
+        for name in ("one", "two"):
+            (tmp_path / name).write_bytes(payload)
+        first = FaultPlan(name="t", seed=42).flip_byte(str(tmp_path / "one"))
+        second = FaultPlan(name="t", seed=42).flip_byte(str(tmp_path / "two"))
+        assert first == second
+        assert (tmp_path / "one").read_bytes() == (tmp_path / "two").read_bytes()
+
+    def test_flip_avoids_whitespace(self, tmp_path):
+        path = tmp_path / "snap"
+        payload = b'{"k": 1}   \n' * 20
+        path.write_bytes(payload)
+        for seed in range(12):
+            path.write_bytes(payload)
+            offset, mask = FaultPlan(name="t", seed=seed).flip_byte(str(path))
+            assert payload[offset] not in _WHITESPACE
+            assert mask >= 1
+            assert path.read_bytes()[offset] == payload[offset] ^ mask
+
+    def test_flip_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_bytes(b" \n \n")  # only whitespace: nothing flippable
+        with pytest.raises(ChaosError):
+            FaultPlan(name="t", seed=0).flip_byte(str(path))
+
+    def test_truncate_tail_cuts_bounded(self, tmp_path):
+        path = tmp_path / "wal"
+        path.write_bytes(b"x" * 100)
+        cut = FaultPlan(name="t", seed=3).truncate_tail(str(path))
+        assert 1 <= cut <= 23
+        assert path.stat().st_size == 100 - cut
+
+
+class TestIoSchedule:
+    def test_occurrence_window(self):
+        plan = FaultPlan(
+            name="t", seed=0, io_faults=(IoFault("snapshot-fsync", at=1, times=2),)
+        )
+        plan.check_io("snapshot-fsync", "server.json")  # occurrence 0
+        for _ in range(2):  # occurrences 1 and 2 injected
+            with pytest.raises(OSError):
+                plan.check_io("snapshot-fsync", "server.json")
+        plan.check_io("snapshot-fsync", "server.json")  # occurrence 3
+        assert plan.injected == 2
+
+    def test_ops_count_independently(self):
+        plan = FaultPlan(
+            name="t", seed=0, io_faults=(IoFault("wal-fsync", at=0),)
+        )
+        plan.check_io("wal-write", "wal.jsonl")  # different op: no fault
+        with pytest.raises(OSError):
+            plan.check_io("wal-fsync", "wal.jsonl")
+
+    def test_injections_emit_events(self):
+        bus = EventBus()
+        plan = FaultPlan(
+            name="t", seed=0, io_faults=(IoFault("wal-fsync", at=0),)
+        ).bind(Recorder(bus=bus))
+        with pytest.raises(OSError):
+            plan.check_io("wal-fsync", "wal.jsonl")
+        kinds = [e["kind"] for e in bus.events]
+        assert kinds == ["fault_injected"]
+        assert bus.events[0]["detail"]["op"] == "wal-fsync"
+
+
+class TestClockJumps:
+    def test_apply_clock_jump(self):
+        plan = FaultPlan(
+            name="t", seed=0, clock_jumps=(ClockJump(at_interval=2, delta=60.0),)
+        )
+        clock = FaultyClock()
+        assert plan.apply_clock_jump(clock, 1) is None
+        jump = plan.apply_clock_jump(clock, 2)
+        assert jump is not None and jump.delta == 60.0
+        assert plan.injected == 1
+
+
+class _StubSession:
+    user_ids = (1, 2, 3)
+    message = SimpleNamespace(message_id=9)
+
+
+class TestFeedbackChaos:
+    def make(self, kind, interval=0):
+        plan = FaultPlan(
+            name="t",
+            seed=0,
+            feedback_faults=(FeedbackFault(kind, at_interval=interval),),
+        )
+        plan.set_interval(interval)
+        return FeedbackChaos(plan), plan
+
+    def test_duplicate_doubles(self):
+        chaos, _ = self.make("duplicate")
+        assert chaos.mangle_nacks(_StubSession(), 1, ["a", "b"]) == [
+            "a", "b", "a", "b",
+        ]
+
+    def test_reorder_reverses(self):
+        chaos, _ = self.make("reorder")
+        assert chaos.mangle_nacks(_StubSession(), 1, ["a", "b", "c"]) == [
+            "c", "b", "a",
+        ]
+
+    def test_storm_fabricates_maximal_requests(self):
+        chaos, plan = self.make("storm")
+        mangled = chaos.mangle_nacks(_StubSession(), 1, [])
+        assert len(mangled) == len(_StubSession.user_ids)
+        for packet in mangled:
+            assert packet.requests[0].n_parity == 255
+        assert plan.injected == 1
+
+    def test_untouched_outside_schedule(self):
+        chaos, plan = self.make("storm", interval=5)
+        plan.set_interval(0)
+        nacks = ["x"]
+        assert chaos.mangle_nacks(_StubSession(), 1, nacks) is nacks
+        plan.set_interval(5)
+        assert chaos.mangle_nacks(_StubSession(), 2, nacks) is nacks  # round

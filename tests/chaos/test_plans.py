@@ -1,0 +1,40 @@
+"""Tests for repro.chaos.plans — the named chaos gauntlets."""
+
+import pytest
+
+from repro.chaos.faults import FaultPlan
+from repro.chaos.plans import PLAN_INTERVALS, PLAN_NAMES, make_plan
+from repro.errors import ChaosError
+
+
+class TestMakePlan:
+    def test_every_name_builds(self):
+        for name in PLAN_NAMES:
+            plan = make_plan(name, seed=7)
+            assert isinstance(plan, FaultPlan)
+            assert plan.name == name
+            assert name in PLAN_INTERVALS
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ChaosError):
+            make_plan("barrage")
+
+    def test_only_unrecoverable_expects_failure(self):
+        for name in PLAN_NAMES:
+            plan = make_plan(name)
+            assert plan.expect_recoverable == (name != "unrecoverable")
+
+    def test_standard_covers_every_family(self):
+        plan = make_plan("standard")
+        assert plan.io_faults and plan.storage_faults
+        assert plan.clock_jumps and plan.feedback_faults
+
+    def test_feedback_abuse_lowers_the_clamp(self):
+        plan = make_plan("feedback-abuse")
+        assert plan.group_overrides["rho_max"] < 8.0
+        assert plan.daemon_overrides["circuit_threshold"] >= 1
+
+    def test_seed_changes_damage_not_schedule(self):
+        a, b = make_plan("standard", seed=1), make_plan("standard", seed=2)
+        assert a.storage_faults == b.storage_faults
+        assert a.io_faults == b.io_faults

@@ -1,0 +1,115 @@
+"""Tests for repro.chaos.seams — the Filesystem/Clock fault seams."""
+
+import time
+
+import pytest
+
+from repro.chaos.faults import FaultPlan, IoFault
+from repro.chaos.seams import (
+    REAL_FILESYSTEM,
+    Clock,
+    FaultyClock,
+    FaultyFilesystem,
+    Filesystem,
+)
+
+
+class TestRealFilesystem:
+    def test_write_fsync_replace_roundtrip(self, tmp_path):
+        fs = Filesystem()
+        temp = str(tmp_path / "file.tmp")
+        final = str(tmp_path / "file.txt")
+        handle = fs.open(temp, "w")
+        fs.write(handle, "payload")
+        fs.fsync(handle)
+        handle.close()
+        fs.replace(temp, final)
+        fs.fsync_dir(str(tmp_path))
+        assert fs.exists(final) and not fs.exists(temp)
+        assert fs.read_bytes(final) == b"payload"
+        assert fs.getsize(final) == 7
+        fs.truncate(final, 3)
+        assert fs.read_bytes(final) == b"pay"
+        fs.remove(final)
+        assert not fs.exists(final)
+
+    def test_shared_default_instance(self):
+        assert isinstance(REAL_FILESYSTEM, Filesystem)
+
+
+class TestFaultyFilesystem:
+    def make(self, *faults):
+        plan = FaultPlan(name="t", seed=1, io_faults=faults)
+        return FaultyFilesystem(plan), plan
+
+    def test_scheduled_fsync_occurrence_fails_once(self, tmp_path):
+        fs, plan = self.make(IoFault("wal-fsync", at=1))
+        handle = fs.open(str(tmp_path / "wal.jsonl"), "w")
+        fs.fsync(handle)  # occurrence 0: fine
+        with pytest.raises(OSError):
+            fs.fsync(handle)  # occurrence 1: injected
+        fs.fsync(handle)  # occurrence 2: fine again
+        handle.close()
+        assert plan.injected == 1
+
+    def test_classification_by_basename(self, tmp_path):
+        """A wal-targeted fault never fires for the snapshot family."""
+        fs, _ = self.make(IoFault("wal-fsync", at=0, times=99))
+        handle = fs.open(str(tmp_path / "server.json"), "w")
+        fs.fsync(handle)  # snapshot-fsync: not scheduled
+        handle.close()
+        wal = fs.open(str(tmp_path / "wal.jsonl"), "w")
+        with pytest.raises(OSError):
+            fs.fsync(wal)
+        wal.close()
+
+    def test_replace_fault_keyed_on_destination(self, tmp_path):
+        fs, _ = self.make(IoFault("snapshot-replace", at=0))
+        source = tmp_path / "server.json.tmp"
+        source.write_text("{}")
+        with pytest.raises(OSError):
+            fs.replace(str(source), str(tmp_path / "server.json"))
+        # the file was NOT moved
+        assert source.exists()
+
+    def test_write_fault(self, tmp_path):
+        fs, _ = self.make(IoFault("wal-write", at=0))
+        handle = fs.open(str(tmp_path / "wal.jsonl"), "w")
+        with pytest.raises(OSError):
+            fs.write(handle, "x")
+        handle.close()
+
+
+class TestFaultyClock:
+    def test_jump_shifts_wall_time(self):
+        clock = FaultyClock()
+        before = clock.time()
+        clock.jump(3600.0)
+        assert clock.time() - before >= 3600.0
+        clock.jump(-7200.0)
+        assert clock.time() < before + 1.0
+
+    def test_monotonic_never_jumps_backwards(self):
+        clock = FaultyClock()
+        first = clock.monotonic()
+        clock.jump(-1e6)
+        assert clock.monotonic() >= first
+
+    def test_sleep_is_virtual_and_advances_monotonic(self):
+        clock = FaultyClock()
+        first = clock.monotonic()
+        t0 = time.monotonic()
+        clock.sleep(500.0)
+        assert time.monotonic() - t0 < 5.0  # did not actually block
+        assert clock.slept == 500.0
+        assert clock.monotonic() >= first + 500.0
+
+    def test_negative_sleep_ignored(self):
+        clock = FaultyClock()
+        clock.sleep(-3.0)
+        assert clock.slept == 0.0
+
+    def test_real_clock_contract(self):
+        clock = Clock()
+        assert clock.time() > 0
+        assert clock.monotonic() <= clock.monotonic()

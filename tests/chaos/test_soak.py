@@ -1,0 +1,114 @@
+"""End-to-end chaos-soak tests: determinism pin, plan outcomes, CLI.
+
+The pinned digest is the determinism acceptance: the standard plan at
+seed 7 must replay the exact same canonical fault timeline on every
+machine.  If a deliberate change to the chaos layer or the daemon's
+fault handling shifts the timeline, re-pin after inspecting the diff —
+an *unexplained* digest change means nondeterminism leaked in.
+"""
+
+import io
+import json
+
+from repro.chaos.soak import canonical_timeline, run_soak, timeline_digest
+from repro.cli import main
+from repro.errors import RecoveryError
+
+#: sha256 of the canonical fault timeline for (standard, seed=7)
+STANDARD_SEED7_DIGEST = (
+    "6f370c22ff8170ac0f7c47631d55f778e5301b46a7086dcf184f34efa9968e3e"
+)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCanonicalTimeline:
+    def test_drops_volatile_detail(self):
+        events = [
+            {"kind": "wal_quarantine", "t": 123.4, "detail": {
+                "quarantined": "/tmp/x/wal.jsonl.corrupt-0",
+                "salvaged": 3,
+                "error": "oserror text with /tmp/x paths",
+            }},
+            {"kind": "span", "t": 1.0, "detail": {"name": "n"}},  # not chaos
+        ]
+        timeline = canonical_timeline(events)
+        assert timeline == [
+            {"kind": "wal_quarantine", "detail": {
+                "quarantined": "wal.jsonl.corrupt-0", "salvaged": 3,
+            }},
+        ]
+
+    def test_digest_is_stable(self):
+        timeline = [{"kind": "fault_injected", "detail": {"op": "wal-fsync"}}]
+        assert timeline_digest(timeline) == timeline_digest(list(timeline))
+        assert timeline_digest(timeline) != timeline_digest([])
+
+
+class TestStandardPlan:
+    def test_all_invariants_green_and_digest_pinned(self, tmp_path):
+        result = run_soak("standard", seed=7, state_dir=str(tmp_path))
+        assert result.ok, result.to_dict()
+        assert result.invariants and all(result.invariants.values())
+        assert result.restarts == 3
+        assert result.faults_injected > 0
+        assert result.digest == STANDARD_SEED7_DIGEST
+
+    def test_result_serializes(self, tmp_path):
+        result = run_soak("standard", seed=7, state_dir=str(tmp_path))
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["ok"] is True
+        assert payload["plan"] == "standard"
+        assert payload["failure"] is None
+
+
+class TestUnrecoverablePlan:
+    def test_fails_with_recovery_error_not_traceback(self, tmp_path):
+        result = run_soak("unrecoverable", seed=7, state_dir=str(tmp_path))
+        assert isinstance(result.failure, RecoveryError)
+        assert result.ok  # failure IS this plan's expected outcome
+        assert result.intervals_completed < result.intervals_target
+        assert "every snapshot generation is damaged" in str(result.failure)
+
+
+class TestChaosSoakCli:
+    def test_green_run_exit_zero(self, tmp_path):
+        code, output = run_cli(
+            "chaos-soak", "--plan", "feedback-abuse", "--seed", "7",
+            "--state-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "all invariants green" in output
+
+    def test_unrecoverable_exits_nonzero_cleanly(self, tmp_path):
+        code, output = run_cli(
+            "chaos-soak", "--plan", "unrecoverable", "--seed", "7",
+            "--state-dir", str(tmp_path),
+        )
+        assert code == 1
+        assert "deliberately unrecoverable" in output
+        assert "Traceback" not in output
+
+    def test_digest_mismatch_exits_three(self, tmp_path):
+        code, output = run_cli(
+            "chaos-soak", "--plan", "standard", "--seed", "7",
+            "--state-dir", str(tmp_path), "--expect-digest", "deadbeef",
+        )
+        assert code == 3
+        assert "digest mismatch" in output
+
+    def test_json_output(self, tmp_path):
+        code, output = run_cli(
+            "chaos-soak", "--plan", "feedback-abuse", "--seed", "7",
+            "--state-dir", str(tmp_path), "--json",
+        )
+        assert code == 0
+        payload, _ = json.JSONDecoder().raw_decode(
+            output[output.index("{"):]
+        )
+        assert payload["plan"] == "feedback-abuse"
+        assert payload["ok"] is True

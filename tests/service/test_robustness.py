@@ -1,0 +1,208 @@
+"""Hardening tests: recovery ladder, circuit breaker, bounded stop.
+
+Each fault class the chaos plans inject has its recovery path
+demonstrated here in isolation (see ``docs/robustness.md``): damaged
+snapshots escalate down the generation ladder, sustained unicast
+cutovers trip the breaker, and a hung daemon shutdown reports instead
+of blocking forever.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import GroupConfig
+from repro.errors import KeyTreeError, RecoveryError, ServiceError
+from repro.keytree.persistence import (
+    PREVIOUS_SUFFIX,
+    load_server,
+    save_server,
+)
+from repro.service import (
+    CircuitBreaker,
+    DaemonConfig,
+    DirectDelivery,
+    PoissonChurn,
+    RekeyDaemon,
+)
+from repro.service.transports import IN_DEADLINE, UNICAST_CUTOVER
+
+
+def make_daemon(state_dir, seed=5):
+    return RekeyDaemon.start_new(
+        ["m%02d" % i for i in range(10)],
+        config=GroupConfig(block_size=5, seed=seed, crypto_seed=seed),
+        backend=DirectDelivery(),
+        churn=PoissonChurn(alpha=0.3, min_members=4),
+        service=DaemonConfig(state_dir=state_dir),
+        seed=seed,
+    )
+
+
+def recover_daemon(state_dir, fleet, seed=5):
+    return RekeyDaemon.recover(
+        state_dir,
+        config=GroupConfig(block_size=5, seed=seed, crypto_seed=seed),
+        backend=DirectDelivery(),
+        fleet=fleet,
+        churn=PoissonChurn(alpha=0.3, min_members=4),
+        service=DaemonConfig(state_dir=state_dir),
+        seed=seed + 1,
+    )
+
+
+def _corrupt(path):
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestSnapshotRotation:
+    def test_daemon_rotates_previous_generation(self, tmp_path):
+        daemon = make_daemon(str(tmp_path))
+        daemon.run(3)
+        daemon.close()
+        assert (tmp_path / "server.json").exists()
+        assert (tmp_path / ("server.json" + PREVIOUS_SUFFIX)).exists()
+        current = load_server(tmp_path / "server.json")
+        previous = load_server(
+            tmp_path / ("server.json" + PREVIOUS_SUFFIX)
+        )
+        assert previous.intervals_processed == current.intervals_processed - 1
+
+    def test_save_without_rotate_keeps_no_prev(self, tmp_path):
+        daemon = make_daemon(None, seed=9)  # non-durable
+        save_server(daemon.server, tmp_path / "solo.json")
+        assert not (tmp_path / ("solo.json" + PREVIOUS_SUFFIX)).exists()
+        daemon.close()
+
+
+class TestRecoveryLadder:
+    def test_damaged_primary_falls_back_to_prev(self, tmp_path):
+        daemon = make_daemon(str(tmp_path))
+        daemon.run(3)
+        daemon.close()
+        _corrupt(tmp_path / "server.json")
+        recovered = recover_daemon(str(tmp_path), daemon.fleet)
+        # the damaged rung is quarantined for forensics, not deleted
+        assert (tmp_path / "server.json.corrupt-0").exists()
+        assert recovered.server.intervals_processed >= 2
+        # service continues: the fallback generation replays forward
+        recovered.run(1)
+        recovered.fleet.check_agreement(
+            recovered.server, exclude=recovered.pending_carry_names()
+        )
+        recovered.close()
+
+    def test_every_generation_damaged_is_recovery_error(self, tmp_path):
+        daemon = make_daemon(str(tmp_path))
+        daemon.run(3)
+        daemon.close()
+        _corrupt(tmp_path / "server.json")
+        _corrupt(tmp_path / ("server.json" + PREVIOUS_SUFFIX))
+        with pytest.raises(RecoveryError) as excinfo:
+            recover_daemon(str(tmp_path), daemon.fleet)
+        assert "every snapshot generation is damaged" in str(excinfo.value)
+
+    def test_no_snapshot_at_all_is_service_error(self, tmp_path):
+        daemon = make_daemon(str(tmp_path))
+        daemon.close()
+        fleet = daemon.fleet
+        (tmp_path / "server.json").unlink(missing_ok=True)
+        with pytest.raises(ServiceError):
+            recover_daemon(str(tmp_path), fleet)
+
+    def test_corrupt_snapshot_raises_keytree_error_directly(self, tmp_path):
+        daemon = make_daemon(str(tmp_path))
+        daemon.run(1)
+        daemon.close()
+        _corrupt(tmp_path / "server.json")
+        with pytest.raises(KeyTreeError):
+            load_server(tmp_path / "server.json")
+
+    def test_structurally_wrong_snapshot_is_keytree_error(self, tmp_path):
+        path = tmp_path / "server.json"
+        for payload in ("[1, 2, 3]", '"text"', '{"format": 2}', "{nope"):
+            path.write_text(payload)
+            with pytest.raises(KeyTreeError):
+                load_server(path)
+
+
+class TestCircuitBreaker:
+    def test_threshold_consecutive_cutovers_open(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=2)
+        assert breaker.record(IN_DEADLINE) is None
+        assert breaker.record(UNICAST_CUTOVER) is None
+        assert breaker.record(UNICAST_CUTOVER) == "circuit_open"
+        assert breaker.forcing_carry
+        assert breaker.opened_total == 1
+
+    def test_cooldown_then_half_open_then_close(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=2)
+        assert breaker.record(UNICAST_CUTOVER) == "circuit_open"
+        assert breaker.record("carry-over") is None  # cooling down
+        assert breaker.record("carry-over") == "circuit_half_open"
+        assert not breaker.forcing_carry
+        assert breaker.record(IN_DEADLINE) == "circuit_close"
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=1)
+        breaker.record(UNICAST_CUTOVER)
+        assert breaker.record("carry-over") == "circuit_half_open"
+        assert breaker.record(UNICAST_CUTOVER) == "circuit_open"
+        assert breaker.opened_total == 2
+
+    def test_clean_interval_resets_the_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=1)
+        breaker.record(UNICAST_CUTOVER)
+        breaker.record(IN_DEADLINE)
+        assert breaker.record(UNICAST_CUTOVER) is None  # streak restarted
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_threshold_zero_disables(self):
+        breaker = CircuitBreaker(threshold=0)
+        for _ in range(10):
+            assert breaker.record(UNICAST_CUTOVER) is None
+        assert not breaker.forcing_carry
+        assert breaker.snapshot()["state"] == "disabled"
+
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            CircuitBreaker(threshold=-1)
+        with pytest.raises(ServiceError):
+            CircuitBreaker(cooldown=0)
+
+    def test_health_surfaces_breaker(self, tmp_path):
+        daemon = make_daemon(str(tmp_path))
+        daemon.run(1)
+        report = daemon.health()
+        assert report["circuit"]["state"] == CircuitBreaker.CLOSED
+        daemon.close()
+
+
+class TestBoundedStop:
+    def test_stop_without_loop_returns_true(self, tmp_path):
+        daemon = make_daemon(str(tmp_path))
+        assert daemon.stop() is True
+        daemon.close()
+
+    def test_stop_joins_running_loop(self, tmp_path):
+        daemon = make_daemon(str(tmp_path))
+        daemon.start(n_intervals=3)
+        assert daemon.stop(timeout=30.0) is True
+        daemon.close()
+
+    def test_hung_loop_reports_false_with_warning(self, tmp_path, caplog):
+        daemon = make_daemon(str(tmp_path))
+        release = threading.Event()
+        hung = threading.Thread(target=release.wait, daemon=True)
+        hung.start()
+        daemon._thread = hung
+        with caplog.at_level("WARNING"):
+            assert daemon.stop(timeout=0.05) is False
+        assert "did not stop" in caplog.text
+        release.set()
+        hung.join(timeout=5.0)
+        daemon._thread = None
+        daemon.close()

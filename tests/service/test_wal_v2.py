@@ -1,0 +1,222 @@
+"""WAL v2 hardening tests: CRC, v1 golden compat, quarantine, retry.
+
+Complements ``test_wal.py`` (the format-agnostic append/replay/compaction
+behaviour) with the robustness surface added for the chaos subsystem:
+per-record CRC32, corruption quarantine, torn-tail truncation, and
+retried appends through the filesystem seam.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos.faults import FaultPlan, IoFault
+from repro.chaos.seams import FaultyClock, FaultyFilesystem
+from repro.errors import WalError
+from repro.obs.events import EventBus
+from repro.obs.recorder import Recorder
+from repro.service.wal import (
+    WriteAheadLog,
+    encode_record,
+    quarantine_path,
+    read_records,
+    record_crc,
+    scan_records,
+)
+from repro.util.retry import RetryPolicy
+
+#: a v1 (pre-CRC) log exactly as the seed daemon wrote it — golden
+#: bytes, do not regenerate; the v2 reader must keep accepting them
+GOLDEN_V1 = (
+    '{"seq": 0, "op": "join", "user": "alice", "interval": 0}\n'
+    '{"seq": 1, "op": "leave", "user": "bob", "interval": 0}\n'
+    '{"seq": 2, "op": "commit", "interval": 0}\n'
+    '{"seq": 3, "op": "join", "user": "carol", "interval": 1}\n'
+)
+
+
+class TestRecordCrc:
+    def test_crc_excludes_itself_and_is_order_independent(self):
+        record = {"seq": 1, "op": "join", "user": "u", "interval": 0}
+        line = encode_record(record)
+        wire = json.loads(line)
+        assert wire["crc"] == record_crc(record)
+        assert record_crc(wire) == record_crc(record)
+
+    def test_any_field_change_breaks_crc(self):
+        record = {"seq": 1, "op": "join", "user": "u", "interval": 0}
+        crc = record_crc(record)
+        for key, value in (
+            ("seq", 2), ("op", "leave"), ("user", "v"), ("interval", 1),
+        ):
+            assert record_crc({**record, key: value}) != crc
+
+
+class TestV1GoldenCompat:
+    def test_v1_records_still_read(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text(GOLDEN_V1)
+        records = read_records(path)
+        assert [r["seq"] for r in records] == [0, 1, 2, 3]
+        assert records[0]["user"] == "alice"
+
+    def test_append_after_v1_writes_v2(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text(GOLDEN_V1)
+        wal = WriteAheadLog(path)
+        assert wal.next_seq == 4
+        wal.append_request("leave", "alice", 1)
+        wal.close()
+        lines = path.read_text().splitlines()
+        assert "crc" not in json.loads(lines[0])  # v1 prefix untouched
+        assert "crc" in json.loads(lines[-1])  # new append is v2
+
+    def test_compaction_upgrades_survivors_to_v2(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text(GOLDEN_V1)
+        wal = WriteAheadLog(path)
+        assert wal.compact(before_interval=1) == 3
+        wal.close()
+        for line in path.read_text().splitlines():
+            assert "crc" in json.loads(line)
+        assert [r["seq"] for r in read_records(path)] == [3]
+
+
+def _write_v2(path, records):
+    path.write_text("".join(encode_record(r) + "\n" for r in records))
+
+
+_RECORDS = [
+    {"seq": 0, "op": "join", "user": "a", "interval": 0},
+    {"seq": 1, "op": "commit", "interval": 0},
+    {"seq": 2, "op": "join", "user": "b", "interval": 1},
+]
+
+
+class TestCrcDetection:
+    def test_tampered_field_with_stale_crc_is_fatal(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        _write_v2(path, _RECORDS)
+        lines = path.read_text().splitlines()
+        wire = json.loads(lines[0])
+        wire["user"] = "mallory"  # body changed, crc left stale
+        lines[0] = json.dumps(wire, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(WalError):
+            read_records(path)
+
+    def test_scan_returns_intact_prefix_and_error(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        _write_v2(path, _RECORDS)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-5] + "xx}"  # mangle mid-file
+        path.write_text("\n".join(lines) + "\n")
+        records, error = scan_records(path)
+        assert [r["seq"] for r in records] == [0]
+        assert error is not None
+
+
+class TestQuarantine:
+    def test_open_quarantines_and_salvages_prefix(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        _write_v2(path, _RECORDS)
+        damaged = path.read_text().splitlines()
+        damaged[1] = '{"broken'
+        path.write_text("\n".join(damaged) + "\n")
+        bus = EventBus()
+        wal = WriteAheadLog(
+            path, on_corruption="quarantine", obs=Recorder(bus=bus)
+        )
+        corrupt = tmp_path / "wal.jsonl.corrupt-0"
+        assert corrupt.exists()
+        assert '{"broken' in corrupt.read_text()  # evidence preserved
+        assert [r["seq"] for r in wal.records()] == [0]  # salvaged prefix
+        assert wal.next_seq == 1
+        events = [e for e in bus.events if e["kind"] == "wal_quarantine"]
+        assert len(events) == 1 and events[0]["detail"]["salvaged"] == 1
+        wal.close()
+
+    def test_default_open_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text('{"broken\n{"also": "broken"}\n')
+        with pytest.raises(WalError):
+            WriteAheadLog(path)
+
+    def test_quarantine_destinations_do_not_collide(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        first = quarantine_path(path)
+        (tmp_path / "wal.jsonl.corrupt-0").write_text("x")
+        second = quarantine_path(path)
+        assert first.endswith(".corrupt-0") and second.endswith(".corrupt-1")
+
+    def test_invalid_policy_rejected(self, tmp_path):
+        with pytest.raises(WalError):
+            WriteAheadLog(tmp_path / "wal.jsonl", on_corruption="ignore")
+
+
+class TestTornTailTruncation:
+    def test_open_physically_removes_torn_tail(self, tmp_path):
+        """Regression: torn bytes left on disk merged with the next
+        append into mid-file garbage that poisoned later reads."""
+        path = tmp_path / "wal.jsonl"
+        _write_v2(path, _RECORDS)
+        with open(path, "a") as handle:
+            handle.write('{"seq": 3, "op": "join"')  # torn append
+        wal = WriteAheadLog(path)
+        assert not path.read_text().rstrip().endswith('"join"')
+        wal.append_request("join", "c", 1)
+        records = read_records(path)  # a merged line would raise here
+        assert [r["seq"] for r in records] == [0, 1, 2, 3]
+        assert records[-1]["user"] == "c"
+        wal.close()
+
+
+class TestRetriedAppends:
+    def make_wal(self, tmp_path, *faults):
+        plan = FaultPlan(name="t", seed=0, io_faults=faults)
+        bus = EventBus()
+        wal = WriteAheadLog(
+            tmp_path / "wal.jsonl",
+            fs=FaultyFilesystem(plan),
+            clock=FaultyClock(),
+            obs=Recorder(bus=bus),
+        )
+        return wal, bus
+
+    def test_transient_fsync_failure_retried(self, tmp_path):
+        wal, bus = self.make_wal(tmp_path, IoFault("wal-fsync", at=1))
+        wal.append_request("join", "a", 0)
+        wal.append_request("join", "b", 0)  # first fsync try injected
+        wal.close()
+        records = read_records(tmp_path / "wal.jsonl")
+        assert [r["user"] for r in records] == ["a", "b"]  # no partials
+        assert [e["kind"] for e in bus.events if e["kind"] == "io_retry"]
+
+    def test_persistent_failure_rolls_back_and_raises(self, tmp_path):
+        wal, bus = self.make_wal(
+            tmp_path, IoFault("wal-fsync", at=1, times=99)
+        )
+        wal.append_request("join", "a", 0)
+        with pytest.raises(OSError):
+            wal.append_request("join", "b", 0)
+        # rolled back to the last durable record: no half-written line
+        records = read_records(tmp_path / "wal.jsonl")
+        assert [r["user"] for r in records] == ["a"]
+        assert any(e["kind"] == "io_giveup" for e in bus.events)
+        # the WAL remains usable once the fault clears
+        wal.close()
+
+    def test_retry_policy_backs_off_through_clock(self):
+        clock = FaultyClock()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "done"
+
+        policy = RetryPolicy(max_attempts=4, base_delay=0.01, multiplier=2)
+        assert policy.run(flaky, clock=clock) == "done"
+        assert len(attempts) == 3
+        assert clock.slept == pytest.approx(0.01 + 0.02)

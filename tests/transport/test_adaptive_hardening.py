@@ -1,0 +1,70 @@
+"""AdjustRho hardening tests: request sanitization and the rho_max cap.
+
+The first-round NACK list comes from untrusted per-user reports, so the
+controller must survive hostile values (negatives, absurd parity
+counts) without letting them steer ρ unbounded — the transport-layer
+half of the chaos subsystem's ``feedback-abuse`` plan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GroupConfig
+from repro.errors import ConfigurationError
+from repro.transport.adaptive import ProactivityController
+
+
+def make(k=10, num_nack=2, rho=1.0, rho_max=None, seed=0):
+    return ProactivityController(
+        k=k, rho=rho, num_nack=num_nack,
+        rng=np.random.default_rng(seed), rho_max=rho_max,
+    )
+
+
+class TestRequestSanitization:
+    def test_negative_requests_treated_as_zero(self):
+        controller = make()
+        controller.update([-5, -1, 0])
+        assert controller.rho >= 0.0
+        assert controller.last_requests_clamped == 2
+
+    def test_requests_above_k_clamped_to_k(self):
+        controller = make(k=10)
+        controller.update([255, 1000, 300])  # > num_nack entries: rho rises
+        assert controller.last_requests_clamped == 3
+        # the clamped value (k), not the hostile 255, drives the update:
+        # rho' = (k + ceil(k * 1.0)) / k = 2.0
+        assert controller.rho == pytest.approx(2.0)
+
+    def test_in_range_requests_untouched(self):
+        controller = make(k=10)
+        controller.update([3, 4, 5])
+        assert controller.last_requests_clamped == 0
+
+
+class TestRhoMaxCap:
+    def test_storm_saturates_at_rho_max(self):
+        controller = make(k=10, rho_max=1.2)
+        for _ in range(5):
+            controller.update([255] * 30)
+        assert controller.rho == pytest.approx(1.2)
+        assert controller.last_rho_clamped
+
+    def test_unclamped_update_clears_the_flag(self):
+        controller = make(k=10, rho_max=8.0)
+        controller.update([255] * 30)  # rises but under the ceiling
+        assert not controller.last_rho_clamped
+
+    def test_initial_rho_capped(self):
+        controller = make(rho=50.0)
+        assert controller.rho == ProactivityController.DEFAULT_RHO_MAX
+
+    def test_rho_max_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            make(rho_max=0.0)
+
+    def test_group_config_carries_rho_max(self):
+        config = GroupConfig(block_size=5, rho_max=2.5)
+        assert config.rho_max == 2.5
+        with pytest.raises(ConfigurationError):
+            GroupConfig(block_size=5, rho=3.0, rho_max=2.0)
