@@ -56,6 +56,13 @@ STORAGE_KINDS = (
 #: first-round feedback mutations
 FEEDBACK_KINDS = ("duplicate", "reorder", "storm")
 
+#: cluster-level faults driven by the HA soak harness (docs/ha.md)
+HA_FAULT_KINDS = (
+    "leader-kill",   # SIGKILL the leader mid-interval; standby promotes
+    "partition",     # drop replication frames between at/until intervals
+    "lease-pause",   # leader stops renewing its lease (split-brain setup)
+)
+
 
 @dataclass(frozen=True)
 class IoFault:
@@ -98,6 +105,40 @@ class ClockJump:
 
 
 @dataclass(frozen=True)
+class HaFault:
+    """One cluster-level failure for the HA soak to orchestrate.
+
+    ``at_interval`` is when the fault strikes (leader's interval count);
+    ``until_interval`` bounds the window for the two windowed kinds
+    (``partition`` heals there; ``lease-pause`` is when the standby is
+    given the chance to notice the lapsed lease and promote).  ``point``
+    picks the in-interval crash site for ``leader-kill`` (one of
+    :data:`repro.service.daemon.CRASH_POINTS`).
+    """
+
+    kind: str
+    at_interval: int
+    until_interval: int = None
+    point: str = "post-delivery"
+
+    def __post_init__(self):
+        if self.kind not in HA_FAULT_KINDS:
+            raise ChaosError(
+                "unknown HA fault %r (valid: %s)"
+                % (self.kind, ", ".join(HA_FAULT_KINDS))
+            )
+        if self.kind in ("partition", "lease-pause"):
+            if self.until_interval is None:
+                raise ChaosError(
+                    "%s needs an until_interval" % (self.kind,)
+                )
+            if self.until_interval <= self.at_interval:
+                raise ChaosError(
+                    "until_interval must be after at_interval"
+                )
+
+
+@dataclass(frozen=True)
 class FeedbackFault:
     """Mutate round-``rounds`` NACK feedback during one interval."""
 
@@ -131,6 +172,7 @@ class FaultPlan:
     storage_faults: tuple = ()
     clock_jumps: tuple = ()
     feedback_faults: tuple = ()
+    ha_faults: tuple = ()
     expect_recoverable: bool = True
     daemon_overrides: dict = field(default_factory=dict)
     #: GroupConfig kwargs the soak applies (e.g. a low ``rho_max`` so a
@@ -142,6 +184,7 @@ class FaultPlan:
         self.storage_faults = tuple(self.storage_faults)
         self.clock_jumps = tuple(self.clock_jumps)
         self.feedback_faults = tuple(self.feedback_faults)
+        self.ha_faults = tuple(self.ha_faults)
         self._rng = np.random.default_rng(int(self.seed))
         self._io_counts = {}
         self.current_interval = -1
@@ -197,6 +240,24 @@ class FaultPlan:
             if fault.at_interval == interval:
                 return fault
         return None
+
+    def ha_fault_of(self, kind):
+        """The plan's (single) HA fault of ``kind``, or ``None``."""
+        for fault in self.ha_faults:
+            if fault.kind == kind:
+                return fault
+        return None
+
+    def apply_ha_fault(self, kind, **detail):
+        """Count and emit one orchestrated cluster fault.
+
+        HA faults are *enacted* by the HA soak harness (killing the
+        leader, partitioning the link, pausing renewals) — the plan
+        only schedules them — so the harness reports each injection
+        back through here to keep the injected counter and the
+        ``fault_injected`` timeline consistent with the other families.
+        """
+        self._emit("ha-" + kind, **detail)
 
     def apply_clock_jump(self, clock, interval):
         """Apply the jump scheduled at ``interval`` (if any) to ``clock``

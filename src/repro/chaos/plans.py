@@ -31,6 +31,7 @@ from repro.chaos.faults import (
     ClockJump,
     FaultPlan,
     FeedbackFault,
+    HaFault,
     IoFault,
     StorageFault,
 )
@@ -44,6 +45,14 @@ PLAN_NAMES = (
     "unrecoverable",
 )
 
+#: cluster-level plans run by ``ha-soak`` (see docs/ha.md); their
+#: faults are orchestrated by the HA harness, not the single-node soak
+HA_PLAN_NAMES = (
+    "leader-kill",
+    "replication-partition",
+    "split-brain",
+)
+
 #: intervals each named plan is designed to run (the CLI default)
 PLAN_INTERVALS = {
     "standard": 12,
@@ -51,7 +60,53 @@ PLAN_INTERVALS = {
     "storage-corruptor": 10,
     "feedback-abuse": 10,
     "unrecoverable": 6,
+    "leader-kill": 8,
+    "replication-partition": 8,
+    "split-brain": 8,
 }
+
+#: one-line operator-facing description per plan (``--list-plans``)
+PLAN_DESCRIPTIONS = {
+    "standard": (
+        "a bit of everything: transient I/O errors, at-rest WAL/snapshot "
+        "damage, clock jumps, and each feedback mutation once"
+    ),
+    "io-storm": (
+        "only injected OSErrors, including a burst that exhausts the "
+        "snapshot retry budget and a failed compaction"
+    ),
+    "storage-corruptor": (
+        "repeated WAL/snapshot flips and truncations, each followed by a "
+        "restart through recovery"
+    ),
+    "feedback-abuse": (
+        "NACK storms against a one-round deadline: the rho clamp "
+        "saturates and the circuit breaker cycles"
+    ),
+    "unrecoverable": (
+        "damages every snapshot generation; recovery must fail with a "
+        "clean RecoveryError and a non-zero exit"
+    ),
+    "leader-kill": (
+        "HA: kill the leader mid-interval; the standby promotes, replays "
+        "the pending requests, and must match the single-node oracle key"
+    ),
+    "replication-partition": (
+        "HA: drop replication frames for a window shorter than the "
+        "lease; the follower must catch up without promoting"
+    ),
+    "split-brain": (
+        "HA: the leader stops renewing its lease, the standby promotes, "
+        "and the deposed leader's late WAL append must be fenced out"
+    ),
+}
+
+
+def describe_plans(names=None):
+    """``(name, description)`` pairs for the ``--list-plans`` flag."""
+    if names is None:
+        names = PLAN_NAMES + HA_PLAN_NAMES
+    return [(name, PLAN_DESCRIPTIONS[name]) for name in names]
 
 
 def make_plan(name, seed=7):
@@ -139,6 +194,41 @@ def make_plan(name, seed=7):
             # AdjustRho clamp within a short run
             group_overrides={"rho_max": 1.2, "num_nack": 5},
         )
+    if name == "leader-kill":
+        return FaultPlan(
+            name=name,
+            seed=seed,
+            ha_faults=(
+                # kill after delivery but before snapshot/commit: members
+                # already hold the interval's keys, the log has its
+                # requests, and the snapshot never saw it — the worst
+                # alignment for a naive failover
+                HaFault("leader-kill", at_interval=3, point="post-delivery"),
+            ),
+        )
+    if name == "replication-partition":
+        return FaultPlan(
+            name=name,
+            seed=seed,
+            ha_faults=(
+                # three intervals of dropped frames, healed well inside
+                # the lease TTL: the follower must fall behind, catch up
+                # from the leader's WAL, and never promote
+                HaFault("partition", at_interval=2, until_interval=5),
+            ),
+        )
+    if name == "split-brain":
+        return FaultPlan(
+            name=name,
+            seed=seed,
+            ha_faults=(
+                # the leader keeps running but stops renewing its lease
+                # (a wedged renewal thread / isolated node); at interval 6
+                # the standby notices the lapse and promotes, after which
+                # the deposed leader attempts one more append
+                HaFault("lease-pause", at_interval=3, until_interval=6),
+            ),
+        )
     if name == "unrecoverable":
         return FaultPlan(
             name=name,
@@ -152,5 +242,6 @@ def make_plan(name, seed=7):
             expect_recoverable=False,
         )
     raise ChaosError(
-        "unknown fault plan %r (valid: %s)" % (name, ", ".join(PLAN_NAMES))
+        "unknown fault plan %r (valid: %s)"
+        % (name, ", ".join(PLAN_NAMES + HA_PLAN_NAMES))
     )

@@ -38,11 +38,17 @@ from repro.chaos.faults import FaultPlan, FeedbackChaos
 from repro.chaos.plans import PLAN_INTERVALS, make_plan
 from repro.chaos.seams import FaultyClock, FaultyFilesystem
 from repro.errors import ChaosError, RecoveryError, ReproError
-from repro.obs.events import CHAOS_EVENT_KINDS, EventBus
+from repro.obs.events import CHAOS_EVENT_KINDS, HA_EVENT_KINDS, EventBus
 from repro.obs.recorder import Recorder
 
 #: event kinds that define a run's reproducible fault/recovery timeline
-TIMELINE_KINDS = frozenset(CHAOS_EVENT_KINDS | {"recovery", "degradation"})
+#: (the HA kinds and "crash" never fire in the single-node plans, so
+#: adding them left the pinned single-node digests unchanged)
+TIMELINE_KINDS = frozenset(
+    CHAOS_EVENT_KINDS
+    | HA_EVENT_KINDS
+    | {"recovery", "degradation", "crash"}
+)
 
 #: detail keys dropped from the digest: human-facing strings that embed
 #: absolute paths or OS error text (everything else must be stable)
@@ -168,6 +174,12 @@ def run_soak(
         fault_plan = plan
     else:
         fault_plan = make_plan(plan, seed=seed)
+    if fault_plan.ha_faults:
+        raise ChaosError(
+            "plan %r needs a cluster: run it with ha-soak "
+            "(repro.ha.soak.run_ha_soak), not chaos-soak"
+            % (fault_plan.name,)
+        )
     if intervals is None:
         intervals = PLAN_INTERVALS.get(fault_plan.name, 10)
     say = log if log is not None else (lambda line: None)

@@ -13,11 +13,17 @@ The commands:
   (``--crash-at``) and recovery (``--resume``), per-interval metrics,
   and the observability surface (``--metrics-port`` serves
   ``/healthz`` + ``/metrics``; ``--obs-file`` writes the structured
-  event stream as JSONL — see ``docs/observability.md``);
+  event stream as JSONL — see ``docs/observability.md``).  With
+  ``--role leader|standby`` it runs one half of a hot-standby pair:
+  WAL streaming replication over ``--replication-port``/``--peer``,
+  lease-based failover, and epoch fencing (see ``docs/ha.md``);
 - ``obs-report`` — analyse an ``--obs-file``: headline paper metrics
   and a per-interval time breakdown, from the event stream alone;
 - ``chaos-soak`` — run the daemon under a named deterministic fault
   plan and assert the recovery invariants (see ``docs/robustness.md``);
+- ``ha-soak`` — run a leader/standby pair under a cluster fault plan
+  (``leader-kill``, ``replication-partition``, ``split-brain``) and
+  assert the failover invariants (see ``docs/ha.md``);
 - ``bench-perf`` — run the hot-path micro-benchmarks and write a
   ``BENCH_perf.json`` document (see ``docs/performance.md``).
 """
@@ -133,6 +139,38 @@ def _build_parser():
         "(enables observability; analyse with `repro obs-report`)",
     )
     serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument(
+        "--role",
+        choices=["standalone", "leader", "standby"],
+        default="standalone",
+        help="hot-standby role (leader/standby need --state-dir; "
+        "see docs/ha.md)",
+    )
+    serve.add_argument(
+        "--node-id",
+        default=None,
+        help="this node's cluster identity (default: the role name)",
+    )
+    serve.add_argument(
+        "--replication-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="leader: accept replication subscribers here "
+        "(0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--peer",
+        default=None,
+        metavar="HOST:PORT",
+        help="standby: the leader's replication address",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=5.0,
+        help="seconds without renewal before the leader lease lapses",
+    )
 
     obs_report = sub.add_parser(
         "obs-report",
@@ -180,6 +218,57 @@ def _build_parser():
         "--json",
         action="store_true",
         help="emit the soak result as JSON at the end",
+    )
+    chaos.add_argument(
+        "--list-plans",
+        action="store_true",
+        help="list every named fault plan (single-node and HA) and exit",
+    )
+
+    ha = sub.add_parser(
+        "ha-soak",
+        help="run a leader/standby pair under a cluster fault plan",
+    )
+    ha.add_argument(
+        "--plan",
+        choices=["leader-kill", "replication-partition", "split-brain"],
+        default="leader-kill",
+        help="named cluster fault plan (see docs/ha.md)",
+    )
+    ha.add_argument("--seed", type=int, default=7)
+    ha.add_argument(
+        "--intervals",
+        type=int,
+        default=None,
+        help="override the plan's designed interval count",
+    )
+    ha.add_argument("--members", type=int, default=24)
+    ha.add_argument(
+        "--state-dir",
+        default=None,
+        help="shared WAL/snapshot/lease directory (default: temp dir)",
+    )
+    ha.add_argument(
+        "--obs-file",
+        default=None,
+        metavar="PATH",
+        help="also write the event stream as JSONL (for obs-report)",
+    )
+    ha.add_argument(
+        "--expect-digest",
+        default=None,
+        metavar="SHA256",
+        help="fail unless the run's fault-timeline digest matches",
+    )
+    ha.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the soak result as JSON at the end",
+    )
+    ha.add_argument(
+        "--list-plans",
+        action="store_true",
+        help="list the cluster fault plans and exit",
     )
 
     bench = sub.add_parser(
@@ -335,6 +424,14 @@ def _cmd_analyze(args, out):
 
 
 def _cmd_serve(args, out):
+    if args.role != "standalone":
+        if args.node_id is None:
+            args.node_id = args.role
+        from repro.ha.cli import run_leader, run_standby
+
+        if args.role == "leader":
+            return run_leader(args, out)
+        return run_standby(args, out)
     from repro.core.config import GroupConfig
     from repro.errors import ServiceError
     from repro.service import (
@@ -488,12 +585,27 @@ def _cmd_obs_report(args, out):
     return 0
 
 
+def _print_plans(names, out):
+    from repro.chaos.plans import describe_plans
+
+    for name, description in describe_plans(names):
+        print("  %-22s %s" % (name, description), file=out)
+
+
 def _cmd_chaos_soak(args, out):
     import json
 
     from repro.chaos import run_soak
     from repro.errors import ChaosError
 
+    if args.list_plans:
+        from repro.chaos.plans import HA_PLAN_NAMES, PLAN_NAMES
+
+        print("single-node plans (chaos-soak):", file=out)
+        _print_plans(PLAN_NAMES, out)
+        print("cluster plans (ha-soak):", file=out)
+        _print_plans(HA_PLAN_NAMES, out)
+        return 0
     try:
         result = run_soak(
             plan=args.plan,
@@ -551,6 +663,70 @@ def _cmd_chaos_soak(args, out):
     return 0
 
 
+def _cmd_ha_soak(args, out):
+    import json
+
+    from repro.errors import ChaosError
+    from repro.ha.soak import run_ha_soak
+
+    if args.list_plans:
+        from repro.chaos.plans import HA_PLAN_NAMES
+
+        print("cluster plans (ha-soak):", file=out)
+        _print_plans(HA_PLAN_NAMES, out)
+        return 0
+    try:
+        result = run_ha_soak(
+            plan=args.plan,
+            seed=args.seed,
+            intervals=args.intervals,
+            members=args.members,
+            state_dir=args.state_dir,
+            obs_path=args.obs_file,
+            log=lambda line: print(line, file=out),
+        )
+    except ChaosError as error:
+        print("error: %s" % error, file=out)
+        return 2
+    print(
+        "ha-soak: %d fault(s) injected, %d promotion(s), "
+        "final epoch %d, %d/%d interval(s)"
+        % (
+            result.faults_injected,
+            result.promotions,
+            result.final_epoch,
+            result.intervals_completed,
+            result.intervals_target,
+        ),
+        file=out,
+    )
+    print("fault-timeline digest: %s" % result.digest, file=out)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True),
+              file=out)
+    if args.obs_file:
+        print("wrote obs events to %s" % args.obs_file, file=out)
+    if args.expect_digest and args.expect_digest != result.digest:
+        print(
+            "digest mismatch: expected %s" % args.expect_digest, file=out
+        )
+        return 3
+    if result.failure is not None:
+        print("ha-soak: FAILED: %s" % result.failure, file=out)
+        return 1
+    if not result.ok:
+        failed = sorted(
+            name for name, passed in result.invariants.items() if not passed
+        )
+        print(
+            "ha-soak: invariant(s) violated: %s" % ", ".join(failed),
+            file=out,
+        )
+        return 1
+    print("ha-soak: all invariants green", file=out)
+    return 0
+
+
 def _cmd_bench_perf(args, out):
     import json
 
@@ -581,6 +757,7 @@ def main(argv=None, out=None):
         "serve": _cmd_serve,
         "obs-report": _cmd_obs_report,
         "chaos-soak": _cmd_chaos_soak,
+        "ha-soak": _cmd_ha_soak,
         "bench-perf": _cmd_bench_perf,
     }
     return handlers[args.command](args, out)

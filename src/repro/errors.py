@@ -78,6 +78,22 @@ class RecoveryError(ServiceError):
     (quarantine, last good snapshot, previous snapshot generation)."""
 
 
+class HaError(ServiceError):
+    """Invalid high-availability state: lease contention, a promotion
+    attempted from a diverged replica, or broken cluster wiring."""
+
+
+class StaleEpochError(WalError):
+    """A deposed leader tried to write with a fencing token older than
+    the cluster's current epoch; the write was refused before any byte
+    reached the log."""
+
+
+class ReplicationError(ServiceError):
+    """Damaged replication frame or a gap in the streamed record
+    sequence; the follower must resubscribe and catch up."""
+
+
 class ChaosError(ReproError):
     """Invalid fault plan or chaos-harness configuration."""
 

@@ -1,0 +1,67 @@
+"""High availability: a hot-standby key server with fenced failover.
+
+The paper's key server is a single point of failure; this package is
+the warm-spare deployment that removes it without changing a single
+key byte:
+
+- :mod:`repro.ha.lease` — the leader lease file and the monotonically
+  increasing **epoch** fencing tokens its acquisitions mint.
+- :mod:`repro.ha.digest` — canonical SHA-256 state digests, the
+  convergence proof a follower checks before it may promote.
+- :mod:`repro.ha.replication` — the WAL streaming wire format (CRC-
+  carrying frames), the in-memory :class:`DirectLink`, and the
+  loopback-TCP server/client the CLI roles use.
+- :mod:`repro.ha.standby` — :class:`StandbyReplica` (replays the
+  stream into a shadow server) and :func:`promote` (lease + epoch +
+  fleet resync = the new leader).
+- :mod:`repro.ha.soak` — the cluster chaos harness behind
+  ``python -m repro ha-soak`` and its three plans (``leader-kill``,
+  ``replication-partition``, ``split-brain``).
+
+The safety argument, end to end: the WAL refuses appends from any
+epoch older than the lease's (``StaleEpochError`` before a byte
+lands), promotions only mint *larger* epochs, and a replica that
+cannot prove digest convergence refuses to promote.  See
+``docs/ha.md``.
+"""
+
+from repro.ha.digest import server_digest, state_digest
+from repro.ha.lease import Lease
+from repro.ha.replication import (
+    DirectLink,
+    FrameReader,
+    LeaderPublisher,
+    ReplicationClient,
+    ReplicationServer,
+    decode_body,
+    encode_frame,
+)
+from repro.ha.standby import StandbyReplica, promote
+
+
+def __getattr__(name):
+    # The soak harness reaches into repro.service (which adopts the
+    # chaos seams); resolve it lazily to keep `import repro.ha` light
+    # and cycle-free, mirroring repro.chaos (PEP 562).
+    if name in ("HaSoakResult", "run_ha_soak", "LEASE_TTL"):
+        from repro.ha import soak
+
+        return getattr(soak, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+__all__ = [
+    "DirectLink",
+    "FrameReader",
+    "HaSoakResult",
+    "LeaderPublisher",
+    "Lease",
+    "ReplicationClient",
+    "ReplicationServer",
+    "StandbyReplica",
+    "decode_body",
+    "encode_frame",
+    "promote",
+    "run_ha_soak",
+    "server_digest",
+    "state_digest",
+]

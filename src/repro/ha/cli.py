@@ -1,0 +1,316 @@
+"""The ``serve --role leader|standby`` entry points (see docs/ha.md).
+
+Both roles share one state directory (WAL, snapshots, lease file) on
+one machine and speak the replication protocol over loopback TCP —
+the paper's deployment of a key server with a warm spare.  The CLI
+surface stays in :mod:`repro.cli`; this module holds the role logic so
+the argument parser does not grow a second daemon implementation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.errors import HaError, ReplicationError, StaleEpochError
+
+
+def _make_obs(args):
+    if args.obs_file is None and args.metrics_port is None:
+        return None, None
+    from repro.obs import EventBus, Recorder
+
+    bus = EventBus(path=args.obs_file)
+    return Recorder(bus=bus), bus
+
+
+def run_leader(args, out):
+    """Durable daemon + lease renewal + replication fan-out."""
+    from repro.core.config import GroupConfig
+    from repro.ha.lease import Lease
+    from repro.ha.replication import LeaderPublisher, ReplicationServer
+    from repro.service import (
+        DaemonConfig,
+        RekeyDaemon,
+        ServiceMetrics,
+        make_backend,
+        make_driver,
+    )
+
+    if not args.state_dir:
+        print(
+            "--role leader needs --state-dir "
+            "(the shared WAL/snapshot/lease directory)",
+            file=out,
+        )
+        return 2
+    # The lease file is written before the daemon gets a chance to
+    # create the directory.
+    os.makedirs(args.state_dir, exist_ok=True)
+    obs, bus = _make_obs(args)
+    config = GroupConfig(block_size=5, seed=args.seed)
+    lease = Lease(
+        os.path.join(args.state_dir, "lease.json"),
+        args.node_id,
+        ttl=args.lease_ttl,
+        obs=obs,
+    )
+    try:
+        epoch = lease.acquire()
+    except HaError as error:
+        print("error: %s" % error, file=out)
+        return 2
+    service = DaemonConfig(
+        state_dir=args.state_dir,
+        interval_seconds=args.interval_seconds,
+        deadline_rounds=args.deadline_rounds,
+        deadline_policy=args.deadline_policy,
+    )
+    backend = make_backend(args.transport, config, seed=args.seed + 1)
+    churn = make_driver(
+        args.churn, alpha=args.alpha, trace_path=args.trace_file
+    )
+    if args.resume:
+        daemon = RekeyDaemon.recover(
+            args.state_dir,
+            config=config,
+            backend=backend,
+            churn=churn,
+            service=service,
+            seed=args.seed,
+            obs=obs,
+            epoch=epoch,
+            fence=lease,
+        )
+    else:
+        daemon = RekeyDaemon.start_new(
+            ["member-%03d" % i for i in range(args.members)],
+            config=config,
+            backend=backend,
+            churn=churn,
+            service=service,
+            seed=args.seed,
+            obs=obs,
+            epoch=epoch,
+            fence=lease,
+        )
+    if obs is not None:
+        obs.emit(
+            "ha_role", node=args.node_id, role="leader", epoch=epoch
+        )
+    publisher = daemon.attach_replication(
+        LeaderPublisher(epoch, wal=daemon.wal, obs=daemon.obs)
+    )
+
+    def on_subscribe(sink, payload):
+        # Bootstrap under the daemon lock: the snapshot and the stream
+        # position must name the same instant.
+        with daemon._lock:
+            publisher.subscribe(
+                sink,
+                since_seq=int(payload.get("since_seq", 0)),
+                server=daemon.server,
+            )
+
+    replication = ReplicationServer(
+        on_subscribe, port=args.replication_port
+    )
+    print(
+        "leader %r: epoch %d, %d members, replicating on port %d"
+        % (args.node_id, epoch, daemon.server.n_users, replication.port),
+        file=out,
+    )
+    scrape = None
+    if args.metrics_port is not None:
+        from repro.obs.httpd import MetricsServer
+
+        scrape = MetricsServer.for_daemon(
+            daemon, port=args.metrics_port
+        ).start()
+        print("metrics: %s/metrics" % scrape.url, file=out)
+    print(ServiceMetrics.TABLE_HEADER, file=out)
+
+    def on_interval(record):
+        lease.renew()
+        publisher.heartbeat()
+        print(ServiceMetrics.format_row(record), file=out)
+
+    exit_code = 0
+    try:
+        daemon.run(args.intervals, on_interval=on_interval)
+    except StaleEpochError as error:
+        # A standby promoted over us: stop writing, immediately.
+        print("fenced out: %s" % error, file=out)
+        exit_code = 1
+    finally:
+        replication.close()
+        if scrape is not None:
+            scrape.stop()
+        daemon.close()
+        if bus is not None:
+            bus.close()
+    health = daemon.health()
+    print(
+        "health: %s (role %s, epoch %d, %d followers, %d intervals)"
+        % (
+            health["status"],
+            health["ha"]["role"],
+            health["ha"]["epoch"],
+            health["ha"]["replication"]["followers"],
+            health["intervals_processed"],
+        ),
+        file=out,
+    )
+    return exit_code
+
+
+def run_standby(args, out):
+    """Tail the leader; promote if its lease lapses before the target."""
+    from repro.core.config import GroupConfig
+    from repro.ha.lease import Lease
+    from repro.ha.replication import ReplicationClient
+    from repro.ha.standby import StandbyReplica, promote
+    from repro.service import (
+        DaemonConfig,
+        ServiceMetrics,
+        make_backend,
+        make_driver,
+    )
+
+    if not args.state_dir or not args.peer:
+        print(
+            "--role standby needs --state-dir and --peer HOST:PORT",
+            file=out,
+        )
+        return 2
+    os.makedirs(args.state_dir, exist_ok=True)
+    host, _, port = args.peer.partition(":")
+    obs, bus = _make_obs(args)
+    config = GroupConfig(block_size=5, seed=args.seed)
+    replica = StandbyReplica(config=config, node_id=args.node_id, obs=obs)
+    lease = Lease(
+        os.path.join(args.state_dir, "lease.json"),
+        args.node_id,
+        ttl=args.lease_ttl,
+        obs=obs,
+    )
+    client = ReplicationClient(host, int(port or 0), args.node_id, obs=obs)
+    try:
+        client.connect()
+    except OSError as error:
+        print("error: cannot reach leader at %s: %s" % (args.peer, error),
+              file=out)
+        return 2
+    if obs is not None:
+        obs.emit("ha_role", node=args.node_id, role="standby", epoch=0)
+    print(
+        "standby %r: following %s, target %d interval(s)"
+        % (args.node_id, args.peer, args.intervals),
+        file=out,
+    )
+    target = int(args.intervals)
+    exit_code = 0
+    daemon = None
+    try:
+        while (
+            replica.server is None
+            or replica.server.intervals_processed < target
+        ):
+            if not client.connected:
+                # A finished or dead leader stops renewing, so the
+                # lease lapses; until then, keep trying to rejoin.
+                if lease.expired():
+                    break
+                try:
+                    client.connect(since_seq=replica.applied_seq + 1)
+                except OSError:
+                    time.sleep(0.2)
+                continue
+            payloads = client.poll(0.5)
+            if payloads:
+                replica.apply_frames(payloads)
+            elif payloads is None:
+                client.close()  # disconnected; reconnect or promote
+        if (
+            replica.server is not None
+            and replica.server.intervals_processed >= target
+        ):
+            # The final commit's digest frame trails its WAL record;
+            # give it a moment to arrive before reporting convergence.
+            for _ in range(10):
+                if replica.digest_ok is not None:
+                    break
+                payloads = client.poll(0.2)
+                if not payloads:
+                    break
+                replica.apply_frames(payloads)
+            digest_state = {
+                True: "ok",
+                False: "MISMATCH",
+                None: "unverified",
+            }[replica.digest_ok]
+            print(
+                "standby caught up: interval %d, lag %d, digest %s"
+                % (
+                    replica.server.intervals_processed,
+                    replica.lag(),
+                    digest_state,
+                ),
+                file=out,
+            )
+            return 0 if replica.digest_ok is not False else 1
+        # The leader is gone and its lease has lapsed: take over.
+        try:
+            daemon = promote(
+                replica,
+                args.state_dir,
+                lease,
+                backend=make_backend(
+                    args.transport, config, seed=args.seed + 1
+                ),
+                churn=make_driver(
+                    args.churn, alpha=args.alpha,
+                    trace_path=args.trace_file,
+                ),
+                service=DaemonConfig(
+                    state_dir=args.state_dir,
+                    interval_seconds=args.interval_seconds,
+                    deadline_rounds=args.deadline_rounds,
+                    deadline_policy=args.deadline_policy,
+                ),
+                seed=args.seed,
+                obs=obs,
+            )
+        except (HaError, ReplicationError) as error:
+            print("cannot promote: %s" % error, file=out)
+            return 1
+        print(
+            "promoted to leader: epoch %d at interval %d"
+            % (daemon.epoch, daemon.server.intervals_processed),
+            file=out,
+        )
+        print(ServiceMetrics.TABLE_HEADER, file=out)
+        daemon.run(
+            max(0, target - daemon.server.intervals_processed),
+            on_interval=lambda record: print(
+                ServiceMetrics.format_row(record), file=out
+            ),
+        )
+        health = daemon.health()
+        print(
+            "health: %s (role %s, epoch %d, %d intervals)"
+            % (
+                health["status"],
+                health["ha"]["role"],
+                health["ha"]["epoch"],
+                health["intervals_processed"],
+            ),
+            file=out,
+        )
+    finally:
+        client.close()
+        if daemon is not None:
+            daemon.close()
+        if bus is not None:
+            bus.close()
+    return exit_code

@@ -1,0 +1,179 @@
+"""The leader lease: who may write, and the epoch tokens that fence.
+
+One JSON file in the shared state directory is the cluster's single
+source of write authority::
+
+    {"epoch": 3, "holder": "node-a", "renewed_at": 1722852000.0, "ttl": 5.0}
+
+- **Holding** the lease makes a node the leader.  The holder renews it
+  (rewrites ``renewed_at``) every interval; a lease not renewed within
+  ``ttl`` seconds is *lapsed* and any standby may take it.
+- **Epoch** is the fencing token: every acquisition increments it, and
+  the number only ever grows.  The WAL is constructed with the writer's
+  epoch and this lease as its ``fence``, so a deposed leader — one
+  still running after its lease lapsed and someone else acquired — has
+  its next append refused *before any byte lands*
+  (:class:`~repro.errors.StaleEpochError`).  That refusal, not the
+  lease file itself, is what makes split-brain safe: two processes may
+  briefly both believe they lead, but only the higher epoch can write.
+
+The file is written atomically (temp + fsync + rename + dir fsync)
+through the :class:`~repro.chaos.seams.Filesystem` seam, and time comes
+from the :class:`~repro.chaos.seams.Clock` seam, so the chaos harness
+can lapse a lease by sleeping a virtual clock.  This is single-machine
+coordination (the paper's deployment is one key server plus a warm
+spare); a multi-host cluster would put the same epoch/lease protocol
+on a consensus service instead of a file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.chaos.seams import REAL_FILESYSTEM, SYSTEM_CLOCK
+from repro.errors import HaError, StaleEpochError
+from repro.obs.recorder import NULL
+
+#: default seconds without renewal before a lease lapses
+DEFAULT_TTL = 5.0
+
+
+def _atomic_write(path, payload, fs):
+    """Durably replace ``path`` with ``payload`` (JSON) via temp+rename."""
+    temp_path = path + ".tmp"
+    handle = fs.open(temp_path, "w")
+    try:
+        fs.write(handle, json.dumps(payload, sort_keys=True))
+        fs.fsync(handle)
+    finally:
+        handle.close()
+    fs.replace(temp_path, path)
+    fs.fsync_dir(os.path.dirname(path) or ".")
+
+
+class Lease:
+    """One node's view of the cluster lease file.
+
+    Both the leader (acquire, then renew each interval) and the standby
+    (watch :meth:`expired`, acquire on lapse) hold a :class:`Lease`
+    instance pointed at the same path; the file is the shared truth.
+    """
+
+    def __init__(self, path, node_id, ttl=DEFAULT_TTL, fs=None, clock=None,
+                 obs=None):
+        self.path = os.fspath(path)
+        self.node_id = str(node_id)
+        self.ttl = float(ttl)
+        self.fs = fs if fs is not None else REAL_FILESYSTEM
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.obs = obs if obs is not None else NULL
+        #: the epoch this node holds, or ``None`` when not the holder
+        self.epoch = None
+
+    # -- reading -------------------------------------------------------
+
+    def read(self):
+        """The lease file's contents, or ``None`` when absent/unreadable."""
+        try:
+            data = json.loads(self.fs.read_bytes(self.path).decode("utf-8"))
+        except (FileNotFoundError, ValueError):
+            return None
+        if not isinstance(data, dict) or "epoch" not in data:
+            return None
+        return data
+
+    def current_epoch(self):
+        """The minted epoch (0 before any acquisition).
+
+        This is the ``fence`` interface the WAL consults before every
+        append — a deposed leader discovers its deposition here.
+        """
+        data = self.read()
+        return 0 if data is None else int(data["epoch"])
+
+    def holder(self):
+        data = self.read()
+        return None if data is None else data.get("holder")
+
+    def expired(self):
+        """Has the current holder's renewal lapsed?
+
+        A missing or unreadable file counts as expired (nothing is
+        protecting the write path), as does a ``renewed_at`` older than
+        the *file's recorded* ttl — the holder's promise, not ours.
+        """
+        data = self.read()
+        if data is None:
+            return True
+        age = self.clock.time() - float(data.get("renewed_at", 0.0))
+        return age > float(data.get("ttl", self.ttl))
+
+    # -- holding -------------------------------------------------------
+
+    def acquire(self):
+        """Take the lease, minting the next epoch; returns that epoch.
+
+        Refuses with :class:`~repro.errors.HaError` while another
+        holder's lease is live — promotion must wait out the TTL, which
+        is what bounds how long two nodes can both believe they lead.
+        """
+        data = self.read()
+        if (
+            data is not None
+            and data.get("holder") != self.node_id
+            and not self.expired()
+        ):
+            raise HaError(
+                "lease %s is held by %r (epoch %d) and not expired"
+                % (self.path, data.get("holder"), int(data["epoch"]))
+            )
+        epoch = (0 if data is None else int(data["epoch"])) + 1
+        self._write(epoch)
+        self.epoch = epoch
+        self.obs.emit(
+            "ha_lease_acquired",
+            holder=self.node_id,
+            epoch=epoch,
+            previous_holder=None if data is None else data.get("holder"),
+        )
+        return epoch
+
+    def renew(self):
+        """Refresh ``renewed_at`` for the epoch this node holds.
+
+        Raises :class:`~repro.errors.StaleEpochError` when the file
+        shows someone else minted a newer epoch — the holder has been
+        deposed and must stop writing.
+        """
+        if self.epoch is None:
+            raise HaError("cannot renew a lease this node never acquired")
+        data = self.read()
+        if data is not None and (
+            int(data["epoch"]) != self.epoch
+            or data.get("holder") != self.node_id
+        ):
+            raise StaleEpochError(
+                "lease %s now belongs to %r at epoch %d (we held epoch %d)"
+                % (self.path, data.get("holder"), int(data["epoch"]),
+                   self.epoch)
+            )
+        self._write(self.epoch)
+        return self.epoch
+
+    def _write(self, epoch):
+        _atomic_write(
+            self.path,
+            {
+                "epoch": int(epoch),
+                "holder": self.node_id,
+                "renewed_at": self.clock.time(),
+                "ttl": self.ttl,
+            },
+            self.fs,
+        )
+
+    def __repr__(self):
+        return "Lease(%r, node_id=%r, epoch=%s)" % (
+            self.path, self.node_id, self.epoch
+        )

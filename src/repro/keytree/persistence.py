@@ -161,7 +161,7 @@ def load_tree(path, key_factory=None):
         return tree_from_dict(json.load(handle), key_factory=key_factory)
 
 
-def save_server(server, path, fs=None, rotate=False):
+def save_server(server, path, fs=None, rotate=False, epoch=None):
     """Persist full :class:`GroupKeyServer` state to ``path``, atomically.
 
     Unlike :func:`save_tree` this captures the server-level counters —
@@ -173,6 +173,11 @@ def save_server(server, path, fs=None, rotate=False):
     With ``rotate``, an existing snapshot at ``path`` is first renamed
     to ``path + ".prev"`` — the previous generation the recovery ladder
     falls back to when the current snapshot is damaged.
+
+    Under HA, ``epoch`` stamps the writer's fencing token into the
+    envelope (outside the CRC-protected payload, so the payload stays
+    bit-identical across failovers); :func:`snapshot_epoch` reads it
+    back without a full restore.
     """
     fs = fs or REAL_FILESYSTEM
     path = os.fspath(path)
@@ -180,16 +185,34 @@ def save_server(server, path, fs=None, rotate=False):
     if rotate and fs.exists(path):
         fs.replace(path, path + PREVIOUS_SUFFIX)
         fs.fsync_dir(os.path.dirname(path) or ".")
-    _atomic_write_json(
-        path,
-        {
-            "format": _SERVER_FORMAT_VERSION,
-            "kind": "server",
-            "crc": payload_crc(payload),
-            "server": payload,
-        },
-        fs=fs,
-    )
+    envelope = {
+        "format": _SERVER_FORMAT_VERSION,
+        "kind": "server",
+        "crc": payload_crc(payload),
+        "server": payload,
+    }
+    if epoch is not None:
+        envelope["epoch"] = int(epoch)
+    _atomic_write_json(path, envelope, fs=fs)
+
+
+def snapshot_epoch(path):
+    """The ``epoch`` fencing token stamped into a server snapshot.
+
+    Returns 0 for pre-HA snapshots (no ``epoch`` key).  Unreadable or
+    non-snapshot files raise :class:`KeyTreeError`, mirroring
+    :func:`load_server`.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = json.loads(handle.read().decode("utf-8"))
+    except FileNotFoundError:
+        raise
+    except (ValueError, OSError) as exc:
+        raise KeyTreeError("unreadable server snapshot %s: %s" % (path, exc))
+    if not isinstance(data, dict) or data.get("kind") != "server":
+        raise KeyTreeError("not a server snapshot: %s" % path)
+    return int(data.get("epoch", 0))
 
 
 def load_server(path, config=None):

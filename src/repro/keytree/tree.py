@@ -91,9 +91,15 @@ class KeyTree:
         (a :class:`NodeKind` or its value), ``version``, and optionally
         ``user`` (u-nodes) and ``key`` (a :class:`SymmetricKey` or
         ``None`` for keyless trees).  ``versions`` maps node IDs to the
-        renewal counters so future rekeys continue the version sequence;
-        IDs absent from it default to the record's own version.  The
-        rebuilt tree is :meth:`validate`-checked before it is returned.
+        renewal counters so future rekeys continue the version sequence.
+        When given it is authoritative and restored verbatim: a moved
+        u-node keeps its old position's version without an entry in the
+        counter map, so seeding counters from the node records would
+        make restore-then-serialise disagree with the original — and
+        HA replicas bootstrapped from a snapshot would renew different
+        key versions than the leader they shadow.  Without ``versions``
+        each record's own version seeds its counter.  The rebuilt tree
+        is :meth:`validate`-checked before it is returned.
 
         This is the supported way to restore persisted state —
         :mod:`repro.keytree.persistence` goes through it — so external
@@ -126,7 +132,8 @@ class KeyTree:
                     )
                 tree._users[node.user] = node_id
             tree._nodes[node_id] = node
-            tree._versions[node_id] = node.version
+            if versions is None:
+                tree._versions[node_id] = node.version
             if node.kind is NodeKind.K_NODE:
                 heapq.heappush(tree._knode_heap, -node_id)
         if versions is not None:

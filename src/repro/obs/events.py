@@ -57,6 +57,8 @@ SERVICE_EVENT_KINDS = frozenset(
         "carry_served",       # carried users served at interval start
         "recovery",           # daemon recovered from snapshot + WAL
         "crash",              # injected crash fired
+        "degradation_policy_ignored",  # configured policy not in force
+                                       # on this transport (UDP + carry)
     }
 )
 
@@ -80,8 +82,26 @@ CHAOS_EVENT_KINDS = frozenset(
     }
 )
 
+#: High-availability kinds: leases, replication, failover, fencing
+#: (see docs/ha.md).
+HA_EVENT_KINDS = frozenset(
+    {
+        "ha_role",                 # a node took a role (leader/standby)
+        "ha_lease_acquired",       # lease written with a fresh epoch
+        "ha_heartbeat_lost",       # standby saw the leader's lease lapse
+        "ha_promote",              # standby promoted itself to leader
+        "ha_fenced",               # stale-epoch append refused
+        "ha_replication_connect",  # follower (re)subscribed to the stream
+        "ha_catchup",              # follower replayed a backlog of records
+        "ha_digest_check",         # follower compared state digests
+    }
+)
+
 _REGISTRY = set(
-    SESSION_EVENT_KINDS | SERVICE_EVENT_KINDS | CHAOS_EVENT_KINDS
+    SESSION_EVENT_KINDS
+    | SERVICE_EVENT_KINDS
+    | CHAOS_EVENT_KINDS
+    | HA_EVENT_KINDS
 )
 
 

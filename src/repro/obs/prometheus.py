@@ -30,6 +30,10 @@ _LEDGER_HELP = {
     "recoveries": "Daemon recoveries from snapshot + WAL.",
     "empty_intervals": "Intervals with no membership change.",
     "deadline_misses": "Intervals that missed the delivery deadline.",
+    "policy_ignored": (
+        "Intervals whose configured degradation policy the transport "
+        "could not honour."
+    ),
 }
 
 

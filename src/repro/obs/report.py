@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 
-from repro.obs.events import CHAOS_EVENT_KINDS, read_events
+from repro.obs.events import CHAOS_EVENT_KINDS, HA_EVENT_KINDS, read_events
 
 #: Top-level children of daemon.interval: disjoint, so they sum.
 _TOP_SPANS = {
@@ -64,8 +64,15 @@ def summarize(events):
 
     fault_counts = {}
     fault_timeline = []
+    ha_counts = {}
+    failover_timeline = []
     for event in events:
         kind = event["kind"]
+        if kind in HA_EVENT_KINDS:
+            ha_counts[kind] = ha_counts.get(kind, 0) + 1
+            failover_timeline.append(
+                {"kind": kind, "detail": dict(event["detail"])}
+            )
         if kind not in CHAOS_EVENT_KINDS:
             continue
         fault_counts[kind] = fault_counts.get(kind, 0) + 1
@@ -119,6 +126,8 @@ def summarize(events):
         "decisions": decisions,
         "fault_counts": fault_counts,
         "fault_timeline": fault_timeline,
+        "ha_counts": ha_counts,
+        "failover_timeline": failover_timeline,
         "time_breakdown": breakdown,
         "span_totals": span_totals,
     }
@@ -156,6 +165,22 @@ def render_report(path):
             for key in sorted(summary["decisions"])
         ),
     ]
+    if summary["failover_timeline"]:
+        lines += [
+            "",
+            "failover timeline (HA events, in order):",
+            "  %s"
+            % " ".join(
+                "%s=%d" % (kind, summary["ha_counts"][kind])
+                for kind in sorted(summary["ha_counts"])
+            ),
+        ]
+        for entry in summary["failover_timeline"]:
+            detail = entry["detail"]
+            rendered = " ".join(
+                "%s=%s" % (key, detail[key]) for key in sorted(detail)
+            )
+            lines.append("  %-22s %s" % (entry["kind"], rendered))
     if summary["fault_counts"]:
         lines += [
             "",

@@ -216,6 +216,8 @@ class RekeyDaemon:
         fs=None,
         clock=None,
         retry=None,
+        epoch=None,
+        fence=None,
     ):
         self.server = server
         #: observability recorder (NULL = disabled, zero-overhead)
@@ -250,6 +252,15 @@ class RekeyDaemon:
         #: crashed interval byte for byte — see :meth:`recover`
         self._replay_interval = False
         self.crashed = None  # DaemonCrash captured by the background loop
+        #: HA identity (see docs/ha.md): the writer's epoch fencing
+        #: token and the lease that mints them.  ``None`` epoch =
+        #: standalone (no fencing, no ``epoch`` keys on disk).
+        self.epoch = epoch if epoch is None else int(epoch)
+        self.fence = fence
+        self.role = "standalone" if epoch is None else "leader"
+        #: leader-side replication tap (a ``LeaderPublisher``), attached
+        #: via :meth:`attach_replication`
+        self.replication = None
         self.wal = None
         self.snapshot_path = None
         if self.service.state_dir is not None:
@@ -268,6 +279,8 @@ class RekeyDaemon:
                 retry=self.retry,
                 on_corruption="quarantine",
                 obs=self.obs,
+                epoch=self.epoch,
+                fence=self.fence,
             )
             self.snapshot_path = os.path.join(state_dir, "server.json")
 
@@ -286,6 +299,8 @@ class RekeyDaemon:
         fs=None,
         clock=None,
         retry=None,
+        epoch=None,
+        fence=None,
     ):
         """Boot a fresh group and (if durable) write the initial snapshot."""
         server = GroupKeyServer(initial_users, config=config)
@@ -299,6 +314,8 @@ class RekeyDaemon:
             fs=fs,
             clock=clock,
             retry=retry,
+            epoch=epoch,
+            fence=fence,
         )
         if daemon.snapshot_path is not None:
             if not daemon._save_snapshot():
@@ -325,6 +342,8 @@ class RekeyDaemon:
         fs=None,
         clock=None,
         retry=None,
+        epoch=None,
+        fence=None,
     ):
         """Restart from ``state_dir``: snapshot load + WAL replay.
 
@@ -371,6 +390,8 @@ class RekeyDaemon:
             fs=fs,
             clock=clock,
             retry=retry,
+            epoch=epoch,
+            fence=fence,
         )
         daemon.metrics.bump("recoveries")
         daemon.metrics.bump("snapshot_fallbacks", snapshot_fallbacks)
@@ -484,6 +505,20 @@ class RekeyDaemon:
             "every snapshot generation is damaged (%s); quarantined copies "
             "are alongside the state dir for forensics" % "; ".join(failures)
         )
+
+    # -- replication -------------------------------------------------------
+
+    def attach_replication(self, publisher):
+        """Wire a :class:`repro.ha.replication.LeaderPublisher` into the
+        write path: every durable WAL append is streamed to followers,
+        and each committed interval is followed by a state-digest frame
+        so followers can verify convergence before they would promote.
+        """
+        if self.wal is None:
+            raise ServiceError("replication needs a durable daemon")
+        self.replication = publisher
+        self.wal.on_append = publisher.on_wal_record
+        return publisher
 
     # -- request intake ----------------------------------------------------
 
@@ -624,6 +659,11 @@ class RekeyDaemon:
                 )
             if report.carried:
                 self._carry.append((message, list(report.carried)))
+            if report.detail.get("policy_ignored"):
+                # The transport could not honour the configured carry
+                # policy (UDP always cuts over) — count it so the health
+                # ledger shows the policy is not in force.
+                self.metrics.bump("policy_ignored")
             transition = self.circuit.record(report.decision)
             if transition is not None:
                 if transition == "circuit_open":
@@ -649,6 +689,8 @@ class RekeyDaemon:
                     obs.emit("snapshot", path=self.snapshot_path)
                 self._maybe_crash(interval, "post-snapshot")
                 self.wal.append_commit(interval)
+                if self.replication is not None:
+                    self.replication.on_commit(self.server, interval)
                 every = self.service.wal_compact_every
                 if every and (interval + 1) % every == 0:
                     # Keep the last committed interval's records too:
@@ -714,6 +756,8 @@ class RekeyDaemon:
         obs.observe("interval_ms", record.duration_ms)
         obs.gauge("members", record.n_members)
         obs.gauge("rho", record.rho)
+        if self.epoch is not None:
+            obs.gauge("ha_epoch", self.epoch)
         latencies = IntervalMetrics.recovery_latencies(report)
         if latencies is not None:
             for latency in latencies:
@@ -788,7 +832,11 @@ class RekeyDaemon:
 
         def attempt():
             save_server(
-                self.server, self.snapshot_path, fs=self.fs, rotate=True
+                self.server,
+                self.snapshot_path,
+                fs=self.fs,
+                rotate=True,
+                epoch=self.epoch,
             )
 
         try:
@@ -902,6 +950,15 @@ class RekeyDaemon:
         )
         report["fec_coder"] = self.server.config.fec_coder
         report["circuit"] = self.circuit.snapshot()
+        report["ha"] = {
+            "role": self.role,
+            "epoch": 0 if self.epoch is None else self.epoch,
+            "replication": (
+                None
+                if self.replication is None
+                else self.replication.snapshot()
+            ),
+        }
         return report
 
     def close(self):

@@ -174,6 +174,9 @@ class ServiceMetrics:
             "snapshot_failures": 0,
             "snapshot_fallbacks": 0,
             "circuit_opens": 0,
+            # intervals whose configured degradation policy the
+            # transport could not honour (UDP ignores "carry")
+            "policy_ignored": 0,
         }
 
     def record(self, interval_metrics):
@@ -216,6 +219,13 @@ class ServiceMetrics:
                 len(recent),
             )
         last = self.intervals[-1] if self.intervals else None
+        notes = []
+        if self.counters["policy_ignored"]:
+            notes.append(
+                "configured degradation policy was not in force for %d "
+                "interval(s): the transport always cuts over to unicast"
+                % self.counters["policy_ignored"]
+            )
         return {
             "status": status,
             "reason": reason,
@@ -226,6 +236,7 @@ class ServiceMetrics:
             ),
             "recoveries": self.counters["recoveries"],
             "deadline_misses": self.counters["deadline_misses"],
+            "notes": notes,
             "last_interval": last.to_dict() if last else None,
         }
 

@@ -231,6 +231,17 @@ class UdpDelivery(DeliveryBackend):
     def deliver(self, message, fleet, deadline_rounds=2, policy="unicast"):
         from repro.net import run_udp_rekey
 
+        policy_ignored = policy == "carry"
+        if policy_ignored:
+            # Not silent: operators configured carry but the UDP path
+            # cannot defer stragglers — say so on the bus and in the
+            # report so the daemon's ledger can count it.
+            self.obs.emit(
+                "degradation_policy_ignored",
+                transport="udp",
+                policy=policy,
+                effective="unicast",
+            )
         fleet.relocate_all(message.max_kid)
         self._calls += 1
         report = run_udp_rekey(
@@ -242,6 +253,12 @@ class UdpDelivery(DeliveryBackend):
             seed=self._seed + self._calls,
         )
         degraded = report["unicast_users"] > 0
+        detail = {
+            "packets_sent": report["packets_sent"],
+            "packets_dropped": report["packets_dropped"],
+        }
+        if policy_ignored:
+            detail["policy_ignored"] = True
         return DeliveryReport(
             mode="udp",
             decision=UNICAST_CUTOVER if degraded else IN_DEADLINE,
@@ -249,10 +266,7 @@ class UdpDelivery(DeliveryBackend):
             multicast_rounds=report["rounds"],
             unicast_served=report["unicast_users"],
             recovery_rounds=None,
-            detail={
-                "packets_sent": report["packets_sent"],
-                "packets_dropped": report["packets_dropped"],
-            },
+            detail=detail,
         )
 
 

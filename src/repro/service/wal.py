@@ -38,6 +38,16 @@ recover from (see ``docs/robustness.md``).
 Appends run through a bounded-retry/backoff policy: a transient
 ``OSError`` from the write or fsync rolls the file back to its
 pre-append length and retries; only a persistent failure escapes.
+
+Under HA (``docs/ha.md``) every record additionally carries the
+writer's ``epoch`` fencing token.  The log is constructed with the
+current epoch and a ``fence`` (any object with ``current_epoch()`` —
+in practice the cluster's :class:`repro.ha.lease.Lease`); an append
+whose epoch is older than the fence's refuses with
+:class:`StaleEpochError` *before any byte reaches the file*, which is
+what keeps a deposed leader's late writes out of the shared log.  The
+``epoch`` key rides through v2 parsing like any other field and is
+covered by the record CRC.
 """
 
 from __future__ import annotations
@@ -47,7 +57,7 @@ import os
 import zlib
 
 from repro.chaos.seams import REAL_FILESYSTEM, SYSTEM_CLOCK
-from repro.errors import WalError
+from repro.errors import StaleEpochError, WalError
 from repro.obs.recorder import NULL
 from repro.util.retry import RetryPolicy
 
@@ -89,6 +99,8 @@ def _parse_line(line):
         raise ValueError("unknown op %r" % (record["op"],))
     int(record["seq"])
     int(record["interval"])
+    if "epoch" in record:
+        int(record["epoch"])
     return record
 
 
@@ -155,6 +167,23 @@ def read_records(path):
     return records
 
 
+def max_epoch(records):
+    """Highest ``epoch`` fencing token among ``records`` (0 if none)."""
+    return max((int(r.get("epoch", 0)) for r in records), default=0)
+
+
+def epochs_monotonic(records):
+    """True iff the ``epoch`` tokens never decrease along the log —
+    the on-disk witness that no deposed leader's write ever landed."""
+    last = 0
+    for record in records:
+        epoch = int(record.get("epoch", 0))
+        if epoch < last:
+            return False
+        last = max(last, epoch)
+    return True
+
+
 def quarantine_path(path, fs=None):
     """First free ``<path>.corrupt-<n>`` quarantine destination."""
     fs = fs or REAL_FILESYSTEM
@@ -176,6 +205,8 @@ class WriteAheadLog:
         retry=None,
         on_corruption="raise",
         obs=None,
+        epoch=None,
+        fence=None,
     ):
         if on_corruption not in ("raise", "quarantine"):
             raise WalError(
@@ -188,6 +219,16 @@ class WriteAheadLog:
         self.retry = retry or RetryPolicy()
         self.obs = obs if obs is not None else NULL
         self.on_corruption = on_corruption
+        #: writer's fencing token; ``None`` = standalone (no HA, no
+        #: ``epoch`` key in records)
+        self.epoch = epoch if epoch is None else int(epoch)
+        #: epoch authority consulted before every append (``Lease`` or
+        #: anything else with ``current_epoch()``); ``None`` = only the
+        #: epochs already in the log can fence us out
+        self.fence = fence
+        #: called with a copy of each record after its durable append —
+        #: the leader's replication tap
+        self.on_append = None
         self._handle = None
         records, error, intact_bytes = _scan(self.path, self.fs)
         if error is not None:
@@ -208,6 +249,7 @@ class WriteAheadLog:
                 # starts a fresh line instead of splicing onto it.
                 self._repair_missing_newline(size)
         self._next_seq = records[-1]["seq"] + 1 if records else 0
+        self._max_epoch = max_epoch(records)
 
     def _repair_missing_newline(self, size):
         def attempt():
@@ -267,9 +309,13 @@ class WriteAheadLog:
         """
         if op not in _ALL_OPS:
             raise WalError("unknown WAL op %r" % (op,))
+        if self.epoch is not None:
+            self._check_fence(op)
         record = {"seq": self._next_seq, "op": op, "interval": int(interval)}
         if user is not None:
             record["user"] = user
+        if self.epoch is not None:
+            record["epoch"] = self.epoch
         line = encode_record(record) + "\n"
 
         def attempt():
@@ -293,7 +339,25 @@ class WriteAheadLog:
             ),
         )
         self._next_seq += 1
+        if self.epoch is not None:
+            self._max_epoch = max(self._max_epoch, self.epoch)
+        if self.on_append is not None:
+            self.on_append(dict(record))
         return record["seq"]
+
+    def _check_fence(self, op):
+        """Refuse the append when a newer epoch has been minted."""
+        current = self._max_epoch
+        if self.fence is not None:
+            current = max(current, int(self.fence.current_epoch()))
+        if current > self.epoch:
+            self.obs.emit(
+                "ha_fenced", op=op, epoch=self.epoch, current_epoch=current
+            )
+            raise StaleEpochError(
+                "append refused: writer epoch %d is fenced out by epoch %d"
+                % (self.epoch, current)
+            )
 
     def _rollback(self, size):
         """Drop any partial append so the log ends at ``size`` bytes."""

@@ -6,10 +6,17 @@ disk, NFS hiccups): it retries a bounded number of times with
 exponential backoff before letting the error escape.  Sleeps go through
 the :class:`~repro.chaos.seams.Clock` seam, so chaos runs back off in
 virtual time — deterministic and instant.
+
+With ``jitter=True`` the policy uses *full jitter* (pick uniformly in
+``[0, backoff]`` instead of the deterministic backoff), which
+decorrelates a thundering herd of reconnecting followers; the
+replication client uses this for its resubscribe loop.  Pass an ``rng``
+(anything with ``uniform``) to keep jittered runs deterministic.
 """
 
 from __future__ import annotations
 
+import random as _random
 from dataclasses import dataclass
 
 from repro.chaos.seams import SYSTEM_CLOCK
@@ -19,12 +26,14 @@ from repro.errors import ConfigurationError
 @dataclass(frozen=True)
 class RetryPolicy:
     """``max_attempts`` tries; sleep ``base_delay * multiplier**n``
-    (capped at ``max_delay``) between them."""
+    (capped at ``max_delay``) between them.  ``jitter=True`` draws the
+    sleep uniformly from ``[0, that backoff]`` (AWS-style full jitter)."""
 
     max_attempts: int = 4
     base_delay: float = 0.002
     multiplier: float = 2.0
     max_delay: float = 0.25
+    jitter: bool = False
 
     def __post_init__(self):
         if self.max_attempts < 1:
@@ -32,9 +41,17 @@ class RetryPolicy:
         if self.base_delay < 0 or self.max_delay < 0 or self.multiplier < 1:
             raise ConfigurationError("invalid backoff parameters")
 
-    def delay(self, attempt):
-        """Backoff before retry number ``attempt`` (0-based)."""
-        return min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+    def delay(self, attempt, rng=None):
+        """Backoff before retry number ``attempt`` (0-based).
+
+        Always within ``[0, base_delay * multiplier**attempt]`` (and
+        never above ``max_delay``); without jitter it *is* that upper
+        bound.
+        """
+        ceiling = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        if not self.jitter:
+            return ceiling
+        return (rng or _random).uniform(0.0, ceiling)
 
     def run(
         self,
@@ -43,6 +60,7 @@ class RetryPolicy:
         retry_on=(OSError,),
         on_retry=None,
         on_giveup=None,
+        rng=None,
     ):
         """Call ``fn`` until it succeeds or attempts are exhausted.
 
@@ -61,4 +79,4 @@ class RetryPolicy:
                     raise
                 if on_retry is not None:
                     on_retry(attempt + 1, error)
-                clock.sleep(self.delay(attempt))
+                clock.sleep(self.delay(attempt, rng=rng))

@@ -14,9 +14,13 @@ from repro.chaos.soak import canonical_timeline, run_soak, timeline_digest
 from repro.cli import main
 from repro.errors import RecoveryError
 
-#: sha256 of the canonical fault timeline for (standard, seed=7)
+#: sha256 of the canonical fault timeline for (standard, seed=7).
+#: Re-pinned when KeyTree.from_records stopped seeding version counters
+#: from node records (restore is now a faithful round-trip): snapshots
+#: written after a recovery serialise slightly differently, which moves
+#: the plan RNG's byte-flip offsets.
 STANDARD_SEED7_DIGEST = (
-    "6f370c22ff8170ac0f7c47631d55f778e5301b46a7086dcf184f34efa9968e3e"
+    "7a1eb3a936a7a660c08c350ec0c5eaf1d3aded6486cef6e792f08c05244515e2"
 )
 
 

@@ -1,0 +1,113 @@
+"""Tests for repro.ha.lease — the leader lease and its epoch tokens."""
+
+import json
+
+import pytest
+
+from repro.chaos.seams import FaultyClock
+from repro.errors import HaError, StaleEpochError
+from repro.ha.lease import Lease
+
+
+class Events:
+    """Minimal obs stub capturing (kind, detail) pairs."""
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, kind, **detail):
+        self.events.append((kind, detail))
+
+    def of(self, kind):
+        return [d for k, d in self.events if k == kind]
+
+
+def make_lease(tmp_path, node_id, clock, ttl=5.0, obs=None):
+    return Lease(
+        tmp_path / "lease.json", node_id, ttl=ttl, clock=clock, obs=obs
+    )
+
+
+class TestAcquire:
+    def test_first_acquisition_mints_epoch_one(self, tmp_path):
+        clock = FaultyClock()
+        lease = make_lease(tmp_path, "node-a", clock)
+        assert lease.current_epoch() == 0
+        assert lease.expired()  # nothing protects the write path yet
+        assert lease.acquire() == 1
+        data = json.loads((tmp_path / "lease.json").read_text())
+        assert data["holder"] == "node-a"
+        assert data["epoch"] == 1
+        assert data["ttl"] == 5.0
+
+    def test_reacquire_by_holder_increments_epoch(self, tmp_path):
+        clock = FaultyClock()
+        lease = make_lease(tmp_path, "node-a", clock)
+        assert lease.acquire() == 1
+        # A restarted holder must not reuse its old epoch: any WAL
+        # records from the previous incarnation stay older.
+        assert lease.acquire() == 2
+
+    def test_live_lease_refuses_other_node(self, tmp_path):
+        clock = FaultyClock()
+        make_lease(tmp_path, "node-a", clock).acquire()
+        other = make_lease(tmp_path, "node-b", clock)
+        with pytest.raises(HaError, match="held by 'node-a'"):
+            other.acquire()
+
+    def test_lapsed_lease_transfers_with_higher_epoch(self, tmp_path):
+        clock = FaultyClock()
+        obs = Events()
+        make_lease(tmp_path, "node-a", clock, obs=obs).acquire()
+        clock.sleep(6.0)  # past the 5 s ttl: the holder went quiet
+        taker = make_lease(tmp_path, "node-b", clock, obs=obs)
+        assert taker.expired()
+        assert taker.acquire() == 2
+        acquisitions = obs.of("ha_lease_acquired")
+        assert acquisitions[-1]["holder"] == "node-b"
+        assert acquisitions[-1]["previous_holder"] == "node-a"
+        assert acquisitions[-1]["epoch"] == 2
+
+    def test_corrupt_file_reads_as_absent(self, tmp_path):
+        clock = FaultyClock()
+        (tmp_path / "lease.json").write_bytes(b"\x00not json")
+        lease = make_lease(tmp_path, "node-a", clock)
+        assert lease.read() is None
+        assert lease.current_epoch() == 0
+        assert lease.expired()
+
+
+class TestRenew:
+    def test_renew_refreshes_renewed_at(self, tmp_path):
+        clock = FaultyClock()
+        lease = make_lease(tmp_path, "node-a", clock)
+        lease.acquire()
+        clock.sleep(3.0)
+        assert not lease.expired()
+        lease.renew()
+        clock.sleep(3.0)
+        # 6 s since acquire but only 3 s since renewal: still live.
+        assert not lease.expired()
+
+    def test_renew_without_acquire_refuses(self, tmp_path):
+        lease = make_lease(tmp_path, "node-a", FaultyClock())
+        with pytest.raises(HaError, match="never acquired"):
+            lease.renew()
+
+    def test_deposed_holder_renewal_raises_stale_epoch(self, tmp_path):
+        clock = FaultyClock()
+        old = make_lease(tmp_path, "node-a", clock)
+        old.acquire()
+        clock.sleep(6.0)
+        make_lease(tmp_path, "node-b", clock).acquire()
+        with pytest.raises(StaleEpochError, match="node-b"):
+            old.renew()
+
+    def test_expiry_uses_the_files_recorded_ttl(self, tmp_path):
+        clock = FaultyClock()
+        make_lease(tmp_path, "node-a", clock, ttl=1.0).acquire()
+        # The watcher configured a longer ttl, but the holder's promise
+        # (the ttl written into the file) is what expires the lease.
+        watcher = make_lease(tmp_path, "node-b", clock, ttl=60.0)
+        clock.sleep(2.0)
+        assert watcher.expired()

@@ -1,0 +1,164 @@
+"""Tests for repro.ha.replication — frames, links, and the TCP pair."""
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.ha.replication import (
+    MAX_FRAME_BYTES,
+    DirectLink,
+    FrameReader,
+    LeaderPublisher,
+    ReplicationClient,
+    ReplicationServer,
+    SocketSink,
+    decode_body,
+    encode_frame,
+)
+from repro.service.wal import WriteAheadLog
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        frame = encode_frame({"kind": "heartbeat", "epoch": 3})
+        length = int.from_bytes(frame[:4], "big")
+        assert length == len(frame) - 4
+        payload = decode_body(frame[4:])
+        assert payload == {"kind": "heartbeat", "epoch": 3}
+
+    def test_unknown_kind_refused_on_encode_and_decode(self):
+        with pytest.raises(ReplicationError, match="unknown frame kind"):
+            encode_frame({"kind": "gossip"})
+        body = encode_frame({"kind": "hello", "epoch": 1})[4:]
+        tampered = body.replace(b'"hello"', b'"nosht"')
+        with pytest.raises(ReplicationError):
+            decode_body(tampered)
+
+    def test_single_bit_flip_fails_the_crc(self):
+        body = bytearray(encode_frame({"kind": "hello", "epoch": 7})[4:])
+        index = body.index(b"7")
+        body[index] ^= 0x01
+        with pytest.raises(ReplicationError, match="CRC"):
+            decode_body(bytes(body))
+
+    def test_non_object_frame_refused(self):
+        with pytest.raises(ReplicationError, match="not an object"):
+            decode_body(b"[1, 2]")
+
+
+class TestFrameReader:
+    def test_reassembles_across_arbitrary_splits(self):
+        frames = encode_frame({"kind": "hello", "epoch": 1}) + encode_frame(
+            {"kind": "heartbeat", "epoch": 1, "last_seq": 9}
+        )
+        for chunk in (1, 3, 7):
+            reader = FrameReader()
+            payloads = []
+            for i in range(0, len(frames), chunk):
+                payloads.extend(reader.feed(frames[i:i + chunk]))
+            assert [p["kind"] for p in payloads] == ["hello", "heartbeat"]
+
+    def test_partial_frame_returns_nothing_yet(self):
+        frame = encode_frame({"kind": "hello", "epoch": 1})
+        reader = FrameReader()
+        assert reader.feed(frame[:-1]) == []
+        assert reader.feed(frame[-1:])[0]["epoch"] == 1
+
+    def test_absurd_length_prefix_refused(self):
+        reader = FrameReader()
+        with pytest.raises(ReplicationError, match="cap"):
+            reader.feed((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+
+
+class TestDirectLink:
+    def test_send_then_poll(self):
+        link = DirectLink()
+        link.send({"kind": "hello", "epoch": 1})
+        link.send({"kind": "heartbeat", "epoch": 1, "last_seq": -1})
+        assert [p["kind"] for p in link.poll()] == ["hello", "heartbeat"]
+        assert link.poll() == []
+        assert (link.sent, link.dropped) == (2, 0)
+
+    def test_partition_drops_frames_for_good(self):
+        link = DirectLink()
+        link.partitioned = True
+        link.send({"kind": "hello", "epoch": 1})
+        link.partitioned = False
+        link.send({"kind": "heartbeat", "epoch": 1, "last_seq": -1})
+        # The partitioned frame never arrives late — it is simply gone.
+        assert [p["kind"] for p in link.poll()] == ["heartbeat"]
+        assert (link.sent, link.dropped) == (1, 1)
+
+
+class TestLeaderPublisher:
+    def test_wal_tap_streams_records_and_catchup_replays(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl", epoch=1)
+        publisher = LeaderPublisher(1, wal=wal)
+        live = DirectLink()
+        publisher.subscribe(live)  # no server: bootstrap = catch-up
+        wal.on_append = publisher.on_wal_record
+        wal.append_request("join", "alice", 0)
+        wal.append_commit(0)
+        kinds = [p["kind"] for p in live.poll()]
+        assert kinds == ["hello", "record", "record"]
+        assert publisher.last_seq == 1
+
+        late = DirectLink()
+        publisher.subscribe(late, since_seq=0)
+        payloads = late.poll()
+        assert [p["kind"] for p in payloads] == ["hello", "record", "record"]
+        assert [p["record"]["seq"] for p in payloads[1:]] == [0, 1]
+        wal.close()
+
+    def test_snapshot_counts_followers_and_drops(self, tmp_path):
+        publisher = LeaderPublisher(2)
+        link = DirectLink()
+        publisher.subscribe(link, server=None)
+        link.partitioned = True
+        publisher.heartbeat()
+        snapshot = publisher.snapshot()
+        assert snapshot["followers"] == 1
+        assert snapshot["dropped"] == 1
+
+
+class TestLoopbackTcp:
+    def test_subscribe_streams_over_a_real_socket(self):
+        publisher = LeaderPublisher(1)
+
+        def on_subscribe(sink, payload):
+            assert payload["node"] == "standby"
+            publisher.subscribe(sink)
+            publisher.heartbeat()
+
+        server = ReplicationServer(on_subscribe)
+        client = ReplicationClient("127.0.0.1", server.port, "standby")
+        try:
+            client.connect()
+            received = []
+            for _ in range(20):
+                payloads = client.poll(0.5)
+                if payloads is None:
+                    break
+                received.extend(payloads)
+                if len(received) >= 2:
+                    break
+            assert [p["kind"] for p in received] == ["hello", "heartbeat"]
+            assert received[0]["epoch"] == 1
+        finally:
+            client.close()
+            server.close()
+
+    def test_closed_sink_counts_drops_instead_of_raising(self):
+        import socket as socket_module
+
+        a, b = socket_module.socketpair()
+        sink = SocketSink(a)
+        b.close()
+        sink.close()
+        sink.send({"kind": "heartbeat", "epoch": 1})
+        assert sink.dropped == 1
+
+    def test_client_poll_before_connect_refuses(self):
+        client = ReplicationClient("127.0.0.1", 1, "standby")
+        assert not client.connected
+        with pytest.raises(ReplicationError, match="before connect"):
+            client.poll(0.1)

@@ -1,0 +1,74 @@
+"""obs-report's failover section: the HA event kinds must surface as a
+counted, ordered timeline so an operator can reconstruct a promotion
+from the JSONL stream alone."""
+
+from repro.obs import EventBus, read_events
+from repro.obs.report import render_report, summarize
+
+
+def write_failover_stream(path):
+    bus = EventBus(path=str(path))
+    bus.emit("ha_role", node="leader", role="leader", epoch=1)
+    bus.emit("ha_replication_connect", node="standby", since_seq=0)
+    bus.emit("ha_catchup", node="standby", records=12, lag=0)
+    bus.emit("ha_digest_check", node="standby", interval=3, match=True)
+    bus.emit("ha_heartbeat_lost", node="standby", silent_for=6.0)
+    bus.emit("ha_lease_acquired", node="standby", epoch=2)
+    bus.emit("ha_promote", node="standby", epoch=2, interval=4)
+    bus.emit("ha_fenced", node="leader", epoch=1, current_epoch=2)
+    bus.close()
+    return read_events(str(path))
+
+
+class TestSummarize:
+    def test_ha_counts_and_timeline(self, tmp_path):
+        events = write_failover_stream(tmp_path / "events.jsonl")
+        summary = summarize(events)
+        assert summary["ha_counts"] == {
+            "ha_role": 1,
+            "ha_replication_connect": 1,
+            "ha_catchup": 1,
+            "ha_digest_check": 1,
+            "ha_heartbeat_lost": 1,
+            "ha_lease_acquired": 1,
+            "ha_promote": 1,
+            "ha_fenced": 1,
+        }
+        timeline = summary["failover_timeline"]
+        assert [entry["kind"] for entry in timeline] == [
+            "ha_role",
+            "ha_replication_connect",
+            "ha_catchup",
+            "ha_digest_check",
+            "ha_heartbeat_lost",
+            "ha_lease_acquired",
+            "ha_promote",
+            "ha_fenced",
+        ]
+        promote = timeline[6]["detail"]
+        assert promote["epoch"] == 2 and promote["interval"] == 4
+
+    def test_absent_without_ha_events(self):
+        summary = summarize([])
+        assert summary["ha_counts"] == {}
+        assert summary["failover_timeline"] == []
+
+
+class TestRender:
+    def test_failover_section_rendered_in_order(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_failover_stream(path)
+        lines = render_report(str(path))
+        text = "\n".join(lines)
+        assert "failover timeline (HA events, in order):" in text
+        # rindex: the first occurrences sit in the alphabetical counts
+        # header; the last are the ordered timeline rows.
+        assert text.rindex("ha_promote") < text.rindex("ha_fenced")
+        assert "current_epoch=2" in text
+
+    def test_no_section_without_ha_events(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert not any(
+            "failover timeline" in line for line in render_report(str(path))
+        )

@@ -1,0 +1,59 @@
+"""Property tests for RetryPolicy's full-jitter backoff.
+
+The replication client reconnects with ``jitter=True`` — the standard
+cure for reconnect stampedes after a leader restart.  The contract:
+every jittered delay is uniform in ``[0, backoff]`` where ``backoff``
+is the capped exponential, and disabling jitter returns exactly that
+ceiling.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.util.retry import RetryPolicy
+
+
+@given(
+    attempt=st.integers(min_value=0, max_value=40),
+    base=st.floats(min_value=1e-4, max_value=1.0),
+    cap=st.floats(min_value=1e-3, max_value=30.0),
+    multiplier=st.floats(min_value=1.0, max_value=4.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_jittered_delay_stays_within_the_backoff_envelope(
+    attempt, base, cap, multiplier, seed
+):
+    policy = RetryPolicy(
+        max_attempts=2,
+        base_delay=base,
+        multiplier=multiplier,
+        max_delay=cap,
+        jitter=True,
+    )
+    ceiling = min(cap, base * multiplier ** attempt)
+    delay = policy.delay(attempt, rng=random.Random(seed))
+    assert 0.0 <= delay <= ceiling
+
+
+@given(
+    attempt=st.integers(min_value=0, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_without_jitter_the_delay_is_the_ceiling(attempt, seed):
+    policy = RetryPolicy(
+        max_attempts=2, base_delay=0.05, multiplier=2.0, max_delay=2.0
+    )
+    ceiling = min(2.0, 0.05 * 2.0 ** attempt)
+    assert policy.delay(attempt) == ceiling
+    # A seeded rng is accepted but ignored without jitter.
+    assert policy.delay(attempt, rng=random.Random(seed)) == ceiling
+
+
+def test_seeded_jitter_is_reproducible():
+    policy = RetryPolicy(jitter=True)
+    a = [policy.delay(n, rng=random.Random(123)) for n in range(6)]
+    b = [policy.delay(n, rng=random.Random(123)) for n in range(6)]
+    assert a == b
