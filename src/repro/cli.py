@@ -24,6 +24,10 @@ The commands:
 - ``ha-soak`` — run a leader/standby pair under a cluster fault plan
   (``leader-kill``, ``replication-partition``, ``split-brain``) and
   assert the failover invariants (see ``docs/ha.md``);
+- ``fleet`` — run the asyncio wire plane end to end: a daemon with the
+  ``wire`` backend serving hundreds-to-thousands of UDP loopback
+  clients under seeded Gilbert loss, with a digest-pinned summary
+  (see ``docs/networking.md``);
 - ``bench-perf`` — run the hot-path micro-benchmarks and write a
   ``BENCH_perf.json`` document (see ``docs/performance.md``).
 """
@@ -82,7 +86,22 @@ def _build_parser():
     serve.add_argument("--alpha", type=float, default=0.20)
     serve.add_argument("--trace-file", default=None)
     serve.add_argument(
-        "--transport", choices=["direct", "sim", "udp"], default="sim"
+        "--transport",
+        choices=["direct", "sim", "udp", "wire"],
+        default="sim",
+    )
+    serve.add_argument(
+        "--bind",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="wire transport: the address the UDP server binds",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="wire transport: the UDP port (0 = ephemeral)",
     )
     serve.add_argument(
         "--interval-seconds",
@@ -271,6 +290,57 @@ def _build_parser():
         help="list the cluster fault plans and exit",
     )
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="drive a client fleet over real UDP loopback",
+    )
+    fleet.add_argument(
+        "--plan",
+        default="smoke",
+        help="named fleet plan (see --list-plans; docs/networking.md)",
+    )
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="override the plan's client count",
+    )
+    fleet.add_argument(
+        "--intervals",
+        type=int,
+        default=None,
+        help="override the plan's interval count",
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override the plan's worker-process count (0 = in-process)",
+    )
+    fleet.add_argument(
+        "--obs-file",
+        default=None,
+        metavar="PATH",
+        help="also write the event stream as JSONL (for obs-report)",
+    )
+    fleet.add_argument(
+        "--expect-digest",
+        default=None,
+        metavar="SHA256",
+        help="fail unless the run's fleet digest matches",
+    )
+    fleet.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the fleet result as JSON at the end",
+    )
+    fleet.add_argument(
+        "--list-plans",
+        action="store_true",
+        help="list every named fleet plan and exit",
+    )
+
     bench = sub.add_parser(
         "bench-perf", help="run the hot-path perf benchmarks"
     )
@@ -457,7 +527,13 @@ def _cmd_serve(args, out):
         ),
     )
     try:
-        backend = make_backend(args.transport, config, seed=args.seed + 1)
+        backend = make_backend(
+            args.transport,
+            config,
+            seed=args.seed + 1,
+            host=args.bind,
+            port=args.port,
+        )
         churn = make_driver(
             args.churn, alpha=args.alpha, trace_path=args.trace_file
         )
@@ -551,6 +627,8 @@ def _cmd_serve(args, out):
         if scrape is not None:
             scrape.stop()
         daemon.close()
+        if hasattr(backend, "close"):
+            backend.close()
         if bus is not None:
             bus.close()
     health = daemon.health()
@@ -727,6 +805,83 @@ def _cmd_ha_soak(args, out):
     return 0
 
 
+def _cmd_fleet(args, out):
+    import json
+
+    from repro.errors import WireError
+    from repro.wire.fleet import FLEET_PLANS, run_fleet
+
+    if args.list_plans:
+        for name, plan in FLEET_PLANS.items():
+            print("  %-22s %s" % (name, plan.description), file=out)
+        return 0
+    try:
+        result = run_fleet(
+            plan=args.plan,
+            seed=args.seed,
+            clients=args.clients,
+            intervals=args.intervals,
+            workers=args.workers,
+            obs_path=args.obs_file,
+            log=lambda line: print(line, file=out),
+        )
+    except WireError as error:
+        print("error: %s" % error, file=out)
+        return 2
+    print(
+        "fleet: %d client(s)%s, %d/%d interval(s)"
+        % (
+            result.clients,
+            " on %d workers" % result.workers if result.workers else "",
+            result.intervals_completed,
+            result.intervals_target,
+        ),
+        file=out,
+    )
+    for cohort in sorted(result.cohorts):
+        stats = result.cohorts[cohort]
+        print(
+            "  cohort %-5s %4d report(s): recovery p50/p90/p99 "
+            "%.1f/%.1f/%.1f ms, rounds %.2f, unicast %d, dropped %d"
+            % (
+                cohort,
+                stats["reports"],
+                stats["recovery_ms"]["p50"],
+                stats["recovery_ms"]["p90"],
+                stats["recovery_ms"]["p99"],
+                stats["rounds_mean"],
+                stats["unicast"],
+                stats["dropped"],
+            ),
+            file=out,
+        )
+    print("fleet digest: %s" % result.digest, file=out)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True),
+              file=out)
+    if args.obs_file:
+        print("wrote obs events to %s" % args.obs_file, file=out)
+    if args.expect_digest and args.expect_digest != result.digest:
+        print(
+            "digest mismatch: expected %s" % args.expect_digest, file=out
+        )
+        return 3
+    if result.failure is not None:
+        print("fleet: FAILED: %s" % result.failure, file=out)
+        return 1
+    if not result.ok:
+        failed = sorted(
+            name for name, passed in result.invariants.items() if not passed
+        )
+        print(
+            "fleet: invariant(s) violated: %s" % ", ".join(failed),
+            file=out,
+        )
+        return 1
+    print("fleet: all invariants green", file=out)
+    return 0
+
+
 def _cmd_bench_perf(args, out):
     import json
 
@@ -758,6 +913,7 @@ def main(argv=None, out=None):
         "obs-report": _cmd_obs_report,
         "chaos-soak": _cmd_chaos_soak,
         "ha-soak": _cmd_ha_soak,
+        "fleet": _cmd_fleet,
         "bench-perf": _cmd_bench_perf,
     }
     return handlers[args.command](args, out)

@@ -38,6 +38,11 @@ class GroupConfig:
     sending_interval_ms: float = 100.0
     max_multicast_rounds: int = 2
     deadline_rounds: int = 2
+    #: how long a server waits for NACKs after each multicast round —
+    #: shared by the loopback UDP endpoints and the asyncio wire plane
+    #: (where it caps the aggregation window; the window closes early
+    #: once every member has reported)
+    nack_window_seconds: float = 0.3
     loss: LossParameters = field(default_factory=LossParameters)
     crypto_seed: int = 0
     seed: int = 20010827
@@ -65,6 +70,7 @@ class GroupConfig:
             "max_multicast_rounds", self.max_multicast_rounds, integral=True
         )
         check_positive("deadline_rounds", self.deadline_rounds, integral=True)
+        check_positive("nack_window_seconds", self.nack_window_seconds)
         if self.fec_coder not in CODER_KINDS:
             raise ValueError(
                 "fec_coder must be one of %s, got %r"

@@ -57,6 +57,14 @@ class TransportError(ReproError):
     """Protocol-state violation inside the rekey transport simulation."""
 
 
+class WireError(ReproError):
+    """Invalid state or failed delivery on the asyncio UDP wire plane."""
+
+
+class WireDecodeError(WireError, PacketDecodeError):
+    """Raised while parsing a wire datagram that violates the framing."""
+
+
 class SimulationError(ReproError):
     """Invalid simulator state (event loop, loss process, topology)."""
 

@@ -30,8 +30,12 @@ from repro.transport.server import ServerTransport, UnicastPolicy
 from repro.transport.user import UserTransport
 from repro.util.rng import spawn_rng
 from repro.util.validation import check_non_negative, check_probability
+from repro.wire.codec import recv_buffer_size
 
-_BUFFER = 4096
+#: Protocol knobs shared with :class:`~repro.core.config.GroupConfig`;
+#: used when no config is handed in, and kept equal to its defaults.
+DEFAULT_MAX_MULTICAST_ROUNDS = 2
+DEFAULT_NACK_WINDOW_SECONDS = 0.3
 
 
 def _bind_udp():
@@ -68,6 +72,10 @@ class MemberEndpoint:
         self.socket = _bind_udp()
         self.socket.settimeout(0.05)
         self.address = self.socket.getsockname()
+        # Receive-buffer size follows the configured packet size — a
+        # PARITY packet for a large packet_size exceeds any fixed 4 KiB
+        # buffer and recvfrom would silently truncate it.
+        self._buffer = recv_buffer_size(message.packet_size)
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._receive_loop,
                                         daemon=True)
@@ -90,7 +98,7 @@ class MemberEndpoint:
     def _receive_loop(self):
         while not self._stop.is_set():
             try:
-                data, _ = self.socket.recvfrom(_BUFFER)
+                data, _ = self.socket.recvfrom(self._buffer)
             except socket.timeout:
                 continue
             except OSError:
@@ -129,10 +137,29 @@ class MemberEndpoint:
 
 
 class ServerEndpoint:
-    """The key server's socket + sender state machine."""
+    """The key server's socket + sender state machine.
 
-    def __init__(self, message, rho=1.0, max_multicast_rounds=2):
+    ``config`` (a :class:`~repro.core.config.GroupConfig`) supplies the
+    protocol knobs — ``max_multicast_rounds`` and the NACK window — so
+    loopback demos honour the same configuration as every other
+    transport; explicit arguments override it.
+    """
+
+    def __init__(
+        self, message, rho=1.0, max_multicast_rounds=None, config=None
+    ):
         self.message = message
+        if max_multicast_rounds is None:
+            max_multicast_rounds = (
+                config.max_multicast_rounds
+                if config is not None
+                else DEFAULT_MAX_MULTICAST_ROUNDS
+            )
+        self.nack_window_seconds = (
+            config.nack_window_seconds
+            if config is not None
+            else DEFAULT_NACK_WINDOW_SECONDS
+        )
         self.transport = ServerTransport(
             message,
             rho=rho,
@@ -144,6 +171,7 @@ class ServerEndpoint:
         self.socket = _bind_udp()
         self.socket.settimeout(0.05)
         self.address = self.socket.getsockname()
+        self._buffer = recv_buffer_size(message.packet_size)
         self.members = {}  # user_id -> address
         self.packets_sent = 0
 
@@ -169,13 +197,19 @@ class ServerEndpoint:
                 time.sleep(pace_seconds)
         return len(planned)
 
-    def collect_nacks(self, window_seconds=0.3):
-        """Drain NACKs from the socket for one round window."""
+    def collect_nacks(self, window_seconds=None):
+        """Drain NACKs from the socket for one round window.
+
+        The window defaults to the configured
+        ``GroupConfig.nack_window_seconds`` handed to the constructor.
+        """
+        if window_seconds is None:
+            window_seconds = self.nack_window_seconds
         nacks = []
         deadline = time.monotonic() + window_seconds
         while time.monotonic() < deadline:
             try:
-                data, _ = self.socket.recvfrom(_BUFFER)
+                data, _ = self.socket.recvfrom(self._buffer)
             except socket.timeout:
                 continue
             packet = decode_packet(data)
@@ -204,22 +238,33 @@ def run_udp_rekey(
     members_by_user_id=None,
     rho=1.0,
     drop_probability=0.15,
-    max_multicast_rounds=2,
-    nack_window_seconds=0.3,
+    max_multicast_rounds=None,
+    nack_window_seconds=None,
     settle_seconds=0.2,
     seed=0,
+    config=None,
 ):
     """Deliver one rekey message over loopback UDP; returns a report.
 
     ``members_by_user_id`` optionally maps user IDs to
     :class:`~repro.core.member.GroupMember` objects so the delivery also
     performs real key decryption.  Loss is injected receiver-side at
-    ``drop_probability`` (loopback never drops on its own).
+    ``drop_probability`` (loopback never drops on its own).  The round
+    budget and NACK window default from ``config`` (a
+    :class:`~repro.core.config.GroupConfig`) when one is given.
     """
     rng = spawn_rng(seed)
     server = ServerEndpoint(
-        message, rho=rho, max_multicast_rounds=max_multicast_rounds
+        message,
+        rho=rho,
+        max_multicast_rounds=max_multicast_rounds,
+        config=config,
     )
+    max_multicast_rounds = (
+        server.transport.unicast_policy.max_multicast_rounds
+    )
+    if nack_window_seconds is None:
+        nack_window_seconds = server.nack_window_seconds
     endpoints = []
     try:
         for user_id in sorted(message.needs_by_user):

@@ -97,11 +97,27 @@ HA_EVENT_KINDS = frozenset(
     }
 )
 
+#: Asyncio UDP wire-plane kinds (see docs/networking.md).
+WIRE_EVENT_KINDS = frozenset(
+    {
+        "wire_announce",           # announce barrier completed
+        "wire_round",              # one multicast round sent + aggregated
+        "wire_nack_window",        # the NACK aggregation window closed
+        "wire_unicast",            # unicast phase served the stragglers
+        "wire_member_recovered",   # one member reached key agreement
+        "wire_delivery_complete",  # one interval delivered over the wire
+        "wire_fleet_interval",     # fleet runner finished one interval
+        "wire_fleet_complete",     # fleet run summary
+        "wire_decode_error",       # undecodable datagram reached a socket
+    }
+)
+
 _REGISTRY = set(
     SESSION_EVENT_KINDS
     | SERVICE_EVENT_KINDS
     | CHAOS_EVENT_KINDS
     | HA_EVENT_KINDS
+    | WIRE_EVENT_KINDS
 )
 
 

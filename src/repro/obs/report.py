@@ -21,7 +21,12 @@ from __future__ import annotations
 
 import math
 
-from repro.obs.events import CHAOS_EVENT_KINDS, HA_EVENT_KINDS, read_events
+from repro.obs.events import (
+    CHAOS_EVENT_KINDS,
+    HA_EVENT_KINDS,
+    WIRE_EVENT_KINDS,
+    read_events,
+)
 
 #: Top-level children of daemon.interval: disjoint, so they sum.
 _TOP_SPANS = {
@@ -66,8 +71,14 @@ def summarize(events):
     fault_timeline = []
     ha_counts = {}
     failover_timeline = []
+    wire_counts = {}
+    wire_deliveries = []
     for event in events:
         kind = event["kind"]
+        if kind in WIRE_EVENT_KINDS:
+            wire_counts[kind] = wire_counts.get(kind, 0) + 1
+            if kind == "wire_delivery_complete":
+                wire_deliveries.append(dict(event["detail"]))
         if kind in HA_EVENT_KINDS:
             ha_counts[kind] = ha_counts.get(kind, 0) + 1
             failover_timeline.append(
@@ -128,9 +139,18 @@ def summarize(events):
         "fault_timeline": fault_timeline,
         "ha_counts": ha_counts,
         "failover_timeline": failover_timeline,
+        "wire_counts": wire_counts,
+        "wire_deliveries": wire_deliveries,
+        "wire_cohorts": _wire_cohorts(events) if wire_counts else {},
         "time_breakdown": breakdown,
         "span_totals": span_totals,
     }
+
+
+def _wire_cohorts(events):
+    from repro.wire.fleet import cohort_summary
+
+    return cohort_summary(events)
 
 
 def _fmt_ms(value):
@@ -181,6 +201,46 @@ def render_report(path):
                 "%s=%s" % (key, detail[key]) for key in sorted(detail)
             )
             lines.append("  %-22s %s" % (entry["kind"], rendered))
+    if summary["wire_counts"]:
+        deliveries = summary["wire_deliveries"]
+        lines += [
+            "",
+            "wire plane (wire_* events):",
+            "  %s"
+            % " ".join(
+                "%s=%d" % (kind, summary["wire_counts"][kind])
+                for kind in sorted(summary["wire_counts"])
+            ),
+        ]
+        if deliveries:
+            lines.append(
+                "  deliveries          %d (rounds %s, unicast total %d, "
+                "dropped total %d)"
+                % (
+                    len(deliveries),
+                    " ".join(
+                        str(d.get("rounds", "?")) for d in deliveries
+                    ),
+                    sum(d.get("unicast_served", 0) for d in deliveries),
+                    sum(d.get("dropped", 0) for d in deliveries),
+                )
+            )
+        for cohort in sorted(summary["wire_cohorts"]):
+            stats = summary["wire_cohorts"][cohort]
+            lines.append(
+                "  cohort %-5s %5d report(s): recovery p50/p90/p99 "
+                "%.1f/%.1f/%.1f ms, rounds %.2f, unicast %d, dropped %d"
+                % (
+                    cohort,
+                    stats["reports"],
+                    stats["recovery_ms"]["p50"],
+                    stats["recovery_ms"]["p90"],
+                    stats["recovery_ms"]["p99"],
+                    stats["rounds_mean"],
+                    stats["unicast"],
+                    stats["dropped"],
+                )
+            )
     if summary["fault_counts"]:
         lines += [
             "",

@@ -41,6 +41,8 @@ SCALE_PARAMS = {
         "assignment_reps": 10,
         "fleet_reps": 3,
         "daemon_pairs": 3,
+        "wire_clients": 64,
+        "wire_pairs": 2,
     },
     "full": {
         "n_users": 4096,
@@ -50,6 +52,8 @@ SCALE_PARAMS = {
         "assignment_reps": 20,
         "fleet_reps": 5,
         "daemon_pairs": 5,
+        "wire_clients": 256,
+        "wire_pairs": 3,
     },
 }
 
@@ -372,6 +376,70 @@ def bench_daemon_obs(p):
     )
 
 
+def _make_wire_daemon(n_clients, seed):
+    from repro.core.config import GroupConfig
+    from repro.service import (
+        DaemonConfig,
+        RekeyDaemon,
+        make_backend,
+        make_driver,
+    )
+
+    config = GroupConfig(block_size=5, seed=seed)
+    backend = make_backend("wire", config, seed=seed + 1)
+    churn = make_driver("poisson", alpha=0.15)
+    daemon = RekeyDaemon.start_new(
+        ["w%05d" % i for i in range(n_clients)],
+        config=config,
+        backend=backend,
+        churn=churn,
+        service=DaemonConfig(verify_invariants=False),
+        seed=seed,
+    )
+    return daemon, backend
+
+
+def bench_wire_fleet(p):
+    """Real-UDP interval cost: N asyncio clients vs 4N (scaling pair).
+
+    Both sides run a daemon whose delivery backend is the asyncio wire
+    plane over loopback UDP; one interval multicasts a rekey message to
+    every client and aggregates its NACK feedback.  The roles are a
+    *scaling* pair rather than fast/reference implementations: "fast"
+    drives ``wire_clients`` members and "reference" four times as many,
+    so the recorded "speedup" is the cost multiplier of quadrupling the
+    fan-out (linear scaling would read 4x; large regressions in the
+    per-client hot path move it).  The warmup pair is essential here: it
+    pays the one-off client registration barrier outside the timings.
+    """
+    fast_daemon, fast_backend = _make_wire_daemon(p["wire_clients"], 31)
+    slow_daemon, slow_backend = _make_wire_daemon(
+        p["wire_clients"] * 4, 37
+    )
+    try:
+        fast, slow = _interleaved(
+            fast_daemon.run_interval,
+            slow_daemon.run_interval,
+            p["wire_pairs"],
+            warmup=1,
+        )
+    finally:
+        for daemon, backend in (
+            (fast_daemon, fast_backend),
+            (slow_daemon, slow_backend),
+        ):
+            daemon.close()
+            backend.close()
+    return _paired(
+        fast,
+        slow,
+        {
+            "clients_fast": p["wire_clients"],
+            "clients_reference": p["wire_clients"] * 4,
+        },
+    )
+
+
 # -- suite --------------------------------------------------------------
 
 BENCHMARKS = (
@@ -382,6 +450,7 @@ BENCHMARKS = (
     ("fleet_interval", bench_fleet_interval),
     ("daemon_interval", bench_daemon_interval),
     ("daemon_obs", bench_daemon_obs),
+    ("wire_fleet", bench_wire_fleet),
 )
 
 

@@ -270,8 +270,9 @@ class UdpDelivery(DeliveryBackend):
         )
 
 
-def make_backend(kind, config, seed=None, drop_probability=0.15):
-    """CLI-facing factory: ``direct`` / ``sim`` / ``udp``."""
+def make_backend(kind, config, seed=None, drop_probability=0.15,
+                 host="127.0.0.1", port=0, workers=0):
+    """CLI-facing factory: ``direct`` / ``sim`` / ``udp`` / ``wire``."""
     if kind == "direct":
         return DirectDelivery()
     if kind == "sim":
@@ -279,5 +280,13 @@ def make_backend(kind, config, seed=None, drop_probability=0.15):
     if kind == "udp":
         return UdpDelivery(
             config, drop_probability=drop_probability, seed=seed
+        )
+    if kind == "wire":
+        # Imported lazily: the wire plane pulls in asyncio machinery the
+        # simulated backends never need.
+        from repro.wire.delivery import WireDelivery
+
+        return WireDelivery(
+            config, seed=seed, host=host, port=port, workers=workers
         )
     raise ServiceError("unknown transport backend %r" % (kind,))

@@ -1,0 +1,66 @@
+"""The asyncio UDP wire plane: real sockets, deterministic runs.
+
+Where :mod:`repro.net` proves the wire formats are deployable with a
+thread per member, this package scales the same protocol to a
+thousand-client fleet on one asyncio event loop (or sharded over worker
+processes) and keeps every run a pure function of its seed:
+
+- :mod:`repro.wire.codec` — datagram framing around the protocol's own
+  packet bytes (:mod:`repro.rekey.packets`);
+- :mod:`repro.wire.loss` — receiver-side Gilbert loss sampled at the
+  frame's *slot* (virtual time), so injected loss ignores scheduling;
+- :mod:`repro.wire.client` / :mod:`repro.wire.server` — the asyncio
+  endpoints running the transport state machines;
+- :mod:`repro.wire.delivery` — the daemon's ``wire`` delivery backend;
+- :mod:`repro.wire.worker` — multiprocessing client shards;
+- :mod:`repro.wire.fleet` — the digest-pinned fleet runner behind
+  ``python -m repro fleet``.
+"""
+
+from repro.wire.client import WireClient
+from repro.wire.codec import (
+    WIRE_HEADER_SIZE,
+    FrameKind,
+    decode_frame,
+    encode_frame,
+    max_datagram_size,
+    recv_buffer_size,
+)
+from repro.wire.delivery import WireDelivery, WireFleet
+from repro.wire.fleet import (
+    FLEET_PLANS,
+    FleetPlan,
+    FleetResult,
+    fleet_digest,
+    run_fleet,
+)
+from repro.wire.loss import MemberLoss, cohort_of
+from repro.wire.server import (
+    AggregationWindow,
+    Participant,
+    WireOutcome,
+    WireServer,
+)
+
+__all__ = [
+    "AggregationWindow",
+    "FLEET_PLANS",
+    "FleetPlan",
+    "FleetResult",
+    "FrameKind",
+    "MemberLoss",
+    "Participant",
+    "WIRE_HEADER_SIZE",
+    "WireClient",
+    "WireDelivery",
+    "WireFleet",
+    "WireOutcome",
+    "WireServer",
+    "cohort_of",
+    "decode_frame",
+    "encode_frame",
+    "fleet_digest",
+    "max_datagram_size",
+    "recv_buffer_size",
+    "run_fleet",
+]

@@ -1,0 +1,376 @@
+"""Asyncio client side of the wire plane.
+
+One :class:`WireClient` per group member: an ephemeral UDP socket
+connected to the server, a registration loop that retries until the
+server has the address, and per-interval receiver state driven by the
+frames defined in :mod:`repro.wire.codec`.
+
+The receive path mirrors the simulated user exactly — every ``DATA``
+frame feeds the same :class:`~repro.transport.user.UserTransport` state
+machine, and recovered encryptions are absorbed into a real
+:class:`~repro.core.member.GroupMember` so key agreement is checked on
+actual decrypted keys, not on simulator bookkeeping.
+
+Determinism over real sockets rests on three rules:
+
+- injected loss applies only to multicast ``DATA`` frames and is decided
+  by the frame's ``slot`` (virtual time), never by arrival time;
+- ``end_of_round`` runs exactly once per round; the resulting feedback
+  is cached and *resent verbatim* when the server retries a
+  ``ROUND_END`` (a feedback datagram the kernel dropped costs latency,
+  never a different NACK);
+- control frames (``ANNOUNCE``/``ROUND_END``/``FEEDBACK``/``REGISTER``)
+  and unicast USR frames bypass injected loss entirely, so the protocol
+  converges on every seed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.errors import WireDecodeError, WireError
+from repro.rekey.packets import (
+    FEC_PAYLOAD_OFFSET,
+    PacketType,
+    decode_packet,
+)
+from repro.transport.user import UserTransport
+from repro.wire.codec import (
+    NO_FINGERPRINT,
+    UNICAST_ROUND,
+    Feedback,
+    FrameKind,
+    decode_announce,
+    decode_frame,
+    encode_feedback,
+    encode_frame,
+    encode_register,
+    kernel_buffer_size,
+    request_kernel_buffers,
+)
+from repro.wire.loss import MemberLoss
+
+#: How often an unacknowledged REGISTER is resent.
+REGISTER_RETRY_SECONDS = 0.05
+
+#: Datagram burst a client socket is sized for: one whole multicast
+#: round arriving before the event loop gets back to this client.  The
+#: packet-size ceiling is deliberately generous — the client learns the
+#: real size only from traffic, after its socket already exists.
+DATA_FAN_IN = 256
+PACKET_SIZE_CEILING = 2048
+
+
+class _Session:
+    """One interval's receiver state on the client."""
+
+    __slots__ = (
+        "interval",
+        "announce",
+        "served",
+        "transport",
+        "loss",
+        "started_at",
+        "absorbed",
+        "latency_ms",
+        "feedback_cache",
+        "announce_ack",
+        "unicast_ack",
+    )
+
+    def __init__(self, interval, announce, served):
+        self.interval = interval
+        self.announce = announce
+        self.served = served
+        self.transport = None
+        self.loss = None
+        self.started_at = time.monotonic()
+        self.absorbed = False
+        self.latency_ms = 0.0
+        #: encoded FEEDBACK datagram per completed round, 1-based
+        self.feedback_cache = {}
+        self.announce_ack = None
+        self.unicast_ack = None
+
+    @property
+    def done(self):
+        if not self.served:
+            return True
+        return self.transport.done
+
+    @property
+    def rounds_reported(self):
+        return len(self.feedback_cache)
+
+
+class _ClientProtocol(asyncio.DatagramProtocol):
+    def __init__(self, client):
+        self.client = client
+        self.transport = None
+
+    def connection_made(self, transport):
+        self.transport = transport
+
+    def datagram_received(self, data, addr):
+        self.client._on_datagram(data)
+
+    def error_received(self, exc):  # pragma: no cover - platform noise
+        self.client.errors.append("socket error: %r" % (exc,))
+
+
+class WireClient:
+    """One member's endpoint on the wire plane.
+
+    ``member`` is the member's real :class:`GroupMember` key state — the
+    fleet's own object when the client runs in-process, a reconstructed
+    shadow in a worker process.  ``member_index`` is the member's stable
+    fleet index: it addresses the client at the server and seeds the
+    member's loss chains, so it must never be reused for a different
+    member within one fleet run.
+    """
+
+    def __init__(
+        self,
+        name,
+        member_index,
+        member,
+        server_address,
+        loss_params,
+        seed,
+        spacing_seconds,
+    ):
+        self.name = name
+        self.member_index = int(member_index)
+        self.member = member
+        self.server_address = server_address
+        self.loss_params = loss_params
+        self.seed = int(seed)
+        self.spacing_seconds = float(spacing_seconds)
+        self.errors = []
+        self.frames_received = 0
+        self.data_dropped = 0
+        self._session = None
+        self._transport = None
+        self._registered = None  # asyncio.Event, created on start
+        self._register_task = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self):
+        loop = asyncio.get_running_loop()
+        self._registered = asyncio.Event()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _ClientProtocol(self),
+            remote_addr=self.server_address,
+        )
+        request_kernel_buffers(
+            self._transport,
+            kernel_buffer_size(PACKET_SIZE_CEILING, DATA_FAN_IN),
+        )
+        self._register_task = loop.create_task(self._register_loop())
+        return self
+
+    async def close(self):
+        if self._register_task is not None:
+            self._register_task.cancel()
+            try:
+                await self._register_task
+            except asyncio.CancelledError:
+                pass
+            self._register_task = None
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    async def _register_loop(self):
+        """Announce our address until the server acknowledges it."""
+        payload = encode_register(self.member_index, self.member.user_id)
+        frame = encode_frame(FrameKind.REGISTER, 0, payload=payload)
+        while not self._registered.is_set():
+            self._send(frame)
+            try:
+                await asyncio.wait_for(
+                    self._registered.wait(), REGISTER_RETRY_SECONDS
+                )
+            except asyncio.TimeoutError:
+                continue
+
+    def _send(self, wire):
+        if self._transport is not None:
+            self._transport.sendto(wire)
+
+    # -- receive path ------------------------------------------------------
+
+    def _on_datagram(self, data):
+        if self._registered is not None:
+            self._registered.set()
+        try:
+            frame = decode_frame(data)
+            self.frames_received += 1
+            if frame.kind is FrameKind.ANNOUNCE:
+                self._on_announce(frame)
+            elif frame.kind is FrameKind.DATA:
+                self._on_data(frame)
+            elif frame.kind is FrameKind.ROUND_END:
+                self._on_round_end(frame)
+            elif frame.kind is FrameKind.REGISTER:
+                pass  # the server's registration ack
+            else:
+                raise WireError(
+                    "client received server-bound frame %s" % frame.kind
+                )
+        except WireDecodeError as exc:
+            # Garbage must not kill the endpoint, but it is not silent.
+            self.errors.append("undecodable datagram: %s" % exc)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the runner
+            self.errors.append("%s: %s" % (type(exc).__name__, exc))
+
+    def _on_announce(self, frame):
+        session = self._session
+        if session is not None and frame.interval < session.interval:
+            return  # stale interval straggler
+        if session is not None and frame.interval == session.interval:
+            self._send(session.announce_ack)  # ack was lost: resend
+            return
+        announce = decode_announce(frame.payload)
+        served = frame.slot == 1
+        session = _Session(frame.interval, announce, served)
+        # Theorem 4.2: re-derive our ID before interpreting coverage.
+        self.member.absorb_encryptions([], max_kid=announce.max_kid)
+        if served:
+            session.transport = UserTransport(
+                self.member.user_id,
+                k=announce.k,
+                degree=announce.degree,
+                n_blocks=announce.n_blocks,
+                message_id=announce.message_id,
+            )
+            session.loss = MemberLoss(
+                self.loss_params,
+                self.member_index,
+                frame.interval,
+                self.seed,
+                self.spacing_seconds,
+            )
+        self._session = session
+        session.announce_ack = self._feedback_frame(round_no=0)
+        self._send(session.announce_ack)
+
+    def _on_data(self, frame):
+        session = self._session
+        if session is None or frame.interval != session.interval:
+            return
+        if not session.served:
+            return
+        if frame.round_no == UNICAST_ROUND:
+            self._on_unicast(frame)
+            return
+        if session.done:
+            return
+        if session.loss.lost(frame.slot):
+            self.data_dropped += 1
+            return
+        packet = decode_packet(frame.payload)
+        if packet.packet_type is PacketType.ENC:
+            session.transport.on_enc(
+                packet, frame.payload[FEC_PAYLOAD_OFFSET:]
+            )
+        elif packet.packet_type is PacketType.PARITY:
+            session.transport.on_parity(packet)
+        else:
+            raise WireError(
+                "multicast DATA frame carried %s" % packet.packet_type
+            )
+        self._after_progress(session)
+
+    def _on_unicast(self, frame):
+        """A USR frame: immediate success, acked until the server stops."""
+        session = self._session
+        if not session.done:
+            packet = decode_packet(frame.payload)
+            if packet.packet_type is not PacketType.USR:
+                raise WireError(
+                    "unicast frame carried %s" % packet.packet_type
+                )
+            session.transport.on_usr(packet)
+            self._after_progress(session)
+        if session.unicast_ack is None:
+            session.unicast_ack = self._feedback_frame(
+                round_no=UNICAST_ROUND
+            )
+        self._send(session.unicast_ack)
+
+    def _on_round_end(self, frame):
+        session = self._session
+        if session is None or frame.interval != session.interval:
+            return
+        round_no = frame.round_no
+        if round_no < 1 or round_no == UNICAST_ROUND:
+            return
+        cached = session.feedback_cache.get(round_no)
+        if cached is not None:
+            self._send(cached)  # server retry: identical bytes
+            return
+        # Rounds close strictly in order; the server never starts round
+        # r+1 before every member reported round r, so at most the
+        # current round is missing from the cache.
+        while session.rounds_reported < round_no:
+            next_round = session.rounds_reported + 1
+            nack = None
+            if session.served and not session.done:
+                nack = session.transport.end_of_round()
+                self._after_progress(session)
+            elif session.served:
+                # Keep the round counter honest while already done.
+                session.transport.end_of_round()
+            wire = self._feedback_frame(round_no=next_round, nack=nack)
+            session.feedback_cache[next_round] = wire
+        self._send(session.feedback_cache[round_no])
+
+    # -- helpers -----------------------------------------------------------
+
+    def _after_progress(self, session):
+        """Absorb keys and stamp the latency the moment recovery lands."""
+        if not session.served or session.absorbed:
+            return
+        if not session.transport.done:
+            return
+        session.latency_ms = (
+            time.monotonic() - session.started_at
+        ) * 1000.0
+        self.member.absorb_encryptions(
+            session.transport.recovered_encryptions,
+            max_kid=session.announce.max_kid,
+        )
+        session.absorbed = True
+
+    def _feedback_frame(self, round_no, nack=None):
+        session = self._session
+        transport = session.transport
+        recovery = 0
+        if session.served and transport.recovery_round is not None:
+            recovery = transport.recovery_round
+        key = self.member.group_key
+        fingerprint = NO_FINGERPRINT
+        if key is not None and (not session.served or session.absorbed):
+            fingerprint = key.fingerprint()
+        feedback = Feedback(
+            member_index=self.member_index,
+            user_id=self.member.user_id,
+            done=session.done,
+            recovery_round=recovery,
+            dropped=session.loss.dropped if session.loss else 0,
+            fingerprint=fingerprint,
+            latency_ms=session.latency_ms,
+            nack=nack,
+        )
+        return encode_frame(
+            FrameKind.FEEDBACK,
+            session.interval,
+            round_no=round_no,
+            payload=encode_feedback(feedback),
+        )
+
+    def __repr__(self):
+        return "WireClient(%r, index=%d)" % (self.name, self.member_index)

@@ -1,0 +1,346 @@
+"""Datagram framing for the asyncio UDP wire plane.
+
+Every wire datagram is one *frame*: a fixed 10-byte versioned header
+followed by a kind-specific payload.  The header carries the delivery
+coordinates a receiver needs before it can interpret anything else::
+
+    >BBBIBH   magic, version, kind, interval, round, slot
+
+- ``interval`` — the daemon's rekey-interval number, so a late datagram
+  from a previous interval can never poison the current session;
+- ``round`` — the multicast round (1-based; 0 = the announce phase,
+  :data:`UNICAST_ROUND` = the unicast phase), stamped on ``ROUND_END``
+  and ``FEEDBACK`` so retransmitted round boundaries deduplicate;
+- ``slot`` — the datagram's send index within the interval's multicast
+  phase.  Receivers sample their Gilbert loss chain at *virtual* time
+  ``slot * sending_interval`` (see :mod:`repro.wire.loss`), which makes
+  injected loss a pure function of ``(seed, member, interval, slot)``
+  rather than of wall-clock arrival — the whole fleet run stays
+  deterministic even though real sockets deliver with real timing.
+
+``DATA`` frames wrap the protocol's own wire bytes unchanged
+(:mod:`repro.rekey.packets` — ENC/PARITY/USR from the server, NACKs ride
+inside ``FEEDBACK`` frames so the aggregation window can close early).
+The control frames (``ANNOUNCE``/``ROUND_END``/``FEEDBACK``/
+``REGISTER``) are this module's own small structs.
+
+The receive-buffer arithmetic lives here too so the thread-based
+loopback endpoints (:mod:`repro.net.endpoints`) and the asyncio plane
+size their buffers from one shared rule instead of a hardcoded 4 KiB.
+"""
+
+from __future__ import annotations
+
+import enum
+import socket
+import struct
+from dataclasses import dataclass
+
+from repro.errors import WireDecodeError, WireError
+from repro.rekey.packets import NackPacket
+
+#: First header byte of every wire datagram.
+WIRE_MAGIC = 0xC3
+
+#: Framing version; bumped only for incompatible layout changes.
+WIRE_VERSION = 1
+
+_HEADER = struct.Struct(">BBBIBH")
+
+#: Size of the fixed frame header, in bytes.
+WIRE_HEADER_SIZE = _HEADER.size
+
+#: ``round`` value stamped on unicast-phase frames (rounds are 1-based
+#: and bounded by the deadline, so 255 can never be a multicast round).
+UNICAST_ROUND = 0xFF
+
+_ANNOUNCE = struct.Struct(">BBHHB")
+_FEEDBACK = struct.Struct(">IHBBH6sf")
+_REGISTER = struct.Struct(">IH")
+
+#: Fingerprint placeholder sent while a member has not recovered yet.
+NO_FINGERPRINT = "000000000000"
+
+
+class FrameKind(enum.IntEnum):
+    """The 1-byte frame kind in every wire header."""
+
+    DATA = 0       # payload = one repro.rekey.packets wire packet
+    ANNOUNCE = 1   # server -> client: rekey-message metadata
+    ROUND_END = 2  # server -> client: the round's send phase is over
+    FEEDBACK = 3   # client -> server: status (+ optional NACK bytes)
+    REGISTER = 4   # client -> server: here is my address
+
+
+@dataclass(frozen=True)
+class WireFrame:
+    """One decoded datagram: header fields + raw payload bytes."""
+
+    kind: FrameKind
+    interval: int
+    round_no: int
+    slot: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class Announce:
+    """The ``ANNOUNCE`` payload: what a client needs to build its
+    :class:`~repro.transport.user.UserTransport` for one message."""
+
+    message_id: int
+    k: int
+    n_blocks: int
+    max_kid: int
+    degree: int
+
+
+@dataclass(frozen=True)
+class Feedback:
+    """The ``FEEDBACK`` payload: one member's round (or phase) report.
+
+    ``dropped`` counts the datagrams the member's injected loss chain
+    discarded so far this interval — the server aggregates it into the
+    per-cohort drop counts without a second exchange.  ``nack`` is the
+    member's :class:`~repro.rekey.packets.NackPacket` for the round, or
+    ``None`` when it has nothing (or nothing left) to request.
+    """
+
+    member_index: int
+    user_id: int
+    done: bool
+    recovery_round: int
+    dropped: int
+    fingerprint: str
+    latency_ms: float
+    nack: object = None
+
+
+@dataclass(frozen=True)
+class Register:
+    """The ``REGISTER`` payload: a client binding its stable index."""
+
+    member_index: int
+    user_id: int
+
+
+def encode_frame(kind, interval, round_no=0, slot=0, payload=b""):
+    """Serialise one frame; validates the header ranges."""
+    if not 0 <= interval <= 0xFFFFFFFF:
+        raise WireError("interval %r does not fit in 32 bits" % (interval,))
+    if not 0 <= round_no <= 0xFF:
+        raise WireError("round %r does not fit in 8 bits" % (round_no,))
+    if not 0 <= slot <= 0xFFFF:
+        raise WireError("slot %r does not fit in 16 bits" % (slot,))
+    return (
+        _HEADER.pack(
+            WIRE_MAGIC,
+            WIRE_VERSION,
+            int(FrameKind(kind)),
+            interval,
+            round_no,
+            slot,
+        )
+        + payload
+    )
+
+
+def decode_frame(data):
+    """Parse one datagram into a :class:`WireFrame`.
+
+    Rejects short datagrams, wrong magic, unsupported versions and
+    unknown kinds with :class:`~repro.errors.WireDecodeError` — garbage
+    on the socket must never reach the protocol state machines.
+    """
+    if len(data) < WIRE_HEADER_SIZE:
+        raise WireDecodeError(
+            "datagram of %d bytes is shorter than the %d-byte header"
+            % (len(data), WIRE_HEADER_SIZE)
+        )
+    magic, version, kind, interval, round_no, slot = _HEADER.unpack(
+        data[:WIRE_HEADER_SIZE]
+    )
+    if magic != WIRE_MAGIC:
+        raise WireDecodeError("bad magic 0x%02X" % magic)
+    if version != WIRE_VERSION:
+        raise WireDecodeError(
+            "unsupported wire version %d (speak %d)" % (version, WIRE_VERSION)
+        )
+    try:
+        kind = FrameKind(kind)
+    except ValueError:
+        raise WireDecodeError("unknown frame kind %d" % kind)
+    return WireFrame(
+        kind=kind,
+        interval=interval,
+        round_no=round_no,
+        slot=slot,
+        payload=bytes(data[WIRE_HEADER_SIZE:]),
+    )
+
+
+# -- control payloads ---------------------------------------------------
+
+
+def encode_announce(message, degree):
+    """The ``ANNOUNCE`` payload for one rekey message."""
+    if message.k > 0xFF:
+        raise WireError("block size %d does not fit in 8 bits" % message.k)
+    return _ANNOUNCE.pack(
+        message.message_id,
+        message.k,
+        message.n_blocks,
+        message.max_kid,
+        int(degree),
+    )
+
+
+def decode_announce(payload):
+    if len(payload) != _ANNOUNCE.size:
+        raise WireDecodeError(
+            "ANNOUNCE payload must be %d bytes, got %d"
+            % (_ANNOUNCE.size, len(payload))
+        )
+    message_id, k, n_blocks, max_kid, degree = _ANNOUNCE.unpack(payload)
+    if k < 1 or n_blocks < 1 or degree < 2:
+        raise WireDecodeError("ANNOUNCE with degenerate geometry")
+    return Announce(
+        message_id=message_id,
+        k=k,
+        n_blocks=n_blocks,
+        max_kid=max_kid,
+        degree=degree,
+    )
+
+
+def encode_feedback(feedback):
+    """The ``FEEDBACK`` payload (fixed struct + optional NACK bytes)."""
+    try:
+        fingerprint = bytes.fromhex(feedback.fingerprint)
+    except ValueError:
+        raise WireError(
+            "fingerprint %r is not hex" % (feedback.fingerprint,)
+        )
+    if len(fingerprint) != 6:
+        raise WireError("fingerprint must be 6 bytes of hex")
+    fixed = _FEEDBACK.pack(
+        feedback.member_index,
+        feedback.user_id,
+        1 if feedback.done else 0,
+        feedback.recovery_round,
+        min(feedback.dropped, 0xFFFF),
+        fingerprint,
+        float(feedback.latency_ms),
+    )
+    if feedback.nack is None:
+        return fixed
+    return fixed + feedback.nack.encode()
+
+
+def decode_feedback(payload):
+    if len(payload) < _FEEDBACK.size:
+        raise WireDecodeError(
+            "FEEDBACK payload must be at least %d bytes, got %d"
+            % (_FEEDBACK.size, len(payload))
+        )
+    (
+        member_index,
+        user_id,
+        done,
+        recovery_round,
+        dropped,
+        fingerprint,
+        latency_ms,
+    ) = _FEEDBACK.unpack(payload[: _FEEDBACK.size])
+    nack = None
+    tail = payload[_FEEDBACK.size :]
+    if tail:
+        nack = NackPacket.decode(tail)
+    return Feedback(
+        member_index=member_index,
+        user_id=user_id,
+        done=bool(done),
+        recovery_round=recovery_round,
+        dropped=dropped,
+        fingerprint=fingerprint.hex(),
+        latency_ms=latency_ms,
+        nack=nack,
+    )
+
+
+def encode_register(member_index, user_id):
+    return _REGISTER.pack(member_index, user_id)
+
+
+def decode_register(payload):
+    if len(payload) != _REGISTER.size:
+        raise WireDecodeError(
+            "REGISTER payload must be %d bytes, got %d"
+            % (_REGISTER.size, len(payload))
+        )
+    member_index, user_id = _REGISTER.unpack(payload)
+    return Register(member_index=member_index, user_id=user_id)
+
+
+# -- buffer sizing ------------------------------------------------------
+
+
+def max_datagram_size(packet_size):
+    """The largest wire datagram a configuration can produce.
+
+    ENC packets encode to exactly ``packet_size`` bytes and PARITY
+    packets to the same total (3 header bytes + a payload of
+    ``packet_size - 3``); USR, NACK and the control payloads are all
+    smaller.  A framed datagram therefore never exceeds the header plus
+    ``packet_size``.
+    """
+    return WIRE_HEADER_SIZE + int(packet_size)
+
+
+def recv_buffer_size(packet_size):
+    """Receive-buffer size for sockets carrying protocol datagrams.
+
+    Sized from the *configured* packet size — ``recvfrom`` silently
+    truncates anything larger than its buffer, so a hardcoded constant
+    corrupts PARITY packets as soon as ``packet_size`` outgrows it.  The
+    result is rounded up to a 1 KiB multiple (with slack for the frame
+    header) and never below 2 KiB.
+    """
+    needed = max_datagram_size(packet_size) + 64
+    return max(2048, -(-needed // 1024) * 1024)
+
+
+def kernel_buffer_size(packet_size, fan_in):
+    """``SO_RCVBUF``/``SO_SNDBUF`` request for a wire-plane socket.
+
+    ``fan_in`` is the worst-case number of peers whose datagrams can
+    land in one burst before the event loop drains the socket: the
+    fleet size for the server (every client answers ROUND_END at once),
+    the per-round packet budget for a client.  The kernel charges each
+    queued datagram its skb overhead — far more than the payload for
+    small frames — so the estimate budgets a full KiB per datagram and
+    doubles it for headroom.  The kernel silently clamps the request to
+    ``net.core.{r,w}mem_max``; an undersized buffer only costs retries,
+    never correctness, because every control exchange is retried
+    against cached state.
+    """
+    per_datagram = max(1024, max_datagram_size(packet_size))
+    return max(1 << 18, 2 * per_datagram * max(1, int(fan_in)))
+
+
+def request_kernel_buffers(transport, size):
+    """Best-effort ``SO_RCVBUF``/``SO_SNDBUF`` request on a datagram
+    transport (asyncio's, or anything with ``get_extra_info``).
+
+    The kernel clamps to ``net.core.{r,w}mem_max`` and some platforms
+    refuse the option entirely; both are fine — the protocol survives
+    kernel drops by retrying, buffers only trim the latency tail.
+    """
+    sock = transport.get_extra_info("socket")
+    if sock is None:  # pragma: no cover - non-socket transports
+        return
+    for option in (socket.SO_RCVBUF, socket.SO_SNDBUF):
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, option, int(size))
+        except OSError:  # pragma: no cover - platform refusal
+            pass

@@ -1,0 +1,456 @@
+"""The ``wire`` delivery backend: the daemon's bridge onto real UDP.
+
+:class:`WireDelivery` plugs the asyncio wire plane into the synchronous
+:class:`~repro.service.daemon.RekeyDaemon` pipeline behind the same
+``deliver()`` interface as the simulated and loopback-thread backends.
+It owns a dedicated event-loop thread running one :class:`WireServer`
+and — in the default in-process mode — every member's
+:class:`WireClient`; each ``deliver()`` call is bridged with
+``run_coroutine_threadsafe`` and blocks until the interval has been
+served over the sockets.
+
+Two properties the simulated backends cannot offer:
+
+- **real AdjustRho input**: the wire feedback carries each NACK's
+  per-block parity shortfalls, so the cross-interval
+  :class:`~repro.transport.adaptive.ProactivityController` is driven
+  with the paper's actual ``A`` vector instead of the ``[1] * nacks``
+  approximation documented in :mod:`repro.service.transports`;
+- **real recovery rounds**: every member reports the round its keys
+  actually arrived in over the socket, so the daemon's
+  ``recovery_latency_rounds`` histogram measures the wire, not
+  simulator bookkeeping.
+
+With ``workers > 0`` the clients run in spawned worker processes
+instead (:mod:`repro.wire.worker`); the daemon-side fleet must then be a
+:class:`WireFleet`, whose agreement oracle is the key fingerprints the
+members reported over the wire — their real key state lives in the
+workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.errors import ServiceError, WireError
+from repro.service.members import MemberFleet
+from repro.service.transports import (
+    IN_DEADLINE,
+    UNICAST_CUTOVER,
+    DeliveryBackend,
+    DeliveryReport,
+)
+from repro.transport.adaptive import ProactivityController
+from repro.util.rng import RandomSource
+from repro.wire.client import WireClient
+from repro.wire.loss import cohort_of
+from repro.wire.server import Participant, WireServer
+
+#: Per-fan-out pacing used automatically in worker mode, where the
+#: receiving sockets drain in other processes: bounds the burst a client
+#: socket must buffer so kernel drops never pollute the seeded loss.
+WORKER_PACE_SECONDS = 0.0005
+
+#: Ceiling on one bridged delivery (covers MAX_WINDOW_TRIES worst case).
+DELIVER_TIMEOUT_SECONDS = 300.0
+
+
+class WireFleet(MemberFleet):
+    """A fleet whose agreement oracle is wire-reported fingerprints.
+
+    In worker mode the members' real key state lives in other processes;
+    the daemon-side :class:`GroupMember` objects stop absorbing keys
+    after registration.  This fleet therefore checks the two security
+    invariants against the group-key fingerprints the members *reported
+    over the wire* (12 hex chars of BLAKE2b, same as
+    ``SymmetricKey.fingerprint``) — which is also how a real operator
+    would audit agreement across remote members.
+    """
+
+    def __init__(self):
+        super().__init__()
+        #: name -> last group-key fingerprint the member reported (or
+        #: held at registration, which the registration channel knows)
+        self.wire_fingerprints = {}
+        self.former_fingerprints = {}
+
+    def register(self, server, name):
+        member = super().register(server, name)
+        self.wire_fingerprints[name] = server.group_key.fingerprint()
+        self.former_fingerprints.pop(name, None)
+        return member
+
+    def evict(self, name):
+        super().evict(name)
+        fingerprint = self.wire_fingerprints.pop(name, None)
+        if fingerprint is not None:
+            self.former_fingerprints[name] = fingerprint
+
+    def note_fingerprint(self, name, fingerprint):
+        """Record a member's wire-reported group-key fingerprint."""
+        if name in self.wire_fingerprints:
+            self.wire_fingerprints[name] = fingerprint
+
+    def out_of_sync(self, server):
+        expected = server.group_key.fingerprint()
+        return sorted(
+            name
+            for name, fingerprint in self.wire_fingerprints.items()
+            if fingerprint != expected
+        )
+
+    def check_agreement(self, server, exclude=()):
+        excluded = set(exclude)
+        stale = [n for n in self.out_of_sync(server) if n not in excluded]
+        if stale:
+            raise ServiceError(
+                "members reported stale group keys over the wire: %r"
+                % (stale,)
+            )
+        expected = server.group_key.fingerprint()
+        leaked = sorted(
+            name
+            for name, fingerprint in self.former_fingerprints.items()
+            if fingerprint == expected
+        )
+        if leaked:
+            raise ServiceError(
+                "evicted members reported the current group key: %r"
+                % (leaked,)
+            )
+
+
+class WireDelivery(DeliveryBackend):
+    """Deliver rekey messages over the asyncio UDP wire plane."""
+
+    def __init__(
+        self,
+        config,
+        seed=None,
+        host="127.0.0.1",
+        port=0,
+        workers=0,
+        pace_seconds=None,
+        adapt_rho=True,
+    ):
+        self.config = config
+        self.host = host
+        self.port = int(port)
+        self.workers = int(workers)
+        if pace_seconds is None:
+            pace_seconds = WORKER_PACE_SECONDS if self.workers else 0.0
+        self.pace_seconds = float(pace_seconds)
+        self.adapt_rho = bool(adapt_rho)
+        self._seed = config.seed if seed is None else int(seed)
+        self.controller = ProactivityController(
+            k=config.block_size,
+            rho=config.rho,
+            num_nack=config.num_nack,
+            rng=RandomSource(self._seed).generator(),
+            rho_max=getattr(config, "rho_max", None),
+        )
+        self._loop = None
+        self._thread = None
+        self.server = None
+        self._pool = None  # WorkerPool, worker mode only
+        self._clients = {}  # name -> WireClient (in-process mode)
+        self._indices = {}  # name -> member_index (never reused)
+        self._next_index = 0
+        self._calls = 0
+        #: canonical per-interval records — the fleet digest's input
+        self.records = []
+
+    @property
+    def rho(self):
+        return self.controller.rho
+
+    # -- loop plumbing -----------------------------------------------------
+
+    def _ensure_started(self):
+        if self._loop is not None:
+            return
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="wire-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        self.server = self._run(self._start_server())
+        if self.workers:
+            from repro.wire.worker import WorkerPool
+
+            self._pool = WorkerPool(
+                self.workers,
+                self.server.address,
+                loss=self.config.loss,
+                seed=self._seed,
+                spacing_seconds=self.config.sending_interval_ms * 1e-3,
+            )
+
+    async def _start_server(self):
+        server = WireServer(
+            self.config, host=self.host, port=self.port, obs=self.obs
+        )
+        return await server.start()
+
+    def _run(self, coro, timeout=DELIVER_TIMEOUT_SECONDS):
+        """Run a coroutine on the wire loop from the daemon's thread."""
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout)
+
+    # -- roster ------------------------------------------------------------
+
+    def _member_index(self, name):
+        index = self._indices.get(name)
+        if index is None:
+            # Indices are never reused: a member's index seeds its loss
+            # chains and a rejoin must not resurrect an old chain state.
+            index = self._next_index
+            self._indices[name] = index
+            self._next_index += 1
+        return index
+
+    def _sync_roster(self, fleet):
+        """Make the wire population match ``fleet.members`` exactly."""
+        current = set(
+            self._clients if self._pool is None else self._pool.names
+        )
+        wanted = set(fleet.members)
+        added = sorted(wanted - current)
+        removed = sorted(current - wanted)
+        if self._pool is not None:
+            for name in removed:
+                self.server.forget(self._indices[name])
+            self._pool.remove(removed)
+            self._pool.add(
+                [
+                    _member_spec(
+                        name,
+                        self._member_index(name),
+                        fleet.members[name],
+                    )
+                    for name in added
+                ]
+            )
+        else:
+            for name in removed:
+                client = self._clients.pop(name)
+                self.server.forget(client.member_index)
+                self._run(client.close())
+            for name in added:
+                client = WireClient(
+                    name,
+                    self._member_index(name),
+                    fleet.members[name],
+                    self.server.address,
+                    loss_params=self.config.loss,
+                    seed=self._seed,
+                    spacing_seconds=self.config.sending_interval_ms * 1e-3,
+                )
+                self._clients[name] = client
+                self._run(client.start())
+        if added or removed:
+            self.obs.gauge("wire_clients", len(wanted))
+        return [self._indices[name] for name in sorted(wanted)]
+
+    # -- delivery ----------------------------------------------------------
+
+    def deliver(self, message, fleet, deadline_rounds=2, policy="unicast"):
+        policy_ignored = policy == "carry"
+        if policy_ignored:
+            # Same honesty as the UDP backend: the wire plane always
+            # serves stragglers inside the interval, so a configured
+            # carry policy is not in force here.
+            self.obs.emit(
+                "degradation_policy_ignored",
+                transport="wire",
+                policy=policy,
+                effective="unicast",
+            )
+        self._ensure_started()
+        fleet.relocate_all(message.max_kid)
+        self._calls += 1
+        interval = self._calls
+        indices = self._sync_roster(fleet)
+        self._run(self.server.wait_registered(indices))
+
+        self.controller.k = message.k
+        rho = self.controller.rho
+        names_by_index = {
+            index: name for name, index in self._indices.items()
+        }
+        participants = [
+            Participant(
+                member_index=self._indices[name],
+                user_id=member.user_id,
+                served=member.user_id in message.needs_by_user,
+            )
+            for name, member in sorted(fleet.members.items())
+        ]
+        outcome = self._run(
+            self.server.deliver(
+                message,
+                interval,
+                participants,
+                rho=rho,
+                deadline_rounds=deadline_rounds,
+                pace_seconds=self.pace_seconds,
+            )
+        )
+        self._check_errors()
+
+        results = outcome.results
+        not_done = sorted(
+            names_by_index[index]
+            for index, feedback in results.items()
+            if not feedback.done
+        )
+        if not_done:
+            raise WireError(
+                "wire delivery left members unserved: %r" % (not_done,)
+            )
+        if self.adapt_rho:
+            self.controller.update(outcome.first_round_requests)
+            if self.controller.last_rho_clamped and self.obs.enabled:
+                self.obs.emit(
+                    "rho_clamped",
+                    rho=self.controller.rho,
+                    rho_max=self.controller.rho_max,
+                )
+
+        ordered = sorted(results)
+        recovery_rounds = [results[i].recovery_round for i in ordered]
+        dropped_total = sum(results[i].dropped for i in ordered)
+        alpha = self.config.loss.alpha
+        if isinstance(fleet, WireFleet):
+            for index in ordered:
+                fleet.note_fingerprint(
+                    names_by_index[index], results[index].fingerprint
+                )
+        if self.obs.enabled:
+            for index in ordered:
+                feedback = results[index]
+                self.obs.emit(
+                    "wire_member_recovered",
+                    member_index=index,
+                    cohort=cohort_of(index, alpha),
+                    recovery_round=feedback.recovery_round,
+                    latency_ms=round(feedback.latency_ms, 3),
+                    dropped=feedback.dropped,
+                )
+            self.obs.gauge("wire_rho", rho)
+            self.obs.count(
+                "wire_datagrams_sent", by=outcome.datagrams_sent
+            )
+            self.obs.count("wire_data_dropped", by=dropped_total)
+            self.obs.count(
+                "wire_feedback_retries", by=outcome.feedback_retries
+            )
+
+        unicast_served = len(outcome.unicast_user_ids)
+        decision = UNICAST_CUTOVER if unicast_served else IN_DEADLINE
+        self.records.append(
+            {
+                "interval": interval,
+                "members": len(participants),
+                "served": len(results),
+                "rounds": outcome.rounds,
+                "rho": round(rho, 6),
+                "first_round_requests": list(
+                    outcome.first_round_requests
+                ),
+                "nacks_per_round": [
+                    stat["nacks"] for stat in outcome.round_stats
+                ],
+                "packets_per_round": [
+                    stat["packets"] for stat in outcome.round_stats
+                ],
+                "recovery_rounds": recovery_rounds,
+                "dropped": dropped_total,
+                "unicast_users": unicast_served,
+            }
+        )
+        detail = {
+            "datagrams_sent": outcome.datagrams_sent,
+            "data_dropped": dropped_total,
+            "announce_retries": outcome.announce_retries,
+            "feedback_retries": outcome.feedback_retries,
+            "unicast_retries": outcome.unicast_retries,
+        }
+        if policy_ignored:
+            detail["policy_ignored"] = True
+        self.obs.emit(
+            "wire_delivery_complete",
+            interval=interval,
+            rounds=outcome.rounds,
+            served=len(results),
+            unicast_served=unicast_served,
+            dropped=dropped_total,
+        )
+        return DeliveryReport(
+            mode="wire",
+            decision=decision,
+            rho=rho,
+            multicast_rounds=outcome.rounds,
+            first_round_nacks=len(outcome.first_round_requests),
+            unicast_served=unicast_served,
+            recovery_rounds=recovery_rounds,
+            detail=detail,
+        )
+
+    def _check_errors(self):
+        """Surface anything the socket paths swallowed mid-delivery."""
+        errors = list(self.server.errors)
+        for client in self._clients.values():
+            errors.extend(
+                "%s: %s" % (client.name, error) for error in client.errors
+            )
+        if self._pool is not None:
+            errors.extend(self._pool.check())
+        if errors:
+            raise WireError(
+                "wire plane reported %d error(s): %s"
+                % (len(errors), "; ".join(errors[:5]))
+            )
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self):
+        if self._loop is None:
+            return
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        for client in self._clients.values():
+            self._run(client.close(), timeout=10.0)
+        self._clients.clear()
+        if self.server is not None:
+            self._run(self.server.close(), timeout=10.0)
+            self.server = None
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def _member_spec(name, member_index, member):
+    """Serialise one member's key state for a worker process."""
+    return (
+        name,
+        member_index,
+        member.user_id,
+        member.degree,
+        [
+            (node_id, key.material.hex(), key.version)
+            for node_id, key in sorted(member.path_keys.items())
+        ],
+    )

@@ -1,0 +1,491 @@
+"""Asyncio server side of the wire plane.
+
+:class:`WireServer` owns one bound UDP socket and drives whole rekey
+intervals over it: an announce barrier, block-interleaved multicast
+rounds feeding the same :class:`~repro.transport.server.ServerTransport`
+scheduler as the simulator, a NACK aggregation window per round, and the
+unicast switch-over of §7.1.  Multicast is emulated the way the loopback
+endpoints do it — identical bytes unicast to every registered member
+from one socket.
+
+Reliability model: injected loss only ever applies to multicast ``DATA``
+frames (decided client-side from the frame's ``slot``), so every control
+exchange converges by retransmission —
+
+- the **announce barrier** resends ``ANNOUNCE`` to members that have
+  not acked, and round 1 starts only when every participant has a
+  session (a client that missed the announce would otherwise drop the
+  whole round on the floor and break determinism);
+- each **round** resends ``ROUND_END`` to members whose feedback has
+  not arrived; clients answer retries from a cache, so a kernel-dropped
+  feedback datagram costs latency, never different protocol input;
+- the **unicast phase** resends USR frames until every straggler acks.
+
+The per-try wait is ``GroupConfig.nack_window_seconds`` — the window
+closes early the instant the last expected feedback lands.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.errors import WireDecodeError, WireError
+from repro.obs.recorder import NULL
+from repro.rekey.packets import PacketType
+from repro.transport.server import ServerTransport, UnicastPolicy
+from repro.wire.codec import (
+    UNICAST_ROUND,
+    FrameKind,
+    decode_feedback,
+    decode_frame,
+    decode_register,
+    encode_announce,
+    encode_frame,
+    kernel_buffer_size,
+    request_kernel_buffers,
+)
+
+#: Give up on a window after this many send-and-wait tries.  At the
+#: default 0.3 s window this is a minute of dead air — a hung client,
+#: not transient loss.
+MAX_WINDOW_TRIES = 200
+
+#: Yield to the event loop after this many multicast datagram fan-outs
+#: so in-process clients drain their sockets before kernel receive
+#: buffers overflow (which would add *nondeterministic* loss on top of
+#: the seeded chains).
+DEFAULT_PACE_EVERY = 4
+
+#: Worst-case simultaneous senders the server socket is sized for: a
+#: ROUND_END makes every client answer at once, so this is the largest
+#: fleet the buffers absorb without kernel drops (which only cost
+#: retry latency, never protocol input).
+DEFAULT_FAN_IN = 2048
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One member's coordinates for an interval's delivery.
+
+    ``served`` mirrors membership in ``message.needs_by_user``: served
+    members receive DATA/ROUND_END and owe round feedback; the rest only
+    join the announce barrier (they still must learn ``maxKID``).
+    """
+
+    member_index: int
+    user_id: int
+    served: bool = True
+
+
+@dataclass
+class WireOutcome:
+    """What one interval's wire delivery did, for the delivery layer."""
+
+    interval: int
+    rounds: int = 0
+    #: round-1 parity shortfalls (sorted) — real AdjustRho input
+    first_round_requests: list = field(default_factory=list)
+    #: member_index -> final codec.Feedback for every served member
+    results: dict = field(default_factory=dict)
+    unicast_user_ids: list = field(default_factory=list)
+    round_stats: list = field(default_factory=list)
+    announce_retries: int = 0
+    feedback_retries: int = 0
+    unicast_retries: int = 0
+    datagrams_sent: int = 0
+
+
+class AggregationWindow:
+    """Collects one round's FEEDBACK frames from an expected member set.
+
+    The window is *complete* once every expected member has reported;
+    duplicates (clients answering a retried ``ROUND_END`` from their
+    cache) are dropped so one member can never report twice into the
+    same round.
+    """
+
+    def __init__(self, expected):
+        self.expected = frozenset(int(i) for i in expected)
+        self.reported = {}
+        self.nacks = []
+        self._complete = asyncio.Event()
+        if not self.expected:
+            self._complete.set()
+
+    def offer(self, member_index, feedback):
+        """Feed one feedback; returns True if it was new and expected."""
+        if member_index not in self.expected:
+            return False
+        if member_index in self.reported:
+            return False
+        self.reported[member_index] = feedback
+        if feedback.nack is not None:
+            self.nacks.append(feedback.nack)
+        if self.complete:
+            self._complete.set()
+        return True
+
+    @property
+    def complete(self):
+        return len(self.reported) == len(self.expected)
+
+    @property
+    def missing(self):
+        return sorted(self.expected - set(self.reported))
+
+    async def wait(self, timeout):
+        """True if the window completed within ``timeout`` seconds."""
+        try:
+            await asyncio.wait_for(self._complete.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+
+class _ServerProtocol(asyncio.DatagramProtocol):
+    def __init__(self, server):
+        self.server = server
+        self.transport = None
+
+    def connection_made(self, transport):
+        self.transport = transport
+
+    def datagram_received(self, data, addr):
+        self.server._on_datagram(data, addr)
+
+    def error_received(self, exc):  # pragma: no cover - platform noise
+        self.server.errors.append("socket error: %r" % (exc,))
+
+
+class WireServer:
+    """The key server's wire-plane endpoint."""
+
+    def __init__(self, config, host="127.0.0.1", port=0, obs=NULL):
+        self.config = config
+        self.host = host
+        self.port = int(port)
+        self.obs = obs
+        self.errors = []
+        self.decode_errors = 0
+        self.stale_feedback = 0
+        self.registrations = 0
+        self._addresses = {}  # member_index -> (host, port)
+        self._windows = {}  # (interval, round_no) -> AggregationWindow
+        self._registered = None  # asyncio.Event, created on start
+        self._transport = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self):
+        loop = asyncio.get_running_loop()
+        self._registered = asyncio.Event()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _ServerProtocol(self),
+            local_addr=(self.host, self.port),
+        )
+        request_kernel_buffers(
+            self._transport,
+            kernel_buffer_size(self.config.packet_size, DEFAULT_FAN_IN),
+        )
+        return self
+
+    @property
+    def address(self):
+        """The bound ``(host, port)`` — hand this to the clients."""
+        if self._transport is None:
+            raise WireError("server not started")
+        return self._transport.get_extra_info("sockname")[:2]
+
+    async def close(self):
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    def forget(self, member_index):
+        """Drop an evicted member's address."""
+        self._addresses.pop(int(member_index), None)
+
+    async def wait_registered(self, member_indices, timeout=30.0):
+        """Block until every index has announced an address."""
+        needed = set(int(i) for i in member_indices)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while not needed <= set(self._addresses):
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise WireError(
+                    "members never registered: %r"
+                    % sorted(needed - set(self._addresses))
+                )
+            self._registered.clear()
+            try:
+                await asyncio.wait_for(
+                    self._registered.wait(), min(0.25, remaining)
+                )
+            except asyncio.TimeoutError:
+                continue
+
+    # -- receive path ------------------------------------------------------
+
+    def _on_datagram(self, data, addr):
+        try:
+            frame = decode_frame(data)
+        except WireDecodeError as exc:
+            self.decode_errors += 1
+            self.obs.count("wire_decode_errors")
+            self.obs.emit("wire_decode_error", error=str(exc), side="server")
+            return
+        try:
+            if frame.kind is FrameKind.REGISTER:
+                self._on_register(frame, addr)
+            elif frame.kind is FrameKind.FEEDBACK:
+                self._on_feedback(frame)
+            # Anything else is a client-bound kind echoed back; ignore.
+        except Exception as exc:  # noqa: BLE001 - surfaced to the runner
+            self.errors.append("%s: %s" % (type(exc).__name__, exc))
+
+    def _on_register(self, frame, addr):
+        register = decode_register(frame.payload)
+        self._addresses[register.member_index] = addr
+        self.registrations += 1
+        self._registered.set()
+        # Ack by echo; the client stops its retry loop on any frame.
+        self._transport.sendto(
+            encode_frame(FrameKind.REGISTER, 0, payload=frame.payload), addr
+        )
+
+    def _on_feedback(self, frame):
+        try:
+            feedback = decode_feedback(frame.payload)
+        except WireDecodeError as exc:
+            self.decode_errors += 1
+            self.obs.emit("wire_decode_error", error=str(exc), side="server")
+            return
+        window = self._windows.get((frame.interval, frame.round_no))
+        if window is None:
+            self.stale_feedback += 1
+            return
+        window.offer(feedback.member_index, feedback)
+
+    # -- delivery ----------------------------------------------------------
+
+    def _send_to(self, frames_by_index, member_indices, outcome):
+        for member_index in member_indices:
+            address = self._addresses.get(member_index)
+            if address is None:
+                raise WireError(
+                    "no address for member index %d" % member_index
+                )
+            self._transport.sendto(frames_by_index[member_index], address)
+            outcome.datagrams_sent += 1
+
+    async def _drive_window(
+        self, key, window, frames_by_index, outcome, what
+    ):
+        """Send-and-wait until ``window`` completes; returns the retries.
+
+        Each try (re)sends only to the members still missing, then waits
+        one aggregation window.  The wait returns the moment the last
+        feedback lands, so a healthy fleet never pays the full cap.
+        """
+        self._windows[key] = window
+        try:
+            tries = 0
+            while not window.complete:
+                if tries >= MAX_WINDOW_TRIES:
+                    raise WireError(
+                        "%s: no feedback from member indices %r after "
+                        "%d tries" % (what, window.missing, tries)
+                    )
+                self._send_to(frames_by_index, window.missing, outcome)
+                tries += 1
+                await window.wait(self.config.nack_window_seconds)
+            return tries - 1
+        finally:
+            self._windows.pop(key, None)
+
+    async def deliver(
+        self,
+        message,
+        interval,
+        participants,
+        rho=1.0,
+        deadline_rounds=None,
+        pace_seconds=0.0,
+        pace_every=DEFAULT_PACE_EVERY,
+    ):
+        """Run one rekey message over the wire; returns a WireOutcome.
+
+        ``participants`` is the interval's roster of
+        :class:`Participant` — every entry must already be registered.
+        ``pace_seconds`` optionally sleeps between datagram fan-outs
+        (worker mode, where clients drain in other processes);
+        ``pace_every`` bounds how many fan-outs run between event-loop
+        yields in the default in-process mode.
+        """
+        if deadline_rounds is None:
+            deadline_rounds = self.config.max_multicast_rounds
+        served = [p for p in participants if p.served]
+        if not served:
+            raise WireError("delivery with no served participants")
+        transport = ServerTransport(
+            message,
+            rho=rho,
+            sending_interval_ms=self.config.sending_interval_ms,
+            unicast_policy=UnicastPolicy(
+                max_multicast_rounds=deadline_rounds,
+                compare_usr_bytes=False,
+            ),
+        )
+        outcome = WireOutcome(interval=interval)
+        served_indices = [p.member_index for p in served]
+        served_targets = [p.member_index for p in served]
+
+        # Announce barrier: nobody multicast-races a missing session.
+        announce_payload = encode_announce(message, self.config.degree)
+        announce_frames = {
+            p.member_index: encode_frame(
+                FrameKind.ANNOUNCE,
+                interval,
+                slot=1 if p.served else 0,
+                payload=announce_payload,
+            )
+            for p in participants
+        }
+        outcome.announce_retries = await self._drive_window(
+            (interval, 0),
+            AggregationWindow(announce_frames),
+            announce_frames,
+            outcome,
+            what="interval %d announce" % interval,
+        )
+        self.obs.emit(
+            "wire_announce",
+            interval=interval,
+            members=len(participants),
+            served=len(served),
+            retries=outcome.announce_retries,
+        )
+
+        slot = 0
+        pending = list(served)
+        while True:
+            planned = transport.plan_round()
+            round_no = transport.rounds_completed
+            outcome.rounds = round_no
+            for scheduled in planned:
+                packet = scheduled.packet
+                if packet.packet_type is PacketType.ENC:
+                    payload = packet.encode(message.packet_size)
+                else:
+                    payload = packet.encode()
+                frame = encode_frame(
+                    FrameKind.DATA,
+                    interval,
+                    round_no=round_no,
+                    slot=slot,
+                    payload=payload,
+                )
+                self._send_to(
+                    dict.fromkeys(served_targets, frame),
+                    served_targets,
+                    outcome,
+                )
+                slot += 1
+                if pace_seconds:
+                    await asyncio.sleep(pace_seconds)
+                elif slot % pace_every == 0:
+                    await asyncio.sleep(0)
+
+            end_frame = encode_frame(
+                FrameKind.ROUND_END, interval, round_no=round_no
+            )
+            window = AggregationWindow(served_indices)
+            retries = await self._drive_window(
+                (interval, round_no),
+                window,
+                dict.fromkeys(served_indices, end_frame),
+                outcome,
+                what="interval %d round %d" % (interval, round_no),
+            )
+            outcome.feedback_retries += retries
+            transport.finish_round(window.nacks)
+            if round_no == 1:
+                outcome.first_round_requests = sorted(
+                    nack.max_requested for nack in window.nacks
+                )
+            outcome.results.update(window.reported)
+            pending = [
+                p
+                for p in served
+                if not window.reported[p.member_index].done
+            ]
+            outcome.round_stats.append(
+                {
+                    "round": round_no,
+                    "packets": len(planned),
+                    "nacks": len(window.nacks),
+                    "pending": len(pending),
+                    "feedback_retries": retries,
+                }
+            )
+            self.obs.emit(
+                "wire_nack_window",
+                interval=interval,
+                round=round_no,
+                nacks=len(window.nacks),
+                retries=retries,
+            )
+            self.obs.emit(
+                "wire_round",
+                interval=interval,
+                round=round_no,
+                packets=len(planned),
+                nacks=len(window.nacks),
+                pending=len(pending),
+            )
+            if not pending:
+                break
+            if (
+                transport.should_switch_to_unicast(
+                    [p.user_id for p in pending]
+                )
+                or transport.pending_parity_next_round == 0
+            ):
+                await self._unicast_phase(
+                    transport, interval, pending, outcome
+                )
+                break
+        return outcome
+
+    async def _unicast_phase(self, transport, interval, pending, outcome):
+        """Serve the stragglers by USR, retried until each one acks."""
+        usr_frames = {
+            p.member_index: encode_frame(
+                FrameKind.DATA,
+                interval,
+                round_no=UNICAST_ROUND,
+                payload=transport.usr_packet_for(p.user_id).encode(),
+            )
+            for p in pending
+        }
+        window = AggregationWindow(usr_frames)
+        outcome.unicast_retries = await self._drive_window(
+            (interval, UNICAST_ROUND),
+            window,
+            usr_frames,
+            outcome,
+            what="interval %d unicast" % interval,
+        )
+        outcome.results.update(window.reported)
+        outcome.unicast_user_ids = sorted(p.user_id for p in pending)
+        self.obs.emit(
+            "wire_unicast",
+            interval=interval,
+            users=len(pending),
+            retries=outcome.unicast_retries,
+        )
+
+    def __repr__(self):
+        return "WireServer(members=%d)" % len(self._addresses)

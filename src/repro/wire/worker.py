@@ -1,0 +1,221 @@
+"""Worker processes hosting wire clients (multi-process fleet mode).
+
+One worker process = one asyncio loop running a slice of the client
+fleet.  The parent (:class:`~repro.wire.delivery.WireDelivery`) talks to
+each worker over a :mod:`multiprocessing` pipe with four commands:
+
+- ``("add", [spec, ...])`` — build clients from serialised member state
+  (name, index, user id, degree, path keys) and start them; each client
+  registers itself with the server over UDP, so the parent's
+  ``wait_registered`` barrier is the only synchronisation needed;
+- ``("remove", [name, ...])`` — close clients of evicted members;
+- ``("check", None)`` — reply ``("errors", [...])`` with everything the
+  clients' socket paths recorded, so the parent can fail loudly;
+- ``("stop", None)`` — close everything and exit.
+
+Workers are started with the ``spawn`` context: the parent runs an
+event-loop thread, and forking a multi-threaded process inherits lock
+state no child should trust.
+
+Member state crosses the process boundary *once*, at add time, when it
+is registration-fresh; afterwards the worker's shadow
+:class:`~repro.core.member.GroupMember` evolves exactly like the real
+member would — by decrypting rekey messages off the wire.  The parent's
+own copy goes stale, which is why worker mode pairs with
+:class:`~repro.wire.delivery.WireFleet` (fingerprint-based agreement).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+
+from repro.errors import WireError
+
+
+def worker_main(conn, server_address, loss, seed, spacing_seconds):
+    """Entry point of one worker process."""
+    asyncio.run(
+        _worker_loop(conn, tuple(server_address), loss, seed, spacing_seconds)
+    )
+
+
+async def _worker_loop(conn, server_address, loss, seed, spacing_seconds):
+    from repro.wire.client import WireClient
+
+    loop = asyncio.get_running_loop()
+    clients = {}
+    errors = []
+    stop = asyncio.Event()
+
+    async def add_client(spec):
+        try:
+            name, member_index, user_id, degree, path_keys = spec
+            client = WireClient(
+                name,
+                member_index,
+                _rebuild_member(name, user_id, degree, path_keys),
+                server_address,
+                loss_params=loss,
+                seed=seed,
+                spacing_seconds=spacing_seconds,
+            )
+            clients[name] = client
+            await client.start()
+        except Exception as exc:  # noqa: BLE001 - reported via "check"
+            errors.append(
+                "add %r: %s: %s" % (spec[0], type(exc).__name__, exc)
+            )
+
+    async def remove_client(name):
+        client = clients.pop(name, None)
+        if client is not None:
+            errors.extend(
+                "%s: %s" % (client.name, error) for error in client.errors
+            )
+            await client.close()
+
+    def collect_errors():
+        found = list(errors)
+        for client in clients.values():
+            found.extend(
+                "%s: %s" % (client.name, error) for error in client.errors
+            )
+            del client.errors[:]
+        del errors[:]
+        return found
+
+    def on_readable():
+        try:
+            while conn.poll():
+                op, payload = conn.recv()
+                if op == "add":
+                    for spec in payload:
+                        loop.create_task(add_client(spec))
+                elif op == "remove":
+                    for name in payload:
+                        loop.create_task(remove_client(name))
+                elif op == "check":
+                    conn.send(("errors", collect_errors()))
+                elif op == "stop":
+                    stop.set()
+                    return
+        except (EOFError, OSError):
+            stop.set()
+
+    loop.add_reader(conn.fileno(), on_readable)
+    try:
+        await stop.wait()
+    finally:
+        loop.remove_reader(conn.fileno())
+        for client in list(clients.values()):
+            await client.close()
+        conn.close()
+
+
+def _rebuild_member(name, user_id, degree, path_keys):
+    from repro.core.member import GroupMember
+    from repro.crypto.keys import SymmetricKey
+
+    keys = {
+        node_id: SymmetricKey(
+            bytes.fromhex(material), node_id=node_id, version=version
+        )
+        for node_id, material, version in path_keys
+    }
+    return GroupMember(name, user_id, keys, degree)
+
+
+class WorkerPool:
+    """The parent-side handle on a set of client worker processes."""
+
+    def __init__(self, n_workers, server_address, loss, seed,
+                 spacing_seconds):
+        if n_workers < 1:
+            raise WireError("worker pool needs at least one worker")
+        context = multiprocessing.get_context("spawn")
+        self._conns = []
+        self._procs = []
+        self.names = set()
+        self._where = {}  # name -> worker slot
+        for _ in range(int(n_workers)):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=worker_main,
+                args=(
+                    child_conn,
+                    tuple(server_address),
+                    loss,
+                    int(seed),
+                    float(spacing_seconds),
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+
+    @property
+    def n_workers(self):
+        return len(self._procs)
+
+    def _slot_of(self, member_index):
+        # Deterministic placement; a member stays on one worker for life.
+        return int(member_index) % len(self._conns)
+
+    def add(self, specs):
+        by_slot = {}
+        for spec in specs:
+            slot = self._slot_of(spec[1])
+            by_slot.setdefault(slot, []).append(spec)
+            self._where[spec[0]] = slot
+            self.names.add(spec[0])
+        for slot, group in sorted(by_slot.items()):
+            self._conns[slot].send(("add", group))
+
+    def remove(self, names):
+        by_slot = {}
+        for name in names:
+            slot = self._where.pop(name, None)
+            self.names.discard(name)
+            if slot is not None:
+                by_slot.setdefault(slot, []).append(name)
+        for slot, group in sorted(by_slot.items()):
+            self._conns[slot].send(("remove", group))
+
+    def check(self, timeout=10.0):
+        """Collect every error the workers' clients recorded so far."""
+        errors = []
+        for slot, conn in enumerate(self._conns):
+            conn.send(("check", None))
+            if not conn.poll(timeout):
+                raise WireError(
+                    "worker %d did not answer a check within %.1fs"
+                    % (slot, timeout)
+                )
+            kind, payload = conn.recv()
+            if kind != "errors":
+                raise WireError(
+                    "worker %d answered %r to a check" % (slot, kind)
+                )
+            errors.extend(payload)
+        return errors
+
+    def close(self, timeout=10.0):
+        for conn in self._conns:
+            try:
+                conn.send(("stop", None))
+            except (OSError, BrokenPipeError):
+                pass
+        for process in self._procs:
+            process.join(timeout=timeout)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        self._conns = []
+        self._procs = []
+        self.names = set()
+        self._where = {}

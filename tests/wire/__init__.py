@@ -1,0 +1,1 @@
+"""Tests for repro.wire — the asyncio UDP wire plane."""

@@ -1,0 +1,215 @@
+"""Frame codec tests: round-trips, rejection, buffer sizing."""
+
+import pytest
+
+from repro.errors import WireDecodeError, WireError
+from repro.rekey.packets import NackPacket, NackRequest
+from repro.wire.codec import (
+    NO_FINGERPRINT,
+    UNICAST_ROUND,
+    WIRE_HEADER_SIZE,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    Feedback,
+    FrameKind,
+    decode_announce,
+    decode_feedback,
+    decode_frame,
+    decode_register,
+    encode_announce,
+    encode_feedback,
+    encode_frame,
+    encode_register,
+    max_datagram_size,
+    recv_buffer_size,
+)
+
+
+class FakeMessage:
+    message_id = 3
+    k = 5
+    n_blocks = 7
+    max_kid = 211
+
+
+class TestFrameRoundTrip:
+    def test_header_fields_survive(self):
+        wire = encode_frame(
+            FrameKind.DATA, 9, round_no=2, slot=41, payload=b"\x01\x02"
+        )
+        frame = decode_frame(wire)
+        assert frame.kind is FrameKind.DATA
+        assert frame.interval == 9
+        assert frame.round_no == 2
+        assert frame.slot == 41
+        assert frame.payload == b"\x01\x02"
+
+    def test_empty_payload(self):
+        frame = decode_frame(encode_frame(FrameKind.ROUND_END, 1))
+        assert frame.payload == b""
+        assert len(encode_frame(FrameKind.ROUND_END, 1)) == WIRE_HEADER_SIZE
+
+    def test_unicast_round_marker(self):
+        frame = decode_frame(
+            encode_frame(FrameKind.DATA, 1, round_no=UNICAST_ROUND)
+        )
+        assert frame.round_no == UNICAST_ROUND
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"interval": -1},
+            {"interval": 2**32},
+            {"round_no": 256},
+            {"slot": 2**16},
+        ],
+    )
+    def test_out_of_range_header_fields_refused(self, kwargs):
+        fields = {"interval": 1, "round_no": 0, "slot": 0}
+        fields.update(kwargs)
+        with pytest.raises(WireError):
+            encode_frame(FrameKind.DATA, **fields)
+
+
+class TestFrameRejection:
+    def test_truncated_header(self):
+        with pytest.raises(WireDecodeError):
+            decode_frame(b"\xc3\x01\x00")
+
+    def test_empty_datagram(self):
+        with pytest.raises(WireDecodeError):
+            decode_frame(b"")
+
+    def test_bad_magic(self):
+        wire = bytearray(encode_frame(FrameKind.DATA, 1))
+        wire[0] = WIRE_MAGIC ^ 0xFF
+        with pytest.raises(WireDecodeError):
+            decode_frame(bytes(wire))
+
+    def test_future_version(self):
+        wire = bytearray(encode_frame(FrameKind.DATA, 1))
+        wire[1] = WIRE_VERSION + 1
+        with pytest.raises(WireDecodeError):
+            decode_frame(bytes(wire))
+
+    def test_unknown_kind(self):
+        wire = bytearray(encode_frame(FrameKind.DATA, 1))
+        wire[2] = 0x7F
+        with pytest.raises(WireDecodeError):
+            decode_frame(bytes(wire))
+
+    def test_random_garbage(self):
+        with pytest.raises(WireDecodeError):
+            decode_frame(b"\x00" * 64)
+
+
+class TestAnnounce:
+    def test_round_trip(self):
+        announce = decode_announce(encode_announce(FakeMessage(), 4))
+        assert announce.message_id == 3
+        assert announce.k == 5
+        assert announce.n_blocks == 7
+        assert announce.max_kid == 211
+        assert announce.degree == 4
+
+    def test_wrong_size_refused(self):
+        with pytest.raises(WireDecodeError):
+            decode_announce(b"\x00\x00")
+
+    def test_degenerate_geometry_refused(self):
+        payload = bytearray(encode_announce(FakeMessage(), 4))
+        payload[-1] = 1  # degree 1 cannot be a key tree
+        with pytest.raises(WireDecodeError):
+            decode_announce(bytes(payload))
+
+
+class TestFeedback:
+    def make(self, **overrides):
+        fields = dict(
+            member_index=12,
+            user_id=7,
+            done=True,
+            recovery_round=2,
+            dropped=5,
+            fingerprint="a1b2c3d4e5f6",
+            latency_ms=17.5,
+            nack=None,
+        )
+        fields.update(overrides)
+        return Feedback(**fields)
+
+    def test_round_trip_without_nack(self):
+        feedback = decode_feedback(encode_feedback(self.make()))
+        assert feedback.member_index == 12
+        assert feedback.user_id == 7
+        assert feedback.done is True
+        assert feedback.recovery_round == 2
+        assert feedback.dropped == 5
+        assert feedback.fingerprint == "a1b2c3d4e5f6"
+        assert feedback.latency_ms == pytest.approx(17.5, rel=1e-6)
+        assert feedback.nack is None
+
+    def test_round_trip_with_nack(self):
+        nack = NackPacket(
+            rekey_message_id=3,
+            user_id=7,
+            requests=(NackRequest(0, 2), NackRequest(3, 1)),
+        )
+        feedback = decode_feedback(
+            encode_feedback(self.make(done=False, nack=nack))
+        )
+        assert feedback.done is False
+        assert feedback.nack is not None
+        assert feedback.nack.user_id == 7
+        assert feedback.nack.max_requested == 2
+
+    def test_no_fingerprint_placeholder(self):
+        feedback = decode_feedback(
+            encode_feedback(self.make(fingerprint=NO_FINGERPRINT))
+        )
+        assert feedback.fingerprint == NO_FINGERPRINT
+
+    def test_dropped_clamped_to_u16(self):
+        feedback = decode_feedback(
+            encode_feedback(self.make(dropped=10**6))
+        )
+        assert feedback.dropped == 0xFFFF
+
+    def test_bad_fingerprint_refused(self):
+        with pytest.raises(WireError):
+            encode_feedback(self.make(fingerprint="not hex!!"))
+        with pytest.raises(WireError):
+            encode_feedback(self.make(fingerprint="abcd"))
+
+    def test_truncated_refused(self):
+        with pytest.raises(WireDecodeError):
+            decode_feedback(b"\x00" * 4)
+
+
+class TestRegister:
+    def test_round_trip(self):
+        register = decode_register(encode_register(99, 1234))
+        assert register.member_index == 99
+        assert register.user_id == 1234
+
+    def test_wrong_size_refused(self):
+        with pytest.raises(WireDecodeError):
+            decode_register(b"\x00")
+
+
+class TestBufferSizing:
+    def test_datagram_bound_is_header_plus_packet(self):
+        assert max_datagram_size(1027) == WIRE_HEADER_SIZE + 1027
+
+    def test_buffer_floors_at_2k(self):
+        assert recv_buffer_size(100) == 2048
+
+    def test_buffer_rounds_up_with_slack(self):
+        size = recv_buffer_size(4096)
+        assert size >= max_datagram_size(4096) + 64
+        assert size % 1024 == 0
+
+    def test_paper_packet_size_fits_legacy_buffer(self):
+        # The seed's hardcoded 4096 happened to fit the paper's 1027;
+        # the shared rule must agree where the old constant was right.
+        assert recv_buffer_size(1027) <= 4096

@@ -1,0 +1,210 @@
+"""End-to-end wire-plane tests over real loopback UDP.
+
+The pinned digest is the determinism acceptance: the smoke plan at
+seed 7 must replay the exact same canonical interval records on every
+machine — rounds, NACK counts, parity shortfalls, per-member recovery
+rounds — however the event loop schedules the sockets.  If a deliberate
+protocol change shifts the records, re-pin after inspecting the diff;
+an *unexplained* digest change means wall-clock timing leaked into the
+protocol input.
+"""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import GroupConfig
+from repro.service.transports import make_backend
+from repro.wire.delivery import WireDelivery
+from repro.wire.fleet import FLEET_PLANS, resolve_plan, run_fleet
+
+#: sha256 of the canonical interval records for (smoke, seed=7).
+SMOKE_SEED7_DIGEST = (
+    "fd1662c94da939c26609b9ac90930b865423f08c7e4699348b6a8662d75e186f"
+)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestSmokeFleet:
+    def test_all_invariants_green_and_digest_pinned(self):
+        result = run_fleet("smoke", seed=7)
+        assert result.failure is None, result.failure
+        assert result.ok, result.to_dict()
+        assert result.intervals_completed == 3
+        assert result.digest == SMOKE_SEED7_DIGEST
+        # Every interval must have been carried by the wire: a record
+        # per interval, every served member reporting its recovery.
+        assert len(result.records) == 3
+        for record in result.records:
+            assert record["served"] == len(record["recovery_rounds"])
+            assert record["rounds"] >= 1
+        # Recovery latencies come from wire events, split by cohort.
+        assert set(result.cohorts) == {"high", "low"}
+        for stats in result.cohorts.values():
+            assert stats["reports"] > 0
+            assert stats["recovery_ms"]["p99"] >= stats["recovery_ms"]["p50"]
+            assert stats["recovery_ms"]["p50"] > 0.0
+
+    def test_loss_actually_bites(self):
+        result = run_fleet("smoke", seed=7)
+        assert sum(record["dropped"] for record in result.records) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_digest(self):
+        first = run_fleet("smoke", seed=11, clients=16, intervals=2)
+        second = run_fleet("smoke", seed=11, clients=16, intervals=2)
+        assert first.ok and second.ok
+        assert first.records == second.records
+        assert first.digest == second.digest
+
+    def test_different_seed_different_digest(self):
+        first = run_fleet("smoke", seed=11, clients=16, intervals=2)
+        second = run_fleet("smoke", seed=12, clients=16, intervals=2)
+        assert first.digest != second.digest
+
+
+class TestWorkerMode:
+    def test_sharded_fleet_agrees(self):
+        result = run_fleet("sharded", seed=5, clients=12, intervals=2)
+        assert result.failure is None, result.failure
+        assert result.ok, result.to_dict()
+        assert result.workers == 2
+
+    def test_worker_digest_matches_in_process(self):
+        # Process placement must be invisible to the protocol: the same
+        # (seed, clients, intervals) digests identically with clients
+        # in-process and sharded over workers.
+        sharded = run_fleet("sharded", seed=5, clients=12, intervals=2)
+        local = run_fleet("sharded", seed=5, clients=12, intervals=2,
+                          workers=0)
+        assert sharded.ok and local.ok
+        assert sharded.digest == local.digest
+
+
+class TestHeavyLoss:
+    """Force the NACK/extra-round/unicast paths with a brutal link."""
+
+    def deliver_once(self, p, deadline_rounds, seed=2):
+        from repro.core.server import GroupKeyServer
+        from repro.service.members import MemberFleet
+        from repro.sim.topology import LossParameters
+
+        config = GroupConfig(
+            block_size=5,
+            seed=seed,
+            nack_window_seconds=0.2,
+            # Bernoulli rather than bursty: the Markov chain needs many
+            # slots to mix, and this message is only a few slots long.
+            loss=LossParameters(
+                alpha=1.0, p_high=p, p_low=p, p_source=0.0, bursty=False
+            ),
+        )
+        server = GroupKeyServer(
+            ["m%02d" % i for i in range(12)], config=config
+        )
+        fleet = MemberFleet.register_all(server)
+        leaver = sorted(server.users)[0]
+        server.request_leave(leaver)
+        fleet.evict(leaver)
+        _, message = server.rekey()
+        with WireDelivery(config, seed=seed + 1) as backend:
+            report = backend.deliver(
+                message, fleet, deadline_rounds=deadline_rounds
+            )
+        fleet.check_agreement(server)
+        return report
+
+    def test_nacks_and_extra_rounds(self):
+        # At this (p, seed) two members lose all of round 1 and recover
+        # from round-4 parity — deterministic, checked by scan.
+        report = self.deliver_once(p=0.8, deadline_rounds=8, seed=3)
+        assert report.first_round_nacks > 0
+        assert report.multicast_rounds >= 2
+        assert report.unicast_served == 0
+        assert all(r > 0 for r in report.recovery_rounds)
+        assert max(report.recovery_rounds) >= 2
+
+    def test_unicast_cutover_at_the_deadline(self):
+        report = self.deliver_once(p=0.9, deadline_rounds=2, seed=2)
+        assert report.unicast_served > 0
+        assert report.decision == "unicast-cutover"
+        # Unicast recoveries report round 0 by convention.
+        assert any(r == 0 for r in report.recovery_rounds)
+
+
+class TestPlans:
+    def test_catalog(self):
+        assert set(FLEET_PLANS) == {"smoke", "standard", "surge", "sharded"}
+        assert FLEET_PLANS["standard"].clients == 512
+        assert FLEET_PLANS["surge"].clients == 1024
+        assert FLEET_PLANS["sharded"].workers == 2
+
+    def test_resolve_overrides(self):
+        plan = resolve_plan("smoke", clients=8, intervals=1, workers=3)
+        assert (plan.clients, plan.intervals, plan.workers) == (8, 1, 3)
+
+    def test_unknown_plan_refused(self):
+        from repro.errors import WireError
+
+        with pytest.raises(WireError):
+            resolve_plan("nope")
+
+
+class TestBackendFactory:
+    def test_make_backend_wire(self):
+        backend = make_backend("wire", GroupConfig(block_size=5), seed=3)
+        assert isinstance(backend, WireDelivery)
+        backend.close()  # never started: close must be a no-op
+
+    def test_close_is_idempotent(self):
+        backend = WireDelivery(GroupConfig(block_size=5), seed=3)
+        backend.close()
+        backend.close()
+
+
+class TestCli:
+    def test_list_plans(self):
+        code, output = run_cli("fleet", "--list-plans")
+        assert code == 0
+        for name in FLEET_PLANS:
+            assert name in output
+
+    def test_tiny_fleet_run(self):
+        code, output = run_cli(
+            "fleet", "--clients", "8", "--intervals", "1", "--seed", "3"
+        )
+        assert code == 0, output
+        assert "all invariants green" in output
+        assert "fleet digest:" in output
+
+    def test_digest_mismatch_exits_3(self):
+        code, output = run_cli(
+            "fleet", "--clients", "8", "--intervals", "1", "--seed", "3",
+            "--expect-digest", "f" * 64,
+        )
+        assert code == 3
+        assert "digest mismatch" in output
+
+    def test_unknown_plan_exits_2(self):
+        code, output = run_cli("fleet", "--plan", "nope")
+        assert code == 2
+        assert "error:" in output
+
+    def test_serve_with_wire_transport(self):
+        code, output = run_cli(
+            "serve",
+            "--transport", "wire",
+            "--members", "12",
+            "--intervals", "2",
+            "--seed", "3",
+        )
+        assert code == 0, output
+        assert "wire transport" in output
+        assert "health: ok" in output

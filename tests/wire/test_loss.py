@@ -1,0 +1,94 @@
+"""Deterministic slot-indexed loss: cohorts, replay, independence."""
+
+from repro.sim.topology import LossParameters
+from repro.wire.loss import MemberLoss, cohort_of
+
+
+class TestCohortStriping:
+    def test_exact_fraction_per_thousand(self):
+        high = sum(
+            1 for index in range(1000) if cohort_of(index, 0.20) == "high"
+        )
+        assert high == 200
+
+    def test_membership_is_stable_under_churn(self):
+        # A member's cohort depends only on its own index, never on who
+        # else is in the roster.
+        assert cohort_of(37, 0.20) == cohort_of(37, 0.20)
+
+    def test_edges(self):
+        assert cohort_of(5, 0.0) == "low"
+        assert cohort_of(5, 1.0) == "high"
+
+    def test_spread_not_clumped(self):
+        # With alpha=0.5 the stripes must alternate, not fill a prefix.
+        cohorts = [cohort_of(index, 0.5) for index in range(10)]
+        assert "high" in cohorts[:2] and "low" in cohorts[:2]
+
+
+class TestMemberLoss:
+    def params(self, **overrides):
+        fields = dict(alpha=0.25, p_high=0.3, p_low=0.05, p_source=0.02)
+        fields.update(overrides)
+        return LossParameters(**fields)
+
+    def test_same_seed_same_history(self):
+        a = MemberLoss(self.params(), 3, 1, seed=42, spacing_seconds=0.1)
+        b = MemberLoss(self.params(), 3, 1, seed=42, spacing_seconds=0.1)
+        assert [a.lost(s) for s in range(200)] == [
+            b.lost(s) for s in range(200)
+        ]
+
+    def test_out_of_order_queries_match_in_order(self):
+        a = MemberLoss(self.params(), 3, 1, seed=42, spacing_seconds=0.1)
+        b = MemberLoss(self.params(), 3, 1, seed=42, spacing_seconds=0.1)
+        forward = [a.lost(s) for s in range(100)]
+        backward = [b.lost(s) for s in reversed(range(100))]
+        assert forward == list(reversed(backward))
+
+    def test_intervals_use_independent_chains(self):
+        a = MemberLoss(self.params(), 3, 1, seed=42, spacing_seconds=0.1)
+        b = MemberLoss(self.params(), 3, 2, seed=42, spacing_seconds=0.1)
+        assert [a.lost(s) for s in range(300)] != [
+            b.lost(s) for s in range(300)
+        ]
+
+    def test_members_use_independent_receiver_chains(self):
+        # Indices 1 and 2 are both low-loss at alpha=0.25 striping.
+        a = MemberLoss(self.params(), 1, 1, seed=42, spacing_seconds=0.1)
+        b = MemberLoss(self.params(), 2, 1, seed=42, spacing_seconds=0.1)
+        assert [a.lost(s) for s in range(500)] != [
+            b.lost(s) for s in range(500)
+        ]
+
+    def test_source_outage_is_shared(self):
+        # With lossless receiver links, every member sees exactly the
+        # shared source chain — the paper's common uplink.
+        params = self.params(p_high=0.0, p_low=0.0, p_source=0.3)
+        a = MemberLoss(params, 1, 1, seed=42, spacing_seconds=0.1)
+        b = MemberLoss(params, 9, 1, seed=42, spacing_seconds=0.1)
+        history_a = [a.lost(s) for s in range(300)]
+        history_b = [b.lost(s) for s in range(300)]
+        assert history_a == history_b
+        assert any(history_a)  # the chain actually drops something
+
+    def test_dropped_counter(self):
+        loss = MemberLoss(
+            self.params(p_high=1.0, p_low=1.0, alpha=1.0),
+            0,
+            1,
+            seed=1,
+            spacing_seconds=0.1,
+        )
+        for slot in range(10):
+            assert loss.lost(slot)
+        assert loss.dropped == 10
+
+    def test_high_cohort_drops_more(self):
+        params = self.params(p_source=0.0)
+        high = MemberLoss(params, 0, 1, seed=7, spacing_seconds=0.1)
+        low = MemberLoss(params, 1, 1, seed=7, spacing_seconds=0.1)
+        assert high.cohort == "high" and low.cohort == "low"
+        n_high = sum(high.lost(s) for s in range(2000))
+        n_low = sum(low.lost(s) for s in range(2000))
+        assert n_high > n_low

@@ -1,0 +1,118 @@
+"""Aggregation-window semantics: completion, dedup, early close."""
+
+import asyncio
+
+import pytest
+
+from repro.wire.codec import Feedback
+from repro.wire.server import AggregationWindow
+
+
+def make_feedback(member_index, nack=None, done=True):
+    return Feedback(
+        member_index=member_index,
+        user_id=member_index + 100,
+        done=done,
+        recovery_round=1,
+        dropped=0,
+        fingerprint="a1b2c3d4e5f6",
+        latency_ms=0.0,
+        nack=nack,
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestOffer:
+    def test_completes_when_all_report(self):
+        async def scenario():
+            window = AggregationWindow([1, 2, 3])
+            assert not window.complete
+            assert window.offer(1, make_feedback(1))
+            assert window.offer(2, make_feedback(2))
+            assert window.missing == [3]
+            assert not window.complete
+            assert window.offer(3, make_feedback(3))
+            assert window.complete
+            assert window.missing == []
+
+        run(scenario())
+
+    def test_duplicates_rejected(self):
+        async def scenario():
+            window = AggregationWindow([1])
+            first = make_feedback(1, done=False)
+            assert window.offer(1, first)
+            assert not window.offer(1, make_feedback(1, done=True))
+            # The first report wins; a cache-answered retry cannot flip
+            # what the server already aggregated.
+            assert window.reported[1] is first
+
+        run(scenario())
+
+    def test_unexpected_members_rejected(self):
+        async def scenario():
+            window = AggregationWindow([1, 2])
+            assert not window.offer(9, make_feedback(9))
+            assert window.reported == {}
+
+        run(scenario())
+
+    def test_nacks_collected_only_when_present(self):
+        async def scenario():
+            window = AggregationWindow([1, 2])
+            window.offer(1, make_feedback(1, nack="nack-1", done=False))
+            window.offer(2, make_feedback(2, nack=None))
+            assert window.nacks == ["nack-1"]
+
+        run(scenario())
+
+    def test_empty_expected_set_is_born_complete(self):
+        async def scenario():
+            window = AggregationWindow([])
+            assert window.complete
+            assert await window.wait(0.01)
+
+        run(scenario())
+
+
+class TestWait:
+    def test_times_out_while_incomplete(self):
+        async def scenario():
+            window = AggregationWindow([1])
+            assert not await window.wait(0.01)
+
+        run(scenario())
+
+    def test_closes_early_on_last_report(self):
+        async def scenario():
+            window = AggregationWindow([1])
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            loop.call_later(0.02, window.offer, 1, make_feedback(1))
+            # The window cap is far longer than the report delay; an
+            # early close must return well before the cap.
+            assert await window.wait(5.0)
+            assert loop.time() - started < 2.0
+
+        run(scenario())
+
+    def test_wait_after_completion_returns_immediately(self):
+        async def scenario():
+            window = AggregationWindow([1])
+            window.offer(1, make_feedback(1))
+            assert await window.wait(0.0001)
+
+        run(scenario())
+
+
+class TestWindowSecondsFromConfig:
+    def test_group_config_carries_the_window(self):
+        from repro.core.config import GroupConfig
+
+        config = GroupConfig(nack_window_seconds=0.05)
+        assert config.nack_window_seconds == 0.05
+        with pytest.raises(ValueError):
+            GroupConfig(nack_window_seconds=0.0)
