@@ -91,6 +91,14 @@ def _build_parser():
         default="sim",
     )
     serve.add_argument(
+        "--engine",
+        choices=["python", "numpy", "numba"],
+        default="python",
+        help="hot-path implementation: the per-object oracle pipeline "
+        "(python) or the vectorised array plane (numpy; numba degrades "
+        "to numpy when unavailable) — output is bit-identical",
+    )
+    serve.add_argument(
         "--bind",
         default="127.0.0.1",
         metavar="HOST",
@@ -514,7 +522,7 @@ def _cmd_serve(args, out):
         make_driver,
     )
 
-    config = GroupConfig(block_size=5, seed=args.seed)
+    config = GroupConfig(block_size=5, seed=args.seed, engine=args.engine)
     service = DaemonConfig(
         state_dir=args.state_dir,
         interval_seconds=args.interval_seconds,
@@ -583,11 +591,13 @@ def _cmd_serve(args, out):
             obs=obs,
         )
         print(
-            "serving a %d-member group (%s transport, %s churn%s)"
+            "serving a %d-member group (%s transport, %s churn, "
+            "%s engine%s)"
             % (
                 daemon.server.n_users,
                 args.transport,
                 args.churn,
+                config.engine,
                 ", durable" if args.state_dir else "",
             ),
             file=out,

@@ -17,13 +17,18 @@ class GroupConfig:
     packets, FEC block size 10, proactivity factor 1, NACK target 20,
     100 ms sending interval, and the heterogeneous burst-loss topology.
 
-    Two hot-path knobs select implementations, not behaviour — every
+    Three hot-path knobs select implementations, not behaviour — every
     combination produces bit-identical protocol output:
 
     - ``incremental_marking``: re-mark only paths touched by the batch
       (default) instead of scanning the whole tree each interval;
     - ``fec_coder``: ``"matrix"`` (translation-table RSE, default) or
-      ``"reference"`` (the scalar oracle coder).
+      ``"reference"`` (the scalar oracle coder);
+    - ``engine``: ``"python"`` (per-object oracle pipeline, default),
+      ``"numpy"`` (array-plane marking, batched GF(256) parity, and the
+      vectorised delivery session — :mod:`repro.fastpath`), or
+      ``"numba"`` (reserved JIT tier; degrades to ``"numpy"`` when
+      numba is not installed).
     """
 
     degree: int = 4
@@ -48,6 +53,7 @@ class GroupConfig:
     seed: int = 20010827
     incremental_marking: bool = True
     fec_coder: str = "matrix"
+    engine: str = "python"
 
     def __post_init__(self):
         from repro.fec.rse import CODER_KINDS
@@ -76,3 +82,8 @@ class GroupConfig:
                 "fec_coder must be one of %s, got %r"
                 % (", ".join(CODER_KINDS), self.fec_coder)
             )
+        # Validates the name and degrades "numba" to "numpy" when the
+        # JIT tier is unavailable (never a behaviour change).
+        from repro.fastpath import resolve_engine
+
+        self.engine = resolve_engine(self.engine)

@@ -48,13 +48,16 @@ class GroupKeyServer:
         self.tree = KeyTree.full_balanced(
             initial_users, self.config.degree, key_factory=self._factory
         )
-        self._marking = make_marking(self.config.incremental_marking)
+        self._marking = make_marking(
+            self.config.incremental_marking, engine=self.config.engine
+        )
         self._builder = RekeyMessageBuilder(
             packet_size=self.config.packet_size,
             block_size=self.config.block_size,
             cipher=self._cipher,
             signer=self.signer,
             coder_kind=self.config.fec_coder,
+            engine=self.config.engine,
         )
         self._pending_joins = []
         self._pending_leaves = []
@@ -97,24 +100,28 @@ class GroupKeyServer:
         return list(self._pending_joins), list(self._pending_leaves)
 
     def request_join(self, user):
-        """Queue an (authenticated) join for the next rekey interval."""
-        if user in self.tree.users or user in self._pending_joins:
+        """Queue an (authenticated) join for the next rekey interval.
+
+        A member with a leave already queued this interval may re-join:
+        the marking algorithm renews its slot in place (Replace), so its
+        old individual key still dies with the interval.
+        """
+        if user in self._pending_joins:
             raise DuplicateUserError("user %r already joined/queued" % (user,))
-        if user in self._pending_leaves:
-            raise ConfigurationError(
-                "user %r has a pending leave this interval" % (user,)
-            )
+        if self.tree.has_user(user) and user not in self._pending_leaves:
+            raise DuplicateUserError("user %r already joined/queued" % (user,))
         self._pending_joins.append(user)
 
     def request_leave(self, user):
         """Queue a leave for the next rekey interval."""
-        if user in self._pending_leaves:
-            raise ConfigurationError("leave already queued for %r" % (user,))
         if user in self._pending_joins:
-            # Joined and left within one interval: cancel both.
+            # Joined (or re-joined) and left within one interval: cancel
+            # the join; a member's earlier queued leave, if any, stands.
             self._pending_joins.remove(user)
             return
-        if user not in self.tree.users:
+        if user in self._pending_leaves:
+            raise ConfigurationError("leave already queued for %r" % (user,))
+        if not self.tree.has_user(user):
             raise UnknownUserError("unknown user %r" % (user,))
         self._pending_leaves.append(user)
 
@@ -206,13 +213,16 @@ class GroupKeyServer:
                 "snapshot degree %d != config degree %d"
                 % (server.tree.degree, config.degree)
             )
-        server._marking = make_marking(config.incremental_marking)
+        server._marking = make_marking(
+            config.incremental_marking, engine=config.engine
+        )
         server._builder = RekeyMessageBuilder(
             packet_size=config.packet_size,
             block_size=config.block_size,
             cipher=server._cipher,
             signer=server.signer,
             coder_kind=config.fec_coder,
+            engine=config.engine,
         )
         server._pending_joins = []
         server._pending_leaves = []

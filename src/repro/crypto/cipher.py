@@ -108,8 +108,15 @@ class XorStreamCipher:
         if not isinstance(key, SymmetricKey):
             raise CryptoError("key must be a SymmetricKey")
         plaintext = bytes(plaintext)
-        stream = self._keystream(key, len(plaintext))
-        body = bytes(p ^ s for p, s in zip(plaintext, stream))
+        length = len(plaintext)
+        stream = self._keystream(key, length)
+        # XOR as one big-int op: identical bytes to the per-byte zip,
+        # without a genexpr frame per byte (this runs once per tree
+        # edge per rekey, thousands of times an interval).
+        body = (
+            int.from_bytes(plaintext, "big")
+            ^ int.from_bytes(stream, "big")
+        ).to_bytes(length, "big")
         if self._meter is not None:
             self._meter.record_encrypt(len(plaintext))
         return body + self._checksum(key, plaintext)

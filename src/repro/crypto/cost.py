@@ -55,16 +55,23 @@ class CostModel:
         check_non_negative("decrypt_seconds", self.decrypt_seconds)
         check_non_negative("sign_seconds", self.sign_seconds)
         check_non_negative("verify_seconds", self.verify_seconds)
+        # The meter charges per primitive call, so the lookup table is
+        # built once (the dataclass is frozen — fields cannot drift).
+        object.__setattr__(
+            self,
+            "_table",
+            {
+                CryptoOp.KEYGEN: self.keygen_seconds,
+                CryptoOp.ENCRYPT: self.encrypt_seconds,
+                CryptoOp.DECRYPT: self.decrypt_seconds,
+                CryptoOp.SIGN: self.sign_seconds,
+                CryptoOp.VERIFY: self.verify_seconds,
+            },
+        )
 
     def seconds_for(self, op):
         """Cost in seconds of one operation of class ``op``."""
-        return {
-            CryptoOp.KEYGEN: self.keygen_seconds,
-            CryptoOp.ENCRYPT: self.encrypt_seconds,
-            CryptoOp.DECRYPT: self.decrypt_seconds,
-            CryptoOp.SIGN: self.sign_seconds,
-            CryptoOp.VERIFY: self.verify_seconds,
-        }[CryptoOp(op)]
+        return self._table[CryptoOp(op)]
 
     def batch_seconds(self, keygens, encryptions, signatures=1):
         """Modelled server time for one rekey batch."""
@@ -92,9 +99,10 @@ class CostMeter:
     seconds: float = 0.0
 
     def _bump(self, op, n=1):
-        op = CryptoOp(op)
+        if op.__class__ is not CryptoOp:
+            op = CryptoOp(op)
         self.counts[op] = self.counts.get(op, 0) + n
-        self.seconds += n * self.model.seconds_for(op)
+        self.seconds += n * self.model._table[op]
 
     def record_keygen(self):
         self._bump(CryptoOp.KEYGEN)

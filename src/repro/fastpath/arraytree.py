@@ -1,0 +1,255 @@
+"""The key tree as flat numpy arrays.
+
+:class:`ArrayTree` is a column-oriented snapshot of a
+:class:`~repro.keytree.tree.KeyTree`: one row per *present* node, sorted
+by node ID, with parallel arrays for kind, key version and (when the
+source tree is keyed) key material, plus the full renewal-counter map —
+including counters of currently *absent* nodes, which the object tree
+keeps so a re-created node continues its version sequence (the PR 5
+``from_records`` phantom-counter lesson).
+
+Conversion is lossless both ways: ``to_keytree`` goes through the
+supported :meth:`KeyTree.from_records` restore path with the counters
+passed as the authoritative ``versions`` map, so
+``ArrayTree.from_keytree(t).to_keytree()`` serialises byte-identically
+to ``t`` (enforced by the round-trip property tests).
+
+The array form is what the vectorized marking stages operate on:
+ancestor propagation, label derivation and per-user needs enumeration
+become iterated ``(id - 1) // d`` maps and ``np.isin`` reductions over
+these columns instead of per-node Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.keys import KEY_LENGTH, SymmetricKey
+from repro.errors import KeyTreeError
+from repro.keytree.nodes import NodeKind
+from repro.keytree.tree import KeyTree
+
+
+class ArrayTree:
+    """Flat-array snapshot of a key tree (rows sorted by node ID)."""
+
+    __slots__ = (
+        "degree",
+        "node_ids",
+        "is_u",
+        "versions",
+        "users",
+        "key_material",
+        "counters",
+        "marked",
+    )
+
+    def __init__(
+        self, degree, node_ids, is_u, versions, users, key_material, counters
+    ):
+        self.degree = int(degree)
+        #: present node IDs, ascending
+        self.node_ids = np.asarray(node_ids, dtype=np.int64)
+        #: True where the row is a u-node (False: k-node)
+        self.is_u = np.asarray(is_u, dtype=bool)
+        #: each row's current key version (``TreeNode.version``)
+        self.versions = np.asarray(versions, dtype=np.int64)
+        #: user name per row (None on k-node rows)
+        self.users = list(users)
+        #: 16-byte key material per row, or None for a keyless tree
+        self.key_material = (
+            None if key_material is None else list(key_material)
+        )
+        #: renewal counters ``{node_id: last version}`` — the full map,
+        #: absent-node entries included
+        self.counters = dict(counters)
+        #: scratch flags for marking passes (not part of equality)
+        self.marked = np.zeros(len(self.node_ids), dtype=bool)
+        if not (
+            len(self.node_ids)
+            == len(self.is_u)
+            == len(self.versions)
+            == len(self.users)
+        ):
+            raise KeyTreeError("array tree columns disagree in length")
+        if self.key_material is not None and len(self.key_material) != len(
+            self.node_ids
+        ):
+            raise KeyTreeError("key column disagrees in length")
+        if len(self.node_ids) > 1 and not np.all(
+            np.diff(self.node_ids) > 0
+        ):
+            raise KeyTreeError("node IDs must be strictly increasing")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_keytree(cls, tree):
+        """Snapshot ``tree`` (any :class:`KeyTree`, keyed or keyless)."""
+        ids = tree.node_ids()
+        is_u = []
+        versions = []
+        users = []
+        material = []
+        for node_id in ids:
+            node = tree.node(node_id)
+            is_u.append(node.is_u_node)
+            versions.append(node.version)
+            users.append(node.user)
+            material.append(None if node.key is None else node.key.material)
+        # Keyed-ness is a property of the *nodes*, not of whether a
+        # factory is attached: ``from_records`` restores key material
+        # into a factory-less tree (the HA replica path), and that must
+        # still snapshot as keyed.
+        if all(m is None for m in material):
+            material = None
+        return cls(
+            degree=tree.degree,
+            node_ids=ids,
+            is_u=is_u,
+            versions=versions,
+            users=users,
+            key_material=material,
+            counters=tree.version_counters,
+        )
+
+    def to_keytree(self, key_factory=None):
+        """Rebuild the object tree (validated by ``from_records``).
+
+        ``key_factory`` re-attaches a factory for *future* key
+        generation; the snapshot's own key material is restored verbatim
+        (a keyless snapshot stays keyless regardless of the factory,
+        mirroring how persistence restores keyed state).
+        """
+        records = []
+        for row in range(len(self.node_ids)):
+            node_id = int(self.node_ids[row])
+            record = {
+                "id": node_id,
+                "kind": (
+                    NodeKind.U_NODE if self.is_u[row] else NodeKind.K_NODE
+                ),
+                "version": int(self.versions[row]),
+            }
+            if self.is_u[row]:
+                record["user"] = self.users[row]
+            if self.key_material is not None:
+                record["key"] = SymmetricKey(
+                    self.key_material[row],
+                    node_id=node_id,
+                    version=int(self.versions[row]),
+                )
+            records.append(record)
+        return KeyTree.from_records(
+            self.degree,
+            records,
+            versions=dict(self.counters),
+            key_factory=key_factory,
+        )
+
+    # -- structure queries -------------------------------------------------
+
+    @property
+    def n_nodes(self):
+        return len(self.node_ids)
+
+    @property
+    def u_node_ids(self):
+        return self.node_ids[self.is_u]
+
+    @property
+    def k_node_ids(self):
+        return self.node_ids[~self.is_u]
+
+    @property
+    def max_knode_id(self):
+        k_ids = self.k_node_ids
+        return int(k_ids[-1]) if len(k_ids) else -1
+
+    def index_of(self, ids):
+        """Row indices of ``ids`` (must all be present nodes)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        rows = np.searchsorted(self.node_ids, ids)
+        if np.any(rows >= len(self.node_ids)) or np.any(
+            self.node_ids[np.minimum(rows, len(self.node_ids) - 1)] != ids
+        ):
+            raise KeyTreeError("lookup of absent node IDs")
+        return rows
+
+    def parent_rows(self):
+        """Row index of each row's parent (-1 for the root row)."""
+        parents = (self.node_ids - 1) // self.degree
+        rows = np.searchsorted(self.node_ids, parents)
+        rows = np.where(self.node_ids == 0, -1, rows)
+        return rows
+
+    # -- vectorized ancestor machinery ------------------------------------
+
+    def touched_ancestors(self, touched_ids):
+        """All proper ancestors (root included) of ``touched_ids``.
+
+        The array analogue of the marking algorithm's
+        ``_touched_ancestors``: iterate the parent map over the whole
+        frontier at once, de-duplicating per level, until every walk has
+        passed the root.  Returns a sorted ``int64`` array.
+        """
+        frontier = np.unique(np.asarray(list(touched_ids), dtype=np.int64))
+        collected = []
+        while len(frontier):
+            frontier = np.unique((frontier[frontier > 0] - 1) // self.degree)
+            collected.append(frontier)
+        if not collected:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(collected))
+
+    def needs_pairs(self, updated_knode_ids):
+        """Vectorized needs enumeration for every current member.
+
+        For each u-node, the encryption IDs it must receive are the
+        *child* IDs along its path whose parent is an updated k-node,
+        deepest first.  Returns ``(u_ids, level_children)`` where
+        ``level_children[j][i]`` is the needed child ID of user
+        ``u_ids[i]`` at the ``j``-th step up its path, or ``-1`` when
+        that parent was not updated — exactly the per-user lists the
+        oracle's ``BatchResult.needs_by_user`` builds one path at a
+        time.
+        """
+        u_ids = self.u_node_ids
+        updated = np.asarray(updated_knode_ids, dtype=np.int64)
+        level_children = []
+        current = u_ids.copy()
+        while np.any(current > 0):
+            parent = np.where(current > 0, (current - 1) // self.degree, -1)
+            wanted = (current > 0) & np.isin(parent, updated)
+            level_children.append(np.where(wanted, current, -1))
+            current = parent
+        return u_ids, level_children
+
+    # -- equality ----------------------------------------------------------
+
+    def __eq__(self, other):
+        if not isinstance(other, ArrayTree):
+            return NotImplemented
+        if (self.key_material is None) != (other.key_material is None):
+            return False
+        return (
+            self.degree == other.degree
+            and np.array_equal(self.node_ids, other.node_ids)
+            and np.array_equal(self.is_u, other.is_u)
+            and np.array_equal(self.versions, other.versions)
+            and self.users == other.users
+            and self.key_material == other.key_material
+            and self.counters == other.counters
+        )
+
+    def __repr__(self):
+        return "ArrayTree(d=%d, nodes=%d, users=%d, %s)" % (
+            self.degree,
+            self.n_nodes,
+            int(self.is_u.sum()),
+            "keyless" if self.key_material is None else "keyed",
+        )
+
+
+# Re-exported for callers that size buffers from the snapshot.
+__all__ = ["ArrayTree", "KEY_LENGTH"]

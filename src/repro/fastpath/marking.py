@@ -1,0 +1,155 @@
+"""Array-plane marking: vectorized propagation and needs enumeration.
+
+The object-level marking algorithms already keep the *tree mutation*
+cheap (O(batch × height)); what remains O(N) every interval is the
+downstream enumeration — walking every member's path to decide which
+encryptions it needs, and (for large batches) collecting the ancestor
+frontier to re-label.  :class:`ArrayMarkingAlgorithm` keeps the
+incremental algorithm's mutation byte-for-byte (it *is* the incremental
+algorithm) and replaces those scans with whole-array operations:
+
+- ancestor propagation as an iterated ``(id - 1) // d`` parent map over
+  the whole frontier with per-level ``np.unique`` dedup;
+- needs enumeration as level-synchronous path ascent over the sorted
+  u-node ID column with ``np.isin`` membership tests against the
+  updated-k-node set.
+
+Key-version bumps and key material regeneration stay per-node: each new
+key is an independent BLAKE2b derivation, so there is nothing to fuse —
+the version *sequence* (and therefore every derived key byte) is
+identical across engines by construction.
+
+The labelling decision per candidate k-node remains a small dict loop
+(bounded by the batch's touched paths, not by N); only the candidate
+*generation* is vectorized, and only once the frontier is large enough
+to beat the object walk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MarkingError
+from repro.keytree.marking import (
+    BatchResult,
+    IncrementalMarkingAlgorithm,
+    _touched_ancestors,
+)
+from repro.keytree.nodes import NodeKind, NodeLabel
+
+
+class ArrayBatchResult(BatchResult):
+    """BatchResult whose needs enumeration is a whole-array operation.
+
+    Produces a dict equal (same keys, same ordered value lists) to the
+    oracle's per-path walk — the differential suite compares them
+    directly — while touching each (user, level) pair only inside numpy.
+    """
+
+    def needs_by_user(self):
+        if self._needs_cache is not None:
+            return self._needs_cache
+        updated = np.asarray(
+            self.subtree.updated_knode_ids, dtype=np.int64
+        )
+        u_ids = np.asarray(self.tree.u_node_ids(), dtype=np.int64)
+        if len(u_ids) == 0 or len(updated) == 0:
+            self._needs_cache = {}
+            return self._needs_cache
+        d = self.tree.degree
+        current = u_ids.copy()
+        level_columns = []
+        while np.any(current > 0):
+            parent = np.where(current > 0, (current - 1) // d, 0)
+            wanted = (current > 0) & np.isin(parent, updated)
+            level_columns.append(np.where(wanted, current, -1))
+            current = np.where(current > 0, parent, 0)
+        columns = np.stack(level_columns, axis=1)
+        needs = {}
+        for u_id, row in zip(u_ids.tolist(), columns.tolist()):
+            wanted = [child for child in row if child >= 0]
+            if wanted:
+                needs[u_id] = wanted
+        self._needs_cache = needs
+        return needs
+
+
+#: Below this many touched leaves the object-level frontier walk wins
+#: (numpy call overhead dominates); measured on the bench workloads.
+_VECTOR_FRONTIER_MIN = 64
+
+
+def _touched_ancestors_vectorized(touched_ids, degree):
+    """Array analogue of ``marking._touched_ancestors`` (same set)."""
+    frontier = np.unique(np.fromiter(touched_ids, dtype=np.int64))
+    collected = []
+    while len(frontier):
+        frontier = np.unique((frontier[frontier > 0] - 1) // degree)
+        collected.append(frontier)
+    if not collected:
+        return set()
+    return set(np.concatenate(collected).tolist())
+
+
+def _frontier(touched_ids, degree):
+    touched_ids = list(touched_ids)
+    if len(touched_ids) < _VECTOR_FRONTIER_MIN:
+        return _touched_ancestors(touched_ids, degree)
+    return _touched_ancestors_vectorized(touched_ids, degree)
+
+
+class ArrayMarkingAlgorithm(IncrementalMarkingAlgorithm):
+    """The ``engine="numpy"`` marking algorithm.
+
+    Tree mutation, labelling decisions, version bumps and edge order are
+    inherited from :class:`IncrementalMarkingAlgorithm` unchanged; the
+    ancestor-frontier collection and the needs enumeration run on
+    arrays.  Output is identical to both object algorithms (enforced by
+    ``tests/fastpath``).
+    """
+
+    result_class = ArrayBatchResult
+
+    def _prune_empty_knodes(self, tree, vacated):
+        pruned = set()
+        for k_id in sorted(_frontier(vacated, tree.degree), reverse=True):
+            if (
+                tree.kind_of(k_id) is NodeKind.K_NODE
+                and not tree.children_of(k_id)
+            ):
+                tree.remove_node(k_id)
+                pruned.add(k_id)
+        return pruned
+
+    def _label_k_nodes(self, tree, leaf_labels, vacated):
+        touched = set(leaf_labels) | set(vacated)
+        candidates = _frontier(touched, tree.degree)
+        labels = dict(leaf_labels)
+        k_labels = {}
+        for k_id in sorted(candidates, reverse=True):
+            if tree.kind_of(k_id) is not NodeKind.K_NODE:
+                continue
+            child_labels = []
+            for child in tree.children_of(k_id, present_only=False):
+                if tree.has_node(child):
+                    child_labels.append(
+                        labels.get(child, NodeLabel.UNCHANGED)
+                    )
+                elif child in vacated:
+                    child_labels.append(NodeLabel.LEAVE)
+            if not child_labels:
+                raise MarkingError(
+                    "k-node %d has no children to label from" % k_id
+                )
+            if all(c is NodeLabel.UNCHANGED for c in child_labels):
+                label = NodeLabel.UNCHANGED
+            elif all(
+                c in (NodeLabel.UNCHANGED, NodeLabel.JOIN)
+                for c in child_labels
+            ):
+                label = NodeLabel.JOIN
+            else:
+                label = NodeLabel.REPLACE
+            labels[k_id] = label
+            k_labels[k_id] = label
+        return k_labels

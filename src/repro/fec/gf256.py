@@ -201,6 +201,51 @@ def gf_matmul_dense(a, b):
     return out
 
 
+def gf_encode_stacked(rows, blocks):
+    """Apply generator ``rows`` to a *stack* of blocks in one fused call.
+
+    ``rows`` is ``(r, k)`` of field elements; ``blocks`` is a
+    ``(n_blocks, k, length)`` uint8 array — every data packet of every
+    block of one rekey message at once.  Returns
+    ``(n_blocks, r, length)`` uint8: ``out[b]`` equals
+    ``gf_matmul(rows, blocks[b])`` (the per-block path), but the whole
+    message is encoded with two extended-table gathers and one XOR
+    reduction instead of ``n_blocks * r * k`` per-coefficient passes.
+
+    Chunked over blocks so the intermediate ``(chunk, r, k, length)``
+    product tensor stays within a fixed footprint regardless of how many
+    blocks an interval produced.
+    """
+    rows = np.asarray(rows, dtype=np.uint8)
+    blocks = np.asarray(blocks, dtype=np.uint8)
+    if rows.ndim != 2 or blocks.ndim != 3:
+        raise FECError(
+            "gf_encode_stacked expects (r, k) rows and "
+            "(n_blocks, k, length) blocks"
+        )
+    if rows.shape[1] != blocks.shape[1]:
+        raise FECError(
+            "shape mismatch: rows are %r, blocks are %r"
+            % (rows.shape, blocks.shape)
+        )
+    n_blocks, k, length = blocks.shape
+    r = rows.shape[0]
+    out = np.zeros((n_blocks, r, length), dtype=np.uint8)
+    if r == 0 or n_blocks == 0 or k == 0:
+        return out
+    log_rows = GF_LOG_EXT[rows]  # (r, k)
+    per_block = max(1, r * k * length)
+    chunk = max(1, (1 << 24) // per_block)
+    for start in range(0, n_blocks, chunk):
+        stop = min(start + chunk, n_blocks)
+        log_blocks = GF_LOG_EXT[blocks[start:stop]]  # (c, k, length)
+        products = GF_EXP_EXT[
+            log_rows[None, :, :, None] + log_blocks[:, None, :, :]
+        ]
+        out[start:stop] = np.bitwise_xor.reduce(products, axis=2)
+    return out
+
+
 def gf_matrix_invert_fast(matrix):
     """Vectorised Gauss-Jordan inversion over GF(2^8).
 

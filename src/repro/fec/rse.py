@@ -41,6 +41,7 @@ import numpy as np
 from repro.errors import FECError, NotEnoughPacketsError
 from repro.fec.gf256 import (
     GF_EXP,
+    gf_encode_stacked,
     gf_matmul,
     gf_matmul_dense,
     gf_matrix_invert,
@@ -211,6 +212,25 @@ class _RSECoderBase:
             data_packets, n_parity
         )
 
+    def parity_blocks(self, blocks, n_parity, first_parity_index=0):
+        """Parity for *every* block of a message in one call.
+
+        ``blocks`` is a sequence of blocks, each a sequence of ``k``
+        equal-length data packets (all blocks of a rekey message share
+        one packet size, so one fused kernel can encode the whole
+        interval).  Returns one parity list per block — element ``b`` is
+        exactly ``self.parity(blocks[b], n_parity, first_parity_index)``.
+
+        This base implementation is the per-block oracle loop; the
+        matrix coder overrides it with the stacked GF(256) kernel
+        (:func:`repro.fec.gf256.gf_encode_stacked`), which ``tests/fec``
+        pins to the loop — and to committed golden bytes.
+        """
+        return [
+            self.parity(block, n_parity, first_parity_index)
+            for block in blocks
+        ]
+
     # -- decoding -------------------------------------------------------
 
     def decode(self, received):
@@ -376,6 +396,58 @@ class RSECoder(_RSECoderBase):
 
     def _invert(self, submatrix):
         return gf_matrix_invert_fast(submatrix)
+
+    def parity_blocks(self, blocks, n_parity, first_parity_index=0):
+        """Stacked-block parity: one fused kernel for the whole message.
+
+        Byte-identical to the base class's per-block loop (pinned by
+        ``tests/fec`` golden vectors); blocks with differing packet
+        lengths fall back to the loop, since the fused kernel needs one
+        rectangular array.
+        """
+        check_non_negative("n_parity", n_parity, integral=True)
+        check_non_negative(
+            "first_parity_index", first_parity_index, integral=True
+        )
+        blocks = [list(block) for block in blocks]
+        if n_parity == 0 or not blocks:
+            return [[] for _ in blocks]
+        first_row = self._k + first_parity_index
+        last_row = first_row + n_parity
+        if last_row > MAX_CODEWORDS:
+            raise FECError(
+                "parity rows %d..%d exceed the GF(256) limit of %d"
+                % (first_row, last_row - 1, MAX_CODEWORDS - 1)
+            )
+        for block in blocks:
+            self._check_block(block)
+        if len({len(block[0]) for block in blocks}) != 1:
+            return super().parity_blocks(
+                blocks, n_parity, first_parity_index
+            )
+        length = len(blocks[0][0])
+        stacked = np.frombuffer(
+            b"".join(
+                bytes(packet) for block in blocks for packet in block
+            ),
+            dtype=np.uint8,
+        ).reshape(len(blocks), self._k, length)
+        rows = self._generator[first_row:last_row]
+        obs = self.obs
+        if obs.enabled:
+            with obs.span(
+                "fec.encode_batch",
+                k=self._k,
+                n_blocks=len(blocks),
+                n_parity=int(n_parity),
+            ):
+                encoded = gf_encode_stacked(rows, stacked)
+        else:
+            encoded = gf_encode_stacked(rows, stacked)
+        return [
+            [row.tobytes() for row in block_rows]
+            for block_rows in encoded
+        ]
 
     def _decode_packets(self, indices, packets):
         pattern = tuple(indices)

@@ -150,6 +150,10 @@ class BatchResult:
 class MarkingAlgorithm:
     """Applies batches of joins/leaves to a :class:`KeyTree`."""
 
+    #: BatchResult (sub)class to instantiate; the array engine swaps in
+    #: a variant with vectorized needs enumeration.
+    result_class = BatchResult
+
     def __init__(self, renew_keys=True):
         #: When False, updated k-nodes are identified but key material is
         #: not regenerated — slightly faster for workload-only studies.
@@ -199,7 +203,7 @@ class MarkingAlgorithm:
         }
         labels = self._label(tree, replaced_ids, joined_ids, vacated)
         subtree = self._build_subtree(tree, labels)
-        return BatchResult(
+        return self.result_class(
             tree,
             subtree,
             joined_ids={
@@ -218,8 +222,12 @@ class MarkingAlgorithm:
         if len(set(leaves)) != len(leaves):
             raise MarkingError("duplicate names in leave batch")
         current = tree.users
+        leave_set = set(leaves)
         for user in joins:
-            if user in current:
+            # A member appearing in *both* lists left and re-joined
+            # within this interval: legal, handled as an in-place
+            # Replace at its old slot (its old key must die either way).
+            if user in current and user not in leave_set:
                 raise DuplicateUserError(
                     "join request for existing member %r" % (user,)
                 )
@@ -235,7 +243,7 @@ class MarkingAlgorithm:
         """Populate an empty tree: everything is a Join."""
         if not joins:
             empty = RekeySubtree(degree=tree.degree)
-            return BatchResult(tree, empty, {}, [], {})
+            return self.result_class(tree, empty, {}, [], {})
         height = idmath.min_height_for(len(joins), tree.degree) or 1
         first_leaf = idmath.first_id_of_level(height, tree.degree)
         for offset, user in enumerate(joins):
@@ -247,7 +255,7 @@ class MarkingAlgorithm:
         labels = {u_id: NodeLabel.JOIN for u_id in joined_ids}
         labels.update(self._label_k_nodes(tree, labels, vacated=set()))
         subtree = self._build_subtree(tree, labels)
-        return BatchResult(
+        return self.result_class(
             tree,
             subtree,
             joined_ids={user: tree.user_node_id(user) for user in joins},
@@ -259,18 +267,38 @@ class MarkingAlgorithm:
 
     def _update_tree(self, tree, joins, leaves, departed_ids):
         """Mutate the tree structure; return bookkeeping for labelling."""
-        n_replace = min(len(joins), len(leaves))
+        leave_set = set(leaves)
+        rejoins = [user for user in joins if user in leave_set]
+        rejoined_ids = []
+        for user in rejoins:
+            # Left and re-joined within the interval: the member keeps
+            # its slot but its individual key is renewed in place — a
+            # Replace whose departing and arriving user happen to match.
+            node_id = tree.user_node_id(user)
+            tree.replace_user(node_id, user)
+            rejoined_ids.append(node_id)
+        if rejoins:
+            rejoined_set = set(rejoined_ids)
+            joins = [user for user in joins if user not in leave_set]
+            departed_ids = [
+                node_id
+                for node_id in departed_ids
+                if node_id not in rejoined_set
+            ]
+
+        n_replace = min(len(joins), len(departed_ids))
         replaced_ids = departed_ids[:n_replace]
         for node_id, user in zip(replaced_ids, joins):
             tree.replace_user(node_id, user)
 
         vacated = set()
-        if len(leaves) > len(joins):
+        if len(departed_ids) > n_replace:
             for node_id in departed_ids[n_replace:]:
                 tree.remove_node(node_id)
                 vacated.add(node_id)
             vacated |= self._prune_empty_knodes(tree, vacated)
 
+        replaced_ids = rejoined_ids + replaced_ids
         joined_ids = list(replaced_ids)
         extra_joins = joins[n_replace:]
         if extra_joins:
@@ -493,7 +521,7 @@ class IncrementalMarkingAlgorithm(MarkingAlgorithm):
         self._moved_from = {}
         labels = self._label(tree, replaced_ids, joined_ids, vacated)
         subtree = self._build_subtree(tree, labels)
-        return BatchResult(
+        return self.result_class(
             tree,
             subtree,
             joined_ids={
@@ -573,9 +601,20 @@ class IncrementalMarkingAlgorithm(MarkingAlgorithm):
         return k_labels
 
 
-def make_marking(incremental=True, renew_keys=True, obs=None):
-    """Instantiate a marking algorithm; incremental is the default."""
-    if incremental:
+def make_marking(incremental=True, renew_keys=True, obs=None, engine="python"):
+    """Instantiate a marking algorithm; incremental is the default.
+
+    ``engine`` other than ``"python"`` selects the array-plane marking
+    (:class:`repro.fastpath.marking.ArrayMarkingAlgorithm`), which
+    subsumes the ``incremental`` knob: its tree mutation is the
+    incremental path and its propagation is vectorized, with output
+    guaranteed identical to both object-level algorithms.
+    """
+    if engine != "python":
+        from repro.fastpath.marking import ArrayMarkingAlgorithm
+
+        algorithm = ArrayMarkingAlgorithm(renew_keys=renew_keys)
+    elif incremental:
         algorithm = IncrementalMarkingAlgorithm(renew_keys=renew_keys)
     else:
         algorithm = MarkingAlgorithm(renew_keys=renew_keys)

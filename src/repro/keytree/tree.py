@@ -178,6 +178,20 @@ class KeyTree:
         """Set of current user names."""
         return set(self._users)
 
+    def has_user(self, user):
+        """True iff ``user`` is a current member (O(1), no set copy)."""
+        return user in self._users
+
+    @property
+    def version_counters(self):
+        """Snapshot of the renewal counters, absent nodes included.
+
+        A counter may outlive its node (a pruned k-node's counter keeps
+        ticking if the slot is re-created), so this map — not the
+        per-node versions — is what lossless snapshots must carry.
+        """
+        return dict(self._versions)
+
     def node_ids(self, kind=None):
         """Sorted IDs of present nodes, optionally filtered by kind."""
         if kind is None:
@@ -334,11 +348,16 @@ class KeyTree:
         del self._nodes[node_id]
 
     def replace_user(self, node_id, new_user):
-        """Swap the occupant of a u-node; the individual key is renewed."""
+        """Swap the occupant of a u-node; the individual key is renewed.
+
+        ``new_user`` may equal the current occupant: a member that left
+        and re-joined within one rekey interval keeps its slot but gets
+        a fresh individual key (its old one must stop working).
+        """
         node = self.node(node_id)
         if not node.is_u_node:
             raise KeyTreeError("node %d is not a u-node" % node_id)
-        if new_user in self._users:
+        if new_user != node.user and new_user in self._users:
             raise DuplicateUserError("user %r already in group" % (new_user,))
         del self._users[node.user]
         node.user = new_user

@@ -293,7 +293,9 @@ def bench_fleet_interval(p):
     )
 
 
-def _make_daemon(n_users, alpha, incremental, coder, seed=11, obs=None):
+def _make_daemon(
+    n_users, alpha, incremental, coder, seed=11, obs=None, engine="python"
+):
     from repro.core.config import GroupConfig
     from repro.service import (
         DaemonConfig,
@@ -303,7 +305,10 @@ def _make_daemon(n_users, alpha, incremental, coder, seed=11, obs=None):
     )
 
     config = GroupConfig(
-        seed=seed, incremental_marking=incremental, fec_coder=coder
+        seed=seed,
+        incremental_marking=incremental,
+        fec_coder=coder,
+        engine=engine,
     )
     backend = make_backend("sim", config, seed=seed + 1)
     churn = make_driver("poisson", alpha=alpha)
@@ -319,18 +324,50 @@ def _make_daemon(n_users, alpha, incremental, coder, seed=11, obs=None):
 
 
 def bench_daemon_interval(p):
-    """Full daemon intervals: default hot paths vs the pre-PR pipeline.
+    """Full daemon intervals: fastest configuration vs the pre-PR one.
 
-    "Reference" here configures the server exactly as the pre-PR
-    pipeline did — from-scratch marking and the scalar RSE coder — so
+    "Fast" is everything this repo has: the numpy engine (array
+    marking, vectorised delivery sessions, batched stacked-GF(256)
+    parity) over incremental marking and the matrix coder.  "Reference"
+    configures the server exactly as the original pipeline did —
+    per-object engine, from-scratch marking, the scalar RSE coder — so
     the speedup shows what the fast paths buy end to end (churn, fleet
-    bookkeeping and the delivery simulation are identical on both
-    sides).  Both daemons consume the same seeded churn sequence and
-    their intervals run interleaved.
+    bookkeeping and the loss draws are identical on both sides).  Both
+    daemons consume the same seeded churn and run interleaved.
     """
-    fast_daemon = _make_daemon(p["n_users"], p["alpha"], True, "matrix")
+    fast_daemon = _make_daemon(
+        p["n_users"], p["alpha"], True, "matrix", engine="numpy"
+    )
     slow_daemon = _make_daemon(
         p["n_users"], p["alpha"], False, "reference"
+    )
+    fast, slow = _interleaved(
+        fast_daemon.run_interval,
+        slow_daemon.run_interval,
+        p["daemon_pairs"],
+        warmup=0,  # intervals advance group state; don't burn churn
+    )
+    return _paired(
+        fast, slow, {"n_users": p["n_users"], "alpha": p["alpha"]}
+    )
+
+
+def bench_interval_fastpath(p):
+    """The engine knob in isolation: numpy vs python daemon intervals.
+
+    Unlike ``daemon_interval`` (which also folds in marking-mode and
+    coder-kind differences), both sides here run incremental marking
+    and the matrix coder — the *only* difference is
+    ``engine="numpy"`` vs ``engine="python"``, so the speedup is
+    exactly what the array plane (vectorised sessions, fleet-wide
+    absorption, batched parity) contributes.  The differential suite in
+    ``tests/fastpath`` certifies the two sides byte-identical.
+    """
+    fast_daemon = _make_daemon(
+        p["n_users"], p["alpha"], True, "matrix", engine="numpy"
+    )
+    slow_daemon = _make_daemon(
+        p["n_users"], p["alpha"], True, "matrix", engine="python"
     )
     fast, slow = _interleaved(
         fast_daemon.run_interval,
@@ -347,11 +384,10 @@ def bench_daemon_obs(p):
     """Observability overhead: disabled (NULL) vs enabled recorder.
 
     The roles are inverted relative to the other paired benchmarks:
-    "fast" is the daemon with observability *off* (the NULL recorder the
-    instrumented hot paths default to — also the fast side of
-    ``daemon_interval``, so the disabled path stays gated against the
-    committed baseline) and "reference" runs a live
-    :class:`~repro.obs.Recorder` with an in-memory
+    "fast" is the daemon with observability *off* (the NULL recorder
+    the instrumented hot paths default to, on the same numpy-engine
+    configuration ``daemon_interval`` gates) and "reference" runs a
+    live :class:`~repro.obs.Recorder` with an in-memory
     :class:`~repro.obs.EventBus`.  The resulting "speedup" is the
     enabled-path cost ratio and should sit near 1.0x; the gate is an
     *overhead ceiling* (``compare_bench.py --overhead daemon_obs``),
@@ -360,10 +396,12 @@ def bench_daemon_obs(p):
     """
     from repro.obs import EventBus, Recorder
 
-    plain = _make_daemon(p["n_users"], p["alpha"], True, "matrix")
+    plain = _make_daemon(
+        p["n_users"], p["alpha"], True, "matrix", engine="numpy"
+    )
     observed = _make_daemon(
         p["n_users"], p["alpha"], True, "matrix",
-        obs=Recorder(bus=EventBus()),
+        obs=Recorder(bus=EventBus()), engine="numpy",
     )
     fast, slow = _interleaved(
         plain.run_interval,
@@ -449,6 +487,7 @@ BENCHMARKS = (
     ("assignment", bench_assignment),
     ("fleet_interval", bench_fleet_interval),
     ("daemon_interval", bench_daemon_interval),
+    ("interval_fastpath", bench_interval_fastpath),
     ("daemon_obs", bench_daemon_obs),
     ("wire_fleet", bench_wire_fleet),
 )

@@ -64,9 +64,21 @@ class RekeyMessage:
         self.encryption_map = encryption_map
         self.signature = signature
         self.coder_kind = coder_kind
+        #: When True, parity rows are generated for *all* blocks in one
+        #: stacked GF(256) kernel call and served from a cache, instead
+        #: of one ``coder.parity`` call per block per round.  Rows are
+        #: byte-identical either way (``tests/fec`` pins the stacked
+        #: kernel to the per-block loop); the non-array engine keeps the
+        #: per-block path so the oracle exercises the reference shape.
+        self.batch_parity = False
         self._enc_packets = None
         self._slot_wires = None
         self._coders = {}
+        #: per-block list of generated parity rows; all blocks always
+        #: hold the *same* number of rows (every fill raises every block
+        #: to one common target), which is what lets one fused call
+        #: serve mixed per-block requests.
+        self._parity_rows = None
 
     # -- plan-level accessors --------------------------------------------
 
@@ -174,6 +186,28 @@ class RekeyMessage:
             wires[first + seq][FEC_PAYLOAD_OFFSET:] for seq in range(self.k)
         ]
 
+    def _ensure_parity_rows(self, target):
+        """Grow the batched parity cache so every block has ``target`` rows.
+
+        One :meth:`~repro.fec.rse.RSECoder.parity_blocks` call encodes
+        the missing rows of *all* blocks at once — the stacked kernel
+        fuses the whole interval's FEC work.  Because every fill raises
+        every block to the same target, the cache stays uniform and
+        ``first_parity_index`` bookkeeping per block is just an index.
+        """
+        if self._parity_rows is None:
+            self._parity_rows = [[] for _ in range(self.n_blocks)]
+        have = len(self._parity_rows[0]) if self._parity_rows else 0
+        if target <= have:
+            return
+        fresh = self._coder().parity_blocks(
+            [self.block_payloads(b) for b in range(self.n_blocks)],
+            target - have,
+            first_parity_index=have,
+        )
+        for block_id, rows in enumerate(fresh):
+            self._parity_rows[block_id].extend(rows)
+
     def parity_packets(self, block_id, n_parity, first_parity_index=0):
         """Generate ``n_parity`` new PARITY packets for ``block_id``.
 
@@ -182,10 +216,17 @@ class RekeyMessage:
         """
         self._require_wire()
         check_non_negative("n_parity", n_parity, integral=True)
-        payloads = self.block_payloads(block_id)
-        parity = self._coder().parity(
-            payloads, n_parity, first_parity_index=first_parity_index
-        )
+        if self.batch_parity:
+            self._ensure_parity_rows(first_parity_index + n_parity)
+            parity = self._parity_rows[block_id][
+                first_parity_index : first_parity_index + n_parity
+            ]
+        else:
+            parity = self._coder().parity(
+                self.block_payloads(block_id),
+                n_parity,
+                first_parity_index=first_parity_index,
+            )
         if self.obs.enabled:
             self.obs.emit(
                 "fec_encode",
@@ -250,6 +291,7 @@ class RekeyMessageBuilder:
         signer=None,
         coder_kind="matrix",
         obs=None,
+        engine="python",
     ):
         check_positive("packet_size", packet_size, integral=True)
         check_positive("block_size", block_size, integral=True)
@@ -259,6 +301,9 @@ class RekeyMessageBuilder:
         self.signer = signer
         self.coder_kind = coder_kind
         self.obs = obs if obs is not None else NULL
+        #: non-python engines get messages whose parity generation is
+        #: batched across blocks (RekeyMessage.batch_parity)
+        self.engine = engine
         self._assigner = UserOrientedKeyAssignment(packet_size=packet_size)
 
     def build(self, batch_result, message_id):
@@ -272,7 +317,9 @@ class RekeyMessageBuilder:
                 "message_id must fit the 6-bit field, got %r" % message_id
             )
         with self.obs.span("message.build", message_id=message_id):
-            return self._build(batch_result, message_id)
+            message = self._build(batch_result, message_id)
+        message.batch_parity = self.engine != "python"
+        return message
 
     def _build(self, batch_result, message_id):
         needs = batch_result.needs_by_user()

@@ -949,6 +949,7 @@ class RekeyDaemon:
             else "from-scratch"
         )
         report["fec_coder"] = self.server.config.fec_coder
+        report["engine"] = self.server.config.engine
         report["circuit"] = self.circuit.snapshot()
         report["ha"] = {
             "role": self.role,

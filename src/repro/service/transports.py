@@ -117,6 +117,10 @@ class SessionDelivery(DeliveryBackend):
         )
         self.adapt_rho = bool(adapt_rho)
         self.chaos = chaos
+        #: "python" runs the per-object oracle session and per-member
+        #: absorption; anything else the array plane (repro.fastpath) —
+        #: identical output either way, held together by tests/fastpath
+        self.engine = getattr(config, "engine", "python")
         self.controller = ProactivityController(
             k=config.block_size,
             rho=config.rho,
@@ -137,7 +141,12 @@ class SessionDelivery(DeliveryBackend):
         )
         self.controller.k = message.k
         rho = self.controller.rho
-        session = RekeySession(
+        session_class = RekeySession
+        if self.engine != "python":
+            from repro.fastpath.session import ArrayRekeySession
+
+            session_class = ArrayRekeySession
+        session = session_class(
             message,
             topology,
             SessionConfig(
@@ -160,7 +169,14 @@ class SessionDelivery(DeliveryBackend):
                     rho_max=self.controller.rho_max,
                 )
 
-        fleet.relocate_all(message.max_kid)
+        absorber = None
+        if self.engine != "python":
+            from repro.fastpath.absorb import FleetAbsorber
+
+            absorber = FleetAbsorber(self.config.degree)
+            absorber.relocate_fleet(fleet, message.max_kid)
+        else:
+            fleet.relocate_all(message.max_kid)
         by_id = fleet.by_user_id()
         user_rounds = {
             user_id: int(stats.user_rounds[index])
@@ -182,9 +198,14 @@ class SessionDelivery(DeliveryBackend):
                 )
             if member.name in carried_set:
                 continue
-            member.absorb_encryptions(
-                transport.recovered_encryptions, max_kid=message.max_kid
-            )
+            if absorber is not None:
+                # recovered_shared skips the defensive copy so the
+                # absorber can index each slot's tuple exactly once.
+                absorber.absorb(member, transport.recovered_shared())
+            else:
+                member.absorb_encryptions(
+                    transport.recovered_encryptions, max_kid=message.max_kid
+                )
 
         if carried:
             decision = CARRY_OVER

@@ -111,14 +111,18 @@ class RekeySession:
         if self.obs.enabled:
             coder.obs = self.obs
         self.coder = coder
-        self.users = {
+        self.users = self._make_users()
+
+    def _make_users(self):
+        """Per-user receiver state; the array engine overrides this."""
+        return {
             user_id: UserTransport(
                 user_id,
-                k=message.k,
+                k=self.message.k,
                 degree=self._degree_hint(),
-                n_blocks=message.n_blocks,
-                message_id=message.message_id,
-                coder=coder,
+                n_blocks=self.message.n_blocks,
+                message_id=self.message.message_id,
+                coder=self.coder,
             )
             for user_id in self.user_ids
         }
@@ -165,11 +169,7 @@ class RekeySession:
                     packets=len(planned),
                 )
                 clock = self._deliver_round(planned, clock)
-                nacks = []
-                for user_id in self.user_ids:
-                    nack = self.users[user_id].end_of_round()
-                    if nack is not None:
-                        nacks.append(nack)
+                nacks = self._collect_nacks()
                 if self.chaos is not None:
                     mangled = self.chaos.mangle_nacks(
                         self, round_index, nacks
@@ -222,13 +222,7 @@ class RekeySession:
                         self._run_unicast(pending, clock, stats.unicast)
                     break
             clock += self.config.round_gap_ms * 1e-3
-        stats.user_rounds = np.array(
-            [
-                self.users[user_id].recovery_round or 0
-                for user_id in self.user_ids
-            ],
-            dtype=int,
-        )
+        stats.user_rounds = self._user_rounds()
         self._emit(
             "session_complete",
             clock,
@@ -247,6 +241,25 @@ class RekeySession:
                 self.obs.emit(kind, sim_time=float(time), **detail)
 
     # -- internals -------------------------------------------------------------
+
+    def _collect_nacks(self):
+        """Run every user's round timeout; return their NACKs in ID order."""
+        nacks = []
+        for user_id in self.user_ids:
+            nack = self.users[user_id].end_of_round()
+            if nack is not None:
+                nacks.append(nack)
+        return nacks
+
+    def _user_rounds(self):
+        """Per-user multicast recovery round (0 = unicast), in ID order."""
+        return np.array(
+            [
+                self.users[user_id].recovery_round or 0
+                for user_id in self.user_ids
+            ],
+            dtype=int,
+        )
 
     def _n_done(self):
         return sum(1 for u in self.users.values() if u.done)

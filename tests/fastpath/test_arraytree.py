@@ -1,0 +1,117 @@
+"""Property tests: the array tree snapshot round-trips exactly.
+
+``ArrayTree.from_keytree`` → ``to_keytree`` must reproduce the object
+tree byte for byte — structure, user placement, key material, *and* the
+version counters that key derivation consumes (losing a counter would
+silently mint a stale key on the next renewal).  The churn schedules
+here force node splits, prunes, and Theorem 4.2 u-node moves, so moved
+users and resized levels are covered, not just the balanced seed tree.
+"""
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.keys import KeyFactory
+from repro.fastpath.arraytree import ArrayTree
+from repro.keytree import KeyTree
+from repro.keytree.marking import IncrementalMarkingAlgorithm
+from repro.keytree.persistence import tree_to_dict
+
+
+def canonical(tree):
+    return json.dumps(tree_to_dict(tree), sort_keys=True)
+
+
+def assert_roundtrip(tree):
+    snapshot = ArrayTree.from_keytree(tree)
+    rebuilt = snapshot.to_keytree(key_factory=tree._factory)
+    assert canonical(rebuilt) == canonical(tree)
+    assert rebuilt.version_counters == tree.version_counters
+    assert ArrayTree.from_keytree(rebuilt) == snapshot
+
+
+def churn_tree(seed, degree, schedule, n_users=30, keyed=True):
+    factory = KeyFactory(seed=seed % 100_003) if keyed else None
+    tree = KeyTree.full_balanced(
+        ["u%04d" % i for i in range(n_users)], degree, key_factory=factory
+    )
+    marking = IncrementalMarkingAlgorithm()
+    rng = np.random.default_rng(seed)
+    next_name = n_users
+    assert_roundtrip(tree)
+    for n_join, n_leave in schedule:
+        members = sorted(tree.users)
+        n_leave = min(n_leave, len(members))
+        leaves = [
+            str(u) for u in rng.choice(members, size=n_leave, replace=False)
+        ]
+        joins = ["u%04d" % (next_name + i) for i in range(n_join)]
+        next_name += n_join
+        if not tree.users and not joins:
+            continue
+        marking.apply(tree, joins=joins, leaves=leaves)
+        if tree.users:
+            assert_roundtrip(tree)
+    return tree
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000_000),
+        degree=st.sampled_from([2, 3, 4]),
+        schedule=st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_keyed_roundtrip_under_churn(self, seed, degree, schedule):
+        churn_tree(seed, degree, schedule, keyed=True)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000_000),
+        schedule=st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+    def test_keyless_roundtrip_under_churn(self, seed, schedule):
+        """Plan-mode trees (no key material) must round-trip too — the
+        HA replica path rebuilds from records without a factory."""
+        churn_tree(seed, 4, schedule, keyed=False)
+
+    def test_moved_unodes_survive(self):
+        """A join-heavy batch splits u-node slots into k-nodes, moving
+        the residents deeper; the moved users' IDs and versions must
+        survive the array round trip."""
+        factory = KeyFactory(seed=11)
+        tree = KeyTree.full_balanced(
+            ["m%02d" % i for i in range(5)], 4, key_factory=factory
+        )
+        marking = IncrementalMarkingAlgorithm()
+        batch = marking.apply(
+            tree,
+            joins=["j%02d" % i for i in range(12)],
+            leaves=[],
+        )
+        assert batch.moved  # the point of this case
+        assert_roundtrip(tree)
+
+    def test_version_counters_preserved_after_renewals(self):
+        factory = KeyFactory(seed=3)
+        tree = KeyTree.full_balanced(
+            ["v%02d" % i for i in range(16)], 4, key_factory=factory
+        )
+        marking = IncrementalMarkingAlgorithm()
+        for victim in ("v01", "v02", "v03"):
+            marking.apply(tree, joins=[], leaves=[victim])
+        assert any(v > 1 for v in tree.version_counters.values())
+        assert_roundtrip(tree)

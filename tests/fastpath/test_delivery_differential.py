@@ -1,0 +1,117 @@
+"""End-to-end differential: twin daemons, python vs numpy engine.
+
+The widest net in the fastpath suite: a full :class:`RekeyDaemon` with
+the simulated lossy transport, churn, both deadline policies, and the
+observability bus running — per-interval metric records, every member's
+final key state, the group key, and the complete obs *event* stream
+must be identical across engines.
+
+Spans are excluded from the event comparison by design: the array
+session recovers users without running the per-user RSE decoder, so
+``fec.decode`` spans (pure timing diagnostics) do not fire on the numpy
+path.  Events are the semantic surface; they must match exactly.
+"""
+
+import pytest
+
+from repro.core.config import GroupConfig
+from repro.obs import EventBus, Recorder
+from repro.service.churn import PoissonChurn
+from repro.service.daemon import DaemonConfig, RekeyDaemon
+from repro.service.transports import SessionDelivery
+from repro.sim.topology import LossParameters
+
+TIMING_KEYS = ("marking_ms", "duration_ms", "ms")
+
+
+def scrub(value):
+    if isinstance(value, dict):
+        return {
+            k: scrub(v) for k, v in value.items() if k not in TIMING_KEYS
+        }
+    if isinstance(value, list):
+        return [scrub(v) for v in value]
+    return value
+
+
+def run_daemon(engine, policy, loss=None, n_intervals=8, members=32,
+               alpha=0.3, seed=99):
+    config = GroupConfig(
+        block_size=5,
+        seed=seed,
+        engine=engine,
+        loss=loss if loss is not None else LossParameters(),
+    )
+    bus = EventBus(path=None)
+    daemon = RekeyDaemon.start_new(
+        ["m-%03d" % i for i in range(members)],
+        config=config,
+        backend=SessionDelivery(config, seed=seed + 1),
+        churn=PoissonChurn(alpha=alpha),
+        service=DaemonConfig(deadline_policy=policy, deadline_rounds=2),
+        seed=seed,
+        obs=Recorder(bus=bus),
+    )
+    records = daemon.run(n_intervals)
+    state = {
+        name: (
+            member.user_id,
+            sorted(
+                (node_id, key.material, key.version)
+                for node_id, key in member.path_keys.items()
+            ),
+        )
+        for name, member in daemon.fleet.members.items()
+    }
+    events = [
+        (e["kind"], scrub(e["detail"]))
+        for e in bus.events
+        if e["kind"] != "span"
+    ]
+    return {
+        "records": [scrub(r.to_dict()) for r in records],
+        "members": state,
+        "group_key": daemon.server.group_key.fingerprint(),
+        "events": events,
+        "health": scrub(
+            {k: v for k, v in daemon.health().items() if k != "engine"}
+        ),
+    }
+
+
+@pytest.mark.parametrize("policy", ["unicast", "carry"])
+def test_daemon_differential(policy):
+    oracle = run_daemon("python", policy)
+    fast = run_daemon("numpy", policy)
+    assert oracle["group_key"] == fast["group_key"]
+    assert oracle["members"] == fast["members"]
+    assert oracle["records"] == fast["records"]
+    assert len(oracle["events"]) == len(fast["events"])
+    for left, right in zip(oracle["events"], fast["events"]):
+        assert left == right
+    assert oracle["health"] == fast["health"]
+
+
+@pytest.mark.parametrize("policy", ["unicast", "carry"])
+def test_daemon_differential_high_loss(policy):
+    """Loss heavy enough to trigger cutovers, carries, and the circuit
+    breaker — the degradation paths must agree byte for byte too."""
+    loss = LossParameters(alpha=0.5, p_high=0.45)
+    oracle = run_daemon("python", policy, loss=loss, n_intervals=6,
+                        members=48, alpha=0.4, seed=13)
+    fast = run_daemon("numpy", policy, loss=loss, n_intervals=6,
+                      members=48, alpha=0.4, seed=13)
+    assert oracle == fast
+    decisions = {r["decision"] for r in oracle["records"]}
+    assert decisions & {"unicast-cutover", "carry-over"}  # loss did bite
+
+
+def test_health_reports_engine():
+    config = GroupConfig(block_size=5, engine="numpy")
+    daemon = RekeyDaemon.start_new(
+        ["h-%02d" % i for i in range(8)],
+        config=config,
+        backend=SessionDelivery(config),
+    )
+    daemon.run(1)
+    assert daemon.health()["engine"] == "numpy"

@@ -1,0 +1,88 @@
+"""The engine knob itself: names, degradation, and the numba tier.
+
+The contract: ``engine`` selects an implementation, never behaviour.
+``resolve_engine`` validates the name and degrades ``"numba"`` to
+``"numpy"`` when the JIT tier is not installed — so a config written on
+a numba-equipped host still runs (vectorised) on a bare one.  The numba
+differential below is **skipped, not failed**, on hosts without numba;
+the CI minimal-deps leg relies on exactly that.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fastpath import ENGINE_KINDS, HAS_NUMBA, resolve_engine
+
+
+class TestResolveEngine:
+    def test_known_engines(self):
+        assert resolve_engine("python") == "python"
+        assert resolve_engine("numpy") == "numpy"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_engine("cython")
+
+    def test_numba_degrades_when_absent(self):
+        expected = "numba" if HAS_NUMBA else "numpy"
+        assert resolve_engine("numba") == expected
+
+    def test_strict_numba_requires_numba(self):
+        if HAS_NUMBA:
+            assert resolve_engine("numba", strict=True) == "numba"
+        else:
+            with pytest.raises(ConfigurationError):
+                resolve_engine("numba", strict=True)
+
+    def test_engine_kinds_is_the_full_menu(self):
+        assert ENGINE_KINDS == ("python", "numpy", "numba")
+
+
+class TestConfigIntegration:
+    def test_config_validates_engine(self):
+        from repro.core.config import GroupConfig
+
+        with pytest.raises(ConfigurationError):
+            GroupConfig(engine="fortran")
+
+    def test_config_degrades_numba(self):
+        from repro.core.config import GroupConfig
+
+        expected = "numba" if HAS_NUMBA else "numpy"
+        assert GroupConfig(engine="numba").engine == expected
+
+    def test_make_marking_dispatch(self):
+        from repro.fastpath.marking import ArrayMarkingAlgorithm
+        from repro.keytree.marking import (
+            IncrementalMarkingAlgorithm,
+            make_marking,
+        )
+
+        assert not isinstance(
+            make_marking(True, engine="python"), ArrayMarkingAlgorithm
+        )
+        fast = make_marking(True, engine="numpy")
+        assert isinstance(fast, ArrayMarkingAlgorithm)
+        assert isinstance(fast, IncrementalMarkingAlgorithm)
+
+
+@pytest.mark.skipif(not HAS_NUMBA, reason="numba is not installed")
+class TestNumbaTier:
+    """Runs only where numba exists; elsewhere it must *skip*."""
+
+    def test_numba_engine_matches_python(self):
+        from repro.core.config import GroupConfig
+        from repro.core.server import GroupKeyServer
+        from repro.keytree.persistence import tree_to_dict
+
+        trees = []
+        for engine in ("python", "numba"):
+            server = GroupKeyServer(
+                ["u%02d" % i for i in range(16)],
+                config=GroupConfig(block_size=4, engine=engine),
+            )
+            server.request_leave("u03")
+            server.request_join("fresh")
+            server.rekey()
+            trees.append(tree_to_dict(server.tree))
+        assert trees[0] == trees[1]

@@ -1,0 +1,199 @@
+"""Differential: the numpy engine's rekey messages, byte for byte.
+
+Two :class:`GroupKeyServer` instances with identical seeds — one on the
+``python`` oracle engine, one on ``numpy`` — are driven through the
+*same* hypothesis-generated churn.  Every observable of every interval
+must be **exactly** equal, never statistically close:
+
+- the keyed trees (canonical ``tree_to_dict`` JSON: structure, users,
+  every key's bytes, every version counter);
+- the per-user needs map and its deepest-first ordering;
+- every ENC packet's encoded wire bytes;
+- PARITY payloads across multiple rounds (the numpy engine serves them
+  from the batched stacked-GF(256) cache; the oracle encodes per block
+  per call — same bytes required);
+- USR packets and the message signature.
+
+Together with the arraytree, session, and delivery differentials this
+file forms the >=200-example hypothesis sweep the fastpath rides behind.
+"""
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import GroupConfig
+from repro.core.server import GroupKeyServer
+from repro.keytree.persistence import tree_to_dict
+
+
+def canonical(tree):
+    return json.dumps(tree_to_dict(tree), sort_keys=True)
+
+
+def encryptions_digest(packets):
+    return [
+        (
+            p.rekey_message_id,
+            p.block_id,
+            p.seq_in_block,
+            p.frm_id,
+            p.to_id,
+            p.is_duplicate,
+            [(e.encryption_id, e.ciphertext) for e in p.encryptions],
+        )
+        for p in packets
+    ]
+
+
+def message_digest(message):
+    """Every wire-observable byte of one rekey message."""
+    if message.is_empty:
+        return {"empty": True, "id": message.message_id}
+    digest = {
+        "id": message.message_id,
+        "max_kid": message.max_kid,
+        "k": message.k,
+        "needs": sorted(
+            (u, list(v)) for u, v in message.needs_by_user.items()
+        ),
+        "enc_wires": [p.encode(message.packet_size)
+                      for p in message.enc_packets()],
+        "enc": encryptions_digest(message.enc_packets()),
+        "signature": message.signature,
+    }
+    # Parity over several rounds: round 1 asks for 2 rows per block,
+    # round 2 for 1 more — exercising the batched cache's uniform-fill
+    # growth against the oracle's per-block calls.
+    parity = []
+    for block_id in range(message.n_blocks):
+        for n, first in ((2, 0), (1, 2)):
+            for p in message.parity_packets(
+                block_id, n, first_parity_index=first
+            ):
+                parity.append((p.block_id, p.seq_in_block, p.payload))
+    digest["parity"] = parity
+    digest["usr"] = [
+        (
+            u,
+            [(e.encryption_id, e.ciphertext)
+             for e in message.usr_packet(u).encryptions],
+        )
+        for u in sorted(message.needs_by_user)[:5]
+    ]
+    return digest
+
+
+def run_twin_servers(seed, degree, schedule, n_users=24, block_size=4):
+    servers = {}
+    for engine in ("python", "numpy"):
+        servers[engine] = GroupKeyServer(
+            ["u%04d" % i for i in range(n_users)],
+            config=GroupConfig(
+                degree=degree,
+                block_size=block_size,
+                engine=engine,
+                crypto_seed=seed % 100_003,
+            ),
+        )
+    oracle, fast = servers["python"], servers["numpy"]
+    assert fast._builder.engine == "numpy"
+    rng = np.random.default_rng(seed)
+    next_name = n_users
+    for n_join, n_leave in schedule:
+        members = sorted(oracle.users)
+        n_leave = min(n_leave, len(members))
+        leaves = [
+            str(u) for u in rng.choice(members, size=n_leave, replace=False)
+        ]
+        joins = ["u%04d" % (next_name + i) for i in range(n_join)]
+        next_name += n_join
+        if not members and not joins:
+            continue
+        for server in (oracle, fast):
+            for name in joins:
+                server.request_join(name)
+            for name in leaves:
+                server.request_leave(name)
+        batch_o, message_o = oracle.rekey()
+        batch_f, message_f = fast.rekey()
+        assert message_f.batch_parity is True or message_f.is_empty
+        assert message_o.batch_parity is False
+        assert canonical(oracle.tree) == canonical(fast.tree)
+        assert batch_o.needs_by_user() == batch_f.needs_by_user()
+        assert message_digest(message_o) == message_digest(message_f)
+
+
+class TestMessageBytesDifferential:
+    @settings(max_examples=90, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000_000),
+        degree=st.sampled_from([2, 3, 4]),
+        schedule=st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)),
+            min_size=1,
+            max_size=3,
+        ),
+    )
+    def test_churn_batches(self, seed, degree, schedule):
+        run_twin_servers(seed, degree, schedule)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000_000))
+    def test_heavy_churn(self, seed):
+        """Bigger groups, churn heavy enough for splits, prunes, and
+        Theorem 4.2 moves in one run."""
+        rng = np.random.default_rng(seed)
+        schedule = [
+            (int(rng.integers(0, 20)), int(rng.integers(0, 20)))
+            for _ in range(4)
+        ]
+        run_twin_servers(seed, 4, schedule, n_users=48, block_size=5)
+
+
+class TestEdgeCases:
+    def test_empty_interval(self):
+        run_twin_servers(1, 4, [(0, 0)])
+
+    def test_full_turnover(self):
+        servers = [
+            GroupKeyServer(
+                ["t%02d" % i for i in range(16)],
+                config=GroupConfig(block_size=4, engine=engine),
+            )
+            for engine in ("python", "numpy")
+        ]
+        for server in servers:
+            for name in sorted(server.users):
+                server.request_leave(name)
+            for i in range(16):
+                server.request_join("n%02d" % i)
+        digests = []
+        for server in servers:
+            _, message = server.rekey()
+            digests.append((canonical(server.tree), message_digest(message)))
+        assert digests[0] == digests[1]
+
+    def test_rejoin_same_interval(self):
+        """Leave + re-join of the same member in one interval (the PR 7
+        rejoin fix) must agree across engines."""
+        servers = [
+            GroupKeyServer(
+                ["r%02d" % i for i in range(9)],
+                config=GroupConfig(degree=3, block_size=4, engine=engine),
+            )
+            for engine in ("python", "numpy")
+        ]
+        for server in servers:
+            server.request_leave("r04")
+            server.request_join("r04")
+            server.request_leave("r07")
+        digests = []
+        for server in servers:
+            _, message = server.rekey()
+            digests.append((canonical(server.tree), message_digest(message)))
+        assert digests[0] == digests[1]

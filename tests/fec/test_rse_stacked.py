@@ -1,0 +1,154 @@
+"""Stacked (multi-block) GF(256) encoding: fused kernel vs committed bytes.
+
+``golden_rse_stacked.json`` extends the PR 2 golden vectors from one
+block to a whole message's worth: four k=10 blocks whose parity — both
+the proactive rows and a later round's offset rows — was produced by the
+scalar :class:`ReferenceRSECoder` and frozen.  The fused
+:func:`~repro.fec.gf256.gf_encode_stacked` kernel (reached through
+:meth:`RSECoder.parity_blocks`) is held to those bytes, not merely to
+runtime agreement with the oracle.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import FECError
+from repro.fec.gf256 import gf_encode_stacked, gf_matmul
+from repro.fec.rse import ReferenceRSECoder, RSECoder, _generator_matrix
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "golden_rse_stacked.json"
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(FIXTURE) as handle:
+        document = json.load(handle)
+    document["blocks"] = [
+        [bytes.fromhex(p) for p in block]
+        for block in document["blocks_hex"]
+    ]
+    return document
+
+
+class TestGoldenStackedVectors:
+    @pytest.mark.parametrize("h", [1, 5, 10])
+    @pytest.mark.parametrize("coder_cls", [ReferenceRSECoder, RSECoder])
+    def test_parity_blocks_matches_golden(self, golden, coder_cls, h):
+        coder = coder_cls(golden["k"])
+        expected = [
+            [bytes.fromhex(p) for p in block]
+            for block in golden["parity_hex"][str(h)]
+        ]
+        assert coder.parity_blocks(golden["blocks"], h) == expected
+
+    @pytest.mark.parametrize("coder_cls", [ReferenceRSECoder, RSECoder])
+    def test_offset_rows_match_golden(self, golden, coder_cls):
+        """Later multicast rounds start at a parity-row offset; the
+        stacked path must select the same generator rows."""
+        coder = coder_cls(golden["k"])
+        expected = [
+            [bytes.fromhex(p) for p in block]
+            for block in golden["offset_parity_hex"]["3:4"]
+        ]
+        assert (
+            coder.parity_blocks(golden["blocks"], 4, first_parity_index=3)
+            == expected
+        )
+
+    def test_fixture_consistent_with_single_block_goldens(self, golden):
+        """Each stacked block's parity equals the per-block parity() of
+        both coders — the stacked fixture adds blocks, not semantics."""
+        for coder in (ReferenceRSECoder(golden["k"]), RSECoder(golden["k"])):
+            for block, expected in zip(
+                golden["blocks"], golden["parity_hex"]["5"]
+            ):
+                assert coder.parity(block, 5) == [
+                    bytes.fromhex(p) for p in expected
+                ]
+
+    def test_fixture_shape(self, golden):
+        assert len(golden["blocks"]) == golden["n_blocks"]
+        assert all(len(b) == golden["k"] for b in golden["blocks"])
+        assert all(
+            len(p) == golden["packet_bytes"]
+            for b in golden["blocks"]
+            for p in b
+        )
+        # Proactive-row prefixes nest, matching the single-block fixture.
+        for block_1, block_5, block_10 in zip(
+            golden["parity_hex"]["1"],
+            golden["parity_hex"]["5"],
+            golden["parity_hex"]["10"],
+        ):
+            assert block_5[:1] == block_1
+            assert block_10[:5] == block_5
+
+
+class TestStackedKernel:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize(
+        "n_blocks,k,h,length", [(1, 10, 10, 64), (9, 10, 6, 1015), (5, 3, 2, 17)]
+    )
+    def test_matches_per_block_gf_matmul(self, seed, n_blocks, k, h, length):
+        rng = np.random.default_rng(seed)
+        blocks = rng.integers(
+            0, 256, (n_blocks, k, length), dtype=np.uint8
+        )
+        rows = _generator_matrix(k)[k : k + h]
+        fused = gf_encode_stacked(rows, blocks)
+        for b in range(n_blocks):
+            assert np.array_equal(fused[b], gf_matmul(rows, blocks[b]))
+
+    def test_empty_rows_and_blocks(self):
+        rows = _generator_matrix(4)[4:4]
+        assert gf_encode_stacked(rows, np.zeros((3, 4, 8), np.uint8)).shape == (3, 0, 8)
+        rows = _generator_matrix(4)[4:6]
+        assert gf_encode_stacked(rows, np.zeros((0, 4, 8), np.uint8)).shape == (0, 2, 8)
+
+    def test_shape_validation(self):
+        with pytest.raises(FECError):
+            gf_encode_stacked(np.zeros((2, 3), np.uint8), np.zeros((2, 4, 8), np.uint8))
+        with pytest.raises(FECError):
+            gf_encode_stacked(np.zeros((2, 3), np.uint8), np.zeros((4, 8), np.uint8))
+
+    def test_chunking_boundary_is_invisible(self):
+        """Enough blocks to force multiple chunks of the fused kernel
+        still reproduce the per-block product exactly."""
+        rng = np.random.default_rng(9)
+        k, h, length = 10, 10, 1024
+        n_blocks = 40  # > one 16 MiB chunk at this geometry
+        blocks = rng.integers(0, 256, (n_blocks, k, length), dtype=np.uint8)
+        rows = _generator_matrix(k)[k : k + h]
+        fused = gf_encode_stacked(rows, blocks)
+        for b in (0, 15, 16, 17, n_blocks - 1):
+            assert np.array_equal(fused[b], gf_matmul(rows, blocks[b]))
+
+
+class TestParityBlocksContract:
+    def test_mixed_lengths_fall_back_to_loop(self):
+        coder = RSECoder(3)
+        block_a = [bytes([i] * 8) for i in range(3)]
+        block_b = [bytes([i] * 12) for i in range(3)]
+        expected = [coder.parity(block_a, 2), coder.parity(block_b, 2)]
+        assert coder.parity_blocks([block_a, block_b], 2) == expected
+
+    def test_zero_parity(self):
+        coder = RSECoder(3)
+        block = [bytes(8)] * 3
+        assert coder.parity_blocks([block, block], 0) == [[], []]
+
+    def test_row_range_validation(self):
+        coder = RSECoder(200)
+        block = [bytes(4)] * 200
+        with pytest.raises(FECError):
+            coder.parity_blocks([block], 60)
+
+    def test_bad_block_shape_rejected(self):
+        coder = RSECoder(4)
+        with pytest.raises(FECError):
+            coder.parity_blocks([[bytes(8)] * 3], 1)
