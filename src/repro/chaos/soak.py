@@ -51,8 +51,11 @@ TIMELINE_KINDS = frozenset(
 )
 
 #: detail keys dropped from the digest: human-facing strings that embed
-#: absolute paths or OS error text (everything else must be stable)
-_VOLATILE_KEYS = ("error",)
+#: absolute paths or OS error text, plus observability annotations that
+#: ride on every event via the bus context (the distributed-trace id is
+#: deterministic in (seed, interval) but is an annotation, not a fault
+#: -timeline fact — keeping it out preserves the historical pins)
+_VOLATILE_KEYS = ("error", "trace")
 
 
 def canonical_timeline(events):

@@ -201,9 +201,28 @@ def _build_parser():
 
     obs_report = sub.add_parser(
         "obs-report",
-        help="analyse an --obs-file event stream (JSONL)",
+        help="analyse obs event streams (JSONL files or directories)",
     )
-    obs_report.add_argument("path", help="the JSONL file to analyse")
+    obs_report.add_argument(
+        "paths",
+        nargs="*",
+        help="JSONL files or stream directories to merge and analyse",
+    )
+    obs_report.add_argument(
+        "--obs-file",
+        action="append",
+        dest="obs_files",
+        default=None,
+        metavar="PATH",
+        help="additional JSONL stream to merge in (repeatable)",
+    )
+    obs_report.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="a fleet --obs-dir: assemble per-member recovery "
+        "timelines and the per-cohort latency CDF from its streams",
+    )
 
     chaos = sub.add_parser(
         "chaos-soak",
@@ -331,6 +350,14 @@ def _build_parser():
         default=None,
         metavar="PATH",
         help="also write the event stream as JSONL (for obs-report)",
+    )
+    fleet.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="collect distributed traces: one line-buffered JSONL "
+        "stream per process (server.jsonl + worker-NN.jsonl); "
+        "analyse with `repro obs-report --trace-dir DIR`",
     )
     fleet.add_argument(
         "--expect-digest",
@@ -663,8 +690,21 @@ def _cmd_obs_report(args, out):
     from repro.errors import ObsError
     from repro.obs.report import render_report
 
+    paths = list(args.paths)
+    if args.obs_files:
+        paths.extend(args.obs_files)
+    if not paths:
+        if args.trace_dir is None:
+            print(
+                "error: nothing to analyse (give paths, --obs-file, "
+                "or --trace-dir)",
+                file=out,
+            )
+            return 2
+        # The trace dir's streams double as the report's event input.
+        paths = [args.trace_dir]
     try:
-        lines = render_report(args.path)
+        lines = render_report(paths, trace_dir=args.trace_dir)
     except (OSError, ObsError) as error:
         print("error: %s" % error, file=out)
         return 2
@@ -833,6 +873,7 @@ def _cmd_fleet(args, out):
             intervals=args.intervals,
             workers=args.workers,
             obs_path=args.obs_file,
+            obs_dir=args.obs_dir,
             log=lambda line: print(line, file=out),
         )
     except WireError as error:
@@ -871,6 +912,8 @@ def _cmd_fleet(args, out):
               file=out)
     if args.obs_file:
         print("wrote obs events to %s" % args.obs_file, file=out)
+    if args.obs_dir:
+        print("wrote trace streams to %s" % args.obs_dir, file=out)
     if args.expect_digest and args.expect_digest != result.digest:
         print(
             "digest mismatch: expected %s" % args.expect_digest, file=out

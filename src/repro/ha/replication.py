@@ -39,6 +39,7 @@ import threading
 
 from repro.errors import ReplicationError
 from repro.obs.recorder import NULL
+from repro.obs.trace import current_trace
 from repro.service.wal import encode_record, record_crc
 from repro.util.retry import RetryPolicy
 
@@ -204,10 +205,19 @@ class LeaderPublisher:
         return sent
 
     def on_wal_record(self, record):
-        """The WAL's post-append tap: stream one durable record."""
+        """The WAL's post-append tap: stream one durable record.
+
+        The ambient interval trace id (if the daemon is mid-interval)
+        rides on the frame, so a standby's apply events join the same
+        distributed trace as the leader's interval that produced them.
+        """
         self.last_seq = int(record["seq"])
+        payload = {"kind": "record", "record": record}
+        trace = current_trace()
+        if trace is not None:
+            payload["trace"] = trace
         for link in self.links:
-            link.send({"kind": "record", "record": record})
+            link.send(payload)
 
     def on_commit(self, server, interval):
         """Publish the convergence digest after a committed interval."""
@@ -221,6 +231,9 @@ class LeaderPublisher:
             "epoch": self.epoch,
             "wal_seq": self.last_seq,
         }
+        trace = current_trace()
+        if trace is not None:
+            payload["trace"] = trace
         for link in self.links:
             link.send(payload)
 

@@ -137,11 +137,15 @@ class StandbyReplica:
         ours = server_digest(self.server)
         self.last_digest = ours
         self.digest_ok = ours == payload["digest"]
-        self.obs.emit(
-            "ha_digest_check",
-            interval=int(payload.get("interval", -1)),
-            matched=self.digest_ok,
-        )
+        detail = {
+            "interval": int(payload.get("interval", -1)),
+            "matched": self.digest_ok,
+        }
+        # Join the leader interval's distributed trace when the frame
+        # carried its id.
+        if payload.get("trace") is not None:
+            detail["trace"] = payload["trace"]
+        self.obs.emit("ha_digest_check", **detail)
         if self.digest_ok:
             self.obs.gauge("ha_replication_lag_records", self.lag())
 

@@ -14,12 +14,29 @@ in-memory health ledger, out-of-band ``perf_counter`` timing):
 - :mod:`repro.obs.prometheus` — text-format exposition + parser;
 - :mod:`repro.obs.httpd` — the ``/healthz`` + ``/metrics`` endpoint
   (``repro serve --metrics-port``);
-- :mod:`repro.obs.report` — the ``repro obs-report`` analysis of an
-  ``--obs-file`` JSONL (time breakdown + headline paper metrics).
+- :mod:`repro.obs.trace` — interval-scoped distributed tracing (one
+  deterministic trace id per rekey interval, propagated across
+  processes in the wire control payloads) and the per-phase interval
+  profiler;
+- :mod:`repro.obs.slo` — service-level objectives with multi-window
+  burn-rate gauges;
+- :mod:`repro.obs.assemble` — merges per-process event streams into
+  skew-corrected per-member recovery timelines;
+- :mod:`repro.obs.report` — the ``repro obs-report`` analysis of obs
+  JSONL streams (time breakdown, headline paper metrics, phase
+  profile, SLO burn, and ``--trace-dir`` timelines).
 
 See ``docs/observability.md`` for the span taxonomy and event schema.
 """
 
+from repro.obs.assemble import (
+    MILESTONES,
+    Timeline,
+    TraceAssembly,
+    assemble,
+    load_trace_dir,
+    timeline_digest,
+)
 from repro.obs.events import (
     SCHEMA_VERSION,
     EventBus,
@@ -36,20 +53,53 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.recorder import NULL, NullRecorder, Recorder
+from repro.obs.slo import DEFAULT_WINDOWS, SLO, Objective, SLOTracker
+from repro.obs.trace import (
+    PHASES,
+    TRACE_NONE,
+    PhaseProfiler,
+    TraceContext,
+    current_trace,
+    current_trace_id,
+    format_trace,
+    mint_trace_id,
+    parse_trace,
+    tracing,
+)
 
 __all__ = [
     "DEFAULT_MS_BUCKETS",
+    "DEFAULT_WINDOWS",
     "EventBus",
+    "MILESTONES",
     "MetricsRegistry",
     "NULL",
     "NullRecorder",
+    "Objective",
+    "PHASES",
+    "PhaseProfiler",
     "ROUNDS_BUCKETS",
     "Recorder",
     "SCHEMA_VERSION",
+    "SLO",
+    "SLOTracker",
+    "TRACE_NONE",
+    "Timeline",
+    "TraceAssembly",
+    "TraceContext",
+    "assemble",
+    "current_trace",
+    "current_trace_id",
+    "format_trace",
     "is_registered",
+    "load_trace_dir",
+    "mint_trace_id",
+    "parse_trace",
     "read_events",
     "register_event_kind",
     "registered_kinds",
+    "timeline_digest",
+    "tracing",
     "validate_jsonl",
     "validate_record",
 ]

@@ -112,12 +112,29 @@ WIRE_EVENT_KINDS = frozenset(
     }
 )
 
+#: Distributed-tracing, profiling and SLO kinds (see
+#: docs/observability.md).  The ``trace_*`` milestones are emitted
+#: *client-side* — per member, per interval — and carry a ``mono``
+#: monotonic timestamp so the trace assembler can skew-correct streams
+#: from different processes against the server's announce barrier.
+TRACE_EVENT_KINDS = frozenset(
+    {
+        "trace_announce",       # client saw (and acked) the ANNOUNCE
+        "trace_first_data",     # first surviving DATA frame arrived
+        "trace_decoded",        # parity decode completed (keys recovered)
+        "trace_key_decrypted",  # recovered keys absorbed; group key held
+        "phase_profile",        # one interval's per-phase cost breakdown
+        "slo_burn",             # multi-window SLO burn-rate sample
+    }
+)
+
 _REGISTRY = set(
     SESSION_EVENT_KINDS
     | SERVICE_EVENT_KINDS
     | CHAOS_EVENT_KINDS
     | HA_EVENT_KINDS
     | WIRE_EVENT_KINDS
+    | TRACE_EVENT_KINDS
 )
 
 
@@ -145,14 +162,22 @@ class EventBus:
     record's detail — the daemon stamps the current interval there so
     events emitted deep in the pipeline (session rounds, FEC encodes)
     carry it without plumbing.
+
+    With ``line_buffered`` every emitted record is flushed to the JSONL
+    handle immediately, so a crashed or SIGKILLed process (a fleet
+    worker, a chaos-plan casualty) never loses its stream's tail — at
+    the cost of one flush syscall per event.  The default stays fully
+    buffered for the daemon's hot path.
     """
 
-    def __init__(self, path=None, clock=time.time, keep=10000):
+    def __init__(self, path=None, clock=time.time, keep=10000,
+                 line_buffered=False):
         self.path = path
         self.clock = clock
         self.events = []
         self._keep = int(keep)
         self._context = {}
+        self.line_buffered = bool(line_buffered)
         self._handle = open(path, "w") if path else None
 
     def set_context(self, **fields):
@@ -183,6 +208,8 @@ class EventBus:
             del self.events[: len(self.events) - self._keep]
         if self._handle is not None:
             self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            if self.line_buffered:
+                self._handle.flush()
         return record
 
     def of_kind(self, kind):

@@ -116,6 +116,9 @@ class Recorder:
         self.bus = bus
         self.clock = clock
         self.metrics = MetricsRegistry()
+        #: optional span tap (a :class:`repro.obs.trace.PhaseProfiler`);
+        #: the daemon installs one per interval to price pipeline phases
+        self.profiler = None
         self._local = threading.local()
 
     def _stack(self):
@@ -141,6 +144,9 @@ class Recorder:
             help="Duration of instrumented spans by name.",
             span=span.name,
         ).observe(ms)
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.on_span(span.name, ms)
         if self.bus is not None:
             self.bus.emit(
                 "span", name=span.name, ms=round(ms, 4), **span.fields

@@ -1,7 +1,7 @@
-"""``python -m repro obs-report`` — analyse one ``--obs-file`` JSONL.
+"""``python -m repro obs-report`` — analyse obs JSONL event streams.
 
-The report answers two questions from the event stream alone (no ledger,
-no daemon):
+The report answers its questions from the event stream alone (no
+ledger, no daemon):
 
 1. **Headline paper metrics** — the ρ trajectory, total first-round
    NACKs, and the worst per-interval recovery p99 — reproduced from the
@@ -10,23 +10,62 @@ no daemon):
 2. **Where does the time go** — per interval, wall milliseconds split by
    pipeline stage (marking vs. message build/encrypt vs. delivery vs.
    snapshot), reconstructed from ``span`` events via the interval field
-   child spans inherit from the ``daemon.interval`` root span.
+   child spans inherit from the ``daemon.interval`` root span; plus the
+   daemon's own ``phase_profile`` attribution when tracing is on.
+3. **SLO burn** — the multi-window burn-rate trajectory from the
+   ``slo_burn`` events, last and worst burn per window.
+4. **Distributed traces** — with ``--trace-dir``, the skew-corrected
+   per-member recovery timelines and the per-cohort client-side
+   recovery-latency CDF (:mod:`repro.obs.assemble`).
 
 ``fec`` time (encode + decode spans) is reported as a nested column: it
 overlaps ``build``/``deliver``, so it is shown for attribution, not
 summed into the total.
+
+Multiple inputs (repeated ``--obs-file``, positional paths, or whole
+directories of ``*.jsonl`` streams) are merged by the envelope
+timestamp before summarising.
 """
 
 from __future__ import annotations
 
+import glob
 import math
+import os
 
+from repro.errors import ObsError
 from repro.obs.events import (
     CHAOS_EVENT_KINDS,
     HA_EVENT_KINDS,
     WIRE_EVENT_KINDS,
     read_events,
 )
+
+
+def expand_paths(paths):
+    """Resolve files and directories into a flat list of JSONL files."""
+    if isinstance(paths, (str, os.PathLike)):
+        paths = [paths]
+    out = []
+    for path in paths:
+        path = os.fspath(path)
+        if os.path.isdir(path):
+            found = sorted(glob.glob(os.path.join(path, "*.jsonl")))
+            if not found:
+                raise ObsError("no .jsonl files under %r" % (path,))
+            out.extend(found)
+        else:
+            out.append(path)
+    return out
+
+
+def load_events(paths):
+    """Read every stream and merge the records by wall-clock ``t``."""
+    events = []
+    for path in expand_paths(paths):
+        events.extend(read_events(path))
+    events.sort(key=lambda e: e["t"])
+    return events
 
 #: Top-level children of daemon.interval: disjoint, so they sum.
 _TOP_SPANS = {
@@ -118,6 +157,22 @@ def summarize(events):
         )
         row["other"] = max(0.0, row["total"] - accounted)
 
+    phase_profiles = [
+        e["detail"] for e in events if e["kind"] == "phase_profile"
+    ]
+    phase_profiles.sort(key=lambda d: d.get("interval", 0))
+    slo_last = {}
+    slo_worst = {}
+    for event in events:
+        if event["kind"] != "slo_burn":
+            continue
+        detail = event["detail"]
+        name = detail.get("slo", "?")
+        slo_last[name] = dict(detail)
+        worst = slo_worst.setdefault(name, {})
+        for window, burn in detail.get("windows", {}).items():
+            worst[window] = max(worst.get(window, 0.0), burn)
+
     return {
         "n_events": len(events),
         "n_intervals": len(intervals),
@@ -144,6 +199,9 @@ def summarize(events):
         "wire_cohorts": _wire_cohorts(events) if wire_counts else {},
         "time_breakdown": breakdown,
         "span_totals": span_totals,
+        "phase_profiles": phase_profiles,
+        "slo_last": slo_last,
+        "slo_worst": slo_worst,
     }
 
 
@@ -157,13 +215,22 @@ def _fmt_ms(value):
     return "%8.2f" % value
 
 
-def render_report(path):
-    """Report lines for one JSONL file (validated while loading)."""
-    events = read_events(path)
+def render_report(paths, trace_dir=None):
+    """Report lines for one or more JSONL files or stream directories.
+
+    ``trace_dir`` additionally runs the cross-process trace assembly
+    (:mod:`repro.obs.assemble`) over that directory's streams and
+    appends the per-member timeline and per-cohort CDF sections.
+    """
+    files = expand_paths(paths)
+    events = load_events(files)
     summary = summarize(events)
+    shown = (
+        files[0] if len(files) == 1 else "%d streams" % len(files)
+    )
     lines = [
         "obs-report: %d event(s), %d interval(s) — %s"
-        % (summary["n_events"], summary["n_intervals"], path),
+        % (summary["n_events"], summary["n_intervals"], shown),
         "",
         "headline (from interval_complete events alone):",
         "  final members       %d" % summary["final_members"],
@@ -297,6 +364,114 @@ def render_report(path):
                     entry["count"],
                     entry["total_ms"],
                     entry["total_ms"] / max(1, entry["count"]),
+                )
+            )
+    lines += _phase_lines(summary)
+    lines += _slo_lines(summary)
+    if trace_dir is not None:
+        lines += _trace_lines(trace_dir)
+    return lines
+
+
+def _phase_lines(summary):
+    """The daemon's own per-phase attribution (phase_profile events)."""
+    profiles = summary["phase_profiles"]
+    if not profiles:
+        return []
+    phases = sorted({p for d in profiles for p in d.get("phases", {})})
+    lines = [
+        "",
+        "phase profile (engine %r; ms attributed by the span tap):"
+        % (profiles[0].get("engine", "?"),),
+        " int |" + "".join(" %9s |" % phase for phase in phases),
+    ]
+    for detail in profiles:
+        row = detail.get("phases", {})
+        lines.append(
+            "%4s |" % detail.get("interval", "?")
+            + "".join(
+                " %9.3f |" % row.get(phase, 0.0) for phase in phases
+            )
+        )
+    return lines
+
+
+def _slo_lines(summary):
+    """SLO burn rates: last sample and the worst burn per window."""
+    last = summary["slo_last"]
+    if not last:
+        return []
+    lines = ["", "SLO burn rates (error rate / error budget, per window):"]
+    for name in sorted(last):
+        detail = last[name]
+        windows = detail.get("windows", {})
+        worst = summary["slo_worst"].get(name, {})
+        lines.append(
+            "  %-10s target %.3f  good %d/%d  burn now [%s]  worst [%s]"
+            % (
+                name,
+                detail.get("target", 0.0),
+                detail.get("good", 0),
+                detail.get("total", 0),
+                " ".join(
+                    "%s=%.2f" % (w, windows[w]) for w in sorted(windows)
+                ),
+                " ".join(
+                    "%s=%.2f" % (w, worst[w]) for w in sorted(worst)
+                ),
+            )
+        )
+    return lines
+
+
+def _trace_lines(trace_dir):
+    """The distributed-trace section: timelines, skew, cohort CDF."""
+    from repro.obs.assemble import assemble, load_trace_dir
+
+    assembly = assemble(load_trace_dir(trace_dir))
+    complete = assembly.complete()
+    lines = [
+        "",
+        "distributed traces (%s):" % trace_dir,
+        "  streams             %s" % " ".join(assembly.streams),
+        "  clock offsets       %s"
+        % " ".join(
+            "%s=%+.6fs" % (stream, assembly.offsets[stream])
+            for stream in sorted(assembly.offsets)
+        ),
+        "  timelines           %d total, %d complete, %d incomplete"
+        % (
+            len(assembly.timelines),
+            len(complete),
+            len(assembly.timelines) - len(complete),
+        ),
+        "  trace digest        %s" % assembly.digest(),
+    ]
+    for interval, row in sorted(assembly.completeness().items()):
+        lines.append(
+            "  interval %-4d       expected %d, traced %d, complete %d"
+            % (interval, row["expected"], row["seen"], row["complete"])
+        )
+    cdf = assembly.recovery_cdf()
+    if cdf:
+        lines.append(
+            "  recovery-latency CDF per cohort (client-side ms):"
+        )
+        for cohort in sorted(cdf):
+            stats = cdf[cohort]
+            percentiles = stats["percentiles_ms"]
+            lines.append(
+                "    %-5s %5d member(s): %s"
+                % (
+                    cohort,
+                    stats["count"],
+                    " ".join(
+                        "%s=%.1f" % (p, percentiles[p])
+                        for p in sorted(
+                            percentiles,
+                            key=lambda s: int(s[1:]),
+                        )
+                    ),
                 )
             )
     return lines

@@ -1,0 +1,187 @@
+"""Service-level objectives with multi-window burn-rate gauges.
+
+Two objectives cover the daemon's user-facing promises, straight from
+the paper's framing of reliable rekeying:
+
+- ``deadline`` — the fraction of intervals delivered inside the rekey
+  deadline (decision ``in-deadline`` or an empty interval);
+- ``recovery`` — the fraction of per-member recoveries that landed
+  within the deadline's round budget.
+
+Each objective tracks its good/total counts over several sliding time
+windows and exposes the **burn rate** per window: the observed error
+rate divided by the error budget (``1 - target``).  Burn 1.0 means the
+budget is being consumed exactly at the rate that exhausts it at the
+window's horizon; the classic multi-window alerting rule pages on a
+*short* window burning fast while a *long* window confirms it is not a
+blip.  The daemon publishes ``slo_burn_rate{slo,window}`` gauges onto
+``/metrics`` every interval and emits one ``slo_burn`` event per
+objective, which ``obs-report`` summarizes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ObsError
+
+#: (seconds, label) sliding windows, shortest first.  Sized for the
+#: daemon's interval cadence rather than SRE wall-clock months: the
+#: short window trips fast, the long one confirms.
+DEFAULT_WINDOWS = ((60.0, "1m"), (300.0, "5m"), (1800.0, "30m"))
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One SLO: a name and a success-ratio target in (0, 1)."""
+
+    name: str
+    target: float
+    description: str = ""
+
+    def __post_init__(self):
+        if not 0.0 < self.target < 1.0:
+            raise ObsError(
+                "SLO target must be in (0, 1), got %r" % (self.target,)
+            )
+
+    @property
+    def error_budget(self):
+        return 1.0 - self.target
+
+
+class SLO:
+    """Sliding-window good/total bookkeeping for one objective."""
+
+    def __init__(self, objective, windows=DEFAULT_WINDOWS,
+                 clock=time.monotonic):
+        self.objective = objective
+        self.windows = tuple(
+            (float(seconds), str(label)) for seconds, label in windows
+        )
+        if not self.windows:
+            raise ObsError("an SLO needs at least one window")
+        self.clock = clock
+        self._samples = deque()  # (t, good_count, total_count)
+        self.good_total = 0
+        self.total = 0
+
+    @property
+    def horizon(self):
+        return max(seconds for seconds, _ in self.windows)
+
+    def record(self, good, count=1, now=None):
+        """Fold ``count`` outcomes (all good or all bad) into the window."""
+        if count < 1:
+            return
+        now = self.clock() if now is None else float(now)
+        good_count = count if good else 0
+        self._samples.append((now, good_count, count))
+        self.good_total += good_count
+        self.total += count
+        self._trim(now)
+
+    def _trim(self, now):
+        horizon = self.horizon
+        while self._samples and now - self._samples[0][0] > horizon:
+            self._samples.popleft()
+
+    def error_rate(self, window_seconds, now=None):
+        """Observed error fraction over the trailing window (0 if idle)."""
+        now = self.clock() if now is None else float(now)
+        good = total = 0
+        for t, good_count, count in self._samples:
+            if now - t <= window_seconds:
+                good += good_count
+                total += count
+        if total == 0:
+            return 0.0
+        return (total - good) / total
+
+    def burn_rate(self, window_seconds, now=None):
+        """Error rate over the window, in error-budget multiples."""
+        return (
+            self.error_rate(window_seconds, now=now)
+            / self.objective.error_budget
+        )
+
+    def burn_rates(self, now=None):
+        """``{window label: burn rate}`` across every window."""
+        now = self.clock() if now is None else float(now)
+        return {
+            label: round(self.burn_rate(seconds, now=now), 4)
+            for seconds, label in self.windows
+        }
+
+
+class SLOTracker:
+    """The daemon's SLO set and its ``/metrics`` publication.
+
+    ``record_deadline``/``record_recovery`` are fed by the daemon after
+    each interval; :meth:`publish` pushes one ``slo_burn_rate`` gauge
+    per (objective, window) into the recorder's registry and emits one
+    ``slo_burn`` event per objective.
+    """
+
+    def __init__(self, clock=time.monotonic, windows=DEFAULT_WINDOWS,
+                 deadline_target=0.99, recovery_target=0.95):
+        self.windows = windows
+        self.slos = {
+            "deadline": SLO(
+                Objective(
+                    "deadline",
+                    deadline_target,
+                    "intervals delivered inside the rekey deadline",
+                ),
+                windows=windows,
+                clock=clock,
+            ),
+            "recovery": SLO(
+                Objective(
+                    "recovery",
+                    recovery_target,
+                    "member recoveries within the deadline's rounds",
+                ),
+                windows=windows,
+                clock=clock,
+            ),
+        }
+
+    def record_deadline(self, good):
+        self.slos["deadline"].record(bool(good))
+
+    def record_recovery(self, good, count=1):
+        self.slos["recovery"].record(bool(good), count=count)
+
+    def publish(self, obs, interval):
+        """Push gauges + events for every objective; returns the rates."""
+        published = {}
+        for name, slo in sorted(self.slos.items()):
+            rates = slo.burn_rates()
+            published[name] = rates
+            for label, burn in rates.items():
+                obs.gauge("slo_burn_rate", burn, slo=name, window=label)
+            obs.emit(
+                "slo_burn",
+                slo=name,
+                target=slo.objective.target,
+                interval=int(interval),
+                good=slo.good_total,
+                total=slo.total,
+                windows=rates,
+            )
+        return published
+
+    def snapshot(self):
+        """Health-surface view: per objective, target + current burns."""
+        return {
+            name: {
+                "target": slo.objective.target,
+                "good": slo.good_total,
+                "total": slo.total,
+                "burn": slo.burn_rates(),
+            }
+            for name, slo in sorted(self.slos.items())
+        }

@@ -54,6 +54,13 @@ from repro.core.server import GroupKeyServer
 from repro.errors import RecoveryError, ReproError, ServiceError
 from repro.obs.metrics import ROUNDS_BUCKETS
 from repro.obs.recorder import NULL
+from repro.obs.slo import SLOTracker
+from repro.obs.trace import (
+    PhaseProfiler,
+    format_trace,
+    mint_trace_id,
+    tracing,
+)
 from repro.service.churn import ChurnEvents, NoChurn
 from repro.service.health import IN_DEADLINE, IntervalMetrics, ServiceMetrics
 from repro.service.members import MemberFleet
@@ -238,6 +245,12 @@ class RekeyDaemon:
         self.circuit = CircuitBreaker(
             threshold=self.service.circuit_threshold,
             cooldown=self.service.circuit_cooldown,
+        )
+        #: multi-window SLO burn-rate tracking (enabled with obs)
+        self.slo = (
+            SLOTracker(clock=self.clock.monotonic)
+            if self.obs.enabled
+            else None
         )
         self._rng = RandomSource(
             server.config.seed if seed is None else seed
@@ -593,15 +606,30 @@ class RekeyDaemon:
         with self._lock:
             obs = self.obs
             interval = self.server.intervals_processed
+            # Deterministic in (seed, interval): the same run always
+            # mints the same trace ids, so pinned-digest tests hold.
+            trace_id = mint_trace_id(self.server.config.seed, interval)
+            profiler = None
             if obs.enabled:
                 if obs.bus is not None:
                     # Stamp every event emitted while this interval runs
-                    # (spans, FEC, WAL, protocol rounds) with its number.
-                    obs.bus.set_context(interval=interval)
+                    # (spans, FEC, WAL, protocol rounds) with its number
+                    # and the interval's trace id.
+                    obs.bus.set_context(
+                        interval=interval, trace=format_trace(trace_id)
+                    )
                 obs.emit("interval_start", members=self.server.n_users)
-            with obs.span("daemon.interval", interval=interval):
-                record, report = self._interval_body(interval)
+                profiler = PhaseProfiler(self.server.config.engine)
+                obs.profiler = profiler
+            try:
+                with tracing(trace_id, interval):
+                    with obs.span("daemon.interval", interval=interval):
+                        record, report = self._interval_body(interval)
+            finally:
+                if profiler is not None:
+                    obs.profiler = None
             if obs.enabled:
+                profiler.finish(obs, interval)
                 self._record_obs(record, report)
             return record
 
@@ -766,6 +794,15 @@ class RekeyDaemon:
                     latency,
                     buckets=ROUNDS_BUCKETS,
                 )
+        if self.slo is not None:
+            self.slo.record_deadline(
+                record.decision in (IN_DEADLINE, "empty")
+            )
+            if latencies is not None:
+                budget = self.service.deadline_rounds
+                for latency in latencies:
+                    self.slo.record_recovery(latency <= budget)
+            self.slo.publish(obs, interval=record.interval)
         if record.decision not in (IN_DEADLINE, "empty"):
             obs.emit(
                 "degradation",
@@ -951,6 +988,9 @@ class RekeyDaemon:
         report["fec_coder"] = self.server.config.fec_coder
         report["engine"] = self.server.config.engine
         report["circuit"] = self.circuit.snapshot()
+        report["slo"] = (
+            None if self.slo is None else self.slo.snapshot()
+        )
         report["ha"] = {
             "role": self.role,
             "epoch": 0 if self.epoch is None else self.epoch,

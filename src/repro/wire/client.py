@@ -30,6 +30,8 @@ import asyncio
 import time
 
 from repro.errors import WireDecodeError, WireError
+from repro.obs.recorder import NULL
+from repro.obs.trace import format_trace
 from repro.rekey.packets import (
     FEC_PAYLOAD_OFFSET,
     PacketType,
@@ -49,7 +51,7 @@ from repro.wire.codec import (
     kernel_buffer_size,
     request_kernel_buffers,
 )
-from repro.wire.loss import MemberLoss
+from repro.wire.loss import MemberLoss, cohort_of
 
 #: How often an unacknowledged REGISTER is resent.
 REGISTER_RETRY_SECONDS = 0.05
@@ -77,6 +79,8 @@ class _Session:
         "feedback_cache",
         "announce_ack",
         "unicast_ack",
+        "trace_id",
+        "saw_data",
     )
 
     def __init__(self, interval, announce, served):
@@ -92,6 +96,8 @@ class _Session:
         self.feedback_cache = {}
         self.announce_ack = None
         self.unicast_ack = None
+        self.trace_id = announce.trace_id
+        self.saw_data = False
 
     @property
     def done(self):
@@ -139,6 +145,7 @@ class WireClient:
         loss_params,
         seed,
         spacing_seconds,
+        obs=NULL,
     ):
         self.name = name
         self.member_index = int(member_index)
@@ -147,6 +154,8 @@ class WireClient:
         self.loss_params = loss_params
         self.seed = int(seed)
         self.spacing_seconds = float(spacing_seconds)
+        self.obs = obs
+        self.cohort = cohort_of(self.member_index, loss_params.alpha)
         self.errors = []
         self.frames_received = 0
         self.data_dropped = 0
@@ -256,6 +265,7 @@ class WireClient:
         self._session = session
         session.announce_ack = self._feedback_frame(round_no=0)
         self._send(session.announce_ack)
+        self._trace_event("trace_announce", session)
 
     def _on_data(self, frame):
         session = self._session
@@ -271,6 +281,9 @@ class WireClient:
         if session.loss.lost(frame.slot):
             self.data_dropped += 1
             return
+        if not session.saw_data:
+            session.saw_data = True
+            self._trace_event("trace_first_data", session, slot=frame.slot)
         packet = decode_packet(frame.payload)
         if packet.packet_type is PacketType.ENC:
             session.transport.on_enc(
@@ -330,6 +343,26 @@ class WireClient:
 
     # -- helpers -----------------------------------------------------------
 
+    def _trace_event(self, kind, session, **extra):
+        """Emit one client-side trace milestone for this session.
+
+        ``mono`` is this *process's* monotonic clock — the assembler
+        offsets it against the server's announce barrier per stream.
+        """
+        if not self.obs.enabled:
+            return
+        self.obs.emit(
+            kind,
+            member=self.name,
+            member_index=self.member_index,
+            interval=session.interval,
+            trace=format_trace(session.trace_id),
+            served=session.served,
+            cohort=self.cohort,
+            mono=time.monotonic(),
+            **extra,
+        )
+
     def _after_progress(self, session):
         """Absorb keys and stamp the latency the moment recovery lands."""
         if not session.served or session.absorbed:
@@ -339,11 +372,24 @@ class WireClient:
         session.latency_ms = (
             time.monotonic() - session.started_at
         ) * 1000.0
+        self._trace_event(
+            "trace_decoded",
+            session,
+            recovery_round=session.transport.recovery_round or 0,
+            dropped=session.loss.dropped,
+            latency_ms=round(session.latency_ms, 3),
+        )
         self.member.absorb_encryptions(
             session.transport.recovered_encryptions,
             max_kid=session.announce.max_kid,
         )
         session.absorbed = True
+        key = self.member.group_key
+        self._trace_event(
+            "trace_key_decrypted",
+            session,
+            fingerprint=key.fingerprint() if key else None,
+        )
 
     def _feedback_frame(self, round_no, nack=None):
         session = self._session
@@ -364,6 +410,7 @@ class WireClient:
             fingerprint=fingerprint,
             latency_ms=session.latency_ms,
             nack=nack,
+            trace_id=session.trace_id,
         )
         return encode_frame(
             FrameKind.FEEDBACK,

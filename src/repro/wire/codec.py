@@ -36,7 +36,7 @@ import socket
 import struct
 from dataclasses import dataclass
 
-from repro.errors import WireDecodeError, WireError
+from repro.errors import PacketDecodeError, WireDecodeError, WireError
 from repro.rekey.packets import NackPacket
 
 #: First header byte of every wire datagram.
@@ -54,9 +54,19 @@ WIRE_HEADER_SIZE = _HEADER.size
 #: and bounded by the deadline, so 255 can never be a multicast round).
 UNICAST_ROUND = 0xFF
 
-_ANNOUNCE = struct.Struct(">BBHHB")
-_FEEDBACK = struct.Struct(">IHBBH6sf")
-_REGISTER = struct.Struct(">IH")
+#: Every control payload leads with the 64-bit trace id of the interval
+#: that produced it (:mod:`repro.obs.trace`), 0 = no active trace.  The
+#: id rides ANNOUNCE server→client and is echoed back in FEEDBACK, so
+#: clients in other processes tag their recovery milestones with the
+#: same trace the daemon minted at ``interval_start``.  It is carried
+#: *outside* the protocol facts: the fleet digest never hashes it and
+#: injected loss applies only to DATA frames, so tracing cannot perturb
+#: the pinned deterministic runs.
+_ANNOUNCE = struct.Struct(">QBBHHB")
+_FEEDBACK = struct.Struct(">QIHBBH6sf")
+_REGISTER = struct.Struct(">QIH")
+
+_TRACE_MASK = 0xFFFFFFFFFFFFFFFF
 
 #: Fingerprint placeholder sent while a member has not recovered yet.
 NO_FINGERPRINT = "000000000000"
@@ -93,6 +103,7 @@ class Announce:
     n_blocks: int
     max_kid: int
     degree: int
+    trace_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -114,6 +125,7 @@ class Feedback:
     fingerprint: str
     latency_ms: float
     nack: object = None
+    trace_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -122,6 +134,7 @@ class Register:
 
     member_index: int
     user_id: int
+    trace_id: int = 0
 
 
 def encode_frame(kind, interval, round_no=0, slot=0, payload=b""):
@@ -182,11 +195,12 @@ def decode_frame(data):
 # -- control payloads ---------------------------------------------------
 
 
-def encode_announce(message, degree):
+def encode_announce(message, degree, trace_id=0):
     """The ``ANNOUNCE`` payload for one rekey message."""
     if message.k > 0xFF:
         raise WireError("block size %d does not fit in 8 bits" % message.k)
     return _ANNOUNCE.pack(
+        int(trace_id) & _TRACE_MASK,
         message.message_id,
         message.k,
         message.n_blocks,
@@ -201,7 +215,9 @@ def decode_announce(payload):
             "ANNOUNCE payload must be %d bytes, got %d"
             % (_ANNOUNCE.size, len(payload))
         )
-    message_id, k, n_blocks, max_kid, degree = _ANNOUNCE.unpack(payload)
+    trace_id, message_id, k, n_blocks, max_kid, degree = _ANNOUNCE.unpack(
+        payload
+    )
     if k < 1 or n_blocks < 1 or degree < 2:
         raise WireDecodeError("ANNOUNCE with degenerate geometry")
     return Announce(
@@ -210,6 +226,7 @@ def decode_announce(payload):
         n_blocks=n_blocks,
         max_kid=max_kid,
         degree=degree,
+        trace_id=trace_id,
     )
 
 
@@ -224,6 +241,7 @@ def encode_feedback(feedback):
     if len(fingerprint) != 6:
         raise WireError("fingerprint must be 6 bytes of hex")
     fixed = _FEEDBACK.pack(
+        int(feedback.trace_id) & _TRACE_MASK,
         feedback.member_index,
         feedback.user_id,
         1 if feedback.done else 0,
@@ -244,6 +262,7 @@ def decode_feedback(payload):
             % (_FEEDBACK.size, len(payload))
         )
     (
+        trace_id,
         member_index,
         user_id,
         done,
@@ -255,7 +274,12 @@ def decode_feedback(payload):
     nack = None
     tail = payload[_FEEDBACK.size :]
     if tail:
-        nack = NackPacket.decode(tail)
+        try:
+            nack = NackPacket.decode(tail)
+        except PacketDecodeError as exc:
+            # Surface as a *wire* decode failure: a corrupt NACK tail is
+            # this layer's garbage to refuse, same as a bad header.
+            raise WireDecodeError("FEEDBACK with bad NACK tail: %s" % exc)
     return Feedback(
         member_index=member_index,
         user_id=user_id,
@@ -265,11 +289,14 @@ def decode_feedback(payload):
         fingerprint=fingerprint.hex(),
         latency_ms=latency_ms,
         nack=nack,
+        trace_id=trace_id,
     )
 
 
-def encode_register(member_index, user_id):
-    return _REGISTER.pack(member_index, user_id)
+def encode_register(member_index, user_id, trace_id=0):
+    return _REGISTER.pack(
+        int(trace_id) & _TRACE_MASK, member_index, user_id
+    )
 
 
 def decode_register(payload):
@@ -278,8 +305,10 @@ def decode_register(payload):
             "REGISTER payload must be %d bytes, got %d"
             % (_REGISTER.size, len(payload))
         )
-    member_index, user_id = _REGISTER.unpack(payload)
-    return Register(member_index=member_index, user_id=user_id)
+    trace_id, member_index, user_id = _REGISTER.unpack(payload)
+    return Register(
+        member_index=member_index, user_id=user_id, trace_id=trace_id
+    )
 
 
 # -- buffer sizing ------------------------------------------------------

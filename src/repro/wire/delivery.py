@@ -34,6 +34,7 @@ import asyncio
 import threading
 
 from repro.errors import ServiceError, WireError
+from repro.obs.trace import current_trace_id
 from repro.service.members import MemberFleet
 from repro.service.transports import (
     IN_DEADLINE,
@@ -133,11 +134,14 @@ class WireDelivery(DeliveryBackend):
         workers=0,
         pace_seconds=None,
         adapt_rho=True,
+        obs_dir=None,
     ):
         self.config = config
         self.host = host
         self.port = int(port)
         self.workers = int(workers)
+        #: directory for per-worker trace streams (worker mode only)
+        self.obs_dir = obs_dir
         if pace_seconds is None:
             pace_seconds = WORKER_PACE_SECONDS if self.workers else 0.0
         self.pace_seconds = float(pace_seconds)
@@ -187,6 +191,7 @@ class WireDelivery(DeliveryBackend):
                 loss=self.config.loss,
                 seed=self._seed,
                 spacing_seconds=self.config.sending_interval_ms * 1e-3,
+                obs_dir=self.obs_dir,
             )
 
     async def _start_server(self):
@@ -248,6 +253,7 @@ class WireDelivery(DeliveryBackend):
                     loss_params=self.config.loss,
                     seed=self._seed,
                     spacing_seconds=self.config.sending_interval_ms * 1e-3,
+                    obs=self.obs,
                 )
                 self._clients[name] = client
                 self._run(client.start())
@@ -297,6 +303,7 @@ class WireDelivery(DeliveryBackend):
                 rho=rho,
                 deadline_rounds=deadline_rounds,
                 pace_seconds=self.pace_seconds,
+                trace_id=current_trace_id(),
             )
         )
         self._check_errors()
@@ -332,13 +339,21 @@ class WireDelivery(DeliveryBackend):
         if self.obs.enabled:
             for index in ordered:
                 feedback = results[index]
+                cohort = cohort_of(index, alpha)
                 self.obs.emit(
                     "wire_member_recovered",
                     member_index=index,
-                    cohort=cohort_of(index, alpha),
+                    cohort=cohort,
                     recovery_round=feedback.recovery_round,
                     latency_ms=round(feedback.latency_ms, 3),
                     dropped=feedback.dropped,
+                )
+                # Per-cohort wire latency histogram: the /metrics view
+                # of the paper's high- vs low-loss recovery split.
+                self.obs.observe(
+                    "wire_recovery_latency_ms",
+                    feedback.latency_ms,
+                    cohort=cohort,
                 )
             self.obs.gauge("wire_rho", rho)
             self.obs.count(

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -195,6 +196,7 @@ def run_fleet(
     intervals=None,
     workers=None,
     obs_path=None,
+    obs_dir=None,
     log=None,
 ):
     """Run one wire fleet; returns a :class:`FleetResult`.
@@ -202,6 +204,12 @@ def run_fleet(
     Never raises for run-induced failures — those land in
     ``result.failure`` so the CLI can report and exit non-zero, exactly
     like the chaos-soak harness.
+
+    ``obs_dir`` turns on trace collection: the server's stream goes to
+    ``<obs_dir>/server.jsonl`` (unless ``obs_path`` overrides it) and
+    every worker process writes ``<obs_dir>/worker-NN.jsonl``; all
+    streams are line-buffered so a dead process never loses its tail.
+    The directory is what ``repro obs-report --trace-dir`` consumes.
     """
     from repro.core.config import GroupConfig
     from repro.core.server import GroupKeyServer
@@ -214,11 +222,16 @@ def run_fleet(
         plan, clients=clients, intervals=intervals, workers=workers
     )
     say = log if log is not None else (lambda line: None)
-    bus = EventBus(path=obs_path)
+    if obs_dir is not None:
+        os.makedirs(obs_dir, exist_ok=True)
+        if obs_path is None:
+            obs_path = os.path.join(obs_dir, "server.jsonl")
+    bus = EventBus(path=obs_path, line_buffered=obs_dir is not None)
     obs = Recorder(bus=bus)
     config = GroupConfig(block_size=plan.block_size, seed=int(seed))
     backend = WireDelivery(
-        config, seed=int(seed) + 1, workers=plan.workers
+        config, seed=int(seed) + 1, workers=plan.workers,
+        obs_dir=obs_dir,
     )
     result = FleetResult(
         plan=plan.name,

@@ -28,10 +28,12 @@ closes early the instant the last expected feedback lands.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import WireDecodeError, WireError
 from repro.obs.recorder import NULL
+from repro.obs.trace import format_trace
 from repro.rekey.packets import PacketType
 from repro.transport.server import ServerTransport, UnicastPolicy
 from repro.wire.codec import (
@@ -314,6 +316,7 @@ class WireServer:
         deadline_rounds=None,
         pace_seconds=0.0,
         pace_every=DEFAULT_PACE_EVERY,
+        trace_id=0,
     ):
         """Run one rekey message over the wire; returns a WireOutcome.
 
@@ -322,7 +325,10 @@ class WireServer:
         ``pace_seconds`` optionally sleeps between datagram fan-outs
         (worker mode, where clients drain in other processes);
         ``pace_every`` bounds how many fan-outs run between event-loop
-        yields in the default in-process mode.
+        yields in the default in-process mode.  ``trace_id`` is the
+        interval's distributed-trace id: carried in the ANNOUNCE payload
+        so every client (in-process or in a worker) tags its recovery
+        milestones with it.
         """
         if deadline_rounds is None:
             deadline_rounds = self.config.max_multicast_rounds
@@ -343,7 +349,9 @@ class WireServer:
         served_targets = [p.member_index for p in served]
 
         # Announce barrier: nobody multicast-races a missing session.
-        announce_payload = encode_announce(message, self.config.degree)
+        announce_payload = encode_announce(
+            message, self.config.degree, trace_id=trace_id
+        )
         announce_frames = {
             p.member_index: encode_frame(
                 FrameKind.ANNOUNCE,
@@ -360,12 +368,16 @@ class WireServer:
             outcome,
             what="interval %d announce" % interval,
         )
+        # ``mono`` anchors skew correction: the assembler aligns each
+        # worker stream's monotonic clock against this barrier instant.
         self.obs.emit(
             "wire_announce",
             interval=interval,
             members=len(participants),
             served=len(served),
             retries=outcome.announce_retries,
+            trace=format_trace(trace_id),
+            mono=time.monotonic(),
         )
 
         slot = 0

@@ -29,19 +29,47 @@ from __future__ import annotations
 
 import asyncio
 import multiprocessing
+import os
 
 from repro.errors import WireError
 
 
-def worker_main(conn, server_address, loss, seed, spacing_seconds):
-    """Entry point of one worker process."""
-    asyncio.run(
-        _worker_loop(conn, tuple(server_address), loss, seed, spacing_seconds)
-    )
+def worker_main(conn, server_address, loss, seed, spacing_seconds,
+                obs_path=None):
+    """Entry point of one worker process.
+
+    With ``obs_path`` the worker opens its own line-buffered JSONL
+    event stream (one file per process — streams are merged later by
+    the trace assembler), so client-side trace milestones survive even
+    a SIGKILLed worker.
+    """
+    from repro.obs.events import EventBus
+    from repro.obs.recorder import NULL, Recorder
+
+    bus = None
+    obs = NULL
+    if obs_path is not None:
+        bus = EventBus(path=obs_path, line_buffered=True)
+        obs = Recorder(bus=bus)
+    try:
+        asyncio.run(
+            _worker_loop(
+                conn, tuple(server_address), loss, seed, spacing_seconds,
+                obs=obs,
+            )
+        )
+    finally:
+        if bus is not None:
+            bus.close()
 
 
-async def _worker_loop(conn, server_address, loss, seed, spacing_seconds):
+async def _worker_loop(conn, server_address, loss, seed, spacing_seconds,
+                       obs=None):
+    from repro.obs.recorder import NULL
     from repro.wire.client import WireClient
+
+    if obs is None:
+        obs = NULL
 
     loop = asyncio.get_running_loop()
     clients = {}
@@ -59,6 +87,7 @@ async def _worker_loop(conn, server_address, loss, seed, spacing_seconds):
                 loss_params=loss,
                 seed=seed,
                 spacing_seconds=spacing_seconds,
+                obs=obs,
             )
             clients[name] = client
             await client.start()
@@ -130,7 +159,7 @@ class WorkerPool:
     """The parent-side handle on a set of client worker processes."""
 
     def __init__(self, n_workers, server_address, loss, seed,
-                 spacing_seconds):
+                 spacing_seconds, obs_dir=None):
         if n_workers < 1:
             raise WireError("worker pool needs at least one worker")
         context = multiprocessing.get_context("spawn")
@@ -138,7 +167,14 @@ class WorkerPool:
         self._procs = []
         self.names = set()
         self._where = {}  # name -> worker slot
-        for _ in range(int(n_workers)):
+        self.obs_paths = []
+        for slot in range(int(n_workers)):
+            obs_path = None
+            if obs_dir is not None:
+                obs_path = os.path.join(
+                    obs_dir, "worker-%02d.jsonl" % slot
+                )
+                self.obs_paths.append(obs_path)
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=worker_main,
@@ -148,6 +184,7 @@ class WorkerPool:
                     loss,
                     int(seed),
                     float(spacing_seconds),
+                    obs_path,
                 ),
                 daemon=True,
             )

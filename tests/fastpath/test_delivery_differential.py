@@ -9,7 +9,9 @@ must be identical across engines.
 Spans are excluded from the event comparison by design: the array
 session recovers users without running the per-user RSE decoder, so
 ``fec.decode`` spans (pure timing diagnostics) do not fire on the numpy
-path.  Events are the semantic surface; they must match exactly.
+path.  The ``phase_profile`` event is the span tap's aggregation — pure
+timing plus the engine label — so it is excluded for the same reason.
+Events are the semantic surface; they must match exactly.
 """
 
 import pytest
@@ -66,7 +68,7 @@ def run_daemon(engine, policy, loss=None, n_intervals=8, members=32,
     events = [
         (e["kind"], scrub(e["detail"]))
         for e in bus.events
-        if e["kind"] != "span"
+        if e["kind"] not in ("span", "phase_profile")
     ]
     return {
         "records": [scrub(r.to_dict()) for r in records],

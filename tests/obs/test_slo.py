@@ -1,0 +1,132 @@
+"""Tests for repro.obs.slo — objectives, sliding windows, burn rates."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import DEFAULT_WINDOWS, EventBus, Recorder
+from repro.obs.slo import SLO, Objective, SLOTracker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestObjective:
+    def test_error_budget(self):
+        assert Objective("x", 0.99).error_budget == pytest.approx(0.01)
+
+    @pytest.mark.parametrize("target", [0.0, 1.0, -0.5, 1.5])
+    def test_target_outside_unit_interval_refused(self, target):
+        with pytest.raises(ObsError):
+            Objective("x", target)
+
+
+class TestSLO:
+    def make(self, target=0.9):
+        clock = FakeClock()
+        slo = SLO(
+            Objective("test", target),
+            windows=((10.0, "10s"), (100.0, "100s")),
+            clock=clock,
+        )
+        return slo, clock
+
+    def test_needs_a_window(self):
+        with pytest.raises(ObsError):
+            SLO(Objective("x", 0.9), windows=())
+
+    def test_idle_burns_nothing(self):
+        slo, _ = self.make()
+        assert slo.burn_rates() == {"10s": 0.0, "100s": 0.0}
+
+    def test_all_good_burns_nothing(self):
+        slo, _ = self.make()
+        for _ in range(5):
+            slo.record(True)
+        assert slo.error_rate(10.0) == 0.0
+        assert slo.good_total == 5 and slo.total == 5
+
+    def test_burn_is_error_rate_over_budget(self):
+        # target 0.9 -> budget 0.1; 1 bad in 4 -> error 0.25 -> burn 2.5
+        slo, _ = self.make(target=0.9)
+        for good in (True, True, True, False):
+            slo.record(good)
+        assert slo.burn_rates() == {"10s": 2.5, "100s": 2.5}
+
+    def test_short_window_forgets_old_errors(self):
+        slo, clock = self.make(target=0.9)
+        slo.record(False)
+        clock.advance(50.0)  # outside 10s, inside 100s
+        slo.record(True)
+        assert slo.error_rate(10.0) == 0.0
+        assert slo.error_rate(100.0) == pytest.approx(0.5)
+
+    def test_samples_trimmed_past_horizon(self):
+        slo, clock = self.make()
+        slo.record(False)
+        clock.advance(101.0)
+        slo.record(True)
+        assert len(slo._samples) == 1
+        # lifetime counters survive the trim
+        assert slo.total == 2 and slo.good_total == 1
+
+    def test_batched_outcomes(self):
+        slo, _ = self.make(target=0.9)
+        slo.record(True, count=9)
+        slo.record(False, count=1)
+        assert slo.error_rate(10.0) == pytest.approx(0.1)
+        assert slo.burn_rate(10.0) == pytest.approx(1.0)
+        slo.record(True, count=0)  # no-op
+        assert slo.total == 10
+
+
+class TestSLOTracker:
+    def test_default_objectives(self):
+        tracker = SLOTracker()
+        assert set(tracker.slos) == {"deadline", "recovery"}
+        assert tracker.slos["deadline"].objective.target == 0.99
+        assert tracker.slos["recovery"].objective.target == 0.95
+
+    def test_publish_pushes_gauges_and_events(self):
+        clock = FakeClock()
+        tracker = SLOTracker(clock=clock)
+        bus = EventBus()
+        obs = Recorder(bus=bus)
+        tracker.record_deadline(True)
+        tracker.record_deadline(False)
+        tracker.record_recovery(True, count=30)
+        published = tracker.publish(obs, interval=2)
+        assert set(published) == {"deadline", "recovery"}
+        # deadline: 1 bad of 2 -> error 0.5, budget 0.01 -> burn 50
+        gauge = obs.metrics.gauge(
+            "slo_burn_rate", slo="deadline", window="1m"
+        )
+        assert gauge.value == pytest.approx(50.0)
+        events = bus.of_kind("slo_burn")
+        assert [e["detail"]["slo"] for e in events] == [
+            "deadline",
+            "recovery",
+        ]
+        deadline = events[0]["detail"]
+        assert deadline["interval"] == 2
+        assert deadline["good"] == 1 and deadline["total"] == 2
+        assert set(deadline["windows"]) == {
+            label for _, label in DEFAULT_WINDOWS
+        }
+
+    def test_snapshot_shape(self):
+        tracker = SLOTracker(clock=FakeClock())
+        tracker.record_deadline(True)
+        snap = tracker.snapshot()
+        assert snap["deadline"]["total"] == 1
+        assert snap["deadline"]["target"] == 0.99
+        assert set(snap["deadline"]["burn"]) == {
+            label for _, label in DEFAULT_WINDOWS
+        }

@@ -1,6 +1,7 @@
 """Frame codec tests: round-trips, rejection, buffer sizing."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import WireDecodeError, WireError
 from repro.rekey.packets import NackPacket, NackRequest
@@ -195,6 +196,68 @@ class TestRegister:
     def test_wrong_size_refused(self):
         with pytest.raises(WireDecodeError):
             decode_register(b"\x00")
+
+
+#: the full u64 trace-id range, endpoints included
+trace_ids = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestTracePropagation:
+    """Every control frame kind must carry the trace id losslessly."""
+
+    @given(trace_id=trace_ids, degree=st.integers(2, 255))
+    @settings(max_examples=50, deadline=None)
+    def test_announce_preserves_trace(self, trace_id, degree):
+        announce = decode_announce(
+            encode_announce(FakeMessage(), degree, trace_id=trace_id)
+        )
+        assert announce.trace_id == trace_id
+        assert announce.degree == degree
+
+    @given(trace_id=trace_ids)
+    @settings(max_examples=50, deadline=None)
+    def test_feedback_preserves_trace(self, trace_id):
+        feedback = Feedback(
+            member_index=12,
+            user_id=7,
+            done=True,
+            recovery_round=2,
+            dropped=5,
+            fingerprint="a1b2c3d4e5f6",
+            latency_ms=17.5,
+            nack=None,
+            trace_id=trace_id,
+        )
+        assert (
+            decode_feedback(encode_feedback(feedback)).trace_id
+            == trace_id
+        )
+
+    @given(trace_id=trace_ids)
+    @settings(max_examples=50, deadline=None)
+    def test_register_preserves_trace(self, trace_id):
+        register = decode_register(
+            encode_register(99, 1234, trace_id=trace_id)
+        )
+        assert register.trace_id == trace_id
+        assert register.member_index == 99
+        assert register.user_id == 1234
+
+    def test_trace_defaults_to_none_sentinel(self):
+        assert decode_register(encode_register(1, 2)).trace_id == 0
+        assert decode_announce(
+            encode_announce(FakeMessage(), 4)
+        ).trace_id == 0
+
+    @given(blob=st.binary(max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_garbage_still_refused(self, blob):
+        """Widening the structs must not have opened a garbage hole."""
+        for decoder in (decode_announce, decode_feedback, decode_register):
+            try:
+                decoder(blob)
+            except WireDecodeError:
+                pass
 
 
 class TestBufferSizing:
