@@ -28,6 +28,10 @@ The commands:
   ``wire`` backend serving hundreds-to-thousands of UDP loopback
   clients under seeded Gilbert loss, with a digest-pinned summary
   (see ``docs/networking.md``);
+- ``wire-chaos-soak`` — run the wire plane under a survivability plan:
+  seeded datagram faults, scripted client deaths, or a live-fleet
+  leader failover, with digest-pinned invariants (see
+  ``docs/robustness.md``);
 - ``bench-perf`` — run the hot-path micro-benchmarks and write a
   ``BENCH_perf.json`` document (see ``docs/performance.md``).
 """
@@ -374,6 +378,58 @@ def _build_parser():
         "--list-plans",
         action="store_true",
         help="list every named fleet plan and exit",
+    )
+
+    wire_chaos = sub.add_parser(
+        "wire-chaos-soak",
+        help="run the wire plane under a survivability fault plan",
+    )
+    wire_chaos.add_argument(
+        "--plan",
+        default="datagram-storm",
+        help="named wire fault plan (see --list-plans; "
+        "docs/robustness.md)",
+    )
+    wire_chaos.add_argument("--seed", type=int, default=7)
+    wire_chaos.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        help="override the plan's client count",
+    )
+    wire_chaos.add_argument(
+        "--intervals",
+        type=int,
+        default=None,
+        help="override the plan's interval count",
+    )
+    wire_chaos.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override the plan's worker-process count (0 = in-process)",
+    )
+    wire_chaos.add_argument(
+        "--obs-file",
+        default=None,
+        metavar="PATH",
+        help="also write the event stream as JSONL (for obs-report)",
+    )
+    wire_chaos.add_argument(
+        "--expect-digest",
+        default=None,
+        metavar="SHA256",
+        help="fail unless the run's wire-timeline digest matches",
+    )
+    wire_chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the soak result as JSON at the end",
+    )
+    wire_chaos.add_argument(
+        "--list-plans",
+        action="store_true",
+        help="list every named wire fault plan and exit",
     )
 
     bench = sub.add_parser(
@@ -921,7 +977,9 @@ def _cmd_fleet(args, out):
         return 3
     if result.failure is not None:
         print("fleet: FAILED: %s" % result.failure, file=out)
-        return 1
+        # A dead worker process is a different diagnosis than a missed
+        # invariant — give operators (and CI) a distinct exit code.
+        return 4 if result.worker_crash else 1
     if not result.ok:
         failed = sorted(
             name for name, passed in result.invariants.items() if not passed
@@ -932,6 +990,73 @@ def _cmd_fleet(args, out):
         )
         return 1
     print("fleet: all invariants green", file=out)
+    return 0
+
+
+def _cmd_wire_chaos_soak(args, out):
+    import json
+
+    from repro.chaos.wire_faults import describe_wire_plans
+    from repro.errors import ChaosError, WireError
+    from repro.wire.chaos import run_wire_chaos_soak
+
+    if args.list_plans:
+        print("wire fault plans (wire-chaos-soak):", file=out)
+        for name, description in describe_wire_plans():
+            print("  %-22s %s" % (name, description), file=out)
+        return 0
+    try:
+        result = run_wire_chaos_soak(
+            plan=args.plan,
+            seed=args.seed,
+            clients=args.clients,
+            intervals=args.intervals,
+            workers=args.workers,
+            obs_path=args.obs_file,
+            log=lambda line: print(line, file=out),
+        )
+    except (ChaosError, WireError) as error:
+        print("error: %s" % error, file=out)
+        return 2
+    print(
+        "wire-chaos-soak: %d fault(s) applied, %d eviction(s), "
+        "%d promotion(s), %d/%d interval(s)"
+        % (
+            sum(result.faults_applied.values()),
+            result.evictions,
+            result.promotions,
+            result.intervals_completed,
+            result.intervals_target,
+        ),
+        file=out,
+    )
+    print("wire-timeline digest: %s" % result.digest, file=out)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True),
+              file=out)
+    if args.obs_file:
+        print("wrote obs events to %s" % args.obs_file, file=out)
+    if args.expect_digest and args.expect_digest != result.digest:
+        print(
+            "digest mismatch: expected %s" % args.expect_digest, file=out
+        )
+        return 3
+    if result.failure is not None:
+        print("wire-chaos-soak: FAILED: %s" % result.failure, file=out)
+        # Same split as the fleet runner: a dead worker process is a
+        # lost machine, not a missed invariant.
+        return 4 if result.worker_crash else 1
+    if not result.ok:
+        failed = sorted(
+            name for name, passed in result.invariants.items() if not passed
+        )
+        print(
+            "wire-chaos-soak: invariant(s) violated: %s"
+            % ", ".join(failed),
+            file=out,
+        )
+        return 1
+    print("wire-chaos-soak: all invariants green", file=out)
     return 0
 
 
@@ -967,6 +1092,7 @@ def main(argv=None, out=None):
         "chaos-soak": _cmd_chaos_soak,
         "ha-soak": _cmd_ha_soak,
         "fleet": _cmd_fleet,
+        "wire-chaos-soak": _cmd_wire_chaos_soak,
         "bench-perf": _cmd_bench_perf,
     }
     return handlers[args.command](args, out)

@@ -65,6 +65,12 @@ class WireDecodeError(WireError, PacketDecodeError):
     """Raised while parsing a wire datagram that violates the framing."""
 
 
+class WorkerCrashError(WireError):
+    """A wire worker process died — its slice of the client fleet is
+    gone, so the run must fail loudly instead of waiting on sockets
+    that will never answer."""
+
+
 class SimulationError(ReproError):
     """Invalid simulator state (event loop, loss process, topology)."""
 

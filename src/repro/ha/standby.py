@@ -222,7 +222,7 @@ def promote(replica, state_dir, lease, backend=None, fleet=None,
     # die with the leader, but a pre-crash joiner may be pending again
     # and carried-over members may hold stale keys.
     for name in sorted(set(daemon.fleet.members) - replica.server.users):
-        daemon.fleet.members.pop(name)
+        daemon.fleet.forget(name)
     for name in sorted(replica.server.users - set(daemon.fleet.members)):
         daemon.fleet.register(replica.server, name)
         daemon.metrics.bump("members_resynced")

@@ -112,6 +112,23 @@ WIRE_EVENT_KINDS = frozenset(
     }
 )
 
+#: Wire-plane survivability kinds: the datagram fault injector, the
+#: client resync state machine and the liveness/failover path (see
+#: docs/robustness.md, "Surviving failures on the wire").
+WIRE_CHAOS_EVENT_KINDS = frozenset(
+    {
+        "wire_chaos_fault",        # the injector applied one datagram fault
+        "wire_client_crashed",     # a plan scheduled one client death
+        "wire_client_evicted",     # liveness timeout declared a member dead
+        "wire_resync",             # client FSM left sync (and re-REGISTERed)
+        "wire_rehomed",            # client adopted a higher leader epoch
+        "wire_stale_epoch",        # a stale-epoch frame was refused
+        "wire_register_giveup",    # REGISTER retry budget exhausted
+        "wire_chaos_invariant",    # one wire-chaos invariant checked
+        "wire_chaos_complete",     # wire-chaos soak summary
+    }
+)
+
 #: Distributed-tracing, profiling and SLO kinds (see
 #: docs/observability.md).  The ``trace_*`` milestones are emitted
 #: *client-side* — per member, per interval — and carry a ``mono``
@@ -134,6 +151,7 @@ _REGISTRY = set(
     | CHAOS_EVENT_KINDS
     | HA_EVENT_KINDS
     | WIRE_EVENT_KINDS
+    | WIRE_CHAOS_EVENT_KINDS
     | TRACE_EVENT_KINDS
 )
 

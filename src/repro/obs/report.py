@@ -37,6 +37,7 @@ from repro.errors import ObsError
 from repro.obs.events import (
     CHAOS_EVENT_KINDS,
     HA_EVENT_KINDS,
+    WIRE_CHAOS_EVENT_KINDS,
     WIRE_EVENT_KINDS,
     read_events,
 )
@@ -112,12 +113,35 @@ def summarize(events):
     failover_timeline = []
     wire_counts = {}
     wire_deliveries = []
+    survivability = {
+        "counts": {},
+        "fault_families": {},
+        "crashes": [],
+        "evictions": [],
+        "invariants": {},
+    }
     for event in events:
         kind = event["kind"]
         if kind in WIRE_EVENT_KINDS:
             wire_counts[kind] = wire_counts.get(kind, 0) + 1
             if kind == "wire_delivery_complete":
                 wire_deliveries.append(dict(event["detail"]))
+        if kind in WIRE_CHAOS_EVENT_KINDS:
+            counts = survivability["counts"]
+            counts[kind] = counts.get(kind, 0) + 1
+            detail = event["detail"]
+            if kind == "wire_chaos_fault":
+                fault = detail.get("fault", "?")
+                families = survivability["fault_families"]
+                families[fault] = families.get(fault, 0) + 1
+            elif kind == "wire_client_crashed":
+                survivability["crashes"].append(dict(detail))
+            elif kind == "wire_client_evicted":
+                survivability["evictions"].append(dict(detail))
+            elif kind == "wire_chaos_invariant":
+                survivability["invariants"][
+                    detail.get("invariant", "?")
+                ] = bool(detail.get("passed"))
         if kind in HA_EVENT_KINDS:
             ha_counts[kind] = ha_counts.get(kind, 0) + 1
             failover_timeline.append(
@@ -196,6 +220,9 @@ def summarize(events):
         "failover_timeline": failover_timeline,
         "wire_counts": wire_counts,
         "wire_deliveries": wire_deliveries,
+        "wire_survivability": (
+            survivability if survivability["counts"] else {}
+        ),
         "wire_cohorts": _wire_cohorts(events) if wire_counts else {},
         "time_breakdown": breakdown,
         "span_totals": span_totals,
@@ -306,6 +333,68 @@ def render_report(paths, trace_dir=None):
                     stats["rounds_mean"],
                     stats["unicast"],
                     stats["dropped"],
+                )
+            )
+    survivability = summary["wire_survivability"]
+    if survivability:
+        lines += [
+            "",
+            "wire survivability (wire-chaos events):",
+            "  %s"
+            % " ".join(
+                "%s=%d" % (kind, survivability["counts"][kind])
+                for kind in sorted(survivability["counts"])
+            ),
+        ]
+        if survivability["fault_families"]:
+            lines.append(
+                "  datagram faults     %s"
+                % " ".join(
+                    "%s=%d"
+                    % (fault, survivability["fault_families"][fault])
+                    for fault in sorted(survivability["fault_families"])
+                )
+            )
+        for entry in survivability["crashes"]:
+            lines.append(
+                "  crash scheduled     %s at interval %s (round %s)"
+                % (
+                    entry.get("member", "?"),
+                    entry.get("interval", "?"),
+                    entry.get("phase", "?"),
+                )
+            )
+        for entry in survivability["evictions"]:
+            lines.append(
+                "  liveness eviction   %s at interval %s"
+                % (
+                    entry.get("member", "?"),
+                    entry.get("interval", "?"),
+                )
+            )
+        counts = survivability["counts"]
+        lines.append(
+            "  client resync FSM   resyncs=%d rehomed=%d "
+            "stale-epoch-refused=%d register-giveups=%d"
+            % (
+                counts.get("wire_resync", 0),
+                counts.get("wire_rehomed", 0),
+                counts.get("wire_stale_epoch", 0),
+                counts.get("wire_register_giveup", 0),
+            )
+        )
+        if survivability["invariants"]:
+            lines.append(
+                "  invariants          %s"
+                % " ".join(
+                    "%s=%s"
+                    % (
+                        name,
+                        "ok"
+                        if survivability["invariants"][name]
+                        else "FAIL",
+                    )
+                    for name in sorted(survivability["invariants"])
                 )
             )
     if summary["fault_counts"]:

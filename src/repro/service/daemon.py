@@ -438,7 +438,7 @@ class RekeyDaemon:
             # and is pending again) — it re-registers when that join is
             # processed, so drop its stale state now.
             for name in sorted(set(daemon.fleet.members) - server.users):
-                daemon.fleet.members.pop(name)
+                daemon.fleet.forget(name)
             for name in sorted(server.users - set(daemon.fleet.members)):
                 daemon.fleet.register(server, name)
                 daemon.metrics.bump("members_resynced")

@@ -56,6 +56,17 @@ class MemberFleet:
         if member is not None:
             self.former_members[name] = member
 
+    def forget(self, name):
+        """Drop ``name`` entirely — no former-member entry (idempotent).
+
+        For members a recovered or promoted server never committed (a
+        pre-crash joiner whose request is pending again): the member
+        registers fresh when the replay interval re-processes the join,
+        so neither ledger should count it meanwhile.
+        """
+        self.members.pop(name, None)
+        self.former_members.pop(name, None)
+
     def by_user_id(self):
         """Map current u-node IDs to members (after relocation)."""
         return {member.user_id: member for member in self.members.values()}

@@ -14,9 +14,19 @@ processes) and keeps every run a pure function of its seed:
 - :mod:`repro.wire.delivery` — the daemon's ``wire`` delivery backend;
 - :mod:`repro.wire.worker` — multiprocessing client shards;
 - :mod:`repro.wire.fleet` — the digest-pinned fleet runner behind
-  ``python -m repro fleet``.
+  ``python -m repro fleet``;
+- :mod:`repro.wire.chaos` — the survivability soaks behind
+  ``python -m repro wire-chaos-soak`` (datagram faults, client
+  crashes, live-fleet leader failover).
 """
 
+from repro.wire.chaos import (
+    WIRE_TIMELINE_KINDS,
+    WireChaosResult,
+    canonical_wire_timeline,
+    run_wire_chaos_soak,
+    wire_timeline_digest,
+)
 from repro.wire.client import WireClient
 from repro.wire.codec import (
     WIRE_HEADER_SIZE,
@@ -51,11 +61,14 @@ __all__ = [
     "MemberLoss",
     "Participant",
     "WIRE_HEADER_SIZE",
+    "WIRE_TIMELINE_KINDS",
+    "WireChaosResult",
     "WireClient",
     "WireDelivery",
     "WireFleet",
     "WireOutcome",
     "WireServer",
+    "canonical_wire_timeline",
     "cohort_of",
     "decode_frame",
     "encode_frame",
@@ -63,4 +76,6 @@ __all__ = [
     "max_datagram_size",
     "recv_buffer_size",
     "run_fleet",
+    "run_wire_chaos_soak",
+    "wire_timeline_digest",
 ]

@@ -1,0 +1,636 @@
+"""Wire-plane survivability soaks: ``python -m repro wire-chaos-soak``.
+
+``run_wire_chaos_soak`` drives the real asyncio UDP wire plane through
+one of the pinned-digest survivability plans
+(:data:`~repro.chaos.wire_faults.WIRE_CHAOS_PLAN_NAMES`):
+
+- ``datagram-storm`` — every fault family of the
+  :class:`~repro.chaos.wire_faults.DatagramFaultInjector` at once,
+  control frames included.  The run must finish with key agreement and
+  without losing a member: corruption degrades to counted decode
+  errors, duplicates deduplicate, reorders stay inside their round,
+  delays cost retries, blackouts ride the announce barrier back in.
+- ``client-churn-crash`` — scripted clients die mid-interval (one at
+  the ANNOUNCE, two mid-round) while joins keep arriving.  The server's
+  liveness budget must evict each casualty into the daemon's leave
+  intake: carried out of the interval, rekeyed out at the next, with
+  the survivors in agreement throughout.
+- ``leader-kill-live`` — the leader daemon is killed *post-delivery*
+  (the worst alignment: members hold keys the snapshot never saw)
+  while worker processes keep their clients alive.  A hot standby
+  waits out the lease, promotes under a higher epoch, adopts the live
+  worker pool on the same UDP port
+  (:meth:`~repro.wire.delivery.WireDelivery.handoff`), and the fleet
+  must re-home: every surviving client re-REGISTERs on its silence
+  watchdog, adopts the promoted epoch, refuses anything stamped with
+  the old one, and reaches key agreement within the remaining
+  intervals.
+
+**The digest.**  A run's survivability timeline is the *sorted*
+canonical projection of its deterministic events
+(:data:`WIRE_TIMELINE_KINDS`): injected datagram faults, scheduled
+client deaths, liveness evictions, HA transitions and the invariant
+verdicts.  Sorted, not sequenced, because receive-side fault
+applications land in socket-arrival order, which the scheduler owns —
+the *set* is a pure function of ``(plan, seed)``.  Client-side FSM
+events (resyncs, rehomes, stale-epoch refusals) are deliberately
+excluded: their counts depend on real-time pacing and worker placement.
+The digests are pinned in ``docs/robustness.md`` and checked by the CI
+``wire-chaos-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field, replace
+
+# NOTE: repro.chaos.wire_faults imports repro.wire.codec, so importing
+# it at module level from inside the repro.wire package would be
+# circular — the plan registry is pulled in lazily where needed.
+from repro.errors import ChaosError, ReproError, WorkerCrashError
+from repro.obs.events import HA_EVENT_KINDS, EventBus
+from repro.obs.recorder import Recorder
+
+__all__ = [
+    "WIRE_TIMELINE_KINDS",
+    "WireChaosResult",
+    "canonical_wire_timeline",
+    "run_wire_chaos_soak",
+    "wire_timeline_digest",
+]
+
+#: soak lease TTL (virtual seconds) — same reasoning as the HA soak:
+#: only an orchestrated ``clock.sleep`` may lapse it, never a slow host
+LEASE_TTL = 3600.0
+
+#: Event kinds that define a wire-chaos run's reproducible timeline.
+#: The single-node soak's ``TIMELINE_KINDS`` is deliberately left
+#: untouched (its digests are pinned); this set covers what the wire
+#: plans can deterministically produce.
+WIRE_TIMELINE_KINDS = frozenset(
+    HA_EVENT_KINDS
+    | {
+        "wire_chaos_fault",
+        "wire_client_crashed",
+        "wire_client_evicted",
+        "wire_chaos_invariant",
+        "crash",
+    }
+)
+
+#: detail keys dropped from the digest (same policy as the chaos soak)
+_VOLATILE_KEYS = ("error", "trace")
+
+
+def canonical_wire_timeline(events):
+    """The digest-stable projection of a run's survivability events.
+
+    Envelope times are dropped, volatile detail keys are dropped,
+    path-valued details reduce to their basename, and the entries are
+    **sorted** — receive-side fault applications arrive in scheduler
+    order, so only the set is deterministic (see the module docs).
+    """
+    timeline = []
+    for event in events:
+        if event["kind"] not in WIRE_TIMELINE_KINDS:
+            continue
+        detail = {}
+        for key, value in event["detail"].items():
+            if key in _VOLATILE_KEYS:
+                continue
+            if isinstance(value, str) and os.sep in value:
+                value = os.path.basename(value)
+            detail[key] = value
+        timeline.append({"kind": event["kind"], "detail": detail})
+    timeline.sort(key=lambda entry: json.dumps(entry, sort_keys=True))
+    return timeline
+
+
+def wire_timeline_digest(timeline):
+    """SHA-256 over the canonical wire timeline (the determinism pin)."""
+    data = json.dumps(timeline, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class WireChaosResult:
+    """Everything one wire-chaos soak observed and concluded."""
+
+    plan: str
+    seed: int
+    clients: int
+    intervals_target: int
+    workers: int = 0
+    intervals_completed: int = 0
+    #: per-family counts of applied (first-occurrence) datagram faults
+    faults_applied: dict = field(default_factory=dict)
+    crashes_scheduled: int = 0
+    evictions: int = 0
+    #: client-FSM totals — informational, timing-dependent, not digested
+    resyncs: int = 0
+    rehomes: int = 0
+    promotions: int = 0
+    final_epoch: int = 0
+    invariants: dict = field(default_factory=dict)
+    timeline: list = field(default_factory=list)
+    digest: str = ""
+    failure: object = None
+    worker_crash: bool = False
+
+    @property
+    def ok(self):
+        return (
+            self.failure is None
+            and bool(self.invariants)
+            and all(self.invariants.values())
+        )
+
+    def to_dict(self):
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "clients": self.clients,
+            "workers": self.workers,
+            "intervals_target": self.intervals_target,
+            "intervals_completed": self.intervals_completed,
+            "faults_applied": dict(self.faults_applied),
+            "crashes_scheduled": self.crashes_scheduled,
+            "evictions": self.evictions,
+            "resyncs": self.resyncs,
+            "rehomes": self.rehomes,
+            "promotions": self.promotions,
+            "final_epoch": self.final_epoch,
+            "invariants": dict(self.invariants),
+            "digest": self.digest,
+            "failure": None if self.failure is None else str(self.failure),
+            "worker_crash": self.worker_crash,
+            "ok": self.ok,
+        }
+
+
+# -- shared plumbing -----------------------------------------------------
+
+
+def _resolve(plan, clients, intervals, workers):
+    from repro.chaos.wire_faults import WireChaosPlan, make_wire_plan
+
+    if isinstance(plan, WireChaosPlan):
+        overrides = {}
+        if clients is not None:
+            overrides["clients"] = int(clients)
+        if intervals is not None:
+            overrides["intervals"] = int(intervals)
+        if workers is not None:
+            overrides["workers"] = int(workers)
+        return replace(plan, **overrides) if overrides else plan
+    return make_wire_plan(
+        plan, clients=clients, intervals=intervals, workers=workers
+    )
+
+
+def _make_churn(plan):
+    from repro.service.churn import NoChurn, PoissonChurn
+
+    if plan.churn_alpha_join or plan.churn_alpha_leave:
+        return PoissonChurn(
+            alpha=plan.churn_alpha_leave,
+            alpha_join=plan.churn_alpha_join,
+        )
+    return NoChurn()
+
+
+def _crash_schedule(plan):
+    """``{name: (wire_interval, round_no)}`` from the plan's crashes."""
+    return {
+        "member-%04d" % crash.member: (crash.interval, crash.round_no)
+        for crash in plan.crashes
+    }
+
+
+def _agreement_ok(daemon):
+    try:
+        daemon.fleet.check_agreement(
+            daemon.server, exclude=daemon.pending_carry_names()
+        )
+        return True
+    except ReproError:
+        return False
+
+
+def _steps_guard(steps, done, intervals):
+    if steps > intervals * 3 + 8:
+        raise ChaosError(
+            "wire chaos soak wedged: %d steps but only %d/%d intervals"
+            % (steps, done, intervals)
+        )
+
+
+def _close_all(backend, daemons):
+    if backend is not None:
+        try:
+            backend.close()
+        except ReproError:  # teardown must not mask the run's verdict
+            pass
+    for daemon in daemons:
+        try:
+            daemon.close()
+        except ReproError:  # pragma: no cover - double-close noise
+            pass
+
+
+# -- the single-daemon plans ---------------------------------------------
+
+
+def _run_single(plan, seed, obs, result, say):
+    """``datagram-storm`` and ``client-churn-crash``: one daemon, the
+    injector and/or scripted client deaths, liveness evictions feeding
+    the leave intake."""
+    from repro.chaos.wire_faults import DatagramFaultInjector
+    from repro.core.config import GroupConfig
+    from repro.core.server import GroupKeyServer
+    from repro.service.daemon import DaemonConfig, RekeyDaemon
+    from repro.service.members import MemberFleet
+    from repro.wire.delivery import WireDelivery, WireFleet
+
+    config = GroupConfig(
+        block_size=plan.block_size,
+        seed=seed,
+        nack_window_seconds=plan.nack_window_seconds,
+    )
+    injector = None
+    if plan.faults.any_enabled:
+        injector = DatagramFaultInjector(plan.faults, seed, obs=obs)
+    schedule = _crash_schedule(plan)
+    result.crashes_scheduled = len(schedule)
+    backend = WireDelivery(
+        config,
+        seed=seed + 1,
+        workers=plan.workers,
+        faults=injector,
+        liveness_tries=plan.liveness_tries or None,
+        resync_timeout=plan.resync_timeout or None,
+        crash_plan=schedule,
+    )
+    # The schedule is part of the deterministic timeline: one event per
+    # scripted death, emitted in program order before the run begins.
+    for name in sorted(schedule):
+        interval, round_no = schedule[name]
+        obs.emit(
+            "wire_client_crashed",
+            member=name,
+            interval=interval,
+            phase=round_no,
+        )
+    server = GroupKeyServer(
+        ["member-%04d" % index for index in range(plan.clients)],
+        config=config,
+    )
+    fleet_cls = WireFleet if plan.workers else MemberFleet
+    daemon = RekeyDaemon(
+        server,
+        backend=backend,
+        fleet=fleet_cls.register_all(server),
+        churn=_make_churn(plan),
+        service=DaemonConfig(deadline_rounds=config.max_multicast_rounds),
+        seed=seed,
+        obs=obs,
+    )
+    # Casualties become leaves from the daemon's own thread (the intake
+    # lock is reentrant): evicted mid-interval, rekeyed out at the next.
+    backend.on_casualty = daemon.submit_leave
+    try:
+        daemon.run(
+            plan.intervals,
+            on_interval=lambda record: say(
+                "  interval %d: %d members, %d rounds, %d carried"
+                % (
+                    record.interval,
+                    record.n_members,
+                    record.multicast_rounds,
+                    record.carried_users,
+                )
+            ),
+        )
+        result.intervals_completed = daemon.server.intervals_processed
+        result.evictions = len(backend.dead_members)
+        stats = backend.client_stats()
+        result.resyncs = sum(s["resyncs"] for s in stats.values())
+
+        invariants = result.invariants
+        invariants["completed"] = (
+            daemon.server.intervals_processed >= plan.intervals
+        )
+        invariants["key-agreement"] = _agreement_ok(daemon)
+        if injector is not None:
+            result.faults_applied = dict(injector.applied)
+            for fault, rate in (
+                ("corrupt", plan.faults.corrupt_rate),
+                ("duplicate", plan.faults.duplicate_rate),
+                ("reorder", plan.faults.reorder_rate),
+                ("delay", plan.faults.delay_rate),
+                ("blackout", plan.faults.blackout_rate),
+            ):
+                if rate > 0.0:
+                    invariants["fault-%s" % fault] = (
+                        injector.applied.get(fault, 0) > 0
+                    )
+            if plan.faults.corrupt_rate > 0.0:
+                # Corruption is detectable by construction — it must
+                # surface as counted decode errors, never as silence.
+                client_decode = sum(
+                    s["decode_errors"] for s in stats.values()
+                )
+                invariants["decode-error-path"] = (
+                    backend.server.decode_errors + client_decode > 0
+                )
+        if schedule:
+            crashed = set(schedule)
+            invariants["crashed-evicted"] = (
+                crashed <= backend.dead_members
+            )
+            invariants["eviction-count"] = (
+                backend.dead_members == frozenset(crashed)
+            )
+            invariants["evicted-left"] = not (
+                crashed & set(daemon.fleet.members)
+            )
+        else:
+            invariants["no-member-lost"] = not backend.dead_members
+    finally:
+        result.intervals_completed = daemon.server.intervals_processed
+        _close_all(backend, [daemon])
+
+
+# -- the live-fleet failover plan ----------------------------------------
+
+
+def _run_leader_kill_live(plan, seed, obs, result, say):
+    """``leader-kill-live``: kill the leader post-delivery, promote a
+    hot standby, and make the *live* worker fleet re-home to it."""
+    from repro.chaos.seams import FaultyClock
+    from repro.core.config import GroupConfig
+    from repro.core.server import GroupKeyServer
+    from repro.ha.lease import Lease
+    from repro.ha.replication import DirectLink, LeaderPublisher
+    from repro.ha.standby import StandbyReplica, promote
+    from repro.service.daemon import (
+        CrashPlan,
+        DaemonConfig,
+        DaemonCrash,
+        RekeyDaemon,
+    )
+    from repro.service.wal import epochs_monotonic, scan_records
+    from repro.wire.delivery import WireDelivery, WireFleet
+
+    state_dir = tempfile.mkdtemp(prefix="wire-chaos-")
+    clock = FaultyClock()
+    lease_path = os.path.join(state_dir, "lease.json")
+    leader_lease = Lease(
+        lease_path, "node-a", ttl=LEASE_TTL, clock=clock, obs=obs
+    )
+    standby_lease = Lease(
+        lease_path, "node-b", ttl=LEASE_TTL, clock=clock, obs=obs
+    )
+    epoch = leader_lease.acquire()
+    config = GroupConfig(
+        block_size=plan.block_size,
+        seed=seed,
+        nack_window_seconds=plan.nack_window_seconds,
+    )
+    service = DaemonConfig(
+        state_dir=state_dir,
+        wal_compact_every=0,
+        verify_invariants=True,
+        deadline_rounds=config.max_multicast_rounds,
+        crash_plan=CrashPlan(plan.leader_kill_interval, "post-delivery"),
+    )
+    backend = WireDelivery(
+        config,
+        seed=seed + 1,
+        workers=plan.workers,
+        resync_timeout=plan.resync_timeout,
+        epoch=epoch,
+    )
+    server = GroupKeyServer(
+        ["member-%04d" % index for index in range(plan.clients)],
+        config=config,
+    )
+    leader = RekeyDaemon(
+        server,
+        backend=backend,
+        fleet=WireFleet.register_all(server),
+        churn=_make_churn(plan),
+        service=service,
+        seed=seed,
+        obs=obs,
+        clock=clock,
+        epoch=epoch,
+        fence=leader_lease,
+    )
+    if leader.snapshot_path is not None and not leader._save_snapshot():
+        raise ChaosError(
+            "could not write the initial snapshot to %s"
+            % leader.snapshot_path
+        )
+    obs.emit("ha_role", node="node-a", role="leader", epoch=epoch)
+    obs.emit("ha_role", node="node-b", role="standby", epoch=epoch)
+    publisher = leader.attach_replication(
+        LeaderPublisher(epoch, wal=leader.wal, obs=obs)
+    )
+    link = DirectLink()
+    replica = StandbyReplica(
+        config=config, node_id="node-b", obs=obs, clock=clock
+    )
+    publisher.subscribe(link, server=leader.server)
+    replica.apply_frames(link.poll())
+
+    active = leader
+    daemons = [leader]
+    intervals = plan.intervals
+    steps = 0
+    try:
+        while active.server.intervals_processed < intervals:
+            steps += 1
+            _steps_guard(
+                steps, active.server.intervals_processed, intervals
+            )
+            current = active.server.intervals_processed
+            try:
+                active.run_interval()
+            except DaemonCrash:
+                say(
+                    "  interval %d: leader killed post-delivery -> "
+                    "failing over with the fleet live" % current
+                )
+                # The workers' client processes — and their sockets —
+                # survive the leader: detach them before tearing the
+                # leader's wire plane down, so the successor can adopt
+                # the pool and rebind the same UDP port.
+                adoption = backend.handoff()
+                leader.close()
+                backend.close()
+                service.crash_plan = None
+                replica.apply_frames(link.poll())
+                clock.sleep(LEASE_TTL + 1.0)
+                obs.emit(
+                    "ha_heartbeat_lost",
+                    node=replica.node_id,
+                    leader_epoch=replica.leader_epoch,
+                    applied_seq=replica.applied_seq,
+                )
+                successor = WireDelivery(
+                    config,
+                    seed=seed + 1,
+                    workers=plan.workers,
+                    resync_timeout=plan.resync_timeout,
+                    handoff=adoption,
+                )
+                active = promote(
+                    replica,
+                    state_dir,
+                    standby_lease,
+                    backend=successor,
+                    fleet=leader.fleet,
+                    churn=leader.churn,
+                    service=service,
+                    seed=seed,
+                    obs=obs,
+                    clock=clock,
+                )
+                # The promoted epoch is minted inside promote(); the
+                # successor's server starts lazily at the next deliver,
+                # so stamping it here fences every ANNOUNCE it sends.
+                successor.epoch = active.epoch
+                backend = successor
+                daemons.append(active)
+                result.promotions += 1
+                say(
+                    "  promoted node-b to epoch %d; fleet re-homing"
+                    % active.epoch
+                )
+                continue
+            if active is leader:
+                leader_lease.renew()
+                publisher.heartbeat()
+                replica.apply_frames(link.poll())
+        result.intervals_completed = active.server.intervals_processed
+        result.final_epoch = active.epoch
+        stats = backend.client_stats()
+        result.resyncs = sum(s["resyncs"] for s in stats.values())
+        result.rehomes = sum(
+            1 for s in stats.values() if s["epoch"] == active.epoch
+        )
+        result.evictions = len(backend.dead_members)
+
+        invariants = result.invariants
+        invariants["completed"] = (
+            active.server.intervals_processed >= intervals
+        )
+        invariants["promoted"] = result.promotions == 1
+        invariants["rehomed"] = bool(stats) and all(
+            s["epoch"] == active.epoch and not s["dead"]
+            for s in stats.values()
+        )
+        invariants["key-agreement"] = _agreement_ok(active)
+        records, wal_error = scan_records(
+            os.path.join(state_dir, "wal.jsonl")
+        )
+        if wal_error is not None:
+            raise wal_error
+        committed = {
+            r["interval"] for r in records if r["op"] == "commit"
+        }
+        invariants["no-interval-lost"] = committed == set(
+            range(intervals)
+        )
+        invariants["wal-epochs-monotonic"] = epochs_monotonic(records)
+    finally:
+        result.intervals_completed = active.server.intervals_processed
+        _close_all(backend, daemons)
+
+
+# -- the entry point -----------------------------------------------------
+
+
+def run_wire_chaos_soak(
+    plan="datagram-storm",
+    seed=7,
+    clients=None,
+    intervals=None,
+    workers=None,
+    obs_path=None,
+    log=None,
+):
+    """Run one wire-chaos soak; returns a :class:`WireChaosResult`.
+
+    ``plan`` is a name from
+    :data:`~repro.chaos.wire_faults.WIRE_CHAOS_PLAN_NAMES` (or a ready
+    :class:`~repro.chaos.wire_faults.WireChaosPlan`).  Run-induced
+    failures land in ``result.failure``, not exceptions — except plan
+    misconfiguration, which raises :class:`~repro.errors.ChaosError`
+    like every other soak entry point.
+    """
+    plan = _resolve(plan, clients, intervals, workers)
+    if plan.leader_kill_interval and plan.workers < 1:
+        raise ChaosError(
+            "a leader-kill plan needs worker processes: the clients "
+            "must outlive the killed leader"
+        )
+    say = log if log is not None else (lambda line: None)
+    bus = EventBus(path=obs_path)
+    obs = Recorder(bus=bus)
+    result = WireChaosResult(
+        plan=plan.name,
+        seed=int(seed),
+        clients=plan.clients,
+        intervals_target=plan.intervals,
+        workers=plan.workers,
+    )
+    say(
+        "wire-chaos: plan %r, seed %d, %d clients%s, %d intervals"
+        % (
+            plan.name,
+            int(seed),
+            plan.clients,
+            " on %d workers" % plan.workers if plan.workers else "",
+            plan.intervals,
+        )
+    )
+    try:
+        if plan.leader_kill_interval:
+            _run_leader_kill_live(plan, int(seed), obs, result, say)
+        else:
+            _run_single(plan, int(seed), obs, result, say)
+        for name, passed in sorted(result.invariants.items()):
+            obs.emit(
+                "wire_chaos_invariant",
+                invariant=name,
+                passed=bool(passed),
+            )
+            say(
+                "  invariant %-22s %s"
+                % (name, "ok" if passed else "FAIL")
+            )
+    except WorkerCrashError as error:
+        result.failure = error
+        result.worker_crash = True
+        say("  wire chaos soak aborted: %s" % error)
+    except ReproError as error:
+        result.failure = error
+        say("  wire chaos soak aborted: %s" % error)
+    finally:
+        result.timeline = canonical_wire_timeline(bus.events)
+        result.digest = wire_timeline_digest(result.timeline)
+        obs.emit(
+            "wire_chaos_complete",
+            plan=plan.name,
+            seed=int(seed),
+            intervals=result.intervals_completed,
+            digest=result.digest,
+            ok=result.ok,
+        )
+        bus.close()
+    return result

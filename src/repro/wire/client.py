@@ -22,14 +22,26 @@ Determinism over real sockets rests on three rules:
 - control frames (``ANNOUNCE``/``ROUND_END``/``FEEDBACK``/``REGISTER``)
   and unicast USR frames bypass injected loss entirely, so the protocol
   converges on every seed.
+
+**Survivability** (docs/robustness.md): the client is also a small
+resync state machine.  Every ANNOUNCE and REGISTER ack carries the
+leader's epoch; the client adopts a higher epoch (a promoted leader),
+refuses a lower one (a deposed leader's straggler — no stale-epoch key
+is ever absorbed), and counts a skipped interval number as a missed
+interval.  A silence watchdog (``resync_timeout``) re-enters the
+bounded full-jitter REGISTER cycle whenever the leader goes quiet, so a
+fleet orphaned by a leader kill re-homes onto the promoted standby by
+itself.  Undecodable datagrams and ICMP refusals are counted, not
+fatal — under the datagram fault injector both are routine weather.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 
-from repro.errors import WireDecodeError, WireError
+from repro.errors import PacketDecodeError, WireError
 from repro.obs.recorder import NULL
 from repro.obs.trace import format_trace
 from repro.rekey.packets import (
@@ -38,6 +50,7 @@ from repro.rekey.packets import (
     decode_packet,
 )
 from repro.transport.user import UserTransport
+from repro.util.retry import RetryPolicy
 from repro.wire.codec import (
     NO_FINGERPRINT,
     UNICAST_ROUND,
@@ -45,6 +58,7 @@ from repro.wire.codec import (
     FrameKind,
     decode_announce,
     decode_frame,
+    decode_register,
     encode_feedback,
     encode_frame,
     encode_register,
@@ -53,8 +67,22 @@ from repro.wire.codec import (
 )
 from repro.wire.loss import MemberLoss, cohort_of
 
-#: How often an unacknowledged REGISTER is resent.
-REGISTER_RETRY_SECONDS = 0.05
+#: The REGISTER resend schedule: bounded attempts with full-jitter
+#: backoff (replacing the old fixed 50 ms forever-loop).  Exhaustion
+#: emits ``wire_register_giveup``; with a silence watchdog armed the
+#: cycle re-runs on the next timeout, so a client keeps probing for a
+#: (re)appearing leader without ever stampeding it.
+REGISTER_POLICY = RetryPolicy(
+    max_attempts=12,
+    base_delay=0.05,
+    multiplier=1.6,
+    max_delay=1.0,
+    jitter=True,
+)
+
+#: Floor on the per-attempt wait so a jitter draw near zero cannot turn
+#: the cycle into a busy loop.
+MIN_REGISTER_WAIT = 0.005
 
 #: Datagram burst a client socket is sized for: one whole multicast
 #: round arriving before the event loop gets back to this client.  The
@@ -81,12 +109,17 @@ class _Session:
         "unicast_ack",
         "trace_id",
         "saw_data",
+        "epoch",
+        "seen_slots",
     )
 
     def __init__(self, interval, announce, served):
         self.interval = interval
         self.announce = announce
         self.served = served
+        self.epoch = announce.epoch
+        #: multicast DATA slots already processed (duplicate defence)
+        self.seen_slots = set()
         self.transport = None
         self.loss = None
         self.started_at = time.monotonic()
@@ -121,8 +154,8 @@ class _ClientProtocol(asyncio.DatagramProtocol):
     def datagram_received(self, data, addr):
         self.client._on_datagram(data)
 
-    def error_received(self, exc):  # pragma: no cover - platform noise
-        self.client.errors.append("socket error: %r" % (exc,))
+    def error_received(self, exc):
+        self.client._on_socket_error(exc)
 
 
 class WireClient:
@@ -146,7 +179,16 @@ class WireClient:
         seed,
         spacing_seconds,
         obs=NULL,
+        resync_timeout=None,
+        crash_at=None,
+        register_policy=None,
     ):
+        """``resync_timeout`` (seconds) arms the silence watchdog: after
+        that long without any server datagram the client re-enters the
+        REGISTER cycle (``None`` = off, the pre-chaos behaviour).
+        ``crash_at`` is an optional ``(interval, round)`` at which this
+        client goes silent forever — the chaos plans' deterministic
+        mid-interval death (round 0 = at the ANNOUNCE)."""
         self.name = name
         self.member_index = int(member_index)
         self.member = member
@@ -155,14 +197,36 @@ class WireClient:
         self.seed = int(seed)
         self.spacing_seconds = float(spacing_seconds)
         self.obs = obs
+        self.resync_timeout = (
+            None if resync_timeout is None else float(resync_timeout)
+        )
+        self.crash_at = (
+            None if crash_at is None else (int(crash_at[0]), int(crash_at[1]))
+        )
+        self.register_policy = (
+            REGISTER_POLICY if register_policy is None else register_policy
+        )
         self.cohort = cohort_of(self.member_index, loss_params.alpha)
         self.errors = []
         self.frames_received = 0
         self.data_dropped = 0
+        # -- resync FSM state (see module docs) --
+        self.epoch = 0
+        self.dead = False
+        self.resyncs = 0
+        self.reregisters = 0
+        self.missed_intervals = 0
+        self.stale_epoch_refused = 0
+        self.decode_errors = 0
+        self.socket_errors = 0
+        self.register_giveups = 0
+        self._rng = random.Random((self.seed << 20) ^ self.member_index)
+        self._last_rx = time.monotonic()
         self._session = None
         self._transport = None
         self._registered = None  # asyncio.Event, created on start
         self._register_task = None
+        self._watchdog_task = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -177,41 +241,119 @@ class WireClient:
             self._transport,
             kernel_buffer_size(PACKET_SIZE_CEILING, DATA_FAN_IN),
         )
+        self._last_rx = time.monotonic()
         self._register_task = loop.create_task(self._register_loop())
+        if self.resync_timeout is not None:
+            self._watchdog_task = loop.create_task(self._watchdog_loop())
         return self
 
     async def close(self):
-        if self._register_task is not None:
-            self._register_task.cancel()
-            try:
-                await self._register_task
-            except asyncio.CancelledError:
-                pass
-            self._register_task = None
+        for attr in ("_register_task", "_watchdog_task"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, attr, None)
         if self._transport is not None:
             self._transport.close()
             self._transport = None
 
-    async def _register_loop(self):
-        """Announce our address until the server acknowledges it."""
+    async def _register_loop(self, resync=False):
+        """One bounded REGISTER cycle: resend with full-jitter backoff
+        until *any* server datagram arrives or the attempt budget is
+        spent.  Returns whether registration was acknowledged."""
         payload = encode_register(self.member_index, self.member.user_id)
         frame = encode_frame(FrameKind.REGISTER, 0, payload=payload)
-        while not self._registered.is_set():
+        policy = self.register_policy
+        for attempt in range(policy.max_attempts):
+            if self._registered.is_set():
+                return True
             self._send(frame)
+            wait = max(
+                policy.delay(attempt, rng=self._rng), MIN_REGISTER_WAIT
+            )
             try:
-                await asyncio.wait_for(
-                    self._registered.wait(), REGISTER_RETRY_SECONDS
-                )
+                await asyncio.wait_for(self._registered.wait(), wait)
+                return True
             except asyncio.TimeoutError:
                 continue
+        if self._registered.is_set():
+            return True
+        self.register_giveups += 1
+        self.obs.count("wire_register_giveups")
+        self.obs.emit(
+            "wire_register_giveup",
+            member=self.name,
+            member_index=self.member_index,
+            attempts=policy.max_attempts,
+            resync=resync,
+        )
+        return False
+
+    async def _watchdog_loop(self):
+        """The silence watchdog: when the server has been quiet past
+        ``resync_timeout``, assume the leader is gone (or we are) and
+        re-enter the REGISTER cycle.  Re-registration is idempotent at
+        the server, so a false alarm costs one datagram exchange; a
+        real leader failover ends with the promoted server learning our
+        address and its ack teaching us the new epoch."""
+        await self._registered.wait()
+        while not self.dead:
+            await asyncio.sleep(
+                max(self.resync_timeout / 2.0, MIN_REGISTER_WAIT)
+            )
+            if self.dead:
+                return
+            idle = time.monotonic() - self._last_rx
+            if idle < self.resync_timeout:
+                continue
+            self.resyncs += 1
+            self.obs.count("wire_resyncs", reason="silence")
+            self.obs.emit(
+                "wire_resync",
+                member=self.name,
+                member_index=self.member_index,
+                reason="silence",
+                idle_ms=round(idle * 1000.0, 1),
+            )
+            self._registered.clear()
+            await self._register_loop(resync=True)
+            self.reregisters += 1
 
     def _send(self, wire):
         if self._transport is not None:
             self._transport.sendto(wire)
 
+    def _on_socket_error(self, exc):
+        # ICMP refusals while the leader is down (or a peer died) are
+        # survivable noise — counted, never fatal; the register cycle
+        # and watchdog keep probing.
+        self.socket_errors += 1
+        self.obs.count("wire_socket_errors")
+
+    def stats(self):
+        """The resync FSM's counters (the soak invariants read these)."""
+        return {
+            "epoch": self.epoch,
+            "dead": self.dead,
+            "resyncs": self.resyncs,
+            "reregisters": self.reregisters,
+            "missed_intervals": self.missed_intervals,
+            "stale_epoch_refused": self.stale_epoch_refused,
+            "decode_errors": self.decode_errors,
+            "socket_errors": self.socket_errors,
+            "register_giveups": self.register_giveups,
+        }
+
     # -- receive path ------------------------------------------------------
 
     def _on_datagram(self, data):
+        if self.dead:
+            return
+        self._last_rx = time.monotonic()
         if self._registered is not None:
             self._registered.set()
         try:
@@ -224,25 +366,94 @@ class WireClient:
             elif frame.kind is FrameKind.ROUND_END:
                 self._on_round_end(frame)
             elif frame.kind is FrameKind.REGISTER:
-                pass  # the server's registration ack
+                self._on_register_ack(frame)
             else:
                 raise WireError(
                     "client received server-bound frame %s" % frame.kind
                 )
-        except WireDecodeError as exc:
-            # Garbage must not kill the endpoint, but it is not silent.
-            self.errors.append("undecodable datagram: %s" % exc)
+        except PacketDecodeError as exc:
+            # Garbage (bad envelope, corrupt payload) must not kill the
+            # endpoint — counted and visible, never fatal.
+            self.decode_errors += 1
+            self.obs.count("wire_decode_error_total", side="client")
+            self.obs.emit(
+                "wire_decode_error", error=str(exc), side="client"
+            )
         except Exception as exc:  # noqa: BLE001 - surfaced to the runner
             self.errors.append("%s: %s" % (type(exc).__name__, exc))
 
+    def _on_register_ack(self, frame):
+        """The server's REGISTER ack carries its epoch — the client's
+        first (or, after a failover, fresh) sighting of the leader."""
+        self._adopt_epoch(decode_register(frame.payload).epoch, "register")
+
+    def _adopt_epoch(self, epoch, source):
+        """Adopt a higher leader epoch; returns True on a change of
+        leadership (not on the initial sighting)."""
+        if epoch <= self.epoch:
+            return False
+        previous, self.epoch = self.epoch, int(epoch)
+        if previous:
+            self.obs.count("wire_rehomes")
+            self.obs.emit(
+                "wire_rehomed",
+                member=self.name,
+                member_index=self.member_index,
+                epoch=self.epoch,
+                previous=previous,
+                source=source,
+            )
+            return True
+        return False
+
+    def _refuse_stale_epoch(self, frame, epoch):
+        self.stale_epoch_refused += 1
+        self.obs.count("wire_stale_epoch_total", side="client")
+        self.obs.emit(
+            "wire_stale_epoch",
+            side="client",
+            member=self.name,
+            member_index=self.member_index,
+            epoch=epoch,
+            current=self.epoch,
+            interval=frame.interval,
+        )
+
     def _on_announce(self, frame):
-        session = self._session
-        if session is not None and frame.interval < session.interval:
-            return  # stale interval straggler
-        if session is not None and frame.interval == session.interval:
-            self._send(session.announce_ack)  # ack was lost: resend
-            return
         announce = decode_announce(frame.payload)
+        if announce.epoch < self.epoch:
+            # Fencing, end to end: a deposed leader's ANNOUNCE never
+            # builds a session, so its keys can never be absorbed.
+            self._refuse_stale_epoch(frame, announce.epoch)
+            return
+        promoted = self._adopt_epoch(announce.epoch, "announce")
+        session = self._session
+        if session is not None and not promoted:
+            if frame.interval < session.interval:
+                return  # stale interval straggler
+            if frame.interval == session.interval:
+                self._send(session.announce_ack)  # ack was lost: resend
+                return
+        if self.crash_at is not None and self.crash_at == (
+            frame.interval,
+            0,
+        ):
+            self.dead = True  # scheduled death at the announce
+            return
+        if session is not None and frame.interval > session.interval + 1:
+            gap = frame.interval - session.interval - 1
+            self.missed_intervals += gap
+            self.resyncs += 1
+            self.obs.count("wire_resyncs", reason="missed-interval")
+            self.obs.emit(
+                "wire_resync",
+                member=self.name,
+                member_index=self.member_index,
+                reason="missed-interval",
+                interval=frame.interval,
+                last=session.interval,
+                missed=gap,
+            )
         served = frame.slot == 1
         session = _Session(frame.interval, announce, served)
         # Theorem 4.2: re-derive our ID before interpreting coverage.
@@ -276,6 +487,9 @@ class WireClient:
         if frame.round_no == UNICAST_ROUND:
             self._on_unicast(frame)
             return
+        if frame.slot in session.seen_slots:
+            return  # injected duplicate: each slot feeds the FSM once
+        session.seen_slots.add(frame.slot)
         if session.done:
             return
         if session.loss.lost(frame.slot):
@@ -330,6 +544,12 @@ class WireClient:
         # current round is missing from the cache.
         while session.rounds_reported < round_no:
             next_round = session.rounds_reported + 1
+            if self.crash_at is not None and self.crash_at == (
+                session.interval,
+                next_round,
+            ):
+                self.dead = True  # scheduled mid-interval death
+                return
             nack = None
             if session.served and not session.done:
                 nack = session.transport.end_of_round()
@@ -411,6 +631,7 @@ class WireClient:
             latency_ms=session.latency_ms,
             nack=nack,
             trace_id=session.trace_id,
+            epoch=self.epoch,
         )
         return encode_frame(
             FrameKind.FEEDBACK,

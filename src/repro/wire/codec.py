@@ -62,11 +62,19 @@ UNICAST_ROUND = 0xFF
 #: *outside* the protocol facts: the fleet digest never hashes it and
 #: injected loss applies only to DATA frames, so tracing cannot perturb
 #: the pinned deterministic runs.
-_ANNOUNCE = struct.Struct(">QBBHHB")
-_FEEDBACK = struct.Struct(">QIHBBH6sf")
-_REGISTER = struct.Struct(">QIH")
+#: Right behind the trace id rides the leader's 32-bit **epoch** (the HA
+#: fencing token, :mod:`repro.ha.lease`).  ANNOUNCE and the REGISTER ack
+#: carry it server→client so a client can tell a promoted leader from a
+#: deposed one; FEEDBACK echoes it client→server so a server can fence
+#: reports minted against a stale epoch.  Like the trace id it sits
+#: outside the protocol facts: the fleet digest never hashes it, and in
+#: single-leader runs it is simply 0 end to end.
+_ANNOUNCE = struct.Struct(">QIBBHHB")
+_FEEDBACK = struct.Struct(">QIIHBBH6sf")
+_REGISTER = struct.Struct(">QIIH")
 
 _TRACE_MASK = 0xFFFFFFFFFFFFFFFF
+_EPOCH_MASK = 0xFFFFFFFF
 
 #: Fingerprint placeholder sent while a member has not recovered yet.
 NO_FINGERPRINT = "000000000000"
@@ -104,6 +112,7 @@ class Announce:
     max_kid: int
     degree: int
     trace_id: int = 0
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -126,6 +135,7 @@ class Feedback:
     latency_ms: float
     nack: object = None
     trace_id: int = 0
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -135,6 +145,7 @@ class Register:
     member_index: int
     user_id: int
     trace_id: int = 0
+    epoch: int = 0
 
 
 def encode_frame(kind, interval, round_no=0, slot=0, payload=b""):
@@ -195,12 +206,13 @@ def decode_frame(data):
 # -- control payloads ---------------------------------------------------
 
 
-def encode_announce(message, degree, trace_id=0):
+def encode_announce(message, degree, trace_id=0, epoch=0):
     """The ``ANNOUNCE`` payload for one rekey message."""
     if message.k > 0xFF:
         raise WireError("block size %d does not fit in 8 bits" % message.k)
     return _ANNOUNCE.pack(
         int(trace_id) & _TRACE_MASK,
+        int(epoch) & _EPOCH_MASK,
         message.message_id,
         message.k,
         message.n_blocks,
@@ -215,9 +227,15 @@ def decode_announce(payload):
             "ANNOUNCE payload must be %d bytes, got %d"
             % (_ANNOUNCE.size, len(payload))
         )
-    trace_id, message_id, k, n_blocks, max_kid, degree = _ANNOUNCE.unpack(
-        payload
-    )
+    (
+        trace_id,
+        epoch,
+        message_id,
+        k,
+        n_blocks,
+        max_kid,
+        degree,
+    ) = _ANNOUNCE.unpack(payload)
     if k < 1 or n_blocks < 1 or degree < 2:
         raise WireDecodeError("ANNOUNCE with degenerate geometry")
     return Announce(
@@ -227,6 +245,7 @@ def decode_announce(payload):
         max_kid=max_kid,
         degree=degree,
         trace_id=trace_id,
+        epoch=epoch,
     )
 
 
@@ -242,6 +261,7 @@ def encode_feedback(feedback):
         raise WireError("fingerprint must be 6 bytes of hex")
     fixed = _FEEDBACK.pack(
         int(feedback.trace_id) & _TRACE_MASK,
+        int(feedback.epoch) & _EPOCH_MASK,
         feedback.member_index,
         feedback.user_id,
         1 if feedback.done else 0,
@@ -263,6 +283,7 @@ def decode_feedback(payload):
         )
     (
         trace_id,
+        epoch,
         member_index,
         user_id,
         done,
@@ -290,12 +311,16 @@ def decode_feedback(payload):
         latency_ms=latency_ms,
         nack=nack,
         trace_id=trace_id,
+        epoch=epoch,
     )
 
 
-def encode_register(member_index, user_id, trace_id=0):
+def encode_register(member_index, user_id, trace_id=0, epoch=0):
     return _REGISTER.pack(
-        int(trace_id) & _TRACE_MASK, member_index, user_id
+        int(trace_id) & _TRACE_MASK,
+        int(epoch) & _EPOCH_MASK,
+        member_index,
+        user_id,
     )
 
 
@@ -305,10 +330,33 @@ def decode_register(payload):
             "REGISTER payload must be %d bytes, got %d"
             % (_REGISTER.size, len(payload))
         )
-    trace_id, member_index, user_id = _REGISTER.unpack(payload)
+    trace_id, epoch, member_index, user_id = _REGISTER.unpack(payload)
     return Register(
-        member_index=member_index, user_id=user_id, trace_id=trace_id
+        member_index=member_index,
+        user_id=user_id,
+        trace_id=trace_id,
+        epoch=epoch,
     )
+
+
+_MEMBER_INDEX_OFFSET = struct.calcsize(">QI")  # trace_id + epoch
+_MEMBER_INDEX = struct.Struct(">I")
+
+
+def peek_member_index(frame):
+    """The ``member_index`` of a decoded FEEDBACK/REGISTER frame,
+    read without a full payload decode (the fault injector needs the
+    sender's coordinate *before* deciding whether to mangle the bytes).
+    Returns ``None`` for other kinds or truncated payloads.
+    """
+    if frame.kind not in (FrameKind.FEEDBACK, FrameKind.REGISTER):
+        return None
+    end = _MEMBER_INDEX_OFFSET + _MEMBER_INDEX.size
+    if len(frame.payload) < end:
+        return None
+    return _MEMBER_INDEX.unpack(
+        frame.payload[_MEMBER_INDEX_OFFSET:end]
+    )[0]
 
 
 # -- buffer sizing ------------------------------------------------------

@@ -33,10 +33,11 @@ from __future__ import annotations
 import asyncio
 import threading
 
-from repro.errors import ServiceError, WireError
+from repro.errors import ServiceError, WireError, WorkerCrashError
 from repro.obs.trace import current_trace_id
 from repro.service.members import MemberFleet
 from repro.service.transports import (
+    CARRY_OVER,
     IN_DEADLINE,
     UNICAST_CUTOVER,
     DeliveryBackend,
@@ -88,6 +89,11 @@ class WireFleet(MemberFleet):
         if fingerprint is not None:
             self.former_fingerprints[name] = fingerprint
 
+    def forget(self, name):
+        super().forget(name)
+        self.wire_fingerprints.pop(name, None)
+        self.former_fingerprints.pop(name, None)
+
     def note_fingerprint(self, name, fingerprint):
         """Record a member's wire-reported group-key fingerprint."""
         if name in self.wire_fingerprints:
@@ -135,6 +141,14 @@ class WireDelivery(DeliveryBackend):
         pace_seconds=None,
         adapt_rho=True,
         obs_dir=None,
+        resync_timeout=None,
+        epoch=0,
+        liveness_tries=None,
+        faults=None,
+        on_casualty=None,
+        crash_plan=None,
+        register_timeout=30.0,
+        handoff=None,
     ):
         self.config = config
         self.host = host
@@ -142,10 +156,28 @@ class WireDelivery(DeliveryBackend):
         self.workers = int(workers)
         #: directory for per-worker trace streams (worker mode only)
         self.obs_dir = obs_dir
-        if pace_seconds is None:
+        pace_defaulted = pace_seconds is None
+        if pace_defaulted:
             pace_seconds = WORKER_PACE_SECONDS if self.workers else 0.0
         self.pace_seconds = float(pace_seconds)
         self.adapt_rho = bool(adapt_rho)
+        #: client silence watchdog (seconds); None disables resync
+        self.resync_timeout = resync_timeout
+        #: HA fencing token stamped on ANNOUNCE and REGISTER acks.
+        #: 0 = unfenced (every pre-failover run).
+        self.epoch = int(epoch)
+        #: feedback-window misses before the server declares a member
+        #: dead mid-interval; None = wait forever (the legacy behaviour)
+        self.liveness_tries = liveness_tries
+        #: optional DatagramFaultInjector wired into the server's seam
+        self.faults = faults
+        #: callback(name) fired once per liveness casualty, from the
+        #: daemon's own thread — safe to call ``daemon.submit_leave``
+        self.on_casualty = on_casualty
+        #: name -> (interval, round) scripted client deaths (chaos plans)
+        self.crash_plan = dict(crash_plan or {})
+        #: registration-barrier deadline per delivery
+        self.register_timeout = float(register_timeout)
         self._seed = config.seed if seed is None else int(seed)
         self.controller = ProactivityController(
             k=config.block_size,
@@ -162,12 +194,38 @@ class WireDelivery(DeliveryBackend):
         self._indices = {}  # name -> member_index (never reused)
         self._next_index = 0
         self._calls = 0
+        #: names declared dead (liveness casualties) — excluded from
+        #: the registration barrier and the participant roster until
+        #: the intake's leave removes them from the fleet entirely
+        self._dead = set()
         #: canonical per-interval records — the fleet digest's input
         self.records = []
+        if handoff is not None:
+            # Adopt a failed leader's live wire plane (see
+            # :meth:`handoff`): same port so the clients' sockets keep
+            # a valid destination, same index space so loss chains and
+            # slot dedup continue, same interval counter so ANNOUNCEs
+            # stay monotonic across the failover.
+            self._pool = handoff["pool"]
+            self.workers = self._pool.n_workers
+            if pace_defaulted:
+                self.pace_seconds = WORKER_PACE_SECONDS
+            self._indices = dict(handoff["indices"])
+            self._next_index = (
+                max(self._indices.values(), default=-1) + 1
+            )
+            self._calls = int(handoff["first_interval"])
+            self.port = int(handoff["port"])
+            self._dead = set(handoff.get("dead", ()))
 
     @property
     def rho(self):
         return self.controller.rho
+
+    @property
+    def dead_members(self):
+        """Names declared dead by the liveness path (frozen view)."""
+        return frozenset(self._dead)
 
     # -- loop plumbing -----------------------------------------------------
 
@@ -182,7 +240,7 @@ class WireDelivery(DeliveryBackend):
         )
         self._thread.start()
         self.server = self._run(self._start_server())
-        if self.workers:
+        if self.workers and self._pool is None:
             from repro.wire.worker import WorkerPool
 
             self._pool = WorkerPool(
@@ -192,11 +250,18 @@ class WireDelivery(DeliveryBackend):
                 seed=self._seed,
                 spacing_seconds=self.config.sending_interval_ms * 1e-3,
                 obs_dir=self.obs_dir,
+                resync_timeout=self.resync_timeout,
             )
 
     async def _start_server(self):
         server = WireServer(
-            self.config, host=self.host, port=self.port, obs=self.obs
+            self.config,
+            host=self.host,
+            port=self.port,
+            obs=self.obs,
+            epoch=self.epoch,
+            faults=self.faults,
+            liveness_tries=self.liveness_tries,
         )
         return await server.start()
 
@@ -235,6 +300,7 @@ class WireDelivery(DeliveryBackend):
                         name,
                         self._member_index(name),
                         fleet.members[name],
+                        crash_at=self.crash_plan.get(name),
                     )
                     for name in added
                 ]
@@ -254,6 +320,8 @@ class WireDelivery(DeliveryBackend):
                     seed=self._seed,
                     spacing_seconds=self.config.sending_interval_ms * 1e-3,
                     obs=self.obs,
+                    resync_timeout=self.resync_timeout,
+                    crash_at=self.crash_plan.get(name),
                 )
                 self._clients[name] = client
                 self._run(client.start())
@@ -279,8 +347,19 @@ class WireDelivery(DeliveryBackend):
         fleet.relocate_all(message.max_kid)
         self._calls += 1
         interval = self._calls
-        indices = self._sync_roster(fleet)
-        self._run(self.server.wait_registered(indices))
+        self._sync_roster(fleet)
+        barrier = [
+            self._indices[name]
+            for name in sorted(fleet.members)
+            if name not in self._dead
+        ]
+        self._run(
+            self.server.wait_registered(
+                barrier,
+                timeout=self.register_timeout,
+                abort=self._raise_if_workers_dead,
+            )
+        )
 
         self.controller.k = message.k
         rho = self.controller.rho
@@ -294,6 +373,7 @@ class WireDelivery(DeliveryBackend):
                 served=member.user_id in message.needs_by_user,
             )
             for name, member in sorted(fleet.members.items())
+            if name not in self._dead
         ]
         outcome = self._run(
             self.server.deliver(
@@ -308,11 +388,27 @@ class WireDelivery(DeliveryBackend):
         )
         self._check_errors()
 
+        # Liveness casualties: members the server declared dead
+        # mid-interval.  They leave this delivery as ``carried`` (the
+        # daemon's carry ledger keeps the agreement check honest until
+        # the intake evicts them) and ``on_casualty`` feeds each one to
+        # the leave intake so the next interval rekeys them out.
+        casualty_names = sorted(
+            names_by_index[index]
+            for index in outcome.casualties
+            if index in names_by_index
+        )
+        for name in casualty_names:
+            self._dead.add(name)
+        if self.on_casualty is not None:
+            for name in casualty_names:
+                self.on_casualty(name)
+
         results = outcome.results
         not_done = sorted(
             names_by_index[index]
             for index, feedback in results.items()
-            if not feedback.done
+            if not feedback.done and index not in outcome.casualties
         )
         if not_done:
             raise WireError(
@@ -327,7 +423,7 @@ class WireDelivery(DeliveryBackend):
                     rho_max=self.controller.rho_max,
                 )
 
-        ordered = sorted(results)
+        ordered = sorted(i for i in results if i not in outcome.casualties)
         recovery_rounds = [results[i].recovery_round for i in ordered]
         dropped_total = sum(results[i].dropped for i in ordered)
         alpha = self.config.loss.alpha
@@ -365,12 +461,17 @@ class WireDelivery(DeliveryBackend):
             )
 
         unicast_served = len(outcome.unicast_user_ids)
-        decision = UNICAST_CUTOVER if unicast_served else IN_DEADLINE
+        if casualty_names:
+            decision = CARRY_OVER
+        elif unicast_served:
+            decision = UNICAST_CUTOVER
+        else:
+            decision = IN_DEADLINE
         self.records.append(
             {
                 "interval": interval,
                 "members": len(participants),
-                "served": len(results),
+                "served": len(ordered),
                 "rounds": outcome.rounds,
                 "rho": round(rho, 6),
                 "first_round_requests": list(
@@ -387,6 +488,10 @@ class WireDelivery(DeliveryBackend):
                 "unicast_users": unicast_served,
             }
         )
+        if casualty_names:
+            # Key present only on casualty intervals: fault-free runs
+            # keep producing byte-identical records (pinned digests).
+            self.records[-1]["casualties"] = casualty_names
         detail = {
             "datagrams_sent": outcome.datagrams_sent,
             "data_dropped": dropped_total,
@@ -396,11 +501,13 @@ class WireDelivery(DeliveryBackend):
         }
         if policy_ignored:
             detail["policy_ignored"] = True
+        if casualty_names:
+            detail["casualties"] = casualty_names
         self.obs.emit(
             "wire_delivery_complete",
             interval=interval,
             rounds=outcome.rounds,
-            served=len(results),
+            served=len(ordered),
             unicast_served=unicast_served,
             dropped=dropped_total,
         )
@@ -412,11 +519,77 @@ class WireDelivery(DeliveryBackend):
             first_round_nacks=len(outcome.first_round_requests),
             unicast_served=unicast_served,
             recovery_rounds=recovery_rounds,
+            carried=casualty_names,
             detail=detail,
         )
 
+    def _raise_if_workers_dead(self):
+        """Raise :class:`WorkerCrashError` if any worker process died.
+
+        Used as the registration barrier's abort hook: a crashed worker
+        means its clients will never register, so waiting out the full
+        deadline only delays the inevitable diagnosis.
+        """
+        if self._pool is None:
+            return
+        dead = self._pool.dead_workers()
+        if dead:
+            raise WorkerCrashError(
+                "worker process(es) crashed: %s"
+                % ", ".join(
+                    "slot %d (exit code %r)" % (slot, code)
+                    for slot, code in dead
+                )
+            )
+
+    def client_stats(self):
+        """``{name: stats}`` resync-FSM counters for every live client.
+
+        Reaches across process boundaries in worker mode — this is how
+        the failover harness audits that every surviving client adopted
+        the promoted leader's epoch.
+        """
+        stats = {
+            name: client.stats()
+            for name, client in self._clients.items()
+        }
+        if self._pool is not None:
+            stats.update(self._pool.stats())
+        return stats
+
+    def handoff(self):
+        """Detach the live client fleet so a successor can adopt it.
+
+        Returns the adoption record a promoted standby passes to a new
+        :class:`WireDelivery` as ``handoff=``: the worker pool (whose
+        processes — and their client sockets — outlive this backend),
+        the name→index map, the interval counter and the bound port.
+        The caller still ``close()``-s this backend afterwards, which
+        frees the port for the successor to rebind; the pool is no
+        longer ours, so ``close()`` leaves it running.
+
+        Worker mode only: in-process clients live on this backend's
+        event loop and die with it.
+        """
+        if self._loop is None or self.server is None:
+            raise WireError("nothing to hand off: wire plane not started")
+        if self._pool is None:
+            raise WireError(
+                "handoff requires worker mode (client processes that "
+                "outlive this backend)"
+            )
+        pool, self._pool = self._pool, None
+        return {
+            "pool": pool,
+            "indices": dict(self._indices),
+            "first_interval": self._calls,
+            "port": int(self.server.address[1]),
+            "dead": set(self._dead),
+        }
+
     def _check_errors(self):
         """Surface anything the socket paths swallowed mid-delivery."""
+        self._raise_if_workers_dead()
         errors = list(self.server.errors)
         for client in self._clients.values():
             errors.extend(
@@ -457,7 +630,7 @@ class WireDelivery(DeliveryBackend):
         self.close()
 
 
-def _member_spec(name, member_index, member):
+def _member_spec(name, member_index, member, crash_at=None):
     """Serialise one member's key state for a worker process."""
     return (
         name,
@@ -468,4 +641,5 @@ def _member_spec(name, member_index, member):
             (node_id, key.material.hex(), key.version)
             for node_id, key in sorted(member.path_keys.items())
         ],
+        tuple(crash_at) if crash_at is not None else None,
     )

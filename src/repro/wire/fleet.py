@@ -29,7 +29,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.errors import ReproError, WireError
+from repro.errors import ReproError, WireError, WorkerCrashError
 from repro.obs.events import EventBus
 from repro.obs.recorder import Recorder
 
@@ -94,6 +94,9 @@ class FleetResult:
     cohorts: dict = field(default_factory=dict)
     invariants: dict = field(default_factory=dict)
     failure: object = None
+    #: the failure was a dead worker process (distinct CLI exit code:
+    #: the fleet did not merely miss an invariant, it lost a machine)
+    worker_crash: bool = False
 
     @property
     def ok(self):
@@ -115,6 +118,7 @@ class FleetResult:
             "cohorts": dict(self.cohorts),
             "invariants": dict(self.invariants),
             "failure": None if self.failure is None else str(self.failure),
+            "worker_crash": self.worker_crash,
             "ok": self.ok,
         }
 
@@ -317,6 +321,10 @@ def run_fleet(
             say(
                 "  invariant %-16s %s" % (name, "ok" if passed else "FAIL")
             )
+    except WorkerCrashError as error:
+        result.failure = error
+        result.worker_crash = True
+        say("  fleet aborted: %s" % error)
     except ReproError as error:
         result.failure = error
         say("  fleet aborted: %s" % error)

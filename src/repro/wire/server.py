@@ -44,6 +44,7 @@ from repro.wire.codec import (
     decode_register,
     encode_announce,
     encode_frame,
+    encode_register,
     kernel_buffer_size,
     request_kernel_buffers,
 )
@@ -96,6 +97,8 @@ class WireOutcome:
     feedback_retries: int = 0
     unicast_retries: int = 0
     datagrams_sent: int = 0
+    #: member indices the liveness timeout declared dead this interval
+    casualties: set = field(default_factory=set)
 
 
 class AggregationWindow:
@@ -127,6 +130,15 @@ class AggregationWindow:
         if self.complete:
             self._complete.set()
         return True
+
+    def forget(self, member_index):
+        """Stop expecting ``member_index`` (a liveness eviction)."""
+        member_index = int(member_index)
+        if member_index not in self.expected:
+            return
+        self.expected = self.expected - {member_index}
+        if self.complete:
+            self._complete.set()
 
     @property
     def complete(self):
@@ -163,19 +175,46 @@ class _ServerProtocol(asyncio.DatagramProtocol):
 class WireServer:
     """The key server's wire-plane endpoint."""
 
-    def __init__(self, config, host="127.0.0.1", port=0, obs=NULL):
+    def __init__(
+        self,
+        config,
+        host="127.0.0.1",
+        port=0,
+        obs=NULL,
+        epoch=0,
+        faults=None,
+        liveness_tries=None,
+    ):
+        """``epoch`` is the leader's fencing token (0 = unfenced);
+        ``faults`` an optional
+        :class:`~repro.chaos.wire_faults.DatagramFaultInjector` wrapping
+        both socket directions; ``liveness_tries`` the window-try budget
+        after which a silent member is declared dead and evicted
+        (``None`` = members never die, the pre-chaos behaviour)."""
         self.config = config
         self.host = host
         self.port = int(port)
         self.obs = obs
+        self.epoch = int(epoch)
+        self.faults = faults
+        self.liveness_tries = (
+            None if liveness_tries is None else int(liveness_tries)
+        )
         self.errors = []
         self.decode_errors = 0
         self.stale_feedback = 0
+        self.stale_epoch_feedback = 0
         self.registrations = 0
+        self.reregistrations = 0
+        #: member indices declared dead by the liveness timeout, for the
+        #: delivery layer to feed into the leave intake
+        self.casualties = set()
         self._addresses = {}  # member_index -> (host, port)
         self._windows = {}  # (interval, round_no) -> AggregationWindow
         self._registered = None  # asyncio.Event, created on start
         self._transport = None
+        if self.faults is not None:
+            self.faults.bind(self.obs)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -208,12 +247,19 @@ class WireServer:
         """Drop an evicted member's address."""
         self._addresses.pop(int(member_index), None)
 
-    async def wait_registered(self, member_indices, timeout=30.0):
-        """Block until every index has announced an address."""
+    async def wait_registered(self, member_indices, timeout=30.0, abort=None):
+        """Block until every index has announced an address.
+
+        ``abort`` is an optional callable polled between waits; it
+        raises to abandon the barrier early (the delivery layer uses it
+        to surface dead worker processes instead of timing out here).
+        """
         needed = set(int(i) for i in member_indices)
         loop = asyncio.get_running_loop()
         deadline = loop.time() + timeout
         while not needed <= set(self._addresses):
+            if abort is not None:
+                abort()
             remaining = deadline - loop.time()
             if remaining <= 0:
                 raise WireError(
@@ -231,12 +277,17 @@ class WireServer:
     # -- receive path ------------------------------------------------------
 
     def _on_datagram(self, data, addr):
+        if self.faults is not None:
+            for mangled in self.faults.plan_recv(data):
+                self._process_datagram(mangled, addr)
+            return
+        self._process_datagram(data, addr)
+
+    def _process_datagram(self, data, addr):
         try:
             frame = decode_frame(data)
         except WireDecodeError as exc:
-            self.decode_errors += 1
-            self.obs.count("wire_decode_errors")
-            self.obs.emit("wire_decode_error", error=str(exc), side="server")
+            self._count_decode_error(exc)
             return
         try:
             if frame.kind is FrameKind.REGISTER:
@@ -247,22 +298,59 @@ class WireServer:
         except Exception as exc:  # noqa: BLE001 - surfaced to the runner
             self.errors.append("%s: %s" % (type(exc).__name__, exc))
 
+    def _count_decode_error(self, exc):
+        self.decode_errors += 1
+        self.obs.count("wire_decode_error_total", side="server")
+        self.obs.emit("wire_decode_error", error=str(exc), side="server")
+
     def _on_register(self, frame, addr):
         register = decode_register(frame.payload)
+        known = self._addresses.get(register.member_index)
         self._addresses[register.member_index] = addr
-        self.registrations += 1
+        if known is None:
+            self.registrations += 1
+        else:
+            # Idempotent re-REGISTER: a resent datagram, a resync after
+            # silence, or a client re-homing onto a promoted leader.
+            self.reregistrations += 1
+            self.obs.count("wire_reregistrations")
         self._registered.set()
-        # Ack by echo; the client stops its retry loop on any frame.
+        # Ack with the server's epoch: this is how a client first learns
+        # (or relearns, after a failover) who the leader is.  Any frame
+        # stops the client's retry loop.
         self._transport.sendto(
-            encode_frame(FrameKind.REGISTER, 0, payload=frame.payload), addr
+            encode_frame(
+                FrameKind.REGISTER,
+                0,
+                payload=encode_register(
+                    register.member_index,
+                    register.user_id,
+                    trace_id=register.trace_id,
+                    epoch=self.epoch,
+                ),
+            ),
+            addr,
         )
 
     def _on_feedback(self, frame):
         try:
             feedback = decode_feedback(frame.payload)
         except WireDecodeError as exc:
-            self.decode_errors += 1
-            self.obs.emit("wire_decode_error", error=str(exc), side="server")
+            self._count_decode_error(exc)
+            return
+        if self.epoch and feedback.epoch != self.epoch:
+            # End-to-end fencing: a report minted against another
+            # leader's epoch never enters an aggregation window.
+            self.stale_epoch_feedback += 1
+            self.obs.count("wire_stale_epoch_total", side="server")
+            self.obs.emit(
+                "wire_stale_epoch",
+                side="server",
+                member=feedback.member_index,
+                epoch=feedback.epoch,
+                current=self.epoch,
+                interval=frame.interval,
+            )
             return
         window = self._windows.get((frame.interval, frame.round_no))
         if window is None:
@@ -274,13 +362,64 @@ class WireServer:
 
     def _send_to(self, frames_by_index, member_indices, outcome):
         for member_index in member_indices:
+            if member_index in self.casualties:
+                continue
             address = self._addresses.get(member_index)
             if address is None:
                 raise WireError(
                     "no address for member index %d" % member_index
                 )
-            self._transport.sendto(frames_by_index[member_index], address)
+            self._transmit(
+                member_index, frames_by_index[member_index], address, outcome
+            )
+
+    def _transmit(self, member_index, wire, address, outcome):
+        """One datagram through the fault seam (the no-faults path is a
+        plain ``sendto``)."""
+        if self.faults is None:
+            self._transport.sendto(wire, address)
             outcome.datagrams_sent += 1
+            return
+        for data, delay in self.faults.plan_send(member_index, wire).sends:
+            if delay > 0:
+                asyncio.get_running_loop().call_later(
+                    delay, self._sendto_late, data, address
+                )
+            else:
+                self._transport.sendto(data, address)
+            outcome.datagrams_sent += 1
+
+    def _sendto_late(self, data, address):
+        if self._transport is not None:
+            self._transport.sendto(data, address)
+
+    def _flush_faults(self, outcome):
+        """Release reorder-held frames at a window boundary, so a held
+        DATA frame is always delivered before its round's ROUND_END."""
+        if self.faults is None:
+            return
+        for member_index, wire in self.faults.flush():
+            address = self._addresses.get(member_index)
+            if address is not None and member_index not in self.casualties:
+                self._transport.sendto(wire, address)
+                outcome.datagrams_sent += 1
+
+    def _evict(self, key, window, outcome):
+        """Declare the window's missing members dead (liveness timeout):
+        stop expecting them, record the casualties for the delivery
+        layer's leave intake."""
+        interval, round_no = key
+        for member_index in list(window.missing):
+            window.forget(member_index)
+            outcome.casualties.add(member_index)
+            self.casualties.add(member_index)
+            self.obs.count("wire_client_evictions")
+            self.obs.emit(
+                "wire_client_evicted",
+                interval=interval,
+                phase=round_no,
+                member=member_index,
+            )
 
     async def _drive_window(
         self, key, window, frames_by_index, outcome, what
@@ -290,20 +429,30 @@ class WireServer:
         Each try (re)sends only to the members still missing, then waits
         one aggregation window.  The wait returns the moment the last
         feedback lands, so a healthy fleet never pays the full cap.
+        With a liveness budget set, members still missing after
+        ``liveness_tries`` tries are evicted instead of stalling the
+        interval to the full cap.
         """
         self._windows[key] = window
         try:
             tries = 0
             while not window.complete:
+                if (
+                    self.liveness_tries is not None
+                    and tries >= self.liveness_tries
+                ):
+                    self._evict(key, window, outcome)
+                    continue
                 if tries >= MAX_WINDOW_TRIES:
                     raise WireError(
                         "%s: no feedback from member indices %r after "
                         "%d tries" % (what, window.missing, tries)
                     )
+                self._flush_faults(outcome)
                 self._send_to(frames_by_index, window.missing, outcome)
                 tries += 1
                 await window.wait(self.config.nack_window_seconds)
-            return tries - 1
+            return max(0, tries - 1)
         finally:
             self._windows.pop(key, None)
 
@@ -332,6 +481,9 @@ class WireServer:
         """
         if deadline_rounds is None:
             deadline_rounds = self.config.max_multicast_rounds
+        participants = [
+            p for p in participants if p.member_index not in self.casualties
+        ]
         served = [p for p in participants if p.served]
         if not served:
             raise WireError("delivery with no served participants")
@@ -350,7 +502,7 @@ class WireServer:
 
         # Announce barrier: nobody multicast-races a missing session.
         announce_payload = encode_announce(
-            message, self.config.degree, trace_id=trace_id
+            message, self.config.degree, trace_id=trace_id, epoch=self.epoch
         )
         announce_frames = {
             p.member_index: encode_frame(
@@ -368,6 +520,14 @@ class WireServer:
             outcome,
             what="interval %d announce" % interval,
         )
+        if outcome.casualties:
+            served = [
+                p for p in served if p.member_index not in outcome.casualties
+            ]
+            served_indices = [p.member_index for p in served]
+            served_targets = list(served_indices)
+            if not served:
+                return outcome
         # ``mono`` anchors skew correction: the assembler aligns each
         # worker stream's monotonic clock against this barrier instant.
         self.obs.emit(
@@ -428,6 +588,16 @@ class WireServer:
                     nack.max_requested for nack in window.nacks
                 )
             outcome.results.update(window.reported)
+            if outcome.casualties:
+                served = [
+                    p
+                    for p in served
+                    if p.member_index not in outcome.casualties
+                ]
+                served_indices = [p.member_index for p in served]
+                served_targets = list(served_indices)
+                if not served:
+                    return outcome
             pending = [
                 p
                 for p in served
@@ -491,6 +661,10 @@ class WireServer:
             what="interval %d unicast" % interval,
         )
         outcome.results.update(window.reported)
+        if outcome.casualties:
+            pending = [
+                p for p in pending if p.member_index not in outcome.casualties
+            ]
         outcome.unicast_user_ids = sorted(p.user_id for p in pending)
         self.obs.emit(
             "wire_unicast",

@@ -11,6 +11,9 @@ each worker over a :mod:`multiprocessing` pipe with four commands:
 - ``("remove", [name, ...])`` — close clients of evicted members;
 - ``("check", None)`` — reply ``("errors", [...])`` with everything the
   clients' socket paths recorded, so the parent can fail loudly;
+- ``("stats", None)`` — reply ``("stats", [(name, dict), ...])`` with
+  each client's resync-FSM counters (see ``WireClient.stats``), so the
+  failover harness can audit epochs across process boundaries;
 - ``("stop", None)`` — close everything and exit.
 
 Workers are started with the ``spawn`` context: the parent runs an
@@ -31,11 +34,11 @@ import asyncio
 import multiprocessing
 import os
 
-from repro.errors import WireError
+from repro.errors import WireError, WorkerCrashError
 
 
 def worker_main(conn, server_address, loss, seed, spacing_seconds,
-                obs_path=None):
+                obs_path=None, resync_timeout=None):
     """Entry point of one worker process.
 
     With ``obs_path`` the worker opens its own line-buffered JSONL
@@ -55,7 +58,7 @@ def worker_main(conn, server_address, loss, seed, spacing_seconds,
         asyncio.run(
             _worker_loop(
                 conn, tuple(server_address), loss, seed, spacing_seconds,
-                obs=obs,
+                obs=obs, resync_timeout=resync_timeout,
             )
         )
     finally:
@@ -64,7 +67,7 @@ def worker_main(conn, server_address, loss, seed, spacing_seconds,
 
 
 async def _worker_loop(conn, server_address, loss, seed, spacing_seconds,
-                       obs=None):
+                       obs=None, resync_timeout=None):
     from repro.obs.recorder import NULL
     from repro.wire.client import WireClient
 
@@ -78,7 +81,10 @@ async def _worker_loop(conn, server_address, loss, seed, spacing_seconds,
 
     async def add_client(spec):
         try:
-            name, member_index, user_id, degree, path_keys = spec
+            name, member_index, user_id, degree, path_keys = spec[:5]
+            crash_at = None
+            if len(spec) > 5 and spec[5] is not None:
+                crash_at = tuple(spec[5])
             client = WireClient(
                 name,
                 member_index,
@@ -88,6 +94,8 @@ async def _worker_loop(conn, server_address, loss, seed, spacing_seconds,
                 seed=seed,
                 spacing_seconds=spacing_seconds,
                 obs=obs,
+                resync_timeout=resync_timeout,
+                crash_at=crash_at,
             )
             clients[name] = client
             await client.start()
@@ -126,6 +134,16 @@ async def _worker_loop(conn, server_address, loss, seed, spacing_seconds,
                         loop.create_task(remove_client(name))
                 elif op == "check":
                     conn.send(("errors", collect_errors()))
+                elif op == "stats":
+                    conn.send(
+                        (
+                            "stats",
+                            [
+                                (name, client.stats())
+                                for name, client in sorted(clients.items())
+                            ],
+                        )
+                    )
                 elif op == "stop":
                     stop.set()
                     return
@@ -159,7 +177,7 @@ class WorkerPool:
     """The parent-side handle on a set of client worker processes."""
 
     def __init__(self, n_workers, server_address, loss, seed,
-                 spacing_seconds, obs_dir=None):
+                 spacing_seconds, obs_dir=None, resync_timeout=None):
         if n_workers < 1:
             raise WireError("worker pool needs at least one worker")
         context = multiprocessing.get_context("spawn")
@@ -185,6 +203,7 @@ class WorkerPool:
                     int(seed),
                     float(spacing_seconds),
                     obs_path,
+                    resync_timeout,
                 ),
                 daemon=True,
             )
@@ -221,23 +240,64 @@ class WorkerPool:
         for slot, group in sorted(by_slot.items()):
             self._conns[slot].send(("remove", group))
 
+    def dead_workers(self):
+        """``[(slot, exitcode), ...]`` for every worker that died."""
+        return [
+            (slot, process.exitcode)
+            for slot, process in enumerate(self._procs)
+            if not process.is_alive()
+        ]
+
+    def _request(self, op, expect, timeout):
+        """Round-robin ``(op, None)`` to every worker; returns replies.
+
+        A dead worker raises :class:`WorkerCrashError` (with its exit
+        code) instead of hanging on a pipe nobody will ever answer.
+        """
+        replies = []
+        for slot, conn in enumerate(self._conns):
+            process = self._procs[slot]
+
+            def crashed():
+                raise WorkerCrashError(
+                    "worker %d crashed (exit code %r) during %s"
+                    % (slot, process.exitcode, op)
+                )
+
+            if not process.is_alive():
+                crashed()
+            try:
+                conn.send((op, None))
+            except (OSError, BrokenPipeError):
+                crashed()
+            if not conn.poll(timeout):
+                if not process.is_alive():
+                    crashed()
+                raise WireError(
+                    "worker %d did not answer a %s within %.1fs"
+                    % (slot, op, timeout)
+                )
+            kind, payload = conn.recv()
+            if kind != expect:
+                raise WireError(
+                    "worker %d answered %r to a %s" % (slot, kind, op)
+                )
+            replies.append(payload)
+        return replies
+
     def check(self, timeout=10.0):
         """Collect every error the workers' clients recorded so far."""
         errors = []
-        for slot, conn in enumerate(self._conns):
-            conn.send(("check", None))
-            if not conn.poll(timeout):
-                raise WireError(
-                    "worker %d did not answer a check within %.1fs"
-                    % (slot, timeout)
-                )
-            kind, payload = conn.recv()
-            if kind != "errors":
-                raise WireError(
-                    "worker %d answered %r to a check" % (slot, kind)
-                )
+        for payload in self._request("check", "errors", timeout):
             errors.extend(payload)
         return errors
+
+    def stats(self, timeout=10.0):
+        """``{name: stats_dict}`` for every client across all workers."""
+        stats = {}
+        for payload in self._request("stats", "stats", timeout):
+            stats.update(dict(payload))
+        return stats
 
     def close(self, timeout=10.0):
         for conn in self._conns:

@@ -260,6 +260,60 @@ class TestTracePropagation:
                 pass
 
 
+#: the full u32 epoch range, endpoints included
+epochs = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestEpochPropagation:
+    """Every control frame kind must carry the leader epoch losslessly —
+    the end-to-end fencing rides on it (docs/robustness.md)."""
+
+    @given(epoch=epochs)
+    @settings(max_examples=50, deadline=None)
+    def test_announce_preserves_epoch(self, epoch):
+        announce = decode_announce(
+            encode_announce(FakeMessage(), 4, epoch=epoch)
+        )
+        assert announce.epoch == epoch
+
+    @given(epoch=epochs)
+    @settings(max_examples=50, deadline=None)
+    def test_feedback_preserves_epoch(self, epoch):
+        feedback = Feedback(
+            member_index=12,
+            user_id=7,
+            done=True,
+            recovery_round=2,
+            dropped=5,
+            fingerprint="a1b2c3d4e5f6",
+            latency_ms=17.5,
+            nack=None,
+            epoch=epoch,
+        )
+        assert decode_feedback(encode_feedback(feedback)).epoch == epoch
+
+    @given(epoch=epochs)
+    @settings(max_examples=50, deadline=None)
+    def test_register_preserves_epoch(self, epoch):
+        register = decode_register(encode_register(99, 1234, epoch=epoch))
+        assert register.epoch == epoch
+        assert register.member_index == 99
+
+    def test_epoch_defaults_to_zero(self):
+        """Epoch 0 is the unfenced sentinel (single-node mode)."""
+        assert decode_register(encode_register(1, 2)).epoch == 0
+        assert decode_announce(encode_announce(FakeMessage(), 4)).epoch == 0
+
+    @given(epoch=epochs, trace_id=trace_ids)
+    @settings(max_examples=50, deadline=None)
+    def test_epoch_and_trace_coexist(self, epoch, trace_id):
+        register = decode_register(
+            encode_register(3, 17, trace_id=trace_id, epoch=epoch)
+        )
+        assert register.epoch == epoch
+        assert register.trace_id == trace_id
+
+
 class TestBufferSizing:
     def test_datagram_bound_is_header_plus_packet(self):
         assert max_datagram_size(1027) == WIRE_HEADER_SIZE + 1027

@@ -1,0 +1,108 @@
+"""Worker-crash surfacing: dead processes become errors, not hangs.
+
+A crashed worker process used to look like a registration timeout — a
+30 s stall followed by a misleading "members never registered".  The
+pool now reports the corpse directly (:class:`WorkerCrashError`, which
+the CLI maps to exit code 4) and the registration barrier polls an
+abort hook so the diagnosis is immediate.
+"""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.core.config import GroupConfig
+from repro.errors import WireError, WorkerCrashError
+from repro.sim.topology import LossParameters
+from repro.wire.server import WireServer
+from repro.wire.worker import WorkerPool
+
+
+def dead_udp_address():
+    """A loopback port nothing listens on (bind-then-close reserves it)."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    probe.bind(("127.0.0.1", 0))
+    address = probe.getsockname()
+    probe.close()
+    return address
+
+
+@pytest.fixture
+def pool():
+    pool = WorkerPool(
+        1, dead_udp_address(), LossParameters(), seed=3,
+        spacing_seconds=0.0,
+    )
+    yield pool
+    pool.close()
+
+
+class TestWorkerPoolCrash:
+    def test_dead_worker_is_listed_with_exit_code(self, pool):
+        process = pool._procs[0]
+        process.terminate()
+        process.join(timeout=10.0)
+        dead = pool.dead_workers()
+        assert len(dead) == 1
+        slot, exitcode = dead[0]
+        assert slot == 0
+        assert exitcode is not None
+
+    def test_request_to_dead_worker_raises_not_hangs(self, pool):
+        pool._procs[0].terminate()
+        pool._procs[0].join(timeout=10.0)
+        with pytest.raises(WorkerCrashError) as excinfo:
+            pool.check(timeout=5.0)
+        assert "worker 0" in str(excinfo.value)
+
+    def test_live_worker_answers_check(self, pool):
+        assert pool.check(timeout=10.0) == []
+        assert pool.dead_workers() == []
+
+
+class TestRegistrationBarrierAbort:
+    def make_server(self):
+        server = WireServer(GroupConfig(block_size=5))
+        server._registered = asyncio.Event()
+        return server
+
+    def test_abort_hook_cuts_the_deadline_short(self):
+        """A crashed worker must surface immediately, not after the
+        full registration deadline."""
+        server = self.make_server()
+
+        def crashed():
+            raise WorkerCrashError("worker 0 crashed (exit code -9)")
+
+        async def run():
+            await server.wait_registered([0, 1], timeout=30.0, abort=crashed)
+
+        loop = asyncio.new_event_loop()
+        try:
+            start = loop.time()
+            with pytest.raises(WorkerCrashError):
+                loop.run_until_complete(run())
+            assert loop.time() - start < 5.0
+        finally:
+            loop.close()
+
+    def test_deadline_names_the_missing_members(self):
+        server = self.make_server()
+        server._addresses[0] = ("127.0.0.1", 1)
+
+        async def run():
+            await server.wait_registered([0, 1], timeout=0.05)
+
+        with pytest.raises(WireError) as excinfo:
+            asyncio.run(run())
+        assert "[1]" in str(excinfo.value)
+
+    def test_barrier_passes_once_all_registered(self):
+        server = self.make_server()
+        server._addresses.update({0: ("127.0.0.1", 1), 1: ("127.0.0.1", 2)})
+
+        async def run():
+            await server.wait_registered([0, 1], timeout=0.05)
+
+        asyncio.run(run())  # returns without raising
