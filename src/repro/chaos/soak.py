@@ -58,17 +58,21 @@ TIMELINE_KINDS = frozenset(
 _VOLATILE_KEYS = ("error", "trace")
 
 
-def canonical_timeline(events):
+def canonical_timeline(events, kinds=None):
     """The digest-stable projection of a run's chaos-relevant events.
 
     Wall-clock times are dropped (the envelope ``t``), error strings are
     dropped, and any path-valued detail is reduced to its basename, so
     two runs in different temp dirs at different times still compare
-    equal byte for byte.
+    equal byte for byte.  ``kinds`` selects which event kinds define the
+    timeline (default: the chaos-soak set; the tenancy soak passes its
+    own).
     """
+    if kinds is None:
+        kinds = TIMELINE_KINDS
     timeline = []
     for event in events:
-        if event["kind"] not in TIMELINE_KINDS:
+        if event["kind"] not in kinds:
             continue
         detail = {}
         for key, value in event["detail"].items():

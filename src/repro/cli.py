@@ -32,8 +32,24 @@ The commands:
   seeded datagram faults, scripted client deaths, or a live-fleet
   leader failover, with digest-pinned invariants (see
   ``docs/robustness.md``);
+- ``tenancy-soak`` — run the multi-tenant key service under a tenancy
+  abuse plan (noisy-neighbor flash crowd, tenant-WAL corruption, mass
+  re-home of ~1k tenants) and assert the isolation invariants (see
+  ``docs/tenancy.md``);
 - ``bench-perf`` — run the hot-path micro-benchmarks and write a
   ``BENCH_perf.json`` document (see ``docs/performance.md``).
+
+``serve --tenants N`` switches the daemon into multi-tenant mode: N
+heterogeneous groups on one deadline-aware scheduler with per-tenant
+WAL/snapshot namespacing under ``--state-dir`` (see
+``docs/tenancy.md``).
+
+The four digest-pinned soak commands (``chaos-soak``, ``ha-soak``,
+``fleet``, ``wire-chaos-soak``, plus ``tenancy-soak``) share one
+result protocol and one exit-code contract, implemented by
+:func:`run_soak_command`: 0 = all invariants green, 1 = a failure or a
+violated invariant, 2 = configuration error, 3 = digest mismatch,
+4 = a worker process died.
 """
 
 from __future__ import annotations
@@ -201,6 +217,30 @@ def _build_parser():
         type=float,
         default=5.0,
         help="seconds without renewal before the leader lease lapses",
+    )
+    serve.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        metavar="N",
+        help="multi-tenant mode: run N heterogeneous groups on one "
+        "deadline scheduler with per-tenant state under --state-dir "
+        "(--intervals then counts scheduler ticks; see docs/tenancy.md)",
+    )
+    serve.add_argument(
+        "--tick-budget",
+        type=int,
+        default=None,
+        metavar="COST",
+        help="multi-tenant mode: per-tick cost budget for overload "
+        "control (default: unlimited)",
+    )
+    serve.add_argument(
+        "--solo-fraction",
+        type=float,
+        default=0.5,
+        help="multi-tenant mode: fraction of the tick budget one "
+        "tenant may claim before it is treated as a whale",
     )
 
     obs_report = sub.add_parser(
@@ -432,6 +472,57 @@ def _build_parser():
         help="list every named wire fault plan and exit",
     )
 
+    tenancy = sub.add_parser(
+        "tenancy-soak",
+        help="run the multi-tenant key service under an abuse plan",
+    )
+    tenancy.add_argument(
+        "--plan",
+        choices=["noisy-neighbor", "tenant-wal-corruption", "mass-rehome"],
+        default="noisy-neighbor",
+        help="named tenancy plan (see --list-plans; docs/tenancy.md)",
+    )
+    tenancy.add_argument("--seed", type=int, default=7)
+    tenancy.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="override the plan's tenant count",
+    )
+    tenancy.add_argument(
+        "--ticks",
+        type=int,
+        default=None,
+        help="override the plan's scheduler tick count",
+    )
+    tenancy.add_argument(
+        "--state-root",
+        default=None,
+        help="shared storage root for all tenants (default: temp dir)",
+    )
+    tenancy.add_argument(
+        "--obs-file",
+        default=None,
+        metavar="PATH",
+        help="also write the event stream as JSONL (for obs-report)",
+    )
+    tenancy.add_argument(
+        "--expect-digest",
+        default=None,
+        metavar="SHA256",
+        help="fail unless the run's tenancy-timeline digest matches",
+    )
+    tenancy.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the soak result as JSON at the end",
+    )
+    tenancy.add_argument(
+        "--list-plans",
+        action="store_true",
+        help="list the tenancy plans and exit",
+    )
+
     bench = sub.add_parser(
         "bench-perf", help="run the hot-path perf benchmarks"
     )
@@ -584,7 +675,136 @@ def _cmd_analyze(args, out):
     return 0
 
 
+def _serve_tenants(args, out):
+    """``serve --tenants N``: the multi-group daemon on one scheduler."""
+    import tempfile
+
+    from repro.errors import ReproError, ServiceError, TenancyError
+    from repro.service import make_backend, make_driver
+    from repro.tenancy import MultiGroupDaemon, make_fleet
+
+    if args.role != "standalone":
+        print(
+            "error: --tenants runs standalone (bulk failover is the "
+            "tenancy-soak mass-rehome plan; see docs/tenancy.md)",
+            file=out,
+        )
+        return 2
+    if args.metrics_port is not None:
+        print("error: --metrics-port is not supported with --tenants",
+              file=out)
+        return 2
+    if args.transport not in ("direct", "sim"):
+        print(
+            "error: --tenants supports the direct and sim transports",
+            file=out,
+        )
+        return 2
+    obs = bus = None
+    if args.obs_file is not None:
+        from repro.obs import EventBus, Recorder
+
+        bus = EventBus(path=args.obs_file)
+        obs = Recorder(bus=bus)
+    state_root = args.state_dir or tempfile.mkdtemp(prefix="repro-tenants-")
+    try:
+        registry = make_fleet(args.tenants, seed=args.seed)
+        churn = {
+            spec.name: make_driver(
+                args.churn, alpha=args.alpha, trace_path=args.trace_file
+            )
+            for spec in registry
+        }
+        backend_factory = None
+        if args.transport == "sim":
+            backend_factory = lambda spec: make_backend(
+                "sim", spec.config, seed=spec.config.seed + 1
+            )
+        common = dict(
+            churn=churn,
+            budget=args.tick_budget,
+            solo_fraction=args.solo_fraction,
+            backend_factory=backend_factory,
+            obs=obs,
+        )
+        if args.resume:
+            daemon = MultiGroupDaemon.recover_all(state_root, **common)
+            print(
+                "recovered %d tenant(s) from %s"
+                % (len(daemon.registry), state_root),
+                file=out,
+            )
+        else:
+            daemon = MultiGroupDaemon.start_new(
+                registry, state_root, **common
+            )
+            print(
+                "serving %d tenant group(s) under %s (%s transport, "
+                "%s churn%s)"
+                % (
+                    len(registry),
+                    state_root,
+                    args.transport,
+                    args.churn,
+                    ", budget %d/tick" % args.tick_budget
+                    if args.tick_budget
+                    else "",
+                ),
+                file=out,
+            )
+    except (ServiceError, TenancyError, ReproError) as error:
+        print("error: %s" % error, file=out)
+        if bus is not None:
+            bus.close()
+        return 2
+    try:
+        for _ in range(args.intervals):
+            plan = daemon.tick()
+            print(
+                "tick %3d: ran %d, deferred %d, quarantined %d, cost %d"
+                % (
+                    plan.tick,
+                    len(plan.run),
+                    len(plan.deferred),
+                    len(daemon.quarantined_names()),
+                    plan.cost_total,
+                ),
+                file=out,
+            )
+    finally:
+        daemon.close()
+        if bus is not None:
+            bus.close()
+    health = daemon.health()
+    broken = daemon.check_agreement()
+    print(
+        "health: %s (%d tenants, %d intervals, %d quarantined)"
+        % (
+            health["status"],
+            health["tenants"],
+            health["intervals_total"],
+            len(health["quarantined"]),
+        ),
+        file=out,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(health, indent=2, sort_keys=True), file=out)
+    if args.obs_file:
+        print("wrote obs events to %s" % args.obs_file, file=out)
+    if broken:
+        print(
+            "key agreement broken in tenant(s): %s" % ", ".join(broken),
+            file=out,
+        )
+        return 1
+    return 0
+
+
 def _cmd_serve(args, out):
+    if args.tenants is not None:
+        return _serve_tenants(args, out)
     if args.role != "standalone":
         if args.node_id is None:
             args.node_id = args.role
@@ -776,199 +996,57 @@ def _print_plans(names, out):
         print("  %-22s %s" % (name, description), file=out)
 
 
-def _cmd_chaos_soak(args, out):
+def run_soak_command(
+    args,
+    out,
+    label,
+    digest_label,
+    run,
+    error_types,
+    list_plans=None,
+    summarize=None,
+    failure_note=None,
+):
+    """The shared driver behind every digest-pinned soak command.
+
+    All five runners (``chaos-soak``, ``ha-soak``, ``fleet``,
+    ``wire-chaos-soak``, ``tenancy-soak``) speak the same result
+    protocol — ``digest`` / ``failure`` / ``ok`` / ``invariants`` /
+    ``to_dict()`` — and differ only in how the run is launched and how
+    its summary reads.  This helper owns everything else, including the
+    exit-code contract:
+
+    - 0 — the run finished and every invariant held;
+    - 1 — the run failed outright or violated an invariant;
+    - 2 — configuration error (unknown plan, bad arguments);
+    - 3 — ``--expect-digest`` did not match the run's digest;
+    - 4 — a worker process died (``result.worker_crash``).
+
+    ``run`` launches the soak given a ``log`` callable and returns the
+    result; ``error_types`` are the config-error exceptions mapped to
+    exit 2; ``list_plans`` handles ``--list-plans``; ``summarize``
+    prints the command's headline lines; ``failure_note`` may add
+    diagnostics under a FAILED verdict.
+    """
     import json
 
-    from repro.chaos import run_soak
-    from repro.errors import ChaosError
-
-    if args.list_plans:
-        from repro.chaos.plans import HA_PLAN_NAMES, PLAN_NAMES
-
-        print("single-node plans (chaos-soak):", file=out)
-        _print_plans(PLAN_NAMES, out)
-        print("cluster plans (ha-soak):", file=out)
-        _print_plans(HA_PLAN_NAMES, out)
+    if getattr(args, "list_plans", False):
+        list_plans(out)
         return 0
     try:
-        result = run_soak(
-            plan=args.plan,
-            seed=args.seed,
-            intervals=args.intervals,
-            members=args.members,
-            state_dir=args.state_dir,
-            obs_path=args.obs_file,
-            log=lambda line: print(line, file=out),
-        )
-    except ChaosError as error:
+        result = run(lambda line: print(line, file=out))
+    except error_types as error:
         print("error: %s" % error, file=out)
         return 2
-    print(
-        "chaos-soak: %d fault(s) injected, %d restart(s), "
-        "%d/%d interval(s)"
-        % (
-            result.faults_injected,
-            result.restarts,
-            result.intervals_completed,
-            result.intervals_target,
-        ),
-        file=out,
-    )
-    print("fault-timeline digest: %s" % result.digest, file=out)
-    if args.json:
+    if summarize is not None:
+        summarize(result, out)
+    print("%s: %s" % (digest_label, result.digest), file=out)
+    if getattr(args, "json", False):
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True),
               file=out)
-    if args.obs_file:
+    if getattr(args, "obs_file", None):
         print("wrote obs events to %s" % args.obs_file, file=out)
-    if args.expect_digest and args.expect_digest != result.digest:
-        print(
-            "digest mismatch: expected %s" % args.expect_digest, file=out
-        )
-        return 3
-    if result.failure is not None:
-        print("chaos-soak: FAILED: %s" % result.failure, file=out)
-        if not result.expect_recoverable:
-            print(
-                "(plan %r is deliberately unrecoverable; the diagnostic "
-                "above is its expected outcome)" % result.plan,
-                file=out,
-            )
-        return 1
-    if not result.ok:
-        failed = sorted(
-            name for name, passed in result.invariants.items() if not passed
-        )
-        print(
-            "chaos-soak: invariant(s) violated: %s" % ", ".join(failed),
-            file=out,
-        )
-        return 1
-    print("chaos-soak: all invariants green", file=out)
-    return 0
-
-
-def _cmd_ha_soak(args, out):
-    import json
-
-    from repro.errors import ChaosError
-    from repro.ha.soak import run_ha_soak
-
-    if args.list_plans:
-        from repro.chaos.plans import HA_PLAN_NAMES
-
-        print("cluster plans (ha-soak):", file=out)
-        _print_plans(HA_PLAN_NAMES, out)
-        return 0
-    try:
-        result = run_ha_soak(
-            plan=args.plan,
-            seed=args.seed,
-            intervals=args.intervals,
-            members=args.members,
-            state_dir=args.state_dir,
-            obs_path=args.obs_file,
-            log=lambda line: print(line, file=out),
-        )
-    except ChaosError as error:
-        print("error: %s" % error, file=out)
-        return 2
-    print(
-        "ha-soak: %d fault(s) injected, %d promotion(s), "
-        "final epoch %d, %d/%d interval(s)"
-        % (
-            result.faults_injected,
-            result.promotions,
-            result.final_epoch,
-            result.intervals_completed,
-            result.intervals_target,
-        ),
-        file=out,
-    )
-    print("fault-timeline digest: %s" % result.digest, file=out)
-    if args.json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True),
-              file=out)
-    if args.obs_file:
-        print("wrote obs events to %s" % args.obs_file, file=out)
-    if args.expect_digest and args.expect_digest != result.digest:
-        print(
-            "digest mismatch: expected %s" % args.expect_digest, file=out
-        )
-        return 3
-    if result.failure is not None:
-        print("ha-soak: FAILED: %s" % result.failure, file=out)
-        return 1
-    if not result.ok:
-        failed = sorted(
-            name for name, passed in result.invariants.items() if not passed
-        )
-        print(
-            "ha-soak: invariant(s) violated: %s" % ", ".join(failed),
-            file=out,
-        )
-        return 1
-    print("ha-soak: all invariants green", file=out)
-    return 0
-
-
-def _cmd_fleet(args, out):
-    import json
-
-    from repro.errors import WireError
-    from repro.wire.fleet import FLEET_PLANS, run_fleet
-
-    if args.list_plans:
-        for name, plan in FLEET_PLANS.items():
-            print("  %-22s %s" % (name, plan.description), file=out)
-        return 0
-    try:
-        result = run_fleet(
-            plan=args.plan,
-            seed=args.seed,
-            clients=args.clients,
-            intervals=args.intervals,
-            workers=args.workers,
-            obs_path=args.obs_file,
-            obs_dir=args.obs_dir,
-            log=lambda line: print(line, file=out),
-        )
-    except WireError as error:
-        print("error: %s" % error, file=out)
-        return 2
-    print(
-        "fleet: %d client(s)%s, %d/%d interval(s)"
-        % (
-            result.clients,
-            " on %d workers" % result.workers if result.workers else "",
-            result.intervals_completed,
-            result.intervals_target,
-        ),
-        file=out,
-    )
-    for cohort in sorted(result.cohorts):
-        stats = result.cohorts[cohort]
-        print(
-            "  cohort %-5s %4d report(s): recovery p50/p90/p99 "
-            "%.1f/%.1f/%.1f ms, rounds %.2f, unicast %d, dropped %d"
-            % (
-                cohort,
-                stats["reports"],
-                stats["recovery_ms"]["p50"],
-                stats["recovery_ms"]["p90"],
-                stats["recovery_ms"]["p99"],
-                stats["rounds_mean"],
-                stats["unicast"],
-                stats["dropped"],
-            ),
-            file=out,
-        )
-    print("fleet digest: %s" % result.digest, file=out)
-    if args.json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True),
-              file=out)
-    if args.obs_file:
-        print("wrote obs events to %s" % args.obs_file, file=out)
-    if args.obs_dir:
+    if getattr(args, "obs_dir", None):
         print("wrote trace streams to %s" % args.obs_dir, file=out)
     if args.expect_digest and args.expect_digest != result.digest:
         print(
@@ -976,88 +1054,289 @@ def _cmd_fleet(args, out):
         )
         return 3
     if result.failure is not None:
-        print("fleet: FAILED: %s" % result.failure, file=out)
+        print("%s: FAILED: %s" % (label, result.failure), file=out)
+        if failure_note is not None:
+            failure_note(result, out)
         # A dead worker process is a different diagnosis than a missed
         # invariant — give operators (and CI) a distinct exit code.
-        return 4 if result.worker_crash else 1
+        return 4 if getattr(result, "worker_crash", False) else 1
     if not result.ok:
         failed = sorted(
             name for name, passed in result.invariants.items() if not passed
         )
         print(
-            "fleet: invariant(s) violated: %s" % ", ".join(failed),
+            "%s: invariant(s) violated: %s" % (label, ", ".join(failed)),
             file=out,
         )
         return 1
-    print("fleet: all invariants green", file=out)
+    print("%s: all invariants green" % label, file=out)
     return 0
 
 
-def _cmd_wire_chaos_soak(args, out):
-    import json
+def _cmd_chaos_soak(args, out):
+    from repro.chaos import run_soak
+    from repro.errors import ChaosError
 
-    from repro.chaos.wire_faults import describe_wire_plans
-    from repro.errors import ChaosError, WireError
-    from repro.wire.chaos import run_wire_chaos_soak
+    def list_plans(out):
+        from repro.chaos.plans import HA_PLAN_NAMES, PLAN_NAMES
 
-    if args.list_plans:
-        print("wire fault plans (wire-chaos-soak):", file=out)
-        for name, description in describe_wire_plans():
-            print("  %-22s %s" % (name, description), file=out)
-        return 0
-    try:
-        result = run_wire_chaos_soak(
+        print("single-node plans (chaos-soak):", file=out)
+        _print_plans(PLAN_NAMES, out)
+        print("cluster plans (ha-soak):", file=out)
+        _print_plans(HA_PLAN_NAMES, out)
+
+    def summarize(result, out):
+        print(
+            "chaos-soak: %d fault(s) injected, %d restart(s), "
+            "%d/%d interval(s)"
+            % (
+                result.faults_injected,
+                result.restarts,
+                result.intervals_completed,
+                result.intervals_target,
+            ),
+            file=out,
+        )
+
+    def failure_note(result, out):
+        if not result.expect_recoverable:
+            print(
+                "(plan %r is deliberately unrecoverable; the diagnostic "
+                "above is its expected outcome)" % result.plan,
+                file=out,
+            )
+
+    return run_soak_command(
+        args,
+        out,
+        label="chaos-soak",
+        digest_label="fault-timeline digest",
+        run=lambda log: run_soak(
+            plan=args.plan,
+            seed=args.seed,
+            intervals=args.intervals,
+            members=args.members,
+            state_dir=args.state_dir,
+            obs_path=args.obs_file,
+            log=log,
+        ),
+        error_types=(ChaosError,),
+        list_plans=list_plans,
+        summarize=summarize,
+        failure_note=failure_note,
+    )
+
+
+def _cmd_ha_soak(args, out):
+    from repro.errors import ChaosError
+    from repro.ha.soak import run_ha_soak
+
+    def list_plans(out):
+        from repro.chaos.plans import HA_PLAN_NAMES
+
+        print("cluster plans (ha-soak):", file=out)
+        _print_plans(HA_PLAN_NAMES, out)
+
+    def summarize(result, out):
+        print(
+            "ha-soak: %d fault(s) injected, %d promotion(s), "
+            "final epoch %d, %d/%d interval(s)"
+            % (
+                result.faults_injected,
+                result.promotions,
+                result.final_epoch,
+                result.intervals_completed,
+                result.intervals_target,
+            ),
+            file=out,
+        )
+
+    return run_soak_command(
+        args,
+        out,
+        label="ha-soak",
+        digest_label="fault-timeline digest",
+        run=lambda log: run_ha_soak(
+            plan=args.plan,
+            seed=args.seed,
+            intervals=args.intervals,
+            members=args.members,
+            state_dir=args.state_dir,
+            obs_path=args.obs_file,
+            log=log,
+        ),
+        error_types=(ChaosError,),
+        list_plans=list_plans,
+        summarize=summarize,
+    )
+
+
+def _cmd_fleet(args, out):
+    from repro.errors import WireError
+    from repro.wire.fleet import FLEET_PLANS, run_fleet
+
+    def list_plans(out):
+        for name, plan in FLEET_PLANS.items():
+            print("  %-22s %s" % (name, plan.description), file=out)
+
+    def summarize(result, out):
+        print(
+            "fleet: %d client(s)%s, %d/%d interval(s)"
+            % (
+                result.clients,
+                " on %d workers" % result.workers if result.workers else "",
+                result.intervals_completed,
+                result.intervals_target,
+            ),
+            file=out,
+        )
+        for cohort in sorted(result.cohorts):
+            stats = result.cohorts[cohort]
+            print(
+                "  cohort %-5s %4d report(s): recovery p50/p90/p99 "
+                "%.1f/%.1f/%.1f ms, rounds %.2f, unicast %d, dropped %d"
+                % (
+                    cohort,
+                    stats["reports"],
+                    stats["recovery_ms"]["p50"],
+                    stats["recovery_ms"]["p90"],
+                    stats["recovery_ms"]["p99"],
+                    stats["rounds_mean"],
+                    stats["unicast"],
+                    stats["dropped"],
+                ),
+                file=out,
+            )
+
+    return run_soak_command(
+        args,
+        out,
+        label="fleet",
+        digest_label="fleet digest",
+        run=lambda log: run_fleet(
             plan=args.plan,
             seed=args.seed,
             clients=args.clients,
             intervals=args.intervals,
             workers=args.workers,
             obs_path=args.obs_file,
-            log=lambda line: print(line, file=out),
-        )
-    except (ChaosError, WireError) as error:
-        print("error: %s" % error, file=out)
-        return 2
-    print(
-        "wire-chaos-soak: %d fault(s) applied, %d eviction(s), "
-        "%d promotion(s), %d/%d interval(s)"
-        % (
-            sum(result.faults_applied.values()),
-            result.evictions,
-            result.promotions,
-            result.intervals_completed,
-            result.intervals_target,
+            obs_dir=args.obs_dir,
+            log=log,
         ),
-        file=out,
+        error_types=(WireError,),
+        list_plans=list_plans,
+        summarize=summarize,
     )
-    print("wire-timeline digest: %s" % result.digest, file=out)
-    if args.json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True),
-              file=out)
-    if args.obs_file:
-        print("wrote obs events to %s" % args.obs_file, file=out)
-    if args.expect_digest and args.expect_digest != result.digest:
+
+
+def _cmd_wire_chaos_soak(args, out):
+    from repro.errors import ChaosError, WireError
+    from repro.wire.chaos import run_wire_chaos_soak
+
+    def list_plans(out):
+        from repro.chaos.wire_faults import describe_wire_plans
+
+        print("wire fault plans (wire-chaos-soak):", file=out)
+        for name, description in describe_wire_plans():
+            print("  %-22s %s" % (name, description), file=out)
+
+    def summarize(result, out):
         print(
-            "digest mismatch: expected %s" % args.expect_digest, file=out
-        )
-        return 3
-    if result.failure is not None:
-        print("wire-chaos-soak: FAILED: %s" % result.failure, file=out)
-        # Same split as the fleet runner: a dead worker process is a
-        # lost machine, not a missed invariant.
-        return 4 if result.worker_crash else 1
-    if not result.ok:
-        failed = sorted(
-            name for name, passed in result.invariants.items() if not passed
-        )
-        print(
-            "wire-chaos-soak: invariant(s) violated: %s"
-            % ", ".join(failed),
+            "wire-chaos-soak: %d fault(s) applied, %d eviction(s), "
+            "%d promotion(s), %d/%d interval(s)"
+            % (
+                sum(result.faults_applied.values()),
+                result.evictions,
+                result.promotions,
+                result.intervals_completed,
+                result.intervals_target,
+            ),
             file=out,
         )
-        return 1
-    print("wire-chaos-soak: all invariants green", file=out)
-    return 0
+
+    return run_soak_command(
+        args,
+        out,
+        label="wire-chaos-soak",
+        digest_label="wire-timeline digest",
+        run=lambda log: run_wire_chaos_soak(
+            plan=args.plan,
+            seed=args.seed,
+            clients=args.clients,
+            intervals=args.intervals,
+            workers=args.workers,
+            obs_path=args.obs_file,
+            log=log,
+        ),
+        error_types=(ChaosError, WireError),
+        list_plans=list_plans,
+        summarize=summarize,
+    )
+
+
+def _cmd_tenancy_soak(args, out):
+    from repro.errors import ChaosError, TenancyError
+    from repro.tenancy import run_tenancy_soak
+
+    def list_plans(out):
+        from repro.tenancy.soak import (
+            TENANCY_PLAN_DESCRIPTIONS,
+            TENANCY_PLAN_NAMES,
+        )
+
+        print("tenancy plans (tenancy-soak):", file=out)
+        for name in TENANCY_PLAN_NAMES:
+            print(
+                "  %-22s %s" % (name, TENANCY_PLAN_DESCRIPTIONS[name]),
+                file=out,
+            )
+
+    def summarize(result, out):
+        print(
+            "tenancy-soak: %d tenant(s), %d/%d tick(s), %d interval(s), "
+            "%d shed, %d quarantine(s), %d promotion(s)"
+            % (
+                result.tenants,
+                result.ticks_completed,
+                result.ticks_target,
+                result.intervals_total,
+                result.shed_total,
+                result.quarantines,
+                result.promotions,
+            ),
+            file=out,
+        )
+        if result.rehomed:
+            print(
+                "  re-homed %d tenant(s) under epoch %d "
+                "(%d digest(s) verified, %d request(s) replayed)"
+                % (
+                    result.rehomed,
+                    result.final_epoch,
+                    result.digests_verified,
+                    result.requests_replayed,
+                ),
+                file=out,
+            )
+
+    return run_soak_command(
+        args,
+        out,
+        label="tenancy-soak",
+        digest_label="tenancy-timeline digest",
+        run=lambda log: run_tenancy_soak(
+            plan=args.plan,
+            seed=args.seed,
+            tenants=args.tenants,
+            ticks=args.ticks,
+            state_root=args.state_root,
+            obs_path=args.obs_file,
+            log=log,
+        ),
+        error_types=(ChaosError, TenancyError),
+        list_plans=list_plans,
+        summarize=summarize,
+    )
 
 
 def _cmd_bench_perf(args, out):
@@ -1093,6 +1372,7 @@ def main(argv=None, out=None):
         "ha-soak": _cmd_ha_soak,
         "fleet": _cmd_fleet,
         "wire-chaos-soak": _cmd_wire_chaos_soak,
+        "tenancy-soak": _cmd_tenancy_soak,
         "bench-perf": _cmd_bench_perf,
     }
     return handlers[args.command](args, out)

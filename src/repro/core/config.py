@@ -87,3 +87,56 @@ class GroupConfig:
         from repro.fastpath import resolve_engine
 
         self.engine = resolve_engine(self.engine)
+
+    # -- serialization -------------------------------------------------
+    #
+    # The tenant registry persists one GroupConfig per tenant inside
+    # ``registry.json``, so a standby can rebuild every group's exact
+    # scheme knobs on bulk failover.  Round-tripping re-runs
+    # ``__post_init__``: a damaged registry fails loudly at load time
+    # with the same ConfigurationError a bad constructor call gets.
+
+    def to_dict(self):
+        """Plain-JSON form; ``from_dict`` restores an equal config."""
+        out = {
+            name: getattr(self, name)
+            for name in (
+                "degree", "packet_size", "block_size", "rho", "rho_max",
+                "num_nack", "max_nack", "sending_interval_ms",
+                "max_multicast_rounds", "deadline_rounds",
+                "nack_window_seconds", "crypto_seed", "seed",
+                "incremental_marking", "fec_coder", "engine",
+            )
+        }
+        out["loss"] = {
+            name: getattr(self.loss, name)
+            for name in (
+                "alpha", "p_high", "p_low", "p_source",
+                "burst_scale_ms", "bursty",
+            )
+        }
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild (and re-validate) a config from :meth:`to_dict`."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                "GroupConfig.from_dict needs a dict, got %s"
+                % type(data).__name__
+            )
+        kwargs = dict(data)
+        loss = kwargs.pop("loss", None)
+        if loss is not None:
+            if not isinstance(loss, dict):
+                raise ConfigurationError(
+                    "GroupConfig loss must be a dict, got %s"
+                    % type(loss).__name__
+                )
+            kwargs["loss"] = LossParameters(**loss)
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ConfigurationError(
+                "bad GroupConfig field: %s" % (exc,)
+            ) from exc

@@ -97,6 +97,11 @@ class HaError(ServiceError):
     attempted from a diverged replica, or broken cluster wiring."""
 
 
+class TenancyError(ServiceError):
+    """Invalid multi-tenant state: a bad tenant spec or registry, an
+    unknown tenant name, or a broken bulk-failover precondition."""
+
+
 class StaleEpochError(WalError):
     """A deposed leader tried to write with a fencing token older than
     the cluster's current epoch; the write was refused before any byte

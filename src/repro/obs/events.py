@@ -129,6 +129,29 @@ WIRE_CHAOS_EVENT_KINDS = frozenset(
     }
 )
 
+#: Multi-tenant key-service kinds: the shared deadline scheduler,
+#: per-tenant admission control, quarantine circuit breakers, and bulk
+#: failover (see docs/tenancy.md).  Every tenant-scoped event carries a
+#: ``tenant`` detail key (the daemon stamps it via the bus context).
+TENANCY_EVENT_KINDS = frozenset(
+    {
+        "tenancy_tick",        # one scheduler tick: ran/deferred/shed counts
+        "tenant_interval",     # one tenant's interval committed
+        "tenant_shed",         # admission control shed part of a batch
+        "tenant_deferred",     # a due tenant missed its tick (budget)
+        "tenant_overload",     # a tenant's estimated cost blew its share
+        "tenant_degraded",     # overload forced the carry policy this run
+        "tenant_quarantine",   # breaker opened: tenant off the run queue
+        "tenant_trial",        # quarantine cooldown elapsed; trial tick
+        "tenant_recovered",    # trial succeeded; tenant back in rotation
+        "tenant_failure",      # a tenant's interval/submission failed
+        "tenancy_promote",     # standby re-homed the whole tenant fleet
+        "tenant_rehomed",      # one tenant recovered under the new epoch
+        "tenancy_invariant",   # one tenancy-soak invariant checked
+        "tenancy_complete",    # tenancy soak summary
+    }
+)
+
 #: Distributed-tracing, profiling and SLO kinds (see
 #: docs/observability.md).  The ``trace_*`` milestones are emitted
 #: *client-side* — per member, per interval — and carry a ``mono``
@@ -152,6 +175,7 @@ _REGISTRY = set(
     | HA_EVENT_KINDS
     | WIRE_EVENT_KINDS
     | WIRE_CHAOS_EVENT_KINDS
+    | TENANCY_EVENT_KINDS
     | TRACE_EVENT_KINDS
 )
 

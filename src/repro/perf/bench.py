@@ -43,6 +43,8 @@ SCALE_PARAMS = {
         "daemon_pairs": 3,
         "wire_clients": 64,
         "wire_pairs": 2,
+        "tenants": 16,
+        "tenant_pairs": 5,
     },
     "full": {
         "n_users": 4096,
@@ -54,6 +56,8 @@ SCALE_PARAMS = {
         "daemon_pairs": 5,
         "wire_clients": 256,
         "wire_pairs": 3,
+        "tenants": 64,
+        "tenant_pairs": 3,
     },
 }
 
@@ -478,6 +482,58 @@ def bench_wire_fleet(p):
     )
 
 
+def _make_tenant_fleet(count, seed):
+    import tempfile
+
+    from repro.service.churn import PoissonChurn
+    from repro.tenancy import MultiGroupDaemon, make_fleet
+
+    fleet = make_fleet(count, seed=seed, n_members=4, interval_ticks=1)
+    root = tempfile.mkdtemp(prefix="bench-tenancy-")
+    churn = {spec.name: PoissonChurn(alpha=0.2) for spec in fleet}
+    return MultiGroupDaemon.start_new(fleet, root, churn=churn), root
+
+
+def bench_multi_tenant(p):
+    """Multi-tenant tick cost: N tenants vs 8N (scaling pair).
+
+    Both sides run a :class:`~repro.tenancy.MultiGroupDaemon` — every
+    tenant with its own WAL, snapshot and seeded churn — and one
+    measured unit is one scheduler tick over the whole fleet.  Like
+    ``wire_fleet`` this is a *scaling* pair, not fast/reference: "fast"
+    ticks ``tenants`` groups and "reference" eight times as many, so
+    the recorded "speedup" is the cost multiplier of growing the fleet
+    8x (linear scheduling would read 8x; superlinear growth in the
+    scheduler, admission, or per-tenant bookkeeping moves it).
+    """
+    import shutil
+
+    fast_daemon, fast_root = _make_tenant_fleet(p["tenants"], 41)
+    slow_daemon, slow_root = _make_tenant_fleet(p["tenants"] * 8, 43)
+    try:
+        fast, slow = _interleaved(
+            fast_daemon.tick,
+            slow_daemon.tick,
+            p["tenant_pairs"],
+            warmup=0,  # ticks advance fleet state; don't burn churn
+        )
+    finally:
+        for daemon, root in (
+            (fast_daemon, fast_root),
+            (slow_daemon, slow_root),
+        ):
+            daemon.close()
+            shutil.rmtree(root, ignore_errors=True)
+    return _paired(
+        fast,
+        slow,
+        {
+            "tenants_fast": p["tenants"],
+            "tenants_reference": p["tenants"] * 8,
+        },
+    )
+
+
 # -- suite --------------------------------------------------------------
 
 BENCHMARKS = (
@@ -490,6 +546,7 @@ BENCHMARKS = (
     ("interval_fastpath", bench_interval_fastpath),
     ("daemon_obs", bench_daemon_obs),
     ("wire_fleet", bench_wire_fleet),
+    ("multi_tenant", bench_multi_tenant),
 )
 
 

@@ -1,0 +1,205 @@
+"""Admission control and the per-tenant quarantine breaker.
+
+Two protections keep one tenant's behaviour from becoming every
+tenant's problem:
+
+- **Admission control** (:class:`AdmissionController`): each tenant's
+  join/leave intake per interval is bounded by its spec quota.  Every
+  offered request ends in exactly one of three buckets — *accepted*
+  (submitted to the tenant's daemon), *shed* (over quota, dropped at
+  the door), or *quarantined* (the tenant was off the run queue when
+  the load arrived).  ``offered = accepted + shed + quarantined`` holds
+  per tenant at every instant; :meth:`AdmissionController.verify`
+  checks it and the tenancy soak pins it as an invariant.
+- **The quarantine breaker** (:class:`TenantBreaker`): modelled on the
+  daemon's delivery :class:`~repro.service.daemon.CircuitBreaker`, but
+  guarding the *run queue* instead of the delivery policy.  A tenant
+  that keeps blowing its cost share (or whose intervals keep failing)
+  is quarantined — removed from scheduling for a cooldown — then given
+  a half-open trial tick.  A clean trial restores it; another strike
+  re-opens the quarantine.  Persistent failure thus costs the failing
+  tenant its own cadence, never its neighbors' deadlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TenancyError
+from repro.service.churn import ChurnEvents
+
+
+@dataclass
+class TenantQuota:
+    """Per-interval intake bound (``None`` = unlimited)."""
+
+    max_requests: int = None
+
+    def __post_init__(self):
+        if self.max_requests is not None:
+            self.max_requests = int(self.max_requests)
+            if self.max_requests < 1:
+                raise TenancyError(
+                    "quota max_requests must be >= 1 (or None), got %d"
+                    % self.max_requests
+                )
+
+
+@dataclass
+class AdmissionLedger:
+    """One tenant's running admission accounting."""
+
+    offered: int = 0
+    accepted: int = 0
+    shed: int = 0
+    quarantined: int = 0
+
+    def to_dict(self):
+        return {
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "shed": self.shed,
+            "quarantined": self.quarantined,
+        }
+
+
+class AdmissionController:
+    """Bounded intake per tenant, with conservation accounting."""
+
+    def __init__(self):
+        self._quotas = {}
+        self._ledgers = {}
+
+    def register(self, tenant, quota=None):
+        self._quotas[tenant] = TenantQuota(max_requests=quota)
+        self._ledgers[tenant] = AdmissionLedger()
+
+    def ledger(self, tenant):
+        try:
+            return self._ledgers[tenant]
+        except KeyError:
+            raise TenancyError(
+                "tenant %r is not registered for admission" % (tenant,)
+            ) from None
+
+    def admit(self, tenant, events, quarantined=False):
+        """Split one offered batch; returns ``(admitted_events, shed)``.
+
+        Joins are admitted before leaves (a leave for a join that was
+        shed would be rejected downstream anyway), preserving offered
+        order within each kind, so the split is deterministic in the
+        batch alone.  While the tenant is quarantined the whole batch
+        lands in the ``quarantined`` bucket — the outside world does
+        not stop offering load just because the tenant is benched.
+        """
+        ledger = self.ledger(tenant)
+        offered = events.n_events
+        ledger.offered += offered
+        if quarantined:
+            ledger.quarantined += offered
+            return ChurnEvents(), 0
+        limit = self._quotas[tenant].max_requests
+        if limit is None or offered <= limit:
+            ledger.accepted += offered
+            return events, 0
+        joins = events.joins[:limit]
+        leaves = events.leaves[: max(0, limit - len(joins))]
+        admitted = ChurnEvents(joins=list(joins), leaves=list(leaves))
+        shed = offered - admitted.n_events
+        ledger.accepted += admitted.n_events
+        ledger.shed += shed
+        return admitted, shed
+
+    def verify(self):
+        """The conservation identity, per tenant; returns the failures."""
+        broken = []
+        for tenant, ledger in self._ledgers.items():
+            if ledger.offered != (
+                ledger.accepted + ledger.shed + ledger.quarantined
+            ):
+                broken.append(tenant)
+        return broken
+
+    def to_dict(self):
+        return {
+            tenant: ledger.to_dict()
+            for tenant, ledger in self._ledgers.items()
+        }
+
+
+class TenantBreaker:
+    """Quarantine breaker: strikes open it, a clean trial closes it.
+
+    States mirror the delivery breaker: ``ok`` (closed), ``quarantined``
+    (open, counting down ``cooldown`` ticks), ``trial`` (half-open).  A
+    *strike* is one tick in which the tenant was overloaded (estimated
+    cost over its share) or failed outright; ``threshold`` consecutive
+    strikes quarantine it.  A hard failure (:meth:`trip`) quarantines
+    immediately — a tenant whose WAL writes are failing gets no grace.
+    """
+
+    OK = "ok"
+    QUARANTINED = "quarantined"
+    TRIAL = "trial"
+
+    def __init__(self, threshold=3, cooldown=4):
+        if threshold < 1 or cooldown < 1:
+            raise TenancyError(
+                "breaker needs threshold >= 1 and cooldown >= 1"
+            )
+        self.threshold = int(threshold)
+        self.cooldown = int(cooldown)
+        self.state = self.OK
+        self.consecutive = 0
+        self.quarantines = 0
+        self._cooldown_left = 0
+
+    @property
+    def quarantined(self):
+        return self.state == self.QUARANTINED
+
+    def _open(self):
+        self.state = self.QUARANTINED
+        self._cooldown_left = self.cooldown
+        self.quarantines += 1
+        self.consecutive = 0
+        return "tenant_quarantine"
+
+    def trip(self):
+        """Hard failure: quarantine now; returns the transition kind."""
+        return self._open()
+
+    def tick_quarantine(self):
+        """Advance one quarantined tick; returns ``tenant_trial`` when
+        the cooldown elapses (the next tick is the half-open trial)."""
+        if self.state != self.QUARANTINED:
+            return None
+        self._cooldown_left -= 1
+        if self._cooldown_left <= 0:
+            self.state = self.TRIAL
+            return "tenant_trial"
+        return None
+
+    def record(self, strike):
+        """Feed one scheduled tick's outcome; returns the transition
+        kind (``tenant_quarantine`` / ``tenant_recovered``) or ``None``."""
+        if self.state == self.TRIAL:
+            if strike:
+                return self._open()
+            self.state = self.OK
+            self.consecutive = 0
+            return "tenant_recovered"
+        if strike:
+            self.consecutive += 1
+            if self.consecutive >= self.threshold:
+                return self._open()
+            return None
+        self.consecutive = 0
+        return None
+
+    def snapshot(self):
+        return {
+            "state": self.state,
+            "consecutive_strikes": self.consecutive,
+            "quarantines": self.quarantines,
+        }

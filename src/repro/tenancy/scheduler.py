@@ -1,0 +1,146 @@
+"""The shared deadline-aware tick scheduler.
+
+Time is counted in *ticks* — virtual interval boundaries, not wall
+seconds — so every scheduling decision is a pure function of the fleet
+state, which is what lets the tenancy soak pin a digest over scheduler
+behaviour.  Each tenant has a cadence (``interval_ticks``) and is *due*
+when the current tick reaches its deadline; each tick has a **budget**
+in estimated cost units (:func:`estimate_cost` — a deterministic proxy
+for an interval's encryption work, never a wall-clock measurement).
+
+The fairness rule under overload: due tenants whose own cost fits
+their *solo share* of the budget are scheduled first, in deadline
+order; a **whale** — a tenant whose estimated cost alone exceeds
+``budget * solo_fraction`` — sorts after every compliant tenant
+regardless of deadline.  A whale therefore only ever defers itself
+(and is flagged ``over_budget``, the strike that feeds its quarantine
+breaker); compliant tenants' deadlines are untouched by a neighbor's
+flash crowd.  Tenants that still do not fit the remaining budget are
+deferred to the next tick and counted as a deadline miss.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import TenancyError
+
+
+def estimate_cost(n_members, n_pending, degree=4):
+    """Deterministic cost units for one tenant interval.
+
+    Roughly the paper's encryption count shape: each pending request
+    re-keys one root path (depth ``log_d N`` nodes with ``d`` children
+    each), plus one unit of fixed interval overhead.  Only the shape
+    matters — the scheduler compares estimates against each other and
+    against the budget, never against measured time.
+    """
+    n_members = max(1, int(n_members))
+    depth = max(1, int(math.ceil(math.log(max(n_members, 2), max(2, degree)))))
+    return 1 + int(n_pending) * depth * max(2, int(degree))
+
+
+class SchedulerPlan:
+    """One tick's decision: who runs, who waits, who is a whale."""
+
+    def __init__(self, tick, run, deferred, over_budget, cost_total):
+        self.tick = tick
+        self.run = list(run)
+        self.deferred = list(deferred)
+        self.over_budget = list(over_budget)
+        self.cost_total = cost_total
+
+
+class DeadlineScheduler:
+    """Deadline scheduling over heterogeneous tenant cadences."""
+
+    def __init__(self, budget=None, solo_fraction=0.5):
+        if budget is not None:
+            budget = int(budget)
+            if budget < 1:
+                raise TenancyError("tick budget must be >= 1 (or None)")
+        if not (0.0 < float(solo_fraction) <= 1.0):
+            raise TenancyError("solo_fraction must be in (0, 1]")
+        self.budget = budget
+        self.solo_fraction = float(solo_fraction)
+        self._cadence = {}
+        self._order = {}
+        self._next_due = {}
+        self.misses = {}
+        self.runs = {}
+
+    @property
+    def solo_budget(self):
+        """One tenant's cost share; ``None`` when the budget is off."""
+        if self.budget is None:
+            return None
+        return max(1, int(self.budget * self.solo_fraction))
+
+    def register(self, name, interval_ticks=1):
+        if name in self._cadence:
+            raise TenancyError("tenant %r already scheduled" % (name,))
+        self._cadence[name] = int(interval_ticks)
+        self._order[name] = len(self._order)
+        self._next_due[name] = 0
+        self.misses[name] = 0
+        self.runs[name] = 0
+
+    def due(self, tick, skip=()):
+        """Names whose deadline has arrived, registration order."""
+        return [
+            name
+            for name in self._cadence
+            if self._next_due[name] <= tick and name not in skip
+        ]
+
+    def plan(self, tick, costs, skip=()):
+        """Decide one tick; returns a :class:`SchedulerPlan`.
+
+        ``costs`` maps each due tenant to its :func:`estimate_cost`
+        units; ``skip`` is the quarantined set (not schedulable, not a
+        miss — their deadline freezes until they return).
+        """
+        due = self.due(tick, skip=skip)
+        solo = self.solo_budget
+        whales = [
+            name for name in due
+            if solo is not None and costs[name] > solo
+        ]
+        whale_set = set(whales)
+        compliant = [name for name in due if name not in whale_set]
+        key = lambda name: (self._next_due[name], self._order[name])
+        ordered = sorted(compliant, key=key) + sorted(whales, key=key)
+        run, deferred = [], []
+        spent = 0
+        for name in ordered:
+            cost = costs[name]
+            if self.budget is None or spent + cost <= self.budget:
+                run.append(name)
+                spent += cost
+            else:
+                deferred.append(name)
+        for name in run:
+            self.runs[name] += 1
+            self._next_due[name] = tick + self._cadence[name]
+        for name in deferred:
+            self.misses[name] += 1
+        return SchedulerPlan(tick, run, deferred, whales, spent)
+
+    def defer_quarantined(self, name, tick):
+        """Freeze a quarantined tenant's deadline at re-entry time, so
+        a long quarantine does not read as a burst of missed deadlines
+        the moment the tenant returns."""
+        self._next_due[name] = max(self._next_due[name], tick + 1)
+
+    def miss_rate(self, name):
+        """Deferred fraction of this tenant's scheduling decisions."""
+        total = self.misses[name] + self.runs[name]
+        return (self.misses[name] / total) if total else 0.0
+
+    def snapshot(self):
+        return {
+            "budget": self.budget,
+            "solo_budget": self.solo_budget,
+            "misses": dict(self.misses),
+            "runs": dict(self.runs),
+        }

@@ -1,0 +1,656 @@
+"""The tenancy-soak harness: the multi-tenant daemon under abuse.
+
+Three plans, each pinning one multi-tenant promise:
+
+- ``noisy-neighbor`` — one tenant's flash-crowd churn storms the shared
+  run queue.  The aggressor must be shed at admission and quarantined
+  by its breaker, while every *victim* tenant finishes byte-identical
+  to a baseline run without the aggressor (same interval counts, same
+  group keys, deadline-miss rate within the band).  Cross-tenant fault
+  isolation as an equality, not a vibe.
+- ``tenant-wal-corruption`` — one tenant's WAL is damaged at rest and
+  another's WAL writes fail persistently.  The damaged tenant must
+  quarantine *its own WAL* (exactly one quarantine fleet-wide) and
+  catch back up through recovery; the write-storm tenant must be
+  benched by its breaker; everyone else completes every interval.
+- ``mass-rehome`` — a leader carrying ~1k tenants is killed mid-tick
+  (the injected SIGKILL stand-in) and a standby promotes: one lease
+  acquisition fences every tenant, every tenant is re-homed, recorded
+  state digests verify, WAL epochs stay monotonic, and no tenant loses
+  a committed interval.
+
+Every run is a pure function of ``(plan, seed)`` — virtual ticks, a
+:class:`~repro.chaos.seams.FaultyClock`, per-tenant seeded churn — so
+the tenancy-relevant event subsequence canonicalises to a pinned
+**digest** exactly like the chaos soak's
+(:func:`repro.chaos.soak.canonical_timeline`).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.chaos.seams import FaultyClock
+from repro.chaos.soak import canonical_timeline, timeline_digest
+from repro.errors import ChaosError, ReproError
+from repro.obs.events import TENANCY_EVENT_KINDS, EventBus
+from repro.obs.recorder import NULL, Recorder
+from repro.tenancy.daemon import MultiGroupDaemon, tenant_state_dir
+from repro.tenancy.registry import TenantRegistry, TenantSpec, make_fleet
+
+#: the tenancy plans, in documentation order
+TENANCY_PLAN_NAMES = (
+    "noisy-neighbor",
+    "tenant-wal-corruption",
+    "mass-rehome",
+)
+
+TENANCY_PLAN_DESCRIPTIONS = {
+    "noisy-neighbor": (
+        "one tenant's flash crowd is shed and quarantined while every "
+        "victim tenant finishes byte-identical to an aggressor-free run"
+    ),
+    "tenant-wal-corruption": (
+        "a WAL byte-flip quarantines only its own tenant's log and an "
+        "I/O-storm tenant is benched; neighbors complete every interval"
+    ),
+    "mass-rehome": (
+        "a standby re-homes every tenant of a killed leader under one "
+        "new epoch: digests verify, no committed interval is lost"
+    ),
+}
+
+#: default fleet size per plan
+PLAN_TENANTS = {
+    "noisy-neighbor": 32,
+    "tenant-wal-corruption": 24,
+    "mass-rehome": 1000,
+}
+
+#: default scheduler ticks per plan
+PLAN_TICKS = {
+    "noisy-neighbor": 12,
+    "tenant-wal-corruption": 10,
+    "mass-rehome": 4,
+}
+
+#: smallest fleet each plan's cast of characters fits in (aggressor +
+#: victim, two fault victims + a neighbor, a crasher + the re-homed)
+PLAN_MIN_TENANTS = {
+    "noisy-neighbor": 2,
+    "tenant-wal-corruption": 3,
+    "mass-rehome": 2,
+}
+
+#: event kinds that define a tenancy run's reproducible timeline: the
+#: tenancy lifecycle itself plus the fault/recovery/fencing kinds the
+#: plans exercise (all deterministic in (plan, seed))
+TENANCY_TIMELINE_KINDS = frozenset(
+    TENANCY_EVENT_KINDS
+    | {
+        "crash",
+        "recovery",
+        "wal_quarantine",
+        "fault_injected",
+        "soak_restart",
+        "degradation",
+        "ha_lease_acquired",
+    }
+)
+
+#: noisy-neighbor knobs: the budget is generous enough that the 31
+#: compliant victims always fit (their isolation is pinned as byte
+#: equality), while solo_fraction makes the aggressor a whale from its
+#: first admitted burst onward
+NOISY_BUDGET = 4000
+NOISY_SOLO_FRACTION = 0.2
+AGGRESSOR_QUOTA = 64
+AGGRESSOR_BURST = 256
+#: deadline-miss band for victims vs the aggressor-free baseline
+VICTIM_MISS_BAND = 0.02
+
+#: tenant-wal-corruption: the write storm starts at this wal-write
+#: occurrence (header + the first tick's appends succeed, then never
+#: again)
+STORM_AT = 5
+
+#: mass-rehome lease TTL: huge vs the run's real duration, tiny vs the
+#: FaultyClock's virtual sleep
+LEASE_TTL = 3600.0
+
+
+@dataclass
+class TenancySoakResult:
+    """Everything one tenancy-soak run observed and concluded."""
+
+    plan: str
+    seed: int
+    tenants: int
+    ticks_target: int
+    ticks_completed: int = 0
+    intervals_total: int = 0
+    shed_total: int = 0
+    quarantines: int = 0
+    restarts: int = 0
+    promotions: int = 0
+    rehomed: int = 0
+    digests_verified: int = 0
+    requests_replayed: int = 0
+    final_epoch: int = 0
+    #: largest |victim miss-rate - baseline miss-rate| (noisy-neighbor)
+    victim_miss_delta: float = 0.0
+    #: the aggressor's admission ledger and breaker (noisy-neighbor)
+    aggressor: dict = field(default_factory=dict)
+    #: invariant name -> bool (empty when the run failed before the end)
+    invariants: dict = field(default_factory=dict)
+    #: canonical tenancy event sequence (see TENANCY_TIMELINE_KINDS)
+    timeline: list = field(default_factory=list)
+    digest: str = ""
+    #: the terminal diagnostic, when the run could not finish
+    failure: object = None
+
+    @property
+    def ok(self):
+        return self.failure is None and bool(self.invariants) and all(
+            self.invariants.values()
+        )
+
+    def to_dict(self):
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "tenants": self.tenants,
+            "ticks_target": self.ticks_target,
+            "ticks_completed": self.ticks_completed,
+            "intervals_total": self.intervals_total,
+            "shed_total": self.shed_total,
+            "quarantines": self.quarantines,
+            "restarts": self.restarts,
+            "promotions": self.promotions,
+            "rehomed": self.rehomed,
+            "digests_verified": self.digests_verified,
+            "requests_replayed": self.requests_replayed,
+            "final_epoch": self.final_epoch,
+            "victim_miss_delta": self.victim_miss_delta,
+            "aggressor": dict(self.aggressor),
+            "invariants": dict(self.invariants),
+            "digest": self.digest,
+            "failure": None if self.failure is None else str(self.failure),
+            "ok": self.ok,
+        }
+
+
+def _fingerprints(daemon, names):
+    return {
+        name: (
+            daemon.daemons[name].server.intervals_processed,
+            daemon.daemons[name].server.group_key.fingerprint(),
+        )
+        for name in names
+    }
+
+
+# -- plan: noisy-neighbor ----------------------------------------------
+
+
+def _noisy_registry(n_tenants, seed):
+    """The heterogeneous fleet with tenant 0 re-specced as the
+    quota-bounded, every-tick aggressor."""
+    base = list(make_fleet(n_tenants, seed=seed))
+    first = base[0]
+    base[0] = TenantSpec(
+        name=first.name,
+        n_members=first.n_members,
+        config=first.config,
+        interval_ticks=1,
+        quota=AGGRESSOR_QUOTA,
+    )
+    return TenantRegistry(base)
+
+
+def _run_noisy_neighbor(result, root, n_tenants, n_ticks, seed, obs, say):
+    from repro.service.churn import FlashCrowdChurn, NoChurn, PoissonChurn
+    from repro.service.transports import SessionDelivery
+
+    if n_tenants < 2:
+        raise ChaosError("noisy-neighbor needs at least 2 tenants")
+
+    def drivers(registry, aggressive):
+        aggressor = registry.names[0]
+        out = {}
+        for spec in registry:
+            if spec.name == aggressor:
+                # The baseline swaps only this driver: every other
+                # source of behaviour is identical across the runs.
+                out[spec.name] = (
+                    FlashCrowdChurn(
+                        alpha=0.05, burst_every=1, burst_size=AGGRESSOR_BURST
+                    )
+                    if aggressive
+                    else NoChurn()
+                )
+            else:
+                out[spec.name] = PoissonChurn(alpha=0.05)
+        return out
+
+    def backend_factory(spec):
+        # Lossy simulated transport, per-tenant seeded: the degradation
+        # machinery is live, and victim deliveries are independent of
+        # the aggressor's.
+        return SessionDelivery(spec.config, seed=spec.config.seed + 1)
+
+    def run(sub_root, aggressive, recorder):
+        registry = _noisy_registry(n_tenants, seed)
+        daemon = MultiGroupDaemon.start_new(
+            registry,
+            os.path.join(root, sub_root),
+            churn=drivers(registry, aggressive),
+            budget=NOISY_BUDGET,
+            solo_fraction=NOISY_SOLO_FRACTION,
+            backend_factory=backend_factory,
+            obs=recorder,
+            clock=FaultyClock(),
+        )
+        try:
+            daemon.run_ticks(n_ticks)
+        finally:
+            daemon.close()
+        return daemon
+
+    say(
+        "tenancy-soak: noisy-neighbor, seed %d, %d tenants, %d ticks"
+        % (seed, n_tenants, n_ticks)
+    )
+    say("  baseline run (aggressor quiet) ...")
+    baseline = run("baseline", aggressive=False, recorder=NULL)
+    say("  aggressor run (flash crowd of %d/tick) ..." % AGGRESSOR_BURST)
+    active = run("active", aggressive=True, recorder=obs)
+
+    aggressor = active.registry.names[0]
+    victims = active.registry.names[1:]
+    ledger = active.admission.ledger(aggressor)
+    breaker = active.breakers[aggressor]
+    result.ticks_completed = active.ticks
+    result.intervals_total = active.intervals_total
+    result.shed_total = sum(
+        entry["shed"] for entry in active.admission.to_dict().values()
+    )
+    result.quarantines = sum(
+        b.quarantines for b in active.breakers.values()
+    )
+    result.aggressor = {
+        "name": aggressor,
+        "ledger": ledger.to_dict(),
+        "quarantines": breaker.quarantines,
+    }
+    deltas = [
+        abs(
+            active.scheduler.miss_rate(name)
+            - baseline.scheduler.miss_rate(name)
+        )
+        for name in victims
+    ]
+    result.victim_miss_delta = max(deltas) if deltas else 0.0
+
+    invariants = result.invariants
+    invariants["completed"] = (
+        active.ticks == n_ticks and baseline.ticks == n_ticks
+    )
+    invariants["aggressor-shed"] = ledger.shed > 0
+    invariants["aggressor-quarantined"] = breaker.quarantines >= 1
+    invariants["victims-unperturbed"] = _fingerprints(
+        active, victims
+    ) == _fingerprints(baseline, victims)
+    invariants["victim-miss-band"] = (
+        result.victim_miss_delta <= VICTIM_MISS_BAND
+    )
+    invariants["victims-never-quarantined"] = not any(
+        active.breakers[name].quarantines for name in victims
+    )
+    invariants["admission-conserved"] = (
+        not active.admission.verify() and not baseline.admission.verify()
+    )
+    invariants["key-agreement"] = not active.check_agreement()
+
+
+# -- plan: tenant-wal-corruption ---------------------------------------
+
+
+def _run_wal_corruption(result, root, n_tenants, n_ticks, seed, obs, say):
+    from repro.chaos.faults import FaultPlan, IoFault
+    from repro.chaos.seams import FaultyFilesystem
+    from repro.service.churn import PoissonChurn
+
+    if n_tenants < 4:
+        raise ChaosError("tenant-wal-corruption needs at least 4 tenants")
+    if n_ticks < 4:
+        raise ChaosError("tenant-wal-corruption needs at least 4 ticks")
+    half = n_ticks // 2
+    registry = make_fleet(n_tenants, seed=seed, interval_ticks=1)
+    names = registry.names
+    corrupt_name = names[len(names) // 3]
+    storm_name = names[(2 * len(names)) // 3]
+    say(
+        "tenancy-soak: tenant-wal-corruption, seed %d, %d tenants, "
+        "%d ticks (flip %s at tick %d; wal-write storm on %s)"
+        % (seed, n_tenants, n_ticks, corrupt_name, half, storm_name)
+    )
+    # The storm plan is bound to one tenant's filesystem seam only: its
+    # occurrence counter counts that tenant's WAL writes alone.
+    fault = FaultPlan(
+        name="tenant-wal-corruption",
+        seed=seed,
+        io_faults=(IoFault("wal-write", at=STORM_AT, times=1 << 20),),
+    ).bind(obs)
+    fs_overrides = {storm_name: FaultyFilesystem(fault)}
+    clock = FaultyClock()
+
+    def drivers():
+        return {name: PoissonChurn(alpha=0.1) for name in names}
+
+    daemon = MultiGroupDaemon.start_new(
+        registry,
+        root,
+        churn=drivers(),
+        fs_overrides=fs_overrides,
+        obs=obs,
+        clock=clock,
+    )
+    try:
+        daemon.run_ticks(half)
+        seg1_ticks = daemon.ticks
+        seg1_intervals = daemon.intervals_total
+        seg1_quarantines = sum(
+            b.quarantines for b in daemon.breakers.values()
+        )
+        seg1_conserved = not daemon.admission.verify()
+    finally:
+        daemon.close()
+
+    # Damage one tenant's log at rest, then restart the whole fleet
+    # through recovery — the blast radius must be that tenant's WAL.
+    # A flip that lands on the final line reads as a torn append (which
+    # recovery forgives without quarantining), so keep flipping until
+    # the scan actually reports damage; the flip offsets come from the
+    # plan RNG over seed-determined file contents, so the loop is as
+    # deterministic as a single flip.
+    from repro.service.wal import scan_records
+
+    fault.set_interval(half)
+    wal_path = os.path.join(
+        tenant_state_dir(root, corrupt_name), "wal.jsonl"
+    )
+    for _ in range(8):
+        fault.flip_byte(wal_path)
+        if scan_records(wal_path)[1] is not None:
+            break
+    else:  # pragma: no cover - 8 misses of the non-final lines
+        raise ChaosError(
+            "wal byte-flips never produced detectable damage"
+        )
+    if obs.enabled:
+        obs.emit("soak_restart", interval=half, faults=["tenant-wal-flip"])
+    say("  tick %d: flipped a byte of %s's WAL; recovering the fleet"
+        % (half, corrupt_name))
+    daemon = MultiGroupDaemon.recover_all(
+        root,
+        churn=drivers(),
+        fs_overrides=fs_overrides,
+        obs=obs,
+        clock=clock,
+    )
+    result.restarts = 1
+    try:
+        daemon.run_ticks(n_ticks - half)
+        result.ticks_completed = seg1_ticks + daemon.ticks
+        result.intervals_total = seg1_intervals + daemon.intervals_total
+        result.quarantines = seg1_quarantines + sum(
+            b.quarantines for b in daemon.breakers.values()
+        )
+        quarantine_events = [
+            event
+            for event in obs.bus.events
+            if event["kind"] == "wal_quarantine"
+        ]
+        invariants = result.invariants
+        invariants["completed"] = result.ticks_completed == n_ticks
+        invariants["wal-quarantine-isolated"] = len(
+            quarantine_events
+        ) == 1 and quarantine_events[0]["detail"].get(
+            "tenant"
+        ) == corrupt_name
+        invariants["corrupt-tenant-caught-up"] = (
+            daemon.daemons[corrupt_name].server.intervals_processed
+            == n_ticks
+        )
+        invariants["storm-tenant-benched"] = (
+            daemon.breakers[storm_name].quarantines >= 1
+        )
+        invariants["neighbors-complete"] = all(
+            daemon.daemons[name].server.intervals_processed == n_ticks
+            for name in names
+            if name != storm_name
+        )
+        invariants["admission-conserved"] = (
+            seg1_conserved and not daemon.admission.verify()
+        )
+        invariants["key-agreement"] = not daemon.check_agreement()
+    finally:
+        daemon.close()
+
+
+# -- plan: mass-rehome -------------------------------------------------
+
+
+def _run_mass_rehome(result, root, n_tenants, n_ticks, seed, obs, say):
+    from repro.service.churn import PoissonChurn
+    from repro.service.daemon import CrashPlan, DaemonConfig, DaemonCrash
+    from repro.service.wal import epochs_monotonic, scan_records
+    from repro.tenancy.failover import fleet_lease, promote_all
+
+    if n_ticks < 3:
+        raise ChaosError("mass-rehome needs at least 3 ticks")
+    registry = make_fleet(
+        n_tenants, seed=seed, n_members=3, interval_ticks=1
+    )
+    crash_name = registry.names[int(n_tenants * 0.6) % n_tenants]
+    crash_tick = n_ticks // 2
+    say(
+        "tenancy-soak: mass-rehome, seed %d, %d tenants, %d ticks "
+        "(leader dies mid-tick %d at %s)"
+        % (seed, n_tenants, n_ticks, crash_tick, crash_name)
+    )
+
+    def drivers():
+        return {
+            name: PoissonChurn(alpha=0.15) for name in registry.names
+        }
+
+    def service_factory(spec):
+        if spec.name == crash_name:
+            return DaemonConfig(
+                crash_plan=CrashPlan(
+                    interval=crash_tick, point="post-delivery"
+                )
+            )
+        return DaemonConfig()
+
+    clock = FaultyClock()
+    leader = MultiGroupDaemon.start_new(
+        registry,
+        root,
+        churn=drivers(),
+        service_factory=service_factory,
+        obs=obs,
+        clock=clock,
+        lease=fleet_lease(
+            root, "leader-0", ttl=LEASE_TTL, clock=clock, obs=obs
+        ),
+    )
+    crashed = False
+    try:
+        for _ in range(n_ticks):
+            try:
+                leader.tick()
+            except DaemonCrash:
+                crashed = True
+                break
+    finally:
+        # The stand-in for SIGKILL: nothing below writes state — the
+        # close only returns the dead process's file handles.
+        leader.close()
+    say(
+        "  leader died after %d full ticks (%d tenant intervals); "
+        "waiting out the lease"
+        % (leader.ticks, leader.intervals_total)
+    )
+    clock.sleep(LEASE_TTL + 1.0)
+
+    promoted, report = promote_all(
+        root,
+        "standby-1",
+        ttl=LEASE_TTL,
+        churn=drivers(),
+        obs=obs,
+        clock=clock,
+    )
+    result.promotions = 1
+    result.rehomed = report.tenants
+    result.digests_verified = report.digests_verified
+    result.requests_replayed = report.requests_replayed
+    result.final_epoch = report.epoch
+    say(
+        "  promoted: %d tenants re-homed under epoch %d "
+        "(%d digests verified, %d requests replayed)"
+        % (
+            report.tenants,
+            report.epoch,
+            report.digests_verified,
+            report.requests_replayed,
+        )
+    )
+    try:
+        promoted.run_ticks(n_ticks - leader.ticks)
+        result.ticks_completed = leader.ticks + promoted.ticks
+        result.intervals_total = (
+            leader.intervals_total + promoted.intervals_total
+        )
+        result.quarantines = sum(
+            b.quarantines for b in promoted.breakers.values()
+        )
+        lost, nonmonotonic = [], []
+        for name, tenant in promoted.daemons.items():
+            records, wal_error = scan_records(
+                os.path.join(tenant_state_dir(root, name), "wal.jsonl")
+            )
+            if wal_error is not None or not epochs_monotonic(records):
+                nonmonotonic.append(name)
+            commits = {
+                int(record["interval"])
+                for record in records
+                if record.get("op") == "commit"
+            }
+            if commits != set(
+                range(tenant.server.intervals_processed)
+            ):
+                lost.append(name)
+        invariants = result.invariants
+        invariants["leader-crashed"] = crashed
+        invariants["completed"] = result.ticks_completed == n_ticks
+        invariants["rehomed-all"] = report.tenants == n_tenants
+        invariants["digests-verified"] = (
+            report.ok and report.digests_verified == n_tenants
+        )
+        invariants["no-interval-lost"] = not lost
+        invariants["wal-epochs-monotonic"] = not nonmonotonic
+        invariants["final-epoch"] = report.epoch == 2
+        invariants["key-agreement"] = not promoted.check_agreement()
+        invariants["admission-conserved"] = (
+            not promoted.admission.verify()
+        )
+    finally:
+        promoted.close()
+
+
+_PLAN_RUNNERS = {
+    "noisy-neighbor": _run_noisy_neighbor,
+    "tenant-wal-corruption": _run_wal_corruption,
+    "mass-rehome": _run_mass_rehome,
+}
+
+
+def run_tenancy_soak(
+    plan="noisy-neighbor",
+    seed=7,
+    tenants=None,
+    ticks=None,
+    state_root=None,
+    obs_path=None,
+    log=None,
+):
+    """Run one tenancy soak; returns a :class:`TenancySoakResult`
+    (plan-induced failures land in ``result.failure``, not a raise).
+
+    ``tenants`` / ``ticks`` override the plan's defaults (the pinned
+    digests hold only for the defaults).  ``log`` is an optional
+    callable for progress lines (the CLI passes ``print``).
+    """
+    if plan not in _PLAN_RUNNERS:
+        raise ChaosError(
+            "unknown tenancy plan %r (valid: %s)"
+            % (plan, ", ".join(TENANCY_PLAN_NAMES))
+        )
+    n_tenants = PLAN_TENANTS[plan] if tenants is None else int(tenants)
+    n_ticks = PLAN_TICKS[plan] if ticks is None else int(ticks)
+    if n_ticks < 1:
+        raise ChaosError("tenancy soak needs ticks >= 1")
+    minimum = PLAN_MIN_TENANTS[plan]
+    if n_tenants < minimum:
+        raise ChaosError(
+            "plan %r needs at least %d tenants, got %d"
+            % (plan, minimum, n_tenants)
+        )
+    say = log if log is not None else (lambda line: None)
+    if state_root is None:
+        state_root = tempfile.mkdtemp(prefix="tenancy-soak-")
+    bus = EventBus(path=obs_path)
+    obs = Recorder(bus=bus)
+    result = TenancySoakResult(
+        plan=plan,
+        seed=int(seed),
+        tenants=n_tenants,
+        ticks_target=n_ticks,
+    )
+    try:
+        _PLAN_RUNNERS[plan](
+            result, state_root, n_tenants, n_ticks, int(seed), obs, say
+        )
+        for name, passed in sorted(result.invariants.items()):
+            obs.emit(
+                "tenancy_invariant", invariant=name, passed=bool(passed)
+            )
+            say(
+                "  invariant %-26s %s"
+                % (name, "ok" if passed else "FAIL")
+            )
+    except ReproError as error:
+        result.failure = error
+        say("  tenancy soak aborted: %s" % error)
+    finally:
+        obs.emit(
+            "tenancy_complete",
+            plan=plan,
+            seed=int(seed),
+            ticks=result.ticks_completed,
+            intervals=result.intervals_total,
+            shed=result.shed_total,
+            quarantines=result.quarantines,
+        )
+        result.timeline = canonical_timeline(
+            bus.events, kinds=TENANCY_TIMELINE_KINDS
+        )
+        result.digest = timeline_digest(result.timeline)
+        bus.close()
+    return result

@@ -86,3 +86,45 @@ class TestCrashResumeCycle:
         assert code == 0
         assert (state_dir / "server.json").exists()
         assert (state_dir / "wal.jsonl").exists()
+
+
+class TestMultiTenantServe:
+    def test_tenant_fleet_ticks_and_health(self):
+        code, output = run_cli(
+            "serve", "--tenants", "6", "--intervals", "4",
+            "--churn", "poisson", "--transport", "direct",
+        )
+        assert code == 0, output
+        assert output.count("tick ") == 4
+        assert "health: ok (6 tenants" in output
+
+    def test_tenant_fleet_resume(self, tmp_path):
+        state_dir = str(tmp_path / "fleet")
+        code, output = run_cli(
+            "serve", "--tenants", "4", "--intervals", "3",
+            "--transport", "direct", "--state-dir", state_dir,
+        )
+        assert code == 0, output
+        code, output = run_cli(
+            "serve", "--tenants", "4", "--intervals", "2",
+            "--transport", "direct", "--state-dir", state_dir, "--resume",
+        )
+        assert code == 0, output
+        assert "health: ok (4 tenants" in output
+
+    def test_tenant_json_health(self):
+        code, output = run_cli(
+            "serve", "--tenants", "3", "--intervals", "2",
+            "--transport", "direct", "--json",
+        )
+        assert code == 0, output
+        payload = json.loads(output[output.index("{"):])
+        assert payload["tenants"] == 3
+        assert payload["intervals_total"] >= 3
+
+    def test_tenants_reject_ha_roles(self):
+        code, output = run_cli(
+            "serve", "--tenants", "4", "--role", "standby",
+        )
+        assert code == 2
+        assert "--tenants" in output

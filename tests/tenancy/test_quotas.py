@@ -1,0 +1,178 @@
+"""Admission control, the conservation identity, and the breaker FSM.
+
+The conservation property is the load-shedding contract the tenancy
+soak pins: every offered request lands in exactly one of accepted /
+shed / quarantined, per tenant, no matter the churn driver, the seed,
+or when the tenant is benched.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TenancyError
+from repro.service.churn import (
+    ChurnEvents,
+    FlashCrowdChurn,
+    NoChurn,
+    PoissonChurn,
+)
+from repro.tenancy.quotas import (
+    AdmissionController,
+    TenantBreaker,
+    TenantQuota,
+)
+from repro.util.rng import RandomSource
+
+
+def _events(n_joins, n_leaves):
+    return ChurnEvents(
+        joins=["j%03d" % i for i in range(n_joins)],
+        leaves=["l%03d" % i for i in range(n_leaves)],
+    )
+
+
+def test_quota_validation():
+    assert TenantQuota().max_requests is None
+    assert TenantQuota(max_requests=3).max_requests == 3
+    with pytest.raises(TenancyError):
+        TenantQuota(max_requests=0)
+
+
+def test_unregistered_tenant_rejected():
+    controller = AdmissionController()
+    with pytest.raises(TenancyError):
+        controller.admit("ghost", _events(1, 0))
+
+
+def test_unlimited_quota_accepts_everything():
+    controller = AdmissionController()
+    controller.register("a")
+    admitted, shed = controller.admit("a", _events(40, 17))
+    assert shed == 0
+    assert admitted.n_events == 57
+    assert controller.ledger("a").accepted == 57
+
+
+def test_overflow_sheds_joins_first_policy():
+    controller = AdmissionController()
+    controller.register("a", quota=5)
+    admitted, shed = controller.admit("a", _events(3, 4))
+    # joins fill the quota first, then leaves take the remainder
+    assert admitted.joins == ["j000", "j001", "j002"]
+    assert admitted.leaves == ["l000", "l001"]
+    assert shed == 2
+    ledger = controller.ledger("a")
+    assert (ledger.offered, ledger.accepted, ledger.shed) == (7, 5, 2)
+
+
+def test_quarantined_batch_is_bucketed_not_dropped_silently():
+    controller = AdmissionController()
+    controller.register("a", quota=5)
+    admitted, shed = controller.admit("a", _events(9, 1), quarantined=True)
+    assert admitted.n_events == 0
+    assert shed == 0
+    ledger = controller.ledger("a")
+    assert ledger.quarantined == 10
+    assert ledger.offered == 10
+    assert controller.verify() == []
+
+
+# -- satellite: conservation across seeds and churn drivers -----------
+
+_drivers = st.sampled_from(["none", "poisson", "flash"])
+
+
+def _make_driver(kind, alpha):
+    if kind == "none":
+        return NoChurn()
+    if kind == "poisson":
+        return PoissonChurn(alpha=alpha)
+    return FlashCrowdChurn(alpha=alpha, burst_every=2, burst_size=24)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    kind=_drivers,
+    alpha=st.floats(min_value=0.0, max_value=0.6),
+    quota=st.one_of(st.none(), st.integers(min_value=1, max_value=32)),
+    quarantine_mask=st.integers(min_value=0, max_value=255),
+)
+def test_offered_equals_accepted_plus_shed_plus_quarantined(
+    seed, kind, alpha, quota, quarantine_mask
+):
+    """offered == accepted + shed + quarantined, per tenant, always."""
+    driver = _make_driver(kind, alpha)
+    rng = RandomSource(seed).generator()
+    controller = AdmissionController()
+    controller.register("t", quota=quota)
+    members = {"m%04d" % i for i in range(12)}
+    offered_total = 0
+    for interval in range(8):
+        events = driver.events(interval, members, rng)
+        offered_total += events.n_events
+        benched = bool((quarantine_mask >> interval) & 1)
+        admitted, shed = controller.admit("t", events, quarantined=benched)
+        members |= set(admitted.joins)
+        members -= set(admitted.leaves)
+        if quota is not None:
+            assert admitted.n_events <= quota
+    ledger = controller.ledger("t")
+    assert ledger.offered == offered_total
+    assert ledger.offered == (
+        ledger.accepted + ledger.shed + ledger.quarantined
+    )
+    assert controller.verify() == []
+
+
+# -- the breaker FSM ---------------------------------------------------
+
+
+def test_breaker_threshold_and_trial_cycle():
+    breaker = TenantBreaker(threshold=3, cooldown=2)
+    assert breaker.state == TenantBreaker.OK
+    assert breaker.record(True) is None
+    assert breaker.record(True) is None
+    assert breaker.record(True) == "tenant_quarantine"
+    assert breaker.quarantined
+    assert breaker.quarantines == 1
+    # cooldown counts down to the half-open trial
+    assert breaker.tick_quarantine() is None
+    assert breaker.tick_quarantine() == "tenant_trial"
+    assert breaker.state == TenantBreaker.TRIAL
+    # a clean trial closes the breaker
+    assert breaker.record(False) == "tenant_recovered"
+    assert breaker.state == TenantBreaker.OK
+
+
+def test_breaker_failed_trial_reopens():
+    breaker = TenantBreaker(threshold=1, cooldown=1)
+    assert breaker.record(True) == "tenant_quarantine"
+    assert breaker.tick_quarantine() == "tenant_trial"
+    assert breaker.record(True) == "tenant_quarantine"
+    assert breaker.quarantines == 2
+
+
+def test_breaker_strikes_must_be_consecutive():
+    breaker = TenantBreaker(threshold=2, cooldown=1)
+    assert breaker.record(True) is None
+    assert breaker.record(False) is None  # resets the streak
+    assert breaker.record(True) is None
+    assert breaker.record(True) == "tenant_quarantine"
+
+
+def test_breaker_trip_is_immediate():
+    breaker = TenantBreaker(threshold=5, cooldown=3)
+    assert breaker.trip() == "tenant_quarantine"
+    assert breaker.quarantined
+    assert breaker.tick_quarantine() is None
+    snapshot = breaker.snapshot()
+    assert snapshot["state"] == "quarantined"
+    assert snapshot["quarantines"] == 1
+
+
+def test_breaker_rejects_bad_knobs():
+    with pytest.raises(TenancyError):
+        TenantBreaker(threshold=0)
+    with pytest.raises(TenancyError):
+        TenantBreaker(cooldown=0)

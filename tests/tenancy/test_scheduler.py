@@ -1,0 +1,122 @@
+"""Deadline scheduling, whale fairness, cadences and the cost proxy."""
+
+import pytest
+
+from repro.errors import TenancyError
+from repro.tenancy.scheduler import DeadlineScheduler, estimate_cost
+
+
+def test_estimate_cost_shape():
+    # one unit of fixed overhead with an empty queue
+    assert estimate_cost(8, 0) == 1
+    # cost grows linearly in pending requests
+    assert estimate_cost(8, 4) - estimate_cost(8, 2) == estimate_cost(
+        8, 2
+    ) - estimate_cost(8, 0)
+    # deeper trees (more members) cost more per request
+    assert estimate_cost(4096, 1) > estimate_cost(4, 1)
+    # cost is deterministic in its inputs
+    assert estimate_cost(100, 7, degree=3) == estimate_cost(100, 7, degree=3)
+
+
+def test_unbudgeted_scheduler_runs_everyone_due():
+    scheduler = DeadlineScheduler()
+    for name in ("a", "b", "c"):
+        scheduler.register(name)
+    plan = scheduler.plan(0, {"a": 100, "b": 200, "c": 300})
+    assert plan.run == ["a", "b", "c"]
+    assert plan.deferred == []
+    assert plan.over_budget == []
+
+
+def test_cadence_controls_when_due():
+    scheduler = DeadlineScheduler()
+    scheduler.register("fast", interval_ticks=1)
+    scheduler.register("slow", interval_ticks=3)
+    assert scheduler.due(0) == ["fast", "slow"]
+    scheduler.plan(0, {"fast": 1, "slow": 1})
+    assert scheduler.due(1) == ["fast"]
+    scheduler.plan(1, {"fast": 1})
+    assert scheduler.due(2) == ["fast"]
+    scheduler.plan(2, {"fast": 1})
+    assert scheduler.due(3) == ["fast", "slow"]
+
+
+def test_whale_sorts_after_all_compliant_tenants():
+    scheduler = DeadlineScheduler(budget=100, solo_fraction=0.5)
+    scheduler.register("whale")
+    scheduler.register("small-1")
+    scheduler.register("small-2")
+    plan = scheduler.plan(0, {"whale": 80, "small-1": 10, "small-2": 10})
+    # the whale registered first but runs last; everyone still fits
+    assert plan.run == ["small-1", "small-2", "whale"]
+    assert plan.over_budget == ["whale"]
+
+
+def test_whale_only_defers_itself():
+    scheduler = DeadlineScheduler(budget=100, solo_fraction=0.5)
+    scheduler.register("whale")
+    for index in range(9):
+        scheduler.register("small-%d" % index)
+    costs = {"whale": 95}
+    costs.update({"small-%d" % i: 10 for i in range(9)})
+    plan = scheduler.plan(0, costs)
+    # 9 compliant tenants consume 90 of 100; the whale no longer fits
+    assert plan.deferred == ["whale"]
+    assert all(name.startswith("small") for name in plan.run)
+    assert scheduler.misses["whale"] == 1
+    assert all(scheduler.misses["small-%d" % i] == 0 for i in range(9))
+
+
+def test_budget_defers_overflow_in_deadline_order():
+    scheduler = DeadlineScheduler(budget=25, solo_fraction=1.0)
+    for name in ("a", "b", "c"):
+        scheduler.register(name)
+    plan = scheduler.plan(0, {"a": 10, "b": 10, "c": 10})
+    assert plan.run == ["a", "b"]
+    assert plan.deferred == ["c"]
+    # the deferred tenant is still due next tick and now sorts first
+    plan = scheduler.plan(1, {"c": 10, "a": 10, "b": 10})
+    assert plan.run[0] == "c"
+
+
+def test_quarantined_skip_is_not_a_miss():
+    scheduler = DeadlineScheduler(budget=100)
+    scheduler.register("benched")
+    scheduler.register("healthy")
+    for tick in range(3):
+        plan = scheduler.plan(
+            tick, {"healthy": 5}, skip={"benched"}
+        )
+        assert plan.run == ["healthy"]
+    assert scheduler.misses["benched"] == 0
+    assert scheduler.miss_rate("benched") == 0.0
+    # re-entry defers the frozen deadline rather than back-filling
+    scheduler.defer_quarantined("benched", 2)
+    assert "benched" not in scheduler.due(2)
+    assert "benched" in scheduler.due(3)
+
+
+def test_miss_rate_and_snapshot():
+    scheduler = DeadlineScheduler(budget=10, solo_fraction=1.0)
+    scheduler.register("a")
+    scheduler.register("b")
+    scheduler.plan(0, {"a": 8, "b": 8})
+    assert scheduler.miss_rate("b") == 1.0
+    snapshot = scheduler.snapshot()
+    assert snapshot["budget"] == 10
+    assert snapshot["misses"]["b"] == 1
+    assert snapshot["runs"]["a"] == 1
+
+
+def test_scheduler_validation():
+    with pytest.raises(TenancyError):
+        DeadlineScheduler(budget=0)
+    with pytest.raises(TenancyError):
+        DeadlineScheduler(solo_fraction=0.0)
+    with pytest.raises(TenancyError):
+        DeadlineScheduler(solo_fraction=1.5)
+    scheduler = DeadlineScheduler()
+    scheduler.register("a")
+    with pytest.raises(TenancyError):
+        scheduler.register("a")
